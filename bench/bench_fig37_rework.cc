@@ -1,0 +1,111 @@
+// Experiment F3.5-3.7 — reproduces Figures 3.5/3.6/3.7: the rework
+// mechanism. Exploring an alternative by moving the current cursor is a
+// (cheap) context switch; the ablation — a designer without rework — must
+// re-run the upstream tool pipeline to recreate the same context before
+// exploring. We sweep the number of explored alternatives and compare
+// simulated CPU cost, and measure the wall-clock cost of cursor moves on
+// large control streams.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/papyrus.h"
+
+namespace papyrus::bench {
+namespace {
+
+/// Explores `alternatives` PLA variants of one logic description.
+/// With rework: one Create_Logic_Description, then for each alternative a
+/// cursor move back + PLA_Generation.
+/// Without rework (ablation): every alternative re-runs
+/// Create_Logic_Description first (recreating the context by re-derivation).
+int64_t Explore(int alternatives, bool use_rework) {
+  SessionOptions opts;
+  opts.num_workstations = 1;
+  Papyrus session(opts);
+  int t = session.CreateThread("explore");
+  int64_t start = session.clock().NowMicros();
+  if (use_rework) {
+    auto base = session.Invoke(t, "Create_Logic_Description", {}, {"l"});
+    if (!base.ok()) return -1;
+    for (int i = 0; i < alternatives; ++i) {
+      (void)session.MoveCursor(t, *base);
+      auto p = session.Invoke(t, "PLA_Generation", {"l"},
+                              {"pla" + std::to_string(i)});
+      if (!p.ok()) return -1;
+    }
+  } else {
+    for (int i = 0; i < alternatives; ++i) {
+      auto base = session.Invoke(t, "Create_Logic_Description", {},
+                                 {"l" + std::to_string(i)});
+      if (!base.ok()) return -1;
+      auto p = session.Invoke(t, "PLA_Generation",
+                              {"l" + std::to_string(i)},
+                              {"pla" + std::to_string(i)});
+      if (!p.ok()) return -1;
+    }
+  }
+  return session.clock().NowMicros() - start;
+}
+
+void PrintSweep() {
+  std::printf("%-14s %-18s %-18s %s\n", "alternatives", "rework cpu(ms)",
+              "re-derive cpu(ms)", "speedup");
+  for (int n : {1, 2, 4, 8, 16}) {
+    int64_t with_rework = Explore(n, true);
+    int64_t without = Explore(n, false);
+    std::printf("%-14d %-18.1f %-18.1f %.2fx\n", n, with_rework / 1000.0,
+                without / 1000.0,
+                static_cast<double>(without) / with_rework);
+  }
+  std::printf("\n");
+}
+
+/// Wall-clock cost of a rework (cursor move + data-scope computation) on
+/// streams with many branches.
+void BM_ReworkContextSwitch(benchmark::State& state) {
+  int branches = static_cast<int>(state.range(0));
+  ManualClock clock(0);
+  activity::DesignThread thread(1, "t", &clock);
+  // One base record, then `branches` branches of 4 records each.
+  (void)thread.Append({}, activity::kInitialPoint);
+  activity::NodeId base = thread.current_cursor();
+  std::vector<activity::NodeId> tips;
+  for (int b = 0; b < branches; ++b) {
+    (void)thread.MoveCursor(base);
+    for (int i = 0; i < 4; ++i) {
+      task::TaskHistoryRecord rec;
+      rec.outputs = {
+          {"o" + std::to_string(b) + "_" + std::to_string(i), 1}};
+      (void)thread.Append(std::move(rec), thread.current_cursor());
+    }
+    tips.push_back(thread.current_cursor());
+  }
+  size_t next = 0;
+  for (auto _ : state) {
+    (void)thread.MoveCursor(tips[next % tips.size()]);
+    auto scope = thread.DataScope();
+    benchmark::DoNotOptimize(scope.ok());
+    ++next;
+  }
+  state.counters["branches"] = branches;
+}
+BENCHMARK(BM_ReworkContextSwitch)->Arg(2)->Arg(8)->Arg(32)->Arg(64);
+
+}  // namespace
+}  // namespace papyrus::bench
+
+int main(int argc, char** argv) {
+  papyrus::bench::Banner(
+      "F3.7", "Figures 3.5-3.7 (branching control streams and rework)",
+      "moving the current cursor restores a previous design context at "
+      "bookkeeping cost only; without rework each alternative must "
+      "re-derive its context by re-running tools, so rework's advantage "
+      "grows with the number of alternatives explored.");
+  papyrus::bench::PrintSweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,146 @@
+// Experiment F5-panzoom — reproduces the §5.2 lazy pan/zoom log
+// compression. Without the technique, every pan/zoom event must update the
+// coordinates of every displayed history record (the canvas has no query
+// facility); with it, events are compressed into one
+// (translation, magnification) pair applied only when new records are
+// placed. We validate the thesis' worked example and compare eager vs lazy
+// cost over event sequences and display sizes.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "activity/display.h"
+#include "bench/bench_util.h"
+
+namespace papyrus::bench {
+namespace {
+
+using activity::DisplayTransform;
+
+struct Event {
+  bool zoom;
+  double a, b;
+};
+
+std::vector<Event> MakeEvents(int n) {
+  std::vector<Event> events;
+  uint64_t rng = 7;
+  for (int i = 0; i < n; ++i) {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    if (rng % 3 == 0) {
+      events.push_back({true, ((rng >> 33) % 3 == 0) ? 0.5 : 2.0, 0});
+    } else {
+      events.push_back({false, static_cast<double>((rng >> 33) % 100) - 50,
+                        static_cast<double>((rng >> 40) % 100) - 50});
+    }
+  }
+  return events;
+}
+
+void VerifyThesisExample() {
+  DisplayTransform t;
+  t.Pan(50, 0);
+  t.Zoom(2);
+  t.Zoom(2);
+  t.Pan(100, 0);
+  t.Zoom(0.5);
+  t.Pan(-20, 0);
+  t.Pan(0, 50);
+  std::printf("thesis example [50,0]{2}{2}[100,0]{0.5}[-20,0][0,50]\n"
+              "  compressed translation: [%.0f, %.0f]  (paper: [65, 25])\n"
+              "  accumulated magnification: %.0f      (paper: 2)\n\n",
+              t.tx(), t.ty(), t.magnification());
+}
+
+/// Eager ablation: every event touches every record's coordinates.
+int64_t EagerOps(const std::vector<Event>& events, int records) {
+  std::vector<std::pair<double, double>> coords(records, {1.0, 2.0});
+  int64_t ops = 0;
+  for (const Event& e : events) {
+    for (auto& [x, y] : coords) {
+      if (e.zoom) {
+        x *= e.a;
+        y *= e.a;
+      } else {
+        x += e.a;
+        y += e.b;
+      }
+      ++ops;
+    }
+  }
+  benchmark::DoNotOptimize(coords.data());
+  return ops;
+}
+
+/// Lazy: events logged (O(1) each); records transformed only when a new
+/// record must be placed consistently (here: once at the end).
+int64_t LazyOps(const std::vector<Event>& events, int records) {
+  DisplayTransform t;
+  int64_t ops = 0;
+  for (const Event& e : events) {
+    if (e.zoom) {
+      t.Zoom(e.a);
+    } else {
+      t.Pan(e.a, e.b);
+    }
+    ++ops;
+  }
+  // Placement of one new record applies the compressed transform once.
+  auto [x, y] = t.Apply(1.0, 2.0);
+  benchmark::DoNotOptimize(x + y);
+  (void)records;
+  return ops + 1;
+}
+
+void PrintComparison() {
+  std::printf("%-10s %-10s %-18s %-14s %s\n", "events", "records",
+              "eager updates", "lazy updates", "ratio");
+  for (auto [events_n, records] :
+       {std::pair{100, 100}, {1000, 100}, {1000, 2000}, {5000, 5000}}) {
+    auto events = MakeEvents(events_n);
+    int64_t eager = EagerOps(events, records);
+    int64_t lazy = LazyOps(events, records);
+    std::printf("%-10d %-10d %-18ld %-14ld %.0fx\n", events_n, records,
+                static_cast<long>(eager), static_cast<long>(lazy),
+                static_cast<double>(eager) / lazy);
+  }
+  std::printf("\n");
+}
+
+void BM_EagerPanZoom(benchmark::State& state) {
+  auto events = MakeEvents(static_cast<int>(state.range(0)));
+  int records = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EagerOps(events, records));
+  }
+}
+BENCHMARK(BM_EagerPanZoom)->Args({1000, 1000})->Args({5000, 5000});
+
+void BM_LazyPanZoom(benchmark::State& state) {
+  auto events = MakeEvents(static_cast<int>(state.range(0)));
+  int records = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LazyOps(events, records));
+  }
+}
+BENCHMARK(BM_LazyPanZoom)->Args({1000, 1000})->Args({5000, 5000});
+
+}  // namespace
+}  // namespace papyrus::bench
+
+int main(int argc, char** argv) {
+  papyrus::bench::Banner(
+      "F5-panzoom", "§5.2 (lazy pan/zoom log compression)",
+      "consecutive pans add, magnifications multiply, and translations "
+      "separated by magnifications normalize by the inverse accumulated "
+      "factor — so arbitrarily long event sequences compress to one "
+      "(translation, magnification) pair applied per new record, not per "
+      "event per record.");
+  papyrus::bench::VerifyThesisExample();
+  papyrus::bench::PrintComparison();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Experiment F4-par — reproduces §4.3.2/§4.3.3: parallelism extraction
+// over a network of workstations, and re-migration. A wide task template
+// (16 independent synthesis branches) is executed on 1..16 simulated
+// hosts; the makespan (virtual time) and speedup are reported. A second
+// scenario makes remote owners leave mid-run and compares makespan with
+// re-migration enabled vs disabled.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "core/papyrus.h"
+
+namespace papyrus::bench {
+namespace {
+
+std::string WideTemplate(int width) {
+  std::string tdl = "task Wide {In} {";
+  for (int i = 0; i < width; ++i) tdl += "O" + std::to_string(i) + " ";
+  tdl += "}\n";
+  for (int i = 0; i < width; ++i) {
+    std::string o = "O" + std::to_string(i);
+    tdl += "step S" + std::to_string(i) + " {In} {" + o + "} {wolfe -r " +
+           std::to_string(2 + i % 3) + " -o " + o + " In}\n";
+  }
+  return tdl;
+}
+
+int64_t RunWide(int hosts, int width, bool remigration,
+                bool owners_return_midway) {
+  SessionOptions opts;
+  opts.num_workstations = hosts;
+  Papyrus session(opts);
+  (void)session.AddTemplate(WideTemplate(width));
+  (void)session.CheckInObject(
+      "/in", oct::LogicNetwork{.num_inputs = 8,
+                               .num_outputs = 8,
+                               .minterms = 500,
+                               .literals = 2000,
+                               .levels = 8,
+                               .seed = 7});
+  if (owners_return_midway) {
+    // Remote owners are present at dispatch time (steps start at home)
+    // and leave shortly after — only re-migration can exploit them.
+    for (int h = 1; h < hosts; ++h) {
+      (void)session.network().SetOwnerActive(h, true);
+      (void)session.network().ScheduleOwnerEvent(h, 200000, false);
+    }
+  }
+  int t = session.CreateThread("t");
+  activity::ActivityInvocation inv;
+  inv.template_name = "Wide";
+  inv.input_refs = {"/in"};
+  for (int i = 0; i < width; ++i) {
+    inv.output_names.push_back("o" + std::to_string(i));
+  }
+  // Remigration is a TaskInvocation field; route through the task manager
+  // directly to control it.
+  task::TaskInvocation tinv;
+  tinv.template_name = "Wide";
+  auto in = session.database().LatestVisible("/in");
+  tinv.inputs = {*in};
+  tinv.output_names = inv.output_names;
+  tinv.remigration = remigration;
+  int64_t start = session.clock().NowMicros();
+  auto record = session.task_manager().Invoke(tinv);
+  if (!record.ok()) return -1;
+  (void)t;
+  return session.clock().NowMicros() - start;
+}
+
+void PrintSpeedupCurve() {
+  constexpr int kWidth = 16;
+  std::printf("Speedup of a %d-way independent task (Sprite network, "
+              "idle hosts available):\n", kWidth);
+  std::printf("%-8s %-16s %-10s %s\n", "hosts", "makespan(ms)", "speedup",
+              "efficiency");
+  int64_t serial = RunWide(1, kWidth, true, false);
+  for (int hosts : {1, 2, 4, 8, 16}) {
+    int64_t makespan = RunWide(hosts, kWidth, true, false);
+    double speedup = static_cast<double>(serial) / makespan;
+    std::printf("%-8d %-16.1f %-10.2f %.0f%%\n", hosts, makespan / 1000.0,
+                speedup, 100.0 * speedup / hosts);
+  }
+  std::printf("\n");
+}
+
+void PrintRemigration() {
+  constexpr int kWidth = 16;
+  constexpr int kHosts = 8;
+  std::printf("Re-migration (§4.3.3): all remote owners active at "
+              "dispatch, leaving at t=200ms:\n");
+  int64_t without = RunWide(kHosts, kWidth, false, true);
+  int64_t with = RunWide(kHosts, kWidth, true, true);
+  std::printf("%-28s %-16s\n", "policy", "makespan(ms)");
+  std::printf("%-28s %-16.1f\n", "no re-migration (stuck home)",
+              without / 1000.0);
+  std::printf("%-28s %-16.1f\n", "re-migration enabled", with / 1000.0);
+  std::printf("improvement: %.2fx\n\n",
+              static_cast<double>(without) / with);
+}
+
+void BM_WideTask(benchmark::State& state) {
+  int hosts = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    int64_t makespan = RunWide(hosts, 8, true, false);
+    benchmark::DoNotOptimize(makespan);
+  }
+  state.counters["hosts"] = hosts;
+}
+BENCHMARK(BM_WideTask)->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace papyrus::bench
+
+int main(int argc, char** argv) {
+  papyrus::bench::Banner(
+      "F4-par", "§4.3.2/§4.3.3 (parallelism extraction and re-migration)",
+      "independent steps of one template overlap across idle "
+      "workstations (speedup grows toward the fan-out width); "
+      "re-migration rescues work stuck on the home node after "
+      "owner-activity evictions.");
+  papyrus::bench::PrintSpeedupCurve();
+  papyrus::bench::PrintRemigration();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

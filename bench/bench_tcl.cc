@@ -1,0 +1,125 @@
+// Experiment TCL — micro-benchmarks of the embedded Tcl interpreter
+// (§4.2.1), the substrate TDL is built on. The thesis' interpretive
+// approach re-parses templates on every invocation, so interpreter
+// throughput bounds task-manager overhead.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "tcl/interp.h"
+#include "tcl/parser.h"
+
+namespace papyrus::bench {
+namespace {
+
+void BM_SetCommand(benchmark::State& state) {
+  tcl::Interp in;
+  for (auto _ : state) {
+    auto r = in.Eval("set a 27");
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+BENCHMARK(BM_SetCommand);
+
+void BM_VariableSubstitution(benchmark::State& state) {
+  tcl::Interp in;
+  (void)in.Eval("set a 100; set b fg");
+  for (auto _ : state) {
+    auto r = in.Eval("set c Zs${a}d$b");
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+BENCHMARK(BM_VariableSubstitution);
+
+void BM_CommandSubstitution(benchmark::State& state) {
+  tcl::Interp in;
+  (void)in.Eval("set a 5");
+  for (auto _ : state) {
+    auto r = in.Eval("set b x[set a]y[set a]z");
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+BENCHMARK(BM_CommandSubstitution);
+
+void BM_ExprEvaluation(benchmark::State& state) {
+  tcl::Interp in;
+  (void)in.Eval("set a 4");
+  for (auto _ : state) {
+    auto r = in.Eval("expr {($a + 3) * 2 > 7 && !($a == 0)}");
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+BENCHMARK(BM_ExprEvaluation);
+
+void BM_ProcCall(benchmark::State& state) {
+  tcl::Interp in;
+  (void)in.Eval("proc double {x} {return [expr $x * 2]}");
+  for (auto _ : state) {
+    auto r = in.Eval("double 21");
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+BENCHMARK(BM_ProcCall);
+
+void BM_RecursiveFactorial(benchmark::State& state) {
+  tcl::Interp in;
+  (void)in.Eval(
+      "proc fact {n} {if {$n <= 1} {return 1}; "
+      "return [expr $n * [fact [expr $n - 1]]]}");
+  for (auto _ : state) {
+    auto r = in.Eval("fact 12");
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+BENCHMARK(BM_RecursiveFactorial);
+
+void BM_WhileLoop(benchmark::State& state) {
+  tcl::Interp in;
+  for (auto _ : state) {
+    auto r = in.Eval(
+        "set i 0; set s 0; while {$i < 100} {set s [expr $s+$i]; incr i}; "
+        "set s");
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+BENCHMARK(BM_WhileLoop);
+
+void BM_ListOperations(benchmark::State& state) {
+  tcl::Interp in;
+  (void)in.Eval("set l {}");
+  for (auto _ : state) {
+    auto r = in.Eval(
+        "lappend l item; llength $l; lindex $l 0; lrange $l 0 2");
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+BENCHMARK(BM_ListOperations);
+
+void BM_ParseMosaicoTemplate(benchmark::State& state) {
+  // Parsing cost of the largest thesis template (re-parsed per
+  // invocation under the interpretive approach).
+  papyrus::Papyrus session;
+  auto tmpl = session.templates().Find("Mosaico");
+  const std::string& script = (*tmpl)->script;
+  for (auto _ : state) {
+    auto cmds = tcl::ParseScript(script);
+    benchmark::DoNotOptimize(cmds.ok());
+  }
+  state.counters["bytes"] = static_cast<double>(script.size());
+}
+BENCHMARK(BM_ParseMosaicoTemplate);
+
+}  // namespace
+}  // namespace papyrus::bench
+
+int main(int argc, char** argv) {
+  papyrus::bench::Banner(
+      "TCL", "§4.2.1 (the embedded Tool Command Language substrate)",
+      "TDL inherits Tcl's parser and control constructs; interpreter "
+      "overhead is negligible next to simulated CAD-tool runtimes.");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,44 @@
+#ifndef PAPYRUS_BENCH_BENCH_UTIL_H_
+#define PAPYRUS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "core/papyrus.h"
+
+namespace papyrus::bench {
+
+/// Prints the standard experiment banner: every bench binary regenerates
+/// one table/figure of the thesis and states which.
+inline void Banner(const char* experiment, const char* paper_artifact,
+                   const char* claim) {
+  std::printf("================================================================\n");
+  std::printf("Experiment %s — reproduces %s\n", experiment, paper_artifact);
+  std::printf("Paper claim: %s\n", claim);
+  std::printf("================================================================\n\n");
+}
+
+/// Creates a behavioral spec object in the session database and returns
+/// its plain name (already resolvable if `thread` checked it in).
+inline std::string MakeSpec(Papyrus& session, const std::string& name,
+                            int complexity, uint64_t seed) {
+  std::string path = "/bench/" + name;
+  (void)session.CheckInObject(
+      path, oct::BehavioralSpec{8, 8, complexity, seed});
+  return path;
+}
+
+inline std::string MakeMacro(Papyrus& session, const std::string& name,
+                             double area, uint64_t seed) {
+  std::string path = "/bench/" + name;
+  (void)session.CheckInObject(path,
+                              oct::Layout{.num_cells = 40,
+                                          .area = area,
+                                          .style = "macro",
+                                          .seed = seed});
+  return path;
+}
+
+}  // namespace papyrus::bench
+
+#endif  // PAPYRUS_BENCH_BENCH_UTIL_H_

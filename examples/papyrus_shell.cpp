@@ -1,0 +1,258 @@
+// papyrus_shell: a Tcl-scriptable command shell over a Papyrus session —
+// the same embedding trick the thesis used (Tcl as the common command
+// interface) applied to Papyrus itself.
+//
+// Usage:
+//   ./build/examples/papyrus_shell             # runs the built-in demo
+//   ./build/examples/papyrus_shell script.tcl  # runs a script file
+//   echo 'templates' | ./build/examples/papyrus_shell -   # read stdin
+//
+// Commands added on top of full Tcl:
+//   thread create NAME | thread show ID | thread scope ID
+//   checkin /path TYPE ARGS...   (behavioral IN OUT CPLX SEED |
+//                                 macro AREA SEED | text STRING)
+//   invoke THREAD TEMPLATE {inputs} {outputs}
+//   cursor THREAD POINT ?-erase?
+//   templates | template NAME | tools | stats
+//   oattr OBJECT ATTR            (metadata-engine attribute query)
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "activity/display.h"
+#include "base/strings.h"
+#include "core/papyrus.h"
+#include "tcl/interp.h"
+#include "tdl/template_layout.h"
+
+namespace {
+
+using papyrus::Papyrus;
+using papyrus::tcl::EvalResult;
+using papyrus::tcl::Interp;
+
+int64_t ToInt(const std::string& s, int64_t fallback) {
+  int64_t v = 0;
+  return papyrus::ParseInt64(s, &v) ? v : fallback;
+}
+
+void RegisterShellCommands(Interp* in, Papyrus* session) {
+  in->RegisterCommand(
+      "thread", [session](Interp&, const std::vector<std::string>& argv) {
+        if (argv.size() >= 3 && argv[1] == "create") {
+          return EvalResult::Ok(
+              std::to_string(session->CreateThread(argv[2])));
+        }
+        if (argv.size() >= 3 && argv[1] == "show") {
+          auto t = session->activity().GetThread(
+              static_cast<int>(ToInt(argv[2], -1)));
+          if (!t.ok()) return EvalResult::Error(t.status().message());
+          return EvalResult::Ok(papyrus::activity::RenderControlStream(**t));
+        }
+        if (argv.size() >= 3 && argv[1] == "scope") {
+          auto t = session->activity().GetThread(
+              static_cast<int>(ToInt(argv[2], -1)));
+          if (!t.ok()) return EvalResult::Error(t.status().message());
+          return EvalResult::Ok(papyrus::activity::RenderDataScope(*t));
+        }
+        return EvalResult::Error(
+            "usage: thread create NAME | thread show ID | thread scope ID");
+      });
+
+  in->RegisterCommand(
+      "checkin", [session](Interp&, const std::vector<std::string>& argv) {
+        if (argv.size() < 3) {
+          return EvalResult::Error(
+              "usage: checkin /path behavioral|macro|text args...");
+        }
+        papyrus::oct::DesignPayload payload;
+        if (argv[2] == "behavioral") {
+          papyrus::oct::BehavioralSpec b;
+          b.num_inputs = argv.size() > 3 ? ToInt(argv[3], 8) : 8;
+          b.num_outputs = argv.size() > 4 ? ToInt(argv[4], 8) : 8;
+          b.complexity = argv.size() > 5 ? ToInt(argv[5], 16) : 16;
+          b.seed = argv.size() > 6 ? ToInt(argv[6], 1) : 1;
+          payload = b;
+        } else if (argv[2] == "macro") {
+          papyrus::oct::Layout l;
+          l.num_cells = 40;
+          l.area = argv.size() > 3 ? static_cast<double>(ToInt(argv[3],
+                                                               20000))
+                                   : 20000.0;
+          l.style = "macro";
+          l.seed = argv.size() > 4 ? ToInt(argv[4], 1) : 1;
+          payload = l;
+        } else if (argv[2] == "text") {
+          payload = papyrus::oct::TextData{
+              argv.size() > 3 ? argv[3] : ""};
+        } else {
+          return EvalResult::Error("unknown check-in type " + argv[2]);
+        }
+        auto id = session->CheckInObject(argv[1], std::move(payload));
+        if (!id.ok()) return EvalResult::Error(id.status().message());
+        return EvalResult::Ok(id->ToString());
+      });
+
+  in->RegisterCommand(
+      "invoke", [session](Interp&, const std::vector<std::string>& argv) {
+        if (argv.size() != 5) {
+          return EvalResult::Error(
+              "usage: invoke THREAD TEMPLATE {inputs} {outputs}");
+        }
+        auto inputs = papyrus::tcl::ParseList(argv[3]);
+        auto outputs = papyrus::tcl::ParseList(argv[4]);
+        if (!inputs.ok() || !outputs.ok()) {
+          return EvalResult::Error("bad input/output lists");
+        }
+        auto point = session->Invoke(static_cast<int>(ToInt(argv[1], -1)),
+                                     argv[2], *inputs, *outputs);
+        if (!point.ok()) {
+          return EvalResult::Error(point.status().ToString());
+        }
+        return EvalResult::Ok(std::to_string(*point));
+      });
+
+  in->RegisterCommand(
+      "cursor", [session](Interp&, const std::vector<std::string>& argv) {
+        if (argv.size() < 3) {
+          return EvalResult::Error("usage: cursor THREAD POINT ?-erase?");
+        }
+        bool erase = argv.size() > 3 && argv[3] == "-erase";
+        papyrus::Status st = session->MoveCursor(
+            static_cast<int>(ToInt(argv[1], -1)),
+            static_cast<int>(ToInt(argv[2], -1)), erase);
+        if (!st.ok()) return EvalResult::Error(st.message());
+        return EvalResult::Ok();
+      });
+
+  in->RegisterCommand(
+      "templates",
+      [session](Interp&, const std::vector<std::string>&) {
+        return EvalResult::Ok(papyrus::tcl::FormatList(
+            session->templates().TemplateNames()));
+      });
+
+  in->RegisterCommand(
+      "template", [session](Interp&, const std::vector<std::string>& argv) {
+        if (argv.size() != 2) {
+          return EvalResult::Error("usage: template NAME");
+        }
+        auto tmpl = session->templates().Find(argv[1]);
+        if (!tmpl.ok()) return EvalResult::Error(tmpl.status().message());
+        auto text =
+            papyrus::tdl::RenderTemplate(**tmpl, &session->templates());
+        if (!text.ok()) return EvalResult::Error(text.status().message());
+        return EvalResult::Ok(*text);
+      });
+
+  in->RegisterCommand(
+      "tools", [session](Interp&, const std::vector<std::string>&) {
+        return EvalResult::Ok(
+            papyrus::tcl::FormatList(session->tools().ToolNames()));
+      });
+
+  in->RegisterCommand(
+      "oattr", [session](Interp&, const std::vector<std::string>& argv) {
+        if (argv.size() != 3) {
+          return EvalResult::Error("usage: oattr OBJECT[@V] ATTR");
+        }
+        auto ref = papyrus::oct::ParseObjectRef(argv[1]);
+        if (!ref.ok()) return EvalResult::Error(ref.status().message());
+        papyrus::oct::ObjectId id{ref->name, ref->version};
+        if (id.version == 0) {
+          auto latest = session->database().LatestVisible(id.name);
+          if (!latest.ok()) {
+            return EvalResult::Error(latest.status().message());
+          }
+          id = *latest;
+        }
+        auto value = session->metadata().GetAttribute(id, argv[2]);
+        if (!value.ok()) return EvalResult::Error(value.status().message());
+        return EvalResult::Ok(*value);
+      });
+
+  in->RegisterCommand(
+      "stats", [session](Interp&, const std::vector<std::string>&) {
+        std::ostringstream os;
+        os << "virtual time: " << session->clock().NowMicros() / 1000
+           << "ms; tasks committed: "
+           << session->task_manager().tasks_committed()
+           << "; aborted: " << session->task_manager().tasks_aborted()
+           << "; steps: " << session->task_manager().steps_executed()
+           << "; db versions: "
+           << session->database().TotalVersionCount()
+           << " (" << session->database().TotalLiveBytes() << " bytes)"
+           << "; ADG edges: " << session->metadata().adg().edge_count();
+        return EvalResult::Ok(os.str());
+      });
+}
+
+constexpr const char* kDemoScript = R"TCL(
+puts "== Papyrus shell demo =="
+puts "templates: [templates]"
+set t [thread create Shifter-synthesis]
+puts "created thread $t"
+set p1 [invoke $t Create_Logic_Description {} {shifter.logic}]
+puts "design point $p1: created shifter.logic"
+set p2 [invoke $t Standard_Cell_Place_and_Route {shifter.logic} {shifter.sc}]
+puts "standard-cell area: [oattr shifter.sc area]"
+cursor $t $p1
+set p3 [invoke $t PLA_Generation {shifter.logic} {shifter.pla}]
+puts "PLA area: [oattr shifter.pla area]"
+if {[oattr shifter.pla area] < [oattr shifter.sc area]} {
+  puts "PLA implementation wins"
+} else {
+  puts "standard-cell implementation wins"
+}
+puts [thread show $t]
+puts [thread scope $t]
+puts [stats]
+)TCL";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Papyrus session;
+  Interp interp;
+  RegisterShellCommands(&interp, &session);
+
+  auto run = [&](const std::string& script) {
+    auto result = interp.Eval(script);
+    std::fputs(interp.TakeOutput().c_str(), stdout);
+    if (!result.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   result.status().message().c_str());
+      return 1;
+    }
+    return 0;
+  };
+
+  if (argc < 2) {
+    return run(kDemoScript);
+  }
+  if (std::string(argv[1]) == "-") {
+    // REPL over stdin: evaluate line by line, echoing results.
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      auto result = interp.Eval(line);
+      std::fputs(interp.TakeOutput().c_str(), stdout);
+      if (!result.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     result.status().message().c_str());
+      } else if (!result->empty()) {
+        std::printf("%s\n", result->c_str());
+      }
+    }
+    return 0;
+  }
+  std::ifstream file(argv[1]);
+  if (!file) {
+    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return run(buffer.str());
+}

@@ -1,0 +1,107 @@
+// The Figure 3.7 scenario: interactive design-space exploration of a
+// shifter with the rework mechanism.
+//
+// A designer synthesizes a shifter down to a standard-cell layout, is not
+// satisfied, moves the current cursor back to an earlier design point, and
+// explores a PLA implementation instead — without doing any bookkeeping
+// for the mapping between alternatives and object versions.
+//
+// Build & run:  ./build/examples/shifter_exploration
+
+#include <cstdio>
+
+#include "activity/display.h"
+#include "core/papyrus.h"
+
+namespace {
+
+void Show(papyrus::Papyrus& session, int thread, const char* banner) {
+  auto t = session.activity().GetThread(thread);
+  std::printf("---- %s ----\n%s\n", banner,
+              papyrus::activity::RenderControlStream(**t).c_str());
+}
+
+}  // namespace
+
+int main() {
+  papyrus::Papyrus session;
+  int thread = session.CreateThread("Shifter-synthesis");
+
+  // 1. Enter the logic description (edit + bdsyn).
+  auto p1 = session.Invoke(thread, "Create_Logic_Description", {},
+                           {"shifter.logic"});
+  // 2. Verify its behaviour with the logic simulator.
+  auto p2 =
+      session.Invoke(thread, "Logic_Simulation", {"shifter.logic"}, {});
+  // 3-4. Standard-cell approach: place&route, then pads.
+  auto p3 = session.Invoke(thread, "Standard_Cell_Place_and_Route",
+                           {"shifter.logic"}, {"shifter.sc"});
+  auto p4 = session.Invoke(thread, "Place_Pads", {"shifter.sc"},
+                           {"shifter.sc.padded"});
+  if (!p1.ok() || !p2.ok() || !p3.ok() || !p4.ok()) {
+    std::printf("standard-cell flow failed\n");
+    return 1;
+  }
+  Show(session, thread, "after the standard-cell approach");
+
+  // Check the result's area via the attribute system.
+  auto sc = session.database().LatestVisible("shifter.sc.padded");
+  auto sc_area = session.metadata().GetAttribute(*sc, "area");
+  std::printf("standard-cell area: %s\n\n", sc_area->c_str());
+
+  // 5. Not satisfied: rework to design point 2 and explore a PLA design
+  //    style from the identical context.
+  (void)session.MoveCursor(thread, *p2);
+  auto t = session.activity().GetThread(thread);
+  (void)(*t)->Annotate(*p2, "The Start of PLA Approach");
+
+  auto p5 = session.Invoke(thread, "PLA_Generation", {"shifter.logic"},
+                           {"shifter.pla"});
+  auto p6 = session.Invoke(thread, "Place_Pads", {"shifter.pla"},
+                           {"shifter.pla.padded"});
+  if (!p5.ok() || !p6.ok()) {
+    std::printf("PLA flow failed\n");
+    return 1;
+  }
+  Show(session, thread, "after exploring the PLA alternative");
+
+  auto pla = session.database().LatestVisible("shifter.pla.padded");
+  auto pla_area = session.metadata().GetAttribute(*pla, "area");
+  std::printf("PLA area: %s\n\n", pla_area->c_str());
+
+  // The system maintains the mapping between alternatives and objects:
+  // from the PLA branch, the standard-cell objects are simply not
+  // visible.
+  std::printf("data scope on the PLA branch:\n%s\n",
+              papyrus::activity::RenderDataScope(*t).c_str());
+
+  // Random access: jump back by annotation instead of browsing.
+  auto annotated = (*t)->FindAnnotation("The Start of PLA Approach");
+  std::printf("annotation lookup -> design point %d\n", *annotated);
+
+  // Pick the better alternative and erase the other branch, reclaiming
+  // its objects.
+  // Erasing works relative to the current cursor: position it on the
+  // losing branch's tip, then rework to point 2 with erase — the branch
+  // toward the old cursor disappears and its objects are reclaimed.
+  double sc_v = std::strtod(sc_area->c_str(), nullptr);
+  double pla_v = std::strtod(pla_area->c_str(), nullptr);
+  if (pla_v <= sc_v) {
+    std::printf("\nPLA wins (%.0f <= %.0f): erasing standard-cell branch\n",
+                pla_v, sc_v);
+    (void)session.MoveCursor(thread, *p4);             // losing tip
+    (void)session.MoveCursor(thread, *p2, /*erase=*/true);
+    (void)session.MoveCursor(thread, *p6);             // back to winner
+  } else {
+    std::printf("\nstandard cells win (%.0f < %.0f): erasing PLA branch\n",
+                sc_v, pla_v);
+    (void)session.MoveCursor(thread, *p2, /*erase=*/true);  // cursor at p6
+    (void)session.MoveCursor(thread, *p4);
+  }
+  std::printf("erased objects are gone from the database: shifter.pla -> %s\n",
+              session.database().LatestVisible("shifter.pla").ok()
+                  ? "still visible"
+                  : "invisible");
+  Show(session, thread, "final state");
+  return 0;
+}

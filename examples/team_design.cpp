@@ -1,0 +1,116 @@
+// Cooperative group work (Figures 3.10 / 3.11): two designers develop a
+// shifter and an arithmetic unit in separate threads, share results
+// through a synchronization data space with predicate-filtered change
+// notification, and finally join their threads into one ALU thread.
+//
+// Build & run:  ./build/examples/team_design
+
+#include <cstdio>
+
+#include "activity/display.h"
+#include "core/papyrus.h"
+
+using papyrus::sync::NotifyPredicate;
+using papyrus::sync::Space;
+
+int main() {
+  papyrus::Papyrus session;
+
+  // Randy designs the shifter; Mary designs the arithmetic unit.
+  int shifter = session.CreateThread("Shifter (Randy)");
+  int arith = session.CreateThread("Arithmetic-Unit (Mary)");
+
+  // A shared synchronization data space for the ALU project.
+  (void)session.sds().CreateSds("ALU-project");
+  (void)session.sds().Register("ALU-project", shifter);
+  (void)session.sds().Register("ALU-project", arith);
+
+  // Both develop their module down to a padded layout.
+  for (auto [thread, prefix] :
+       {std::pair{shifter, std::string("shifter")},
+        std::pair{arith, std::string("arith")}}) {
+    auto p1 = session.Invoke(thread, "Create_Logic_Description", {},
+                             {prefix + ".logic"});
+    auto p2 = session.Invoke(thread, "Standard_Cell_Place_and_Route",
+                             {prefix + ".logic"}, {prefix + ".layout"});
+    if (!p1.ok() || !p2.ok()) {
+      std::printf("%s flow failed\n", prefix.c_str());
+      return 1;
+    }
+  }
+
+  // Randy publishes the shifter layout; the thread workspace stays
+  // private — only what is MOVEd to the SDS becomes visible to others.
+  auto shifter_v1 = session.database().LatestVisible("shifter.layout");
+  (void)session.sds().Move(*shifter_v1, Space::Thread(shifter),
+                           Space::Sds("ALU-project"));
+
+  // Mary retrieves it, subscribing to future versions — but only if they
+  // are *faster* than the one she has (predicate-filtered notification).
+  NotifyPredicate faster;
+  faster.attribute = "delay";
+  faster.op = NotifyPredicate::Op::kLess;
+  faster.compare_to_old = true;
+  (void)session.sds().Move(*shifter_v1, Space::Sds("ALU-project"),
+                           Space::Thread(arith), /*notify=*/true,
+                           {faster});
+
+  // Randy reworks his shifter: a second, different layout version.
+  auto randy = session.activity().GetThread(shifter);
+  auto frontier = (*randy)->FrontierCursors();
+  auto logic_point = (*randy)->nodes().begin()->first;
+  (void)session.MoveCursor(shifter, logic_point);
+  auto p3 = session.Invoke(shifter, "PLA_Generation", {"shifter.logic"},
+                           {"shifter.layout"});
+  if (!p3.ok()) {
+    std::printf("rework failed: %s\n", p3.status().ToString().c_str());
+    return 1;
+  }
+  auto shifter_v2 = session.database().LatestVisible("shifter.layout");
+  (void)session.sds().Move(*shifter_v2, Space::Thread(shifter),
+                           Space::Sds("ALU-project"));
+
+  // Did Mary get notified? Only if v2 is faster than v1.
+  auto d1 = session.metadata().GetAttribute(*shifter_v1, "delay");
+  auto d2 = session.metadata().GetAttribute(*shifter_v2, "delay");
+  std::printf("shifter delay: v1=%sns  v2=%sns\n", d1->c_str(),
+              d2->c_str());
+  auto notes = session.sds().TakeNotifications(arith);
+  if (notes.empty()) {
+    std::printf("Mary was NOT notified (new version is not faster; "
+                "%ld suppressed)\n",
+                static_cast<long>(
+                    session.sds().suppressed_notifications()));
+  } else {
+    std::printf("Mary was notified: %s superseded %s in SDS \"%s\"\n",
+                notes[0].new_version.ToString().c_str(),
+                notes[0].old_version.ToString().c_str(),
+                notes[0].sds.c_str());
+  }
+
+  // Mary lets Randy watch her thread read-only (thread import).
+  (void)session.sds().ImportThread(/*importer=*/shifter,
+                                   /*exporter=*/arith);
+  std::printf("Randy can read Mary's thread: %s\n",
+              session.sds().CanRead(shifter, arith) ? "yes" : "no");
+  std::printf("Mary can read Randy's thread: %s\n",
+              session.sds().CanRead(arith, shifter) ? "yes" : "no");
+
+  // Both modules done: join the threads at their frontiers into the ALU
+  // thread and continue integration there.
+  auto mary = session.activity().GetThread(arith);
+  auto alu = session.activity().JoinThreads(
+      shifter, (*randy)->FrontierCursors()[0], arith,
+      (*mary)->FrontierCursors()[0], "ALU");
+  if (!alu.ok()) {
+    std::printf("join failed: %s\n", alu.status().ToString().c_str());
+    return 1;
+  }
+  auto alu_thread = session.activity().GetThread(*alu);
+  std::printf("\n%s\n",
+              papyrus::activity::RenderControlStream(**alu_thread).c_str());
+  std::printf("joined workspace:\n%s\n",
+              papyrus::activity::RenderDataScope(*alu_thread).c_str());
+  (void)frontier;
+  return 0;
+}

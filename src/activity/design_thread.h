@@ -1,0 +1,226 @@
+#ifndef PAPYRUS_ACTIVITY_DESIGN_THREAD_H_
+#define PAPYRUS_ACTIVITY_DESIGN_THREAD_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/clock.h"
+#include "base/result.h"
+#include "base/status.h"
+#include "oct/object_id.h"
+#include "task/history.h"
+
+namespace papyrus::activity {
+
+/// Identifies a design point in a thread's control stream: the state right
+/// after the history record with this node id committed. `kInitialPoint`
+/// (0) is the empty state at thread creation.
+using NodeId = int;
+constexpr NodeId kInitialPoint = 0;
+
+/// One vertex of a control stream (the thesis' HistoryRecord structure,
+/// §5.3): a committed task's history plus graph links. Nodes may have
+/// multiple parents (thread joins) and multiple children (rework
+/// branches).
+struct HistoryNode {
+  NodeId id = kInitialPoint;
+  task::TaskHistoryRecord record;
+  bool is_junction = false;  // a join connector point, carries no record
+  std::string annotation;
+  int64_t appended_micros = 0;
+  std::vector<NodeId> parents;  // empty = child of the initial point
+  std::vector<NodeId> children;
+  /// Last time the node was the target of a cursor move or state query;
+  /// drives the §5.4 dead-branch detection.
+  int64_t last_access_micros = 0;
+  // Thread-state cache (the CacheFlag/state of §5.3).
+  bool cache_flag = false;
+  bool cache_valid = false;
+  std::set<oct::ObjectId> cached_state;
+};
+
+/// A design thread (§3.3.3): the context of one logical design entity —
+/// its branching control stream of committed tasks, its thread workspace,
+/// its frontier cursors, and the current cursor that defines the data
+/// scope in which new task invocations resolve object names.
+///
+/// The thread is database-agnostic: operations that "delete" objects
+/// return the affected ids and the activity manager applies visibility
+/// changes to the OCT store.
+class DesignThread {
+ public:
+  DesignThread(int thread_id, std::string name, Clock* clock);
+
+  DesignThread(const DesignThread&) = delete;
+  DesignThread& operator=(const DesignThread&) = delete;
+
+  int id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  // --- control stream ---------------------------------------------------
+
+  /// Appends a committed task's history record. `invocation_cursor` is the
+  /// current cursor captured when the task was *invoked* (§5.3).
+  ///
+  /// `new_branch` encodes the §5.3 path number, captured at invocation
+  /// time: true when the invocation cursor already had following records
+  /// then (the user reworked into the middle of the stream, so this record
+  /// starts a fresh branch at the cursor); false when the cursor was a
+  /// frontier (the record lands at the end of the cursor's logical path,
+  /// chaining after records that completed in the interim, or spliced in
+  /// just before a branching record found along the way).
+  ///
+  /// Returns the new node's id. Advances the current cursor when it sat at
+  /// the attachment point.
+  Result<NodeId> Append(task::TaskHistoryRecord record,
+                        NodeId invocation_cursor, bool new_branch);
+
+  /// Synchronous convenience: invocation time is now, so the branch flag
+  /// is derived from the cursor's current children.
+  Result<NodeId> Append(task::TaskHistoryRecord record,
+                        NodeId invocation_cursor);
+
+  Result<const HistoryNode*> GetNode(NodeId id) const;
+  bool HasNode(NodeId id) const;
+  /// Number of history records (excludes the initial point).
+  int size() const { return static_cast<int>(nodes_.size()); }
+
+  NodeId current_cursor() const { return current_cursor_; }
+
+  /// Rework (§3.3.3): repositions the current cursor onto an existing
+  /// design point, restoring that point's thread state as the data scope.
+  Status MoveCursor(NodeId point);
+
+  /// Rework with branch erasure (Figure 3.6): moves the cursor to `point`
+  /// and deletes the branch that led to the old cursor position (the
+  /// subtree hanging off `point` that contains the old cursor). Appends
+  /// the ids of objects no longer referenced anywhere in the stream to
+  /// `unreferenced` for the caller to make invisible.
+  Status MoveCursorAndErase(NodeId point,
+                            std::vector<oct::ObjectId>* unreferenced);
+
+  /// Deletes the subtree rooted at `node` (used by storage reclamation
+  /// policies). Collects newly unreferenced objects like
+  /// MoveCursorAndErase. The current cursor moves to the subtree's parent
+  /// when it pointed inside.
+  Status EraseSubtree(NodeId node,
+                      std::vector<oct::ObjectId>* unreferenced);
+
+  /// Design points with no following record (§3.3.3).
+  std::vector<NodeId> FrontierCursors() const;
+
+  /// Removes every proper ancestor of `new_root` (§5.4 horizontal aging:
+  /// history "too far back in time" is pruned and the stream re-roots at
+  /// `new_root`). Fails when the prefix is not linear (an ancestor has a
+  /// child outside the prefix/new_root). Collects newly unreferenced
+  /// objects like EraseSubtree.
+  Status PrunePrefix(NodeId new_root,
+                     std::vector<oct::ObjectId>* unreferenced);
+
+  /// Removes one record from the middle of the stream, connecting its
+  /// parents directly to its children (§5.4 garbage collection of
+  /// abandoned iteration rounds). Collects newly unreferenced objects.
+  Status SpliceOutNode(NodeId node,
+                       std::vector<oct::ObjectId>* unreferenced);
+
+  /// Replaces a node's recorded step details with an empty list (§5.4
+  /// vertical aging: internal details of old composite tasks are
+  /// progressively forgotten). Returns the ids of intermediate objects
+  /// that were referenced only by the dropped step records.
+  Status StripStepDetails(NodeId node,
+                          std::vector<oct::ObjectId>* intermediates);
+
+  // --- states and scopes --------------------------------------------------
+
+  /// The thread state of a design point: all objects referenced as inputs
+  /// or created as outputs on the paths from the initial point to `point`
+  /// (§3.3.3). Uses and refreshes the thread-state caches.
+  Result<std::set<oct::ObjectId>> ThreadState(NodeId point);
+
+  /// The data scope (§5.2): the thread state of the current cursor.
+  Result<std::set<oct::ObjectId>> DataScope() {
+    return ThreadState(current_cursor_);
+  }
+
+  /// Resolves a plain object name to its most recent version inside the
+  /// current data scope (§5.2).
+  Result<oct::ObjectId> ResolveInScope(const std::string& name);
+
+  /// The thread workspace: union of the frontier cursors' thread states
+  /// plus explicitly checked-in objects (§3.3.3).
+  Result<std::set<oct::ObjectId>> Workspace();
+
+  /// Registers an externally checked-in object (absolute-path naming).
+  void CheckIn(const oct::ObjectId& id) { checkins_.insert(id); }
+  const std::set<oct::ObjectId>& checkins() const { return checkins_; }
+
+  // --- random access (§5.2) ----------------------------------------------
+
+  Status Annotate(NodeId node, const std::string& text);
+  /// Finds the node carrying an annotation (exact match).
+  Result<NodeId> FindAnnotation(const std::string& text) const;
+  /// Finds the first record in the hour containing `micros`, or the
+  /// earliest record after it (hour-resolution temporal access).
+  Result<NodeId> FindByTime(int64_t micros) const;
+
+  // --- caching ------------------------------------------------------------
+
+  /// A node becomes a cache point every `interval` records of backward
+  /// traversal; 0 disables caching (the ablation baseline).
+  void set_cache_interval(int interval) { cache_interval_ = interval; }
+  int cache_interval() const { return cache_interval_; }
+  /// Number of node visits performed by ThreadState computations (for the
+  /// §5.3 caching experiments).
+  int64_t traversal_visits() const { return traversal_visits_; }
+
+  /// Internal: direct node table access for thread-combination operators
+  /// and renderers.
+  const std::map<NodeId, HistoryNode>& nodes() const { return nodes_; }
+
+  // --- low-level graph surgery (thread-combination operators) -----------
+
+  /// Adds a node with a fresh id and no links; returns the id. Cached
+  /// thread state is dropped.
+  NodeId AdoptNode(HistoryNode node);
+  /// Re-inserts a node with its exact id and links; used by the
+  /// persistence layer (§5.3). The caller guarantees link consistency;
+  /// parent-less nodes are registered as roots.
+  Status RestoreNode(HistoryNode node);
+  /// Restores the current cursor after all nodes are back.
+  Status RestoreCursor(NodeId cursor);
+  /// Adds a parent->child edge (idempotent).
+  void LinkNodes(NodeId parent, NodeId child);
+  /// Registers/unregisters a node as a child of the initial point.
+  void MarkRoot(NodeId node);
+  void UnmarkRoot(NodeId node);
+
+ private:
+  friend class ThreadCombinator;
+
+  HistoryNode* MutableNode(NodeId id);
+  const std::vector<NodeId>& ChildrenOf(NodeId id) const;
+  void AddObjectsOf(const HistoryNode& node,
+                    std::set<oct::ObjectId>* state) const;
+  /// All object ids referenced anywhere in the stream or check-ins.
+  std::set<oct::ObjectId> AllReferencedObjects() const;
+  void CollectSubtree(NodeId root, std::set<NodeId>* out) const;
+
+  int id_;
+  std::string name_;
+  Clock* clock_;
+  std::map<NodeId, HistoryNode> nodes_;
+  std::vector<NodeId> roots_;  // children of the initial point
+  NodeId current_cursor_ = kInitialPoint;
+  NodeId next_node_id_ = 1;
+  std::set<oct::ObjectId> checkins_;
+  std::map<int64_t, NodeId> hour_index_;  // hour -> first node that hour
+  int cache_interval_ = 8;
+  int64_t traversal_visits_ = 0;
+};
+
+}  // namespace papyrus::activity
+
+#endif  // PAPYRUS_ACTIVITY_DESIGN_THREAD_H_

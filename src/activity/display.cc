@@ -1,0 +1,133 @@
+#include "activity/display.h"
+
+#include <algorithm>
+#include <set>
+#include <functional>
+#include <sstream>
+
+namespace papyrus::activity {
+
+void DisplayTransform::Pan(double dx, double dy) {
+  // Observation [3]: normalize by the inverse of the accumulated
+  // magnification, then observation [1] merges by addition.
+  tx_ += dx / magnification_;
+  ty_ += dy / magnification_;
+  ++events_logged_;
+}
+
+void DisplayTransform::Zoom(double factor) {
+  // Observations [1] and [2]: magnifications always merge by
+  // multiplication.
+  magnification_ *= factor;
+  ++events_logged_;
+}
+
+void DisplayTransform::Reset() {
+  magnification_ = 1.0;
+  tx_ = 0.0;
+  ty_ = 0.0;
+  events_logged_ = 0;
+}
+
+StreamLayout ComputeStreamLayout(const DesignThread& thread) {
+  StreamLayout layout;
+  // Depth-first placement: x = depth along the path, y = branch lane.
+  // A node's lane is its first child's lane; each additional branch opens
+  // a new lane below.
+  int next_lane = 0;
+  // Build root list: nodes without parents.
+  std::vector<NodeId> roots;
+  for (const auto& [id, node] : thread.nodes()) {
+    if (node.parents.empty()) roots.push_back(id);
+  }
+  std::function<void(NodeId, int, int)> place = [&](NodeId id, int x,
+                                                    int lane) {
+    if (layout.cells.count(id) > 0) {
+      // Multi-parent node (join): keep the deepest x.
+      layout.cells[id].first = std::max(layout.cells[id].first, x);
+      return;
+    }
+    layout.cells[id] = {x, lane};
+    auto node = thread.GetNode(id);
+    if (!node.ok()) return;
+    bool first = true;
+    for (NodeId child : (*node)->children) {
+      if (first) {
+        place(child, x + 1, lane);
+        first = false;
+      } else {
+        place(child, x + 1, ++next_lane);
+      }
+    }
+  };
+  for (NodeId root : roots) {
+    place(root, 0, next_lane);
+    // Each new root starts a fresh lane unless it shared one via a join.
+    ++next_lane;
+  }
+  for (const auto& [id, cell] : layout.cells) {
+    layout.width = std::max(layout.width, cell.first + 1);
+    layout.height = std::max(layout.height, cell.second + 1);
+  }
+  return layout;
+}
+
+namespace {
+
+void RenderNode(const DesignThread& thread, NodeId id, int indent,
+                std::set<NodeId>* visited, std::ostringstream* out) {
+  auto node = thread.GetNode(id);
+  if (!node.ok()) return;
+  for (int i = 0; i < indent; ++i) *out << "  ";
+  if (!visited->insert(id).second) {
+    *out << "-> " << id << " (see above)\n";
+    return;
+  }
+  *out << "o " << id << " "
+       << ((*node)->is_junction ? "<join>" : (*node)->record.task_name);
+  if (!(*node)->annotation.empty()) {
+    *out << " \"" << (*node)->annotation << "\"";
+  }
+  if (thread.current_cursor() == id) *out << " *";
+  if ((*node)->children.empty()) *out << " ^";
+  *out << "\n";
+  for (NodeId child : (*node)->children) {
+    RenderNode(thread, child, indent + 1, visited, out);
+  }
+}
+
+}  // namespace
+
+std::string RenderControlStream(const DesignThread& thread) {
+  std::ostringstream out;
+  out << "Thread " << thread.id() << " \"" << thread.name() << "\""
+      << (thread.current_cursor() == kInitialPoint ? " *" : "") << "\n";
+  std::set<NodeId> visited;
+  for (const auto& [id, node] : thread.nodes()) {
+    if (node.parents.empty()) RenderNode(thread, id, 1, &visited, &out);
+  }
+  return out.str();
+}
+
+std::string RenderDataScope(DesignThread* thread) {
+  std::ostringstream out;
+  out << "Data Scope at the Current Cursor (design point "
+      << thread->current_cursor() << "):\n";
+  auto scope = thread->DataScope();
+  if (!scope.ok()) {
+    out << "  <error: " << scope.status().ToString() << ">\n";
+    return out.str();
+  }
+  std::map<std::string, std::vector<int>> by_name;
+  for (const oct::ObjectId& id : *scope) {
+    by_name[id.name].push_back(id.version);
+  }
+  for (const auto& [name, versions] : by_name) {
+    out << "  " << name << " :";
+    for (int v : versions) out << " version " << v;
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace papyrus::activity

@@ -1,0 +1,75 @@
+#ifndef PAPYRUS_ACTIVITY_DISPLAY_H_
+#define PAPYRUS_ACTIVITY_DISPLAY_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "activity/design_thread.h"
+
+namespace papyrus::activity {
+
+/// Lazily compressed pan/zoom transform (§5.2).
+///
+/// The activity manager must place new history records consistently with
+/// graphics that the user has panned and zoomed. Instead of applying each
+/// event to every existing item, events are logged and compressed into a
+/// single (translation, magnification) pair using the thesis' three
+/// observations:
+///  [1] consecutive translations add; consecutive magnifications multiply;
+///  [2] magnifications separated by translations still multiply;
+///  [3] translations separated by magnifications merge after normalizing
+///      by the inverse of the accumulated magnification factor.
+/// The compressed transform is `p' = M * (p + T)`.
+class DisplayTransform {
+ public:
+  /// Logs a pan by (dx, dy) display units.
+  void Pan(double dx, double dy);
+  /// Logs a zoom by `factor` (> 0).
+  void Zoom(double factor);
+
+  /// Accumulated magnification M.
+  double magnification() const { return magnification_; }
+  /// Compressed translation T (normalized).
+  double tx() const { return tx_; }
+  double ty() const { return ty_; }
+
+  /// Maps an original coordinate through the compressed transform.
+  std::pair<double, double> Apply(double x, double y) const {
+    return {magnification_ * (x + tx_), magnification_ * (y + ty_)};
+  }
+
+  int64_t events_logged() const { return events_logged_; }
+  void Reset();
+
+ private:
+  double magnification_ = 1.0;
+  double tx_ = 0.0;
+  double ty_ = 0.0;
+  int64_t events_logged_ = 0;
+};
+
+/// Grid placement of a control stream's history records for display
+/// (§5.2: each oval block is assigned a grid cell). X advances with path
+/// depth; Y assigns one lane per branch.
+struct StreamLayout {
+  std::map<NodeId, std::pair<int, int>> cells;  // node -> (x, y)
+  int width = 0;   // max x + 1
+  int height = 0;  // max y + 1
+};
+
+StreamLayout ComputeStreamLayout(const DesignThread& thread);
+
+/// Renders a design thread's control stream as indented text, marking the
+/// current cursor with `*` and frontier cursors with `^`, and showing
+/// annotations. The textual stand-in for Figure 5.1.
+std::string RenderControlStream(const DesignThread& thread);
+
+/// Renders a data-scope listing (Figure 5.4): object names with the
+/// version numbers present in the thread state of the current cursor.
+std::string RenderDataScope(DesignThread* thread);
+
+}  // namespace papyrus::activity
+
+#endif  // PAPYRUS_ACTIVITY_DISPLAY_H_

@@ -1,0 +1,337 @@
+#include "activity/persistence.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "base/macros.h"
+#include "base/strings.h"
+
+namespace papyrus::activity {
+
+namespace {
+
+/// Encoded-string fields carry a '~' prefix so empty strings survive
+/// whitespace-based field splitting.
+std::string EncField(const std::string& v) {
+  return "~" + PercentEncode(v);
+}
+
+std::string DecField(const std::string& v) {
+  std::string_view sv = v;
+  if (!sv.empty() && sv.front() == '~') sv.remove_prefix(1);
+  return PercentDecode(sv);
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+double ParseDouble(const std::string& s) {
+  return std::strtod(s.c_str(), nullptr);
+}
+
+int64_t ParseI64(const std::string& s) {
+  int64_t v = 0;
+  (void)ParseInt64(s, &v);
+  return v;
+}
+
+void AppendPayload(const oct::DesignPayload& p, std::ostringstream* out) {
+  if (const auto* b = std::get_if<oct::BehavioralSpec>(&p)) {
+    *out << "behavioral " << b->num_inputs << ' ' << b->num_outputs << ' '
+         << b->complexity << ' ' << b->seed;
+  } else if (const auto* n = std::get_if<oct::LogicNetwork>(&p)) {
+    *out << "logic " << n->num_inputs << ' ' << n->num_outputs << ' '
+         << n->minterms << ' ' << n->literals << ' ' << n->levels << ' '
+         << static_cast<int>(n->format) << ' ' << n->seed;
+  } else if (const auto* l = std::get_if<oct::Layout>(&p)) {
+    *out << "layout " << l->num_cells << ' ' << FormatDouble(l->area)
+         << ' ' << FormatDouble(l->delay_ns) << ' '
+         << FormatDouble(l->power_mw) << ' '
+         << FormatDouble(l->wire_length) << ' ' << l->has_pads << ' '
+         << l->routed << ' ' << l->compacted << ' ' << l->has_abstraction
+         << ' ' << EncField(l->style) << ' '
+         << static_cast<int>(l->format) << ' ' << l->seed;
+  } else if (const auto* t = std::get_if<oct::TextData>(&p)) {
+    *out << "text " << EncField(t->text);
+  } else {
+    *out << "none";
+  }
+}
+
+Result<oct::DesignPayload> ParsePayload(
+    const std::vector<std::string>& f, size_t at) {
+  auto need = [&](size_t n) {
+    return f.size() >= at + 1 + n;
+  };
+  if (at >= f.size()) return Status::InvalidArgument("missing payload");
+  const std::string& tag = f[at];
+  if (tag == "none") return oct::DesignPayload{};
+  if (tag == "behavioral") {
+    if (!need(4)) return Status::InvalidArgument("short behavioral");
+    oct::BehavioralSpec b;
+    b.num_inputs = static_cast<int>(ParseI64(f[at + 1]));
+    b.num_outputs = static_cast<int>(ParseI64(f[at + 2]));
+    b.complexity = static_cast<int>(ParseI64(f[at + 3]));
+    b.seed = static_cast<uint64_t>(ParseI64(f[at + 4]));
+    return oct::DesignPayload{b};
+  }
+  if (tag == "logic") {
+    if (!need(7)) return Status::InvalidArgument("short logic");
+    oct::LogicNetwork n;
+    n.num_inputs = static_cast<int>(ParseI64(f[at + 1]));
+    n.num_outputs = static_cast<int>(ParseI64(f[at + 2]));
+    n.minterms = static_cast<int>(ParseI64(f[at + 3]));
+    n.literals = static_cast<int>(ParseI64(f[at + 4]));
+    n.levels = static_cast<int>(ParseI64(f[at + 5]));
+    n.format = static_cast<oct::DesignFormat>(ParseI64(f[at + 6]));
+    n.seed = static_cast<uint64_t>(ParseI64(f[at + 7]));
+    return oct::DesignPayload{n};
+  }
+  if (tag == "layout") {
+    if (!need(12)) return Status::InvalidArgument("short layout");
+    oct::Layout l;
+    l.num_cells = static_cast<int>(ParseI64(f[at + 1]));
+    l.area = ParseDouble(f[at + 2]);
+    l.delay_ns = ParseDouble(f[at + 3]);
+    l.power_mw = ParseDouble(f[at + 4]);
+    l.wire_length = ParseDouble(f[at + 5]);
+    l.has_pads = f[at + 6] == "1";
+    l.routed = f[at + 7] == "1";
+    l.compacted = f[at + 8] == "1";
+    l.has_abstraction = f[at + 9] == "1";
+    l.style = DecField(f[at + 10]);
+    l.format = static_cast<oct::DesignFormat>(ParseI64(f[at + 11]));
+    l.seed = static_cast<uint64_t>(ParseI64(f[at + 12]));
+    return oct::DesignPayload{l};
+  }
+  if (tag == "text") {
+    if (!need(1)) return Status::InvalidArgument("short text");
+    return oct::DesignPayload{oct::TextData{DecField(f[at + 1])}};
+  }
+  return Status::InvalidArgument("unknown payload tag: " + tag);
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  return Split(text, '\n');
+}
+
+void AppendObjectList(const char* tag, int owner,
+                      const std::vector<oct::ObjectId>& ids,
+                      std::ostringstream* out) {
+  for (const oct::ObjectId& id : ids) {
+    *out << tag << ' ' << owner << ' ' << EncField(id.name) << ' '
+         << id.version << '\n';
+  }
+}
+
+}  // namespace
+
+std::string SerializeDatabase(const oct::OctDatabase& db) {
+  std::ostringstream out;
+  out << "papyrus-db 1\n";
+  // Collect and emit in (name, version) order so restore sees versions
+  // sequentially.
+  std::map<oct::ObjectId, const oct::ObjectRecord*> ordered;
+  db.ForEach([&](const oct::ObjectRecord& rec) {
+    ordered[rec.id] = &rec;
+  });
+  for (const auto& [id, rec] : ordered) {
+    out << "object " << EncField(id.name) << ' ' << id.version << ' '
+        << EncField(rec->creator_tool) << ' ' << rec->created_micros
+        << ' ' << rec->last_access_micros << ' ' << rec->size_bytes << ' '
+        << rec->visible << ' ' << rec->reclaimed << ' ';
+    AppendPayload(rec->payload, &out);
+    out << '\n';
+  }
+  out << "end\n";
+  return out.str();
+}
+
+Result<std::unique_ptr<oct::OctDatabase>> RestoreDatabase(
+    const std::string& text, Clock* clock) {
+  auto db = std::make_unique<oct::OctDatabase>(clock);
+  std::vector<std::string> lines = SplitLines(text);
+  if (lines.empty() || !StartsWith(lines[0], "papyrus-db")) {
+    return Status::InvalidArgument("not a papyrus database snapshot");
+  }
+  for (size_t i = 1; i < lines.size(); ++i) {
+    std::vector<std::string> f = SplitWhitespace(lines[i]);
+    if (f.empty() || f[0] == "end") continue;
+    if (f[0] != "object" || f.size() < 9) {
+      return Status::InvalidArgument("bad database line: " + lines[i]);
+    }
+    oct::ObjectRecord rec;
+    rec.id.name = DecField(f[1]);
+    rec.id.version = static_cast<int>(ParseI64(f[2]));
+    rec.creator_tool = DecField(f[3]);
+    rec.created_micros = ParseI64(f[4]);
+    rec.last_access_micros = ParseI64(f[5]);
+    rec.size_bytes = ParseI64(f[6]);
+    rec.visible = f[7] == "1";
+    rec.reclaimed = f[8] == "1";
+    PAPYRUS_ASSIGN_OR_RETURN(rec.payload, ParsePayload(f, 9));
+    PAPYRUS_RETURN_IF_ERROR(db->RestoreRecord(std::move(rec)));
+  }
+  return db;
+}
+
+std::string SerializeThread(const DesignThread& thread) {
+  std::ostringstream out;
+  out << "papyrus-thread 1\n";
+  out << "meta " << thread.id() << ' ' << EncField(thread.name())
+      << ' ' << thread.current_cursor() << ' ' << thread.cache_interval()
+      << '\n';
+  for (const oct::ObjectId& id : thread.checkins()) {
+    out << "checkin " << EncField(id.name) << ' ' << id.version
+        << '\n';
+  }
+  for (const auto& [id, node] : thread.nodes()) {
+    out << "node " << id << ' ' << node.is_junction << ' '
+        << node.appended_micros << ' ' << node.last_access_micros << ' '
+        << EncField(node.annotation) << '\n';
+    if (!node.parents.empty()) {
+      out << "parents " << id;
+      for (NodeId p : node.parents) out << ' ' << p;
+      out << '\n';
+    }
+    if (!node.children.empty()) {
+      out << "children " << id;
+      for (NodeId c : node.children) out << ' ' << c;
+      out << '\n';
+    }
+    const task::TaskHistoryRecord& rec = node.record;
+    out << "record " << id << ' ' << EncField(rec.task_name) << ' '
+        << rec.invoke_micros << ' ' << rec.commit_micros << ' '
+        << rec.restarts << '\n';
+    AppendObjectList("rin", id, rec.inputs, &out);
+    AppendObjectList("rout", id, rec.outputs, &out);
+    for (const task::StepRecord& step : rec.steps) {
+      out << "step " << id << ' ' << EncField(step.step_name) << ' '
+          << EncField(step.tool) << ' ' << EncField(step.invocation) << ' '
+          << step.dispatch_micros << ' ' << step.completion_micros << ' '
+          << step.host << ' ' << step.exit_status << ' '
+          << EncField(step.message) << ' ' << step.internal_id << '\n';
+      AppendObjectList("sin", id, step.inputs, &out);
+      AppendObjectList("sout", id, step.outputs, &out);
+    }
+  }
+  out << "end\n";
+  return out.str();
+}
+
+Result<std::unique_ptr<DesignThread>> RestoreThread(
+    const std::string& text, Clock* clock) {
+  std::vector<std::string> lines = SplitLines(text);
+  if (lines.empty() || !StartsWith(lines[0], "papyrus-thread")) {
+    return Status::InvalidArgument("not a papyrus thread snapshot");
+  }
+  std::unique_ptr<DesignThread> thread;
+  NodeId cursor = kInitialPoint;
+  // Nodes are assembled fully before restoration so links and records are
+  // complete at insert time.
+  std::map<NodeId, HistoryNode> nodes;
+  HistoryNode* cur = nullptr;
+  auto object_of = [](const std::vector<std::string>& f) {
+    return oct::ObjectId{DecField(f[2]), static_cast<int>(ParseI64(f[3]))};
+  };
+  for (size_t i = 1; i < lines.size(); ++i) {
+    std::vector<std::string> f = SplitWhitespace(lines[i]);
+    if (f.empty() || f[0] == "end") continue;
+    const std::string& tag = f[0];
+    if (tag == "meta") {
+      if (f.size() < 5) return Status::InvalidArgument("bad meta line");
+      thread = std::make_unique<DesignThread>(
+          static_cast<int>(ParseI64(f[1])), DecField(f[2]), clock);
+      cursor = static_cast<NodeId>(ParseI64(f[3]));
+      thread->set_cache_interval(static_cast<int>(ParseI64(f[4])));
+      continue;
+    }
+    if (thread == nullptr) {
+      return Status::InvalidArgument("thread snapshot missing meta line");
+    }
+    if (tag == "checkin" && f.size() >= 3) {
+      thread->CheckIn(oct::ObjectId{DecField(f[1]),
+                                    static_cast<int>(ParseI64(f[2]))});
+      continue;
+    }
+    if (tag == "node") {
+      if (f.size() < 6) return Status::InvalidArgument("bad node line");
+      HistoryNode node;
+      node.id = static_cast<NodeId>(ParseI64(f[1]));
+      node.is_junction = f[2] == "1";
+      node.appended_micros = ParseI64(f[3]);
+      node.last_access_micros = ParseI64(f[4]);
+      node.annotation = DecField(f[5]);
+      NodeId id = node.id;
+      nodes[id] = std::move(node);
+      cur = &nodes[id];
+      continue;
+    }
+    if (cur == nullptr) {
+      return Status::InvalidArgument("field before any node: " + lines[i]);
+    }
+    if (tag == "parents") {
+      for (size_t k = 2; k < f.size(); ++k) {
+        cur->parents.push_back(static_cast<NodeId>(ParseI64(f[k])));
+      }
+    } else if (tag == "children") {
+      for (size_t k = 2; k < f.size(); ++k) {
+        cur->children.push_back(static_cast<NodeId>(ParseI64(f[k])));
+      }
+    } else if (tag == "record" && f.size() >= 5) {
+      cur->record.task_name = DecField(f[2]);
+      cur->record.invoke_micros = ParseI64(f[3]);
+      cur->record.commit_micros = ParseI64(f[4]);
+      if (f.size() >= 6) {
+        cur->record.restarts = static_cast<int>(ParseI64(f[5]));
+      }
+    } else if (tag == "rin" && f.size() >= 4) {
+      cur->record.inputs.push_back(object_of(f));
+    } else if (tag == "rout" && f.size() >= 4) {
+      cur->record.outputs.push_back(object_of(f));
+    } else if (tag == "step" && f.size() >= 10) {
+      task::StepRecord step;
+      step.step_name = DecField(f[2]);
+      step.tool = DecField(f[3]);
+      step.invocation = DecField(f[4]);
+      step.dispatch_micros = ParseI64(f[5]);
+      step.completion_micros = ParseI64(f[6]);
+      step.host = static_cast<int>(ParseI64(f[7]));
+      step.exit_status = static_cast<int>(ParseI64(f[8]));
+      step.message = DecField(f[9]);
+      if (f.size() >= 11) {
+        step.internal_id = static_cast<int>(ParseI64(f[10]));
+      }
+      cur->record.steps.push_back(std::move(step));
+    } else if (tag == "sin" && f.size() >= 4) {
+      if (cur->record.steps.empty()) {
+        return Status::InvalidArgument("sin before step");
+      }
+      cur->record.steps.back().inputs.push_back(object_of(f));
+    } else if (tag == "sout" && f.size() >= 4) {
+      if (cur->record.steps.empty()) {
+        return Status::InvalidArgument("sout before step");
+      }
+      cur->record.steps.back().outputs.push_back(object_of(f));
+    } else {
+      return Status::InvalidArgument("bad thread line: " + lines[i]);
+    }
+  }
+  if (thread == nullptr) {
+    return Status::InvalidArgument("thread snapshot missing meta line");
+  }
+  for (auto& [id, node] : nodes) {
+    PAPYRUS_RETURN_IF_ERROR(thread->RestoreNode(std::move(node)));
+  }
+  PAPYRUS_RETURN_IF_ERROR(thread->RestoreCursor(cursor));
+  return thread;
+}
+
+}  // namespace papyrus::activity

@@ -1,0 +1,42 @@
+#ifndef PAPYRUS_ACTIVITY_PERSISTENCE_H_
+#define PAPYRUS_ACTIVITY_PERSISTENCE_H_
+
+#include <memory>
+#include <string>
+
+#include "activity/design_thread.h"
+#include "base/clock.h"
+#include "oct/database.h"
+
+namespace papyrus::activity {
+
+/// The persistent form of the design history (§5.3: "the third is a
+/// persistent version of the second data structure, for inter-process
+/// communication and crash recovery").
+///
+/// Both the design database and design-thread control streams serialize
+/// to a line/field-oriented text format (fields percent-encoded) and
+/// restore bit-faithfully: node ids, version numbers, visibility flags,
+/// timestamps, annotations and step-level history all survive the round
+/// trip. Thread-state caches are not persisted (they are recomputed on
+/// demand).
+
+/// Serializes every object version (including invisible and reclaimed
+/// tombstones — version numbering must survive recovery).
+std::string SerializeDatabase(const oct::OctDatabase& db);
+
+/// Rebuilds a database from `text` into a fresh instance using `clock`.
+Result<std::unique_ptr<oct::OctDatabase>> RestoreDatabase(
+    const std::string& text, Clock* clock);
+
+/// Serializes one thread's control stream, cursor, check-ins, and
+/// configuration.
+std::string SerializeThread(const DesignThread& thread);
+
+/// Rebuilds a design thread from `text`.
+Result<std::unique_ptr<DesignThread>> RestoreThread(
+    const std::string& text, Clock* clock);
+
+}  // namespace papyrus::activity
+
+#endif  // PAPYRUS_ACTIVITY_PERSISTENCE_H_

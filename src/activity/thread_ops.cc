@@ -1,0 +1,157 @@
+#include "activity/thread_ops.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace papyrus::activity {
+
+namespace {
+
+bool IsFrontier(const DesignThread& thread, NodeId point) {
+  if (point == kInitialPoint) return thread.nodes().empty();
+  auto node = thread.GetNode(point);
+  return node.ok() && (*node)->children.empty();
+}
+
+/// Collects `point` and all of its ancestors.
+std::set<NodeId> AncestorClosure(const DesignThread& thread, NodeId point) {
+  std::set<NodeId> keep;
+  std::deque<NodeId> queue = {point};
+  while (!queue.empty()) {
+    NodeId cur = queue.front();
+    queue.pop_front();
+    if (cur == kInitialPoint || !keep.insert(cur).second) continue;
+    auto node = thread.GetNode(cur);
+    if (!node.ok()) continue;
+    for (NodeId parent : (*node)->parents) queue.push_back(parent);
+  }
+  return keep;
+}
+
+/// Copies a subset of src's nodes into dst; empty subset = all nodes.
+std::map<NodeId, NodeId> CopyNodes(const DesignThread& src,
+                                   const std::set<NodeId>* subset,
+                                   DesignThread* dst) {
+  std::map<NodeId, NodeId> mapping;
+  // Copy in id order: a node's parents always have smaller ids than the
+  // node itself (ids are append-ordered and splices only add parents with
+  // larger ids to *children*, never cycles), so two passes keep it simple:
+  // first create nodes, then wire edges.
+  for (const auto& [id, node] : src.nodes()) {
+    if (subset != nullptr && subset->count(id) == 0) continue;
+    HistoryNode copy;
+    copy.record = node.record;
+    copy.is_junction = node.is_junction;
+    copy.annotation = node.annotation;
+    copy.appended_micros = node.appended_micros;
+    mapping[id] = dst->AdoptNode(std::move(copy));
+  }
+  for (const auto& [id, node] : src.nodes()) {
+    auto it = mapping.find(id);
+    if (it == mapping.end()) continue;
+    for (NodeId parent : node.parents) {
+      auto pit = mapping.find(parent);
+      if (pit != mapping.end()) {
+        dst->LinkNodes(pit->second, it->second);
+      }
+    }
+    if (node.parents.empty()) dst->MarkRoot(it->second);
+    // A kept node whose parents were all dropped becomes a root.
+    bool any_parent_kept = false;
+    for (NodeId parent : node.parents) {
+      if (mapping.count(parent) > 0) any_parent_kept = true;
+    }
+    if (!node.parents.empty() && !any_parent_kept) {
+      dst->MarkRoot(it->second);
+    }
+  }
+  return mapping;
+}
+
+}  // namespace
+
+std::map<NodeId, NodeId> ThreadCombinator::CopyStream(
+    const DesignThread& src, DesignThread* dst) {
+  auto mapping = CopyNodes(src, nullptr, dst);
+  for (const oct::ObjectId& id : src.checkins()) dst->CheckIn(id);
+  return mapping;
+}
+
+Status ThreadCombinator::Fork(const DesignThread& src,
+                              std::optional<NodeId> point,
+                              DesignThread* dst) {
+  if (!point.has_value()) {
+    auto mapping = CopyStream(src, dst);
+    NodeId cursor = src.current_cursor();
+    if (cursor != kInitialPoint) {
+      (void)dst->MoveCursor(mapping.at(cursor));
+    }
+    return Status::OK();
+  }
+  if (!src.HasNode(*point)) {
+    return Status::NotFound("fork point does not exist");
+  }
+  if (*point == kInitialPoint) return Status::OK();  // empty inheritance
+  std::set<NodeId> keep = AncestorClosure(src, *point);
+  auto mapping = CopyNodes(src, &keep, dst);
+  for (const oct::ObjectId& id : src.checkins()) dst->CheckIn(id);
+  return dst->MoveCursor(mapping.at(*point));
+}
+
+Status ThreadCombinator::Join(const DesignThread& a, NodeId point_a,
+                              const DesignThread& b, NodeId point_b,
+                              DesignThread* dst) {
+  if (!IsFrontier(a, point_a) || !IsFrontier(b, point_b)) {
+    return Status::FailedPrecondition(
+        "only frontier cursors can be used as connector design points");
+  }
+  auto map_a = CopyStream(a, dst);
+  auto map_b = CopyStream(b, dst);
+
+  HistoryNode junction;
+  junction.is_junction = true;
+  junction.record.task_name = "<join>";
+  NodeId jid = dst->AdoptNode(std::move(junction));
+  bool is_root = true;
+  if (point_a != kInitialPoint) {
+    dst->LinkNodes(map_a.at(point_a), jid);
+    is_root = false;
+  }
+  if (point_b != kInitialPoint) {
+    dst->LinkNodes(map_b.at(point_b), jid);
+    is_root = false;
+  }
+  if (is_root) dst->MarkRoot(jid);
+  return dst->MoveCursor(jid);
+}
+
+Status ThreadCombinator::Cascade(const DesignThread& leading,
+                                 NodeId connector,
+                                 const DesignThread& trailing,
+                                 DesignThread* dst) {
+  if (!IsFrontier(leading, connector)) {
+    return Status::FailedPrecondition(
+        "the leading connector must be a frontier cursor");
+  }
+  auto map_lead = CopyStream(leading, dst);
+  auto map_trail = CopyNodes(trailing, nullptr, dst);
+  for (const oct::ObjectId& id : trailing.checkins()) dst->CheckIn(id);
+  if (connector != kInitialPoint) {
+    // Re-root the trailing stream under the connector.
+    for (const auto& [old_id, node] : trailing.nodes()) {
+      if (node.parents.empty()) {
+        NodeId new_id = map_trail.at(old_id);
+        dst->UnmarkRoot(new_id);
+        dst->LinkNodes(map_lead.at(connector), new_id);
+      }
+    }
+  }
+  // Leave the cursor at the deepest frontier of the combined stream.
+  auto frontier = dst->FrontierCursors();
+  if (!frontier.empty()) {
+    (void)dst->MoveCursor(frontier.back());
+  }
+  return Status::OK();
+}
+
+}  // namespace papyrus::activity

@@ -1,0 +1,57 @@
+#ifndef PAPYRUS_ACTIVITY_THREAD_OPS_H_
+#define PAPYRUS_ACTIVITY_THREAD_OPS_H_
+
+#include <map>
+#include <optional>
+
+#include "activity/design_thread.h"
+
+namespace papyrus::activity {
+
+/// The §3.3.4.1 thread-combination operators. Each builds the content of
+/// a *new* thread from existing ones; the source threads continue to
+/// evolve independently afterwards (updates on one side are never seen by
+/// the other).
+///
+/// Semantics, per the thesis:
+///  - Fork: the new thread inherits its initial workspace from another
+///    thread — either the whole workspace/control stream, or just the
+///    portion that computes one design point's thread state.
+///  - Join: the control streams are connected at one connector design
+///    point per thread (which must be frontier cursors); the connectors
+///    merge into a single new design point, and the workspaces are
+///    unioned.
+///  - Cascade: the trailing thread's stream is attached after a frontier
+///    connector point of the leading thread; cached thread states copied
+///    from the trailing thread are dropped so they are recomputed with the
+///    leading thread's state incorporated.
+class ThreadCombinator {
+ public:
+  /// Copies `src`'s control stream (and check-ins) into the empty thread
+  /// `dst`. Cached thread states are not copied. Returns the old->new node
+  /// id mapping.
+  static std::map<NodeId, NodeId> CopyStream(const DesignThread& src,
+                                             DesignThread* dst);
+
+  /// Fork (Figure 3.10 context): `point` given copies only that design
+  /// point's ancestor subgraph and positions the cursor there; nullopt
+  /// copies the whole stream and cursor.
+  static Status Fork(const DesignThread& src, std::optional<NodeId> point,
+                     DesignThread* dst);
+
+  /// Join at the end (Figure 3.9/3.10): `point_a` / `point_b` must be
+  /// frontier cursors of their threads. A junction design point with both
+  /// connectors as parents is created in `dst`.
+  static Status Join(const DesignThread& a, NodeId point_a,
+                     const DesignThread& b, NodeId point_b,
+                     DesignThread* dst);
+
+  /// Cascade (Figure 3.8): attaches `trailing`'s roots after the frontier
+  /// `connector` of `leading`.
+  static Status Cascade(const DesignThread& leading, NodeId connector,
+                        const DesignThread& trailing, DesignThread* dst);
+};
+
+}  // namespace papyrus::activity
+
+#endif  // PAPYRUS_ACTIVITY_THREAD_OPS_H_

@@ -1,0 +1,18 @@
+#include "base/clock.h"
+
+#include <chrono>
+
+namespace papyrus {
+
+int64_t SystemClock::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+SystemClock* SystemClock::Default() {
+  static SystemClock* clock = new SystemClock();
+  return clock;
+}
+
+}  // namespace papyrus

@@ -1,0 +1,48 @@
+#ifndef PAPYRUS_BASE_CLOCK_H_
+#define PAPYRUS_BASE_CLOCK_H_
+
+#include <cstdint>
+
+namespace papyrus {
+
+/// Abstract time source.
+///
+/// Every Papyrus subsystem that timestamps history records, ages objects, or
+/// schedules simulated work takes a `Clock*` so that tests and the Sprite
+/// network simulator can drive virtual time deterministically.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time in microseconds since an arbitrary epoch.
+  virtual int64_t NowMicros() const = 0;
+
+  int64_t NowSeconds() const { return NowMicros() / 1000000; }
+};
+
+/// A manually advanced clock for tests and simulation.
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(int64_t start_micros = 0) : now_(start_micros) {}
+
+  int64_t NowMicros() const override { return now_; }
+
+  void AdvanceMicros(int64_t delta) { now_ += delta; }
+  void AdvanceSeconds(int64_t delta) { now_ += delta * 1000000; }
+  void SetMicros(int64_t t) { now_ = t; }
+
+ private:
+  int64_t now_;
+};
+
+/// Wall-clock time source backed by std::chrono::system_clock.
+class SystemClock : public Clock {
+ public:
+  int64_t NowMicros() const override;
+
+  /// Process-wide instance (trivially destructible storage).
+  static SystemClock* Default();
+};
+
+}  // namespace papyrus
+
+#endif  // PAPYRUS_BASE_CLOCK_H_

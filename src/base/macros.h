@@ -1,0 +1,30 @@
+#ifndef PAPYRUS_BASE_MACROS_H_
+#define PAPYRUS_BASE_MACROS_H_
+
+#include <utility>
+
+#include "base/result.h"
+#include "base/status.h"
+
+/// Propagates a non-OK `Status` to the caller.
+#define PAPYRUS_RETURN_IF_ERROR(expr)             \
+  do {                                            \
+    ::papyrus::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                    \
+  } while (false)
+
+#define PAPYRUS_MACROS_CONCAT_INNER_(x, y) x##y
+#define PAPYRUS_MACROS_CONCAT_(x, y) PAPYRUS_MACROS_CONCAT_INNER_(x, y)
+
+/// Evaluates `rexpr` (a `Result<T>`); on error returns its status, otherwise
+/// move-assigns the value into `lhs` (which may be a declaration).
+#define PAPYRUS_ASSIGN_OR_RETURN(lhs, rexpr)                             \
+  PAPYRUS_ASSIGN_OR_RETURN_IMPL_(                                        \
+      PAPYRUS_MACROS_CONCAT_(_papyrus_result_, __LINE__), lhs, rexpr)
+
+#define PAPYRUS_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                   \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).value()
+
+#endif  // PAPYRUS_BASE_MACROS_H_

@@ -1,0 +1,68 @@
+#ifndef PAPYRUS_BASE_RESULT_H_
+#define PAPYRUS_BASE_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "base/status.h"
+
+namespace papyrus {
+
+/// A value-or-error type: either holds a `T` or a non-OK `Status`.
+///
+/// Mirrors `arrow::Result` / `absl::StatusOr`. Use together with the
+/// `PAPYRUS_ASSIGN_OR_RETURN` macro from base/macros.h:
+///
+/// ```
+/// Result<int> ParsePort(const std::string& s);
+/// ...
+/// PAPYRUS_ASSIGN_OR_RETURN(int port, ParsePort(arg));
+/// ```
+template <typename T>
+class Result {
+ public:
+  /// Constructs an errored result. `status` must not be OK.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok());
+  }
+  /// Constructs a successful result holding `value`.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Requires `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when errored.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace papyrus
+
+#endif  // PAPYRUS_BASE_RESULT_H_

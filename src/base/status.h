@@ -1,0 +1,103 @@
+#ifndef PAPYRUS_BASE_STATUS_H_
+#define PAPYRUS_BASE_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace papyrus {
+
+/// Canonical error codes used across all Papyrus subsystems.
+///
+/// Papyrus follows the Arrow/RocksDB convention of returning a `Status`
+/// (or `Result<T>`, see result.h) from every fallible operation instead of
+/// throwing exceptions across API boundaries.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kPermissionDenied,
+  kAborted,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a human readable name for `code` ("InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Outcome of a fallible operation: a code plus a context message.
+///
+/// `Status` is cheap to copy for the OK case (no allocation) and carries a
+/// message only on error. Typical use:
+///
+/// ```
+/// Status DoThing() {
+///   if (bad) return Status::InvalidArgument("bad thing");
+///   return Status::OK();
+/// }
+/// ```
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsPermissionDenied() const {
+    return code_ == StatusCode::kPermissionDenied;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace papyrus
+
+#endif  // PAPYRUS_BASE_STATUS_H_

@@ -1,0 +1,42 @@
+#ifndef PAPYRUS_BASE_STRINGS_H_
+#define PAPYRUS_BASE_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace papyrus {
+
+/// Splits `s` at every occurrence of `sep`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits `s` on runs of ASCII whitespace, dropping empty pieces.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Joins `pieces` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Parses a base-10 signed integer; rejects trailing garbage.
+bool ParseInt64(std::string_view s, int64_t* out);
+
+/// 64-bit FNV-1a hash; used by the mock CAD tools for deterministic
+/// pseudo-random transformations.
+uint64_t Fnv1a(std::string_view s);
+
+/// Percent-encodes whitespace, '%' and control characters so arbitrary
+/// strings survive the line/field-oriented persistence format.
+std::string PercentEncode(std::string_view s);
+/// Inverse of PercentEncode; invalid escapes are kept literally.
+std::string PercentDecode(std::string_view s);
+
+}  // namespace papyrus
+
+#endif  // PAPYRUS_BASE_STRINGS_H_

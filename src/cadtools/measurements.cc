@@ -1,0 +1,73 @@
+#include "cadtools/measurements.h"
+
+#include <sstream>
+
+namespace papyrus::cadtools {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+Result<std::string> MeasureAttribute(const oct::DesignPayload& payload,
+                                     const std::string& attribute) {
+  if (const auto* l = std::get_if<oct::Layout>(&payload)) {
+    if (attribute == "area") return FormatDouble(l->area);
+    if (attribute == "delay") return FormatDouble(l->delay_ns);
+    if (attribute == "power") return FormatDouble(l->power_mw);
+    if (attribute == "cells") return std::to_string(l->num_cells);
+    if (attribute == "wire") return FormatDouble(l->wire_length);
+  } else if (const auto* n = std::get_if<oct::LogicNetwork>(&payload)) {
+    if (attribute == "minterms") return std::to_string(n->minterms);
+    if (attribute == "literals") return std::to_string(n->literals);
+    if (attribute == "levels") return std::to_string(n->levels);
+    if (attribute == "num_inputs") return std::to_string(n->num_inputs);
+    if (attribute == "num_outputs") return std::to_string(n->num_outputs);
+    if (attribute == "format") {
+      return std::string(oct::DesignFormatToString(n->format));
+    }
+  } else if (const auto* b = std::get_if<oct::BehavioralSpec>(&payload)) {
+    if (attribute == "complexity") return std::to_string(b->complexity);
+    if (attribute == "num_inputs") return std::to_string(b->num_inputs);
+    if (attribute == "num_outputs") return std::to_string(b->num_outputs);
+  } else if (const auto* t = std::get_if<oct::TextData>(&payload)) {
+    if (attribute == "length") return std::to_string(t->text.size());
+  }
+  return Status::NotFound("attribute \"" + attribute +
+                          "\" is not measurable on a " +
+                          oct::PayloadTypeName(payload) + " object");
+}
+
+std::vector<std::string> MeasurableAttributes(
+    const oct::DesignPayload& payload) {
+  if (std::holds_alternative<oct::Layout>(payload)) {
+    return {"area", "cells", "delay", "power", "wire"};
+  }
+  if (std::holds_alternative<oct::LogicNetwork>(payload)) {
+    return {"format",     "levels",      "literals",
+            "minterms",   "num_inputs",  "num_outputs"};
+  }
+  if (std::holds_alternative<oct::BehavioralSpec>(payload)) {
+    return {"complexity", "num_inputs", "num_outputs"};
+  }
+  if (std::holds_alternative<oct::TextData>(payload)) {
+    return {"length"};
+  }
+  return {};
+}
+
+std::string MeasurementToolFor(const std::string& attribute) {
+  if (attribute == "delay") return "crystal";
+  if (attribute == "area" || attribute == "power" || attribute == "cells" ||
+      attribute == "wire") {
+    return "chipstats";
+  }
+  return "espresso";  // logic metrics come from the minimizer's summary
+}
+
+}  // namespace papyrus::cadtools

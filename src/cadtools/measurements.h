@@ -1,0 +1,36 @@
+#ifndef PAPYRUS_CADTOOLS_MEASUREMENTS_H_
+#define PAPYRUS_CADTOOLS_MEASUREMENTS_H_
+
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "oct/design_data.h"
+
+namespace papyrus::cadtools {
+
+/// Computes an intrinsic attribute of a design payload by running the
+/// appropriate measurement over it (the stand-in for invoking measurement
+/// tools like chipstats/crystal synchronously, §4.3.6).
+///
+/// Supported attributes by payload type:
+///  - layout:     area, delay, power, cells, wire
+///  - logic:      minterms, literals, levels, num_inputs, num_outputs,
+///                format
+///  - behavioral: complexity, num_inputs, num_outputs
+///  - text:       length
+Result<std::string> MeasureAttribute(const oct::DesignPayload& payload,
+                                     const std::string& attribute);
+
+/// The attribute names measurable on a payload of this kind (sorted).
+std::vector<std::string> MeasurableAttributes(
+    const oct::DesignPayload& payload);
+
+/// The conventional measurement tool for an attribute ("chipstats" for
+/// layout metrics, "crystal" for delay, ...), used to fill the
+/// compute-tool field of attribute entries.
+std::string MeasurementToolFor(const std::string& attribute);
+
+}  // namespace papyrus::cadtools
+
+#endif  // PAPYRUS_CADTOOLS_MEASUREMENTS_H_

@@ -1,0 +1,45 @@
+#include "cadtools/tool.h"
+
+#include <cmath>
+
+#include "base/strings.h"
+
+namespace papyrus::cadtools {
+
+ToolOptions ToolOptions::Parse(const std::vector<std::string>& args) {
+  ToolOptions opts;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a.size() > 1 && a[0] == '-') {
+      std::string flag = a.substr(1);
+      if (i + 1 < args.size() && !args[i + 1].empty() &&
+          args[i + 1][0] != '-') {
+        opts.flags[flag] = args[i + 1];
+        ++i;
+      } else {
+        opts.flags[flag] = "";
+      }
+    } else {
+      opts.positional.push_back(a);
+    }
+  }
+  return opts;
+}
+
+int64_t ToolOptions::FlagInt(const std::string& name,
+                             int64_t fallback) const {
+  auto it = flags.find(name);
+  if (it == flags.end()) return fallback;
+  int64_t v = 0;
+  if (!ParseInt64(it->second, &v)) return fallback;
+  return v;
+}
+
+int64_t Tool::CostMicros(int64_t total_input_bytes) const {
+  double cost = static_cast<double>(descriptor_.base_cost_micros) +
+                descriptor_.cost_per_input_byte *
+                    static_cast<double>(total_input_bytes);
+  return static_cast<int64_t>(std::llround(cost));
+}
+
+}  // namespace papyrus::cadtools

@@ -1,0 +1,103 @@
+#ifndef PAPYRUS_CADTOOLS_TOOL_H_
+#define PAPYRUS_CADTOOLS_TOOL_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "oct/design_data.h"
+
+namespace papyrus::cadtools {
+
+/// Parsed tool command line: `-flag`, `-flag value`, and positionals.
+///
+/// Papyrus never interprets tool options itself (tool encapsulation,
+/// §1.4) — this parser exists only inside the mock tool suite, which plays
+/// the role of the real OCT executables.
+struct ToolOptions {
+  std::map<std::string, std::string> flags;
+  std::vector<std::string> positional;
+
+  /// Parses argv-style words (without the tool name). A word starting with
+  /// '-' is a flag; it consumes the following word as its value when that
+  /// word does not itself start with '-'.
+  static ToolOptions Parse(const std::vector<std::string>& args);
+
+  bool HasFlag(const std::string& name) const {
+    return flags.count(name) > 0;
+  }
+  std::string FlagValue(const std::string& name,
+                        const std::string& fallback = "") const {
+    auto it = flags.find(name);
+    return it == flags.end() ? fallback : it->second;
+  }
+  int64_t FlagInt(const std::string& name, int64_t fallback) const;
+};
+
+/// Everything a mock tool sees when invoked: resolved input payloads (in
+/// declared order), the parsed options, and a deterministic seed mixed from
+/// the tool name, options and input seeds.
+struct ToolRunContext {
+  std::vector<const oct::DesignPayload*> inputs;
+  std::vector<std::string> input_names;
+  ToolOptions options;
+  uint64_t seed = 0;
+};
+
+/// Outcome of a tool run. `exit_status == 0` means success; the task
+/// manager exposes this value as the Tcl `$status` variable (§4.2.3).
+struct ToolRunResult {
+  int exit_status = 0;
+  std::string message;
+  std::vector<oct::DesignPayload> outputs;  // one per declared output
+
+  static ToolRunResult Fail(int status, std::string msg) {
+    ToolRunResult r;
+    r.exit_status = status;
+    r.message = std::move(msg);
+    return r;
+  }
+};
+
+/// Static description of a CAD tool: identity, execution-cost model, and
+/// the information Cadweld-style frame bodies carry (§2.2.3) that Papyrus
+/// actually uses — interactivity (=> non-migratable) and a man page.
+struct ToolDescriptor {
+  std::string name;
+  std::string description;
+  oct::DesignDomain output_domain = oct::DesignDomain::kOther;
+  /// Simulated execution cost: base + per-input-byte component. The task
+  /// manager turns this into Sprite process work.
+  int64_t base_cost_micros = 1000;
+  double cost_per_input_byte = 0.0;
+  bool interactive = false;
+  std::string man_page;
+};
+
+/// A CAD tool: descriptor plus a pure transformation function.
+class Tool {
+ public:
+  using RunFn = std::function<ToolRunResult(const ToolRunContext&)>;
+
+  Tool(ToolDescriptor descriptor, RunFn run)
+      : descriptor_(std::move(descriptor)), run_(std::move(run)) {}
+
+  const ToolDescriptor& descriptor() const { return descriptor_; }
+  const std::string& name() const { return descriptor_.name; }
+
+  ToolRunResult Run(const ToolRunContext& ctx) const { return run_(ctx); }
+
+  /// Simulated CPU cost of running this tool over `total_input_bytes`.
+  int64_t CostMicros(int64_t total_input_bytes) const;
+
+ private:
+  ToolDescriptor descriptor_;
+  RunFn run_;
+};
+
+}  // namespace papyrus::cadtools
+
+#endif  // PAPYRUS_CADTOOLS_TOOL_H_

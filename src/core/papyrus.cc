@@ -1,0 +1,166 @@
+#include "core/papyrus.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "activity/persistence.h"
+#include "base/macros.h"
+
+namespace papyrus {
+
+Papyrus::Papyrus(const SessionOptions& options)
+    : clock_(0), options_(options) {
+  db_ = std::make_unique<oct::OctDatabase>(&clock_);
+  tools_ = std::make_unique<cadtools::ToolRegistry>();
+  network_ =
+      std::make_unique<sprite::Network>(&clock_, options.num_workstations);
+  if (options.standard_environment) {
+    cadtools::RegisterStandardSuite(tools_.get());
+    (void)tdl::RegisterThesisTemplates(&templates_);
+    meta::RegisterStandardTsds(&tsds_);
+  }
+  task_manager_ = std::make_unique<task::TaskManager>(
+      db_.get(), tools_.get(), network_.get(), &templates_);
+  activity_ = std::make_unique<activity::ActivityManager>(
+      db_.get(), task_manager_.get(), &clock_);
+  sds_ = std::make_unique<sync::SdsManager>(db_.get());
+  reclamation_ =
+      std::make_unique<storage::ReclamationManager>(db_.get(), &clock_);
+  metadata_ = std::make_unique<meta::MetadataEngine>(db_.get(),
+                                                     &attributes_, &tsds_);
+  if (options.standard_environment) {
+    meta::RegisterStandardPropagationRules(metadata_.get());
+  }
+  if (options.metadata_inference) {
+    activity_->set_record_sink([this](const task::TaskHistoryRecord& rec) {
+      (void)metadata_->Observe(rec);
+    });
+  }
+  // Filtering is delegated to the reclamation manager's task filter list.
+  activity_->set_record_filter([this](const std::string& task_name) {
+    return reclamation_->ShouldRecord(task_name);
+  });
+}
+
+Papyrus::~Papyrus() = default;
+
+Status Papyrus::AddTemplate(const std::string& script) {
+  return templates_.Add(script);
+}
+
+int Papyrus::CreateThread(const std::string& name) {
+  int id = activity_->CreateThread(name);
+  auto thread = activity_->GetThread(id);
+  if (thread.ok()) {
+    (*thread)->set_cache_interval(options_.cache_interval);
+  }
+  return id;
+}
+
+Result<activity::NodeId> Papyrus::Invoke(
+    int thread_id, const std::string& template_name,
+    const std::vector<std::string>& input_refs,
+    const std::vector<std::string>& output_names,
+    const std::map<std::string, std::string>& option_overrides,
+    task::TaskObserver* observer) {
+  activity::ActivityInvocation inv;
+  inv.template_name = template_name;
+  inv.input_refs = input_refs;
+  inv.output_names = output_names;
+  inv.option_overrides = option_overrides;
+  inv.observer = observer;
+  return activity_->InvokeTask(thread_id, inv);
+}
+
+Status Papyrus::MoveCursor(int thread_id, activity::NodeId point,
+                           bool erase) {
+  return activity_->MoveCursor(thread_id, point, erase);
+}
+
+Status Papyrus::SaveSession(const std::string& directory) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) {
+    return Status::Internal("cannot create " + directory + ": " +
+                            ec.message());
+  }
+  auto write_file = [&](const std::string& name,
+                        const std::string& content) -> Status {
+    std::ofstream out(std::filesystem::path(directory) / name);
+    if (!out) return Status::Internal("cannot write " + name);
+    out << content;
+    return Status::OK();
+  };
+  PAPYRUS_RETURN_IF_ERROR(
+      write_file("database.pdb", activity::SerializeDatabase(*db_)));
+  for (int id : activity_->ThreadIds()) {
+    auto thread = activity_->GetThread(id);
+    if (!thread.ok()) continue;
+    PAPYRUS_RETURN_IF_ERROR(
+        write_file("thread_" + std::to_string(id) + ".pth",
+                   activity::SerializeThread(**thread)));
+  }
+  return Status::OK();
+}
+
+Status Papyrus::LoadSession(const std::string& directory) {
+  if (db_->TotalVersionCount() != 0 || !activity_->ThreadIds().empty()) {
+    return Status::FailedPrecondition(
+        "LoadSession requires a fresh session");
+  }
+  auto read_file = [&](const std::filesystem::path& path)
+      -> Result<std::string> {
+    std::ifstream in(path);
+    if (!in) return Status::NotFound("cannot read " + path.string());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  };
+  PAPYRUS_ASSIGN_OR_RETURN(
+      std::string db_text,
+      read_file(std::filesystem::path(directory) / "database.pdb"));
+  PAPYRUS_ASSIGN_OR_RETURN(auto restored_db,
+                           activity::RestoreDatabase(db_text, &clock_));
+  // Copy records into the session's own database so every subsystem keeps
+  // its pointer. ForEach yields each name's versions in order, which is
+  // what RestoreRecord requires.
+  Status copy_status;
+  restored_db->ForEach([&](const oct::ObjectRecord& rec) {
+    if (!copy_status.ok()) return;
+    copy_status = db_->RestoreRecord(rec);
+  });
+  PAPYRUS_RETURN_IF_ERROR(copy_status);
+
+  std::error_code ec;
+  std::vector<std::filesystem::path> thread_files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(directory, ec)) {
+    if (entry.path().extension() == ".pth") {
+      thread_files.push_back(entry.path());
+    }
+  }
+  if (ec) {
+    return Status::NotFound("cannot read session directory " + directory);
+  }
+  std::sort(thread_files.begin(), thread_files.end());
+  for (const auto& path : thread_files) {
+    PAPYRUS_ASSIGN_OR_RETURN(std::string text, read_file(path));
+    PAPYRUS_ASSIGN_OR_RETURN(auto thread,
+                             activity::RestoreThread(text, &clock_));
+    PAPYRUS_RETURN_IF_ERROR(activity_->AdoptThread(std::move(thread)));
+  }
+  return Status::OK();
+}
+
+Result<oct::ObjectId> Papyrus::CheckInObject(const std::string& path,
+                                             oct::DesignPayload payload) {
+  if (path.empty() || path[0] != '/') {
+    return Status::InvalidArgument(
+        "check-in names must be absolute paths (got \"" + path + "\")");
+  }
+  return db_->CreateVersion(path, std::move(payload));
+}
+
+}  // namespace papyrus

@@ -1,0 +1,141 @@
+#ifndef PAPYRUS_CORE_PAPYRUS_H_
+#define PAPYRUS_CORE_PAPYRUS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "activity/activity_manager.h"
+#include "activity/design_thread.h"
+#include "base/clock.h"
+#include "cadtools/registry.h"
+#include "meta/inference.h"
+#include "meta/tsd.h"
+#include "oct/database.h"
+#include "sprite/network.h"
+#include "storage/reclamation.h"
+#include "sync/sds.h"
+#include "task/task_manager.h"
+#include "tdl/template.h"
+
+namespace papyrus {
+
+/// Session configuration.
+struct SessionOptions {
+  /// Number of simulated Sprite workstations (host 0 is the home node).
+  int num_workstations = 4;
+  /// Thread-state cache interval for new design threads (0 disables).
+  int cache_interval = 8;
+  /// Feed every committed task record to the metadata inference engine.
+  bool metadata_inference = true;
+  /// Preload the thesis' example task templates and the standard mock OCT
+  /// tool suite + TSDs.
+  bool standard_environment = true;
+};
+
+/// The Papyrus design-flow-management session: one object wiring together
+/// every subsystem the thesis describes —
+///
+///   - the OCT design database substrate (`database()`),
+///   - the Sprite workstation-network simulator (`network()`),
+///   - the CAD tool registry (`tools()`) and TDL template library
+///     (`templates()`),
+///   - the Task Manager (`task_manager()`) and Activity Manager
+///     (`activity()`),
+///   - thread synchronization through SDSs (`sds()`),
+///   - background object reclamation (`reclamation()`),
+///   - history-based metadata inference (`metadata()`).
+///
+/// Virtual time is driven by the network simulator; `clock()` exposes it.
+///
+/// Quickstart:
+/// ```
+/// papyrus::Papyrus session;
+/// int thread = session.CreateThread("Shifter-synthesis");
+/// auto point = session.Invoke(thread, "Create_Logic_Description",
+///                             /*inputs=*/{}, {"shifter.logic"});
+/// ```
+class Papyrus {
+ public:
+  explicit Papyrus(const SessionOptions& options = SessionOptions());
+  ~Papyrus();
+
+  Papyrus(const Papyrus&) = delete;
+  Papyrus& operator=(const Papyrus&) = delete;
+
+  // --- convenience API -----------------------------------------------------
+
+  /// Registers a TDL task template (the script's `task` header names it).
+  Status AddTemplate(const std::string& script);
+
+  /// Creates a design thread and returns its id.
+  int CreateThread(const std::string& name);
+
+  /// Invokes a task in a thread: resolves `input_refs` in the thread's
+  /// data scope (§5.2 naming formats), runs the template, appends the
+  /// history record, and feeds the metadata engine. Returns the new
+  /// design point.
+  Result<activity::NodeId> Invoke(
+      int thread_id, const std::string& template_name,
+      const std::vector<std::string>& input_refs,
+      const std::vector<std::string>& output_names,
+      const std::map<std::string, std::string>& option_overrides = {},
+      task::TaskObserver* observer = nullptr);
+
+  /// Rework: repositions a thread's current cursor (§3.3.3). With `erase`,
+  /// the branch toward the old cursor is deleted (Figure 3.6).
+  Status MoveCursor(int thread_id, activity::NodeId point,
+                    bool erase = false);
+
+  /// Creates an external design object under an absolute-path name so it
+  /// can be checked in by reference ("/user/alice/cell").
+  Result<oct::ObjectId> CheckInObject(const std::string& path,
+                                      oct::DesignPayload payload);
+
+  // --- session persistence (§5.3 crash recovery) --------------------------
+
+  /// Writes the database and every design thread to `directory`
+  /// (database.pdb + thread_<id>.pth).
+  Status SaveSession(const std::string& directory);
+
+  /// Restores a previously saved session into this one. Requires a fresh
+  /// session (empty database, no threads). Metadata inference state is
+  /// not persisted; re-deriving it is a matter of re-observing history
+  /// records if needed.
+  Status LoadSession(const std::string& directory);
+
+  // --- subsystem access ------------------------------------------------------
+
+  ManualClock& clock() { return clock_; }
+  oct::OctDatabase& database() { return *db_; }
+  cadtools::ToolRegistry& tools() { return *tools_; }
+  sprite::Network& network() { return *network_; }
+  tdl::TemplateLibrary& templates() { return templates_; }
+  task::TaskManager& task_manager() { return *task_manager_; }
+  activity::ActivityManager& activity() { return *activity_; }
+  sync::SdsManager& sds() { return *sds_; }
+  storage::ReclamationManager& reclamation() { return *reclamation_; }
+  meta::MetadataEngine& metadata() { return *metadata_; }
+  meta::TsdRegistry& tsds() { return tsds_; }
+  /// The attribute store the metadata engine populates.
+  oct::AttributeStore& attributes() { return attributes_; }
+
+ private:
+  ManualClock clock_;
+  std::unique_ptr<oct::OctDatabase> db_;
+  std::unique_ptr<cadtools::ToolRegistry> tools_;
+  std::unique_ptr<sprite::Network> network_;
+  tdl::TemplateLibrary templates_;
+  std::unique_ptr<task::TaskManager> task_manager_;
+  std::unique_ptr<activity::ActivityManager> activity_;
+  std::unique_ptr<sync::SdsManager> sds_;
+  std::unique_ptr<storage::ReclamationManager> reclamation_;
+  meta::TsdRegistry tsds_;
+  oct::AttributeStore attributes_;
+  std::unique_ptr<meta::MetadataEngine> metadata_;
+  SessionOptions options_;
+};
+
+}  // namespace papyrus
+
+#endif  // PAPYRUS_CORE_PAPYRUS_H_

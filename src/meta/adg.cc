@@ -1,0 +1,124 @@
+#include "meta/adg.h"
+
+#include <deque>
+#include <set>
+
+namespace papyrus::meta {
+
+int Adg::AddInvocation(const std::string& tool, const std::string& options,
+                       std::vector<oct::ObjectId> inputs,
+                       std::vector<oct::ObjectId> outputs, int64_t micros) {
+  AdgEdge edge;
+  edge.id = next_edge_id_++;
+  edge.tool = tool;
+  edge.options = options;
+  edge.inputs = std::move(inputs);
+  edge.outputs = std::move(outputs);
+  edge.micros = micros;
+  for (const oct::ObjectId& in : edge.inputs) {
+    consumers_[in].push_back(edge.id);
+  }
+  for (const oct::ObjectId& out : edge.outputs) {
+    producers_[out] = edge.id;
+  }
+  int id = edge.id;
+  edges_[id] = std::move(edge);
+  return id;
+}
+
+void Adg::AddFromHistoryRecord(const task::TaskHistoryRecord& record) {
+  for (const task::StepRecord& step : record.steps) {
+    if (step.exit_status != 0) continue;  // failed steps created nothing
+    AddInvocation(step.tool, step.invocation, step.inputs, step.outputs,
+                  step.completion_micros);
+  }
+}
+
+Result<const AdgEdge*> Adg::Producer(const oct::ObjectId& id) const {
+  auto it = producers_.find(id);
+  if (it == producers_.end()) {
+    return Status::NotFound("no recorded producer for " + id.ToString());
+  }
+  return &edges_.at(it->second);
+}
+
+std::vector<const AdgEdge*> Adg::Consumers(const oct::ObjectId& id) const {
+  std::vector<const AdgEdge*> out;
+  auto it = consumers_.find(id);
+  if (it == consumers_.end()) return out;
+  for (int edge_id : it->second) out.push_back(&edges_.at(edge_id));
+  return out;
+}
+
+std::vector<oct::ObjectId> Adg::DerivedFrom(const oct::ObjectId& id) const {
+  std::set<oct::ObjectId> seen;
+  std::vector<oct::ObjectId> out;
+  std::deque<oct::ObjectId> queue = {id};
+  while (!queue.empty()) {
+    oct::ObjectId cur = queue.front();
+    queue.pop_front();
+    auto producer = producers_.find(cur);
+    if (producer == producers_.end()) continue;
+    for (const oct::ObjectId& in : edges_.at(producer->second).inputs) {
+      if (seen.insert(in).second) {
+        out.push_back(in);
+        queue.push_back(in);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<oct::ObjectId> Adg::Dependents(const oct::ObjectId& id) const {
+  std::set<oct::ObjectId> seen;
+  std::vector<oct::ObjectId> out;
+  std::deque<oct::ObjectId> queue = {id};
+  while (!queue.empty()) {
+    oct::ObjectId cur = queue.front();
+    queue.pop_front();
+    auto it = consumers_.find(cur);
+    if (it == consumers_.end()) continue;
+    for (int edge_id : it->second) {
+      for (const oct::ObjectId& produced : edges_.at(edge_id).outputs) {
+        if (seen.insert(produced).second) {
+          out.push_back(produced);
+          queue.push_back(produced);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<const AdgEdge*> Adg::RetracePlan(
+    const std::string& modified_name) const {
+  // Affected edges: every invocation that transitively consumes any
+  // version of the modified object.
+  std::set<int> affected;
+  std::deque<oct::ObjectId> queue;
+  for (const auto& [obj, edge_ids] : consumers_) {
+    if (obj.name == modified_name) queue.push_back(obj);
+  }
+  std::set<oct::ObjectId> seen;
+  while (!queue.empty()) {
+    oct::ObjectId cur = queue.front();
+    queue.pop_front();
+    if (!seen.insert(cur).second) continue;
+    auto it = consumers_.find(cur);
+    if (it == consumers_.end()) continue;
+    for (int edge_id : it->second) {
+      affected.insert(edge_id);
+      for (const oct::ObjectId& out : edges_.at(edge_id).outputs) {
+        queue.push_back(out);
+      }
+    }
+  }
+  // Edge ids increase with recording order, which respects dependency
+  // order within a trace (a consumer is always recorded after the
+  // producer completed), so id order is a valid re-execution schedule.
+  std::vector<const AdgEdge*> plan;
+  for (int edge_id : affected) plan.push_back(&edges_.at(edge_id));
+  return plan;
+}
+
+}  // namespace papyrus::meta

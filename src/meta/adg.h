@@ -1,0 +1,75 @@
+#ifndef PAPYRUS_META_ADG_H_
+#define PAPYRUS_META_ADG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "oct/object_id.h"
+#include "task/history.h"
+
+namespace papyrus::meta {
+
+/// One tool invocation in the augmented derivation graph (§6.3): the
+/// operation that connects input object versions to output object
+/// versions, together with its control parameters.
+struct AdgEdge {
+  int id = 0;
+  std::string tool;
+  std::string options;
+  std::vector<oct::ObjectId> inputs;
+  std::vector<oct::ObjectId> outputs;
+  int64_t micros = 0;
+};
+
+/// The data-oriented design-history representation (§6.3): a bipartite
+/// graph of design-object versions and the CAD-tool invocations that
+/// created them — "VOV's design trace is an explicit form of ADG". It is
+/// independent of the temporal order of execution and is the basis for
+/// all metadata inference (§6.4) and for Make-style retracing.
+class Adg {
+ public:
+  /// Records one tool invocation; returns its edge id.
+  int AddInvocation(const std::string& tool, const std::string& options,
+                    std::vector<oct::ObjectId> inputs,
+                    std::vector<oct::ObjectId> outputs, int64_t micros);
+
+  /// Extends the graph with every step of a committed task's history
+  /// record — the ADG is collected "as a by-product of activity
+  /// management" (§6.1).
+  void AddFromHistoryRecord(const task::TaskHistoryRecord& record);
+
+  /// The invocation that produced this version, if recorded.
+  Result<const AdgEdge*> Producer(const oct::ObjectId& id) const;
+  /// Invocations that consumed this version.
+  std::vector<const AdgEdge*> Consumers(const oct::ObjectId& id) const;
+
+  /// Transitive closure of the inputs this version was derived from — its
+  /// derivation history (§1.4).
+  std::vector<oct::ObjectId> DerivedFrom(const oct::ObjectId& id) const;
+  /// All versions transitively derived from this one.
+  std::vector<oct::ObjectId> Dependents(const oct::ObjectId& id) const;
+
+  /// VOV-style retracing (§2.2.2 / §6.2): when any version of
+  /// `modified_name` changes, returns the recorded invocations that must
+  /// be re-run to regenerate every affected derived object, in dependency
+  /// order.
+  std::vector<const AdgEdge*> RetracePlan(
+      const std::string& modified_name) const;
+
+  size_t edge_count() const { return edges_.size(); }
+  size_t object_count() const { return producers_.size(); }
+  const std::map<int, AdgEdge>& edges() const { return edges_; }
+
+ private:
+  std::map<int, AdgEdge> edges_;
+  std::map<oct::ObjectId, int> producers_;                // object -> edge
+  std::map<oct::ObjectId, std::vector<int>> consumers_;   // object -> edges
+  int next_edge_id_ = 1;
+};
+
+}  // namespace papyrus::meta
+
+#endif  // PAPYRUS_META_ADG_H_

@@ -1,0 +1,82 @@
+#include "meta/retrace.h"
+
+#include "base/macros.h"
+#include "base/strings.h"
+#include "cadtools/tool.h"
+
+namespace papyrus::meta {
+
+Result<RetraceResult> Retracer::Retrace(const Adg& adg,
+                                        const std::string& modified_name) {
+  RetraceResult result;
+  result.record.task_name = "<retrace " + modified_name + ">";
+  result.record.invoke_micros = db_->clock()->NowMicros();
+  std::vector<const AdgEdge*> plan = adg.RetracePlan(modified_name);
+  for (const AdgEdge* edge : plan) {
+    PAPYRUS_ASSIGN_OR_RETURN(const cadtools::Tool* tool,
+                             tools_->Find(edge->tool));
+    // Resolve each input name to its latest visible version so upstream
+    // regenerations feed downstream re-runs.
+    cadtools::ToolRunContext ctx;
+    std::vector<oct::ObjectId> input_ids;
+    bool inputs_ok = true;
+    for (const oct::ObjectId& in : edge->inputs) {
+      auto latest = db_->LatestVisible(in.name);
+      if (!latest.ok()) {
+        inputs_ok = false;
+        break;
+      }
+      auto rec = db_->Get(*latest);
+      if (!rec.ok()) {
+        inputs_ok = false;
+        break;
+      }
+      input_ids.push_back(*latest);
+      ctx.inputs.push_back(&(*rec)->payload);
+      ctx.input_names.push_back(latest->name);
+    }
+    if (!inputs_ok) {
+      ++result.invocations_skipped;
+      continue;
+    }
+    // Reuse the recorded options.
+    std::vector<std::string> words = SplitWhitespace(edge->options);
+    if (!words.empty() && words[0] == edge->tool) {
+      words.erase(words.begin());
+    }
+    ctx.options = cadtools::ToolOptions::Parse(words);
+    ctx.seed = Fnv1a(edge->tool + edge->options);
+    cadtools::ToolRunResult run = tool->Run(ctx);
+    if (run.exit_status != 0) {
+      return Status::Aborted("retrace: " + edge->tool + " failed: " +
+                             run.message);
+    }
+    if (run.outputs.size() != edge->outputs.size()) {
+      return Status::Internal("retrace: " + edge->tool +
+                              " produced a different output arity");
+    }
+    task::StepRecord step;
+    step.step_name = "<retrace>";
+    step.tool = edge->tool;
+    step.invocation = edge->options;
+    step.inputs = input_ids;
+    oct::Transaction txn(db_);
+    for (size_t i = 0; i < run.outputs.size(); ++i) {
+      txn.StageCreate(edge->outputs[i].name, std::move(run.outputs[i]),
+                      edge->tool);
+    }
+    PAPYRUS_ASSIGN_OR_RETURN(std::vector<oct::ObjectId> created,
+                             txn.Commit());
+    step.outputs = created;
+    step.completion_micros = db_->clock()->NowMicros();
+    result.record.steps.push_back(std::move(step));
+    for (const oct::ObjectId& id : created) {
+      result.regenerated.push_back(id);
+    }
+    ++result.invocations_rerun;
+  }
+  result.record.commit_micros = db_->clock()->NowMicros();
+  return result;
+}
+
+}  // namespace papyrus::meta

@@ -1,0 +1,56 @@
+#ifndef PAPYRUS_META_RETRACE_H_
+#define PAPYRUS_META_RETRACE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "cadtools/registry.h"
+#include "meta/adg.h"
+#include "oct/database.h"
+#include "task/history.h"
+
+namespace papyrus::meta {
+
+/// Result of one retracing pass.
+struct RetraceResult {
+  /// New versions created, in re-execution order.
+  std::vector<oct::ObjectId> regenerated;
+  /// The invocations re-executed, as a task-style history record (feed it
+  /// back to MetadataEngine::Observe to keep the ADG current).
+  task::TaskHistoryRecord record;
+  int invocations_rerun = 0;
+  int invocations_skipped = 0;  // inputs unavailable (e.g. reclaimed)
+};
+
+/// VOV-style automatic retracing (§2.2.2, §6.2): when a new version of
+/// `modified_name` appears, re-executes the recorded derivation downstream
+/// of it so every derived object is regenerated consistently.
+///
+/// Unlike VOV — which updates objects *in place* — Papyrus' retracer obeys
+/// the single-assignment discipline: every regenerated object becomes a
+/// new version, and the old versions stay reachable from the history.
+///
+/// The re-execution substitutes the newest versions: each re-run
+/// invocation reads the latest visible version of each input name
+/// (picking up both the user's modification and upstream regenerations).
+class Retracer {
+ public:
+  Retracer(oct::OctDatabase* db, const cadtools::ToolRegistry* tools)
+      : db_(db), tools_(tools) {}
+
+  /// Re-runs `adg.RetracePlan(modified_name)`. Fails fast when a tool is
+  /// missing; invocations whose inputs are gone (reclaimed) are skipped
+  /// and counted. A failing tool aborts the pass with its message.
+  Result<RetraceResult> Retrace(const Adg& adg,
+                                const std::string& modified_name);
+
+ private:
+  oct::OctDatabase* db_;
+  const cadtools::ToolRegistry* tools_;
+};
+
+}  // namespace papyrus::meta
+
+#endif  // PAPYRUS_META_RETRACE_H_

@@ -1,0 +1,118 @@
+#include "meta/tsd.h"
+
+namespace papyrus::meta {
+
+const OutputTyping& ToolSemantics::OutputFor(
+    const std::string& selector_value) const {
+  if (!selector_flag.empty()) {
+    auto it = output_by_option.find(selector_value);
+    if (it != output_by_option.end()) return it->second;
+  }
+  return default_output;
+}
+
+void TsdRegistry::Register(ToolSemantics tsd) {
+  std::string name = tsd.tool;
+  tsds_[name] = std::move(tsd);
+}
+
+Result<const ToolSemantics*> TsdRegistry::Find(
+    const std::string& tool) const {
+  auto it = tsds_.find(tool);
+  if (it == tsds_.end()) {
+    return Status::NotFound("no tool semantics description for " + tool);
+  }
+  return &it->second;
+}
+
+namespace {
+
+ToolSemantics Make(const std::string& tool, OutputTyping out,
+                   bool reads_b, bool reads_l, bool reads_p,
+                   bool writes_b, bool writes_l, bool writes_p,
+                   std::vector<std::string> inherit = {}) {
+  ToolSemantics t;
+  t.tool = tool;
+  t.default_output = std::move(out);
+  t.inherit_list = std::move(inherit);
+  t.reads_behavioral = reads_b;
+  t.reads_logic = reads_l;
+  t.reads_physical = reads_p;
+  t.writes_behavioral = writes_b;
+  t.writes_logic = writes_l;
+  t.writes_physical = writes_p;
+  return t;
+}
+
+}  // namespace
+
+void RegisterStandardTsds(TsdRegistry* reg) {
+  reg->Register(Make("edit", {"behavioral", "bds"}, false, false, false,
+                     true, false, false));
+  reg->Register(Make("bdsyn", {"logic", "blif"}, true, false, false, false,
+                     true, false,
+                     {"num_inputs", "num_outputs"}));
+  reg->Register(Make("misII", {"logic", "blif"}, false, true, false, false,
+                     true, false,
+                     {"num_inputs", "num_outputs", "format"}));
+
+  // The Figure 6.4 espresso TSD: output format selected by -o.
+  ToolSemantics espresso =
+      Make("espresso", {"logic", "PLA"}, false, true, false, false, true,
+           false, {"num_inputs", "num_outputs"});
+  espresso.selector_flag = "o";
+  espresso.output_by_option["equitott"] = {"logic", "equation"};
+  espresso.output_by_option["pleasure"] = {"logic", "PLA"};
+  reg->Register(espresso);
+
+  reg->Register(Make("pleasure", {"logic", "PLA"}, false, true, false,
+                     false, true, false,
+                     {"num_inputs", "num_outputs", "minterms", "format"}));
+  reg->Register(Make("panda", {"layout", "symbolic"}, false, true, false,
+                     false, false, true));
+  reg->Register(Make("wolfe", {"layout", "symbolic"}, false, true, false,
+                     false, false, true));
+  reg->Register(Make("padplace", {"layout", "symbolic"}, false, true, true,
+                     false, true, true,
+                     {"cells"}));
+  reg->Register(Make("musa", {"text", "text"}, false, true, false, false,
+                     false, false));
+  reg->Register(Make("atlas", {"layout", "symbolic"}, false, false, true,
+                     false, false, true,
+                     {"cells", "area"}));
+  reg->Register(Make("puppy", {"layout", "symbolic"}, false, false, true,
+                     false, false, true,
+                     {"cells"}));
+  reg->Register(Make("mosaicoGR", {"layout", "symbolic"}, false, false,
+                     true, false, false, true,
+                     {"cells", "area"}));
+  reg->Register(Make("PGcurrent", {"text", "text"}, false, false, true,
+                     false, false, false));
+  reg->Register(Make("mosaicoDR", {"layout", "symbolic"}, false, false,
+                     true, false, false, true,
+                     {"cells", "area"}));
+
+  ToolSemantics octflatten =
+      Make("octflatten", {"layout", "symbolic"}, false, false, true, false,
+           false, true);
+  octflatten.composition_tool = true;
+  reg->Register(octflatten);
+
+  reg->Register(Make("mizer", {"layout", "symbolic"}, false, false, true,
+                     false, false, true,
+                     {"cells", "area"}));
+  reg->Register(Make("sparcs", {"layout", "geometric"}, false, false, true,
+                     false, false, true,
+                     {"cells"}));
+  reg->Register(Make("vulcan", {"layout", "symbolic"}, false, false, true,
+                     false, false, true,
+                     {"cells", "area", "delay", "power"}));
+  reg->Register(Make("mosaicoRC", {"text", "text"}, false, false, true,
+                     false, false, false));
+  reg->Register(Make("chipstats", {"text", "text"}, false, false, true,
+                     false, false, false));
+  reg->Register(Make("crystal", {"text", "text"}, false, false, true,
+                     false, false, false));
+}
+
+}  // namespace papyrus::meta

@@ -1,0 +1,79 @@
+#ifndef PAPYRUS_META_TSD_H_
+#define PAPYRUS_META_TSD_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "oct/design_data.h"
+
+namespace papyrus::meta {
+
+/// Output typing rule: object type and format a tool emits.
+struct OutputTyping {
+  std::string type;    // "behavioral" | "logic" | "layout" | "text"
+  std::string format;  // "blif", "equation", "PLA", "symbolic", ...
+};
+
+/// A Tool Semantics Description (§6.4.1, Figure 6.4): everything the
+/// metadata engine knows about one CAD tool —
+///  - the type/format of its output, possibly selected by an option value
+///    (espresso: `-o equitott` -> logic/equation, `-o pleasure` ->
+///    logic/PLA);
+///  - the *inherit list*: attributes unaffected by the tool, propagated
+///    from input to output without recomputation;
+///  - the *composition tool* flag: outputs are configurations of the
+///    inputs (octflatten);
+///  - the *execution semantics vector* over the behavioral/logic/physical
+///    domains, from which domain-crossing (translation) tools are
+///    recognized and equivalence relationships established.
+struct ToolSemantics {
+  std::string tool;
+  OutputTyping default_output;
+  /// Option flag whose value selects among `output_by_option` (usually
+  /// "o"); empty = always default.
+  std::string selector_flag;
+  std::map<std::string, OutputTyping> output_by_option;
+  std::vector<std::string> inherit_list;
+  bool composition_tool = false;
+  // Execution semantics vector.
+  bool reads_behavioral = false;
+  bool reads_logic = false;
+  bool reads_physical = false;
+  bool writes_behavioral = false;
+  bool writes_logic = false;
+  bool writes_physical = false;
+
+  /// True when the tool translates between design domains (its read and
+  /// write domains differ), e.g. bdsyn (behavioral->logic) and wolfe
+  /// (logic->physical).
+  bool IsDomainTranslator() const {
+    return (writes_logic && !reads_logic && reads_behavioral) ||
+           (writes_physical && !reads_physical && reads_logic) ||
+           (writes_behavioral && !reads_behavioral);
+  }
+
+  /// Resolves the output typing given the tool's option string value for
+  /// `selector_flag` (may be empty).
+  const OutputTyping& OutputFor(const std::string& selector_value) const;
+};
+
+/// Registry of tool semantics descriptions, keyed by tool name.
+class TsdRegistry {
+ public:
+  void Register(ToolSemantics tsd);
+  Result<const ToolSemantics*> Find(const std::string& tool) const;
+  bool Has(const std::string& tool) const { return tsds_.count(tool) > 0; }
+  size_t size() const { return tsds_.size(); }
+
+ private:
+  std::map<std::string, ToolSemantics> tsds_;
+};
+
+/// Registers TSDs for the whole mock OCT suite (src/cadtools).
+void RegisterStandardTsds(TsdRegistry* registry);
+
+}  // namespace papyrus::meta
+
+#endif  // PAPYRUS_META_TSD_H_

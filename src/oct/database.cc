@@ -1,0 +1,187 @@
+#include "oct/database.h"
+
+namespace papyrus::oct {
+
+OctDatabase::OctDatabase(Clock* clock) : clock_(clock) {}
+
+Result<ObjectId> OctDatabase::CreateVersion(const std::string& name,
+                                            DesignPayload payload,
+                                            const std::string& creator_tool) {
+  if (name.empty()) {
+    return Status::InvalidArgument("object name must not be empty");
+  }
+  std::vector<ObjectRecord>& versions = objects_[name];
+  ObjectRecord rec;
+  rec.id = ObjectId{name, static_cast<int>(versions.size()) + 1};
+  rec.size_bytes = PayloadSizeBytes(payload);
+  rec.payload = std::move(payload);
+  rec.creator_tool = creator_tool;
+  rec.created_micros = clock_->NowMicros();
+  rec.last_access_micros = rec.created_micros;
+  versions.push_back(std::move(rec));
+  ++total_versions_;
+  return versions.back().id;
+}
+
+ObjectRecord* OctDatabase::Find(const ObjectId& id) {
+  auto it = objects_.find(id.name);
+  if (it == objects_.end()) return nullptr;
+  if (id.version < 1 ||
+      id.version > static_cast<int>(it->second.size())) {
+    return nullptr;
+  }
+  return &it->second[id.version - 1];
+}
+
+const ObjectRecord* OctDatabase::Find(const ObjectId& id) const {
+  return const_cast<OctDatabase*>(this)->Find(id);
+}
+
+Result<const ObjectRecord*> OctDatabase::Get(const ObjectId& id) {
+  ObjectRecord* rec = Find(id);
+  if (rec == nullptr) {
+    return Status::NotFound("no such object: " + id.ToString());
+  }
+  if (!rec->visible) {
+    return Status::NotFound("object is not visible: " + id.ToString());
+  }
+  if (rec->reclaimed) {
+    return Status::NotFound("object was reclaimed: " + id.ToString());
+  }
+  rec->last_access_micros = clock_->NowMicros();
+  return static_cast<const ObjectRecord*>(rec);
+}
+
+Result<const ObjectRecord*> OctDatabase::Peek(const ObjectId& id) const {
+  const ObjectRecord* rec = Find(id);
+  if (rec == nullptr) {
+    return Status::NotFound("no such object: " + id.ToString());
+  }
+  return rec;
+}
+
+Result<ObjectId> OctDatabase::LatestVisible(const std::string& name) const {
+  auto it = objects_.find(name);
+  if (it == objects_.end()) {
+    return Status::NotFound("no such object: " + name);
+  }
+  for (auto rit = it->second.rbegin(); rit != it->second.rend(); ++rit) {
+    if (rit->visible && !rit->reclaimed) return rit->id;
+  }
+  return Status::NotFound("no visible version of: " + name);
+}
+
+int OctDatabase::VersionCount(const std::string& name) const {
+  auto it = objects_.find(name);
+  return it == objects_.end() ? 0 : static_cast<int>(it->second.size());
+}
+
+Status OctDatabase::MarkInvisible(const ObjectId& id) {
+  ObjectRecord* rec = Find(id);
+  if (rec == nullptr) {
+    return Status::NotFound("no such object: " + id.ToString());
+  }
+  rec->visible = false;
+  return Status::OK();
+}
+
+Status OctDatabase::MarkVisible(const ObjectId& id) {
+  ObjectRecord* rec = Find(id);
+  if (rec == nullptr) {
+    return Status::NotFound("no such object: " + id.ToString());
+  }
+  if (rec->reclaimed) {
+    return Status::FailedPrecondition("cannot undelete reclaimed object: " +
+                                      id.ToString());
+  }
+  rec->visible = true;
+  return Status::OK();
+}
+
+Status OctDatabase::Reclaim(const ObjectId& id) {
+  ObjectRecord* rec = Find(id);
+  if (rec == nullptr) {
+    return Status::NotFound("no such object: " + id.ToString());
+  }
+  if (rec->reclaimed) return Status::OK();
+  rec->payload = std::monostate{};
+  rec->reclaimed = true;
+  rec->visible = false;
+  return Status::OK();
+}
+
+bool OctDatabase::Exists(const ObjectId& id) const {
+  return Find(id) != nullptr;
+}
+
+int64_t OctDatabase::TotalLiveBytes() const {
+  int64_t sum = 0;
+  for (const auto& [name, versions] : objects_) {
+    for (const ObjectRecord& rec : versions) {
+      if (!rec.reclaimed) sum += rec.size_bytes;
+    }
+  }
+  return sum;
+}
+
+int64_t OctDatabase::LiveVersionCount() const {
+  int64_t n = 0;
+  for (const auto& [name, versions] : objects_) {
+    for (const ObjectRecord& rec : versions) {
+      if (!rec.reclaimed) ++n;
+    }
+  }
+  return n;
+}
+
+void OctDatabase::ForEach(
+    const std::function<void(const ObjectRecord&)>& fn) const {
+  for (const auto& [name, versions] : objects_) {
+    for (const ObjectRecord& rec : versions) fn(rec);
+  }
+}
+
+Status OctDatabase::RestoreRecord(ObjectRecord record) {
+  if (record.id.name.empty() || record.id.version < 1) {
+    return Status::InvalidArgument("restored record has an invalid id");
+  }
+  std::vector<ObjectRecord>& versions = objects_[record.id.name];
+  if (record.id.version != static_cast<int>(versions.size()) + 1) {
+    return Status::FailedPrecondition(
+        "records of " + record.id.name +
+        " must be restored in version order (got version " +
+        std::to_string(record.id.version) + ", expected " +
+        std::to_string(versions.size() + 1) + ")");
+  }
+  versions.push_back(std::move(record));
+  ++total_versions_;
+  return Status::OK();
+}
+
+void Transaction::StageCreate(const std::string& name, DesignPayload payload,
+                              const std::string& creator_tool) {
+  staged_.push_back(Staged{name, std::move(payload), creator_tool});
+}
+
+Result<std::vector<ObjectId>> Transaction::Commit() {
+  std::vector<ObjectId> created;
+  created.reserve(staged_.size());
+  for (Staged& s : staged_) {
+    auto id = db_->CreateVersion(s.name, std::move(s.payload),
+                                 s.creator_tool);
+    if (!id.ok()) {
+      // Roll back already-applied creations by reclaiming them: versions
+      // are never reused, so tombstones keep numbering consistent.
+      for (const ObjectId& done : created) {
+        (void)db_->Reclaim(done);
+      }
+      staged_.clear();
+      return id.status();
+    }
+    created.push_back(*id);
+  }
+  staged_.clear();
+  return created;
+}
+
+}  // namespace papyrus::oct

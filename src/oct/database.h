@@ -1,0 +1,145 @@
+#ifndef PAPYRUS_OCT_DATABASE_H_
+#define PAPYRUS_OCT_DATABASE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/clock.h"
+#include "base/result.h"
+#include "base/status.h"
+#include "oct/design_data.h"
+#include "oct/object_id.h"
+
+namespace papyrus::oct {
+
+/// One immutable version of a design object plus its bookkeeping state.
+struct ObjectRecord {
+  ObjectId id;
+  DesignPayload payload;
+  std::string creator_tool;  // tool that produced this version ("" = user)
+  int64_t created_micros = 0;
+  int64_t last_access_micros = 0;
+  int64_t size_bytes = 0;
+  bool visible = true;     // LWT visibility: "deleted" objects are invisible
+  bool reclaimed = false;  // payload physically freed by object reclamation
+};
+
+/// The design database substrate (stands in for Berkeley OCT).
+///
+/// The LWT model (§3.2) assumes only these properties of the database:
+///  - every object is uniquely identified and versions are system-assigned;
+///  - updates follow single-assignment semantics (new versions, never
+///    in-place);
+///  - a design step's database side effects are atomic (see Transaction);
+///  - "deleting" an object makes it *invisible*; a background reclaimer may
+///    later free the storage (§3.3.1, §5.4).
+///
+/// Thread workspaces and synchronization data spaces (src/activity,
+/// src/sync) are *views* over this store: they hold sets of ObjectIds and
+/// never duplicate payloads.
+class OctDatabase {
+ public:
+  explicit OctDatabase(Clock* clock);
+
+  OctDatabase(const OctDatabase&) = delete;
+  OctDatabase& operator=(const OctDatabase&) = delete;
+
+  /// Creates the next version of `name` holding `payload`.
+  /// The version number is allocated by the database (§3.2).
+  Result<ObjectId> CreateVersion(const std::string& name,
+                                 DesignPayload payload,
+                                 const std::string& creator_tool = "");
+
+  /// Looks up a specific version. Fails with NotFound for unknown ids,
+  /// invisible ("deleted") versions, and reclaimed versions.
+  /// Updates the record's last-access time.
+  Result<const ObjectRecord*> Get(const ObjectId& id);
+
+  /// Looks up without updating access time or filtering invisible records.
+  /// Used by managers that need bookkeeping state (reclaimer, renderers).
+  Result<const ObjectRecord*> Peek(const ObjectId& id) const;
+
+  /// Latest *visible* version of `name`, or NotFound.
+  Result<ObjectId> LatestVisible(const std::string& name) const;
+
+  /// Number of versions ever created for `name` (including invisible ones).
+  int VersionCount(const std::string& name) const;
+
+  /// Marks a version invisible ("delete" under the visibility abstraction).
+  Status MarkInvisible(const ObjectId& id);
+
+  /// Undeletes a version, provided it has not been physically reclaimed.
+  Status MarkVisible(const ObjectId& id);
+
+  /// Physically frees a version's payload. Keeps a tombstone so history
+  /// remains self-describing. Irreversible.
+  Status Reclaim(const ObjectId& id);
+
+  bool Exists(const ObjectId& id) const;
+
+  /// Sum of payload bytes of all non-reclaimed versions.
+  int64_t TotalLiveBytes() const;
+  /// Total number of non-reclaimed versions.
+  int64_t LiveVersionCount() const;
+  /// Total number of versions ever created.
+  int64_t TotalVersionCount() const { return total_versions_; }
+
+  /// Visits every record (including invisible and reclaimed ones).
+  void ForEach(
+      const std::function<void(const ObjectRecord&)>& fn) const;
+
+  /// Re-inserts a record with its exact id and bookkeeping state; used by
+  /// the persistence layer (§5.3: the history is stored persistently for
+  /// inter-process communication and crash recovery). Records of one name
+  /// must be restored in version order.
+  Status RestoreRecord(ObjectRecord record);
+
+  Clock* clock() const { return clock_; }
+
+ private:
+  ObjectRecord* Find(const ObjectId& id);
+  const ObjectRecord* Find(const ObjectId& id) const;
+
+  Clock* clock_;
+  // name -> versions, index i holds version i+1.
+  std::unordered_map<std::string, std::vector<ObjectRecord>> objects_;
+  int64_t total_versions_ = 0;
+};
+
+/// Buffers the object creations of one design step and applies them
+/// atomically (§3.3.1: a design step is an indivisible operation against
+/// the design data space; atomicity within a tool run is the database's
+/// job, not the LWT model's).
+class Transaction {
+ public:
+  explicit Transaction(OctDatabase* db) : db_(db) {}
+
+  /// Stages creation of the next version of `name`.
+  void StageCreate(const std::string& name, DesignPayload payload,
+                   const std::string& creator_tool);
+
+  /// Applies all staged creations; returns the ids created, in staging
+  /// order. After Commit the transaction is empty and reusable.
+  Result<std::vector<ObjectId>> Commit();
+
+  /// Discards staged work.
+  void Abort() { staged_.clear(); }
+
+  size_t staged_count() const { return staged_.size(); }
+
+ private:
+  struct Staged {
+    std::string name;
+    DesignPayload payload;
+    std::string creator_tool;
+  };
+  OctDatabase* db_;
+  std::vector<Staged> staged_;
+};
+
+}  // namespace papyrus::oct
+
+#endif  // PAPYRUS_OCT_DATABASE_H_

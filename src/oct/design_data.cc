@@ -1,0 +1,112 @@
+#include "oct/design_data.h"
+
+#include <sstream>
+
+namespace papyrus::oct {
+
+const char* DesignDomainToString(DesignDomain d) {
+  switch (d) {
+    case DesignDomain::kBehavioral:
+      return "behavioral";
+    case DesignDomain::kLogic:
+      return "logic";
+    case DesignDomain::kPhysical:
+      return "physical";
+    case DesignDomain::kOther:
+      return "other";
+  }
+  return "other";
+}
+
+const char* DesignFormatToString(DesignFormat f) {
+  switch (f) {
+    case DesignFormat::kNone:
+      return "none";
+    case DesignFormat::kBds:
+      return "bds";
+    case DesignFormat::kBlif:
+      return "blif";
+    case DesignFormat::kEquation:
+      return "equation";
+    case DesignFormat::kPla:
+      return "PLA";
+    case DesignFormat::kSymbolic:
+      return "symbolic";
+    case DesignFormat::kGeometric:
+      return "geometric";
+    case DesignFormat::kText:
+      return "text";
+  }
+  return "none";
+}
+
+namespace {
+
+struct SizeVisitor {
+  int64_t operator()(const std::monostate&) const { return 0; }
+  int64_t operator()(const BehavioralSpec& b) const {
+    return 256 + 64ll * b.complexity;
+  }
+  int64_t operator()(const LogicNetwork& n) const {
+    return 512 + 16ll * n.literals + 24ll * n.minterms;
+  }
+  int64_t operator()(const Layout& l) const {
+    return 4096 + 128ll * l.num_cells +
+           static_cast<int64_t>(l.wire_length * 2.0);
+  }
+  int64_t operator()(const TextData& t) const {
+    return static_cast<int64_t>(t.text.size());
+  }
+};
+
+struct NameVisitor {
+  const char* operator()(const std::monostate&) const { return "empty"; }
+  const char* operator()(const BehavioralSpec&) const { return "behavioral"; }
+  const char* operator()(const LogicNetwork&) const { return "logic"; }
+  const char* operator()(const Layout&) const { return "layout"; }
+  const char* operator()(const TextData&) const { return "text"; }
+};
+
+}  // namespace
+
+int64_t PayloadSizeBytes(const DesignPayload& p) {
+  return std::visit(SizeVisitor{}, p);
+}
+
+const char* PayloadTypeName(const DesignPayload& p) {
+  return std::visit(NameVisitor{}, p);
+}
+
+DesignDomain PayloadDomain(const DesignPayload& p) {
+  if (std::holds_alternative<BehavioralSpec>(p)) {
+    return DesignDomain::kBehavioral;
+  }
+  if (std::holds_alternative<LogicNetwork>(p)) return DesignDomain::kLogic;
+  if (std::holds_alternative<Layout>(p)) return DesignDomain::kPhysical;
+  return DesignDomain::kOther;
+}
+
+std::string PayloadToString(const DesignPayload& p) {
+  std::ostringstream os;
+  if (const auto* b = std::get_if<BehavioralSpec>(&p)) {
+    os << "behavioral{in=" << b->num_inputs << " out=" << b->num_outputs
+       << " complexity=" << b->complexity << "}";
+  } else if (const auto* n = std::get_if<LogicNetwork>(&p)) {
+    os << "logic{" << DesignFormatToString(n->format)
+       << " in=" << n->num_inputs << " out=" << n->num_outputs
+       << " minterms=" << n->minterms << " literals=" << n->literals
+       << " levels=" << n->levels << "}";
+  } else if (const auto* l = std::get_if<Layout>(&p)) {
+    os << "layout{" << l->style << " cells=" << l->num_cells
+       << " area=" << l->area << " delay=" << l->delay_ns
+       << (l->has_pads ? " pads" : "") << (l->routed ? " routed" : "")
+       << (l->compacted ? " compacted" : "") << "}";
+  } else if (const auto* t = std::get_if<TextData>(&p)) {
+    os << "text{" << t->text.size() << " bytes}";
+  } else {
+    os << "empty";
+  }
+  return os.str();
+}
+
+}  // namespace papyrus::oct

@@ -1,0 +1,37 @@
+#include "oct/object_id.h"
+
+#include "base/strings.h"
+
+namespace papyrus::oct {
+
+Result<ObjectRef> ParseObjectRef(const std::string& text) {
+  std::string_view s = Trim(text);
+  if (s.empty()) {
+    return Status::InvalidArgument("empty object name");
+  }
+  ObjectRef ref;
+  if (s.front() == '/') {
+    ref.name = std::string(s);
+    ref.is_absolute_path = true;
+    return ref;
+  }
+  size_t at = s.rfind('@');
+  if (at == std::string_view::npos) {
+    ref.name = std::string(s);
+    return ref;
+  }
+  int64_t v = 0;
+  if (!ParseInt64(s.substr(at + 1), &v) || v <= 0) {
+    return Status::InvalidArgument("bad version in object name: " +
+                                   std::string(s));
+  }
+  ref.name = std::string(s.substr(0, at));
+  if (ref.name.empty()) {
+    return Status::InvalidArgument("empty name before '@': " +
+                                   std::string(s));
+  }
+  ref.version = static_cast<int>(v);
+  return ref;
+}
+
+}  // namespace papyrus::oct

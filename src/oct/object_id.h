@@ -1,0 +1,67 @@
+#ifndef PAPYRUS_OCT_OBJECT_ID_H_
+#define PAPYRUS_OCT_OBJECT_ID_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "base/result.h"
+
+namespace papyrus::oct {
+
+/// Identifies one immutable version of a design object.
+///
+/// Papyrus object names follow the thesis (§5.2): a plain name
+/// ("ALU.logic"), a name with an explicit version ("ALU.logic@2"), or an
+/// absolute path ("/user/chiueh/Multiplier"). The `name:version` pair is the
+/// unit of single-assignment update: versions are never modified in place.
+struct ObjectId {
+  std::string name;
+  int version = 0;
+
+  std::string ToString() const {
+    return name + "@" + std::to_string(version);
+  }
+
+  friend bool operator==(const ObjectId& a, const ObjectId& b) {
+    return a.version == b.version && a.name == b.name;
+  }
+  friend bool operator!=(const ObjectId& a, const ObjectId& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const ObjectId& a, const ObjectId& b) {
+    if (a.name != b.name) return a.name < b.name;
+    return a.version < b.version;
+  }
+};
+
+/// A user-supplied object reference before version resolution.
+///
+/// `version == 0` means "unspecified": the activity manager resolves it to
+/// the most recent version visible in the current data scope (§5.2).
+struct ObjectRef {
+  std::string name;
+  int version = 0;  // 0 = resolve to latest in scope.
+  bool is_absolute_path = false;
+};
+
+/// Parses the three §5.2 naming formats into an `ObjectRef`.
+///
+/// - "/a/b/Cell"    -> absolute path (implicit check-in)
+/// - "ALU.logic@2"  -> explicit version 2
+/// - "ALU.logic"    -> latest visible version
+Result<ObjectRef> ParseObjectRef(const std::string& text);
+
+}  // namespace papyrus::oct
+
+namespace std {
+template <>
+struct hash<papyrus::oct::ObjectId> {
+  size_t operator()(const papyrus::oct::ObjectId& id) const {
+    return hash<string>()(id.name) * 1000003u ^
+           hash<int>()(id.version);
+  }
+};
+}  // namespace std
+
+#endif  // PAPYRUS_OCT_OBJECT_ID_H_

@@ -1,0 +1,270 @@
+#include "sprite/network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace papyrus::sprite {
+
+namespace {
+constexpr int64_t kNever = std::numeric_limits<int64_t>::max();
+}  // namespace
+
+Network::Network(ManualClock* clock, int num_hosts) : clock_(clock) {
+  hosts_.resize(std::max(num_hosts, 1));
+  last_accrual_micros_ = clock_->NowMicros();
+}
+
+Status Network::SetHostSpeed(HostId host, double speed) {
+  if (host < 0 || host >= num_hosts()) {
+    return Status::InvalidArgument("no such host");
+  }
+  if (speed <= 0.0) return Status::InvalidArgument("speed must be > 0");
+  AccrueProgress(clock_->NowMicros());
+  hosts_[host].speed = speed;
+  return Status::OK();
+}
+
+Status Network::SetOwnerActive(HostId host, bool active) {
+  if (host < 0 || host >= num_hosts()) {
+    return Status::InvalidArgument("no such host");
+  }
+  AccrueProgress(clock_->NowMicros());
+  bool was_active = hosts_[host].owner_active;
+  hosts_[host].owner_active = active;
+  if (active && !was_active) EvictForeigners(host);
+  return Status::OK();
+}
+
+Status Network::ScheduleOwnerEvent(HostId host, int64_t micros,
+                                   bool active) {
+  if (host < 0 || host >= num_hosts()) {
+    return Status::InvalidArgument("no such host");
+  }
+  if (micros < clock_->NowMicros()) {
+    return Status::InvalidArgument("owner event scheduled in the past");
+  }
+  owner_events_.push_back(OwnerEvent{micros, host, active});
+  std::sort(owner_events_.begin(), owner_events_.end(),
+            [](const OwnerEvent& a, const OwnerEvent& b) {
+              return a.micros < b.micros;
+            });
+  return Status::OK();
+}
+
+bool Network::IsOwnerActive(HostId host) const {
+  return host >= 0 && host < num_hosts() && hosts_[host].owner_active;
+}
+
+bool Network::IsIdle(HostId host) const {
+  return host >= 0 && host < num_hosts() && !hosts_[host].owner_active;
+}
+
+int Network::LoadOf(HostId host) const {
+  if (host < 0 || host >= num_hosts()) return 0;
+  return static_cast<int>(hosts_[host].running.size());
+}
+
+Result<HostId> Network::FindIdleHost(bool exclude_home) const {
+  HostId best = kNoHost;
+  double best_score = std::numeric_limits<double>::max();
+  for (HostId h = exclude_home ? 1 : 0; h < num_hosts(); ++h) {
+    if (hosts_[h].owner_active) continue;
+    // Prefer lightly loaded, fast hosts.
+    double score = (LoadOf(h) + 1) / hosts_[h].speed;
+    if (score < best_score) {
+      best_score = score;
+      best = h;
+    }
+  }
+  if (best == kNoHost) {
+    return Status::FailedPrecondition("no idle workstation available");
+  }
+  return best;
+}
+
+Result<ProcessId> Network::Spawn(ProcessId parent,
+                                 const std::string& command,
+                                 int64_t work_micros, HostId host,
+                                 bool migratable) {
+  if (host < 0 || host >= num_hosts()) {
+    return Status::InvalidArgument("no such host");
+  }
+  if (work_micros < 0) {
+    return Status::InvalidArgument("negative work");
+  }
+  AccrueProgress(clock_->NowMicros());
+  ProcessInfo p;
+  p.pid = next_pid_++;
+  p.parent_pid = parent;
+  p.home_host = home_host();
+  p.current_host = host;
+  p.migratable = migratable;
+  p.command = command;
+  p.work_micros = work_micros;
+  p.spawn_micros = clock_->NowMicros();
+  processes_[p.pid] = p;
+  hosts_[host].running.push_back(p.pid);
+  ++running_count_;
+  ++total_spawns_;
+  // Zero-work processes complete on the next Step().
+  return p.pid;
+}
+
+Status Network::Migrate(ProcessId pid, HostId to) {
+  auto it = processes_.find(pid);
+  if (it == processes_.end()) return Status::NotFound("no such process");
+  ProcessInfo& p = it->second;
+  if (p.state != ProcessState::kRunning) {
+    return Status::FailedPrecondition("process not running");
+  }
+  if (!p.migratable) {
+    return Status::PermissionDenied("process is not migratable");
+  }
+  if (to < 0 || to >= num_hosts()) {
+    return Status::InvalidArgument("no such host");
+  }
+  if (to == p.current_host) return Status::OK();
+  AccrueProgress(clock_->NowMicros());
+  DetachFromHost(pid);
+  p.current_host = to;
+  hosts_[to].running.push_back(pid);
+  p.work_micros += migration_cost_micros_;
+  ++p.migration_count;
+  ++total_migrations_;
+  return Status::OK();
+}
+
+Status Network::Kill(ProcessId pid) {
+  auto it = processes_.find(pid);
+  if (it == processes_.end()) return Status::NotFound("no such process");
+  ProcessInfo& p = it->second;
+  if (p.state != ProcessState::kRunning) {
+    return Status::FailedPrecondition("process not running");
+  }
+  AccrueProgress(clock_->NowMicros());
+  DetachFromHost(pid);
+  p.state = ProcessState::kKilled;
+  p.finish_micros = clock_->NowMicros();
+  --running_count_;
+  return Status::OK();
+}
+
+Result<ProcessInfo> Network::GetProcess(ProcessId pid) const {
+  auto it = processes_.find(pid);
+  if (it == processes_.end()) return Status::NotFound("no such process");
+  return it->second;
+}
+
+std::vector<ProcessInfo> Network::GetPcbInfo(ProcessId parent) const {
+  std::vector<ProcessInfo> out;
+  for (const auto& [pid, p] : processes_) {
+    if (parent == kNoProcess || p.parent_pid == parent) out.push_back(p);
+  }
+  return out;
+}
+
+double Network::RateOf(const ProcessInfo& p) const {
+  const Host& h = hosts_[p.current_host];
+  int load = static_cast<int>(h.running.size());
+  return h.speed / std::max(load, 1);
+}
+
+void Network::AccrueProgress(int64_t now) {
+  int64_t dt = now - last_accrual_micros_;
+  if (dt <= 0) {
+    last_accrual_micros_ = now;
+    return;
+  }
+  for (auto& [pid, p] : processes_) {
+    if (p.state != ProcessState::kRunning) continue;
+    double rate = RateOf(p);
+    int64_t gained = static_cast<int64_t>(std::llround(dt * rate));
+    p.done_micros = std::min(p.work_micros, p.done_micros + gained);
+    total_busy_micros_ += std::min<int64_t>(gained, dt);
+  }
+  last_accrual_micros_ = now;
+}
+
+int64_t Network::NextCompletionTime(ProcessId* which) const {
+  int64_t best = kNever;
+  for (const auto& [pid, p] : processes_) {
+    if (p.state != ProcessState::kRunning) continue;
+    double rate = RateOf(p);
+    int64_t remaining = p.work_micros - p.done_micros;
+    int64_t eta;
+    if (remaining <= 0) {
+      eta = last_accrual_micros_;
+    } else {
+      eta = last_accrual_micros_ +
+            static_cast<int64_t>(std::ceil(remaining / rate));
+    }
+    if (eta < best) {
+      best = eta;
+      *which = pid;
+    }
+  }
+  return best;
+}
+
+void Network::Complete(ProcessId pid, int64_t now) {
+  ProcessInfo& p = processes_[pid];
+  DetachFromHost(pid);
+  p.state = ProcessState::kCompleted;
+  p.done_micros = p.work_micros;
+  p.finish_micros = now;
+  --running_count_;
+  if (completion_handler_) completion_handler_(p);
+}
+
+void Network::EvictForeigners(HostId host) {
+  // Copy: eviction mutates the host's running list.
+  std::vector<ProcessId> pids = hosts_[host].running;
+  for (ProcessId pid : pids) {
+    ProcessInfo& p = processes_[pid];
+    if (p.current_host != host) continue;
+    if (p.home_host == host) continue;  // native process, not evicted
+    DetachFromHost(pid);
+    p.current_host = p.home_host;
+    hosts_[p.home_host].running.push_back(pid);
+    p.work_micros += migration_cost_micros_;
+    ++p.migration_count;
+    ++total_evictions_;
+    if (eviction_handler_) eviction_handler_(p);
+  }
+}
+
+void Network::DetachFromHost(ProcessId pid) {
+  ProcessInfo& p = processes_[pid];
+  auto& running = hosts_[p.current_host].running;
+  running.erase(std::remove(running.begin(), running.end(), pid),
+                running.end());
+}
+
+bool Network::Step() {
+  ProcessId next_pid = kNoProcess;
+  int64_t completion_at = NextCompletionTime(&next_pid);
+  int64_t owner_at = owner_events_.empty() ? kNever
+                                           : owner_events_.front().micros;
+  if (completion_at == kNever && owner_at == kNever) return false;
+
+  if (owner_at <= completion_at) {
+    OwnerEvent ev = owner_events_.front();
+    owner_events_.erase(owner_events_.begin());
+    AccrueProgress(ev.micros);
+    if (ev.micros > clock_->NowMicros()) clock_->SetMicros(ev.micros);
+    (void)SetOwnerActive(ev.host, ev.active);
+    return true;
+  }
+  AccrueProgress(completion_at);
+  if (completion_at > clock_->NowMicros()) clock_->SetMicros(completion_at);
+  Complete(next_pid, completion_at);
+  return true;
+}
+
+void Network::RunUntilQuiescent() {
+  while (Step()) {
+  }
+}
+
+}  // namespace papyrus::sprite

@@ -1,0 +1,190 @@
+#include "storage/reclamation.h"
+
+#include <algorithm>
+
+#include "base/macros.h"
+
+namespace papyrus::storage {
+
+using activity::DesignThread;
+using activity::HistoryNode;
+using activity::NodeId;
+
+void ReclamationManager::ReclaimObjects(
+    const std::vector<oct::ObjectId>& ids, ReclamationReport* report) {
+  for (const oct::ObjectId& id : ids) {
+    auto rec = db_->Peek(id);
+    if (!rec.ok() || (*rec)->reclaimed) continue;
+    int64_t bytes = (*rec)->size_bytes;
+    if (db_->Reclaim(id).ok()) {
+      ++report->objects_reclaimed;
+      report->bytes_reclaimed += bytes;
+      total_bytes_reclaimed_ += bytes;
+    }
+  }
+}
+
+Result<ReclamationReport> ReclamationManager::VerticalAge(
+    DesignThread* thread, int64_t older_than_micros) {
+  ReclamationReport report;
+  std::vector<NodeId> targets;
+  for (const auto& [id, node] : thread->nodes()) {
+    if (node.appended_micros < older_than_micros &&
+        !node.record.steps.empty()) {
+      targets.push_back(id);
+    }
+  }
+  if (targets.empty()) return report;
+  if (!Approve("vertical aging: forget step-level details of " +
+                   std::to_string(targets.size()) + " old records",
+               targets)) {
+    return report;
+  }
+  for (NodeId id : targets) {
+    std::vector<oct::ObjectId> intermediates;
+    PAPYRUS_RETURN_IF_ERROR(thread->StripStepDetails(id, &intermediates));
+    ++report.records_affected;
+    ReclaimObjects(intermediates, &report);
+  }
+  return report;
+}
+
+Result<ReclamationReport> ReclamationManager::HorizontalAge(
+    DesignThread* thread, int64_t older_than_micros) {
+  ReclamationReport report;
+  // Walk the linear prefix from the root while records are old enough.
+  if (thread->nodes().empty()) return report;
+  // Find the unique root; bail out when the stream starts branched.
+  std::vector<NodeId> roots;
+  for (const auto& [id, node] : thread->nodes()) {
+    if (node.parents.empty()) roots.push_back(id);
+  }
+  if (roots.size() != 1) return report;
+
+  NodeId cur = roots[0];
+  std::vector<NodeId> prefix;
+  while (true) {
+    auto node = thread->GetNode(cur);
+    if (!node.ok()) break;
+    if ((*node)->appended_micros >= older_than_micros) break;
+    if ((*node)->children.size() != 1) break;  // keep branch structure
+    prefix.push_back(cur);
+    cur = (*node)->children[0];
+  }
+  if (prefix.empty()) return report;
+  if (!Approve("horizontal aging: prune " +
+                   std::to_string(prefix.size()) +
+                   " records too far back in time",
+               prefix)) {
+    return report;
+  }
+  // `cur` is the first record to keep.
+  std::vector<oct::ObjectId> unreferenced;
+  PAPYRUS_RETURN_IF_ERROR(thread->PrunePrefix(cur, &unreferenced));
+  report.records_affected = static_cast<int>(prefix.size());
+  ReclaimObjects(unreferenced, &report);
+  return report;
+}
+
+Result<ReclamationReport> ReclamationManager::AbstractIterations(
+    DesignThread* thread,
+    const std::vector<std::vector<NodeId>>& rounds) {
+  ReclamationReport report;
+  std::set<NodeId> iteration_nodes;
+  for (const auto& round : rounds) {
+    for (NodeId id : round) iteration_nodes.insert(id);
+  }
+  // Outputs consumed by records outside the iteration.
+  std::set<oct::ObjectId> external_inputs;
+  for (const auto& [id, node] : thread->nodes()) {
+    if (iteration_nodes.count(id) > 0) continue;
+    for (const oct::ObjectId& in : node.record.inputs) {
+      external_inputs.insert(in);
+    }
+  }
+  std::vector<std::vector<NodeId>> doomed_rounds;
+  for (const auto& round : rounds) {
+    bool used = false;
+    for (NodeId id : round) {
+      auto node = thread->GetNode(id);
+      if (!node.ok()) {
+        return Status::NotFound("iteration hint names missing record " +
+                                std::to_string(id));
+      }
+      for (const oct::ObjectId& out : (*node)->record.outputs) {
+        if (external_inputs.count(out) > 0) used = true;
+      }
+    }
+    if (!used) doomed_rounds.push_back(round);
+  }
+  // Keep at least one representative round even if nothing is consumed
+  // downstream yet (the final round is the result of the refinement).
+  if (doomed_rounds.size() == rounds.size() && !doomed_rounds.empty()) {
+    doomed_rounds.pop_back();
+  }
+  if (doomed_rounds.empty()) return report;
+  std::vector<NodeId> all_doomed;
+  for (const auto& round : doomed_rounds) {
+    all_doomed.insert(all_doomed.end(), round.begin(), round.end());
+  }
+  if (!Approve("garbage collection: abstract " +
+                   std::to_string(doomed_rounds.size()) +
+                   " abandoned iteration rounds",
+               all_doomed)) {
+    return report;
+  }
+  for (NodeId id : all_doomed) {
+    std::vector<oct::ObjectId> unreferenced;
+    PAPYRUS_RETURN_IF_ERROR(thread->SpliceOutNode(id, &unreferenced));
+    ++report.records_affected;
+    ReclaimObjects(unreferenced, &report);
+  }
+  return report;
+}
+
+Result<ReclamationReport> ReclamationManager::PruneDeadBranches(
+    DesignThread* thread, int64_t unaccessed_micros) {
+  ReclamationReport report;
+  int64_t now = clock_->NowMicros();
+  // A dead branch: a frontier whose tip is stale; erase back to (but not
+  // including) the nearest ancestor with other live descendants.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (NodeId frontier : thread->FrontierCursors()) {
+      if (frontier == activity::kInitialPoint) continue;
+      if (frontier == thread->current_cursor()) continue;
+      auto node = thread->GetNode(frontier);
+      if (!node.ok()) continue;
+      if (now - (*node)->last_access_micros < unaccessed_micros) continue;
+      // Walk up while the chain is linear and stale.
+      NodeId branch_root = frontier;
+      while (true) {
+        auto n = thread->GetNode(branch_root);
+        if (!n.ok() || (*n)->parents.size() != 1) break;
+        auto parent = thread->GetNode((*n)->parents[0]);
+        if (!parent.ok()) break;
+        if ((*parent)->children.size() != 1) break;  // branch point above
+        if (now - (*parent)->last_access_micros < unaccessed_micros) break;
+        if ((*parent)->id == thread->current_cursor()) break;
+        branch_root = (*parent)->id;
+      }
+      if (!Approve("garbage collection: prune dead-end branch at record " +
+                       std::to_string(branch_root),
+                   {branch_root})) {
+        continue;
+      }
+      std::vector<oct::ObjectId> unreferenced;
+      int before = thread->size();
+      PAPYRUS_RETURN_IF_ERROR(
+          thread->EraseSubtree(branch_root, &unreferenced));
+      report.records_affected += before - thread->size();
+      ReclaimObjects(unreferenced, &report);
+      changed = true;
+      break;  // frontier list invalidated; rescan
+    }
+  }
+  return report;
+}
+
+}  // namespace papyrus::storage

@@ -1,0 +1,120 @@
+#ifndef PAPYRUS_STORAGE_RECLAMATION_H_
+#define PAPYRUS_STORAGE_RECLAMATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "activity/design_thread.h"
+#include "base/clock.h"
+#include "oct/database.h"
+
+namespace papyrus::storage {
+
+/// Outcome counters of one reclamation pass.
+struct ReclamationReport {
+  int records_affected = 0;
+  int objects_reclaimed = 0;
+  int64_t bytes_reclaimed = 0;
+};
+
+/// The user-approval hook: Papyrus "actively reminds users that some part
+/// of the design history will be pruned away; only when users approve"
+/// does it reclaim (§5.4). Return false to veto. The default approves.
+using ApprovalFn =
+    std::function<bool(const std::string& description,
+                       const std::vector<activity::NodeId>& nodes)>;
+
+/// The object-reclamation subsystem (§5.4): counters the storage overhead
+/// of single-assignment update by analyzing the design history and
+/// reclaiming object versions least likely to be needed. Runs as a
+/// process independent of the activity manager in the thesis; here it is
+/// a component invoked over design threads.
+///
+/// Three mechanisms:
+///  - *Filtering*: task invocations on the filter list are never worth
+///    recording ("facility" tasks like printing) — the activity manager
+///    consults `ShouldRecord` before appending.
+///  - *Aging*: vertical aging strips the step-level details (and reclaims
+///    the intermediate versions) of records older than a threshold;
+///    horizontal aging prunes history prefixes that are too far back in
+///    time entirely.
+///  - *Garbage collection*: abstracts user-identified iterative
+///    refinement sequences down to the rounds whose outputs are actually
+///    used, and prunes dead-end branches that have not been visited for a
+///    threshold period.
+class ReclamationManager {
+ public:
+  ReclamationManager(oct::OctDatabase* db, Clock* clock)
+      : db_(db), clock_(clock) {}
+
+  ReclamationManager(const ReclamationManager&) = delete;
+  ReclamationManager& operator=(const ReclamationManager&) = delete;
+
+  void set_approval(ApprovalFn fn) { approval_ = std::move(fn); }
+
+  // --- filtering ----------------------------------------------------------
+
+  void AddFilteredTask(const std::string& task_name) {
+    filtered_.insert(task_name);
+  }
+  /// False when the task's history records should be discarded instead of
+  /// entering the control stream.
+  bool ShouldRecord(const std::string& task_name) const {
+    return filtered_.count(task_name) == 0;
+  }
+
+  // --- aging ---------------------------------------------------------------
+
+  /// Vertical aging (Figure 5.7): strips step details from records
+  /// appended before `older_than_micros` and physically reclaims their
+  /// intermediate object versions.
+  Result<ReclamationReport> VerticalAge(activity::DesignThread* thread,
+                                        int64_t older_than_micros);
+
+  /// Horizontal aging (Figure 5.8): prunes the linear prefix of records
+  /// appended before `older_than_micros`, re-rooting the stream at the
+  /// first younger record, and reclaims versions referenced only by the
+  /// pruned prefix. Stops at branching structure.
+  Result<ReclamationReport> HorizontalAge(activity::DesignThread* thread,
+                                          int64_t older_than_micros);
+
+  // --- garbage collection ----------------------------------------------------
+
+  /// Iterative-process abstraction (Figure 5.9). `rounds` is the explicit
+  /// user hint identifying the records of each iteration round, in order.
+  /// Rounds whose outputs are consumed by records outside the iteration
+  /// are kept; the rest are spliced out of the stream and their objects
+  /// reclaimed.
+  Result<ReclamationReport> AbstractIterations(
+      activity::DesignThread* thread,
+      const std::vector<std::vector<activity::NodeId>>& rounds);
+
+  /// Dead-end branch pruning: erases frontier branches whose tip has not
+  /// been accessed for `unaccessed_micros`.
+  Result<ReclamationReport> PruneDeadBranches(
+      activity::DesignThread* thread, int64_t unaccessed_micros);
+
+  int64_t total_bytes_reclaimed() const { return total_bytes_reclaimed_; }
+
+ private:
+  bool Approve(const std::string& description,
+               const std::vector<activity::NodeId>& nodes) const {
+    return !approval_ || approval_(description, nodes);
+  }
+  /// Physically reclaims the given versions and accumulates the report.
+  void ReclaimObjects(const std::vector<oct::ObjectId>& ids,
+                      ReclamationReport* report);
+
+  oct::OctDatabase* db_;
+  Clock* clock_;
+  std::set<std::string> filtered_;
+  ApprovalFn approval_;
+  int64_t total_bytes_reclaimed_ = 0;
+};
+
+}  // namespace papyrus::storage
+
+#endif  // PAPYRUS_STORAGE_RECLAMATION_H_

@@ -1,0 +1,255 @@
+#include "sync/sds.h"
+
+#include <cstdlib>
+
+#include "cadtools/measurements.h"
+
+namespace papyrus::sync {
+
+Status SdsManager::CreateSds(const std::string& name) {
+  if (name.empty()) {
+    return Status::InvalidArgument("SDS name must not be empty");
+  }
+  if (spaces_.count(name) > 0) {
+    return Status::AlreadyExists("SDS already exists: " + name);
+  }
+  spaces_[name] = SdsState{};
+  return Status::OK();
+}
+
+Status SdsManager::RemoveSds(const std::string& name) {
+  if (spaces_.erase(name) == 0) {
+    return Status::NotFound("no such SDS: " + name);
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> SdsManager::SdsNames() const {
+  std::vector<std::string> names;
+  names.reserve(spaces_.size());
+  for (const auto& [name, state] : spaces_) names.push_back(name);
+  return names;
+}
+
+Result<SdsManager::SdsState*> SdsManager::FindSds(const std::string& name) {
+  auto it = spaces_.find(name);
+  if (it == spaces_.end()) return Status::NotFound("no such SDS: " + name);
+  return &it->second;
+}
+
+Result<const SdsManager::SdsState*> SdsManager::FindSds(
+    const std::string& name) const {
+  auto it = spaces_.find(name);
+  if (it == spaces_.end()) return Status::NotFound("no such SDS: " + name);
+  return &it->second;
+}
+
+Status SdsManager::Register(const std::string& sds, int thread_id) {
+  auto state = FindSds(sds);
+  if (!state.ok()) return state.status();
+  (*state)->registered.insert(thread_id);
+  return Status::OK();
+}
+
+Status SdsManager::Deregister(const std::string& sds, int thread_id) {
+  auto state = FindSds(sds);
+  if (!state.ok()) return state.status();
+  if ((*state)->registered.erase(thread_id) == 0) {
+    return Status::NotFound("thread " + std::to_string(thread_id) +
+                            " is not registered with " + sds);
+  }
+  return Status::OK();
+}
+
+Result<std::set<int>> SdsManager::RegisteredThreads(
+    const std::string& sds) const {
+  auto state = FindSds(sds);
+  if (!state.ok()) return state.status();
+  return (*state)->registered;
+}
+
+Result<std::vector<oct::ObjectId>> SdsManager::Contents(
+    const std::string& sds) const {
+  auto state = FindSds(sds);
+  if (!state.ok()) return state.status();
+  return std::vector<oct::ObjectId>((*state)->objects.begin(),
+                                    (*state)->objects.end());
+}
+
+bool SdsManager::PredicatesAllow(
+    const std::vector<NotifyPredicate>& predicates,
+    const oct::ObjectId& new_version, const oct::ObjectId& old_version) {
+  for (const NotifyPredicate& pred : predicates) {
+    auto new_rec = db_->Peek(new_version);
+    if (!new_rec.ok()) return false;
+    auto new_val =
+        cadtools::MeasureAttribute((*new_rec)->payload, pred.attribute);
+    if (!new_val.ok()) return false;
+    double lhs = std::strtod(new_val->c_str(), nullptr);
+
+    double rhs = pred.constant;
+    if (pred.compare_to_old) {
+      auto old_rec = db_->Peek(old_version);
+      if (!old_rec.ok()) return false;
+      auto old_val =
+          cadtools::MeasureAttribute((*old_rec)->payload, pred.attribute);
+      if (!old_val.ok()) return false;
+      rhs = std::strtod(old_val->c_str(), nullptr);
+    }
+    bool pass = false;
+    switch (pred.op) {
+      case NotifyPredicate::Op::kLess:
+        pass = lhs < rhs;
+        break;
+      case NotifyPredicate::Op::kLessEqual:
+        pass = lhs <= rhs;
+        break;
+      case NotifyPredicate::Op::kGreater:
+        pass = lhs > rhs;
+        break;
+      case NotifyPredicate::Op::kGreaterEqual:
+        pass = lhs >= rhs;
+        break;
+      case NotifyPredicate::Op::kEqual:
+        pass = lhs == rhs;
+        break;
+      case NotifyPredicate::Op::kNotEqual:
+        pass = lhs != rhs;
+        break;
+    }
+    if (!pass) return false;
+  }
+  return true;
+}
+
+void SdsManager::NotifySubscribers(const std::string& sds_name,
+                                   SdsState* sds,
+                                   const oct::ObjectId& new_version) {
+  auto it = sds->subscriptions.find(new_version.name);
+  if (it == sds->subscriptions.end()) return;
+  for (const SdsState::Subscription& sub : it->second) {
+    if (sub.old_version == new_version) continue;  // own contribution
+    if (!PredicatesAllow(sub.predicates, new_version, sub.old_version)) {
+      ++suppressed_notifications_;
+      continue;
+    }
+    Notification note;
+    note.thread_id = sub.thread_id;
+    note.sds = sds_name;
+    note.new_version = new_version;
+    note.old_version = sub.old_version;
+    note.micros = db_->clock()->NowMicros();
+    pending_[sub.thread_id].push_back(note);
+    ++total_notifications_;
+  }
+}
+
+Status SdsManager::Move(const oct::ObjectId& id, const Space& source,
+                        const Space& destination, bool notify,
+                        std::vector<NotifyPredicate> predicates) {
+  if (source.kind == Space::Kind::kThreadWorkspace &&
+      destination.kind == Space::Kind::kThreadWorkspace) {
+    // §3.3.4.2: no direct data sharing among threads.
+    return Status::PermissionDenied(
+        "threads may only share data through synchronization data spaces");
+  }
+  // The object must exist and be visible.
+  auto rec = db_->Get(id);
+  if (!rec.ok()) return rec.status();
+
+  if (source.kind == Space::Kind::kThreadWorkspace &&
+      destination.kind == Space::Kind::kSds) {
+    // Contribution: thread -> SDS.
+    auto sds = FindSds(destination.sds);
+    if (!sds.ok()) return sds.status();
+    if ((*sds)->registered.count(source.thread_id) == 0) {
+      return Status::PermissionDenied(
+          "thread " + std::to_string(source.thread_id) +
+          " is not registered with SDS " + destination.sds);
+    }
+    if (!(*sds)->objects.insert(id).second) {
+      return Status::AlreadyExists(id.ToString() + " is already in SDS " +
+                                   destination.sds);
+    }
+    NotifySubscribers(destination.sds, *sds, id);
+    return Status::OK();
+  }
+
+  if (source.kind == Space::Kind::kSds &&
+      destination.kind == Space::Kind::kThreadWorkspace) {
+    // Retrieval: SDS -> thread, optionally leaving a notification flag.
+    auto sds = FindSds(source.sds);
+    if (!sds.ok()) return sds.status();
+    if ((*sds)->registered.count(destination.thread_id) == 0) {
+      return Status::PermissionDenied(
+          "thread " + std::to_string(destination.thread_id) +
+          " is not registered with SDS " + source.sds);
+    }
+    if ((*sds)->objects.count(id) == 0) {
+      return Status::NotFound(id.ToString() + " is not in SDS " +
+                              source.sds);
+    }
+    if (notify) {
+      (*sds)->subscriptions[id.name].push_back(SdsState::Subscription{
+          destination.thread_id, id, std::move(predicates)});
+    }
+    return Status::OK();
+  }
+
+  // SDS -> SDS transfer.
+  auto src = FindSds(source.sds);
+  if (!src.ok()) return src.status();
+  auto dst = FindSds(destination.sds);
+  if (!dst.ok()) return dst.status();
+  if ((*src)->objects.count(id) == 0) {
+    return Status::NotFound(id.ToString() + " is not in SDS " + source.sds);
+  }
+  if (!(*dst)->objects.insert(id).second) {
+    return Status::AlreadyExists(id.ToString() + " is already in SDS " +
+                                 destination.sds);
+  }
+  NotifySubscribers(destination.sds, *dst, id);
+  return Status::OK();
+}
+
+std::vector<Notification> SdsManager::TakeNotifications(int thread_id) {
+  auto it = pending_.find(thread_id);
+  if (it == pending_.end()) return {};
+  std::vector<Notification> out = std::move(it->second);
+  pending_.erase(it);
+  return out;
+}
+
+size_t SdsManager::PendingNotifications(int thread_id) const {
+  auto it = pending_.find(thread_id);
+  return it == pending_.end() ? 0 : it->second.size();
+}
+
+Status SdsManager::ImportThread(int importer_thread, int exporter_thread) {
+  if (importer_thread == exporter_thread) {
+    return Status::InvalidArgument("a thread cannot import itself");
+  }
+  imports_[importer_thread].insert(exporter_thread);
+  return Status::OK();
+}
+
+Status SdsManager::RevokeImport(int importer_thread, int exporter_thread) {
+  auto it = imports_.find(importer_thread);
+  if (it == imports_.end() || it->second.erase(exporter_thread) == 0) {
+    return Status::NotFound("no such import relationship");
+  }
+  return Status::OK();
+}
+
+bool SdsManager::CanRead(int importer_thread, int exporter_thread) const {
+  if (importer_thread == exporter_thread) return true;
+  auto it = imports_.find(importer_thread);
+  return it != imports_.end() && it->second.count(exporter_thread) > 0;
+}
+
+std::set<int> SdsManager::ImportsOf(int importer_thread) const {
+  auto it = imports_.find(importer_thread);
+  return it == imports_.end() ? std::set<int>{} : it->second;
+}
+
+}  // namespace papyrus::sync

@@ -1,0 +1,171 @@
+#ifndef PAPYRUS_SYNC_SDS_H_
+#define PAPYRUS_SYNC_SDS_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "base/status.h"
+#include "oct/attribute_store.h"
+#include "oct/database.h"
+#include "oct/object_id.h"
+
+namespace papyrus::sync {
+
+/// A predicate attached to a notification flag (§3.3.4.2): it filters the
+/// notifications raised when a new version of a moved object enters the
+/// SDS. Predicates compare an attribute of the new version against the
+/// same attribute of the previously retrieved version ("notify only when
+/// the new one is faster") or against a constant.
+struct NotifyPredicate {
+  enum class Op { kLess, kLessEqual, kGreater, kGreaterEqual, kEqual,
+                  kNotEqual };
+  std::string attribute;  // measured on the payloads (e.g. "delay")
+  Op op = Op::kLess;
+  /// When true, the right-hand side is the old version's attribute value;
+  /// otherwise `constant` is used.
+  bool compare_to_old = true;
+  double constant = 0.0;
+};
+
+/// A change notification delivered to a design thread (§3.3.4.2: the
+/// destination of a notification message is a thread rather than a
+/// designer, so the owner of several threads can identify the context).
+struct Notification {
+  int thread_id = 0;
+  std::string sds;           // SDS the change happened in
+  oct::ObjectId new_version;  // the version that triggered the message
+  oct::ObjectId old_version;  // the version the thread had retrieved
+  int64_t micros = 0;
+};
+
+/// The space argument of a MOVE operation.
+struct Space {
+  enum class Kind { kThreadWorkspace, kSds };
+  Kind kind = Kind::kSds;
+  int thread_id = 0;  // when kThreadWorkspace
+  std::string sds;    // when kSds
+
+  static Space Thread(int id) {
+    Space s;
+    s.kind = Kind::kThreadWorkspace;
+    s.thread_id = id;
+    return s;
+  }
+  static Space Sds(std::string name) {
+    Space s;
+    s.kind = Kind::kSds;
+    s.sds = std::move(name);
+    return s;
+  }
+};
+
+/// Manages synchronization data spaces (§3.3.4.2): shared repositories
+/// through which design threads cooperate. Registered threads MOVE object
+/// versions into an SDS to publish them and out of it to consume them;
+/// consuming with a notification flag leaves a subscription that fires
+/// when newer versions of the object arrive, filtered by optional
+/// predicates. Objects in an SDS are never updated — only new versions are
+/// added — and there is no locking: conflicts surface as notifications
+/// (optimistic concurrency, §3.1).
+///
+/// The manager also implements thread import (§3.3.4.2): a registered
+/// read-only, continuously reflected view of another designer's thread.
+class SdsManager {
+ public:
+  explicit SdsManager(oct::OctDatabase* db) : db_(db) {}
+
+  SdsManager(const SdsManager&) = delete;
+  SdsManager& operator=(const SdsManager&) = delete;
+
+  // --- space management ---------------------------------------------------
+
+  Status CreateSds(const std::string& name);
+  Status RemoveSds(const std::string& name);
+  bool HasSds(const std::string& name) const { return spaces_.count(name); }
+  std::vector<std::string> SdsNames() const;
+
+  /// Registers / deregisters a thread with an SDS. Only registered
+  /// threads can contribute or retrieve objects. The registered set is
+  /// dynamic (§3.3.4.2).
+  Status Register(const std::string& sds, int thread_id);
+  Status Deregister(const std::string& sds, int thread_id);
+  Result<std::set<int>> RegisteredThreads(const std::string& sds) const;
+
+  /// The object versions currently published in an SDS.
+  Result<std::vector<oct::ObjectId>> Contents(const std::string& sds) const;
+
+  // --- the MOVE operation (§3.3.4.2) ---------------------------------------
+  //
+  // MOVE Object-ID, Source-space, Destination-space, Notification-flag,
+  //      Predicate-set
+
+  /// Moves one object version between spaces. Enforced rules:
+  ///  - at least one side must be an SDS (threads never share directly);
+  ///  - the thread side must be registered with the SDS involved;
+  ///  - SDS contents are append-only (a version already present is an
+  ///    error).
+  /// When the source is an SDS and the destination a thread workspace and
+  /// `notify` is set, a notification flag (with `predicates`) is left
+  /// behind: the thread is notified when a newer version of the object
+  /// reaches the SDS.
+  Status Move(const oct::ObjectId& id, const Space& source,
+              const Space& destination, bool notify = false,
+              std::vector<NotifyPredicate> predicates = {});
+
+  /// Notifications queued for a thread; drains the queue.
+  std::vector<Notification> TakeNotifications(int thread_id);
+  /// Number of pending notifications for a thread.
+  size_t PendingNotifications(int thread_id) const;
+  int64_t total_notifications() const { return total_notifications_; }
+  int64_t suppressed_notifications() const {
+    return suppressed_notifications_;
+  }
+
+  // --- thread import (§3.3.4.2) --------------------------------------------
+
+  /// Grants `importer` a read-only continuous reflection of `exporter`'s
+  /// thread. Unidirectional.
+  Status ImportThread(int importer_thread, int exporter_thread);
+  Status RevokeImport(int importer_thread, int exporter_thread);
+  /// True when `importer` may read `exporter`'s thread.
+  bool CanRead(int importer_thread, int exporter_thread) const;
+  /// Threads imported by `importer`.
+  std::set<int> ImportsOf(int importer_thread) const;
+
+ private:
+  struct SdsState {
+    std::set<int> registered;
+    std::set<oct::ObjectId> objects;
+    // (object name, thread) -> subscription with old version & predicates.
+    struct Subscription {
+      int thread_id;
+      oct::ObjectId old_version;
+      std::vector<NotifyPredicate> predicates;
+    };
+    std::map<std::string, std::vector<Subscription>> subscriptions;
+  };
+
+  Result<SdsState*> FindSds(const std::string& name);
+  Result<const SdsState*> FindSds(const std::string& name) const;
+  bool PredicatesAllow(const std::vector<NotifyPredicate>& predicates,
+                       const oct::ObjectId& new_version,
+                       const oct::ObjectId& old_version);
+  /// Fires subscriptions on `name` in `sds` for a newly published version.
+  void NotifySubscribers(const std::string& sds_name, SdsState* sds,
+                         const oct::ObjectId& new_version);
+
+  oct::OctDatabase* db_;
+  std::map<std::string, SdsState> spaces_;
+  std::map<int, std::vector<Notification>> pending_;
+  std::map<int, std::set<int>> imports_;  // importer -> exporters
+  int64_t total_notifications_ = 0;
+  int64_t suppressed_notifications_ = 0;
+};
+
+}  // namespace papyrus::sync
+
+#endif  // PAPYRUS_SYNC_SDS_H_

@@ -1,0 +1,48 @@
+#ifndef PAPYRUS_TASK_HISTORY_H_
+#define PAPYRUS_TASK_HISTORY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "oct/object_id.h"
+#include "sprite/network.h"
+
+namespace papyrus::task {
+
+/// The recorded execution of one design step (one CAD tool invocation).
+struct StepRecord {
+  std::string step_name;
+  std::string tool;
+  /// The actual invocation: tool name plus final options, with formal
+  /// object names replaced by the actual names operated on.
+  std::string invocation;
+  std::vector<oct::ObjectId> inputs;
+  std::vector<oct::ObjectId> outputs;
+  int64_t dispatch_micros = 0;
+  int64_t completion_micros = 0;
+  sprite::HostId host = sprite::kNoHost;
+  int exit_status = 0;
+  std::string message;
+  /// Issue-order id inside the task run (drives §4.3.4 undo).
+  int internal_id = -1;
+};
+
+/// The history record of one committed design task (§4.3.5): the linear
+/// sequence of executed steps ordered by completion time, plus the task's
+/// own input/output objects. The task manager packages one of these per
+/// successful invocation and hands it to the activity manager, which
+/// appends it to the design thread's control stream.
+struct TaskHistoryRecord {
+  std::string task_name;
+  std::vector<oct::ObjectId> inputs;
+  std::vector<oct::ObjectId> outputs;
+  std::vector<StepRecord> steps;  // completion-time order
+  int64_t invoke_micros = 0;
+  int64_t commit_micros = 0;
+  int restarts = 0;  // programmable-abort restarts during the run
+};
+
+}  // namespace papyrus::task
+
+#endif  // PAPYRUS_TASK_HISTORY_H_

@@ -1,0 +1,114 @@
+#include "task/progress_view.h"
+
+#include <sstream>
+
+namespace papyrus::task {
+
+ProgressView::ProgressView(const tdl::TaskTemplate& tmpl,
+                           const tdl::TemplateLibrary* library)
+    : task_name_(tmpl.name) {
+  auto steps = tdl::ExtractSteps(tmpl.script, library);
+  if (steps.ok()) {
+    steps_ = std::move(*steps);
+    layout_ = tdl::ComputeTemplateLayout(steps_);
+    for (const tdl::StaticStep& step : steps_) {
+      states_[step.name] = State::kPending;
+    }
+  }
+}
+
+void ProgressView::OnStepReady(const std::string& step_name,
+                               int restart_count, std::string* options) {
+  (void)restart_count;
+  states_[step_name] = State::kRunning;
+  messages_.push_back("dispatch " + step_name +
+                      (options->empty() ? "" : " with options: " + *options));
+}
+
+void ProgressView::OnStepCompleted(const StepRecord& record) {
+  states_[record.step_name] =
+      record.exit_status == 0 ? State::kCompleted : State::kFailed;
+  std::ostringstream msg;
+  msg << record.step_name << " exit " << record.exit_status << " on host "
+      << record.host;
+  if (!record.message.empty()) msg << ": " << record.message;
+  messages_.push_back(msg.str());
+}
+
+void ProgressView::OnTaskRestarted(const std::string& task_name,
+                                   int resumed_internal_id) {
+  ++restarts_;
+  messages_.push_back(task_name + " restarted (resumed internal command " +
+                      std::to_string(resumed_internal_id) + ")");
+  // Steps after the resumed state return to pending; without internal-id
+  // mapping here, conservatively reset running steps.
+  for (auto& [name, state] : states_) {
+    if (state == State::kRunning || state == State::kFailed) {
+      state = State::kPending;
+    }
+  }
+}
+
+std::string ProgressView::Render() const {
+  std::ostringstream out;
+  out << "Task: " << task_name_;
+  if (restarts_ > 0) out << "   (restarts: " << restarts_ << ")";
+  out << "\n";
+  for (size_t l = 0; l < layout_.levels.size(); ++l) {
+    out << " ";
+    for (size_t idx : layout_.levels[l]) {
+      const tdl::StaticStep& step = steps_[idx];
+      const char* marker = "[ ]";
+      auto it = states_.find(step.name);
+      if (it != states_.end()) {
+        switch (it->second) {
+          case State::kPending:
+            marker = "[ ]";
+            break;
+          case State::kRunning:
+            marker = "[>]";
+            break;
+          case State::kCompleted:
+            marker = "[x]";
+            break;
+          case State::kFailed:
+            marker = "[!]";
+            break;
+        }
+      }
+      out << " " << marker << " " << step.name;
+    }
+    out << "\n";
+  }
+  out << "Messages:\n";
+  size_t start = messages_.size() > 6 ? messages_.size() - 6 : 0;
+  for (size_t i = start; i < messages_.size(); ++i) {
+    out << "  " << messages_[i] << "\n";
+  }
+  return out.str();
+}
+
+std::string ProgressView::ManPage(const cadtools::ToolRegistry& tools,
+                                  const std::string& tool_name) {
+  auto tool = tools.Find(tool_name);
+  if (!tool.ok()) return "no manual entry for " + tool_name;
+  return (*tool)->descriptor().man_page;
+}
+
+int ProgressView::completed_steps() const {
+  int n = 0;
+  for (const auto& [name, state] : states_) {
+    if (state == State::kCompleted) ++n;
+  }
+  return n;
+}
+
+int ProgressView::failed_steps() const {
+  int n = 0;
+  for (const auto& [name, state] : states_) {
+    if (state == State::kFailed) ++n;
+  }
+  return n;
+}
+
+}  // namespace papyrus::task

@@ -1,0 +1,63 @@
+#ifndef PAPYRUS_TASK_PROGRESS_VIEW_H_
+#define PAPYRUS_TASK_PROGRESS_VIEW_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "task/task_manager.h"
+#include "tdl/template.h"
+#include "tdl/template_layout.h"
+
+namespace papyrus::task {
+
+/// A textual stand-in for the Figure 4.4 task-manager window: tracks the
+/// execution status of every step of an invoked template and renders a
+/// progress display. Attach it as the invocation's observer.
+///
+/// Status colors of the thesis map to markers:
+///   white (not started)  ->  [ ]
+///   red   (running)      ->  [>]
+///   green (completed)    ->  [x]
+///   failed               ->  [!]
+class ProgressView : public TaskObserver {
+ public:
+  /// Pre-populates the step list by statically scanning the template
+  /// (subtasks expanded when `library` is given).
+  ProgressView(const tdl::TaskTemplate& tmpl,
+               const tdl::TemplateLibrary* library);
+
+  // TaskObserver:
+  void OnStepReady(const std::string& step_name, int restart_count,
+                   std::string* options) override;
+  void OnStepCompleted(const StepRecord& record) override;
+  void OnTaskRestarted(const std::string& task_name,
+                       int resumed_internal_id) override;
+
+  /// Renders the current status, one level per line (§4.3.1 layout), plus
+  /// the message log tail (the bottom window of Figure 4.4).
+  std::string Render() const;
+
+  /// The man page for a tool, as shown by the "Show Man Page" button.
+  static std::string ManPage(const cadtools::ToolRegistry& tools,
+                             const std::string& tool_name);
+
+  int completed_steps() const;
+  int failed_steps() const;
+  int restarts() const { return restarts_; }
+  const std::vector<std::string>& messages() const { return messages_; }
+
+ private:
+  enum class State { kPending, kRunning, kCompleted, kFailed };
+
+  std::string task_name_;
+  std::vector<tdl::StaticStep> steps_;
+  tdl::TemplateLayout layout_;
+  std::map<std::string, State> states_;
+  std::vector<std::string> messages_;
+  int restarts_ = 0;
+};
+
+}  // namespace papyrus::task
+
+#endif  // PAPYRUS_TASK_PROGRESS_VIEW_H_

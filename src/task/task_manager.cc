@@ -1,0 +1,1072 @@
+#include "task/task_manager.h"
+#include "base/macros.h"
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <set>
+
+#include "base/strings.h"
+#include "cadtools/measurements.h"
+#include "oct/design_data.h"
+#include "tcl/interp.h"
+#include "tcl/parser.h"
+
+namespace papyrus::task {
+namespace internal {
+
+namespace {
+
+/// Offset so execution tokens (used as Sprite parent pids) never collide
+/// with real process ids.
+constexpr sprite::ProcessId kExecTokenBase = 1000000;
+
+}  // namespace
+
+/// A subtask expansion frame: maps the subtask template's formal names to
+/// actual object names and carries the frame's parsed command list. Frames
+/// form a chain from the root template down through nested subtasks
+/// (§4.2.2: subtasks are expanded in-line, to arbitrary depth).
+struct FrameCtx {
+  std::shared_ptr<FrameCtx> parent;
+  std::map<std::string, std::string> name_map;  // formal -> actual
+  std::string scope;        // "" for the root task, "3.1/" style below
+  size_t push_site_idx = 0;  // parent's command index of the subtask cmd
+  std::shared_ptr<std::vector<tcl::RawCommand>> cmds;
+  int depth = 0;
+};
+
+/// A step command after name resolution, ready for dispatch.
+struct ResolvedStep {
+  int internal_id = -1;
+  std::string scope;
+  int user_id = 0;  // 0 = none
+  std::string name;
+  std::vector<std::string> input_names;   // actual object names
+  std::vector<std::string> output_names;  // actual object names
+  std::string tool;
+  std::string options;  // option string after the tool name
+  bool migratable = true;
+  bool has_explicit_resumed = false;
+  int resumed_user_id = 0;
+  std::vector<int> control_deps;  // user ids within `scope`
+};
+
+/// One in-flight (or suspended) task invocation: the state machine that
+/// interprets a template and tracks the Active / Suspending / Result lists
+/// of §4.3.2.
+class Execution {
+ public:
+  Execution(TaskManager* mgr, const TaskInvocation& invocation,
+            TaskObserver* observer, int exec_id)
+      : mgr_(mgr),
+        invocation_(invocation),
+        observer_(observer),
+        exec_id_(exec_id),
+        exec_token_(kExecTokenBase + exec_id) {}
+
+  ~Execution() {
+    // Defensive: drop any leftover router entries.
+    for (const auto& [pid, entry] : active_) {
+      mgr_->pid_router_.erase(pid);
+    }
+  }
+
+  Status Init();
+  /// Makes as much interpretation progress as currently possible.
+  /// Returns true when any progress happened.
+  bool Advance();
+  bool done() const { return done_; }
+  bool remigration() const { return invocation_.remigration; }
+  void OnProcessComplete(const sprite::ProcessInfo& pinfo);
+  /// Called by the driver when the whole system is wedged.
+  void OnDeadlock();
+  Result<TaskHistoryRecord> TakeResult();
+
+ private:
+  struct ActiveEntry {
+    ResolvedStep step;
+    std::vector<oct::ObjectId> input_ids;
+    int64_t dispatch_micros = 0;
+    sprite::HostId host = sprite::kNoHost;
+  };
+  struct ResultEntry {
+    oct::ObjectId id;
+    int creating_internal_id = -1;  // -1: task input
+  };
+  struct StackEntry {
+    std::shared_ptr<FrameCtx> ctx;
+    size_t idx;
+  };
+  struct StreamEntry {
+    std::shared_ptr<FrameCtx> ctx;
+    size_t idx;
+  };
+
+  void RegisterTdlCommands();
+  void ResetInterp();
+
+  // TDL command handlers.
+  tcl::EvalResult CmdStep(const std::vector<std::string>& argv);
+  tcl::EvalResult CmdSubtask(const std::vector<std::string>& argv);
+  tcl::EvalResult CmdAttribute(const std::vector<std::string>& argv);
+  tcl::EvalResult CmdAbort(const std::vector<std::string>& argv);
+
+  std::string ResolveName(const std::string& formal) const;
+  std::string StepKey(const std::string& scope, int user_id) const {
+    return scope + "#" + std::to_string(user_id);
+  }
+  bool NeedsSync(const tcl::RawCommand& cmd) const;
+  bool Quiescent() const { return active_.empty() && suspending_.empty(); }
+
+  bool StepIsReady(const ResolvedStep& step) const;
+  Status DispatchStep(const ResolvedStep& step);
+  void IssueStep(ResolvedStep step);
+  void RescanSuspending();
+  void HandleStepFailure(const ResolvedStep& step);
+  void ScheduleRestart(int resumed_internal_id);
+  void DoRestart(int resumed_internal_id);
+  void AbortTask(Status status);
+  void Commit();
+
+  TaskManager* mgr_;
+  TaskInvocation invocation_;
+  TaskObserver* observer_;
+  int exec_id_;
+  sprite::ProcessId exec_token_;
+
+  const tdl::TaskTemplate* template_ = nullptr;
+  std::unique_ptr<tcl::Interp> interp_;
+  std::shared_ptr<FrameCtx> root_ctx_;
+  std::vector<StackEntry> stack_;
+  std::vector<StreamEntry> stream_;  // internal id -> interpreted command
+  std::shared_ptr<FrameCtx> current_frame_;
+  int current_internal_id_ = -1;
+  size_t current_cmd_idx_ = 0;
+
+  std::map<sprite::ProcessId, ActiveEntry> active_;
+  std::vector<ResolvedStep> suspending_;
+  std::map<std::string, ResultEntry> result_;  // actual name -> entry
+  std::set<std::string> completed_keys_;       // scope#uid, successful
+  std::map<std::string, int> key_internal_ids_;  // scope#uid -> internal id
+  std::vector<StepRecord> step_records_;       // completion order
+
+  oct::AttributeStore local_attr_store_;
+  std::optional<int> pending_restart_;  // resumed internal id; -1 = scratch
+  bool pending_abort_ = false;
+  Status abort_status_;
+  bool any_failed_ = false;
+  std::string failure_messages_;
+  int restarts_ = 0;
+  int64_t invoke_micros_ = 0;
+  bool done_ = false;
+  Status result_status_;
+  std::optional<TaskHistoryRecord> record_;
+};
+
+Status Execution::Init() {
+  auto tmpl = mgr_->templates_->Find(invocation_.template_name);
+  if (!tmpl.ok()) return tmpl.status();
+  template_ = *tmpl;
+  if (invocation_.inputs.size() != template_->formal_inputs.size()) {
+    return Status::InvalidArgument(
+        "task " + template_->name + " expects " +
+        std::to_string(template_->formal_inputs.size()) + " inputs, got " +
+        std::to_string(invocation_.inputs.size()));
+  }
+  if (invocation_.output_names.size() != template_->formal_outputs.size()) {
+    return Status::InvalidArgument(
+        "task " + template_->name + " expects " +
+        std::to_string(template_->formal_outputs.size()) +
+        " outputs, got " +
+        std::to_string(invocation_.output_names.size()));
+  }
+  auto cmds = tcl::ParseScript(template_->script);
+  if (!cmds.ok()) return cmds.status();
+
+  root_ctx_ = std::make_shared<FrameCtx>();
+  root_ctx_->cmds =
+      std::make_shared<std::vector<tcl::RawCommand>>(std::move(*cmds));
+  for (size_t i = 0; i < template_->formal_inputs.size(); ++i) {
+    root_ctx_->name_map[template_->formal_inputs[i]] =
+        invocation_.inputs[i].name;
+    // Task inputs enter the Result list up front: they are available to
+    // every step from the start.
+    result_[invocation_.inputs[i].name] =
+        ResultEntry{invocation_.inputs[i], -1};
+  }
+  for (size_t i = 0; i < template_->formal_outputs.size(); ++i) {
+    root_ctx_->name_map[template_->formal_outputs[i]] =
+        invocation_.output_names[i];
+  }
+  stack_.push_back(StackEntry{root_ctx_, 1});  // skip the task header
+  current_frame_ = root_ctx_;
+  invoke_micros_ = mgr_->network_->clock()->NowMicros();
+  ResetInterp();
+  return Status::OK();
+}
+
+void Execution::ResetInterp() {
+  interp_ = std::make_unique<tcl::Interp>();
+  RegisterTdlCommands();
+  interp_->SetVar("status", "0");
+}
+
+void Execution::RegisterTdlCommands() {
+  interp_->RegisterCommand(
+      "step", [this](tcl::Interp&, const std::vector<std::string>& argv) {
+        return CmdStep(argv);
+      });
+  interp_->RegisterCommand(
+      "subtask",
+      [this](tcl::Interp&, const std::vector<std::string>& argv) {
+        return CmdSubtask(argv);
+      });
+  interp_->RegisterCommand(
+      "attribute",
+      [this](tcl::Interp&, const std::vector<std::string>& argv) {
+        return CmdAttribute(argv);
+      });
+  interp_->RegisterCommand(
+      "abort", [this](tcl::Interp&, const std::vector<std::string>& argv) {
+        return CmdAbort(argv);
+      });
+  interp_->RegisterCommand(
+      "task", [](tcl::Interp&, const std::vector<std::string>&) {
+        return tcl::EvalResult::Error(
+            "task command is only valid as a template header");
+      });
+}
+
+std::string Execution::ResolveName(const std::string& formal) const {
+  auto it = current_frame_->name_map.find(formal);
+  if (it != current_frame_->name_map.end()) return it->second;
+  // Intermediate object: uniquified per task-manager instance (§4.3.4 —
+  // the thesis appends the task manager's process id; we append the
+  // execution id) and per subtask scope.
+  std::string name = formal + ".p" + std::to_string(exec_id_);
+  if (!current_frame_->scope.empty()) {
+    std::string scope = current_frame_->scope;
+    for (char& c : scope) {
+      if (c == '/') c = '_';
+    }
+    name += ".s" + scope;
+  }
+  return name;
+}
+
+bool Execution::NeedsSync(const tcl::RawCommand& cmd) const {
+  for (const tcl::RawWord& w : cmd.words) {
+    if (w.text.find("$status") != std::string::npos) return true;
+    if (w.text.find("attribute") != std::string::npos) return true;
+  }
+  return false;
+}
+
+bool Execution::Advance() {
+  if (done_) return false;
+  bool progress = false;
+  if (pending_abort_) {
+    AbortTask(abort_status_);
+    return true;
+  }
+  if (pending_restart_.has_value()) {
+    if (restarts_ >= invocation_.max_restarts) {
+      AbortTask(Status::Aborted("restart limit exceeded (" +
+                                std::to_string(invocation_.max_restarts) +
+                                "); last failures: " + failure_messages_));
+      return true;
+    }
+    DoRestart(*pending_restart_);
+    progress = true;
+  }
+  // Interpret top-level commands until blocked (or finished).
+  while (!stack_.empty()) {
+    StackEntry& top = stack_.back();
+    if (top.idx >= top.ctx->cmds->size()) {
+      stack_.pop_back();
+      progress = true;
+      continue;
+    }
+    const tcl::RawCommand& cmd = (*top.ctx->cmds)[top.idx];
+    if (NeedsSync(cmd) && !Quiescent()) {
+      return progress;  // wait for outstanding steps to settle
+    }
+    bool observes_status = false;
+    for (const tcl::RawWord& w : cmd.words) {
+      if (w.text.find("$status") != std::string::npos) {
+        observes_status = true;
+        break;
+      }
+    }
+    current_internal_id_ = static_cast<int>(stream_.size());
+    stream_.push_back(StreamEntry{top.ctx, top.idx});
+    current_frame_ = top.ctx;
+    current_cmd_idx_ = top.idx;
+    top.idx++;
+    // NOTE: evaluating the command may push a subtask frame, which can
+    // reallocate stack_; `top` must not be used past this point.
+    tcl::EvalResult r = interp_->EvalCommand(cmd);
+    progress = true;
+    if (done_) return true;
+    if (observes_status) {
+      // The template inspected $status: any earlier step failure has been
+      // observed and handled by the script, so it no longer forces an
+      // abort at finalization. (Failures after this point still do.)
+      any_failed_ = false;
+    }
+    if (r.code == tcl::EvalCode::kError) {
+      AbortTask(Status::InvalidArgument("template error in task " +
+                                        template_->name + ": " + r.value));
+      return true;
+    }
+    if (pending_abort_ || pending_restart_.has_value()) {
+      return true;  // handled at the next Advance
+    }
+  }
+  // Interpretation complete; finalize once all dispatched work settles.
+  if (!active_.empty()) return progress;
+  if (pending_abort_ || pending_restart_.has_value()) return progress;
+  if (!suspending_.empty()) {
+    std::string names;
+    for (const ResolvedStep& s : suspending_) names += " " + s.name;
+    AbortTask(Status::Aborted("unsatisfiable step dependencies:" + names +
+                              (failure_messages_.empty()
+                                   ? ""
+                                   : "; failures: " + failure_messages_)));
+    return true;
+  }
+  if (any_failed_) {
+    AbortTask(Status::Aborted("design step failed: " + failure_messages_));
+    return true;
+  }
+  Commit();
+  return true;
+}
+
+tcl::EvalResult Execution::CmdStep(const std::vector<std::string>& argv) {
+  if (argv.size() < 5) {
+    return tcl::EvalResult::Error(
+        "wrong # args: step [ID] Name {In} {Out} {Invocation} ?options?");
+  }
+  ResolvedStep step;
+  step.internal_id = current_internal_id_;
+  step.scope = current_frame_->scope;
+
+  auto head = tcl::ParseList(argv[1]);
+  if (!head.ok()) return tcl::EvalResult::Error(head.status().message());
+  int64_t uid = 0;
+  if (head->size() == 2 && ParseInt64((*head)[0], &uid)) {
+    step.user_id = static_cast<int>(uid);
+    step.name = (*head)[1];
+  } else if (head->size() == 1) {
+    step.name = (*head)[0];
+  } else {
+    return tcl::EvalResult::Error("bad step name field: " + argv[1]);
+  }
+
+  auto inputs = tcl::ParseList(argv[2]);
+  auto outputs = tcl::ParseList(argv[3]);
+  if (!inputs.ok() || !outputs.ok()) {
+    return tcl::EvalResult::Error("bad step input/output list");
+  }
+  std::map<std::string, std::string> formal_to_actual;
+  for (const std::string& formal : *inputs) {
+    std::string actual = ResolveName(formal);
+    step.input_names.push_back(actual);
+    formal_to_actual[formal] = actual;
+  }
+  for (const std::string& formal : *outputs) {
+    std::string actual = ResolveName(formal);
+    step.output_names.push_back(actual);
+    formal_to_actual[formal] = actual;
+  }
+
+  std::vector<std::string> words = SplitWhitespace(argv[4]);
+  if (words.empty()) {
+    return tcl::EvalResult::Error("empty invocation in step " + step.name);
+  }
+  step.tool = words[0];
+  std::vector<std::string> option_words;
+  for (size_t i = 1; i < words.size(); ++i) {
+    auto it = formal_to_actual.find(words[i]);
+    option_words.push_back(it == formal_to_actual.end() ? words[i]
+                                                        : it->second);
+  }
+  step.options = Join(option_words, " ");
+
+  // Optional self-identified fields (§4.2.2).
+  for (size_t i = 5; i < argv.size(); ++i) {
+    auto field = tcl::ParseList(argv[i]);
+    if (!field.ok() || field->empty()) {
+      return tcl::EvalResult::Error("bad optional step field: " + argv[i]);
+    }
+    const std::string& kind = (*field)[0];
+    if (kind == "NonMigrate") {
+      step.migratable = false;
+    } else if (kind == "ResumedStep") {
+      int64_t rid = 0;
+      if (field->size() != 2 || !ParseInt64((*field)[1], &rid)) {
+        return tcl::EvalResult::Error("ResumedStep requires an integer id");
+      }
+      step.has_explicit_resumed = true;
+      step.resumed_user_id = static_cast<int>(rid);
+    } else if (kind == "ControlDependency") {
+      for (size_t j = 1; j < field->size(); ++j) {
+        int64_t dep = 0;
+        if (!ParseInt64((*field)[j], &dep)) {
+          return tcl::EvalResult::Error(
+              "ControlDependency requires integer ids");
+        }
+        step.control_deps.push_back(static_cast<int>(dep));
+      }
+    } else {
+      return tcl::EvalResult::Error("unknown step field \"" + kind + "\"");
+    }
+  }
+
+  if (step.user_id > 0) {
+    key_internal_ids_[StepKey(step.scope, step.user_id)] =
+        step.internal_id;
+  }
+  IssueStep(std::move(step));
+  return tcl::EvalResult::Ok();
+}
+
+tcl::EvalResult Execution::CmdSubtask(
+    const std::vector<std::string>& argv) {
+  if (argv.size() != 4) {
+    return tcl::EvalResult::Error(
+        "wrong # args: subtask [ID] Name {In} {Out}");
+  }
+  auto head = tcl::ParseList(argv[1]);
+  if (!head.ok()) return tcl::EvalResult::Error(head.status().message());
+  std::string name = head->empty() ? "" : head->back();
+  auto tmpl = mgr_->templates_->Find(name);
+  if (!tmpl.ok()) {
+    return tcl::EvalResult::Error(tmpl.status().message());
+  }
+  auto ins = tcl::ParseList(argv[2]);
+  auto outs = tcl::ParseList(argv[3]);
+  if (!ins.ok() || !outs.ok()) {
+    return tcl::EvalResult::Error("bad subtask argument list");
+  }
+  // §4.2.2: mismatched input/output lists force the containing task to
+  // abort.
+  if (ins->size() != (*tmpl)->formal_inputs.size() ||
+      outs->size() != (*tmpl)->formal_outputs.size()) {
+    pending_abort_ = true;
+    abort_status_ = Status::InvalidArgument(
+        "subtask " + name + " argument lists do not match its template");
+    return tcl::EvalResult::Ok();
+  }
+  auto cmds = tcl::ParseScript((*tmpl)->script);
+  if (!cmds.ok()) return tcl::EvalResult::Error(cmds.status().message());
+
+  auto ctx = std::make_shared<FrameCtx>();
+  ctx->parent = current_frame_;
+  ctx->depth = current_frame_->depth + 1;
+  ctx->push_site_idx = current_cmd_idx_;
+  ctx->scope = current_frame_->scope + std::to_string(current_cmd_idx_) +
+               "." + std::to_string(ctx->depth) + "/";
+  ctx->cmds =
+      std::make_shared<std::vector<tcl::RawCommand>>(std::move(*cmds));
+  for (size_t i = 0; i < ins->size(); ++i) {
+    ctx->name_map[(*tmpl)->formal_inputs[i]] = ResolveName((*ins)[i]);
+  }
+  for (size_t i = 0; i < outs->size(); ++i) {
+    ctx->name_map[(*tmpl)->formal_outputs[i]] = ResolveName((*outs)[i]);
+  }
+  stack_.push_back(StackEntry{ctx, 1});  // skip the subtask's task header
+  return tcl::EvalResult::Ok();
+}
+
+tcl::EvalResult Execution::CmdAttribute(
+    const std::vector<std::string>& argv) {
+  if (argv.size() != 3) {
+    return tcl::EvalResult::Error(
+        "wrong # args: attribute Object_Name Attribute_Name");
+  }
+  std::string actual = ResolveName(argv[1]);
+  auto resolve = [&]() -> std::optional<oct::ObjectId> {
+    auto it = result_.find(actual);
+    if (it != result_.end()) return it->second.id;
+    auto latest = mgr_->db_->LatestVisible(actual);
+    if (latest.ok()) return *latest;
+    return std::nullopt;
+  };
+  std::optional<oct::ObjectId> resolved = resolve();
+  // §4.3.6: attribute computation is synchronous. When the object is the
+  // output of a still-running step (e.g. inside a while-loop body), drain
+  // the network until it materializes or nothing can make progress.
+  while (!resolved.has_value() && !active_.empty() &&
+         !pending_abort_ && !pending_restart_.has_value()) {
+    if (!mgr_->network_->Step()) break;
+    resolved = resolve();
+  }
+  if (!resolved.has_value()) {
+    return tcl::EvalResult::Error("attribute: no such object \"" + actual +
+                                  "\"");
+  }
+  oct::ObjectId id = *resolved;
+  oct::AttributeStore* store = invocation_.attribute_store != nullptr
+                                   ? invocation_.attribute_store
+                                   : &local_attr_store_;
+  if (auto cached = store->GetValue(id, argv[2]); cached.ok()) {
+    return tcl::EvalResult::Ok(*cached);
+  }
+  auto rec = mgr_->db_->Get(id);
+  if (!rec.ok()) {
+    return tcl::EvalResult::Error(rec.status().message());
+  }
+  auto value = cadtools::MeasureAttribute((*rec)->payload, argv[2]);
+  if (!value.ok()) {
+    return tcl::EvalResult::Error(value.status().message());
+  }
+  // Cache for subsequent queries (§4.3.6: the task manager caches computed
+  // results in the attribute database).
+  store->Attach(id, argv[2], cadtools::MeasurementToolFor(argv[2]),
+                oct::AttributeMode::kLazy);
+  (void)store->SetComputed(id, argv[2], *value);
+  return tcl::EvalResult::Ok(*value);
+}
+
+tcl::EvalResult Execution::CmdAbort(const std::vector<std::string>& argv) {
+  if (argv.size() > 2) {
+    return tcl::EvalResult::Error("wrong # args: abort ?Step_Identifier?");
+  }
+  if (argv.size() == 1) {
+    // Abort the entire task: clean up side effects and exit (§4.2.2).
+    pending_abort_ = true;
+    abort_status_ = Status::Aborted("task aborted by abort command");
+    return tcl::EvalResult::Ok();
+  }
+  // Abort a specific step, identified by step ID or symbolic name.
+  int64_t uid = 0;
+  bool by_id = ParseInt64(argv[1], &uid);
+  const ResolvedStep* target = nullptr;
+  for (const auto& [pid, entry] : active_) {
+    if (entry.step.scope != current_frame_->scope) continue;
+    if ((by_id && entry.step.user_id == uid) ||
+        (!by_id && entry.step.name == argv[1])) {
+      target = &entry.step;
+    }
+  }
+  // Also allow aborting an already-issued (possibly completed) step: the
+  // restart machinery undoes its effects.
+  std::optional<ResolvedStep> record_copy;
+  if (target == nullptr && !by_id) {
+    for (auto rit = step_records_.rbegin(); rit != step_records_.rend();
+         ++rit) {
+      if (rit->step_name == argv[1]) {
+        // Reconstruct enough of the step for restart resolution.
+        ResolvedStep s;
+        s.name = rit->step_name;
+        s.scope = current_frame_->scope;
+        s.internal_id = rit->internal_id;
+        record_copy = s;
+        target = &*record_copy;
+        break;
+      }
+    }
+  }
+  if (target == nullptr && by_id) {
+    auto it = key_internal_ids_.find(
+        StepKey(current_frame_->scope, static_cast<int>(uid)));
+    if (it != key_internal_ids_.end()) {
+      ResolvedStep s;
+      s.user_id = static_cast<int>(uid);
+      s.scope = current_frame_->scope;
+      s.internal_id = it->second;
+      record_copy = s;
+      target = &*record_copy;
+    }
+  }
+  if (target == nullptr) {
+    return tcl::EvalResult::Error("abort: no such step \"" + argv[1] +
+                                  "\"");
+  }
+  if (target->has_explicit_resumed && target->resumed_user_id > 0) {
+    auto it = key_internal_ids_.find(
+        StepKey(target->scope, target->resumed_user_id));
+    if (it == key_internal_ids_.end()) {
+      return tcl::EvalResult::Error("abort: resumed step " +
+                                    std::to_string(target->resumed_user_id) +
+                                    " was never issued");
+    }
+    ScheduleRestart(it->second);
+  } else {
+    ScheduleRestart(-1);  // default: restart from scratch (§3.3.2)
+  }
+  return tcl::EvalResult::Ok();
+}
+
+bool Execution::StepIsReady(const ResolvedStep& step) const {
+  for (const std::string& input : step.input_names) {
+    if (result_.count(input) == 0) return false;
+  }
+  for (int dep : step.control_deps) {
+    if (completed_keys_.count(StepKey(step.scope, dep)) == 0) return false;
+  }
+  return true;
+}
+
+void Execution::IssueStep(ResolvedStep step) {
+  if (StepIsReady(step)) {
+    Status st = DispatchStep(step);
+    if (!st.ok()) {
+      pending_abort_ = true;
+      abort_status_ = st;
+    }
+  } else {
+    suspending_.push_back(std::move(step));
+  }
+}
+
+Status Execution::DispatchStep(const ResolvedStep& step) {
+  auto tool = mgr_->tools_->Find(step.tool);
+  if (!tool.ok()) return tool.status();
+
+  ResolvedStep dispatched = step;
+  // Apply user option overrides (the "New Options:" interaction, §4.3.1).
+  auto ov = invocation_.option_overrides.find(step.name);
+  if (ov != invocation_.option_overrides.end()) {
+    dispatched.options = ov->second;
+  }
+  if (observer_ != nullptr) {
+    observer_->OnStepReady(step.name, restarts_, &dispatched.options);
+  }
+
+  std::vector<oct::ObjectId> input_ids;
+  int64_t total_bytes = 0;
+  for (const std::string& input : dispatched.input_names) {
+    const ResultEntry& entry = result_.at(input);
+    input_ids.push_back(entry.id);
+    auto rec = mgr_->db_->Peek(entry.id);
+    if (rec.ok()) total_bytes += (*rec)->size_bytes;
+  }
+
+  bool migratable =
+      dispatched.migratable && !(*tool)->descriptor().interactive;
+  sprite::HostId host = mgr_->network_->home_host();
+  if (migratable) {
+    // §4.3.2: find an idle workstation; execute locally when none exists.
+    auto idle = mgr_->network_->FindIdleHost();
+    if (idle.ok()) host = *idle;
+  }
+  int64_t work = (*tool)->CostMicros(total_bytes);
+  auto pid = mgr_->network_->Spawn(exec_token_, dispatched.tool, work,
+                                   host, migratable);
+  if (!pid.ok()) return pid.status();
+
+  ActiveEntry entry;
+  entry.step = std::move(dispatched);
+  entry.input_ids = std::move(input_ids);
+  entry.dispatch_micros = mgr_->network_->clock()->NowMicros();
+  entry.host = host;
+  active_[*pid] = std::move(entry);
+  mgr_->pid_router_[*pid] = this;
+  return Status::OK();
+}
+
+void Execution::RescanSuspending() {
+  bool dispatched_any = true;
+  while (dispatched_any) {
+    dispatched_any = false;
+    for (size_t i = 0; i < suspending_.size(); ++i) {
+      if (StepIsReady(suspending_[i])) {
+        ResolvedStep step = std::move(suspending_[i]);
+        suspending_.erase(suspending_.begin() + i);
+        Status st = DispatchStep(step);
+        if (!st.ok()) {
+          pending_abort_ = true;
+          abort_status_ = st;
+          return;
+        }
+        dispatched_any = true;
+        break;
+      }
+    }
+  }
+}
+
+void Execution::OnProcessComplete(const sprite::ProcessInfo& pinfo) {
+  auto it = active_.find(pinfo.pid);
+  if (it == active_.end()) return;
+  ActiveEntry entry = std::move(it->second);
+  active_.erase(it);
+  mgr_->pid_router_.erase(pinfo.pid);
+
+  auto tool = mgr_->tools_->Find(entry.step.tool);
+  if (!tool.ok()) {
+    pending_abort_ = true;
+    abort_status_ = tool.status();
+    return;
+  }
+
+  // Run the actual transformation now that the simulated process has
+  // "finished computing".
+  cadtools::ToolRunContext ctx;
+  ctx.options = cadtools::ToolOptions::Parse(
+      SplitWhitespace(entry.step.options));
+  ctx.seed = invocation_.seed ^
+             Fnv1a(entry.step.scope + entry.step.name + entry.step.options);
+  bool inputs_ok = true;
+  for (const oct::ObjectId& id : entry.input_ids) {
+    auto rec = mgr_->db_->Get(id);
+    if (!rec.ok()) {
+      inputs_ok = false;
+      break;
+    }
+    ctx.inputs.push_back(&(*rec)->payload);
+    ctx.input_names.push_back(id.name);
+  }
+  cadtools::ToolRunResult res;
+  if (!inputs_ok) {
+    res = cadtools::ToolRunResult::Fail(
+        2, entry.step.tool + ": input object disappeared");
+  } else {
+    res = (*tool)->Run(ctx);
+  }
+  if (res.exit_status == 0 &&
+      res.outputs.size() != entry.step.output_names.size()) {
+    res = cadtools::ToolRunResult::Fail(
+        3, entry.step.tool + ": produced " +
+               std::to_string(res.outputs.size()) + " outputs, template " +
+               "declares " +
+               std::to_string(entry.step.output_names.size()));
+  }
+
+  interp_->SetVar("status", std::to_string(res.exit_status));
+
+  StepRecord record;
+  record.step_name = entry.step.name;
+  record.tool = entry.step.tool;
+  record.invocation = entry.step.tool +
+                      (entry.step.options.empty()
+                           ? ""
+                           : " " + entry.step.options);
+  record.inputs = entry.input_ids;
+  record.dispatch_micros = entry.dispatch_micros;
+  record.completion_micros = pinfo.finish_micros;
+  record.host = pinfo.current_host;
+  record.exit_status = res.exit_status;
+  record.message = res.message;
+  record.internal_id = entry.step.internal_id;
+
+  if (res.exit_status == 0) {
+    oct::Transaction txn(mgr_->db_);
+    for (size_t i = 0; i < res.outputs.size(); ++i) {
+      txn.StageCreate(entry.step.output_names[i],
+                      std::move(res.outputs[i]), entry.step.tool);
+    }
+    auto created = txn.Commit();
+    if (!created.ok()) {
+      pending_abort_ = true;
+      abort_status_ = created.status();
+      return;
+    }
+    for (size_t i = 0; i < created->size(); ++i) {
+      result_[entry.step.output_names[i]] =
+          ResultEntry{(*created)[i], entry.step.internal_id};
+    }
+    record.outputs = *created;
+    if (entry.step.user_id > 0) {
+      completed_keys_.insert(
+          StepKey(entry.step.scope, entry.step.user_id));
+    }
+    step_records_.push_back(record);
+    ++mgr_->steps_executed_;
+    if (observer_ != nullptr) observer_->OnStepCompleted(record);
+    RescanSuspending();
+    return;
+  }
+
+  // Step failed.
+  step_records_.push_back(record);
+  ++mgr_->steps_executed_;
+  if (observer_ != nullptr) observer_->OnStepCompleted(record);
+  any_failed_ = true;
+  if (!failure_messages_.empty()) failure_messages_ += "; ";
+  failure_messages_ += res.message;
+  HandleStepFailure(entry.step);
+}
+
+void Execution::HandleStepFailure(const ResolvedStep& step) {
+  // Papyrus policy (documented divergence, DESIGN.md): a failed step
+  // triggers an automatic restart only when it carries an explicit
+  // ResumedStep field. Otherwise the failure is surfaced through the Tcl
+  // `$status` variable and the template decides; a task that can no longer
+  // make progress aborts at finalization.
+  if (!step.has_explicit_resumed) return;
+  if (step.resumed_user_id == 0) {
+    ScheduleRestart(-1);
+    return;
+  }
+  auto it = key_internal_ids_.find(
+      StepKey(step.scope, step.resumed_user_id));
+  if (it == key_internal_ids_.end()) {
+    pending_abort_ = true;
+    abort_status_ = Status::InvalidArgument(
+        "step " + step.name + " names resumed step " +
+        std::to_string(step.resumed_user_id) + " which was never issued");
+    return;
+  }
+  ScheduleRestart(it->second);
+}
+
+void Execution::ScheduleRestart(int resumed_internal_id) {
+  // Keep the earliest (smallest) restart target if several failures race.
+  if (pending_restart_.has_value()) {
+    pending_restart_ = std::min(*pending_restart_, resumed_internal_id);
+  } else {
+    pending_restart_ = resumed_internal_id;
+  }
+}
+
+void Execution::DoRestart(int j) {
+  pending_restart_.reset();
+  ++restarts_;
+  any_failed_ = false;
+  if (observer_ != nullptr) {
+    observer_->OnTaskRestarted(template_->name, j);
+  }
+  // §4.3.4 undo: kill active processes, drop suspended steps, remove
+  // Result entries and history records created by steps with internal ID
+  // greater than J.
+  for (auto it = active_.begin(); it != active_.end();) {
+    if (it->second.step.internal_id > j) {
+      (void)mgr_->network_->Kill(it->first);
+      mgr_->pid_router_.erase(it->first);
+      it = active_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  suspending_.erase(
+      std::remove_if(suspending_.begin(), suspending_.end(),
+                     [j](const ResolvedStep& s) {
+                       return s.internal_id > j;
+                     }),
+      suspending_.end());
+  for (auto it = result_.begin(); it != result_.end();) {
+    if (it->second.creating_internal_id > j) {
+      (void)mgr_->db_->MarkInvisible(it->second.id);
+      it = result_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = key_internal_ids_.begin();
+       it != key_internal_ids_.end();) {
+    if (it->second > j) {
+      completed_keys_.erase(it->first);
+      it = key_internal_ids_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  step_records_.erase(
+      std::remove_if(step_records_.begin(), step_records_.end(),
+                     [j](const StepRecord& r) { return r.internal_id > j; }),
+      step_records_.end());
+  interp_->SetVar("status", "0");
+
+  // Rebuild the interpretation stack so the next command interpreted is
+  // the (J+1)-th — §4.3.4.
+  stack_.clear();
+  if (j < 0) {
+    // Full restart: fresh interpreter, from the beginning.
+    ResetInterp();
+    stack_.push_back(StackEntry{root_ctx_, 1});
+    current_frame_ = root_ctx_;
+    return;
+  }
+  const StreamEntry& entry = stream_[j];
+  std::vector<std::shared_ptr<FrameCtx>> chain;
+  for (std::shared_ptr<FrameCtx> c = entry.ctx; c != nullptr;
+       c = c->parent) {
+    chain.push_back(c);
+  }
+  std::reverse(chain.begin(), chain.end());  // root .. leaf
+  for (size_t i = 0; i < chain.size(); ++i) {
+    size_t idx = (i + 1 < chain.size()) ? chain[i + 1]->push_site_idx + 1
+                                        : entry.idx + 1;
+    stack_.push_back(StackEntry{chain[i], idx});
+  }
+  current_frame_ = entry.ctx;
+}
+
+void Execution::AbortTask(Status status) {
+  pending_abort_ = false;
+  pending_restart_.reset();
+  for (const auto& [pid, entry] : active_) {
+    (void)mgr_->network_->Kill(pid);
+    mgr_->pid_router_.erase(pid);
+  }
+  active_.clear();
+  suspending_.clear();
+  // Remove all side effects: every object the task created becomes
+  // invisible (§3.3.1 "deletes" via visibility).
+  for (const auto& [name, entry] : result_) {
+    if (entry.creating_internal_id >= 0) {
+      (void)mgr_->db_->MarkInvisible(entry.id);
+    }
+  }
+  result_status_ = status.ok()
+                       ? Status::Aborted("task aborted")
+                       : status;
+  done_ = true;
+  ++mgr_->tasks_aborted_;
+}
+
+void Execution::Commit() {
+  TaskHistoryRecord record;
+  record.task_name = template_->name;
+  record.inputs = invocation_.inputs;
+  for (const std::string& out_name : invocation_.output_names) {
+    auto it = result_.find(out_name);
+    if (it == result_.end()) {
+      AbortTask(Status::Aborted("task output \"" + out_name +
+                                "\" was never produced"));
+      return;
+    }
+    record.outputs.push_back(it->second.id);
+  }
+  // Discard intermediates: only the task's declared inputs and outputs
+  // stay visible after commit (§3.3.2).
+  std::set<std::string> keep(invocation_.output_names.begin(),
+                             invocation_.output_names.end());
+  for (const oct::ObjectId& id : invocation_.inputs) keep.insert(id.name);
+  for (const auto& [name, entry] : result_) {
+    if (entry.creating_internal_id >= 0 && keep.count(name) == 0) {
+      (void)mgr_->db_->MarkInvisible(entry.id);
+    }
+  }
+  record.steps = step_records_;
+  record.invoke_micros = invoke_micros_;
+  record.commit_micros = mgr_->network_->clock()->NowMicros();
+  record.restarts = restarts_;
+  record_ = std::move(record);
+  result_status_ = Status::OK();
+  done_ = true;
+  ++mgr_->tasks_committed_;
+}
+
+void Execution::OnDeadlock() {
+  std::string names;
+  for (const ResolvedStep& s : suspending_) names += " " + s.name;
+  AbortTask(Status::Aborted(
+      "task deadlocked; unsatisfiable steps:" + names +
+      (failure_messages_.empty() ? ""
+                                 : "; failures: " + failure_messages_)));
+}
+
+Result<TaskHistoryRecord> Execution::TakeResult() {
+  if (!done_) return Status::Internal("execution still in progress");
+  if (!result_status_.ok()) return result_status_;
+  return std::move(*record_);
+}
+
+}  // namespace internal
+
+TaskManager::TaskManager(oct::OctDatabase* db,
+                         const cadtools::ToolRegistry* tools,
+                         sprite::Network* network,
+                         const tdl::TemplateLibrary* templates)
+    : db_(db), tools_(tools), network_(network), templates_(templates) {
+  network_->SetCompletionHandler([this](const sprite::ProcessInfo& p) {
+    auto it = pid_router_.find(p.pid);
+    if (it != pid_router_.end()) it->second->OnProcessComplete(p);
+  });
+}
+
+TaskManager::~TaskManager() = default;
+
+Result<TaskHistoryRecord> TaskManager::Invoke(
+    const TaskInvocation& invocation, TaskObserver* observer) {
+  internal::Execution exec(this, invocation, observer,
+                           next_execution_id_++);
+  PAPYRUS_RETURN_IF_ERROR(exec.Init());
+  std::vector<internal::Execution*> execs = {&exec};
+  DriveAll(execs);
+  return exec.TakeResult();
+}
+
+std::vector<Result<TaskHistoryRecord>> TaskManager::InvokeMany(
+    const std::vector<TaskInvocation>& invocations,
+    const std::vector<TaskObserver*>& observers) {
+  std::vector<std::unique_ptr<internal::Execution>> owned;
+  std::vector<internal::Execution*> execs;
+  std::vector<Result<TaskHistoryRecord>> results;
+  std::vector<Status> init_errors(invocations.size(), Status::OK());
+  for (size_t i = 0; i < invocations.size(); ++i) {
+    TaskObserver* obs = i < observers.size() ? observers[i] : nullptr;
+    auto exec = std::make_unique<internal::Execution>(
+        this, invocations[i], obs, next_execution_id_++);
+    init_errors[i] = exec->Init();
+    if (init_errors[i].ok()) {
+      execs.push_back(exec.get());
+    }
+    owned.push_back(std::move(exec));
+  }
+  DriveAll(execs);
+  for (size_t i = 0; i < invocations.size(); ++i) {
+    if (!init_errors[i].ok()) {
+      results.push_back(init_errors[i]);
+    } else {
+      results.push_back(owned[i]->TakeResult());
+    }
+  }
+  return results;
+}
+
+void TaskManager::DriveAll(std::vector<internal::Execution*>& executions) {
+  while (true) {
+    bool progress = false;
+    bool all_done = true;
+    for (internal::Execution* exec : executions) {
+      if (exec->done()) continue;
+      if (exec->Advance()) progress = true;
+      if (!exec->done()) all_done = false;
+    }
+    if (all_done) break;
+    if (progress) continue;
+    TryRemigration();
+    if (network_->Step()) continue;
+    // Nothing can move: deadlock.
+    for (internal::Execution* exec : executions) {
+      if (!exec->done()) exec->OnDeadlock();
+    }
+  }
+}
+
+void TaskManager::TryRemigration() {
+  sprite::HostId home = network_->home_host();
+  // Snapshot pids first: migration mutates no routing, but be safe.
+  std::vector<std::pair<sprite::ProcessId, internal::Execution*>> pids(
+      pid_router_.begin(), pid_router_.end());
+  for (const auto& [pid, exec] : pids) {
+    if (!exec->remigration()) continue;
+    auto info = network_->GetProcess(pid);
+    if (!info.ok() || info->state != sprite::ProcessState::kRunning) {
+      continue;
+    }
+    if (!info->migratable || info->current_host != home) continue;
+    // Only worth moving when the home node is contended (§4.3.3).
+    if (!network_->IsOwnerActive(home) && network_->LoadOf(home) < 2) {
+      continue;
+    }
+    auto idle = network_->FindIdleHost(/*exclude_home=*/true);
+    if (!idle.ok()) continue;
+    // The move must strictly improve this process's situation; otherwise
+    // processes just pile up on the least-loaded remote node.
+    if (!network_->IsOwnerActive(home) &&
+        network_->LoadOf(*idle) + 1 >= network_->LoadOf(home)) {
+      continue;
+    }
+    if (network_->Migrate(pid, *idle).ok()) ++remigrations_;
+  }
+}
+
+}  // namespace papyrus::task

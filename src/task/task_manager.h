@@ -1,0 +1,129 @@
+#ifndef PAPYRUS_TASK_TASK_MANAGER_H_
+#define PAPYRUS_TASK_TASK_MANAGER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "base/status.h"
+#include "cadtools/registry.h"
+#include "oct/attribute_store.h"
+#include "oct/database.h"
+#include "sprite/network.h"
+#include "task/history.h"
+#include "tdl/template.h"
+
+namespace papyrus::task {
+
+/// One task invocation request. The activity manager resolves input names
+/// to concrete object versions before invoking (§5.1); output names are
+/// plain — the database assigns versions under single-assignment update.
+struct TaskInvocation {
+  std::string template_name;
+  std::vector<oct::ObjectId> inputs;       // one per formal input
+  std::vector<std::string> output_names;   // one per formal output
+  /// Per-step option overrides: step name -> replacement option string
+  /// (everything after the tool name). The §4.3.1 "New Options:" box.
+  std::map<std::string, std::string> option_overrides;
+  /// Attribute cache for the invoking thread's workspace; may be null.
+  oct::AttributeStore* attribute_store = nullptr;
+  bool remigration = true;  // §4.3.3
+  int max_restarts = 8;     // bound on programmable-abort restarts
+  uint64_t seed = 1;        // base seed for source-less tools (edit)
+};
+
+/// Observation and interaction hooks — the library-level equivalent of the
+/// Tk task-manager window (§4.3.1). All methods have empty defaults.
+class TaskObserver {
+ public:
+  virtual ~TaskObserver() = default;
+  /// A step is about to be dispatched; `options` holds its option string
+  /// (after overrides) and may be modified — the "New Options:" entry.
+  /// `restart_count` tells retry logic how many times the task restarted.
+  virtual void OnStepReady(const std::string& step_name, int restart_count,
+                           std::string* options) {
+    (void)step_name;
+    (void)restart_count;
+    (void)options;
+  }
+  virtual void OnStepCompleted(const StepRecord& record) { (void)record; }
+  virtual void OnTaskRestarted(const std::string& task_name,
+                               int resumed_internal_id) {
+    (void)task_name;
+    (void)resumed_internal_id;
+  }
+};
+
+namespace internal {
+class Execution;
+}  // namespace internal
+
+/// The Papyrus Task Manager (§4.3): interprets TDL task templates,
+/// extracts process-level parallelism, dispatches design steps across the
+/// Sprite workstation network (with re-migration), enforces programmable
+/// abort semantics, and packages each committed task's operation history
+/// into a `TaskHistoryRecord`.
+class TaskManager {
+ public:
+  TaskManager(oct::OctDatabase* db, const cadtools::ToolRegistry* tools,
+              sprite::Network* network,
+              const tdl::TemplateLibrary* templates);
+  ~TaskManager();
+
+  TaskManager(const TaskManager&) = delete;
+  TaskManager& operator=(const TaskManager&) = delete;
+
+  /// Runs one task invocation to commit (or abort). On success returns the
+  /// history record; on abort all side effects have been removed
+  /// (intermediate and created objects made invisible, processes killed).
+  Result<TaskHistoryRecord> Invoke(const TaskInvocation& invocation,
+                                   TaskObserver* observer = nullptr);
+
+  /// Runs several invocations concurrently over the shared workstation
+  /// network; element i of the result corresponds to invocation i.
+  /// `observers` may be empty or parallel to `invocations`.
+  std::vector<Result<TaskHistoryRecord>> InvokeMany(
+      const std::vector<TaskInvocation>& invocations,
+      const std::vector<TaskObserver*>& observers = {});
+
+  // --- statistics -------------------------------------------------------
+  int64_t tasks_committed() const { return tasks_committed_; }
+  int64_t tasks_aborted() const { return tasks_aborted_; }
+  int64_t steps_executed() const { return steps_executed_; }
+  int64_t remigrations() const { return remigrations_; }
+
+  oct::OctDatabase* database() const { return db_; }
+  const cadtools::ToolRegistry* tools() const { return tools_; }
+  sprite::Network* network() const { return network_; }
+  const tdl::TemplateLibrary* templates() const { return templates_; }
+
+ private:
+  friend class internal::Execution;
+
+  /// Drives the given executions until all finish; interleaves
+  /// interpretation with network events and performs re-migration.
+  void DriveAll(std::vector<internal::Execution*>& executions);
+
+  /// Attempts §4.3.3 re-migration for processes stuck on the home node.
+  void TryRemigration();
+
+  oct::OctDatabase* db_;
+  const cadtools::ToolRegistry* tools_;
+  sprite::Network* network_;
+  const tdl::TemplateLibrary* templates_;
+
+  // pid -> owning execution, for routing completion signals.
+  std::map<sprite::ProcessId, internal::Execution*> pid_router_;
+  int next_execution_id_ = 1;
+  int64_t tasks_committed_ = 0;
+  int64_t tasks_aborted_ = 0;
+  int64_t steps_executed_ = 0;
+  int64_t remigrations_ = 0;
+};
+
+}  // namespace papyrus::task
+
+#endif  // PAPYRUS_TASK_TASK_MANAGER_H_

@@ -1,0 +1,450 @@
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "base/strings.h"
+#include "tcl/interp.h"
+#include "tcl/parser.h"
+
+namespace papyrus::tcl {
+
+namespace {
+
+using Argv = std::vector<std::string>;
+
+EvalResult WrongArgs(const std::string& usage) {
+  return EvalResult::Error("wrong # args: should be \"" + usage + "\"");
+}
+
+EvalResult CmdSet(Interp& in, const Argv& argv) {
+  if (argv.size() == 2) {
+    auto v = in.GetVar(argv[1]);
+    if (!v.ok()) {
+      return EvalResult::Error("can't read \"" + argv[1] +
+                               "\": no such variable");
+    }
+    return EvalResult::Ok(*v);
+  }
+  if (argv.size() == 3) {
+    in.SetVar(argv[1], argv[2]);
+    return EvalResult::Ok(argv[2]);
+  }
+  return WrongArgs("set varName ?newValue?");
+}
+
+EvalResult CmdUnset(Interp& in, const Argv& argv) {
+  if (argv.size() < 2) return WrongArgs("unset varName ?varName ...?");
+  for (size_t i = 1; i < argv.size(); ++i) {
+    if (!in.UnsetVar(argv[i])) {
+      return EvalResult::Error("can't unset \"" + argv[i] +
+                               "\": no such variable");
+    }
+  }
+  return EvalResult::Ok();
+}
+
+EvalResult CmdIncr(Interp& in, const Argv& argv) {
+  if (argv.size() != 2 && argv.size() != 3) {
+    return WrongArgs("incr varName ?increment?");
+  }
+  int64_t delta = 1;
+  if (argv.size() == 3 && !ParseInt64(argv[2], &delta)) {
+    return EvalResult::Error("expected integer increment, got \"" +
+                             argv[2] + "\"");
+  }
+  auto v = in.GetVar(argv[1]);
+  if (!v.ok()) {
+    return EvalResult::Error("can't read \"" + argv[1] +
+                             "\": no such variable");
+  }
+  int64_t cur = 0;
+  if (!ParseInt64(*v, &cur)) {
+    return EvalResult::Error("expected integer in variable \"" + argv[1] +
+                             "\", got \"" + *v + "\"");
+  }
+  std::string next = std::to_string(cur + delta);
+  in.SetVar(argv[1], next);
+  return EvalResult::Ok(next);
+}
+
+EvalResult CmdExpr(Interp& in, const Argv& argv) {
+  if (argv.size() < 2) return WrongArgs("expr arg ?arg ...?");
+  std::string text;
+  for (size_t i = 1; i < argv.size(); ++i) {
+    if (i > 1) text += ' ';
+    text += argv[i];
+  }
+  return in.EvalExpr(text);
+}
+
+EvalResult CmdIf(Interp& in, const Argv& argv) {
+  // if expr ?then? body ?elseif expr ?then? body ...? ?else? ?body?
+  size_t i = 1;
+  while (true) {
+    if (i >= argv.size()) return WrongArgs("if expr ?then? body ...");
+    bool cond = false;
+    EvalResult r = in.EvalExprBool(argv[i], &cond);
+    if (!r.ok()) return r;
+    ++i;
+    if (i < argv.size() && argv[i] == "then") ++i;
+    if (i >= argv.size()) return WrongArgs("if expr ?then? body ...");
+    if (cond) return in.EvalScript(argv[i]);
+    ++i;
+    if (i >= argv.size()) return EvalResult::Ok();
+    if (argv[i] == "elseif") {
+      ++i;
+      continue;
+    }
+    if (argv[i] == "else") ++i;
+    if (i >= argv.size()) return WrongArgs("if ... else body");
+    return in.EvalScript(argv[i]);
+  }
+}
+
+EvalResult CmdWhile(Interp& in, const Argv& argv) {
+  if (argv.size() != 3) return WrongArgs("while test body");
+  while (true) {
+    bool cond = false;
+    EvalResult r = in.EvalExprBool(argv[1], &cond);
+    if (!r.ok()) return r;
+    if (!cond) break;
+    EvalResult body = in.EvalScript(argv[2]);
+    if (body.code == EvalCode::kBreak) break;
+    if (body.code == EvalCode::kContinue) continue;
+    if (body.code != EvalCode::kOk) return body;
+  }
+  return EvalResult::Ok();
+}
+
+EvalResult CmdFor(Interp& in, const Argv& argv) {
+  if (argv.size() != 5) return WrongArgs("for start test next body");
+  EvalResult r = in.EvalScript(argv[1]);
+  if (r.code != EvalCode::kOk) return r;
+  while (true) {
+    bool cond = false;
+    r = in.EvalExprBool(argv[2], &cond);
+    if (!r.ok()) return r;
+    if (!cond) break;
+    EvalResult body = in.EvalScript(argv[4]);
+    if (body.code == EvalCode::kBreak) break;
+    if (body.code == EvalCode::kError || body.code == EvalCode::kReturn) {
+      return body;
+    }
+    r = in.EvalScript(argv[3]);
+    if (r.code != EvalCode::kOk) return r;
+  }
+  return EvalResult::Ok();
+}
+
+EvalResult CmdForeach(Interp& in, const Argv& argv) {
+  if (argv.size() != 4) return WrongArgs("foreach varName list body");
+  auto items = ParseList(argv[2]);
+  if (!items.ok()) return EvalResult::Error(items.status().message());
+  for (const std::string& item : *items) {
+    in.SetVar(argv[1], item);
+    EvalResult body = in.EvalScript(argv[3]);
+    if (body.code == EvalCode::kBreak) break;
+    if (body.code == EvalCode::kContinue) continue;
+    if (body.code != EvalCode::kOk) return body;
+  }
+  return EvalResult::Ok();
+}
+
+EvalResult CmdProc(Interp& in, const Argv& argv) {
+  if (argv.size() != 4) return WrongArgs("proc name args body");
+  Status st = in.DefineProc(argv[1], argv[2], argv[3]);
+  if (!st.ok()) return EvalResult::Error(st.message());
+  return EvalResult::Ok();
+}
+
+EvalResult CmdReturn(Interp&, const Argv& argv) {
+  if (argv.size() > 2) return WrongArgs("return ?value?");
+  return EvalResult{EvalCode::kReturn, argv.size() == 2 ? argv[1] : ""};
+}
+
+EvalResult CmdBreak(Interp&, const Argv& argv) {
+  if (argv.size() != 1) return WrongArgs("break");
+  return EvalResult{EvalCode::kBreak, ""};
+}
+
+EvalResult CmdContinue(Interp&, const Argv& argv) {
+  if (argv.size() != 1) return WrongArgs("continue");
+  return EvalResult{EvalCode::kContinue, ""};
+}
+
+EvalResult CmdPuts(Interp& in, const Argv& argv) {
+  if (argv.size() != 2) return WrongArgs("puts string");
+  in.Print(argv[1]);
+  return EvalResult::Ok();
+}
+
+EvalResult CmdEval(Interp& in, const Argv& argv) {
+  if (argv.size() < 2) return WrongArgs("eval arg ?arg ...?");
+  std::string script;
+  for (size_t i = 1; i < argv.size(); ++i) {
+    if (i > 1) script += ' ';
+    script += argv[i];
+  }
+  return in.EvalScript(script);
+}
+
+EvalResult CmdCatch(Interp& in, const Argv& argv) {
+  if (argv.size() != 2 && argv.size() != 3) {
+    return WrongArgs("catch script ?resultVarName?");
+  }
+  EvalResult r = in.EvalScript(argv[1]);
+  if (argv.size() == 3) in.SetVar(argv[2], r.value);
+  return EvalResult::Ok(std::to_string(static_cast<int>(r.code)));
+}
+
+EvalResult CmdError(Interp&, const Argv& argv) {
+  if (argv.size() != 2) return WrongArgs("error message");
+  return EvalResult::Error(argv[1]);
+}
+
+EvalResult CmdGlobal(Interp& in, const Argv& argv) {
+  if (argv.size() < 2) return WrongArgs("global varName ?varName ...?");
+  for (size_t i = 1; i < argv.size(); ++i) in.LinkGlobal(argv[i]);
+  return EvalResult::Ok();
+}
+
+EvalResult CmdAppend(Interp& in, const Argv& argv) {
+  if (argv.size() < 2) return WrongArgs("append varName ?value ...?");
+  std::string value;
+  if (auto v = in.GetVar(argv[1]); v.ok()) value = *v;
+  for (size_t i = 2; i < argv.size(); ++i) value += argv[i];
+  in.SetVar(argv[1], value);
+  return EvalResult::Ok(value);
+}
+
+// --- list commands ---------------------------------------------------
+
+EvalResult CmdList(Interp&, const Argv& argv) {
+  std::vector<std::string> elems(argv.begin() + 1, argv.end());
+  return EvalResult::Ok(FormatList(elems));
+}
+
+EvalResult CmdLLength(Interp&, const Argv& argv) {
+  if (argv.size() != 2) return WrongArgs("llength list");
+  auto items = ParseList(argv[1]);
+  if (!items.ok()) return EvalResult::Error(items.status().message());
+  return EvalResult::Ok(std::to_string(items->size()));
+}
+
+EvalResult CmdLIndex(Interp&, const Argv& argv) {
+  if (argv.size() != 3) return WrongArgs("lindex list index");
+  auto items = ParseList(argv[1]);
+  if (!items.ok()) return EvalResult::Error(items.status().message());
+  int64_t idx = 0;
+  if (argv[2] == "end") {
+    idx = static_cast<int64_t>(items->size()) - 1;
+  } else if (!ParseInt64(argv[2], &idx)) {
+    return EvalResult::Error("expected integer index, got \"" + argv[2] +
+                             "\"");
+  }
+  if (idx < 0 || idx >= static_cast<int64_t>(items->size())) {
+    return EvalResult::Ok();  // out-of-range yields empty, as in Tcl
+  }
+  return EvalResult::Ok((*items)[idx]);
+}
+
+EvalResult CmdLAppend(Interp& in, const Argv& argv) {
+  if (argv.size() < 2) return WrongArgs("lappend varName ?value ...?");
+  std::string value;
+  if (auto v = in.GetVar(argv[1]); v.ok()) value = *v;
+  for (size_t i = 2; i < argv.size(); ++i) {
+    if (!value.empty()) value += ' ';
+    value += QuoteListElement(argv[i]);
+  }
+  in.SetVar(argv[1], value);
+  return EvalResult::Ok(value);
+}
+
+EvalResult CmdLRange(Interp&, const Argv& argv) {
+  if (argv.size() != 4) return WrongArgs("lrange list first last");
+  auto items = ParseList(argv[1]);
+  if (!items.ok()) return EvalResult::Error(items.status().message());
+  int64_t n = static_cast<int64_t>(items->size());
+  auto parse_index = [&](const std::string& s, int64_t* out) {
+    if (s == "end") {
+      *out = n - 1;
+      return true;
+    }
+    return ParseInt64(s, out);
+  };
+  int64_t first = 0;
+  int64_t last = 0;
+  if (!parse_index(argv[2], &first) || !parse_index(argv[3], &last)) {
+    return EvalResult::Error("bad index in lrange");
+  }
+  first = std::max<int64_t>(first, 0);
+  last = std::min(last, n - 1);
+  std::vector<std::string> out;
+  for (int64_t i = first; i <= last; ++i) out.push_back((*items)[i]);
+  return EvalResult::Ok(FormatList(out));
+}
+
+EvalResult CmdConcat(Interp&, const Argv& argv) {
+  std::vector<std::string> pieces;
+  for (size_t i = 1; i < argv.size(); ++i) {
+    std::string_view t = Trim(argv[i]);
+    if (!t.empty()) pieces.emplace_back(t);
+  }
+  return EvalResult::Ok(Join(pieces, " "));
+}
+
+EvalResult CmdLSearch(Interp&, const Argv& argv) {
+  if (argv.size() != 3) return WrongArgs("lsearch list pattern");
+  auto items = ParseList(argv[1]);
+  if (!items.ok()) return EvalResult::Error(items.status().message());
+  for (size_t i = 0; i < items->size(); ++i) {
+    if ((*items)[i] == argv[2]) return EvalResult::Ok(std::to_string(i));
+  }
+  return EvalResult::Ok("-1");
+}
+
+EvalResult CmdJoin(Interp&, const Argv& argv) {
+  if (argv.size() != 2 && argv.size() != 3) {
+    return WrongArgs("join list ?joinString?");
+  }
+  auto items = ParseList(argv[1]);
+  if (!items.ok()) return EvalResult::Error(items.status().message());
+  return EvalResult::Ok(Join(*items, argv.size() == 3 ? argv[2] : " "));
+}
+
+EvalResult CmdSplit(Interp&, const Argv& argv) {
+  if (argv.size() != 2 && argv.size() != 3) {
+    return WrongArgs("split string ?splitChars?");
+  }
+  std::string seps = argv.size() == 3 ? argv[2] : " \t\n";
+  std::vector<std::string> pieces;
+  std::string cur;
+  for (char c : argv[1]) {
+    if (seps.find(c) != std::string::npos) {
+      pieces.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  pieces.push_back(cur);
+  return EvalResult::Ok(FormatList(pieces));
+}
+
+// --- string / info ----------------------------------------------------
+
+EvalResult CmdString(Interp&, const Argv& argv) {
+  if (argv.size() < 3) return WrongArgs("string option arg ?arg ...?");
+  const std::string& opt = argv[1];
+  if (opt == "length") {
+    return EvalResult::Ok(std::to_string(argv[2].size()));
+  }
+  if (opt == "index") {
+    if (argv.size() != 4) return WrongArgs("string index string index");
+    int64_t idx = 0;
+    if (!ParseInt64(argv[3], &idx)) {
+      return EvalResult::Error("bad index \"" + argv[3] + "\"");
+    }
+    if (idx < 0 || idx >= static_cast<int64_t>(argv[2].size())) {
+      return EvalResult::Ok();
+    }
+    return EvalResult::Ok(std::string(1, argv[2][idx]));
+  }
+  if (opt == "compare") {
+    if (argv.size() != 4) return WrongArgs("string compare s1 s2");
+    int c = argv[2].compare(argv[3]);
+    return EvalResult::Ok(std::to_string(c < 0 ? -1 : (c > 0 ? 1 : 0)));
+  }
+  if (opt == "match") {
+    if (argv.size() != 4) return WrongArgs("string match pattern string");
+    // Glob match supporting '*' and '?'.
+    const std::string& pat = argv[2];
+    const std::string& str = argv[3];
+    std::function<bool(size_t, size_t)> match = [&](size_t p, size_t s) {
+      while (p < pat.size()) {
+        if (pat[p] == '*') {
+          for (size_t k = s; k <= str.size(); ++k) {
+            if (match(p + 1, k)) return true;
+          }
+          return false;
+        }
+        if (s >= str.size()) return false;
+        if (pat[p] != '?' && pat[p] != str[s]) return false;
+        ++p;
+        ++s;
+      }
+      return s == str.size();
+    };
+    return EvalResult::Ok(match(0, 0) ? "1" : "0");
+  }
+  if (opt == "tolower") {
+    std::string out = argv[2];
+    std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+      return std::tolower(c);
+    });
+    return EvalResult::Ok(out);
+  }
+  if (opt == "toupper") {
+    std::string out = argv[2];
+    std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+      return std::toupper(c);
+    });
+    return EvalResult::Ok(out);
+  }
+  if (opt == "trim") {
+    return EvalResult::Ok(std::string(Trim(argv[2])));
+  }
+  return EvalResult::Error("bad string option \"" + opt + "\"");
+}
+
+EvalResult CmdInfo(Interp& in, const Argv& argv) {
+  if (argv.size() < 2) return WrongArgs("info option ?arg?");
+  const std::string& opt = argv[1];
+  if (opt == "exists") {
+    if (argv.size() != 3) return WrongArgs("info exists varName");
+    return EvalResult::Ok(in.VarExists(argv[2]) ? "1" : "0");
+  }
+  if (opt == "commands") {
+    return EvalResult::Ok(FormatList(in.CommandNames()));
+  }
+  if (opt == "level") {
+    return EvalResult::Ok(std::to_string(in.ScopeDepth()));
+  }
+  return EvalResult::Error("bad info option \"" + opt + "\"");
+}
+
+}  // namespace
+
+void RegisterBuiltins(Interp* interp) {
+  interp->RegisterCommand("set", CmdSet);
+  interp->RegisterCommand("unset", CmdUnset);
+  interp->RegisterCommand("incr", CmdIncr);
+  interp->RegisterCommand("expr", CmdExpr);
+  interp->RegisterCommand("if", CmdIf);
+  interp->RegisterCommand("while", CmdWhile);
+  interp->RegisterCommand("for", CmdFor);
+  interp->RegisterCommand("foreach", CmdForeach);
+  interp->RegisterCommand("proc", CmdProc);
+  interp->RegisterCommand("return", CmdReturn);
+  interp->RegisterCommand("break", CmdBreak);
+  interp->RegisterCommand("continue", CmdContinue);
+  interp->RegisterCommand("puts", CmdPuts);
+  interp->RegisterCommand("eval", CmdEval);
+  interp->RegisterCommand("catch", CmdCatch);
+  interp->RegisterCommand("error", CmdError);
+  interp->RegisterCommand("global", CmdGlobal);
+  interp->RegisterCommand("append", CmdAppend);
+  interp->RegisterCommand("list", CmdList);
+  interp->RegisterCommand("llength", CmdLLength);
+  interp->RegisterCommand("lindex", CmdLIndex);
+  interp->RegisterCommand("lappend", CmdLAppend);
+  interp->RegisterCommand("lrange", CmdLRange);
+  interp->RegisterCommand("concat", CmdConcat);
+  interp->RegisterCommand("lsearch", CmdLSearch);
+  interp->RegisterCommand("join", CmdJoin);
+  interp->RegisterCommand("split", CmdSplit);
+  interp->RegisterCommand("string", CmdString);
+  interp->RegisterCommand("info", CmdInfo);
+}
+
+}  // namespace papyrus::tcl

@@ -1,0 +1,511 @@
+#include <cctype>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/strings.h"
+#include "tcl/interp.h"
+
+namespace papyrus::tcl {
+
+namespace {
+
+/// An expression operand: an integer when the text parses as one, a string
+/// otherwise. Arithmetic requires integers (the thesis: "A Tcl expression
+/// has C-like syntax and evaluates to an integer result"); comparisons fall
+/// back to string comparison for non-numeric operands.
+struct Value {
+  bool is_int = false;
+  int64_t i = 0;
+  std::string s;
+
+  static Value Int(int64_t v) {
+    Value out;
+    out.is_int = true;
+    out.i = v;
+    out.s = std::to_string(v);
+    return out;
+  }
+  static Value Str(std::string v) {
+    Value out;
+    int64_t parsed = 0;
+    if (ParseInt64(v, &parsed)) {
+      out.is_int = true;
+      out.i = parsed;
+    }
+    out.s = std::move(v);
+    return out;
+  }
+};
+
+enum class TokKind {
+  kValue,
+  kLParen,
+  kRParen,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEq,
+  kNe,
+  kAnd,
+  kOr,
+  kNot,
+  kQuestion,
+  kColon,
+  kEnd,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  Value value;
+};
+
+class ExprParser {
+ public:
+  ExprParser(Interp* interp, std::string_view text)
+      : interp_(interp), text_(text) {}
+
+  EvalResult Run() {
+    EvalResult r = NextToken();
+    if (!r.ok()) return r;
+    Value v;
+    r = ParseTernary(&v);
+    if (!r.ok()) return r;
+    if (cur_.kind != TokKind::kEnd) {
+      return EvalResult::Error("syntax error in expression \"" +
+                               std::string(text_) + "\"");
+    }
+    return EvalResult::Ok(v.is_int ? std::to_string(v.i) : v.s);
+  }
+
+ private:
+  EvalResult NextToken() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) {
+      cur_ = Token{TokKind::kEnd, {}};
+      return EvalResult::Ok();
+    }
+    char c = text_[pos_];
+    auto one = [&](TokKind k) {
+      ++pos_;
+      cur_ = Token{k, {}};
+      return EvalResult::Ok();
+    };
+    auto two = [&](TokKind k) {
+      pos_ += 2;
+      cur_ = Token{k, {}};
+      return EvalResult::Ok();
+    };
+    char next = pos_ + 1 < text_.size() ? text_[pos_ + 1] : '\0';
+    switch (c) {
+      case '(':
+        return one(TokKind::kLParen);
+      case ')':
+        return one(TokKind::kRParen);
+      case '+':
+        return one(TokKind::kPlus);
+      case '-':
+        return one(TokKind::kMinus);
+      case '*':
+        return one(TokKind::kStar);
+      case '/':
+        return one(TokKind::kSlash);
+      case '%':
+        return one(TokKind::kPercent);
+      case '?':
+        return one(TokKind::kQuestion);
+      case ':':
+        return one(TokKind::kColon);
+      case '<':
+        return next == '=' ? two(TokKind::kLe) : one(TokKind::kLt);
+      case '>':
+        return next == '=' ? two(TokKind::kGe) : one(TokKind::kGt);
+      case '=':
+        if (next == '=') return two(TokKind::kEq);
+        return EvalResult::Error("single '=' in expression");
+      case '!':
+        return next == '=' ? two(TokKind::kNe) : one(TokKind::kNot);
+      case '&':
+        if (next == '&') return two(TokKind::kAnd);
+        return EvalResult::Error("single '&' in expression");
+      case '|':
+        if (next == '|') return two(TokKind::kOr);
+        return EvalResult::Error("single '|' in expression");
+      default:
+        break;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = pos_;
+      while (j < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[j]))) {
+        ++j;
+      }
+      int64_t v = 0;
+      (void)ParseInt64(text_.substr(pos_, j - pos_), &v);
+      pos_ = j;
+      cur_ = Token{TokKind::kValue, Value::Int(v)};
+      return EvalResult::Ok();
+    }
+    if (c == '$') {
+      size_t j = pos_ + 1;
+      std::string name;
+      if (j < text_.size() && text_[j] == '{') {
+        size_t close = text_.find('}', j + 1);
+        if (close == std::string_view::npos) {
+          return EvalResult::Error("missing close-brace for variable name");
+        }
+        name = std::string(text_.substr(j + 1, close - j - 1));
+        pos_ = close + 1;
+      } else {
+        while (j < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[j])) ||
+                text_[j] == '_')) {
+          ++j;
+        }
+        name = std::string(text_.substr(pos_ + 1, j - pos_ - 1));
+        pos_ = j;
+      }
+      auto value = interp_->GetVar(name);
+      if (!value.ok()) {
+        return EvalResult::Error("can't read \"" + name +
+                                 "\": no such variable");
+      }
+      cur_ = Token{TokKind::kValue, Value::Str(*value)};
+      return EvalResult::Ok();
+    }
+    if (c == '[') {
+      int depth = 0;
+      size_t j = pos_;
+      for (; j < text_.size(); ++j) {
+        if (text_[j] == '[') ++depth;
+        if (text_[j] == ']' && --depth == 0) break;
+      }
+      if (j >= text_.size()) {
+        return EvalResult::Error("missing close-bracket in expression");
+      }
+      EvalResult nested =
+          interp_->EvalScript(text_.substr(pos_ + 1, j - pos_ - 1));
+      if (nested.code != EvalCode::kOk) return nested;
+      pos_ = j + 1;
+      cur_ = Token{TokKind::kValue, Value::Str(nested.value)};
+      return EvalResult::Ok();
+    }
+    if (c == '"' || c == '{') {
+      size_t j = pos_ + 1;
+      int depth = 1;
+      std::string content;
+      bool closed = false;
+      for (; j < text_.size(); ++j) {
+        char cj = text_[j];
+        if (c == '{') {
+          if (cj == '{') ++depth;
+          if (cj == '}' && --depth == 0) {
+            closed = true;
+            break;
+          }
+        } else if (cj == '"') {
+          closed = true;
+          break;
+        }
+        content.push_back(cj);
+      }
+      if (!closed) {
+        return EvalResult::Error("unterminated string in expression");
+      }
+      pos_ = j + 1;
+      if (c == '"') {
+        EvalResult sub = interp_->Substitute(content);
+        if (!sub.ok()) return sub;
+        content = sub.value;
+      }
+      cur_ = Token{TokKind::kValue, Value::Str(content)};
+      return EvalResult::Ok();
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = pos_;
+      while (j < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[j])) ||
+              text_[j] == '_' || text_[j] == '.')) {
+        ++j;
+      }
+      std::string word(text_.substr(pos_, j - pos_));
+      pos_ = j;
+      if (word == "and") {
+        cur_ = Token{TokKind::kAnd, {}};
+      } else if (word == "or") {
+        cur_ = Token{TokKind::kOr, {}};
+      } else if (word == "not") {
+        cur_ = Token{TokKind::kNot, {}};
+      } else if (word == "eq") {
+        cur_ = Token{TokKind::kEq, {}};
+      } else if (word == "ne") {
+        cur_ = Token{TokKind::kNe, {}};
+      } else if (word == "true" || word == "yes") {
+        cur_ = Token{TokKind::kValue, Value::Int(1)};
+      } else if (word == "false" || word == "no") {
+        cur_ = Token{TokKind::kValue, Value::Int(0)};
+      } else {
+        // Bare words act as string literals (lenient, used for status
+        // strings in task templates).
+        cur_ = Token{TokKind::kValue, Value::Str(word)};
+      }
+      return EvalResult::Ok();
+    }
+    return EvalResult::Error(std::string("unexpected character '") + c +
+                             "' in expression");
+  }
+
+  static bool Truthy(const Value& v) {
+    if (v.is_int) return v.i != 0;
+    return !v.s.empty() && v.s != "false" && v.s != "no";
+  }
+
+  EvalResult ParseTernary(Value* out) {
+    EvalResult r = ParseOr(out);
+    if (!r.ok()) return r;
+    if (cur_.kind != TokKind::kQuestion) return EvalResult::Ok();
+    bool cond = Truthy(*out);
+    r = NextToken();
+    if (!r.ok()) return r;
+    Value then_v;
+    r = ParseTernary(&then_v);
+    if (!r.ok()) return r;
+    if (cur_.kind != TokKind::kColon) {
+      return EvalResult::Error("expected ':' in ?: expression");
+    }
+    r = NextToken();
+    if (!r.ok()) return r;
+    Value else_v;
+    r = ParseTernary(&else_v);
+    if (!r.ok()) return r;
+    *out = cond ? then_v : else_v;
+    return EvalResult::Ok();
+  }
+
+  EvalResult ParseOr(Value* out) {
+    EvalResult r = ParseAnd(out);
+    if (!r.ok()) return r;
+    while (cur_.kind == TokKind::kOr) {
+      r = NextToken();
+      if (!r.ok()) return r;
+      Value rhs;
+      r = ParseAnd(&rhs);
+      if (!r.ok()) return r;
+      *out = Value::Int((Truthy(*out) || Truthy(rhs)) ? 1 : 0);
+    }
+    return EvalResult::Ok();
+  }
+
+  EvalResult ParseAnd(Value* out) {
+    EvalResult r = ParseEquality(out);
+    if (!r.ok()) return r;
+    while (cur_.kind == TokKind::kAnd) {
+      r = NextToken();
+      if (!r.ok()) return r;
+      Value rhs;
+      r = ParseEquality(&rhs);
+      if (!r.ok()) return r;
+      *out = Value::Int((Truthy(*out) && Truthy(rhs)) ? 1 : 0);
+    }
+    return EvalResult::Ok();
+  }
+
+  EvalResult ParseEquality(Value* out) {
+    EvalResult r = ParseRelational(out);
+    if (!r.ok()) return r;
+    while (cur_.kind == TokKind::kEq || cur_.kind == TokKind::kNe) {
+      bool want_eq = cur_.kind == TokKind::kEq;
+      r = NextToken();
+      if (!r.ok()) return r;
+      Value rhs;
+      r = ParseRelational(&rhs);
+      if (!r.ok()) return r;
+      bool eq;
+      if (out->is_int && rhs.is_int) {
+        eq = out->i == rhs.i;
+      } else {
+        eq = out->s == rhs.s;
+      }
+      *out = Value::Int((eq == want_eq) ? 1 : 0);
+    }
+    return EvalResult::Ok();
+  }
+
+  EvalResult ParseRelational(Value* out) {
+    EvalResult r = ParseAdditive(out);
+    if (!r.ok()) return r;
+    while (cur_.kind == TokKind::kLt || cur_.kind == TokKind::kLe ||
+           cur_.kind == TokKind::kGt || cur_.kind == TokKind::kGe) {
+      TokKind op = cur_.kind;
+      r = NextToken();
+      if (!r.ok()) return r;
+      Value rhs;
+      r = ParseAdditive(&rhs);
+      if (!r.ok()) return r;
+      int cmp;
+      if (out->is_int && rhs.is_int) {
+        cmp = out->i < rhs.i ? -1 : (out->i > rhs.i ? 1 : 0);
+      } else {
+        cmp = out->s.compare(rhs.s);
+        cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+      }
+      bool v = false;
+      switch (op) {
+        case TokKind::kLt:
+          v = cmp < 0;
+          break;
+        case TokKind::kLe:
+          v = cmp <= 0;
+          break;
+        case TokKind::kGt:
+          v = cmp > 0;
+          break;
+        case TokKind::kGe:
+          v = cmp >= 0;
+          break;
+        default:
+          break;
+      }
+      *out = Value::Int(v ? 1 : 0);
+    }
+    return EvalResult::Ok();
+  }
+
+  EvalResult ParseAdditive(Value* out) {
+    EvalResult r = ParseMultiplicative(out);
+    if (!r.ok()) return r;
+    while (cur_.kind == TokKind::kPlus || cur_.kind == TokKind::kMinus) {
+      bool plus = cur_.kind == TokKind::kPlus;
+      r = NextToken();
+      if (!r.ok()) return r;
+      Value rhs;
+      r = ParseMultiplicative(&rhs);
+      if (!r.ok()) return r;
+      if (!out->is_int || !rhs.is_int) {
+        return EvalResult::Error("non-numeric operand to arithmetic");
+      }
+      *out = Value::Int(plus ? out->i + rhs.i : out->i - rhs.i);
+    }
+    return EvalResult::Ok();
+  }
+
+  EvalResult ParseMultiplicative(Value* out) {
+    EvalResult r = ParseUnary(out);
+    if (!r.ok()) return r;
+    while (cur_.kind == TokKind::kStar || cur_.kind == TokKind::kSlash ||
+           cur_.kind == TokKind::kPercent) {
+      TokKind op = cur_.kind;
+      r = NextToken();
+      if (!r.ok()) return r;
+      Value rhs;
+      r = ParseUnary(&rhs);
+      if (!r.ok()) return r;
+      if (!out->is_int || !rhs.is_int) {
+        return EvalResult::Error("non-numeric operand to arithmetic");
+      }
+      if ((op == TokKind::kSlash || op == TokKind::kPercent) &&
+          rhs.i == 0) {
+        return EvalResult::Error("divide by zero");
+      }
+      switch (op) {
+        case TokKind::kStar:
+          *out = Value::Int(out->i * rhs.i);
+          break;
+        case TokKind::kSlash:
+          *out = Value::Int(out->i / rhs.i);
+          break;
+        case TokKind::kPercent:
+          *out = Value::Int(out->i % rhs.i);
+          break;
+        default:
+          break;
+      }
+    }
+    return EvalResult::Ok();
+  }
+
+  EvalResult ParseUnary(Value* out) {
+    if (cur_.kind == TokKind::kMinus) {
+      EvalResult r = NextToken();
+      if (!r.ok()) return r;
+      r = ParseUnary(out);
+      if (!r.ok()) return r;
+      if (!out->is_int) {
+        return EvalResult::Error("non-numeric operand to unary minus");
+      }
+      *out = Value::Int(-out->i);
+      return EvalResult::Ok();
+    }
+    if (cur_.kind == TokKind::kNot) {
+      EvalResult r = NextToken();
+      if (!r.ok()) return r;
+      r = ParseUnary(out);
+      if (!r.ok()) return r;
+      *out = Value::Int(Truthy(*out) ? 0 : 1);
+      return EvalResult::Ok();
+    }
+    return ParsePrimary(out);
+  }
+
+  EvalResult ParsePrimary(Value* out) {
+    if (cur_.kind == TokKind::kLParen) {
+      EvalResult r = NextToken();
+      if (!r.ok()) return r;
+      r = ParseTernary(out);
+      if (!r.ok()) return r;
+      if (cur_.kind != TokKind::kRParen) {
+        return EvalResult::Error("missing ')' in expression");
+      }
+      return NextToken();
+    }
+    if (cur_.kind == TokKind::kValue) {
+      *out = cur_.value;
+      return NextToken();
+    }
+    return EvalResult::Error("expected operand in expression \"" +
+                             std::string(text_) + "\"");
+  }
+
+  Interp* interp_;
+  std::string_view text_;
+  size_t pos_ = 0;
+  Token cur_;
+};
+
+}  // namespace
+
+EvalResult Interp::EvalExpr(std::string_view expr) {
+  ExprParser parser(this, expr);
+  return parser.Run();
+}
+
+EvalResult Interp::EvalExprBool(std::string_view expr, bool* out) {
+  EvalResult r = EvalExpr(expr);
+  if (!r.ok()) return r;
+  int64_t v = 0;
+  if (ParseInt64(r.value, &v)) {
+    *out = v != 0;
+    return EvalResult::Ok();
+  }
+  if (r.value == "true" || r.value == "yes") {
+    *out = true;
+    return EvalResult::Ok();
+  }
+  if (r.value == "false" || r.value == "no" || r.value.empty()) {
+    *out = false;
+    return EvalResult::Ok();
+  }
+  return EvalResult::Error("expected boolean expression, got \"" + r.value +
+                           "\"");
+}
+
+}  // namespace papyrus::tcl

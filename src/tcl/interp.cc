@@ -1,0 +1,346 @@
+#include "tcl/interp.h"
+
+#include <cctype>
+
+namespace papyrus::tcl {
+
+namespace {
+
+bool IsVarNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Expands one backslash escape at s[i] (s[i] == '\\'); appends the
+/// replacement to out and advances i past the escape.
+void ExpandBackslash(std::string_view s, size_t* i, std::string* out) {
+  size_t j = *i + 1;
+  if (j >= s.size()) {
+    out->push_back('\\');
+    *i = j;
+    return;
+  }
+  char c = s[j];
+  switch (c) {
+    case 'n':
+      out->push_back('\n');
+      break;
+    case 't':
+      out->push_back('\t');
+      break;
+    case 'r':
+      out->push_back('\r');
+      break;
+    case '\n': {
+      // Backslash-newline plus following whitespace becomes one space.
+      out->push_back(' ');
+      ++j;
+      while (j < s.size() && (s[j] == ' ' || s[j] == '\t')) ++j;
+      *i = j;
+      return;
+    }
+    default:
+      out->push_back(c);
+      break;
+  }
+  *i = j + 1;
+}
+
+}  // namespace
+
+Interp::Interp() {
+  scopes_.emplace_back();  // global scope
+  RegisterBuiltins(this);
+}
+
+void Interp::RegisterCommand(const std::string& name, CommandFn fn) {
+  commands_[name] = std::move(fn);
+}
+
+bool Interp::UnregisterCommand(const std::string& name) {
+  procs_.erase(name);
+  return commands_.erase(name) > 0;
+}
+
+bool Interp::HasCommand(const std::string& name) const {
+  return commands_.count(name) > 0;
+}
+
+std::vector<std::string> Interp::CommandNames() const {
+  std::vector<std::string> names;
+  names.reserve(commands_.size());
+  for (const auto& [name, fn] : commands_) names.push_back(name);
+  return names;
+}
+
+Result<std::string> Interp::Eval(std::string_view script) {
+  EvalResult r = EvalScript(script);
+  switch (r.code) {
+    case EvalCode::kOk:
+    case EvalCode::kReturn:
+      return r.value;
+    case EvalCode::kError:
+      return Status::InvalidArgument(r.value);
+    case EvalCode::kBreak:
+      return Status::InvalidArgument("invoked \"break\" outside of a loop");
+    case EvalCode::kContinue:
+      return Status::InvalidArgument(
+          "invoked \"continue\" outside of a loop");
+  }
+  return Status::Internal("unreachable");
+}
+
+EvalResult Interp::EvalScript(std::string_view script) {
+  if (++eval_depth_ > recursion_limit_) {
+    --eval_depth_;
+    return EvalResult::Error("too many nested evaluations");
+  }
+  auto parsed = ParseScript(script);
+  if (!parsed.ok()) {
+    --eval_depth_;
+    return EvalResult::Error(parsed.status().message());
+  }
+  EvalResult result = EvalResult::Ok();
+  for (const RawCommand& cmd : *parsed) {
+    std::vector<std::string> argv;
+    argv.reserve(cmd.words.size());
+    bool substitution_failed = false;
+    for (const RawWord& word : cmd.words) {
+      EvalResult sub = SubstituteWord(word);
+      if (!sub.ok()) {
+        result = sub;
+        substitution_failed = true;
+        break;
+      }
+      argv.push_back(std::move(sub.value));
+    }
+    if (substitution_failed) break;
+    result = RunCommand(argv);
+    if (result.code != EvalCode::kOk) break;
+  }
+  --eval_depth_;
+  return result;
+}
+
+EvalResult Interp::EvalCommand(const RawCommand& command) {
+  std::vector<std::string> argv;
+  argv.reserve(command.words.size());
+  for (const RawWord& word : command.words) {
+    EvalResult sub = SubstituteWord(word);
+    if (!sub.ok()) return sub;
+    argv.push_back(std::move(sub.value));
+  }
+  return RunCommand(argv);
+}
+
+EvalResult Interp::RunCommand(const std::vector<std::string>& argv) {
+  if (argv.empty()) return EvalResult::Ok();
+  ++commands_executed_;
+  auto it = commands_.find(argv[0]);
+  if (it == commands_.end()) {
+    return EvalResult::Error("invalid command name \"" + argv[0] + "\"");
+  }
+  return it->second(*this, argv);
+}
+
+EvalResult Interp::SubstituteWord(const RawWord& word) {
+  if (word.kind == WordKind::kBraced) return EvalResult::Ok(word.text);
+  return Substitute(word.text);
+}
+
+EvalResult Interp::Substitute(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (c == '\\') {
+      ExpandBackslash(text, &i, &out);
+      continue;
+    }
+    if (c == '$') {
+      size_t j = i + 1;
+      std::string name;
+      if (j < text.size() && text[j] == '{') {
+        size_t close = text.find('}', j + 1);
+        if (close == std::string_view::npos) {
+          return EvalResult::Error("missing close-brace for variable name");
+        }
+        name = std::string(text.substr(j + 1, close - j - 1));
+        i = close + 1;
+      } else {
+        while (j < text.size() && IsVarNameChar(text[j])) ++j;
+        name = std::string(text.substr(i + 1, j - i - 1));
+        i = j;
+      }
+      if (name.empty()) {  // a lone '$' is an ordinary character
+        out.push_back('$');
+        continue;
+      }
+      auto value = GetVar(name);
+      if (!value.ok()) {
+        return EvalResult::Error("can't read \"" + name +
+                                 "\": no such variable");
+      }
+      out += *value;
+      continue;
+    }
+    if (c == '[') {
+      // Command substitution: evaluate the balanced bracket contents.
+      int depth = 0;
+      size_t j = i;
+      for (; j < text.size(); ++j) {
+        if (text[j] == '\\' && j + 1 < text.size()) {
+          ++j;
+          continue;
+        }
+        if (text[j] == '[') ++depth;
+        if (text[j] == ']' && --depth == 0) break;
+      }
+      if (j >= text.size()) {
+        return EvalResult::Error("missing close-bracket");
+      }
+      EvalResult nested = EvalScript(text.substr(i + 1, j - i - 1));
+      if (nested.code == EvalCode::kError) return nested;
+      out += nested.value;
+      i = j + 1;
+      continue;
+    }
+    out.push_back(c);
+    ++i;
+  }
+  return EvalResult::Ok(std::move(out));
+}
+
+void Interp::SetVar(const std::string& name, const std::string& value) {
+  Scope& scope = scopes_.back();
+  if (scopes_.size() > 1 && scope.global_links.count(name) > 0) {
+    scopes_.front().vars[name] = value;
+    return;
+  }
+  scope.vars[name] = value;
+}
+
+Result<std::string> Interp::GetVar(const std::string& name) const {
+  const Scope& scope = scopes_.back();
+  if (scopes_.size() > 1 && scope.global_links.count(name) > 0) {
+    auto it = scopes_.front().vars.find(name);
+    if (it == scopes_.front().vars.end()) {
+      return Status::NotFound("no such variable: " + name);
+    }
+    return it->second;
+  }
+  auto it = scope.vars.find(name);
+  if (it == scope.vars.end()) {
+    return Status::NotFound("no such variable: " + name);
+  }
+  return it->second;
+}
+
+bool Interp::VarExists(const std::string& name) const {
+  return GetVar(name).ok();
+}
+
+bool Interp::UnsetVar(const std::string& name) {
+  Scope& scope = scopes_.back();
+  if (scopes_.size() > 1 && scope.global_links.count(name) > 0) {
+    return scopes_.front().vars.erase(name) > 0;
+  }
+  return scope.vars.erase(name) > 0;
+}
+
+void Interp::LinkGlobal(const std::string& name) {
+  scopes_.back().global_links.insert(name);
+}
+
+void Interp::PushScope() { scopes_.emplace_back(); }
+
+void Interp::PopScope() { scopes_.pop_back(); }
+
+Status Interp::DefineProc(const std::string& name,
+                          const std::string& params,
+                          const std::string& body) {
+  auto param_list = ParseList(params);
+  if (!param_list.ok()) return param_list.status();
+  Proc proc;
+  proc.body = body;
+  bool seen_default = false;
+  for (size_t i = 0; i < param_list->size(); ++i) {
+    const std::string& p = (*param_list)[i];
+    auto parts = ParseList(p);
+    if (!parts.ok()) return parts.status();
+    if (parts->size() == 1) {
+      if ((*parts)[0] == "args" && i + 1 == param_list->size()) {
+        proc.varargs = true;
+        break;
+      }
+      if (seen_default) {
+        return Status::InvalidArgument(
+            "non-defaulted parameter after defaulted one in proc " + name);
+      }
+      proc.params.emplace_back((*parts)[0], "");
+    } else if (parts->size() == 2) {
+      if (!seen_default) {
+        seen_default = true;
+        proc.first_defaulted = proc.params.size();
+        proc.has_default_from = true;
+      }
+      proc.params.emplace_back((*parts)[0], (*parts)[1]);
+    } else {
+      return Status::InvalidArgument("bad parameter spec \"" + p +
+                                     "\" in proc " + name);
+    }
+  }
+  if (!proc.has_default_from) proc.first_defaulted = proc.params.size();
+  procs_[name] = proc;
+  Proc* stored = &procs_[name];
+  RegisterCommand(name,
+                  [stored](Interp& in, const std::vector<std::string>& argv) {
+                    return in.CallProc(*stored, argv);
+                  });
+  return Status::OK();
+}
+
+EvalResult Interp::CallProc(const Proc& proc,
+                            const std::vector<std::string>& argv) {
+  size_t given = argv.size() - 1;
+  if (given < proc.first_defaulted ||
+      (!proc.varargs && given > proc.params.size())) {
+    return EvalResult::Error("wrong # args for \"" + argv[0] + "\"");
+  }
+  PushScope();
+  for (size_t i = 0; i < proc.params.size(); ++i) {
+    if (i < given) {
+      SetVar(proc.params[i].first, argv[i + 1]);
+    } else {
+      SetVar(proc.params[i].first, proc.params[i].second);
+    }
+  }
+  if (proc.varargs) {
+    std::vector<std::string> rest;
+    for (size_t i = proc.params.size(); i < given; ++i) {
+      rest.push_back(argv[i + 1]);
+    }
+    SetVar("args", FormatList(rest));
+  }
+  EvalResult r = EvalScript(proc.body);
+  PopScope();
+  if (r.code == EvalCode::kReturn) return EvalResult::Ok(r.value);
+  if (r.code == EvalCode::kBreak || r.code == EvalCode::kContinue) {
+    return EvalResult::Error("invoked \"break\" or \"continue\" outside of "
+                             "a loop in proc body");
+  }
+  return r;
+}
+
+void Interp::Print(const std::string& line) {
+  output_ += line;
+  output_ += '\n';
+}
+
+std::string Interp::TakeOutput() {
+  std::string out = std::move(output_);
+  output_.clear();
+  return out;
+}
+
+}  // namespace papyrus::tcl

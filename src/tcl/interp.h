@@ -1,0 +1,174 @@
+#ifndef PAPYRUS_TCL_INTERP_H_
+#define PAPYRUS_TCL_INTERP_H_
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/result.h"
+#include "tcl/parser.h"
+
+namespace papyrus::tcl {
+
+/// Tcl evaluation outcome codes. Besides success and error, Tcl scripts use
+/// `return`, `break` and `continue` as non-local control flow that must
+/// propagate through nested script evaluations.
+enum class EvalCode {
+  kOk,
+  kError,
+  kReturn,
+  kBreak,
+  kContinue,
+};
+
+/// Result of evaluating a Tcl word, command, script, or expression.
+struct EvalResult {
+  EvalCode code = EvalCode::kOk;
+  std::string value;  // command result, or error message when kError
+
+  static EvalResult Ok(std::string v = "") {
+    return EvalResult{EvalCode::kOk, std::move(v)};
+  }
+  static EvalResult Error(std::string msg) {
+    return EvalResult{EvalCode::kError, std::move(msg)};
+  }
+  bool ok() const { return code == EvalCode::kOk; }
+};
+
+class Interp;
+
+/// A command implementation. `argv[0]` is the command name; the remaining
+/// entries are fully substituted argument strings.
+using CommandFn =
+    std::function<EvalResult(Interp&, const std::vector<std::string>&)>;
+
+/// An embeddable Tcl-core interpreter (§4.2.1).
+///
+/// Faithful to the thesis' description of Tcl: the only data type is the
+/// string; a string is interpreted as a command, an expression, or a list
+/// depending on context; applications extend the language by registering
+/// new commands through `RegisterCommand` — exactly the dynamic-binding
+/// capability TDL (src/tdl) relies on to add `task`, `step`, `subtask`,
+/// `attribute` and `abort`.
+class Interp {
+ public:
+  Interp();
+
+  Interp(const Interp&) = delete;
+  Interp& operator=(const Interp&) = delete;
+
+  /// Registers (or replaces) a command.
+  void RegisterCommand(const std::string& name, CommandFn fn);
+  /// Removes a command; returns false when absent.
+  bool UnregisterCommand(const std::string& name);
+  bool HasCommand(const std::string& name) const;
+  /// Sorted names of all registered commands (built-ins + procs + app).
+  std::vector<std::string> CommandNames() const;
+
+  /// Evaluates a script; the value of the last command is the result.
+  /// `return` at top level yields its value; `break`/`continue` at top
+  /// level are errors, as in Tcl.
+  Result<std::string> Eval(std::string_view script);
+
+  /// Script evaluation preserving control-flow codes; used by commands
+  /// implementing loops/conditionals.
+  EvalResult EvalScript(std::string_view script);
+
+  /// Substitutes and dispatches one parsed command. Used by the TDL task
+  /// manager, which interprets templates one top-level command at a time
+  /// to track internal command IDs (§4.3.4).
+  EvalResult EvalCommand(const RawCommand& command);
+
+  /// Evaluates a Tcl expression (C-like syntax; integer arithmetic;
+  /// string-aware comparisons). Performs its own round of $/[]
+  /// substitution as Tcl's expression processor does.
+  EvalResult EvalExpr(std::string_view expr);
+
+  /// Convenience: evaluates `expr` and coerces the result to a truth value
+  /// (non-zero integer, or the strings "true"/"yes"). Returns kError with a
+  /// message for non-boolean results.
+  EvalResult EvalExprBool(std::string_view expr, bool* out);
+
+  /// Performs $-, []- and backslash-substitution on a raw word.
+  EvalResult SubstituteWord(const RawWord& word);
+  /// Substitution over a bare string (as if it were a kBare word).
+  EvalResult Substitute(std::string_view text);
+
+  // --- Variables -----------------------------------------------------
+
+  /// Sets a variable in the current scope (or the global scope when linked
+  /// via `global`).
+  void SetVar(const std::string& name, const std::string& value);
+  Result<std::string> GetVar(const std::string& name) const;
+  bool VarExists(const std::string& name) const;
+  bool UnsetVar(const std::string& name);
+  /// Links `name` in the current scope to the global variable (the
+  /// `global` command).
+  void LinkGlobal(const std::string& name);
+
+  /// Current proc-call nesting depth; 0 at global level.
+  int ScopeDepth() const { return static_cast<int>(scopes_.size()) - 1; }
+
+  // --- Procs (defined via the `proc` built-in) ------------------------
+
+  struct Proc {
+    std::vector<std::pair<std::string, std::string>> params;  // name,default
+    bool has_default_from = false;  // index of first defaulted param valid
+    size_t first_defaulted = 0;
+    bool varargs = false;  // last param is `args`
+    std::string body;
+  };
+
+  Status DefineProc(const std::string& name, const std::string& params,
+                    const std::string& body);
+  bool IsProc(const std::string& name) const {
+    return procs_.count(name) > 0;
+  }
+
+  // --- Output (the `puts` built-in) ------------------------------------
+
+  void Print(const std::string& line);
+  /// Returns and clears everything printed so far.
+  std::string TakeOutput();
+  const std::string& output() const { return output_; }
+
+  /// Total commands dispatched (for interpreter benchmarks).
+  int64_t commands_executed() const { return commands_executed_; }
+
+  /// Maximum nested evaluation depth before reporting infinite recursion.
+  void set_recursion_limit(int limit) { recursion_limit_ = limit; }
+
+ private:
+  friend class ScopeGuard;
+
+  EvalResult RunCommand(const std::vector<std::string>& argv);
+  EvalResult CallProc(const Proc& proc,
+                      const std::vector<std::string>& argv);
+  void PushScope();
+  void PopScope();
+
+  struct Scope {
+    std::map<std::string, std::string> vars;
+    std::set<std::string> global_links;
+  };
+
+  std::map<std::string, CommandFn> commands_;
+  std::map<std::string, Proc> procs_;
+  std::vector<Scope> scopes_;
+  std::string output_;
+  int64_t commands_executed_ = 0;
+  int eval_depth_ = 0;
+  int recursion_limit_ = 1000;
+};
+
+/// Registers the standard built-in command set (set, expr, if, while, for,
+/// foreach, proc, list ops, string ops, ...). Called by the constructor;
+/// exposed for tests that want a bare interpreter plus selected built-ins.
+void RegisterBuiltins(Interp* interp);
+
+}  // namespace papyrus::tcl
+
+#endif  // PAPYRUS_TCL_INTERP_H_

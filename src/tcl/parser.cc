@@ -1,0 +1,269 @@
+#include "tcl/parser.h"
+
+#include <cctype>
+
+namespace papyrus::tcl {
+
+namespace {
+
+bool IsWordSpace(char c) { return c == ' ' || c == '\t' || c == '\r'; }
+bool IsCommandSep(char c) { return c == '\n' || c == ';'; }
+
+/// Scans a balanced `{...}` starting at `i` (s[i] == '{'); returns the index
+/// one past the closing brace, or npos when unbalanced. Backslash escapes
+/// protect braces.
+size_t ScanBraced(std::string_view s, size_t i) {
+  int depth = 0;
+  for (; i < s.size(); ++i) {
+    char c = s[i];
+    if (c == '\\' && i + 1 < s.size()) {
+      ++i;
+      continue;
+    }
+    if (c == '{') ++depth;
+    if (c == '}') {
+      if (--depth == 0) return i + 1;
+    }
+  }
+  return std::string_view::npos;
+}
+
+/// Scans a balanced `[...]` starting at `i` (s[i] == '['); returns the index
+/// one past the closing bracket, or npos when unbalanced.
+size_t ScanBracketed(std::string_view s, size_t i) {
+  int depth = 0;
+  for (; i < s.size(); ++i) {
+    char c = s[i];
+    if (c == '\\' && i + 1 < s.size()) {
+      ++i;
+      continue;
+    }
+    if (c == '[') ++depth;
+    if (c == ']') {
+      if (--depth == 0) return i + 1;
+    }
+    if (c == '{') {
+      size_t end = ScanBraced(s, i);
+      if (end == std::string_view::npos) return std::string_view::npos;
+      i = end - 1;
+    }
+  }
+  return std::string_view::npos;
+}
+
+/// Scans a quoted `"..."` starting at `i` (s[i] == '"'); returns the index
+/// one past the closing quote, or npos. Skips over embedded [...]
+/// substitutions since they may contain quotes of their own.
+size_t ScanQuoted(std::string_view s, size_t i) {
+  ++i;  // skip opening quote
+  for (; i < s.size(); ++i) {
+    char c = s[i];
+    if (c == '\\' && i + 1 < s.size()) {
+      ++i;
+      continue;
+    }
+    if (c == '[') {
+      size_t end = ScanBracketed(s, i);
+      if (end == std::string_view::npos) return std::string_view::npos;
+      i = end - 1;
+      continue;
+    }
+    if (c == '"') return i + 1;
+  }
+  return std::string_view::npos;
+}
+
+/// Parses one word starting at non-space s[i]; advances i past the word and
+/// fills `out`. `in_list` disables bracket tracking (lists have no command
+/// substitution).
+Status ParseOneWord(std::string_view s, size_t* i, bool in_list,
+                    RawWord* out) {
+  size_t start = *i;
+  char first = s[start];
+  if (first == '{') {
+    size_t end = ScanBraced(s, start);
+    if (end == std::string_view::npos) {
+      return Status::InvalidArgument("missing close-brace");
+    }
+    if (end < s.size() && !IsWordSpace(s[end]) && !IsCommandSep(s[end])) {
+      return Status::InvalidArgument(
+          "extra characters after close-brace");
+    }
+    out->kind = WordKind::kBraced;
+    out->text = std::string(s.substr(start + 1, end - start - 2));
+    *i = end;
+    return Status::OK();
+  }
+  if (first == '"') {
+    size_t end = ScanQuoted(s, start);
+    if (end == std::string_view::npos) {
+      return Status::InvalidArgument("missing close-quote");
+    }
+    if (end < s.size() && !IsWordSpace(s[end]) && !IsCommandSep(s[end])) {
+      return Status::InvalidArgument(
+          "extra characters after close-quote");
+    }
+    out->kind = WordKind::kQuoted;
+    out->text = std::string(s.substr(start + 1, end - start - 2));
+    *i = end;
+    return Status::OK();
+  }
+  // Bare word: runs to unquoted whitespace or command separator.
+  size_t j = start;
+  while (j < s.size() && !IsWordSpace(s[j]) && !IsCommandSep(s[j])) {
+    char c = s[j];
+    if (c == '\\' && j + 1 < s.size()) {
+      if (s[j + 1] == '\n') break;  // backslash-newline ends the word
+      j += 2;
+      continue;
+    }
+    if (c == '[' && !in_list) {
+      size_t end = ScanBracketed(s, j);
+      if (end == std::string_view::npos) {
+        return Status::InvalidArgument("missing close-bracket");
+      }
+      j = end;
+      continue;
+    }
+    ++j;
+  }
+  out->kind = WordKind::kBare;
+  out->text = std::string(s.substr(start, j - start));
+  *i = j;
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<RawCommand>> ParseScript(std::string_view script) {
+  std::vector<RawCommand> commands;
+  size_t i = 0;
+  while (i < script.size()) {
+    // Skip whitespace, separators, line continuations between commands.
+    while (i < script.size()) {
+      char c = script[i];
+      if (IsWordSpace(c) || IsCommandSep(c)) {
+        ++i;
+      } else if (c == '\\' && i + 1 < script.size() &&
+                 script[i + 1] == '\n') {
+        i += 2;
+      } else {
+        break;
+      }
+    }
+    if (i >= script.size()) break;
+    if (script[i] == '#') {  // comment to end of line
+      while (i < script.size() && script[i] != '\n') ++i;
+      continue;
+    }
+    RawCommand cmd;
+    cmd.script_offset = i;
+    while (i < script.size() && !IsCommandSep(script[i])) {
+      // Inter-word whitespace (incl. backslash-newline continuation).
+      if (IsWordSpace(script[i])) {
+        ++i;
+        continue;
+      }
+      if (script[i] == '\\' && i + 1 < script.size() &&
+          script[i + 1] == '\n') {
+        i += 2;
+        continue;
+      }
+      RawWord word;
+      Status st = ParseOneWord(script, &i, /*in_list=*/false, &word);
+      if (!st.ok()) return st;
+      cmd.words.push_back(std::move(word));
+    }
+    if (!cmd.words.empty()) commands.push_back(std::move(cmd));
+  }
+  return commands;
+}
+
+Result<std::vector<std::string>> ParseList(std::string_view list) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < list.size()) {
+    char c = list[i];
+    if (IsWordSpace(c) || c == '\n') {  // newlines separate list elements
+      ++i;
+      continue;
+    }
+    if (c == '\\' && i + 1 < list.size() && list[i + 1] == '\n') {
+      i += 2;
+      continue;
+    }
+    RawWord word;
+    // Semicolons are ordinary characters inside lists; ParseOneWord treats
+    // them as separators, so parse up to them manually for bare words.
+    if (c == '{' || c == '"') {
+      Status st = ParseOneWord(list, &i, /*in_list=*/true, &word);
+      if (!st.ok()) return st;
+      out.push_back(std::move(word.text));
+      continue;
+    }
+    // Bare element: backslash sequences are decoded (as Tcl's list
+    // parser does), so FormatList's escaping round-trips.
+    std::string element;
+    size_t j = i;
+    while (j < list.size() && !IsWordSpace(list[j]) && list[j] != '\n') {
+      if (list[j] == '\\' && j + 1 < list.size()) {
+        element.push_back(list[j + 1]);
+        j += 2;
+        continue;
+      }
+      element.push_back(list[j]);
+      ++j;
+    }
+    out.push_back(std::move(element));
+    i = j;
+  }
+  return out;
+}
+
+std::string QuoteListElement(const std::string& element) {
+  if (element.empty()) return "{}";
+  bool needs_quote = false;
+  bool has_backslash = false;
+  int brace_depth = 0;
+  bool braces_balanced = true;
+  for (char c : element) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == ';' || c == '"' ||
+        c == '$' || c == '[' || c == ']' || c == '\\' || c == '{' ||
+        c == '}') {
+      needs_quote = true;
+    }
+    if (c == '\\') has_backslash = true;
+    if (c == '{') ++brace_depth;
+    if (c == '}') {
+      if (brace_depth == 0) braces_balanced = false;
+      --brace_depth;
+    }
+  }
+  if (brace_depth != 0) braces_balanced = false;
+  if (!needs_quote) return element;
+  // Backslashes inside braces would re-escape on parse; fall back to the
+  // backslash form for those elements.
+  if (braces_balanced && !has_backslash) return "{" + element + "}";
+  // Fall back to backslash-escaping.
+  std::string quoted;
+  for (char c : element) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == ';' || c == '"' ||
+        c == '$' || c == '[' || c == ']' || c == '\\' || c == '{' ||
+        c == '}') {
+      quoted.push_back('\\');
+    }
+    quoted.push_back(c);
+  }
+  return quoted;
+}
+
+std::string FormatList(const std::vector<std::string>& elements) {
+  std::string out;
+  for (size_t i = 0; i < elements.size(); ++i) {
+    if (i > 0) out.push_back(' ');
+    out += QuoteListElement(elements[i]);
+  }
+  return out;
+}
+
+}  // namespace papyrus::tcl

@@ -1,0 +1,50 @@
+#ifndef PAPYRUS_TCL_PARSER_H_
+#define PAPYRUS_TCL_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/result.h"
+
+namespace papyrus::tcl {
+
+/// Kinds of raw word tokens produced by the command parser. Substitution
+/// (variables, nested commands, backslashes) happens later, at eval time,
+/// and only for kBare and kQuoted words — brace-quoted words are literal,
+/// exactly as in Ousterhout's Tcl.
+enum class WordKind {
+  kBare,    // subject to $-, [...]- and backslash-substitution
+  kQuoted,  // "..." with substitution, grouping preserved
+  kBraced,  // {...} fully literal
+};
+
+/// One unsubstituted word of a command.
+struct RawWord {
+  WordKind kind = WordKind::kBare;
+  std::string text;  // contents without the outer quotes/braces
+};
+
+/// One parsed command: a non-empty sequence of raw words.
+struct RawCommand {
+  std::vector<RawWord> words;
+  size_t script_offset = 0;  // offset of the command in the source script
+};
+
+/// Splits a Tcl script into commands (separated by newlines or semicolons
+/// outside any quoting construct), each a list of raw words. Comment lines
+/// (`#` where a command would start) are skipped.
+Result<std::vector<RawCommand>> ParseScript(std::string_view script);
+
+/// Parses a Tcl list value into its elements, honoring braces and quotes.
+Result<std::vector<std::string>> ParseList(std::string_view list);
+
+/// Formats elements as a Tcl list, brace-quoting elements that need it.
+std::string FormatList(const std::vector<std::string>& elements);
+
+/// Quotes a single element so it survives a round trip through ParseList.
+std::string QuoteListElement(const std::string& element);
+
+}  // namespace papyrus::tcl
+
+#endif  // PAPYRUS_TCL_PARSER_H_

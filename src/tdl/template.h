@@ -1,0 +1,71 @@
+#ifndef PAPYRUS_TDL_TEMPLATE_H_
+#define PAPYRUS_TDL_TEMPLATE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "base/status.h"
+
+namespace papyrus::tdl {
+
+/// A task template: a TDL script plus the formal input/output lists
+/// declared by its leading `task` command (§4.2.2).
+///
+/// Templates are plain scripts stored as text — the thesis' "interpretive
+/// approach": adding or deleting templates never touches the design
+/// database, and the task manager re-interprets the text on every
+/// invocation, so conditional flows and loops are evaluated against the
+/// run-time state.
+struct TaskTemplate {
+  std::string name;
+  std::vector<std::string> formal_inputs;
+  std::vector<std::string> formal_outputs;
+  std::string script;  // full template text, including the task command
+};
+
+/// Parses just the `task Name {Inputs} {Outputs}` header of a template and
+/// validates that it is the first command.
+Result<TaskTemplate> ParseTemplateHeader(const std::string& script);
+
+/// Stores task templates by name. Expert designers or system managers add
+/// templates; circuit designers only invoke them (§3.3.2).
+class TemplateLibrary {
+ public:
+  /// Parses the script's task header and registers the template under the
+  /// declared name. Replaces an existing template of the same name.
+  Status Add(const std::string& script);
+
+  /// Loads one template from a file ("Each task template is stored as a
+  /// UNIX file", §4.2.2).
+  Status AddFromFile(const std::string& path);
+
+  /// Loads every `*.tdl` file in a directory; returns how many templates
+  /// were registered. Files that fail to parse abort the load.
+  Result<int> LoadDirectory(const std::string& directory);
+
+  Result<const TaskTemplate*> Find(const std::string& name) const;
+  bool Has(const std::string& name) const {
+    return templates_.count(name) > 0;
+  }
+  bool Remove(const std::string& name) {
+    return templates_.erase(name) > 0;
+  }
+  std::vector<std::string> TemplateNames() const;
+  size_t size() const { return templates_.size(); }
+
+ private:
+  std::map<std::string, TaskTemplate> templates_;
+};
+
+/// Registers the example templates from the thesis (Padp §4.2.3,
+/// Structure_Synthesis Figure 4.2, Mosaico Figure 4.3, plus the tasks of
+/// the Shifter-synthesis scenario in Figure 3.7). Adapted only where the
+/// thesis text is abbreviated (e.g. `create-logic-description`'s editor
+/// step takes option-driven inputs).
+Status RegisterThesisTemplates(TemplateLibrary* library);
+
+}  // namespace papyrus::tdl
+
+#endif  // PAPYRUS_TDL_TEMPLATE_H_

@@ -1,0 +1,294 @@
+#include "tdl/template_layout.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "base/macros.h"
+#include "base/strings.h"
+#include "tcl/parser.h"
+
+namespace papyrus::tdl {
+
+namespace {
+
+/// Applies a formal->actual mapping to a name (subtask expansion).
+std::string MapName(const std::map<std::string, std::string>& mapping,
+                    const std::string& name) {
+  auto it = mapping.find(name);
+  return it == mapping.end() ? name : it->second;
+}
+
+Status ScanScript(const std::string& script, const TemplateLibrary* library,
+                  const std::map<std::string, std::string>& name_map,
+                  bool conditional, bool from_subtask, int depth,
+                  std::vector<StaticStep>* out);
+
+/// Parses one `step` command's raw words into a StaticStep.
+Status ScanStepCommand(const tcl::RawCommand& cmd,
+                       const std::map<std::string, std::string>& name_map,
+                       bool conditional, bool from_subtask,
+                       std::vector<StaticStep>* out) {
+  if (cmd.words.size() < 5) {
+    return Status::InvalidArgument("step command with too few fields");
+  }
+  StaticStep step;
+  step.conditional = conditional;
+  step.from_subtask = from_subtask;
+  auto head = tcl::ParseList(cmd.words[1].text);
+  if (!head.ok()) return head.status();
+  int64_t uid = 0;
+  if (head->size() == 2 && ParseInt64((*head)[0], &uid)) {
+    step.user_id = static_cast<int>(uid);
+    step.name = (*head)[1];
+  } else if (!head->empty()) {
+    step.name = head->back();
+  }
+  auto ins = tcl::ParseList(cmd.words[2].text);
+  auto outs = tcl::ParseList(cmd.words[3].text);
+  if (!ins.ok() || !outs.ok()) {
+    return Status::InvalidArgument("bad step argument lists");
+  }
+  for (const std::string& name : *ins) {
+    step.inputs.push_back(MapName(name_map, name));
+  }
+  for (const std::string& name : *outs) {
+    step.outputs.push_back(MapName(name_map, name));
+  }
+  std::vector<std::string> words = SplitWhitespace(cmd.words[4].text);
+  if (!words.empty()) step.tool = words[0];
+  for (size_t i = 5; i < cmd.words.size(); ++i) {
+    auto field = tcl::ParseList(cmd.words[i].text);
+    if (!field.ok() || field->empty()) continue;
+    if ((*field)[0] == "NonMigrate") {
+      step.migratable = false;
+    } else if ((*field)[0] == "ResumedStep" && field->size() == 2) {
+      int64_t rid = 0;
+      if (ParseInt64((*field)[1], &rid)) {
+        step.has_resumed_step = true;
+        step.resumed_step = static_cast<int>(rid);
+      }
+    } else if ((*field)[0] == "ControlDependency") {
+      for (size_t k = 1; k < field->size(); ++k) {
+        int64_t dep = 0;
+        if (ParseInt64((*field)[k], &dep)) {
+          step.control_deps.push_back(static_cast<int>(dep));
+        }
+      }
+    }
+  }
+  out->push_back(std::move(step));
+  return Status::OK();
+}
+
+Status ScanSubtaskCommand(const tcl::RawCommand& cmd,
+                          const TemplateLibrary* library,
+                          const std::map<std::string, std::string>& name_map,
+                          bool conditional, int depth,
+                          std::vector<StaticStep>* out) {
+  if (cmd.words.size() != 4) {
+    return Status::InvalidArgument("subtask command with bad arity");
+  }
+  auto head = tcl::ParseList(cmd.words[1].text);
+  if (!head.ok() || head->empty()) {
+    return Status::InvalidArgument("bad subtask name");
+  }
+  std::string name = head->back();
+  if (library == nullptr) {
+    // Unexpanded placeholder: render the subtask as a single pseudo-step.
+    StaticStep step;
+    step.name = name;
+    step.tool = "<subtask>";
+    step.conditional = conditional;
+    auto ins = tcl::ParseList(cmd.words[2].text);
+    auto outs = tcl::ParseList(cmd.words[3].text);
+    if (ins.ok()) {
+      for (const std::string& n : *ins) {
+        step.inputs.push_back(MapName(name_map, n));
+      }
+    }
+    if (outs.ok()) {
+      for (const std::string& n : *outs) {
+        step.outputs.push_back(MapName(name_map, n));
+      }
+    }
+    out->push_back(std::move(step));
+    return Status::OK();
+  }
+  if (depth > 16) {
+    return Status::FailedPrecondition("subtask nesting too deep");
+  }
+  PAPYRUS_ASSIGN_OR_RETURN(const TaskTemplate* sub, library->Find(name));
+  auto ins = tcl::ParseList(cmd.words[2].text);
+  auto outs = tcl::ParseList(cmd.words[3].text);
+  if (!ins.ok() || !outs.ok() ||
+      ins->size() != sub->formal_inputs.size() ||
+      outs->size() != sub->formal_outputs.size()) {
+    return Status::InvalidArgument("subtask " + name +
+                                   " arguments do not match its template");
+  }
+  std::map<std::string, std::string> sub_map;
+  for (size_t i = 0; i < ins->size(); ++i) {
+    sub_map[sub->formal_inputs[i]] = MapName(name_map, (*ins)[i]);
+  }
+  for (size_t i = 0; i < outs->size(); ++i) {
+    sub_map[sub->formal_outputs[i]] = MapName(name_map, (*outs)[i]);
+  }
+  return ScanScript(sub->script, library, sub_map, conditional,
+                    /*from_subtask=*/true, depth + 1, out);
+}
+
+Status ScanScript(const std::string& script, const TemplateLibrary* library,
+                  const std::map<std::string, std::string>& name_map,
+                  bool conditional, bool from_subtask, int depth,
+                  std::vector<StaticStep>* out) {
+  PAPYRUS_ASSIGN_OR_RETURN(std::vector<tcl::RawCommand> commands,
+                           tcl::ParseScript(script));
+  for (const tcl::RawCommand& cmd : commands) {
+    if (cmd.words.empty()) continue;
+    const std::string& head = cmd.words[0].text;
+    if (head == "step") {
+      PAPYRUS_RETURN_IF_ERROR(ScanStepCommand(cmd, name_map, conditional,
+                                              from_subtask, out));
+    } else if (head == "subtask") {
+      PAPYRUS_RETURN_IF_ERROR(ScanSubtaskCommand(
+          cmd, library, name_map, conditional, depth, out));
+    } else if (head == "if" || head == "while" || head == "for" ||
+               head == "foreach" || head == "eval") {
+      // Steps inside control-structure bodies execute conditionally:
+      // recurse into every braced word that parses as a script with
+      // steps.
+      for (size_t i = 1; i < cmd.words.size(); ++i) {
+        if (cmd.words[i].kind != tcl::WordKind::kBraced) continue;
+        if (cmd.words[i].text.find("step") == std::string::npos &&
+            cmd.words[i].text.find("subtask") == std::string::npos) {
+          continue;
+        }
+        // A failed nested parse (e.g. an expression) is not an error.
+        (void)ScanScript(cmd.words[i].text, library, name_map,
+                         /*conditional=*/true, from_subtask, depth, out);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<StaticStep>> ExtractSteps(const std::string& script,
+                                             const TemplateLibrary* library) {
+  std::vector<StaticStep> steps;
+  PAPYRUS_RETURN_IF_ERROR(ScanScript(script, library, {}, false, false, 0,
+                                     &steps));
+  return steps;
+}
+
+TemplateLayout ComputeTemplateLayout(const std::vector<StaticStep>& steps) {
+  TemplateLayout layout;
+  // Dependency edges: producer of a name -> consumers; control deps by
+  // user id. The same output name may be written by several steps (e.g.
+  // the Mosaico compaction fallback): every producer counts.
+  std::map<std::string, std::vector<size_t>> producers;
+  std::map<int, std::vector<size_t>> by_user_id;
+  for (size_t i = 0; i < steps.size(); ++i) {
+    for (const std::string& out : steps[i].outputs) {
+      producers[out].push_back(i);
+    }
+    if (steps[i].user_id > 0) by_user_id[steps[i].user_id].push_back(i);
+  }
+  std::vector<int> level(steps.size(), -1);
+  // Longest-path leveling with bounded iteration (the graph is acyclic in
+  // well-formed templates; the bound guards against malformed ones).
+  bool changed = true;
+  int rounds = 0;
+  while (changed && rounds++ < static_cast<int>(steps.size()) + 2) {
+    changed = false;
+    for (size_t i = 0; i < steps.size(); ++i) {
+      int depth = 0;
+      for (const std::string& in : steps[i].inputs) {
+        auto it = producers.find(in);
+        if (it == producers.end()) continue;
+        for (size_t p : it->second) {
+          if (p == i) continue;
+          depth = std::max(depth, level[p] < 0 ? 1 : level[p] + 1);
+        }
+      }
+      for (int dep : steps[i].control_deps) {
+        auto it = by_user_id.find(dep);
+        if (it == by_user_id.end()) continue;
+        for (size_t p : it->second) {
+          if (p == i) continue;
+          depth = std::max(depth, level[p] < 0 ? 1 : level[p] + 1);
+        }
+      }
+      if (depth != level[i]) {
+        level[i] = depth;
+        changed = true;
+      }
+    }
+  }
+  int max_level = 0;
+  for (int l : level) max_level = std::max(max_level, l);
+  layout.levels.resize(max_level + 1);
+  for (size_t i = 0; i < steps.size(); ++i) {
+    layout.levels[std::max(level[i], 0)].push_back(i);
+  }
+  return layout;
+}
+
+Result<std::string> RenderTemplate(const TaskTemplate& tmpl,
+                                   const TemplateLibrary* library) {
+  PAPYRUS_ASSIGN_OR_RETURN(std::vector<StaticStep> steps,
+                           ExtractSteps(tmpl.script, library));
+  TemplateLayout layout = ComputeTemplateLayout(steps);
+  std::ostringstream out;
+  out << "Task " << tmpl.name << " {" << Join(tmpl.formal_inputs, " ")
+      << "} -> {" << Join(tmpl.formal_outputs, " ") << "}\n";
+  for (size_t l = 0; l < layout.levels.size(); ++l) {
+    out << "  level " << l << ":";
+    for (size_t idx : layout.levels[l]) {
+      const StaticStep& s = steps[idx];
+      out << "  [" << (s.conditional ? "?" : "") << s.name;
+      if (s.from_subtask) out << " (sub)";
+      if (!s.migratable) out << " (home)";
+      out << "]";
+    }
+    out << "\n";
+  }
+  // Dependency edges.
+  std::map<std::string, std::string> producer_name;
+  for (const StaticStep& s : steps) {
+    for (const std::string& o : s.outputs) producer_name[o] = s.name;
+  }
+  for (const StaticStep& s : steps) {
+    for (const std::string& in : s.inputs) {
+      auto it = producer_name.find(in);
+      if (it != producer_name.end() && it->second != s.name) {
+        out << "  " << it->second << " --" << in << "--> " << s.name
+            << "\n";
+      }
+    }
+    for (int dep : s.control_deps) {
+      for (const StaticStep& p : steps) {
+        if (p.user_id == dep) {
+          out << "  " << p.name << " ==control==> " << s.name << "\n";
+        }
+      }
+    }
+    if (s.has_resumed_step) {
+      if (s.resumed_step == 0) {
+        out << "  " << s.name << " ..abort.. (restart from scratch)\n";
+      } else {
+        for (const StaticStep& p : steps) {
+          if (p.user_id == s.resumed_step) {
+            out << "  " << s.name << " ..abort..> after " << p.name
+                << "\n";
+          }
+        }
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace papyrus::tdl

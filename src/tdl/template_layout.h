@@ -1,0 +1,54 @@
+#ifndef PAPYRUS_TDL_TEMPLATE_LAYOUT_H_
+#define PAPYRUS_TDL_TEMPLATE_LAYOUT_H_
+
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "tdl/template.h"
+
+namespace papyrus::tdl {
+
+/// One step found by statically scanning a task template — the basis of
+/// the §4.3.1 graphical task representation. Steps inside conditional
+/// bodies are included and flagged (the Figure 4.3 diamond).
+struct StaticStep {
+  std::string name;
+  int user_id = 0;
+  std::string tool;
+  std::vector<std::string> inputs;   // formal names
+  std::vector<std::string> outputs;  // formal names
+  bool conditional = false;  // nested in if/while/for/foreach bodies
+  bool from_subtask = false;  // discovered by expanding a subtask
+  bool migratable = true;
+  bool has_resumed_step = false;
+  int resumed_step = 0;
+  std::vector<int> control_deps;
+};
+
+/// Statically extracts every step a template can execute, recursing into
+/// control-structure bodies and (when `library` is provided) expanding
+/// subtasks in-line with formal-name mapping.
+Result<std::vector<StaticStep>> ExtractSteps(const std::string& script,
+                                             const TemplateLibrary* library);
+
+/// Grid placement of the steps: `levels[i]` holds the indexes (into the
+/// ExtractSteps vector) of the steps at dependency depth i — the
+/// topological sort followed by level-by-level placement of §4.3.1.
+struct TemplateLayout {
+  std::vector<std::vector<size_t>> levels;
+};
+
+/// Computes the layout from data and control dependencies. Steps whose
+/// dependencies are unsatisfiable land on an extra trailing level.
+TemplateLayout ComputeTemplateLayout(const std::vector<StaticStep>& steps);
+
+/// ASCII rendering of a template (the Figure 4.2/4.3 pictures): one row
+/// per level, `?` marking conditional steps, `(sub)` marking steps from
+/// expanded subtasks, and dependency/abort edges listed below.
+Result<std::string> RenderTemplate(const TaskTemplate& tmpl,
+                                   const TemplateLibrary* library);
+
+}  // namespace papyrus::tdl
+
+#endif  // PAPYRUS_TDL_TEMPLATE_LAYOUT_H_

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "base/clock.h"
+#include "base/macros.h"
+#include "base/result.h"
+#include "base/status.h"
+#include "base/strings.h"
+
+namespace papyrus {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing cell");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "missing cell");
+  EXPECT_EQ(s.ToString(), "NotFound: missing cell");
+}
+
+TEST(StatusTest, AllFactoryFunctionsProduceMatchingCodes) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::PermissionDenied("x").code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_EQ(Status::Aborted("x").code(), StatusCode::kAborted);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::InvalidArgument("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+Result<int> HalfOf(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status UseHalf(int x, int* out) {
+  PAPYRUS_ASSIGN_OR_RETURN(*out, HalfOf(x));
+  return Status::OK();
+}
+
+TEST(MacrosTest, AssignOrReturnPropagatesValueAndError) {
+  int out = 0;
+  EXPECT_TRUE(UseHalf(10, &out).ok());
+  EXPECT_EQ(out, 5);
+  Status bad = UseHalf(3, &out);
+  EXPECT_TRUE(bad.IsInvalidArgument());
+}
+
+TEST(StringsTest, SplitKeepsEmptyPieces) {
+  auto v = Split("a::b:", ':');
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[0], "a");
+  EXPECT_EQ(v[1], "");
+  EXPECT_EQ(v[2], "b");
+  EXPECT_EQ(v[3], "");
+}
+
+TEST(StringsTest, SplitWhitespaceDropsEmpty) {
+  auto v = SplitWhitespace("  set   a\t27\n");
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], "set");
+  EXPECT_EQ(v[1], "a");
+  EXPECT_EQ(v[2], "27");
+}
+
+TEST(StringsTest, JoinRoundTrips) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"only"}, ","), "only");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(Trim("  x y  "), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" \t\n "), "");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("ResumedStep 3", "ResumedStep"));
+  EXPECT_FALSE(StartsWith("Re", "ResumedStep"));
+  EXPECT_TRUE(EndsWith("cell.blif", ".blif"));
+  EXPECT_FALSE(EndsWith("blif", "cell.blif"));
+}
+
+TEST(StringsTest, ParseInt64) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt64("42", &v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(ParseInt64(" -7 ", &v));
+  EXPECT_EQ(v, -7);
+  EXPECT_FALSE(ParseInt64("12x", &v));
+  EXPECT_FALSE(ParseInt64("", &v));
+  EXPECT_FALSE(ParseInt64("abc", &v));
+}
+
+TEST(StringsTest, Fnv1aIsDeterministicAndSpreads) {
+  EXPECT_EQ(Fnv1a("espresso"), Fnv1a("espresso"));
+  EXPECT_NE(Fnv1a("espresso"), Fnv1a("espressp"));
+  EXPECT_NE(Fnv1a(""), Fnv1a("a"));
+}
+
+TEST(ClockTest, ManualClockAdvances) {
+  ManualClock clock(100);
+  EXPECT_EQ(clock.NowMicros(), 100);
+  clock.AdvanceMicros(50);
+  EXPECT_EQ(clock.NowMicros(), 150);
+  clock.AdvanceSeconds(2);
+  EXPECT_EQ(clock.NowMicros(), 150 + 2000000);
+  EXPECT_EQ(clock.NowSeconds(), 2);
+}
+
+TEST(ClockTest, SystemClockMovesForward) {
+  SystemClock* clock = SystemClock::Default();
+  int64_t a = clock->NowMicros();
+  int64_t b = clock->NowMicros();
+  EXPECT_GE(b, a);
+  EXPECT_GT(a, 0);
+}
+
+}  // namespace
+}  // namespace papyrus

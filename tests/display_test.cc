@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "activity/design_thread.h"
+#include "activity/display.h"
+#include "activity/thread_ops.h"
+#include "base/clock.h"
+
+namespace papyrus::activity {
+namespace {
+
+task::TaskHistoryRecord Rec(const std::string& name) {
+  task::TaskHistoryRecord rec;
+  rec.task_name = name;
+  return rec;
+}
+
+class DisplayTest : public ::testing::Test {
+ protected:
+  DisplayTest() : clock_(0), thread_(1, "T", &clock_) {}
+
+  NodeId Append(const std::string& name) {
+    auto node = thread_.Append(Rec(name), thread_.current_cursor());
+    EXPECT_TRUE(node.ok());
+    return *node;
+  }
+
+  ManualClock clock_;
+  DesignThread thread_;
+};
+
+TEST_F(DisplayTest, EmptyThreadRenders) {
+  std::string text = RenderControlStream(thread_);
+  EXPECT_NE(text.find("Thread 1 \"T\""), std::string::npos);
+  EXPECT_NE(text.find("*"), std::string::npos);  // cursor at initial point
+  StreamLayout layout = ComputeStreamLayout(thread_);
+  EXPECT_TRUE(layout.cells.empty());
+  EXPECT_EQ(layout.width, 0);
+}
+
+TEST_F(DisplayTest, LinearStreamLayout) {
+  Append("a");
+  Append("b");
+  Append("c");
+  StreamLayout layout = ComputeStreamLayout(thread_);
+  EXPECT_EQ(layout.width, 3);
+  EXPECT_EQ(layout.height, 1);
+  EXPECT_EQ(layout.cells.at(1), (std::pair<int, int>{0, 0}));
+  EXPECT_EQ(layout.cells.at(3), (std::pair<int, int>{2, 0}));
+}
+
+TEST_F(DisplayTest, BranchesOpenNewLanes) {
+  NodeId a = Append("a");
+  Append("b");
+  ASSERT_TRUE(thread_.MoveCursor(a).ok());
+  Append("c");
+  ASSERT_TRUE(thread_.MoveCursor(a).ok());
+  Append("d");
+  StreamLayout layout = ComputeStreamLayout(thread_);
+  EXPECT_EQ(layout.width, 2);
+  EXPECT_EQ(layout.height, 3);  // three branch lanes
+  // All branches share x=1 but occupy distinct lanes.
+  std::set<int> lanes;
+  for (NodeId id : {2, 3, 4}) {
+    EXPECT_EQ(layout.cells.at(id).first, 1);
+    lanes.insert(layout.cells.at(id).second);
+  }
+  EXPECT_EQ(lanes.size(), 3u);
+}
+
+TEST_F(DisplayTest, JoinGraphRendersReferenceMarker) {
+  DesignThread a(2, "A", &clock_);
+  DesignThread b(3, "B", &clock_);
+  (void)a.Append(Rec("a1"), a.current_cursor());
+  (void)b.Append(Rec("b1"), b.current_cursor());
+  DesignThread joined(4, "J", &clock_);
+  ASSERT_TRUE(ThreadCombinator::Join(a, a.FrontierCursors()[0], b,
+                                     b.FrontierCursors()[0], &joined)
+                  .ok());
+  std::string text = RenderControlStream(joined);
+  EXPECT_NE(text.find("<join>"), std::string::npos);
+  // The junction appears under one parent and as a reference under the
+  // other — never duplicated as a full subtree.
+  EXPECT_NE(text.find("(see above)"), std::string::npos);
+  // Junction's layout x is the max over both parents + 1.
+  StreamLayout layout = ComputeStreamLayout(joined);
+  NodeId junction = joined.current_cursor();
+  EXPECT_EQ(layout.cells.at(junction).first, 1);
+}
+
+TEST_F(DisplayTest, RenderShowsAnnotationsCursorAndFrontiers) {
+  NodeId a = Append("alpha");
+  NodeId b = Append("beta");
+  ASSERT_TRUE(thread_.Annotate(a, "checkpoint").ok());
+  ASSERT_TRUE(thread_.MoveCursor(a).ok());
+  std::string text = RenderControlStream(thread_);
+  EXPECT_NE(text.find("alpha \"checkpoint\" *"), std::string::npos);
+  EXPECT_NE(text.find("beta ^"), std::string::npos);
+  (void)b;
+}
+
+TEST_F(DisplayTest, DataScopeListsVersionsPerName) {
+  task::TaskHistoryRecord rec;
+  rec.task_name = "t";
+  rec.outputs = {{"x", 1}, {"x", 2}, {"y", 1}};
+  ASSERT_TRUE(thread_.Append(std::move(rec), kInitialPoint).ok());
+  std::string text = RenderDataScope(&thread_);
+  EXPECT_NE(text.find("x : version 1 version 2"), std::string::npos);
+  EXPECT_NE(text.find("y : version 1"), std::string::npos);
+}
+
+TEST_F(DisplayTest, TransformIdentityByDefault) {
+  DisplayTransform t;
+  auto [x, y] = t.Apply(3.5, -2.0);
+  EXPECT_DOUBLE_EQ(x, 3.5);
+  EXPECT_DOUBLE_EQ(y, -2.0);
+  EXPECT_EQ(t.events_logged(), 0);
+}
+
+TEST_F(DisplayTest, ZoomThenPanOrderMatters) {
+  // p' = M (p + T): a pan logged after a zoom moves in *pre-zoom* units.
+  DisplayTransform t;
+  t.Zoom(4);
+  t.Pan(8, 0);  // normalized to 2 pre-zoom units
+  EXPECT_DOUBLE_EQ(t.tx(), 2.0);
+  auto [x, y] = t.Apply(1.0, 1.0);
+  EXPECT_DOUBLE_EQ(x, 12.0);  // 4 * (1 + 2)
+  EXPECT_DOUBLE_EQ(y, 4.0);
+}
+
+}  // namespace
+}  // namespace papyrus::activity

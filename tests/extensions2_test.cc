@@ -1,0 +1,176 @@
+// Tests for the second batch of extensions: loop-generated steps in TDL,
+// equivalence-chain queries, and the Sprite migration cost model.
+
+#include <gtest/gtest.h>
+
+#include "core/papyrus.h"
+#include "sprite/network.h"
+
+namespace papyrus {
+namespace {
+
+using oct::LogicNetwork;
+using oct::ObjectId;
+
+// --- Loop-generated steps ("a limited class of While-loops", §4.4) --------
+
+class LoopTemplateTest : public ::testing::Test {
+ protected:
+  LoopTemplateTest() { session_ = std::make_unique<Papyrus>(); }
+  std::unique_ptr<Papyrus> session_;
+};
+
+TEST_F(LoopTemplateTest, ForLoopGeneratesDistinctSteps) {
+  // Iterative refinement inside one task: each round minimizes the
+  // previous round's output. Step and object names are produced by Tcl
+  // variable substitution, so every iteration is distinct.
+  ASSERT_TRUE(session_
+                  ->AddTemplate(
+                      "task Refine {In} {Out}\n"
+                      "set prev In\n"
+                      "for {set i 0} {$i < 3} {incr i} {\n"
+                      "  step Round$i \"$prev\" \"min$i\" "
+                      "{espresso -o pleasure prev}\n"
+                      "  set prev min$i\n"
+                      "}\n"
+                      "step Final {min2} {Out} {pleasure min2}\n")
+                  .ok());
+  (void)session_->CheckInObject(
+      "/cell", LogicNetwork{.num_inputs = 8,
+                            .num_outputs = 4,
+                            .minterms = 400,
+                            .format = oct::DesignFormat::kBlif,
+                            .seed = 3});
+  int t = session_->CreateThread("T");
+  auto point = session_->Invoke(t, "Refine", {"/cell"}, {"cell.min"});
+  ASSERT_TRUE(point.ok()) << point.status().ToString();
+  auto thread = session_->activity().GetThread(t);
+  auto node = (*thread)->GetNode(*point);
+  ASSERT_EQ((*node)->record.steps.size(), 4u);
+  // Each round consumed the previous round's output: minterms shrink
+  // monotonically.
+  auto out = session_->database().LatestVisible("cell.min");
+  ASSERT_TRUE(out.ok());
+  auto rec = session_->database().Get(*out);
+  EXPECT_LT(std::get<LogicNetwork>((*rec)->payload).minterms, 400);
+  std::set<std::string> names;
+  for (const auto& s : (*node)->record.steps) names.insert(s.step_name);
+  EXPECT_EQ(names.size(), 4u);  // Round0..2 + Final, all distinct
+}
+
+TEST_F(LoopTemplateTest, WhileLoopWithAttributeCondition) {
+  // Keep minimizing until the design is small enough — the §4.2.2 claim
+  // that design flow can depend on run-time object attributes.
+  ASSERT_TRUE(session_
+                  ->AddTemplate(
+                      "task Shrink {In} {Out}\n"
+                      "set cur In\n"
+                      "set i 0\n"
+                      "while {[attribute $cur minterms] > 60} {\n"
+                      "  step Shrink$i \"$cur\" \"s$i\" "
+                      "{espresso -o pleasure cur}\n"
+                      "  set cur s$i\n"
+                      "  incr i\n"
+                      "  if {$i > 10} break\n"
+                      "}\n"
+                      "step Publish \"$cur\" {Out} {pleasure cur}\n")
+                  .ok());
+  (void)session_->CheckInObject(
+      "/big", LogicNetwork{.num_inputs = 8,
+                           .num_outputs = 4,
+                           .minterms = 300,
+                           .format = oct::DesignFormat::kPla,
+                           .seed = 7});
+  int t = session_->CreateThread("T");
+  auto point = session_->Invoke(t, "Shrink", {"/big"}, {"small"});
+  ASSERT_TRUE(point.ok()) << point.status().ToString();
+  auto out = session_->database().LatestVisible("small");
+  ASSERT_TRUE(out.ok());
+  auto rec = session_->database().Get(*out);
+  // The loop exit condition held on the object fed to Publish.
+  auto thread = session_->activity().GetThread(t);
+  auto node = (*thread)->GetNode(*point);
+  ASSERT_GE((*node)->record.steps.size(), 2u);
+  const auto& publish_inputs =
+      (*node)->record.steps.back().inputs;
+  ASSERT_EQ(publish_inputs.size(), 1u);
+  // The fed object is an intermediate — invisible after commit — so use
+  // Peek, which sees bookkeeping state.
+  auto fed = session_->database().Peek(publish_inputs[0]);
+  ASSERT_TRUE(fed.ok()) << fed.status().ToString();
+  EXPECT_LE(std::get<LogicNetwork>((*fed)->payload).minterms, 60);
+}
+
+// --- Equivalence chains (§6.4.2) -------------------------------------------
+
+TEST(EquivalenceChainTest, SpansAllDomains) {
+  Papyrus session;
+  int t = session.CreateThread("T");
+  ASSERT_TRUE(
+      session.Invoke(t, "Create_Logic_Description", {}, {"c.logic"}).ok());
+  ASSERT_TRUE(
+      session.Invoke(t, "Standard_Cell_Place_and_Route", {"c.logic"},
+                     {"c.layout"})
+          .ok());
+  auto layout = session.database().LatestVisible("c.layout");
+  ASSERT_TRUE(layout.ok());
+  auto reps = session.metadata().EquivalentRepresentations(*layout);
+  // The chain spans layout <- logic <- behavioral (bdsyn and wolfe are
+  // domain translators).
+  ASSERT_GE(reps.size(), 3u);
+  std::set<std::string> types;
+  for (const ObjectId& id : reps) {
+    auto type = session.metadata().TypeOf(id);
+    if (type.ok()) types.insert(*type);
+  }
+  EXPECT_TRUE(types.count("layout"));
+  EXPECT_TRUE(types.count("logic"));
+  // Queries from the middle of the chain see the same set.
+  auto logic = session.database().LatestVisible("c.logic");
+  ASSERT_TRUE(logic.ok());
+  auto reps2 = session.metadata().EquivalentRepresentations(*logic);
+  EXPECT_EQ(std::set<ObjectId>(reps.begin(), reps.end()),
+            std::set<ObjectId>(reps2.begin(), reps2.end()));
+}
+
+// --- Migration cost model --------------------------------------------------
+
+TEST(MigrationCostTest, MigrationAddsWork) {
+  ManualClock clock(0);
+  sprite::Network net(&clock, 2);
+  net.set_migration_cost_micros(500);
+  auto pid = net.Spawn(sprite::kNoProcess, "p", 1000, 0, true);
+  ASSERT_TRUE(pid.ok());
+  ASSERT_TRUE(net.Migrate(*pid, 1).ok());
+  net.RunUntilQuiescent();
+  auto info = net.GetProcess(*pid);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->work_micros, 1500);
+  EXPECT_EQ(info->finish_micros, 1500);
+}
+
+TEST(MigrationCostTest, EvictionAlsoPaysTheCost) {
+  ManualClock clock(0);
+  sprite::Network net(&clock, 2);
+  net.set_migration_cost_micros(250);
+  auto pid = net.Spawn(sprite::kNoProcess, "p", 1000, 1, true);
+  ASSERT_TRUE(pid.ok());
+  ASSERT_TRUE(net.SetOwnerActive(1, true).ok());  // evicts to home
+  net.RunUntilQuiescent();
+  auto info = net.GetProcess(*pid);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->work_micros, 1250);
+}
+
+TEST(MigrationCostTest, ZeroCostByDefault) {
+  ManualClock clock(0);
+  sprite::Network net(&clock, 2);
+  EXPECT_EQ(net.migration_cost_micros(), 0);
+  auto pid = net.Spawn(sprite::kNoProcess, "p", 1000, 0, true);
+  ASSERT_TRUE(net.Migrate(*pid, 1).ok());
+  net.RunUntilQuiescent();
+  EXPECT_EQ(net.GetProcess(*pid)->work_micros, 1000);
+}
+
+}  // namespace
+}  // namespace papyrus

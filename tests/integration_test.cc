@@ -1,0 +1,205 @@
+// Cross-module integration tests: template files, constraint attributes,
+// derivation rendering, and systematic failure injection.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/papyrus.h"
+#include "meta/inference.h"
+#include "tdl/template.h"
+
+namespace papyrus {
+namespace {
+
+using oct::Layout;
+
+// --- Template files (§4.2.2: templates are UNIX files) -------------------
+
+class TemplateFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("papyrus_tmpl_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  void WriteFile(const std::string& name, const std::string& content) {
+    std::ofstream out(dir_ / name);
+    out << content;
+  }
+
+  std::filesystem::path dir_;
+  tdl::TemplateLibrary library_;
+};
+
+TEST_F(TemplateFileTest, AddFromFile) {
+  WriteFile("pad.tdl",
+            "task Padp {Incell} {Outcell}\n"
+            "step Pads {Incell} {Outcell} {padplace -c -o Outcell Incell}\n");
+  ASSERT_TRUE(library_.AddFromFile((dir_ / "pad.tdl").string()).ok());
+  EXPECT_TRUE(library_.Has("Padp"));
+  EXPECT_TRUE(library_.AddFromFile((dir_ / "missing.tdl").string())
+                  .IsNotFound());
+}
+
+TEST_F(TemplateFileTest, LoadDirectory) {
+  WriteFile("a.tdl", "task A {} {}\n");
+  WriteFile("b.tdl", "task B {X} {Y}\nstep S {X} {Y} {espresso X}\n");
+  WriteFile("ignored.txt", "task C {} {}\n");
+  auto loaded = library_.LoadDirectory(dir_.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, 2);
+  EXPECT_TRUE(library_.Has("A"));
+  EXPECT_TRUE(library_.Has("B"));
+  EXPECT_FALSE(library_.Has("C"));
+  EXPECT_TRUE(library_.LoadDirectory("/no/such/dir").status().IsNotFound());
+}
+
+TEST_F(TemplateFileTest, MalformedFileAbortsLoadWithPath) {
+  WriteFile("bad.tdl", "step without task header\n");
+  auto loaded = library_.LoadDirectory(dir_.string());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("bad.tdl"), std::string::npos);
+}
+
+TEST_F(TemplateFileTest, ShippedTemplateDirectoryMatchesBuiltins) {
+  // The repository ships the thesis templates as .tdl files; loading them
+  // must agree with the compiled-in registrations.
+  tdl::TemplateLibrary from_files;
+  auto loaded =
+      from_files.LoadDirectory(std::string(PAPYRUS_SOURCE_DIR) +
+                               "/templates");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  tdl::TemplateLibrary builtin;
+  ASSERT_TRUE(tdl::RegisterThesisTemplates(&builtin).ok());
+  EXPECT_EQ(*loaded, static_cast<int>(builtin.size()));
+  for (const std::string& name : builtin.TemplateNames()) {
+    ASSERT_TRUE(from_files.Has(name)) << name;
+    auto a = from_files.Find(name);
+    auto b = builtin.Find(name);
+    EXPECT_EQ((*a)->formal_inputs, (*b)->formal_inputs) << name;
+    EXPECT_EQ((*a)->formal_outputs, (*b)->formal_outputs) << name;
+  }
+}
+
+// --- Constraint attributes (§6.4.1) -----------------------------------------
+
+TEST(ConstraintTest, ViolationsDetectedAtCreationTime) {
+  Papyrus session;
+  meta::ConstraintRule max_area;
+  max_area.object_type = "layout";
+  max_area.attribute = "area";
+  max_area.op = meta::ConstraintRule::Op::kLessEqual;
+  max_area.bound = 5000.0;
+  max_area.description = "chip area budget";
+  session.metadata().AddConstraint(max_area);
+
+  int thread = session.CreateThread("T");
+  ASSERT_TRUE(
+      session.Invoke(thread, "Create_Logic_Description", {}, {"c.logic"})
+          .ok());
+  ASSERT_TRUE(session
+                  .Invoke(thread, "Standard_Cell_Place_and_Route",
+                          {"c.logic"}, {"c.layout"})
+                  .ok());
+  // The synthesized layout exceeds 5000 lambda^2: detected eagerly.
+  ASSERT_GE(session.metadata().violations().size(), 1u);
+  const auto& v = session.metadata().violations().front();
+  EXPECT_EQ(v.attribute, "area");
+  EXPECT_GT(v.value, v.bound);
+  EXPECT_EQ(v.description, "chip area budget");
+}
+
+TEST(ConstraintTest, SatisfiedConstraintsStaySilent) {
+  Papyrus session;
+  meta::ConstraintRule min_cells;
+  min_cells.object_type = "layout";
+  min_cells.attribute = "cells";
+  min_cells.op = meta::ConstraintRule::Op::kGreaterEqual;
+  min_cells.bound = 1.0;
+  session.metadata().AddConstraint(min_cells);
+  int thread = session.CreateThread("T");
+  ASSERT_TRUE(
+      session.Invoke(thread, "Create_Logic_Description", {}, {"c.logic"})
+          .ok());
+  ASSERT_TRUE(session
+                  .Invoke(thread, "Standard_Cell_Place_and_Route",
+                          {"c.logic"}, {"c.layout"})
+                  .ok());
+  EXPECT_TRUE(session.metadata().violations().empty());
+}
+
+// --- Derivation rendering (Figure 6.2) ---------------------------------------
+
+TEST(DerivationRenderTest, ShowsToolChainBackToSources) {
+  Papyrus session;
+  int thread = session.CreateThread("T");
+  ASSERT_TRUE(
+      session.Invoke(thread, "Create_Logic_Description", {}, {"c.logic"})
+          .ok());
+  ASSERT_TRUE(
+      session.Invoke(thread, "PLA_Generation", {"c.logic"}, {"c.pla"}).ok());
+  auto id = session.database().LatestVisible("c.pla");
+  ASSERT_TRUE(id.ok());
+  std::string text = session.metadata().RenderDerivation(*id);
+  EXPECT_NE(text.find("c.pla@1 [layout] <- panda"), std::string::npos);
+  EXPECT_NE(text.find("<- espresso"), std::string::npos);
+  EXPECT_NE(text.find("<- bdsyn"), std::string::npos);
+  EXPECT_NE(text.find("<- edit"), std::string::npos);
+}
+
+// --- Systematic failure injection across the Mosaico pipeline ----------------
+
+/// Parameterized over the tool to sabotage: each instance replaces one
+/// Mosaico tool with an always-failing stub and verifies the task aborts
+/// cleanly with no visible side effects.
+class FailureInjectionTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FailureInjectionTest, CleanAbortWhenToolFails) {
+  const char* victim = GetParam();
+  Papyrus session;
+  // Replace the victim tool with one that always fails.
+  cadtools::ToolDescriptor desc;
+  desc.name = victim;
+  desc.description = "sabotaged";
+  desc.man_page = "x";
+  session.tools().Register(std::make_unique<cadtools::Tool>(
+      desc, [](const cadtools::ToolRunContext&) {
+        return cadtools::ToolRunResult::Fail(9, "injected failure");
+      }));
+
+  (void)session.CheckInObject("/chip", Layout{.num_cells = 30,
+                                              .area = 20000.0,
+                                              .style = "macro",
+                                              .seed = 1});
+  int thread = session.CreateThread("T");
+  activity::ActivityInvocation inv;
+  inv.template_name = "Mosaico";
+  inv.input_refs = {"/chip"};
+  inv.output_names = {"out", "out.stats"};
+  inv.max_restarts = 2;
+  auto point = session.activity().InvokeTask(thread, inv);
+  ASSERT_FALSE(point.ok()) << "sabotaged " << victim;
+  // Clean abort: only the input remains visible; no history record.
+  int visible = 0;
+  session.database().ForEach([&](const oct::ObjectRecord& rec) {
+    if (rec.visible) ++visible;
+  });
+  EXPECT_EQ(visible, 1) << victim;
+  auto t = session.activity().GetThread(thread);
+  EXPECT_EQ((*t)->size(), 0) << victim;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MosaicoTools, FailureInjectionTest,
+    ::testing::Values("atlas", "mosaicoGR", "PGcurrent", "mosaicoDR",
+                      "octflatten", "mizer", "padplace", "vulcan",
+                      "mosaicoRC", "chipstats"));
+
+}  // namespace
+}  // namespace papyrus

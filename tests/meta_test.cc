@@ -1,0 +1,381 @@
+#include <gtest/gtest.h>
+
+#include "base/clock.h"
+#include "cadtools/registry.h"
+#include "meta/adg.h"
+#include "meta/inference.h"
+#include "meta/tsd.h"
+#include "oct/database.h"
+#include "sprite/network.h"
+#include "task/task_manager.h"
+#include "tdl/template.h"
+
+namespace papyrus::meta {
+namespace {
+
+using oct::BehavioralSpec;
+using oct::Layout;
+using oct::LogicNetwork;
+using oct::ObjectId;
+using oct::TextData;
+
+// --- ADG ------------------------------------------------------------------
+
+class AdgTest : public ::testing::Test {
+ protected:
+  Adg adg_;
+};
+
+TEST_F(AdgTest, ProducerAndConsumers) {
+  ObjectId a{"a", 1};
+  ObjectId b{"b", 1};
+  ObjectId c{"c", 1};
+  adg_.AddInvocation("espresso", "-o pleasure", {a}, {b}, 10);
+  adg_.AddInvocation("panda", "", {b}, {c}, 20);
+  auto producer = adg_.Producer(b);
+  ASSERT_TRUE(producer.ok());
+  EXPECT_EQ((*producer)->tool, "espresso");
+  EXPECT_TRUE(adg_.Producer(a).status().IsNotFound());
+  auto consumers = adg_.Consumers(b);
+  ASSERT_EQ(consumers.size(), 1u);
+  EXPECT_EQ(consumers[0]->tool, "panda");
+  EXPECT_EQ(adg_.edge_count(), 2u);
+}
+
+TEST_F(AdgTest, DerivationClosure) {
+  ObjectId a{"a", 1}, b{"b", 1}, c{"c", 1}, d{"d", 1};
+  adg_.AddInvocation("t1", "", {a}, {b}, 1);
+  adg_.AddInvocation("t2", "", {b}, {c}, 2);
+  adg_.AddInvocation("t3", "", {b, c}, {d}, 3);
+  auto from = adg_.DerivedFrom(d);
+  EXPECT_EQ(from.size(), 3u);  // b, c, a
+  auto deps = adg_.Dependents(a);
+  EXPECT_EQ(deps.size(), 3u);  // b, c, d
+  EXPECT_TRUE(adg_.DerivedFrom(a).empty());
+  EXPECT_TRUE(adg_.Dependents(d).empty());
+}
+
+TEST_F(AdgTest, RetracePlanCoversAffectedInvocations) {
+  ObjectId a{"a", 1}, b{"b", 1}, c{"c", 1}, x{"x", 1}, y{"y", 1};
+  adg_.AddInvocation("t1", "", {a}, {b}, 1);
+  adg_.AddInvocation("t2", "", {b}, {c}, 2);
+  adg_.AddInvocation("t3", "", {x}, {y}, 3);  // unrelated branch
+  auto plan = adg_.RetracePlan("a");
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan[0]->tool, "t1");
+  EXPECT_EQ(plan[1]->tool, "t2");
+  EXPECT_TRUE(adg_.RetracePlan("y").empty());
+}
+
+TEST_F(AdgTest, BuildsFromHistoryRecordSkippingFailedSteps) {
+  task::TaskHistoryRecord record;
+  task::StepRecord ok_step;
+  ok_step.tool = "bdsyn";
+  ok_step.inputs = {{"spec", 1}};
+  ok_step.outputs = {{"net", 1}};
+  task::StepRecord failed;
+  failed.tool = "sparcs";
+  failed.exit_status = 1;
+  record.steps = {ok_step, failed};
+  adg_.AddFromHistoryRecord(record);
+  EXPECT_EQ(adg_.edge_count(), 1u);
+}
+
+// --- TSD -------------------------------------------------------------------
+
+TEST(TsdTest, StandardSuiteRegistered) {
+  TsdRegistry reg;
+  RegisterStandardTsds(&reg);
+  EXPECT_GE(reg.size(), 20u);
+  for (const char* tool : {"espresso", "bdsyn", "octflatten", "wolfe"}) {
+    EXPECT_TRUE(reg.Has(tool)) << tool;
+  }
+  EXPECT_TRUE(reg.Find("unknown_tool").status().IsNotFound());
+}
+
+TEST(TsdTest, EspressoOutputSelectedByOption) {
+  TsdRegistry reg;
+  RegisterStandardTsds(&reg);
+  auto espresso = reg.Find("espresso");
+  ASSERT_TRUE(espresso.ok());
+  EXPECT_EQ((*espresso)->OutputFor("equitott").format, "equation");
+  EXPECT_EQ((*espresso)->OutputFor("pleasure").format, "PLA");
+  EXPECT_EQ((*espresso)->OutputFor("").format, "PLA");  // default
+  // The inherit list carries I/O counts through minimization.
+  EXPECT_EQ((*espresso)->inherit_list.size(), 2u);
+}
+
+TEST(TsdTest, DomainTranslatorsDetected) {
+  TsdRegistry reg;
+  RegisterStandardTsds(&reg);
+  EXPECT_TRUE((*reg.Find("bdsyn"))->IsDomainTranslator());
+  EXPECT_TRUE((*reg.Find("wolfe"))->IsDomainTranslator());
+  EXPECT_TRUE((*reg.Find("panda"))->IsDomainTranslator());
+  EXPECT_FALSE((*reg.Find("espresso"))->IsDomainTranslator());
+  EXPECT_FALSE((*reg.Find("mizer"))->IsDomainTranslator());
+  EXPECT_TRUE((*reg.Find("octflatten"))->composition_tool);
+  EXPECT_FALSE((*reg.Find("espresso"))->composition_tool);
+}
+
+// --- RelationshipStore -------------------------------------------------------
+
+TEST(RelationshipStoreTest, IndexesBothSides) {
+  RelationshipStore store;
+  ObjectId a{"a", 1}, b{"b", 1};
+  store.Add(RelKind::kDerivation, b, a, "espresso");
+  store.Add(RelKind::kEquivalence, b, a, "bdsyn");
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.Of(a).size(), 2u);
+  EXPECT_EQ(store.From(b, RelKind::kDerivation).size(), 1u);
+  EXPECT_EQ(store.To(a, RelKind::kEquivalence).size(), 1u);
+  EXPECT_TRUE(store.From(a, RelKind::kDerivation).empty());
+  EXPECT_STREQ(RelKindToString(RelKind::kConfiguration), "configuration");
+}
+
+// --- MetadataEngine (unit) ---------------------------------------------------
+
+class EngineTest : public ::testing::Test {
+ protected:
+  EngineTest() : clock_(0), db_(&clock_), engine_(&db_, &attrs_, &tsds_) {
+    RegisterStandardTsds(&tsds_);
+    RegisterStandardPropagationRules(&engine_);
+  }
+
+  /// Simulates one observed tool invocation: creates the output version in
+  /// the db and feeds a step record to the engine.
+  ObjectId Observe(const std::string& tool, const std::string& invocation,
+                   std::vector<ObjectId> inputs,
+                   const std::string& out_name,
+                   oct::DesignPayload out_payload) {
+    auto out = db_.CreateVersion(out_name, std::move(out_payload), tool);
+    EXPECT_TRUE(out.ok());
+    task::TaskHistoryRecord record;
+    task::StepRecord step;
+    step.tool = tool;
+    step.invocation = invocation;
+    step.inputs = std::move(inputs);
+    step.outputs = {*out};
+    record.steps = {step};
+    EXPECT_TRUE(engine_.Observe(record).ok());
+    return *out;
+  }
+
+  ManualClock clock_;
+  oct::OctDatabase db_;
+  oct::AttributeStore attrs_;
+  TsdRegistry tsds_;
+  MetadataEngine engine_;
+};
+
+TEST_F(EngineTest, TypeInferredFromCreatingTool) {
+  auto spec = db_.CreateVersion("spec", BehavioralSpec{4, 4, 8, 1});
+  ASSERT_TRUE(spec.ok());
+  ObjectId net = Observe("bdsyn", "bdsyn -o net spec", {*spec}, "net",
+                         LogicNetwork{.num_inputs = 4, .num_outputs = 4,
+                                      .minterms = 64, .seed = 2});
+  auto type = engine_.TypeOf(net);
+  ASSERT_TRUE(type.ok());
+  EXPECT_EQ(*type, "logic");
+  auto format = engine_.FormatOf(net);
+  ASSERT_TRUE(format.ok());
+  EXPECT_EQ(*format, "blif");
+  EXPECT_TRUE(engine_.TypeOf(*spec).status().IsNotFound());
+}
+
+TEST_F(EngineTest, EspressoFormatFollowsOptionValue) {
+  auto in = db_.CreateVersion("net", LogicNetwork{.minterms = 64});
+  ASSERT_TRUE(in.ok());
+  ObjectId eq = Observe("espresso", "espresso -o equitott net", {*in},
+                        "net.eq",
+                        LogicNetwork{.format = oct::DesignFormat::kEquation});
+  EXPECT_EQ(*engine_.FormatOf(eq), "equation");
+  ObjectId pla = Observe("espresso", "espresso -o pleasure net", {*in},
+                         "net.pla",
+                         LogicNetwork{.format = oct::DesignFormat::kPla});
+  EXPECT_EQ(*engine_.FormatOf(pla), "PLA");
+}
+
+TEST_F(EngineTest, ImmediateAttributesEvaluatedAtCreation) {
+  auto in = db_.CreateVersion("spec", BehavioralSpec{4, 4, 8, 1});
+  ASSERT_TRUE(in.ok());
+  ObjectId net = Observe("bdsyn", "bdsyn spec", {*in}, "net",
+                         LogicNetwork{.num_inputs = 4, .num_outputs = 4,
+                                      .minterms = 64});
+  // format is immediate: computed without a query.
+  auto entry = attrs_.Get(net, "format");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_TRUE(entry->computed);
+  // minterms is lazy: attached but not yet computed.
+  entry = attrs_.Get(net, "minterms");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_FALSE(entry->computed);
+  int64_t lazy_before = engine_.lazy_evaluations();
+  auto value = engine_.GetAttribute(net, "minterms");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, "64");
+  EXPECT_EQ(engine_.lazy_evaluations(), lazy_before + 1);
+  // Second query hits the cache.
+  int64_t hits_before = engine_.cache_hits();
+  ASSERT_TRUE(engine_.GetAttribute(net, "minterms").ok());
+  EXPECT_EQ(engine_.cache_hits(), hits_before + 1);
+}
+
+TEST_F(EngineTest, InheritListCopiesValuesThroughTools) {
+  auto spec = db_.CreateVersion("spec", BehavioralSpec{6, 3, 8, 1});
+  ASSERT_TRUE(spec.ok());
+  ObjectId net = Observe("bdsyn", "bdsyn spec", {*spec}, "net",
+                         LogicNetwork{.num_inputs = 6, .num_outputs = 3,
+                                      .minterms = 64});
+  // num_inputs was computed immediately on net.
+  ASSERT_TRUE(attrs_.GetValue(net, "num_inputs").ok());
+  int64_t inherited_before = engine_.inherited_values();
+  ObjectId min = Observe("espresso", "espresso -o pleasure net", {net},
+                         "net.min",
+                         LogicNetwork{.num_inputs = 6, .num_outputs = 3,
+                                      .minterms = 30,
+                                      .format = oct::DesignFormat::kPla});
+  // espresso's inherit list carries num_inputs/num_outputs through
+  // without re-measurement.
+  EXPECT_GE(engine_.inherited_values(), inherited_before + 2);
+  auto v = attrs_.GetValue(min, "num_inputs");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "6");
+}
+
+TEST_F(EngineTest, RelationshipsEstablished) {
+  auto spec = db_.CreateVersion("spec", BehavioralSpec{4, 4, 8, 1});
+  ASSERT_TRUE(spec.ok());
+  ObjectId net = Observe("bdsyn", "bdsyn spec", {*spec}, "net",
+                         LogicNetwork{});
+  // Derivation from the input, plus equivalence (bdsyn is a translator).
+  EXPECT_EQ(engine_.relationships().From(net, RelKind::kDerivation).size(),
+            1u);
+  EXPECT_EQ(engine_.relationships().From(net, RelKind::kEquivalence).size(),
+            1u);
+  // A second version links to the first.
+  ObjectId net2 = Observe("bdsyn", "bdsyn spec", {*spec}, "net",
+                          LogicNetwork{});
+  EXPECT_EQ(net2.version, 2);
+  auto versions = engine_.relationships().From(net2, RelKind::kVersionOf);
+  ASSERT_EQ(versions.size(), 1u);
+  EXPECT_EQ(versions[0]->to, net);
+}
+
+TEST_F(EngineTest, CompositionToolCreatesConfiguration) {
+  auto a = db_.CreateVersion("block_a", Layout{.power_mw = 3.0});
+  auto b = db_.CreateVersion("block_b", Layout{.power_mw = 5.0});
+  ASSERT_TRUE(a.ok() && b.ok());
+  ObjectId merged = Observe("octflatten", "octflatten -r block_b block_a",
+                            {*a, *b}, "chip",
+                            Layout{.power_mw = 2.0});
+  auto components =
+      engine_.relationships().From(merged, RelKind::kConfiguration);
+  EXPECT_EQ(components.size(), 2u);
+}
+
+TEST_F(EngineTest, PropagatedAttributeAggregatesOverConfiguration) {
+  auto a = db_.CreateVersion("block_a", Layout{.delay_ns = 4.0, .power_mw = 3.0});
+  auto b = db_.CreateVersion("block_b", Layout{.delay_ns = 9.0, .power_mw = 5.0});
+  ASSERT_TRUE(a.ok() && b.ok());
+  ObjectId merged = Observe("octflatten", "octflatten block_a block_b",
+                            {*a, *b}, "chip",
+                            Layout{.delay_ns = 1.0, .power_mw = 2.0});
+  // total_power = own (2) + components (3 + 5).
+  auto power = engine_.GetAttribute(merged, "total_power");
+  ASSERT_TRUE(power.ok());
+  EXPECT_EQ(*power, "10");
+  // worst_delay = max(own, components) = 9.
+  auto delay = engine_.GetAttribute(merged, "worst_delay");
+  ASSERT_TRUE(delay.ok());
+  EXPECT_EQ(*delay, "9");
+}
+
+TEST_F(EngineTest, IncrementalInvalidationOnNewComponentVersion) {
+  auto a = db_.CreateVersion("block_a", Layout{.power_mw = 3.0});
+  auto b = db_.CreateVersion("block_b", Layout{.power_mw = 5.0});
+  ASSERT_TRUE(a.ok() && b.ok());
+  ObjectId merged = Observe("octflatten", "octflatten block_a block_b",
+                            {*a, *b}, "chip", Layout{.power_mw = 2.0});
+  ASSERT_TRUE(engine_.GetAttribute(merged, "total_power").ok());
+  // A new version of block_a appears (derived from the old one): the
+  // composite's propagated cache is invalidated.
+  int64_t inval_before = engine_.invalidations();
+  Observe("mizer", "mizer block_a", {*a}, "block_a",
+          Layout{.power_mw = 1.0});
+  EXPECT_GT(engine_.invalidations(), inval_before);
+  auto entry = attrs_.Get(merged, "total_power");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_FALSE(entry->computed);
+}
+
+TEST_F(EngineTest, TypeCheckingDetectsIncompatibleApplications) {
+  auto spec = db_.CreateVersion("spec", BehavioralSpec{4, 4, 8, 1});
+  ASSERT_TRUE(spec.ok());
+  ObjectId net = Observe("bdsyn", "bdsyn spec", {*spec}, "net",
+                         LogicNetwork{});
+  ObjectId lay = Observe("wolfe", "wolfe net", {net}, "lay", Layout{});
+  // Applying a compaction tool to a logic object is incompatible.
+  EXPECT_TRUE(engine_.CheckToolApplication("sparcs", {net})
+                  .IsFailedPrecondition());
+  EXPECT_TRUE(engine_.CheckToolApplication("sparcs", {lay}).ok());
+  EXPECT_TRUE(engine_.CheckToolApplication("espresso", {net}).ok());
+  EXPECT_TRUE(engine_.CheckToolApplication("espresso", {lay})
+                  .IsFailedPrecondition());
+  // Unknown provenance: cannot check, passes.
+  EXPECT_TRUE(engine_.CheckToolApplication("sparcs", {*spec}).ok());
+}
+
+// --- End-to-end: inference over real task-manager histories ---------------
+
+TEST(EngineIntegrationTest, ObservesStructureSynthesisHistory) {
+  ManualClock clock(0);
+  oct::OctDatabase db(&clock);
+  sprite::Network network(&clock, 4);
+  auto registry = cadtools::CreateStandardRegistry();
+  tdl::TemplateLibrary library;
+  ASSERT_TRUE(tdl::RegisterThesisTemplates(&library).ok());
+  task::TaskManager manager(&db, registry.get(), &network, &library);
+
+  auto in = db.CreateVersion("shifter", BehavioralSpec{8, 8, 12, 7});
+  auto cmds = db.CreateVersion("sim.cmd", TextData{"run"});
+  ASSERT_TRUE(in.ok() && cmds.ok());
+  task::TaskInvocation inv;
+  inv.template_name = "Structure_Synthesis";
+  inv.inputs = {*in, *cmds};
+  inv.output_names = {"shifter.layout", "shifter.stats"};
+  auto record = manager.Invoke(inv);
+  ASSERT_TRUE(record.ok()) << record.status().ToString();
+
+  oct::AttributeStore attrs;
+  TsdRegistry tsds;
+  RegisterStandardTsds(&tsds);
+  MetadataEngine engine(&db, &attrs, &tsds);
+  ASSERT_TRUE(engine.Observe(*record).ok());
+
+  // The final layout's type was inferred from wolfe's TSD.
+  auto type = engine.TypeOf(record->outputs[0]);
+  ASSERT_TRUE(type.ok());
+  EXPECT_EQ(*type, "layout");
+  // Its derivation history reaches all the way back to the behavioral
+  // input.
+  auto derived = engine.adg().DerivedFrom(record->outputs[0]);
+  bool reaches_spec = false;
+  for (const ObjectId& id : derived) {
+    if (id == *in) reaches_spec = true;
+  }
+  EXPECT_TRUE(reaches_spec);
+  // Retracing: modifying the behavioral spec requires re-running the
+  // whole downstream pipeline.
+  auto plan = engine.adg().RetracePlan("shifter");
+  EXPECT_GE(plan.size(), 4u);
+  // Equivalence chain across domains exists (behavioral->logic via
+  // bdsyn).
+  bool found_equivalence = false;
+  for (const auto& [id, edge] : engine.adg().edges()) {
+    if (edge.tool == "bdsyn") found_equivalence = true;
+  }
+  EXPECT_TRUE(found_equivalence);
+}
+
+}  // namespace
+}  // namespace papyrus::meta

@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include "base/clock.h"
+#include "oct/attribute_store.h"
+#include "oct/database.h"
+#include "oct/design_data.h"
+#include "oct/object_id.h"
+
+namespace papyrus::oct {
+namespace {
+
+TEST(ObjectRefTest, PlainName) {
+  auto ref = ParseObjectRef("ALU.logic");
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(ref->name, "ALU.logic");
+  EXPECT_EQ(ref->version, 0);
+  EXPECT_FALSE(ref->is_absolute_path);
+}
+
+TEST(ObjectRefTest, NameWithVersion) {
+  auto ref = ParseObjectRef("ALU.logic@2");
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(ref->name, "ALU.logic");
+  EXPECT_EQ(ref->version, 2);
+}
+
+TEST(ObjectRefTest, AbsolutePath) {
+  auto ref = ParseObjectRef("/user/chiueh/Multiplier");
+  ASSERT_TRUE(ref.ok());
+  EXPECT_TRUE(ref->is_absolute_path);
+  EXPECT_EQ(ref->name, "/user/chiueh/Multiplier");
+}
+
+TEST(ObjectRefTest, RejectsBadInputs) {
+  EXPECT_FALSE(ParseObjectRef("").ok());
+  EXPECT_FALSE(ParseObjectRef("   ").ok());
+  EXPECT_FALSE(ParseObjectRef("x@zero").ok());
+  EXPECT_FALSE(ParseObjectRef("x@0").ok());
+  EXPECT_FALSE(ParseObjectRef("x@-3").ok());
+  EXPECT_FALSE(ParseObjectRef("@2").ok());
+}
+
+TEST(ObjectRefTest, TrimsWhitespace) {
+  auto ref = ParseObjectRef("  cell.blif@3 ");
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(ref->name, "cell.blif");
+  EXPECT_EQ(ref->version, 3);
+}
+
+TEST(ObjectIdTest, ToStringAndOrdering) {
+  ObjectId a{"alu", 1};
+  ObjectId b{"alu", 2};
+  ObjectId c{"shifter", 1};
+  EXPECT_EQ(a.ToString(), "alu@1");
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, (ObjectId{"alu", 1}));
+  EXPECT_NE(a, b);
+}
+
+TEST(DesignDataTest, PayloadTypeNames) {
+  EXPECT_STREQ(PayloadTypeName(DesignPayload{}), "empty");
+  EXPECT_STREQ(PayloadTypeName(BehavioralSpec{}), "behavioral");
+  EXPECT_STREQ(PayloadTypeName(LogicNetwork{}), "logic");
+  EXPECT_STREQ(PayloadTypeName(Layout{}), "layout");
+  EXPECT_STREQ(PayloadTypeName(TextData{}), "text");
+}
+
+TEST(DesignDataTest, PayloadDomains) {
+  EXPECT_EQ(PayloadDomain(BehavioralSpec{}), DesignDomain::kBehavioral);
+  EXPECT_EQ(PayloadDomain(LogicNetwork{}), DesignDomain::kLogic);
+  EXPECT_EQ(PayloadDomain(Layout{}), DesignDomain::kPhysical);
+  EXPECT_EQ(PayloadDomain(TextData{}), DesignDomain::kOther);
+  EXPECT_EQ(PayloadDomain(DesignPayload{}), DesignDomain::kOther);
+}
+
+TEST(DesignDataTest, SizeGrowsWithContent) {
+  LogicNetwork small{.minterms = 10, .literals = 50};
+  LogicNetwork big{.minterms = 1000, .literals = 5000};
+  EXPECT_LT(PayloadSizeBytes(small), PayloadSizeBytes(big));
+  Layout lay{.num_cells = 100, .wire_length = 5000.0};
+  EXPECT_GT(PayloadSizeBytes(lay), 4096);
+  EXPECT_EQ(PayloadSizeBytes(DesignPayload{}), 0);
+}
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  DatabaseTest() : clock_(1000), db_(&clock_) {}
+  ManualClock clock_;
+  OctDatabase db_;
+};
+
+TEST_F(DatabaseTest, CreateAssignsIncreasingVersions) {
+  auto v1 = db_.CreateVersion("alu", BehavioralSpec{4, 4, 10, 1});
+  auto v2 = db_.CreateVersion("alu", BehavioralSpec{4, 4, 11, 2});
+  ASSERT_TRUE(v1.ok());
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(v1->version, 1);
+  EXPECT_EQ(v2->version, 2);
+  EXPECT_EQ(db_.VersionCount("alu"), 2);
+  EXPECT_EQ(db_.TotalVersionCount(), 2);
+}
+
+TEST_F(DatabaseTest, RejectsEmptyName) {
+  EXPECT_FALSE(db_.CreateVersion("", DesignPayload{}).ok());
+}
+
+TEST_F(DatabaseTest, GetReturnsPayloadAndTouchesAccessTime) {
+  auto id = db_.CreateVersion("alu", LogicNetwork{.minterms = 7});
+  ASSERT_TRUE(id.ok());
+  clock_.AdvanceSeconds(10);
+  auto rec = db_.Get(*id);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(std::get<LogicNetwork>((*rec)->payload).minterms, 7);
+  EXPECT_EQ((*rec)->last_access_micros, clock_.NowMicros());
+  EXPECT_LT((*rec)->created_micros, (*rec)->last_access_micros);
+}
+
+TEST_F(DatabaseTest, GetUnknownFails) {
+  EXPECT_TRUE(db_.Get(ObjectId{"nope", 1}).status().IsNotFound());
+  auto id = db_.CreateVersion("alu", DesignPayload{});
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(db_.Get(ObjectId{"alu", 2}).status().IsNotFound());
+  EXPECT_TRUE(db_.Get(ObjectId{"alu", 0}).status().IsNotFound());
+}
+
+TEST_F(DatabaseTest, LatestVisibleSkipsInvisible) {
+  auto v1 = db_.CreateVersion("alu", DesignPayload{});
+  auto v2 = db_.CreateVersion("alu", DesignPayload{});
+  ASSERT_TRUE(v1.ok() && v2.ok());
+  auto latest = db_.LatestVisible("alu");
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(latest->version, 2);
+
+  ASSERT_TRUE(db_.MarkInvisible(*v2).ok());
+  latest = db_.LatestVisible("alu");
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(latest->version, 1);
+}
+
+TEST_F(DatabaseTest, VisibilityDictatesAccessibility) {
+  auto id = db_.CreateVersion("alu", DesignPayload{});
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(db_.MarkInvisible(*id).ok());
+  EXPECT_TRUE(db_.Get(*id).status().IsNotFound());
+  EXPECT_TRUE(db_.LatestVisible("alu").status().IsNotFound());
+  // Undelete restores access (§3.3.1).
+  ASSERT_TRUE(db_.MarkVisible(*id).ok());
+  EXPECT_TRUE(db_.Get(*id).ok());
+}
+
+TEST_F(DatabaseTest, ReclaimIsIrreversible) {
+  auto id = db_.CreateVersion("alu", LogicNetwork{.minterms = 100});
+  ASSERT_TRUE(id.ok());
+  int64_t before = db_.TotalLiveBytes();
+  EXPECT_GT(before, 0);
+  ASSERT_TRUE(db_.Reclaim(*id).ok());
+  EXPECT_EQ(db_.LiveVersionCount(), 0);
+  EXPECT_TRUE(db_.Get(*id).status().IsNotFound());
+  EXPECT_TRUE(db_.MarkVisible(*id).IsFailedPrecondition());
+  // Tombstone remains: version numbering continues after reclamation.
+  auto id2 = db_.CreateVersion("alu", DesignPayload{});
+  ASSERT_TRUE(id2.ok());
+  EXPECT_EQ(id2->version, 2);
+}
+
+TEST_F(DatabaseTest, PeekSeesInvisibleRecords) {
+  auto id = db_.CreateVersion("alu", DesignPayload{});
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(db_.MarkInvisible(*id).ok());
+  auto rec = db_.Peek(*id);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_FALSE((*rec)->visible);
+}
+
+TEST_F(DatabaseTest, ForEachVisitsEverything) {
+  (void)db_.CreateVersion("a", DesignPayload{});
+  (void)db_.CreateVersion("a", DesignPayload{});
+  (void)db_.CreateVersion("b", DesignPayload{});
+  int n = 0;
+  db_.ForEach([&](const ObjectRecord&) { ++n; });
+  EXPECT_EQ(n, 3);
+}
+
+TEST_F(DatabaseTest, TransactionCommitsAtomically) {
+  Transaction txn(&db_);
+  txn.StageCreate("x", LogicNetwork{}, "espresso");
+  txn.StageCreate("y", Layout{}, "wolfe");
+  EXPECT_EQ(txn.staged_count(), 2u);
+  auto ids = txn.Commit();
+  ASSERT_TRUE(ids.ok());
+  ASSERT_EQ(ids->size(), 2u);
+  EXPECT_TRUE(db_.Get((*ids)[0]).ok());
+  EXPECT_TRUE(db_.Get((*ids)[1]).ok());
+  EXPECT_EQ(txn.staged_count(), 0u);
+}
+
+TEST_F(DatabaseTest, TransactionAbortDiscards) {
+  Transaction txn(&db_);
+  txn.StageCreate("x", DesignPayload{}, "");
+  txn.Abort();
+  EXPECT_EQ(txn.staged_count(), 0u);
+  auto ids = txn.Commit();
+  ASSERT_TRUE(ids.ok());
+  EXPECT_TRUE(ids->empty());
+  EXPECT_EQ(db_.TotalVersionCount(), 0);
+}
+
+TEST_F(DatabaseTest, TransactionRollsBackOnFailure) {
+  Transaction txn(&db_);
+  txn.StageCreate("x", DesignPayload{}, "");
+  txn.StageCreate("", DesignPayload{}, "");  // will fail: empty name
+  auto ids = txn.Commit();
+  EXPECT_FALSE(ids.ok());
+  // The first staged create was rolled back (reclaimed).
+  EXPECT_EQ(db_.LiveVersionCount(), 0);
+}
+
+TEST_F(DatabaseTest, CreatorToolIsRecorded) {
+  auto id = db_.CreateVersion("out", LogicNetwork{}, "misII");
+  ASSERT_TRUE(id.ok());
+  auto rec = db_.Get(*id);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ((*rec)->creator_tool, "misII");
+}
+
+class AttributeStoreTest : public ::testing::Test {
+ protected:
+  AttributeStore store_;
+  ObjectId id_{"alu.layout", 1};
+};
+
+TEST_F(AttributeStoreTest, SetAndGetStoredValue) {
+  store_.Set(id_, "owner", "chiueh");
+  auto v = store_.GetValue(id_, "owner");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "chiueh");
+}
+
+TEST_F(AttributeStoreTest, AttachedButUncomputedIsNotReadable) {
+  store_.Attach(id_, "area", "chipstats", AttributeMode::kLazy);
+  EXPECT_TRUE(store_.Has(id_, "area"));
+  EXPECT_TRUE(store_.GetValue(id_, "area").status().IsFailedPrecondition());
+  ASSERT_TRUE(store_.SetComputed(id_, "area", "1200").ok());
+  auto v = store_.GetValue(id_, "area");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "1200");
+}
+
+TEST_F(AttributeStoreTest, InvalidateClearsCache) {
+  store_.Attach(id_, "delay", "crystal", AttributeMode::kLazy);
+  ASSERT_TRUE(store_.SetComputed(id_, "delay", "8.5").ok());
+  ASSERT_TRUE(store_.Invalidate(id_, "delay").ok());
+  EXPECT_TRUE(store_.GetValue(id_, "delay").status().IsFailedPrecondition());
+  auto entry = store_.Get(id_, "delay");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry->compute_tool, "crystal");
+}
+
+TEST_F(AttributeStoreTest, MissingAttributeErrors) {
+  EXPECT_TRUE(store_.GetValue(id_, "nope").status().IsNotFound());
+  EXPECT_TRUE(store_.SetComputed(id_, "nope", "1").IsNotFound());
+  EXPECT_TRUE(store_.Invalidate(id_, "nope").IsNotFound());
+  EXPECT_FALSE(store_.Has(id_, "nope"));
+}
+
+TEST_F(AttributeStoreTest, ListIsSortedByName) {
+  store_.Set(id_, "power", "3");
+  store_.Set(id_, "area", "1");
+  store_.Set(id_, "delay", "2");
+  auto attrs = store_.List(id_);
+  ASSERT_EQ(attrs.size(), 3u);
+  EXPECT_EQ(attrs[0].name, "area");
+  EXPECT_EQ(attrs[1].name, "delay");
+  EXPECT_EQ(attrs[2].name, "power");
+  EXPECT_EQ(store_.size(), 3u);
+}
+
+TEST_F(AttributeStoreTest, AttachDoesNotClobberComputedValue) {
+  store_.Set(id_, "num_inputs", "8");
+  store_.Attach(id_, "num_inputs", "", AttributeMode::kLazy);
+  auto v = store_.GetValue(id_, "num_inputs");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "8");
+}
+
+}  // namespace
+}  // namespace papyrus::oct

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "activity/persistence.h"
+#include "base/clock.h"
+#include "base/strings.h"
+#include "core/papyrus.h"
+
+namespace papyrus::activity {
+namespace {
+
+using oct::Layout;
+using oct::LogicNetwork;
+using oct::ObjectId;
+using oct::TextData;
+
+TEST(PercentEncodingTest, RoundTripsArbitraryStrings) {
+  for (const std::string& s :
+       {std::string("plain"), std::string("has space"),
+        std::string("new\nline\tand\ttabs"), std::string("100% sure"),
+        std::string(""), std::string("%41 literal"),
+        std::string("~tilde kept")}) {
+    EXPECT_EQ(PercentDecode(PercentEncode(s)), s) << s;
+  }
+  EXPECT_EQ(PercentEncode("a b"), "a%20b");
+}
+
+TEST(DatabasePersistenceTest, RoundTripsAllStateBits) {
+  ManualClock clock(5000);
+  oct::OctDatabase db(&clock);
+  auto v1 = db.CreateVersion("alu layout",  // name with a space
+                             Layout{.num_cells = 7,
+                                    .area = 123.456,
+                                    .delay_ns = 1.25,
+                                    .power_mw = 0.5,
+                                    .wire_length = 99.5,
+                                    .has_pads = true,
+                                    .routed = true,
+                                    .style = "standard cell",
+                                    .seed = 42},
+                             "wolfe");
+  clock.AdvanceSeconds(10);
+  auto v2 = db.CreateVersion("alu layout", Layout{.area = 1.0});
+  auto logic = db.CreateVersion(
+      "net", LogicNetwork{.num_inputs = 3, .minterms = 9, .seed = 2});
+  auto text = db.CreateVersion("report", TextData{"line1\nline2 100%"});
+  auto empty = db.CreateVersion("empty", oct::DesignPayload{});
+  ASSERT_TRUE(v1.ok() && v2.ok() && logic.ok() && text.ok() && empty.ok());
+  ASSERT_TRUE(db.MarkInvisible(*v2).ok());
+  ASSERT_TRUE(db.Reclaim(*empty).ok());
+
+  std::string snapshot = SerializeDatabase(db);
+  ManualClock clock2(0);
+  auto restored = RestoreDatabase(snapshot, &clock2);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+
+  EXPECT_EQ((*restored)->TotalVersionCount(), db.TotalVersionCount());
+  EXPECT_EQ((*restored)->TotalLiveBytes(), db.TotalLiveBytes());
+  // v1 payload identical.
+  auto rec = (*restored)->Get(*v1);
+  ASSERT_TRUE(rec.ok());
+  const auto& lay = std::get<Layout>((*rec)->payload);
+  EXPECT_EQ(lay.num_cells, 7);
+  EXPECT_DOUBLE_EQ(lay.area, 123.456);
+  EXPECT_TRUE(lay.has_pads);
+  EXPECT_EQ(lay.style, "standard cell");
+  EXPECT_EQ((*rec)->creator_tool, "wolfe");
+  EXPECT_EQ((*rec)->created_micros, 5000);
+  // v2 invisible, `empty` reclaimed (and undeletable).
+  EXPECT_TRUE((*restored)->Get(*v2).status().IsNotFound());
+  EXPECT_TRUE((*restored)->Peek(*v2).ok());
+  EXPECT_TRUE((*restored)->MarkVisible(*empty).IsFailedPrecondition());
+  // Text payload with newline survived.
+  auto trec = (*restored)->Get(*text);
+  ASSERT_TRUE(trec.ok());
+  EXPECT_EQ(std::get<TextData>((*trec)->payload).text,
+            "line1\nline2 100%");
+  // Version numbering continues correctly after restore.
+  auto v3 = (*restored)->CreateVersion("alu layout", Layout{});
+  ASSERT_TRUE(v3.ok());
+  EXPECT_EQ(v3->version, 3);
+}
+
+TEST(DatabasePersistenceTest, RejectsGarbage) {
+  ManualClock clock(0);
+  EXPECT_FALSE(RestoreDatabase("not a snapshot", &clock).ok());
+  EXPECT_FALSE(
+      RestoreDatabase("papyrus-db 1\nobject broken\n", &clock).ok());
+  // Out-of-order versions rejected.
+  EXPECT_FALSE(RestoreDatabase("papyrus-db 1\n"
+                               "object ~x 2 ~ 0 0 0 1 0 none\n",
+                               &clock)
+                   .ok());
+}
+
+class ThreadPersistenceTest : public ::testing::Test {
+ protected:
+  /// Builds a branching thread with annotations, junctions and step
+  /// records via a real session, then round-trips it.
+  void BuildAndRoundTrip() {
+    session_ = std::make_unique<Papyrus>();
+    int tid = session_->CreateThread("Shifter design");
+    auto p1 = session_->Invoke(tid, "Create_Logic_Description", {},
+                               {"s.logic"});
+    ASSERT_TRUE(p1.ok());
+    auto p2 = session_->Invoke(tid, "Standard_Cell_Place_and_Route",
+                               {"s.logic"}, {"s.sc"});
+    ASSERT_TRUE(p2.ok());
+    ASSERT_TRUE(session_->MoveCursor(tid, *p1).ok());
+    auto p3 =
+        session_->Invoke(tid, "PLA_Generation", {"s.logic"}, {"s.pla"});
+    ASSERT_TRUE(p3.ok());
+    auto thread = session_->activity().GetThread(tid);
+    ASSERT_TRUE(thread.ok());
+    original_ = *thread;
+    ASSERT_TRUE(
+        original_->Annotate(*p3, "The Start of PLA Approach").ok());
+
+    std::string snapshot = SerializeThread(*original_);
+    auto restored = RestoreThread(snapshot, &clock_);
+    ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+    restored_ = std::move(*restored);
+  }
+
+  ManualClock clock_{0};
+  std::unique_ptr<Papyrus> session_;
+  DesignThread* original_ = nullptr;
+  std::unique_ptr<DesignThread> restored_;
+};
+
+TEST_F(ThreadPersistenceTest, StructureSurvives) {
+  BuildAndRoundTrip();
+  EXPECT_EQ(restored_->id(), original_->id());
+  EXPECT_EQ(restored_->name(), "Shifter design");
+  EXPECT_EQ(restored_->size(), original_->size());
+  EXPECT_EQ(restored_->current_cursor(), original_->current_cursor());
+  EXPECT_EQ(restored_->cache_interval(), original_->cache_interval());
+  EXPECT_EQ(restored_->FrontierCursors().size(),
+            original_->FrontierCursors().size());
+  // Node-by-node comparison.
+  for (const auto& [id, node] : original_->nodes()) {
+    auto copy = restored_->GetNode(id);
+    ASSERT_TRUE(copy.ok()) << id;
+    EXPECT_EQ((*copy)->parents, node.parents);
+    EXPECT_EQ((*copy)->children, node.children);
+    EXPECT_EQ((*copy)->annotation, node.annotation);
+    EXPECT_EQ((*copy)->appended_micros, node.appended_micros);
+    EXPECT_EQ((*copy)->record.task_name, node.record.task_name);
+    EXPECT_EQ((*copy)->record.inputs, node.record.inputs);
+    EXPECT_EQ((*copy)->record.outputs, node.record.outputs);
+    ASSERT_EQ((*copy)->record.steps.size(), node.record.steps.size());
+    for (size_t i = 0; i < node.record.steps.size(); ++i) {
+      EXPECT_EQ((*copy)->record.steps[i].invocation,
+                node.record.steps[i].invocation);
+      EXPECT_EQ((*copy)->record.steps[i].outputs,
+                node.record.steps[i].outputs);
+      EXPECT_EQ((*copy)->record.steps[i].exit_status,
+                node.record.steps[i].exit_status);
+    }
+  }
+}
+
+TEST_F(ThreadPersistenceTest, BehaviourSurvives) {
+  BuildAndRoundTrip();
+  // Data scope agrees.
+  auto a = original_->DataScope();
+  auto b = restored_->DataScope();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+  // Annotation access works on the restored thread.
+  auto found = restored_->FindAnnotation("The Start of PLA Approach");
+  ASSERT_TRUE(found.ok());
+  // Appending continues with fresh node ids.
+  task::TaskHistoryRecord rec;
+  rec.task_name = "post-recovery";
+  auto node = restored_->Append(std::move(rec),
+                                restored_->current_cursor());
+  ASSERT_TRUE(node.ok());
+  EXPECT_FALSE(original_->HasNode(*node));  // id beyond the original's
+  EXPECT_GT(*node, original_->size());
+}
+
+TEST_F(ThreadPersistenceTest, FullSessionCrashRecovery) {
+  BuildAndRoundTrip();
+  // Also persist the database and verify the restored pair still resolves
+  // names as before the "crash".
+  std::string db_snapshot = SerializeDatabase(session_->database());
+  auto db = RestoreDatabase(db_snapshot, &clock_);
+  ASSERT_TRUE(db.ok());
+  auto id = restored_->ResolveInScope("s.pla");
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE((*db)->Get(*id).ok());
+  // The abandoned branch's objects are also reachable after rework.
+  ASSERT_TRUE(restored_->MoveCursor(2).ok());
+  auto sc = restored_->ResolveInScope("s.sc");
+  ASSERT_TRUE(sc.ok());
+  EXPECT_TRUE((*db)->Get(*sc).ok());
+}
+
+TEST(ThreadPersistenceErrorTest, RejectsGarbage) {
+  ManualClock clock(0);
+  EXPECT_FALSE(RestoreThread("nope", &clock).ok());
+  EXPECT_FALSE(RestoreThread("papyrus-thread 1\nnode 1 0 0 0 ~\n", &clock)
+                   .ok());  // missing meta
+  EXPECT_FALSE(
+      RestoreThread("papyrus-thread 1\nmeta 1 ~t 99 8\n", &clock).ok());
+  // ^ cursor points at a missing node
+}
+
+}  // namespace
+}  // namespace papyrus::activity

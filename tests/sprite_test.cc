@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "base/clock.h"
+#include "sprite/network.h"
+
+namespace papyrus::sprite {
+namespace {
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : clock_(0), net_(&clock_, 4) {}
+  ManualClock clock_;
+  Network net_;
+};
+
+TEST_F(NetworkTest, StartsIdleWithHomeHostZero) {
+  EXPECT_EQ(net_.num_hosts(), 4);
+  EXPECT_EQ(net_.home_host(), 0);
+  for (HostId h = 0; h < 4; ++h) {
+    EXPECT_TRUE(net_.IsIdle(h));
+    EXPECT_EQ(net_.LoadOf(h), 0);
+  }
+}
+
+TEST_F(NetworkTest, SingleProcessCompletesAfterItsWork) {
+  std::vector<ProcessInfo> completed;
+  net_.SetCompletionHandler(
+      [&](const ProcessInfo& p) { completed.push_back(p); });
+  auto pid = net_.Spawn(kNoProcess, "espresso", 1000, 0, true);
+  ASSERT_TRUE(pid.ok());
+  net_.RunUntilQuiescent();
+  ASSERT_EQ(completed.size(), 1u);
+  EXPECT_EQ(completed[0].pid, *pid);
+  EXPECT_EQ(completed[0].finish_micros, 1000);
+  EXPECT_EQ(clock_.NowMicros(), 1000);
+  EXPECT_EQ(completed[0].state, ProcessState::kCompleted);
+}
+
+TEST_F(NetworkTest, TimeSlicingSlowsCoLocatedProcesses) {
+  ASSERT_TRUE(net_.Spawn(kNoProcess, "a", 1000, 1, true).ok());
+  ASSERT_TRUE(net_.Spawn(kNoProcess, "b", 1000, 1, true).ok());
+  net_.RunUntilQuiescent();
+  // Two equal processes sharing one host: both finish at ~2x.
+  EXPECT_GE(clock_.NowMicros(), 1999);
+}
+
+TEST_F(NetworkTest, ParallelHostsOverlap) {
+  ASSERT_TRUE(net_.Spawn(kNoProcess, "a", 1000, 1, true).ok());
+  ASSERT_TRUE(net_.Spawn(kNoProcess, "b", 1000, 2, true).ok());
+  net_.RunUntilQuiescent();
+  EXPECT_EQ(clock_.NowMicros(), 1000);
+}
+
+TEST_F(NetworkTest, HostSpeedScalesProgress) {
+  ASSERT_TRUE(net_.SetHostSpeed(2, 2.0).ok());
+  ASSERT_TRUE(net_.Spawn(kNoProcess, "fast", 1000, 2, true).ok());
+  net_.RunUntilQuiescent();
+  EXPECT_EQ(clock_.NowMicros(), 500);
+  EXPECT_FALSE(net_.SetHostSpeed(2, 0.0).ok());
+  EXPECT_FALSE(net_.SetHostSpeed(99, 1.0).ok());
+}
+
+TEST_F(NetworkTest, FindIdleHostPrefersLeastLoaded) {
+  ASSERT_TRUE(net_.Spawn(kNoProcess, "a", 5000, 1, true).ok());
+  auto h = net_.FindIdleHost(/*exclude_home=*/true);
+  ASSERT_TRUE(h.ok());
+  EXPECT_NE(*h, 1);  // 2 or 3 are empty
+}
+
+TEST_F(NetworkTest, FindIdleHostSkipsOwnerActiveHosts) {
+  for (HostId h = 1; h < 4; ++h) {
+    ASSERT_TRUE(net_.SetOwnerActive(h, true).ok());
+  }
+  auto h = net_.FindIdleHost(/*exclude_home=*/true);
+  EXPECT_TRUE(h.status().IsFailedPrecondition());
+  // Home is still idle.
+  auto home = net_.FindIdleHost(/*exclude_home=*/false);
+  ASSERT_TRUE(home.ok());
+  EXPECT_EQ(*home, 0);
+}
+
+TEST_F(NetworkTest, MigrationMovesWork) {
+  auto pid = net_.Spawn(kNoProcess, "a", 1000, 0, true);
+  ASSERT_TRUE(pid.ok());
+  // Another local process would slow it to 2000us; migrating away keeps
+  // both at full speed.
+  auto pid2 = net_.Spawn(kNoProcess, "b", 1000, 0, true);
+  ASSERT_TRUE(pid2.ok());
+  ASSERT_TRUE(net_.Migrate(*pid2, 3).ok());
+  net_.RunUntilQuiescent();
+  EXPECT_EQ(clock_.NowMicros(), 1000);
+  EXPECT_EQ(net_.total_migrations(), 1);
+}
+
+TEST_F(NetworkTest, NonMigratableProcessRefusesToMove) {
+  auto pid = net_.Spawn(kNoProcess, "interactive_editor", 1000, 0, false);
+  ASSERT_TRUE(pid.ok());
+  EXPECT_TRUE(net_.Migrate(*pid, 1).IsPermissionDenied());
+}
+
+TEST_F(NetworkTest, MigrateErrors) {
+  EXPECT_TRUE(net_.Migrate(99, 1).IsNotFound());
+  auto pid = net_.Spawn(kNoProcess, "a", 100, 0, true);
+  ASSERT_TRUE(pid.ok());
+  EXPECT_FALSE(net_.Migrate(*pid, 99).ok());
+  EXPECT_TRUE(net_.Migrate(*pid, 0).ok());  // same host: no-op
+  EXPECT_EQ(net_.total_migrations(), 0);
+}
+
+TEST_F(NetworkTest, OwnerReturnEvictsForeignProcesses) {
+  std::vector<ProcessId> evicted;
+  net_.SetEvictionHandler(
+      [&](const ProcessInfo& p) { evicted.push_back(p.pid); });
+  auto pid = net_.Spawn(kNoProcess, "remote", 10000, 2, true);
+  ASSERT_TRUE(pid.ok());
+  ASSERT_TRUE(net_.SetOwnerActive(2, true).ok());
+  ASSERT_EQ(evicted.size(), 1u);
+  auto info = net_.GetProcess(*pid);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->current_host, net_.home_host());
+  EXPECT_EQ(net_.total_evictions(), 1);
+  EXPECT_EQ(info->migration_count, 1);
+}
+
+TEST_F(NetworkTest, NativeProcessesSurviveOwnerReturn) {
+  auto pid = net_.Spawn(kNoProcess, "local", 10000, 0, true);
+  ASSERT_TRUE(pid.ok());
+  ASSERT_TRUE(net_.SetOwnerActive(0, true).ok());
+  auto info = net_.GetProcess(*pid);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->current_host, 0);
+  EXPECT_EQ(net_.total_evictions(), 0);
+}
+
+TEST_F(NetworkTest, ScheduledOwnerEventsFireInOrder) {
+  ASSERT_TRUE(net_.ScheduleOwnerEvent(1, 500, true).ok());
+  ASSERT_TRUE(net_.ScheduleOwnerEvent(1, 1500, false).ok());
+  auto pid = net_.Spawn(kNoProcess, "victim", 2000, 1, true);
+  ASSERT_TRUE(pid.ok());
+  net_.RunUntilQuiescent();
+  auto info = net_.GetProcess(*pid);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->state, ProcessState::kCompleted);
+  // Evicted to home at t=500 after 500us of work; finishes remaining
+  // 1500us on home host.
+  EXPECT_EQ(info->current_host, 0);
+  EXPECT_EQ(info->finish_micros, 2000);
+  EXPECT_EQ(net_.total_evictions(), 1);
+  EXPECT_FALSE(net_.ScheduleOwnerEvent(1, 0, true).ok());  // in the past
+}
+
+TEST_F(NetworkTest, KillRemovesProcessWithoutSignal) {
+  int completions = 0;
+  net_.SetCompletionHandler([&](const ProcessInfo&) { ++completions; });
+  auto pid = net_.Spawn(kNoProcess, "doomed", 1000, 0, true);
+  ASSERT_TRUE(pid.ok());
+  ASSERT_TRUE(net_.Kill(*pid).ok());
+  net_.RunUntilQuiescent();
+  EXPECT_EQ(completions, 0);
+  auto info = net_.GetProcess(*pid);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->state, ProcessState::kKilled);
+  EXPECT_TRUE(net_.Kill(*pid).IsFailedPrecondition());
+  EXPECT_TRUE(net_.Kill(12345).IsNotFound());
+}
+
+TEST_F(NetworkTest, GetPcbInfoFiltersByParent) {
+  ASSERT_TRUE(net_.Spawn(7, "child_a", 100, 0, true).ok());
+  ASSERT_TRUE(net_.Spawn(7, "child_b", 100, 1, true).ok());
+  ASSERT_TRUE(net_.Spawn(9, "other", 100, 2, true).ok());
+  EXPECT_EQ(net_.GetPcbInfo(7).size(), 2u);
+  EXPECT_EQ(net_.GetPcbInfo(9).size(), 1u);
+  EXPECT_EQ(net_.GetPcbInfo().size(), 3u);
+  EXPECT_EQ(net_.GetPcbInfo(42).size(), 0u);
+}
+
+TEST_F(NetworkTest, CompletionHandlerMaySpawnMoreWork) {
+  int chain = 0;
+  net_.SetCompletionHandler([&](const ProcessInfo&) {
+    if (++chain < 3) {
+      ASSERT_TRUE(net_.Spawn(kNoProcess, "next", 100, 0, true).ok());
+    }
+  });
+  ASSERT_TRUE(net_.Spawn(kNoProcess, "first", 100, 0, true).ok());
+  net_.RunUntilQuiescent();
+  EXPECT_EQ(chain, 3);
+  EXPECT_EQ(clock_.NowMicros(), 300);
+  EXPECT_EQ(net_.total_spawns(), 3);
+}
+
+TEST_F(NetworkTest, ZeroWorkProcessCompletesImmediately) {
+  auto pid = net_.Spawn(kNoProcess, "noop", 0, 0, true);
+  ASSERT_TRUE(pid.ok());
+  clock_.AdvanceMicros(50);
+  net_.RunUntilQuiescent();
+  auto info = net_.GetProcess(*pid);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->state, ProcessState::kCompleted);
+}
+
+TEST_F(NetworkTest, SpawnValidation) {
+  EXPECT_FALSE(net_.Spawn(kNoProcess, "x", 100, 99, true).ok());
+  EXPECT_FALSE(net_.Spawn(kNoProcess, "x", -1, 0, true).ok());
+}
+
+TEST_F(NetworkTest, SpeedupScalesWithHosts) {
+  // 8 independent unit jobs on 1 host vs 4 hosts.
+  ManualClock c1(0);
+  Network serial(&c1, 1);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(serial.Spawn(kNoProcess, "job", 1000, 0, true).ok());
+  }
+  serial.RunUntilQuiescent();
+
+  ManualClock c4(0);
+  Network parallel(&c4, 4);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(
+        parallel.Spawn(kNoProcess, "job", 1000, i % 4, true).ok());
+  }
+  parallel.RunUntilQuiescent();
+
+  EXPECT_NEAR(static_cast<double>(c1.NowMicros()) / c4.NowMicros(), 4.0,
+              0.2);
+}
+
+}  // namespace
+}  // namespace papyrus::sprite

@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include "activity/design_thread.h"
+#include "base/clock.h"
+#include "oct/database.h"
+#include "storage/reclamation.h"
+
+namespace papyrus::storage {
+namespace {
+
+using activity::DesignThread;
+using activity::NodeId;
+using oct::LogicNetwork;
+using oct::ObjectId;
+
+class ReclamationTest : public ::testing::Test {
+ protected:
+  ReclamationTest()
+      : clock_(0), db_(&clock_), mgr_(&db_, &clock_),
+        thread_(1, "T", &clock_) {}
+
+  /// Creates a real db object and returns its id.
+  ObjectId MakeObject(const std::string& name, int size_driver = 10) {
+    auto id = db_.CreateVersion(name, LogicNetwork{.minterms = size_driver,
+                                                   .literals = size_driver});
+    EXPECT_TRUE(id.ok());
+    return *id;
+  }
+
+  /// Appends a record with given ins/outs plus `n_steps` step records that
+  /// reference intermediate objects.
+  NodeId AppendTask(const std::string& task, std::vector<ObjectId> in,
+                    std::vector<ObjectId> out, int n_steps = 0) {
+    task::TaskHistoryRecord rec;
+    rec.task_name = task;
+    rec.inputs = in;
+    rec.outputs = out;
+    for (int i = 0; i < n_steps; ++i) {
+      task::StepRecord step;
+      step.step_name = task + ".s" + std::to_string(i);
+      ObjectId tmp =
+          MakeObject(task + ".tmp" + std::to_string(i), 50);
+      // Intermediates are invisible after commit, as the task manager
+      // leaves them.
+      EXPECT_TRUE(db_.MarkInvisible(tmp).ok());
+      step.outputs = {tmp};
+      rec.steps.push_back(step);
+    }
+    auto node = thread_.Append(std::move(rec), thread_.current_cursor());
+    EXPECT_TRUE(node.ok());
+    return *node;
+  }
+
+  ManualClock clock_;
+  oct::OctDatabase db_;
+  ReclamationManager mgr_;
+  DesignThread thread_;
+};
+
+TEST_F(ReclamationTest, FilteringList) {
+  EXPECT_TRUE(mgr_.ShouldRecord("Mosaico"));
+  mgr_.AddFilteredTask("Print_Schematic");
+  EXPECT_FALSE(mgr_.ShouldRecord("Print_Schematic"));
+  EXPECT_TRUE(mgr_.ShouldRecord("Mosaico"));
+}
+
+TEST_F(ReclamationTest, VerticalAgingStripsOldStepDetails) {
+  ObjectId a = MakeObject("a");
+  NodeId n1 = AppendTask("old_task", {}, {a}, /*n_steps=*/3);
+  clock_.AdvanceSeconds(1000);
+  ObjectId b = MakeObject("b");
+  NodeId n2 = AppendTask("new_task", {a}, {b}, /*n_steps=*/2);
+
+  int64_t live_before = db_.LiveVersionCount();
+  auto report = mgr_.VerticalAge(&thread_, /*older_than=*/500 * 1000000ll);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->records_affected, 1);
+  EXPECT_EQ(report->objects_reclaimed, 3);  // old_task's intermediates
+  EXPECT_GT(report->bytes_reclaimed, 0);
+  EXPECT_EQ(db_.LiveVersionCount(), live_before - 3);
+  // The aged record lost its steps but kept task-level objects.
+  auto node = thread_.GetNode(n1);
+  ASSERT_TRUE(node.ok());
+  EXPECT_TRUE((*node)->record.steps.empty());
+  EXPECT_EQ((*node)->record.outputs.size(), 1u);
+  // The young record is untouched.
+  node = thread_.GetNode(n2);
+  ASSERT_TRUE(node.ok());
+  EXPECT_EQ((*node)->record.steps.size(), 2u);
+}
+
+TEST_F(ReclamationTest, VerticalAgingKeepsTaskLevelObjectsAlive) {
+  ObjectId a = MakeObject("a");
+  AppendTask("t", {}, {a}, 2);
+  clock_.AdvanceSeconds(1000);
+  auto report = mgr_.VerticalAge(&thread_, clock_.NowMicros());
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(db_.Get(a).ok());  // the task output survives
+}
+
+TEST_F(ReclamationTest, HorizontalAgingPrunesOldPrefix) {
+  ObjectId a = MakeObject("a");
+  ObjectId b = MakeObject("b");
+  ObjectId c = MakeObject("c");
+  AppendTask("t1", {}, {a});
+  AppendTask("t2", {a}, {b});
+  clock_.AdvanceSeconds(10000);
+  NodeId n3 = AppendTask("t3", {b}, {c});
+  auto report =
+      mgr_.HorizontalAge(&thread_, /*older_than=*/5000 * 1000000ll);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->records_affected, 2);
+  EXPECT_EQ(thread_.size(), 1);
+  auto node = thread_.GetNode(n3);
+  ASSERT_TRUE(node.ok());
+  EXPECT_TRUE((*node)->parents.empty());
+  // `a` was only referenced by the pruned prefix: reclaimed. `b` is an
+  // input of the surviving record: kept.
+  EXPECT_FALSE(db_.Get(a).ok());
+  EXPECT_TRUE(db_.Get(b).ok());
+  EXPECT_TRUE(db_.Get(c).ok());
+  EXPECT_EQ(report->objects_reclaimed, 1);
+}
+
+TEST_F(ReclamationTest, HorizontalAgingStopsAtBranches) {
+  ObjectId a = MakeObject("a");
+  NodeId n1 = AppendTask("t1", {}, {a});
+  AppendTask("t2", {a}, {MakeObject("b")});
+  ASSERT_TRUE(thread_.MoveCursor(n1).ok());
+  AppendTask("t3", {a}, {MakeObject("c")});
+  clock_.AdvanceSeconds(10000);
+  auto report = mgr_.HorizontalAge(&thread_, clock_.NowMicros());
+  ASSERT_TRUE(report.ok());
+  // n1 branches: nothing can be pruned.
+  EXPECT_EQ(report->records_affected, 0);
+  EXPECT_EQ(thread_.size(), 3);
+}
+
+TEST_F(ReclamationTest, ApprovalVetoBlocksPruning) {
+  AppendTask("t1", {}, {MakeObject("a")}, 2);
+  clock_.AdvanceSeconds(1000);
+  mgr_.set_approval([](const std::string&, const std::vector<NodeId>&) {
+    return false;  // user says no
+  });
+  auto report = mgr_.VerticalAge(&thread_, clock_.NowMicros());
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->records_affected, 0);
+  EXPECT_EQ(mgr_.total_bytes_reclaimed(), 0);
+}
+
+TEST_F(ReclamationTest, IterativeRefinementAbstraction) {
+  // Figure 5.9: edit/simulate rounds; only round 3's output is used later.
+  ObjectId base = MakeObject("layout");
+  AppendTask("setup", {}, {base});
+  std::vector<std::vector<NodeId>> rounds;
+  std::vector<ObjectId> round_outputs;
+  for (int i = 1; i <= 4; ++i) {
+    ObjectId edited = MakeObject("layout.edit" + std::to_string(i));
+    NodeId edit = AppendTask("Layout_Edit", {base}, {edited});
+    NodeId sim = AppendTask("Circuit_Sim", {edited}, {});
+    rounds.push_back({edit, sim});
+    round_outputs.push_back(edited);
+  }
+  // Downstream work consumes round 3's output.
+  AppendTask("tapeout", {round_outputs[2]}, {MakeObject("final")});
+
+  int before = thread_.size();
+  auto report = mgr_.AbstractIterations(&thread_, rounds);
+  ASSERT_TRUE(report.ok());
+  // Rounds 1, 2 and 4 (2 records each) are spliced out.
+  EXPECT_EQ(report->records_affected, 6);
+  EXPECT_EQ(thread_.size(), before - 6);
+  // Round 3 survives; its output is still live.
+  EXPECT_TRUE(db_.Get(round_outputs[2]).ok());
+  // Abandoned rounds' outputs are reclaimed.
+  EXPECT_FALSE(db_.Get(round_outputs[0]).ok());
+  EXPECT_FALSE(db_.Get(round_outputs[3]).ok());
+  // The stream is still connected: the data scope of the tip includes the
+  // setup object.
+  auto frontier = thread_.FrontierCursors();
+  ASSERT_EQ(frontier.size(), 1u);
+  auto state = thread_.ThreadState(frontier[0]);
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(state->count(base), 1u);
+}
+
+TEST_F(ReclamationTest, IterationAbstractionKeepsLastRoundWhenNoneUsed) {
+  ObjectId base = MakeObject("layout");
+  AppendTask("setup", {}, {base});
+  std::vector<std::vector<NodeId>> rounds;
+  for (int i = 1; i <= 3; ++i) {
+    NodeId edit = AppendTask("Layout_Edit", {base},
+                             {MakeObject("e" + std::to_string(i))});
+    rounds.push_back({edit});
+  }
+  auto report = mgr_.AbstractIterations(&thread_, rounds);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->records_affected, 2);  // last round kept
+  EXPECT_EQ(thread_.size(), 2);
+}
+
+TEST_F(ReclamationTest, DeadEndBranchPruning) {
+  ObjectId a = MakeObject("a");
+  NodeId n1 = AppendTask("t1", {}, {a});
+  // Branch 1: abandoned early.
+  AppendTask("dead1", {a}, {MakeObject("d1")});
+  AppendTask("dead2", {a}, {MakeObject("d2")});
+  // Branch 2: the live line of development.
+  ASSERT_TRUE(thread_.MoveCursor(n1).ok());
+  NodeId live = AppendTask("live", {a}, {MakeObject("l")});
+  // Time passes; only the live branch is touched.
+  clock_.AdvanceSeconds(100000);
+  ASSERT_TRUE(thread_.MoveCursor(live).ok());
+  (void)thread_.DataScope();
+
+  auto report =
+      mgr_.PruneDeadBranches(&thread_, /*unaccessed=*/50000 * 1000000ll);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->records_affected, 2);
+  EXPECT_EQ(thread_.size(), 2);  // t1 + live
+  EXPECT_FALSE(db_.Get({"d2", 1}).ok());
+  EXPECT_TRUE(db_.Get({"l", 1}).ok());
+  EXPECT_TRUE(db_.Get(a).ok());
+}
+
+TEST_F(ReclamationTest, DeadBranchPruningSparesCurrentCursor) {
+  ObjectId a = MakeObject("a");
+  AppendTask("t1", {}, {a});
+  clock_.AdvanceSeconds(100000);
+  // The lone frontier is the current cursor: never pruned.
+  auto report = mgr_.PruneDeadBranches(&thread_, 1);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->records_affected, 0);
+  EXPECT_EQ(thread_.size(), 1);
+}
+
+TEST_F(ReclamationTest, BytesReclaimedAccumulatesAcrossPasses) {
+  AppendTask("t1", {}, {MakeObject("a")}, 2);
+  clock_.AdvanceSeconds(1000);
+  ASSERT_TRUE(mgr_.VerticalAge(&thread_, clock_.NowMicros()).ok());
+  int64_t after_first = mgr_.total_bytes_reclaimed();
+  EXPECT_GT(after_first, 0);
+  AppendTask("t2", {}, {MakeObject("b")}, 2);
+  clock_.AdvanceSeconds(1000);
+  ASSERT_TRUE(mgr_.VerticalAge(&thread_, clock_.NowMicros()).ok());
+  EXPECT_GT(mgr_.total_bytes_reclaimed(), after_first);
+}
+
+}  // namespace
+}  // namespace papyrus::storage

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "base/clock.h"
+#include "oct/database.h"
+#include "sync/sds.h"
+
+namespace papyrus::sync {
+namespace {
+
+using oct::Layout;
+using oct::ObjectId;
+
+class SdsTest : public ::testing::Test {
+ protected:
+  SdsTest() : clock_(0), db_(&clock_), mgr_(&db_) {
+    EXPECT_TRUE(mgr_.CreateSds("A").ok());
+    EXPECT_TRUE(mgr_.Register("A", kProducer).ok());
+    EXPECT_TRUE(mgr_.Register("A", kConsumer).ok());
+  }
+
+  ObjectId MakeLayout(const std::string& name, double delay) {
+    auto id = db_.CreateVersion(name, Layout{.delay_ns = delay});
+    EXPECT_TRUE(id.ok());
+    return *id;
+  }
+
+  static constexpr int kProducer = 1;
+  static constexpr int kConsumer = 2;
+  static constexpr int kOutsider = 3;
+
+  ManualClock clock_;
+  oct::OctDatabase db_;
+  SdsManager mgr_;
+};
+
+TEST_F(SdsTest, CreateAndRemoveSpaces) {
+  EXPECT_TRUE(mgr_.HasSds("A"));
+  EXPECT_TRUE(mgr_.CreateSds("A").code() == StatusCode::kAlreadyExists);
+  EXPECT_FALSE(mgr_.CreateSds("").ok());
+  EXPECT_TRUE(mgr_.CreateSds("B").ok());
+  EXPECT_EQ(mgr_.SdsNames().size(), 2u);
+  EXPECT_TRUE(mgr_.RemoveSds("B").ok());
+  EXPECT_TRUE(mgr_.RemoveSds("B").IsNotFound());
+}
+
+TEST_F(SdsTest, RegistrationIsDynamic) {
+  auto regs = mgr_.RegisteredThreads("A");
+  ASSERT_TRUE(regs.ok());
+  EXPECT_EQ(regs->size(), 2u);
+  EXPECT_TRUE(mgr_.Deregister("A", kConsumer).ok());
+  EXPECT_TRUE(mgr_.Deregister("A", kConsumer).IsNotFound());
+  EXPECT_FALSE(mgr_.Register("missing", 1).ok());
+}
+
+TEST_F(SdsTest, ContributeAndRetrieve) {
+  ObjectId id = MakeLayout("cell", 5.0);
+  ASSERT_TRUE(mgr_.Move(id, Space::Thread(kProducer), Space::Sds("A")).ok());
+  auto contents = mgr_.Contents("A");
+  ASSERT_TRUE(contents.ok());
+  ASSERT_EQ(contents->size(), 1u);
+  EXPECT_EQ((*contents)[0], id);
+  EXPECT_TRUE(
+      mgr_.Move(id, Space::Sds("A"), Space::Thread(kConsumer)).ok());
+}
+
+TEST_F(SdsTest, UnregisteredThreadsAreRejected) {
+  ObjectId id = MakeLayout("cell", 5.0);
+  EXPECT_TRUE(mgr_.Move(id, Space::Thread(kOutsider), Space::Sds("A"))
+                  .IsPermissionDenied());
+  ASSERT_TRUE(mgr_.Move(id, Space::Thread(kProducer), Space::Sds("A")).ok());
+  EXPECT_TRUE(mgr_.Move(id, Space::Sds("A"), Space::Thread(kOutsider))
+                  .IsPermissionDenied());
+}
+
+TEST_F(SdsTest, NoDirectThreadToThreadSharing) {
+  ObjectId id = MakeLayout("cell", 5.0);
+  EXPECT_TRUE(mgr_.Move(id, Space::Thread(kProducer),
+                        Space::Thread(kConsumer))
+                  .IsPermissionDenied());
+}
+
+TEST_F(SdsTest, SdsContentsAreAppendOnly) {
+  ObjectId id = MakeLayout("cell", 5.0);
+  ASSERT_TRUE(mgr_.Move(id, Space::Thread(kProducer), Space::Sds("A")).ok());
+  EXPECT_EQ(mgr_.Move(id, Space::Thread(kProducer), Space::Sds("A")).code(),
+            StatusCode::kAlreadyExists);
+  // A new version of the same object is fine.
+  ObjectId v2 = MakeLayout("cell", 4.0);
+  EXPECT_TRUE(mgr_.Move(v2, Space::Thread(kProducer), Space::Sds("A")).ok());
+}
+
+TEST_F(SdsTest, InvisibleObjectsCannotBePublished) {
+  ObjectId id = MakeLayout("cell", 5.0);
+  ASSERT_TRUE(db_.MarkInvisible(id).ok());
+  EXPECT_TRUE(mgr_.Move(id, Space::Thread(kProducer), Space::Sds("A"))
+                  .IsNotFound());
+}
+
+TEST_F(SdsTest, NotificationOnNewVersion) {
+  ObjectId v1 = MakeLayout("cell", 5.0);
+  ASSERT_TRUE(mgr_.Move(v1, Space::Thread(kProducer), Space::Sds("A")).ok());
+  // The consumer retrieves it with a notification flag.
+  ASSERT_TRUE(mgr_.Move(v1, Space::Sds("A"), Space::Thread(kConsumer),
+                        /*notify=*/true)
+                  .ok());
+  EXPECT_EQ(mgr_.PendingNotifications(kConsumer), 0u);
+  // A new version arrives.
+  ObjectId v2 = MakeLayout("cell", 4.5);
+  ASSERT_TRUE(mgr_.Move(v2, Space::Thread(kProducer), Space::Sds("A")).ok());
+  ASSERT_EQ(mgr_.PendingNotifications(kConsumer), 1u);
+  auto notes = mgr_.TakeNotifications(kConsumer);
+  ASSERT_EQ(notes.size(), 1u);
+  EXPECT_EQ(notes[0].thread_id, kConsumer);
+  EXPECT_EQ(notes[0].sds, "A");
+  EXPECT_EQ(notes[0].new_version, v2);
+  EXPECT_EQ(notes[0].old_version, v1);
+  EXPECT_TRUE(mgr_.TakeNotifications(kConsumer).empty());
+}
+
+TEST_F(SdsTest, NotificationCanBeDisabled) {
+  ObjectId v1 = MakeLayout("cell", 5.0);
+  ASSERT_TRUE(mgr_.Move(v1, Space::Thread(kProducer), Space::Sds("A")).ok());
+  ASSERT_TRUE(mgr_.Move(v1, Space::Sds("A"), Space::Thread(kConsumer),
+                        /*notify=*/false)
+                  .ok());
+  ObjectId v2 = MakeLayout("cell", 4.5);
+  ASSERT_TRUE(mgr_.Move(v2, Space::Thread(kProducer), Space::Sds("A")).ok());
+  EXPECT_EQ(mgr_.PendingNotifications(kConsumer), 0u);
+}
+
+TEST_F(SdsTest, PredicateFiltersNotifications) {
+  // §3.3.4.2 example: notify only when the new version is faster.
+  ObjectId v1 = MakeLayout("cell", 5.0);
+  ASSERT_TRUE(mgr_.Move(v1, Space::Thread(kProducer), Space::Sds("A")).ok());
+  NotifyPredicate faster;
+  faster.attribute = "delay";
+  faster.op = NotifyPredicate::Op::kLess;
+  faster.compare_to_old = true;
+  ASSERT_TRUE(mgr_.Move(v1, Space::Sds("A"), Space::Thread(kConsumer),
+                        /*notify=*/true, {faster})
+                  .ok());
+  // A slower version: suppressed.
+  ObjectId slow = MakeLayout("cell", 7.0);
+  ASSERT_TRUE(
+      mgr_.Move(slow, Space::Thread(kProducer), Space::Sds("A")).ok());
+  EXPECT_EQ(mgr_.PendingNotifications(kConsumer), 0u);
+  EXPECT_EQ(mgr_.suppressed_notifications(), 1);
+  // A faster version: delivered.
+  ObjectId fast = MakeLayout("cell", 3.0);
+  ASSERT_TRUE(
+      mgr_.Move(fast, Space::Thread(kProducer), Space::Sds("A")).ok());
+  EXPECT_EQ(mgr_.PendingNotifications(kConsumer), 1u);
+  EXPECT_EQ(mgr_.total_notifications(), 1);
+}
+
+TEST_F(SdsTest, ConstantPredicate) {
+  ObjectId v1 = MakeLayout("cell", 5.0);
+  ASSERT_TRUE(mgr_.Move(v1, Space::Thread(kProducer), Space::Sds("A")).ok());
+  NotifyPredicate under_4;
+  under_4.attribute = "delay";
+  under_4.op = NotifyPredicate::Op::kLess;
+  under_4.compare_to_old = false;
+  under_4.constant = 4.0;
+  ASSERT_TRUE(mgr_.Move(v1, Space::Sds("A"), Space::Thread(kConsumer),
+                        true, {under_4})
+                  .ok());
+  ASSERT_TRUE(mgr_.Move(MakeLayout("cell", 4.5), Space::Thread(kProducer),
+                        Space::Sds("A"))
+                  .ok());
+  EXPECT_EQ(mgr_.PendingNotifications(kConsumer), 0u);
+  ASSERT_TRUE(mgr_.Move(MakeLayout("cell", 3.5), Space::Thread(kProducer),
+                        Space::Sds("A"))
+                  .ok());
+  EXPECT_EQ(mgr_.PendingNotifications(kConsumer), 1u);
+}
+
+TEST_F(SdsTest, MultipleSubscribersEachNotified) {
+  ASSERT_TRUE(mgr_.Register("A", kOutsider).ok());
+  ObjectId v1 = MakeLayout("cell", 5.0);
+  ASSERT_TRUE(mgr_.Move(v1, Space::Thread(kProducer), Space::Sds("A")).ok());
+  ASSERT_TRUE(
+      mgr_.Move(v1, Space::Sds("A"), Space::Thread(kConsumer), true).ok());
+  ASSERT_TRUE(
+      mgr_.Move(v1, Space::Sds("A"), Space::Thread(kOutsider), true).ok());
+  ASSERT_TRUE(mgr_.Move(MakeLayout("cell", 4.0), Space::Thread(kProducer),
+                        Space::Sds("A"))
+                  .ok());
+  EXPECT_EQ(mgr_.PendingNotifications(kConsumer), 1u);
+  EXPECT_EQ(mgr_.PendingNotifications(kOutsider), 1u);
+}
+
+TEST_F(SdsTest, SdsToSdsTransfer) {
+  ASSERT_TRUE(mgr_.CreateSds("B").ok());
+  ObjectId id = MakeLayout("cell", 5.0);
+  ASSERT_TRUE(mgr_.Move(id, Space::Thread(kProducer), Space::Sds("A")).ok());
+  ASSERT_TRUE(mgr_.Move(id, Space::Sds("A"), Space::Sds("B")).ok());
+  auto b = mgr_.Contents("B");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->size(), 1u);
+  // Source keeps its copy (versions are never removed from an SDS).
+  auto a = mgr_.Contents("A");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->size(), 1u);
+}
+
+TEST_F(SdsTest, ThreadImportIsUnidirectionalAndRevocable) {
+  EXPECT_FALSE(mgr_.CanRead(kConsumer, kProducer));
+  ASSERT_TRUE(mgr_.ImportThread(kConsumer, kProducer).ok());
+  EXPECT_TRUE(mgr_.CanRead(kConsumer, kProducer));
+  EXPECT_FALSE(mgr_.CanRead(kProducer, kConsumer));  // unidirectional
+  EXPECT_TRUE(mgr_.CanRead(kProducer, kProducer));   // self-read
+  EXPECT_EQ(mgr_.ImportsOf(kConsumer).size(), 1u);
+  ASSERT_TRUE(mgr_.RevokeImport(kConsumer, kProducer).ok());
+  EXPECT_FALSE(mgr_.CanRead(kConsumer, kProducer));
+  EXPECT_TRUE(mgr_.RevokeImport(kConsumer, kProducer).IsNotFound());
+  EXPECT_FALSE(mgr_.ImportThread(kConsumer, kConsumer).ok());
+}
+
+}  // namespace
+}  // namespace papyrus::sync

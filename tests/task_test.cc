@@ -1,0 +1,721 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "base/clock.h"
+#include "cadtools/registry.h"
+#include "oct/database.h"
+#include "sprite/network.h"
+#include "task/task_manager.h"
+#include "tdl/template.h"
+
+namespace papyrus::task {
+namespace {
+
+using oct::BehavioralSpec;
+using oct::DesignPayload;
+using oct::Layout;
+using oct::LogicNetwork;
+using oct::ObjectId;
+using oct::TextData;
+
+class TaskManagerTest : public ::testing::Test {
+ protected:
+  TaskManagerTest()
+      : clock_(0),
+        db_(&clock_),
+        network_(&clock_, 4),
+        registry_(cadtools::CreateStandardRegistry()),
+        manager_(&db_, registry_.get(), &network_, &library_) {
+    EXPECT_TRUE(tdl::RegisterThesisTemplates(&library_).ok());
+  }
+
+  ObjectId MustCreate(const std::string& name, DesignPayload payload) {
+    auto id = db_.CreateVersion(name, std::move(payload));
+    EXPECT_TRUE(id.ok());
+    return *id;
+  }
+
+  ManualClock clock_;
+  oct::OctDatabase db_;
+  sprite::Network network_;
+  std::unique_ptr<cadtools::ToolRegistry> registry_;
+  tdl::TemplateLibrary library_;
+  TaskManager manager_;
+};
+
+TEST_F(TaskManagerTest, SingleStepTaskCommits) {
+  ObjectId in = MustCreate("alu", Layout{.num_cells = 5, .area = 900.0});
+  TaskInvocation inv;
+  inv.template_name = "Padp";
+  inv.inputs = {in};
+  inv.output_names = {"alu.padded"};
+  auto rec = manager_.Invoke(inv);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_EQ(rec->task_name, "Padp");
+  ASSERT_EQ(rec->outputs.size(), 1u);
+  EXPECT_EQ(rec->outputs[0].name, "alu.padded");
+  ASSERT_EQ(rec->steps.size(), 1u);
+  EXPECT_EQ(rec->steps[0].tool, "padplace");
+  EXPECT_EQ(rec->steps[0].exit_status, 0);
+  // The output is visible and padded.
+  auto out = db_.Get(rec->outputs[0]);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(std::get<Layout>((*out)->payload).has_pads);
+  EXPECT_EQ(manager_.tasks_committed(), 1);
+}
+
+TEST_F(TaskManagerTest, InvocationValidation) {
+  TaskInvocation inv;
+  inv.template_name = "NoSuchTask";
+  EXPECT_TRUE(manager_.Invoke(inv).status().IsNotFound());
+
+  inv.template_name = "Padp";
+  inv.inputs = {};  // needs 1
+  inv.output_names = {"x"};
+  EXPECT_TRUE(manager_.Invoke(inv).status().IsInvalidArgument());
+
+  ObjectId in = MustCreate("alu", Layout{});
+  inv.inputs = {in};
+  inv.output_names = {};  // needs 1
+  EXPECT_TRUE(manager_.Invoke(inv).status().IsInvalidArgument());
+}
+
+TEST_F(TaskManagerTest, StructureSynthesisFullFlow) {
+  ObjectId in = MustCreate("shifter", BehavioralSpec{8, 8, 12, 77});
+  ObjectId cmds = MustCreate("sim.cmd", TextData{"run 100"});
+  TaskInvocation inv;
+  inv.template_name = "Structure_Synthesis";
+  inv.inputs = {in, cmds};
+  inv.output_names = {"shifter.layout", "shifter.stats"};
+  auto rec = manager_.Invoke(inv);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  // Six steps: NetlistCompile, Logic_Synthesis, Pads_Placement (from the
+  // Padp subtask), Place_and_Route, Simulate, Chip_Statistics_Collection.
+  ASSERT_EQ(rec->steps.size(), 6u);
+  std::set<std::string> names;
+  for (const StepRecord& s : rec->steps) names.insert(s.step_name);
+  EXPECT_TRUE(names.count("NetlistCompile"));
+  EXPECT_TRUE(names.count("Logic_Synthesis"));
+  EXPECT_TRUE(names.count("Pads_Placement"));  // subtask expanded in-line
+  EXPECT_TRUE(names.count("Place_and_Route"));
+  EXPECT_TRUE(names.count("Simulate"));
+  EXPECT_TRUE(names.count("Chip_Statistics_Collection"));
+  // History is ordered by completion time (§3.3.2).
+  for (size_t i = 1; i < rec->steps.size(); ++i) {
+    EXPECT_LE(rec->steps[i - 1].completion_micros,
+              rec->steps[i].completion_micros);
+  }
+  // Outputs exist; layout is padded (pads placed before place&route in
+  // this flow) and stats are text.
+  auto layout = db_.Get(rec->outputs[0]);
+  ASSERT_TRUE(layout.ok());
+  EXPECT_TRUE(std::holds_alternative<Layout>((*layout)->payload));
+  auto stats = db_.Get(rec->outputs[1]);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(std::holds_alternative<TextData>((*stats)->payload));
+}
+
+TEST_F(TaskManagerTest, IntermediatesAreDiscardedAfterCommit) {
+  ObjectId in = MustCreate("shifter", BehavioralSpec{8, 8, 12, 77});
+  ObjectId cmds = MustCreate("sim.cmd", TextData{"run"});
+  TaskInvocation inv;
+  inv.template_name = "Structure_Synthesis";
+  inv.inputs = {in, cmds};
+  inv.output_names = {"out.layout", "out.stats"};
+  auto rec = manager_.Invoke(inv);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  // Every object other than the task inputs/outputs is invisible.
+  int visible = 0;
+  db_.ForEach([&](const oct::ObjectRecord& r) {
+    if (r.visible) ++visible;
+  });
+  EXPECT_EQ(visible, 4);  // 2 inputs + 2 outputs
+  // But the intermediate versions still exist (invisibly) for history.
+  EXPECT_GT(db_.TotalVersionCount(), 4);
+}
+
+TEST_F(TaskManagerTest, ControlDependencyOrdersSimulateAfterPlaceAndRoute) {
+  ObjectId in = MustCreate("shifter", BehavioralSpec{8, 8, 12, 77});
+  ObjectId cmds = MustCreate("sim.cmd", TextData{"run"});
+  TaskInvocation inv;
+  inv.template_name = "Structure_Synthesis";
+  inv.inputs = {in, cmds};
+  inv.output_names = {"o1", "o2"};
+  auto rec = manager_.Invoke(inv);
+  ASSERT_TRUE(rec.ok());
+  int64_t pr_completion = -1;
+  int64_t sim_dispatch = -1;
+  for (const StepRecord& s : rec->steps) {
+    if (s.step_name == "Place_and_Route") pr_completion = s.completion_micros;
+    if (s.step_name == "Simulate") sim_dispatch = s.dispatch_micros;
+  }
+  ASSERT_GE(pr_completion, 0);
+  ASSERT_GE(sim_dispatch, 0);
+  // Simulate is control-dependent on Place_and_Route: it may not start
+  // before P&R completes, even though there is no data dependency.
+  EXPECT_GE(sim_dispatch, pr_completion);
+}
+
+TEST_F(TaskManagerTest, ParallelStepsOverlapAcrossWorkstations) {
+  ASSERT_TRUE(library_
+                  .Add("task Fanout {In} {O1 O2 O3}\n"
+                       "step A {In} {O1} {espresso In}\n"
+                       "step B {In} {O2} {espresso In}\n"
+                       "step C {In} {O3} {espresso In}\n")
+                  .ok());
+  ObjectId in = MustCreate("cell", LogicNetwork{.minterms = 500,
+                                                .literals = 900,
+                                                .seed = 9});
+  TaskInvocation inv;
+  inv.template_name = "Fanout";
+  inv.inputs = {in};
+  inv.output_names = {"a", "b", "c"};
+  auto rec = manager_.Invoke(inv);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  // The three steps were dispatched to distinct hosts and their execution
+  // intervals overlap.
+  std::set<sprite::HostId> hosts;
+  for (const StepRecord& s : rec->steps) hosts.insert(s.host);
+  EXPECT_EQ(hosts.size(), 3u);
+  int64_t min_completion = rec->steps[0].completion_micros;
+  int64_t max_dispatch = 0;
+  for (const StepRecord& s : rec->steps) {
+    min_completion = std::min(min_completion, s.completion_micros);
+    max_dispatch = std::max(max_dispatch, s.dispatch_micros);
+  }
+  EXPECT_LT(max_dispatch, min_completion);  // out-of-order issue overlap
+}
+
+TEST_F(TaskManagerTest, NonMigratableStepRunsOnHomeHost) {
+  TaskInvocation inv;
+  inv.template_name = "Create_Logic_Description";
+  inv.inputs = {};
+  inv.output_names = {"shifter.logic"};
+  auto rec = manager_.Invoke(inv);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  ASSERT_EQ(rec->steps.size(), 2u);
+  for (const StepRecord& s : rec->steps) {
+    if (s.step_name == "Enter_Logic") {
+      EXPECT_EQ(s.host, network_.home_host());
+    }
+  }
+  auto out = db_.Get(rec->outputs[0]);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(std::holds_alternative<LogicNetwork>((*out)->payload));
+}
+
+TEST_F(TaskManagerTest, OptionOverridesReachTheTool) {
+  ObjectId in = MustCreate("cell", LogicNetwork{.minterms = 100, .seed = 3});
+  TaskInvocation inv;
+  inv.template_name = "PLA_Generation";
+  inv.inputs = {in};
+  inv.output_names = {"cell.layout"};
+  // Force espresso to emit equation format: pleasure then rejects it.
+  inv.option_overrides["Two_Level_Minimization"] = "-o equitott cell";
+  auto rec = manager_.Invoke(inv);
+  EXPECT_FALSE(rec.ok());
+  EXPECT_TRUE(rec.status().IsAborted());
+}
+
+// --- Programmable abort semantics (Figures 3.4, 3.7, 4.3) ----------------
+
+/// Observer that changes a step's options on each restart — the thesis'
+/// "try different parameters after restart" workflow.
+class RetryObserver : public TaskObserver {
+ public:
+  RetryObserver(std::string step, std::string options_pattern)
+      : step_(std::move(step)), pattern_(std::move(options_pattern)) {}
+
+  void OnStepReady(const std::string& step_name, int restart_count,
+                   std::string* options) override {
+    if (step_name == step_ && restart_count > 0) {
+      std::string opts = pattern_;
+      size_t pos = opts.find("%d");
+      if (pos != std::string::npos) {
+        opts.replace(pos, 2, std::to_string(restart_count));
+      }
+      *options = opts;
+    }
+  }
+  void OnTaskRestarted(const std::string&, int resumed) override {
+    restarts_.push_back(resumed);
+  }
+
+  std::vector<int> restarts_;
+
+ private:
+  std::string step_;
+  std::string pattern_;
+};
+
+TEST_F(TaskManagerTest, PlaGenerationRestartPreservesEspressoWork) {
+  ObjectId in = MustCreate(
+      "cell", LogicNetwork{.num_inputs = 8,
+                           .num_outputs = 4,
+                           .minterms = 60,
+                           .literals = 120,
+                           .format = oct::DesignFormat::kBlif,
+                           .seed = 21});
+  // First dispatch of Array_Layout gets an impossible area constraint; on
+  // restart the observer drops it.
+  class PandaObserver : public TaskObserver {
+   public:
+    void OnStepReady(const std::string& step, int restart_count,
+                     std::string* options) override {
+      if (step == "Array_Layout") {
+        *options = restart_count == 0 ? "-maxarea 1" : "";
+      }
+      if (step == "Two_Level_Minimization") ++espresso_runs_;
+      if (step == "Pla_Folding") ++folding_runs_;
+    }
+    int espresso_runs_ = 0;
+    int folding_runs_ = 0;
+  } observer;
+
+  TaskInvocation inv;
+  inv.template_name = "PLA_Generation";
+  inv.inputs = {in};
+  inv.output_names = {"cell.layout"};
+  auto rec = manager_.Invoke(inv, &observer);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_EQ(rec->restarts, 1);
+  // Espresso ran once (its work was preserved across the restart);
+  // folding was re-executed (§3.3.3 Figure 3.7 dotted line).
+  EXPECT_EQ(observer.espresso_runs_, 1);
+  EXPECT_EQ(observer.folding_runs_, 2);
+  // The final history contains each step exactly once.
+  ASSERT_EQ(rec->steps.size(), 3u);
+  std::set<std::string> names;
+  for (const StepRecord& s : rec->steps) names.insert(s.step_name);
+  EXPECT_EQ(names.size(), 3u);
+}
+
+TEST_F(TaskManagerTest, RestartLimitAbortsAndCleansUp) {
+  ObjectId in = MustCreate("cell",
+                           LogicNetwork{.num_inputs = 8,
+                                        .num_outputs = 4,
+                                        .minterms = 60,
+                                        .format = oct::DesignFormat::kBlif,
+                                        .seed = 21});
+  TaskInvocation inv;
+  inv.template_name = "PLA_Generation";
+  inv.inputs = {in};
+  inv.output_names = {"cell.layout"};
+  // Impossible constraint with no observer relief: restarts until the cap.
+  inv.option_overrides["Array_Layout"] = "-maxarea 1";
+  inv.max_restarts = 3;
+  auto rec = manager_.Invoke(inv);
+  ASSERT_FALSE(rec.ok());
+  EXPECT_TRUE(rec.status().IsAborted());
+  // All side effects removed: only the input remains visible.
+  int visible = 0;
+  db_.ForEach([&](const oct::ObjectRecord& r) {
+    if (r.visible) ++visible;
+  });
+  EXPECT_EQ(visible, 1);
+  EXPECT_EQ(manager_.tasks_aborted(), 1);
+}
+
+TEST_F(TaskManagerTest, MacroPlaceAndRouteResumesAfterPlacement) {
+  // Detailed routing has a wire budget; the observer raises the global
+  // router's effort on each restart, changing the wire length until it
+  // fits (Figure 3.4: rework global routing, keep floorplan+placement).
+  class Fig34Observer : public TaskObserver {
+   public:
+    void OnStepReady(const std::string& step, int restart_count,
+                     std::string* options) override {
+      ++runs_[step];
+      if (step == "Global_Routing" && restart_count > 0) {
+        *options = "-e effort" + std::to_string(restart_count);
+      }
+      if (step == "Detailed_Routing") {
+        *options = "-d -maxwire 5200";
+      }
+    }
+    std::map<std::string, int> runs_;
+  };
+
+  // Sweep input seeds until one makes the first global route exceed the
+  // wire budget (failure injection is deterministic per seed).
+  for (uint64_t seed = 1; seed < 40; ++seed) {
+    Fig34Observer observer;
+    ObjectId in = MustCreate("chip" + std::to_string(seed),
+                             Layout{.num_cells = 50,
+                                    .area = 30000.0,
+                                    .style = "macro",
+                                    .seed = seed});
+    TaskInvocation inv;
+    inv.template_name = "Macro_Place_and_Route";
+    inv.inputs = {in};
+    inv.output_names = {"chip.routed" + std::to_string(seed)};
+    inv.max_restarts = 16;
+    auto rec = manager_.Invoke(inv, &observer);
+    if (!rec.ok() || rec->restarts == 0) continue;
+    // Floor planning and placement ran exactly once: their work was
+    // preserved across every restart.
+    EXPECT_EQ(observer.runs_["Floor_Planning"], 1);
+    EXPECT_EQ(observer.runs_["Placement"], 1);
+    EXPECT_GT(observer.runs_["Global_Routing"], 1);
+    return;
+  }
+  FAIL() << "no seed triggered a detailed-routing failure";
+}
+
+TEST_F(TaskManagerTest, MosaicoCompactionFallback) {
+  // Sweep input seeds until we see both behaviours: horizontal-first
+  // succeeding (no Vertical_Compaction step) and horizontal failing with
+  // vertical succeeding (fallback taken via $status).
+  bool saw_direct = false;
+  bool saw_fallback = false;
+  for (uint64_t seed = 0; seed < 40 && !(saw_direct && saw_fallback);
+       ++seed) {
+    ObjectId in = MustCreate(
+        "chip" + std::to_string(seed),
+        Layout{.num_cells = 30, .area = 20000.0, .style = "macro",
+               .seed = seed});
+    TaskInvocation inv;
+    inv.template_name = "Mosaico";
+    inv.inputs = {in};
+    inv.output_names = {"out" + std::to_string(seed),
+                        "stats" + std::to_string(seed)};
+    inv.max_restarts = 0;  // don't retry both-fail seeds here
+    auto rec = manager_.Invoke(inv);
+    if (!rec.ok()) continue;  // both compactions failed for this seed
+    bool has_vertical = false;
+    bool has_horizontal = false;
+    for (const StepRecord& s : rec->steps) {
+      if (s.step_name == "Vertical_Compaction") has_vertical = true;
+      if (s.step_name == "Horizontal_Compaction" && s.exit_status == 0) {
+        has_horizontal = true;
+      }
+    }
+    if (has_horizontal && !has_vertical) saw_direct = true;
+    if (has_vertical) {
+      saw_fallback = true;
+      // The failed horizontal attempt stays in the history trace.
+      bool failed_horizontal = false;
+      for (const StepRecord& s : rec->steps) {
+        if (s.step_name == "Horizontal_Compaction" && s.exit_status != 0) {
+          failed_horizontal = true;
+        }
+      }
+      EXPECT_TRUE(failed_horizontal);
+    }
+  }
+  EXPECT_TRUE(saw_direct);
+  EXPECT_TRUE(saw_fallback);
+}
+
+TEST_F(TaskManagerTest, MosaicoBothFailRestartsFromPowerGround) {
+  // Find a seed where both compaction directions fail, then recover by
+  // retrying channel routing with a different router (per §4.2.3: after
+  // restart users try different parameters for the following steps).
+  for (uint64_t seed = 0; seed < 200; ++seed) {
+    ObjectId in = MustCreate(
+        "chip" + std::to_string(seed),
+        Layout{.num_cells = 30, .area = 20000.0, .style = "macro",
+               .seed = seed});
+    TaskInvocation probe;
+    probe.template_name = "Mosaico";
+    probe.inputs = {in};
+    probe.output_names = {"p.out" + std::to_string(seed),
+                          "p.stats" + std::to_string(seed)};
+    probe.max_restarts = 0;
+    if (manager_.Invoke(probe).ok()) continue;  // not a both-fail seed
+
+    RetryObserver observer("Channel_Routing", "-d -r YACR%d");
+    TaskInvocation inv = probe;
+    inv.output_names = {"r.out", "r.stats"};
+    inv.max_restarts = 8;
+    auto rec = manager_.Invoke(inv, &observer);
+    ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+    EXPECT_GE(rec->restarts, 1);
+    // Channel definition and global routing were not re-executed: every
+    // restart resumed after Power/Ground current calculation.
+    int channel_defs = 0;
+    for (const StepRecord& s : rec->steps) {
+      if (s.step_name == "Channel_Definition") ++channel_defs;
+    }
+    EXPECT_EQ(channel_defs, 1);
+    return;
+  }
+  FAIL() << "no both-fail seed found in 200 tries";
+}
+
+TEST_F(TaskManagerTest, AbortCommandRemovesAllSideEffects) {
+  ASSERT_TRUE(library_
+                  .Add("task Doomed {In} {Out}\n"
+                       "step A {In} {tmp} {espresso In}\n"
+                       "abort\n"
+                       "step B {tmp} {Out} {pleasure tmp}\n")
+                  .ok());
+  ObjectId in = MustCreate("cell", LogicNetwork{.minterms = 10});
+  TaskInvocation inv;
+  inv.template_name = "Doomed";
+  inv.inputs = {in};
+  inv.output_names = {"never"};
+  auto rec = manager_.Invoke(inv);
+  ASSERT_FALSE(rec.ok());
+  EXPECT_TRUE(rec.status().IsAborted());
+  int visible = 0;
+  db_.ForEach([&](const oct::ObjectRecord& r) {
+    if (r.visible) ++visible;
+  });
+  EXPECT_EQ(visible, 1);  // only the input
+}
+
+TEST_F(TaskManagerTest, StatusVariableDrivesConditionalFlow) {
+  ASSERT_TRUE(library_
+                  .Add("task Cond {In} {Out}\n"
+                       "step Try {In} {Out} {panda -maxarea 1 In}\n"
+                       "if {$status} {step Fallback {In} {Out} {panda In}}\n")
+                  .ok());
+  ObjectId in = MustCreate("cell",
+                           LogicNetwork{.num_inputs = 4,
+                                        .num_outputs = 2,
+                                        .minterms = 20,
+                                        .format = oct::DesignFormat::kPla,
+                                        .seed = 2});
+  TaskInvocation inv;
+  inv.template_name = "Cond";
+  inv.inputs = {in};
+  inv.output_names = {"lay"};
+  auto rec = manager_.Invoke(inv);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  ASSERT_EQ(rec->steps.size(), 2u);
+  EXPECT_NE(rec->steps[0].exit_status, 0);
+  EXPECT_EQ(rec->steps[1].step_name, "Fallback");
+  EXPECT_EQ(rec->steps[1].exit_status, 0);
+}
+
+TEST_F(TaskManagerTest, AttributeCommandBranchesOnObjectProperties) {
+  // §4.2.2: design flow decisions based on a design object's attributes.
+  ASSERT_TRUE(
+      library_
+          .Add("task AttrFlow {In} {Out}\n"
+               "if {[attribute In minterms] > 50} {\n"
+               "  step Minimize {In} {Out} {espresso -o pleasure In}\n"
+               "} else {\n"
+               "  step Passthrough {In} {Out} {espresso -o equitott In}\n"
+               "}\n")
+          .ok());
+  ObjectId big = MustCreate("big", LogicNetwork{.minterms = 100, .seed = 1});
+  TaskInvocation inv;
+  inv.template_name = "AttrFlow";
+  inv.inputs = {big};
+  inv.output_names = {"big.out"};
+  auto rec = manager_.Invoke(inv);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_EQ(rec->steps[0].step_name, "Minimize");
+
+  ObjectId small = MustCreate("small",
+                              LogicNetwork{.minterms = 10, .seed = 1});
+  inv.inputs = {small};
+  inv.output_names = {"small.out"};
+  rec = manager_.Invoke(inv);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_EQ(rec->steps[0].step_name, "Passthrough");
+}
+
+TEST_F(TaskManagerTest, AttributeValuesAreCachedInTheStore) {
+  ASSERT_TRUE(library_
+                  .Add("task A {In} {}\n"
+                       "if {[attribute In minterms] > 0} {}\n")
+                  .ok());
+  ObjectId in = MustCreate("c", LogicNetwork{.minterms = 42});
+  oct::AttributeStore store;
+  TaskInvocation inv;
+  inv.template_name = "A";
+  inv.inputs = {in};
+  inv.attribute_store = &store;
+  ASSERT_TRUE(manager_.Invoke(inv).ok());
+  auto cached = store.GetValue(in, "minterms");
+  ASSERT_TRUE(cached.ok());
+  EXPECT_EQ(*cached, "42");
+  auto entry = store.Get(in, "minterms");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry->compute_tool, "espresso");
+}
+
+TEST_F(TaskManagerTest, UnknownToolAbortsTask) {
+  ASSERT_TRUE(library_
+                  .Add("task Bad {In} {Out}\n"
+                       "step S {In} {Out} {no_such_tool In}\n")
+                  .ok());
+  ObjectId in = MustCreate("c", LogicNetwork{});
+  TaskInvocation inv;
+  inv.template_name = "Bad";
+  inv.inputs = {in};
+  inv.output_names = {"o"};
+  auto rec = manager_.Invoke(inv);
+  EXPECT_FALSE(rec.ok());
+}
+
+TEST_F(TaskManagerTest, UnsatisfiableDependencyAborts) {
+  ASSERT_TRUE(library_
+                  .Add("task Stuck {In} {Out}\n"
+                       "step S {ghost} {Out} {espresso ghost}\n")
+                  .ok());
+  ObjectId in = MustCreate("c", LogicNetwork{});
+  TaskInvocation inv;
+  inv.template_name = "Stuck";
+  inv.inputs = {in};
+  inv.output_names = {"o"};
+  auto rec = manager_.Invoke(inv);
+  ASSERT_FALSE(rec.ok());
+  EXPECT_TRUE(rec.status().IsAborted());
+  EXPECT_NE(rec.status().message().find("unsatisfiable"),
+            std::string::npos);
+}
+
+TEST_F(TaskManagerTest, FailedStepWithoutHandlerAbortsAtCommit) {
+  ASSERT_TRUE(library_
+                  .Add("task F {In} {}\n"
+                       "step Check {In} {} {mosaicoRC In}\n")
+                  .ok());
+  // Unrouted layout: mosaicoRC fails; nothing handles it.
+  ObjectId in = MustCreate("c", Layout{.routed = false});
+  TaskInvocation inv;
+  inv.template_name = "F";
+  inv.inputs = {in};
+  auto rec = manager_.Invoke(inv);
+  ASSERT_FALSE(rec.ok());
+  EXPECT_NE(rec.status().message().find("not fully routed"),
+            std::string::npos);
+}
+
+TEST_F(TaskManagerTest, NestedSubtasksExpandInline) {
+  ASSERT_TRUE(library_
+                  .Add("task Inner {A} {B}\n"
+                       "step I1 {A} {B} {espresso A}\n")
+                  .ok());
+  ASSERT_TRUE(library_
+                  .Add("task Middle {X} {Y}\n"
+                       "subtask Inner {X} {mid}\n"
+                       "step M1 {mid} {Y} {espresso mid}\n")
+                  .ok());
+  ASSERT_TRUE(library_
+                  .Add("task Outer {P} {Q}\n"
+                       "subtask Middle {P} {out}\n"
+                       "step O1 {out} {Q} {espresso out}\n")
+                  .ok());
+  ObjectId in = MustCreate("c", LogicNetwork{.minterms = 64, .seed = 5});
+  TaskInvocation inv;
+  inv.template_name = "Outer";
+  inv.inputs = {in};
+  inv.output_names = {"c.min"};
+  auto rec = manager_.Invoke(inv);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  ASSERT_EQ(rec->steps.size(), 3u);
+  std::set<std::string> names;
+  for (const StepRecord& s : rec->steps) names.insert(s.step_name);
+  EXPECT_TRUE(names.count("I1"));
+  EXPECT_TRUE(names.count("M1"));
+  EXPECT_TRUE(names.count("O1"));
+}
+
+TEST_F(TaskManagerTest, SubtaskArityMismatchAbortsContainingTask) {
+  ASSERT_TRUE(library_.Add("task Inner {A B} {C}\nstep S {A} {C} "
+                           "{espresso A}\n")
+                  .ok());
+  ASSERT_TRUE(library_
+                  .Add("task Outer {P} {Q}\n"
+                       "subtask Inner {P} {Q}\n")  // Inner wants 2 inputs
+                  .ok());
+  ObjectId in = MustCreate("c", LogicNetwork{});
+  TaskInvocation inv;
+  inv.template_name = "Outer";
+  inv.inputs = {in};
+  inv.output_names = {"q"};
+  auto rec = manager_.Invoke(inv);
+  ASSERT_FALSE(rec.ok());
+  EXPECT_TRUE(rec.status().IsInvalidArgument());
+}
+
+TEST_F(TaskManagerTest, InvokeManyRunsTasksConcurrently) {
+  std::vector<TaskInvocation> invocations;
+  for (int i = 0; i < 3; ++i) {
+    ObjectId in = MustCreate("cell" + std::to_string(i),
+                             Layout{.num_cells = 10,
+                                    .area = 1000.0 + i,
+                                    .seed = static_cast<uint64_t>(i)});
+    TaskInvocation inv;
+    inv.template_name = "Padp";
+    inv.inputs = {in};
+    inv.output_names = {"out" + std::to_string(i)};
+    invocations.push_back(inv);
+  }
+  auto results = manager_.InvokeMany(invocations);
+  ASSERT_EQ(results.size(), 3u);
+  for (auto& r : results) {
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+  // Three padplace runs overlapped: the tasks used different hosts.
+  std::set<sprite::HostId> hosts;
+  for (auto& r : results) hosts.insert(r->steps[0].host);
+  EXPECT_GT(hosts.size(), 1u);
+  EXPECT_EQ(manager_.tasks_committed(), 3);
+}
+
+TEST_F(TaskManagerTest, RemigrationMovesStuckProcesses) {
+  // All remote hosts are owner-active at dispatch, so steps start on the
+  // home node; owners leave mid-run and re-migration picks the work up.
+  for (sprite::HostId h = 1; h < 4; ++h) {
+    ASSERT_TRUE(network_.SetOwnerActive(h, true).ok());
+    ASSERT_TRUE(network_.ScheduleOwnerEvent(h, 50000, false).ok());
+  }
+  ASSERT_TRUE(library_
+                  .Add("task Wide {In} {O1 O2 O3 O4}\n"
+                       "step A {In} {O1} {wolfe In}\n"
+                       "step B {In} {O2} {wolfe In}\n"
+                       "step C {In} {O3} {wolfe In}\n"
+                       "step D {In} {O4} {wolfe In}\n")
+                  .ok());
+  ObjectId in = MustCreate("cell", LogicNetwork{.literals = 2000,
+                                                .levels = 6,
+                                                .seed = 8});
+  TaskInvocation inv;
+  inv.template_name = "Wide";
+  inv.inputs = {in};
+  inv.output_names = {"a", "b", "c", "d"};
+  auto rec = manager_.Invoke(inv);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_GT(manager_.remigrations(), 0);
+}
+
+TEST_F(TaskManagerTest, HistoryRecordsActualInvocationStrings) {
+  ObjectId in = MustCreate("alu", Layout{.num_cells = 5, .area = 900.0});
+  TaskInvocation inv;
+  inv.template_name = "Padp";
+  inv.inputs = {in};
+  inv.output_names = {"alu.padded"};
+  auto rec = manager_.Invoke(inv);
+  ASSERT_TRUE(rec.ok());
+  // Formal names in the template's invocation line were replaced by the
+  // actual object names.
+  EXPECT_NE(rec->steps[0].invocation.find("alu.padded"),
+            std::string::npos);
+  EXPECT_NE(rec->steps[0].invocation.find("padplace"), std::string::npos);
+  EXPECT_EQ(rec->steps[0].invocation.find("Outcell"), std::string::npos);
+}
+
+TEST_F(TaskManagerTest, SingleAssignmentCreatesNewVersions) {
+  ObjectId in = MustCreate("alu", Layout{.num_cells = 5, .area = 900.0});
+  TaskInvocation inv;
+  inv.template_name = "Padp";
+  inv.inputs = {in};
+  inv.output_names = {"alu.padded"};
+  auto r1 = manager_.Invoke(inv);
+  auto r2 = manager_.Invoke(inv);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1->outputs[0].version, 1);
+  EXPECT_EQ(r2->outputs[0].version, 2);
+  // Both versions visible: updates never overwrite (§3.2).
+  EXPECT_TRUE(db_.Get(r1->outputs[0]).ok());
+  EXPECT_TRUE(db_.Get(r2->outputs[0]).ok());
+}
+
+}  // namespace
+}  // namespace papyrus::task

@@ -1,0 +1,403 @@
+#include <gtest/gtest.h>
+
+#include "tcl/interp.h"
+#include "tcl/parser.h"
+
+namespace papyrus::tcl {
+namespace {
+
+// --- Parser ------------------------------------------------------------
+
+TEST(ParserTest, SplitsCommandsOnNewlinesAndSemicolons) {
+  auto cmds = ParseScript("set a 27; set b test.C\nset c 3");
+  ASSERT_TRUE(cmds.ok());
+  ASSERT_EQ(cmds->size(), 3u);
+  EXPECT_EQ((*cmds)[0].words[0].text, "set");
+  EXPECT_EQ((*cmds)[1].words[2].text, "test.C");
+  EXPECT_EQ((*cmds)[2].words[1].text, "c");
+}
+
+TEST(ParserTest, BracedWordsAreLiteral) {
+  auto cmds = ParseScript("set b {xyz {b c d}}");
+  ASSERT_TRUE(cmds.ok());
+  ASSERT_EQ((*cmds)[0].words.size(), 3u);
+  EXPECT_EQ((*cmds)[0].words[2].kind, WordKind::kBraced);
+  EXPECT_EQ((*cmds)[0].words[2].text, "xyz {b c d}");
+}
+
+TEST(ParserTest, QuotedWordsGroup) {
+  auto cmds = ParseScript("set a \"This is a single operand\"");
+  ASSERT_TRUE(cmds.ok());
+  ASSERT_EQ((*cmds)[0].words.size(), 3u);
+  EXPECT_EQ((*cmds)[0].words[2].kind, WordKind::kQuoted);
+  EXPECT_EQ((*cmds)[0].words[2].text, "This is a single operand");
+}
+
+TEST(ParserTest, CommentsAreSkipped) {
+  auto cmds = ParseScript("# a comment\nset a 1\n  # another\nset b 2");
+  ASSERT_TRUE(cmds.ok());
+  EXPECT_EQ(cmds->size(), 2u);
+}
+
+TEST(ParserTest, SemicolonInsideBracesIsLiteral) {
+  auto cmds = ParseScript("set a {x; y}");
+  ASSERT_TRUE(cmds.ok());
+  ASSERT_EQ(cmds->size(), 1u);
+  EXPECT_EQ((*cmds)[0].words[2].text, "x; y");
+}
+
+TEST(ParserTest, BackslashNewlineContinuesCommand) {
+  auto cmds = ParseScript("set a \\\n 42");
+  ASSERT_TRUE(cmds.ok());
+  ASSERT_EQ(cmds->size(), 1u);
+  ASSERT_EQ((*cmds)[0].words.size(), 3u);
+  EXPECT_EQ((*cmds)[0].words[2].text, "42");
+}
+
+TEST(ParserTest, ErrorsOnUnbalancedConstructs) {
+  EXPECT_FALSE(ParseScript("set a {oops").ok());
+  EXPECT_FALSE(ParseScript("set a \"oops").ok());
+  EXPECT_FALSE(ParseScript("set a [oops").ok());
+  EXPECT_FALSE(ParseScript("set a {x}y").ok());
+}
+
+TEST(ParserTest, BracketsInBareWordsSpanWhitespace) {
+  auto cmds = ParseScript("set a x[cmd one two]y");
+  ASSERT_TRUE(cmds.ok());
+  ASSERT_EQ((*cmds)[0].words.size(), 3u);
+  EXPECT_EQ((*cmds)[0].words[2].text, "x[cmd one two]y");
+}
+
+TEST(ListTest, ParseSimpleList) {
+  auto items = ParseList("ab&c dd {a book {now is}}");
+  ASSERT_TRUE(items.ok());
+  ASSERT_EQ(items->size(), 3u);
+  EXPECT_EQ((*items)[0], "ab&c");
+  EXPECT_EQ((*items)[1], "dd");
+  EXPECT_EQ((*items)[2], "a book {now is}");
+}
+
+TEST(ListTest, NewlineSeparatesElements) {
+  auto items = ParseList("a\nb\nc");
+  ASSERT_TRUE(items.ok());
+  EXPECT_EQ(items->size(), 3u);
+}
+
+TEST(ListTest, FormatRoundTrips) {
+  std::vector<std::string> in = {"plain", "has space", "", "br{ace}s",
+                                 "semi;colon"};
+  auto out = ParseList(FormatList(in));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, in);
+}
+
+TEST(ListTest, EmptyElementQuoted) {
+  EXPECT_EQ(QuoteListElement(""), "{}");
+  EXPECT_EQ(QuoteListElement("x"), "x");
+  EXPECT_EQ(QuoteListElement("a b"), "{a b}");
+}
+
+// --- Interp core -------------------------------------------------------
+
+class InterpTest : public ::testing::Test {
+ protected:
+  Interp in_;
+
+  std::string MustEval(const std::string& script) {
+    auto r = in_.Eval(script);
+    EXPECT_TRUE(r.ok()) << script << " -> " << r.status().ToString();
+    return r.ok() ? *r : "";
+  }
+};
+
+TEST_F(InterpTest, SetAndVariableSubstitution) {
+  MustEval("set a 100");
+  MustEval("set b fg");
+  EXPECT_EQ(MustEval("set c Zs${a}d$b"), "Zs100dfg");
+}
+
+TEST_F(InterpTest, CommandSubstitution) {
+  MustEval("set a 5");
+  EXPECT_EQ(MustEval("set b x[set a]y"), "x5y");
+}
+
+TEST_F(InterpTest, UnknownCommandErrors) {
+  auto r = in_.Eval("no_such_command");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("invalid command name"),
+            std::string::npos);
+}
+
+TEST_F(InterpTest, UnknownVariableErrors) {
+  EXPECT_FALSE(in_.Eval("set b $missing").ok());
+}
+
+TEST_F(InterpTest, BackslashEscapes) {
+  EXPECT_EQ(MustEval("set a a\\$b"), "a$b");
+  EXPECT_EQ(MustEval("set nl \"x\\ny\""), "x\ny");
+}
+
+TEST_F(InterpTest, BracedArgumentsNotSubstituted) {
+  MustEval("set a 1");
+  EXPECT_EQ(MustEval("set b {$a}"), "$a");
+}
+
+TEST_F(InterpTest, IncrCommand) {
+  MustEval("set n 5");
+  EXPECT_EQ(MustEval("incr n"), "6");
+  EXPECT_EQ(MustEval("incr n 10"), "16");
+  EXPECT_FALSE(in_.Eval("incr missing").ok());
+}
+
+TEST_F(InterpTest, UnsetCommand) {
+  MustEval("set x 1");
+  MustEval("unset x");
+  EXPECT_FALSE(in_.VarExists("x"));
+  EXPECT_FALSE(in_.Eval("unset x").ok());
+}
+
+TEST_F(InterpTest, PutsCapturesOutput) {
+  MustEval("puts hello; puts world");
+  EXPECT_EQ(in_.TakeOutput(), "hello\nworld\n");
+  EXPECT_EQ(in_.output(), "");
+}
+
+// --- Expressions -------------------------------------------------------
+
+TEST_F(InterpTest, ArithmeticExpressions) {
+  EXPECT_EQ(MustEval("expr 1 + 2 * 3"), "7");
+  EXPECT_EQ(MustEval("expr (1 + 2) * 3"), "9");
+  EXPECT_EQ(MustEval("expr 7 / 2"), "3");
+  EXPECT_EQ(MustEval("expr 7 % 3"), "1");
+  EXPECT_EQ(MustEval("expr -4 + 1"), "-3");
+}
+
+TEST_F(InterpTest, PaperExpressionExamples) {
+  // "(4*2) > 7" from §4.2.1.
+  EXPECT_EQ(MustEval("expr {(4*2) > 7}"), "1");
+  MustEval("set a 4");
+  EXPECT_EQ(MustEval("expr {($a + 3) <= [set a]}"), "0");
+}
+
+TEST_F(InterpTest, ComparisonOperators) {
+  EXPECT_EQ(MustEval("expr 3 < 4"), "1");
+  EXPECT_EQ(MustEval("expr 3 >= 4"), "0");
+  EXPECT_EQ(MustEval("expr 3 == 3"), "1");
+  EXPECT_EQ(MustEval("expr 3 != 3"), "0");
+}
+
+TEST_F(InterpTest, StringComparison) {
+  EXPECT_EQ(MustEval("expr {\"abc\" == \"abc\"}"), "1");
+  EXPECT_EQ(MustEval("expr {\"abc\" < \"abd\"}"), "1");
+}
+
+TEST_F(InterpTest, LogicalOperators) {
+  EXPECT_EQ(MustEval("expr 1 && 0"), "0");
+  EXPECT_EQ(MustEval("expr 1 || 0"), "1");
+  EXPECT_EQ(MustEval("expr !1"), "0");
+  EXPECT_EQ(MustEval("expr 1 and 1"), "1");
+  EXPECT_EQ(MustEval("expr 0 or 0"), "0");
+  EXPECT_EQ(MustEval("expr not 0"), "1");
+}
+
+TEST_F(InterpTest, TernaryOperator) {
+  EXPECT_EQ(MustEval("expr 1 ? 10 : 20"), "10");
+  EXPECT_EQ(MustEval("expr 0 ? 10 : 20"), "20");
+}
+
+TEST_F(InterpTest, ExprErrors) {
+  EXPECT_FALSE(in_.Eval("expr 1 / 0").ok());
+  EXPECT_FALSE(in_.Eval("expr 1 +").ok());
+  EXPECT_FALSE(in_.Eval("expr {abc + 1}").ok());
+  EXPECT_FALSE(in_.Eval("expr (1").ok());
+}
+
+TEST_F(InterpTest, ExprSubstitutesVariablesItself) {
+  MustEval("set a 10");
+  EXPECT_EQ(MustEval("expr {$a > 5}"), "1");
+  EXPECT_EQ(MustEval("expr {[expr 2+3] * $a}"), "50");
+}
+
+// --- Control flow ------------------------------------------------------
+
+TEST_F(InterpTest, IfThenElse) {
+  MustEval("set a 2");
+  EXPECT_EQ(MustEval("if {$a > 1} {set b 1} {set b 0}"), "1");
+  EXPECT_EQ(MustEval("if {$a > 5} {set b 1} else {set b 0}"), "0");
+  EXPECT_EQ(MustEval("if {$a > 5} {set c 1} elseif {$a > 1} {set c 2} "
+                     "else {set c 3}"),
+            "2");
+  EXPECT_EQ(MustEval("if {$a > 5} then {set d 1} else {set d 9}"), "9");
+}
+
+TEST_F(InterpTest, IfWithoutElseYieldsEmpty) {
+  EXPECT_EQ(MustEval("if 0 {set x 1}"), "");
+}
+
+TEST_F(InterpTest, WhileLoop) {
+  MustEval("set i 0; set sum 0");
+  MustEval("while {$i < 5} {set sum [expr $sum + $i]; incr i}");
+  EXPECT_EQ(MustEval("set sum"), "10");
+}
+
+TEST_F(InterpTest, WhileBreakContinue) {
+  MustEval("set i 0; set n 0");
+  MustEval("while 1 {incr i; if {$i == 3} continue; if {$i > 6} break; "
+           "incr n}");
+  EXPECT_EQ(MustEval("set n"), "5");
+}
+
+TEST_F(InterpTest, ForLoop) {
+  MustEval("set sum 0");
+  MustEval("for {set i 1} {$i <= 4} {incr i} {set sum [expr $sum+$i]}");
+  EXPECT_EQ(MustEval("set sum"), "10");
+}
+
+TEST_F(InterpTest, ForeachLoop) {
+  MustEval("set out {}");
+  MustEval("foreach x {a b c} {append out $x$x}");
+  EXPECT_EQ(MustEval("set out"), "aabbcc");
+}
+
+TEST_F(InterpTest, BreakOutsideLoopIsError) {
+  EXPECT_FALSE(in_.Eval("break").ok());
+  EXPECT_FALSE(in_.Eval("continue").ok());
+}
+
+// --- Procs ------------------------------------------------------------
+
+TEST_F(InterpTest, ProcDefinitionAndCall) {
+  MustEval("proc double {x} {return [expr $x * 2]}");
+  EXPECT_EQ(MustEval("double 21"), "42");
+}
+
+TEST_F(InterpTest, ProcLocalScope) {
+  MustEval("set x global_value");
+  MustEval("proc touch {} {set x local; return $x}");
+  EXPECT_EQ(MustEval("touch"), "local");
+  EXPECT_EQ(MustEval("set x"), "global_value");
+}
+
+TEST_F(InterpTest, ProcGlobalLink) {
+  MustEval("set counter 0");
+  MustEval("proc bump {} {global counter; incr counter}");
+  MustEval("bump; bump");
+  EXPECT_EQ(MustEval("set counter"), "2");
+}
+
+TEST_F(InterpTest, ProcDefaultArguments) {
+  MustEval("proc greet {name {greeting hello}} "
+           "{return \"$greeting $name\"}");
+  EXPECT_EQ(MustEval("greet world"), "hello world");
+  EXPECT_EQ(MustEval("greet world hi"), "hi world");
+  EXPECT_FALSE(in_.Eval("greet").ok());
+}
+
+TEST_F(InterpTest, ProcVarargs) {
+  MustEval("proc count {first args} {return [llength $args]}");
+  EXPECT_EQ(MustEval("count a b c d"), "3");
+}
+
+TEST_F(InterpTest, ProcImplicitResultIsLastCommand) {
+  MustEval("proc last {} {set a 1; set b 2}");
+  EXPECT_EQ(MustEval("last"), "2");
+}
+
+TEST_F(InterpTest, RecursiveProc) {
+  MustEval("proc fact {n} {if {$n <= 1} {return 1}; "
+           "return [expr $n * [fact [expr $n - 1]]]}");
+  EXPECT_EQ(MustEval("fact 6"), "720");
+}
+
+TEST_F(InterpTest, RecursionLimitTriggers) {
+  in_.set_recursion_limit(20);
+  MustEval("proc loop {} {loop}");
+  EXPECT_FALSE(in_.Eval("loop").ok());
+}
+
+// --- Lists / strings / misc built-ins -----------------------------------
+
+TEST_F(InterpTest, ListCommands) {
+  EXPECT_EQ(MustEval("list a b {c d}"), "a b {c d}");
+  EXPECT_EQ(MustEval("llength {a b {c d}}"), "3");
+  EXPECT_EQ(MustEval("lindex {a b c} 1"), "b");
+  EXPECT_EQ(MustEval("lindex {a b c} end"), "c");
+  EXPECT_EQ(MustEval("lindex {a b c} 9"), "");
+  EXPECT_EQ(MustEval("lrange {a b c d e} 1 3"), "b c d");
+  EXPECT_EQ(MustEval("concat {a b} {} {c}"), "a b c");
+  EXPECT_EQ(MustEval("lsearch {x y z} y"), "1");
+  EXPECT_EQ(MustEval("lsearch {x y z} q"), "-1");
+}
+
+TEST_F(InterpTest, LAppend) {
+  MustEval("set l {}");
+  MustEval("lappend l one; lappend l {t w o}");
+  EXPECT_EQ(MustEval("llength $l"), "2");
+  EXPECT_EQ(MustEval("lindex $l 1"), "t w o");
+}
+
+TEST_F(InterpTest, JoinAndSplit) {
+  EXPECT_EQ(MustEval("join {a b c} -"), "a-b-c");
+  EXPECT_EQ(MustEval("llength [split a:b:c :]"), "3");
+}
+
+TEST_F(InterpTest, StringCommands) {
+  EXPECT_EQ(MustEval("string length hello"), "5");
+  EXPECT_EQ(MustEval("string index hello 1"), "e");
+  EXPECT_EQ(MustEval("string compare a b"), "-1");
+  EXPECT_EQ(MustEval("string match *.blif cell.blif"), "1");
+  EXPECT_EQ(MustEval("string match *.blif cell.pla"), "0");
+  EXPECT_EQ(MustEval("string match c?ll cell"), "1");
+  EXPECT_EQ(MustEval("string tolower ABc"), "abc");
+  EXPECT_EQ(MustEval("string toupper abC"), "ABC");
+  EXPECT_EQ(MustEval("string trim {  x  }"), "x");
+}
+
+TEST_F(InterpTest, CatchAndError) {
+  EXPECT_EQ(MustEval("catch {error boom} msg"), "1");
+  EXPECT_EQ(MustEval("set msg"), "boom");
+  EXPECT_EQ(MustEval("catch {set ok 1}"), "0");
+}
+
+TEST_F(InterpTest, InfoCommands) {
+  MustEval("set v 1");
+  EXPECT_EQ(MustEval("info exists v"), "1");
+  EXPECT_EQ(MustEval("info exists nope"), "0");
+  EXPECT_EQ(MustEval("info level"), "0");
+  MustEval("proc lvl {} {return [info level]}");
+  EXPECT_EQ(MustEval("lvl"), "1");
+}
+
+TEST_F(InterpTest, EvalCommand) {
+  MustEval("set script {set q 7}");
+  MustEval("eval $script");
+  EXPECT_EQ(MustEval("set q"), "7");
+}
+
+// --- Application command registration (the TDL extension point) ---------
+
+TEST_F(InterpTest, ApplicationCommandsCanBeRegistered) {
+  std::vector<std::vector<std::string>> calls;
+  in_.RegisterCommand("step",
+                      [&](Interp&, const std::vector<std::string>& argv) {
+                        calls.push_back(argv);
+                        return EvalResult::Ok("dispatched");
+                      });
+  EXPECT_EQ(MustEval("step NetlistCompile {Incell} {cell.blif}"),
+            "dispatched");
+  ASSERT_EQ(calls.size(), 1u);
+  EXPECT_EQ(calls[0][1], "NetlistCompile");
+  EXPECT_EQ(calls[0][2], "Incell");
+  EXPECT_TRUE(in_.HasCommand("step"));
+  EXPECT_TRUE(in_.UnregisterCommand("step"));
+  EXPECT_FALSE(in_.HasCommand("step"));
+}
+
+TEST_F(InterpTest, CommandsExecutedCounterAdvances) {
+  int64_t before = in_.commands_executed();
+  MustEval("set a 1; set b 2");
+  EXPECT_EQ(in_.commands_executed(), before + 2);
+}
+
+}  // namespace
+}  // namespace papyrus::tcl

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "tdl/template.h"
+
+namespace papyrus::tdl {
+namespace {
+
+TEST(TemplateHeaderTest, ParsesTaskCommand) {
+  auto tmpl = ParseTemplateHeader(
+      "task Padp {Incell} {Outcell}\n"
+      "step Pads_Placement {Incell} {Outcell} {padplace -c -o Outcell "
+      "Incell}\n");
+  ASSERT_TRUE(tmpl.ok());
+  EXPECT_EQ(tmpl->name, "Padp");
+  ASSERT_EQ(tmpl->formal_inputs.size(), 1u);
+  EXPECT_EQ(tmpl->formal_inputs[0], "Incell");
+  ASSERT_EQ(tmpl->formal_outputs.size(), 1u);
+  EXPECT_EQ(tmpl->formal_outputs[0], "Outcell");
+}
+
+TEST(TemplateHeaderTest, MultipleFormals) {
+  auto tmpl = ParseTemplateHeader(
+      "task T {A B C} {X Y}\nstep S {A} {X} {noop A}\n");
+  ASSERT_TRUE(tmpl.ok());
+  EXPECT_EQ(tmpl->formal_inputs.size(), 3u);
+  EXPECT_EQ(tmpl->formal_outputs.size(), 2u);
+}
+
+TEST(TemplateHeaderTest, EmptyFormalLists) {
+  auto tmpl = ParseTemplateHeader("task T {} {}\n");
+  ASSERT_TRUE(tmpl.ok());
+  EXPECT_TRUE(tmpl->formal_inputs.empty());
+  EXPECT_TRUE(tmpl->formal_outputs.empty());
+}
+
+TEST(TemplateHeaderTest, LeadingCommentsAllowed) {
+  auto tmpl = ParseTemplateHeader("# a template\ntask T {} {}\n");
+  ASSERT_TRUE(tmpl.ok());
+  EXPECT_EQ(tmpl->name, "T");
+}
+
+TEST(TemplateHeaderTest, RejectsMalformedHeaders) {
+  EXPECT_FALSE(ParseTemplateHeader("").ok());
+  EXPECT_FALSE(ParseTemplateHeader("step S {} {} {noop}").ok());
+  EXPECT_FALSE(ParseTemplateHeader("task OnlyName").ok());
+  EXPECT_FALSE(ParseTemplateHeader("task {} {} {}").ok());
+  EXPECT_FALSE(ParseTemplateHeader("task T {A} {B} extra").ok());
+}
+
+TEST(TemplateLibraryTest, AddFindRemove) {
+  TemplateLibrary lib;
+  ASSERT_TRUE(lib.Add("task T {A} {B}\nstep S {A} {B} {noop A}\n").ok());
+  EXPECT_TRUE(lib.Has("T"));
+  auto t = lib.Find("T");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->name, "T");
+  EXPECT_TRUE(lib.Find("missing").status().IsNotFound());
+  EXPECT_TRUE(lib.Remove("T"));
+  EXPECT_FALSE(lib.Has("T"));
+  EXPECT_FALSE(lib.Remove("T"));
+}
+
+TEST(TemplateLibraryTest, AddReplacesSameName) {
+  TemplateLibrary lib;
+  ASSERT_TRUE(lib.Add("task T {A} {B}\n").ok());
+  ASSERT_TRUE(lib.Add("task T {A C} {B}\n").ok());
+  auto t = lib.Find("T");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->formal_inputs.size(), 2u);
+  EXPECT_EQ(lib.size(), 1u);
+}
+
+TEST(TemplateLibraryTest, ThesisTemplatesRegister) {
+  TemplateLibrary lib;
+  ASSERT_TRUE(RegisterThesisTemplates(&lib).ok());
+  for (const char* name :
+       {"Padp", "Structure_Synthesis", "Mosaico", "Create_Logic_Description",
+        "Logic_Simulation", "Standard_Cell_Place_and_Route", "Place_Pads",
+        "PLA_Generation", "Macro_Place_and_Route"}) {
+    EXPECT_TRUE(lib.Has(name)) << name;
+  }
+  auto ss = lib.Find("Structure_Synthesis");
+  ASSERT_TRUE(ss.ok());
+  ASSERT_EQ((*ss)->formal_inputs.size(), 2u);
+  EXPECT_EQ((*ss)->formal_inputs[0], "Incell");
+  EXPECT_EQ((*ss)->formal_inputs[1], "Musa_Command");
+  ASSERT_EQ((*ss)->formal_outputs.size(), 2u);
+}
+
+TEST(TemplateLibraryTest, TemplateNamesSorted) {
+  TemplateLibrary lib;
+  ASSERT_TRUE(lib.Add("task Zeta {} {}\n").ok());
+  ASSERT_TRUE(lib.Add("task Alpha {} {}\n").ok());
+  auto names = lib.TemplateNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "Alpha");
+  EXPECT_EQ(names[1], "Zeta");
+}
+
+}  // namespace
+}  // namespace papyrus::tdl

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "tdl/template.h"
+#include "tdl/template_layout.h"
+
+namespace papyrus::tdl {
+namespace {
+
+class TemplateLayoutTest : public ::testing::Test {
+ protected:
+  TemplateLayoutTest() {
+    EXPECT_TRUE(RegisterThesisTemplates(&library_).ok());
+  }
+  TemplateLibrary library_;
+};
+
+TEST_F(TemplateLayoutTest, ExtractsStepsFromLinearTemplate) {
+  auto steps = ExtractSteps(
+      "task T {A} {B}\n"
+      "step S1 {A} {tmp} {espresso A}\n"
+      "step S2 {tmp} {B} {pleasure tmp}\n",
+      nullptr);
+  ASSERT_TRUE(steps.ok());
+  ASSERT_EQ(steps->size(), 2u);
+  EXPECT_EQ((*steps)[0].name, "S1");
+  EXPECT_EQ((*steps)[0].tool, "espresso");
+  EXPECT_EQ((*steps)[1].inputs[0], "tmp");
+  EXPECT_FALSE((*steps)[0].conditional);
+}
+
+TEST_F(TemplateLayoutTest, ExtractsConditionalSteps) {
+  auto steps = ExtractSteps(
+      "task T {A} {B}\n"
+      "step S1 {A} {B} {sparcs A}\n"
+      "if {$status} {step S2 {A} {B} {sparcs -v A} {ResumedStep 1}}\n",
+      nullptr);
+  ASSERT_TRUE(steps.ok());
+  ASSERT_EQ(steps->size(), 2u);
+  EXPECT_FALSE((*steps)[0].conditional);
+  EXPECT_TRUE((*steps)[1].conditional);
+  EXPECT_TRUE((*steps)[1].has_resumed_step);
+  EXPECT_EQ((*steps)[1].resumed_step, 1);
+}
+
+TEST_F(TemplateLayoutTest, ExtractsOptionalFields) {
+  auto steps = ExtractSteps(
+      "task T {} {}\n"
+      "step {3 S} {} {} {edit} {NonMigrate} {ControlDependency 1 2}\n",
+      nullptr);
+  ASSERT_TRUE(steps.ok());
+  ASSERT_EQ(steps->size(), 1u);
+  EXPECT_EQ((*steps)[0].user_id, 3);
+  EXPECT_FALSE((*steps)[0].migratable);
+  EXPECT_EQ((*steps)[0].control_deps, (std::vector<int>{1, 2}));
+}
+
+TEST_F(TemplateLayoutTest, SubtaskPlaceholderWithoutLibrary) {
+  auto tmpl = library_.Find("Structure_Synthesis");
+  ASSERT_TRUE(tmpl.ok());
+  auto steps = ExtractSteps((*tmpl)->script, nullptr);
+  ASSERT_TRUE(steps.ok());
+  bool placeholder = false;
+  for (const StaticStep& s : *steps) {
+    if (s.tool == "<subtask>" && s.name == "Padp") placeholder = true;
+  }
+  EXPECT_TRUE(placeholder);
+}
+
+TEST_F(TemplateLayoutTest, SubtaskExpansionWithLibrary) {
+  auto tmpl = library_.Find("Structure_Synthesis");
+  ASSERT_TRUE(tmpl.ok());
+  auto steps = ExtractSteps((*tmpl)->script, &library_);
+  ASSERT_TRUE(steps.ok());
+  EXPECT_EQ(steps->size(), 6u);
+  bool expanded = false;
+  for (const StaticStep& s : *steps) {
+    if (s.name == "Pads_Placement") {
+      expanded = true;
+      EXPECT_TRUE(s.from_subtask);
+      // Formal names mapped through the subtask call: the subtask's
+      // Incell is the caller's cell.logic.
+      ASSERT_EQ(s.inputs.size(), 1u);
+      EXPECT_EQ(s.inputs[0], "cell.logic");
+    }
+  }
+  EXPECT_TRUE(expanded);
+}
+
+TEST_F(TemplateLayoutTest, LayoutLevelsFollowDependencies) {
+  auto tmpl = library_.Find("Structure_Synthesis");
+  ASSERT_TRUE(tmpl.ok());
+  auto steps = ExtractSteps((*tmpl)->script, &library_);
+  ASSERT_TRUE(steps.ok());
+  TemplateLayout layout = ComputeTemplateLayout(*steps);
+  // NetlistCompile -> Logic_Synthesis -> Pads_Placement ->
+  // Place_and_Route -> {Simulate, Chip_Statistics_Collection}.
+  ASSERT_EQ(layout.levels.size(), 5u);
+  EXPECT_EQ(layout.levels[0].size(), 1u);
+  EXPECT_EQ(layout.levels[4].size(), 2u);
+  auto name_at = [&](size_t level, size_t k) {
+    return (*steps)[layout.levels[level][k]].name;
+  };
+  EXPECT_EQ(name_at(0, 0), "NetlistCompile");
+  EXPECT_EQ(name_at(3, 0), "Place_and_Route");
+}
+
+TEST_F(TemplateLayoutTest, ControlDependencyAffectsLevels) {
+  auto steps = ExtractSteps(
+      "task T {A} {X Y}\n"
+      "step {1 P} {A} {X} {wolfe A}\n"
+      "step Q {A} {Y} {musa A} {ControlDependency 1}\n",
+      nullptr);
+  ASSERT_TRUE(steps.ok());
+  TemplateLayout layout = ComputeTemplateLayout(*steps);
+  ASSERT_EQ(layout.levels.size(), 2u);  // Q must follow P
+}
+
+TEST_F(TemplateLayoutTest, RenderMosaico) {
+  auto tmpl = library_.Find("Mosaico");
+  ASSERT_TRUE(tmpl.ok());
+  auto text = RenderTemplate(**tmpl, &library_);
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("Task Mosaico"), std::string::npos);
+  EXPECT_NE(text->find("[?Vertical_Compaction]"), std::string::npos);
+  EXPECT_NE(text->find("..abort..> after"), std::string::npos);
+  EXPECT_NE(text->find("==control==>"), std::string::npos);
+  EXPECT_NE(text->find("--grOutput-->"), std::string::npos);
+}
+
+TEST_F(TemplateLayoutTest, RenderMarksNonMigratableSteps) {
+  auto tmpl = library_.Find("Create_Logic_Description");
+  ASSERT_TRUE(tmpl.ok());
+  auto text = RenderTemplate(**tmpl, &library_);
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("[Enter_Logic (home)]"), std::string::npos);
+}
+
+TEST_F(TemplateLayoutTest, AllThesisTemplatesRender) {
+  for (const std::string& name : library_.TemplateNames()) {
+    auto tmpl = library_.Find(name);
+    ASSERT_TRUE(tmpl.ok());
+    auto text = RenderTemplate(**tmpl, &library_);
+    EXPECT_TRUE(text.ok()) << name << ": " << text.status().ToString();
+    EXPECT_FALSE(text->empty()) << name;
+  }
+}
+
+TEST_F(TemplateLayoutTest, RejectsMalformedTemplates) {
+  EXPECT_FALSE(ExtractSteps("task T {} {}\nstep OnlyName\n", nullptr).ok());
+  EXPECT_FALSE(
+      ExtractSteps("task T {} {}\nsubtask Missing {a} {b}\n", &library_)
+          .ok());
+}
+
+}  // namespace
+}  // namespace papyrus::tdl
