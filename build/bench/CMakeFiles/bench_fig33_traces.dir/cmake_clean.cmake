@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig33_traces.dir/bench_fig33_traces.cc.o"
+  "CMakeFiles/bench_fig33_traces.dir/bench_fig33_traces.cc.o.d"
+  "bench_fig33_traces"
+  "bench_fig33_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig33_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig34_resumed_state.dir/bench_fig34_resumed_state.cc.o"
+  "CMakeFiles/bench_fig34_resumed_state.dir/bench_fig34_resumed_state.cc.o.d"
+  "bench_fig34_resumed_state"
+  "bench_fig34_resumed_state.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig34_resumed_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig34_resumed_state.
+# This may be replaced when dependencies are built.

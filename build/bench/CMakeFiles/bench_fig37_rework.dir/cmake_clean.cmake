@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig37_rework.dir/bench_fig37_rework.cc.o"
+  "CMakeFiles/bench_fig37_rework.dir/bench_fig37_rework.cc.o.d"
+  "bench_fig37_rework"
+  "bench_fig37_rework.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig37_rework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig43_mosaico.dir/bench_fig43_mosaico.cc.o"
+  "CMakeFiles/bench_fig43_mosaico.dir/bench_fig43_mosaico.cc.o.d"
+  "bench_fig43_mosaico"
+  "bench_fig43_mosaico.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig43_mosaico.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

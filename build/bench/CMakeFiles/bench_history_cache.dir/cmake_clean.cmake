@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_history_cache.dir/bench_history_cache.cc.o"
+  "CMakeFiles/bench_history_cache.dir/bench_history_cache.cc.o.d"
+  "bench_history_cache"
+  "bench_history_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_history_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_panzoom.dir/bench_panzoom.cc.o"
+  "CMakeFiles/bench_panzoom.dir/bench_panzoom.cc.o.d"
+  "bench_panzoom"
+  "bench_panzoom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_panzoom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parallelism.dir/bench_parallelism.cc.o"
+  "CMakeFiles/bench_parallelism.dir/bench_parallelism.cc.o.d"
+  "bench_parallelism"
+  "bench_parallelism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reclamation.dir/bench_reclamation.cc.o"
+  "CMakeFiles/bench_reclamation.dir/bench_reclamation.cc.o.d"
+  "bench_reclamation"
+  "bench_reclamation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reclamation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

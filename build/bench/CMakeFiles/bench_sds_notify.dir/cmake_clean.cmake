@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sds_notify.dir/bench_sds_notify.cc.o"
+  "CMakeFiles/bench_sds_notify.dir/bench_sds_notify.cc.o.d"
+  "bench_sds_notify"
+  "bench_sds_notify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sds_notify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

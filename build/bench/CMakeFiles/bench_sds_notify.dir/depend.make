@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sds_notify.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tcl.dir/bench_tcl.cc.o"
+  "CMakeFiles/bench_tcl.dir/bench_tcl.cc.o.d"
+  "bench_tcl"
+  "bench_tcl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tcl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

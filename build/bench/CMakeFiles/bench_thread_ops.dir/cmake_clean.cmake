@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thread_ops.dir/bench_thread_ops.cc.o"
+  "CMakeFiles/bench_thread_ops.dir/bench_thread_ops.cc.o.d"
+  "bench_thread_ops"
+  "bench_thread_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thread_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

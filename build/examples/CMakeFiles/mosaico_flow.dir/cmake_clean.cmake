@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mosaico_flow.dir/mosaico_flow.cpp.o"
+  "CMakeFiles/mosaico_flow.dir/mosaico_flow.cpp.o.d"
+  "mosaico_flow"
+  "mosaico_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mosaico_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/papyrus_shell.dir/papyrus_shell.cpp.o"
+  "CMakeFiles/papyrus_shell.dir/papyrus_shell.cpp.o.d"
+  "papyrus_shell"
+  "papyrus_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papyrus_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for papyrus_shell.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shifter_exploration.dir/shifter_exploration.cpp.o"
+  "CMakeFiles/shifter_exploration.dir/shifter_exploration.cpp.o.d"
+  "shifter_exploration"
+  "shifter_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shifter_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for shifter_exploration.
+# This may be replaced when dependencies are built.

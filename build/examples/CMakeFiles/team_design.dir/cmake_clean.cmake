@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/team_design.dir/team_design.cpp.o"
+  "CMakeFiles/team_design.dir/team_design.cpp.o.d"
+  "team_design"
+  "team_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/team_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/activity/activity_manager.cc" "src/CMakeFiles/papyrus.dir/activity/activity_manager.cc.o" "gcc" "src/CMakeFiles/papyrus.dir/activity/activity_manager.cc.o.d"
+  "/root/repo/src/activity/design_thread.cc" "src/CMakeFiles/papyrus.dir/activity/design_thread.cc.o" "gcc" "src/CMakeFiles/papyrus.dir/activity/design_thread.cc.o.d"
+  "/root/repo/src/activity/display.cc" "src/CMakeFiles/papyrus.dir/activity/display.cc.o" "gcc" "src/CMakeFiles/papyrus.dir/activity/display.cc.o.d"
+  "/root/repo/src/activity/persistence.cc" "src/CMakeFiles/papyrus.dir/activity/persistence.cc.o" "gcc" "src/CMakeFiles/papyrus.dir/activity/persistence.cc.o.d"
+  "/root/repo/src/activity/thread_ops.cc" "src/CMakeFiles/papyrus.dir/activity/thread_ops.cc.o" "gcc" "src/CMakeFiles/papyrus.dir/activity/thread_ops.cc.o.d"
+  "/root/repo/src/base/clock.cc" "src/CMakeFiles/papyrus.dir/base/clock.cc.o" "gcc" "src/CMakeFiles/papyrus.dir/base/clock.cc.o.d"
+  "/root/repo/src/base/status.cc" "src/CMakeFiles/papyrus.dir/base/status.cc.o" "gcc" "src/CMakeFiles/papyrus.dir/base/status.cc.o.d"
+  "/root/repo/src/base/strings.cc" "src/CMakeFiles/papyrus.dir/base/strings.cc.o" "gcc" "src/CMakeFiles/papyrus.dir/base/strings.cc.o.d"
+  "/root/repo/src/cadtools/measurements.cc" "src/CMakeFiles/papyrus.dir/cadtools/measurements.cc.o" "gcc" "src/CMakeFiles/papyrus.dir/cadtools/measurements.cc.o.d"
+  "/root/repo/src/cadtools/standard_tools.cc" "src/CMakeFiles/papyrus.dir/cadtools/standard_tools.cc.o" "gcc" "src/CMakeFiles/papyrus.dir/cadtools/standard_tools.cc.o.d"
+  "/root/repo/src/cadtools/tool.cc" "src/CMakeFiles/papyrus.dir/cadtools/tool.cc.o" "gcc" "src/CMakeFiles/papyrus.dir/cadtools/tool.cc.o.d"
+  "/root/repo/src/core/papyrus.cc" "src/CMakeFiles/papyrus.dir/core/papyrus.cc.o" "gcc" "src/CMakeFiles/papyrus.dir/core/papyrus.cc.o.d"
+  "/root/repo/src/meta/adg.cc" "src/CMakeFiles/papyrus.dir/meta/adg.cc.o" "gcc" "src/CMakeFiles/papyrus.dir/meta/adg.cc.o.d"
+  "/root/repo/src/meta/inference.cc" "src/CMakeFiles/papyrus.dir/meta/inference.cc.o" "gcc" "src/CMakeFiles/papyrus.dir/meta/inference.cc.o.d"
+  "/root/repo/src/meta/retrace.cc" "src/CMakeFiles/papyrus.dir/meta/retrace.cc.o" "gcc" "src/CMakeFiles/papyrus.dir/meta/retrace.cc.o.d"
+  "/root/repo/src/meta/tsd.cc" "src/CMakeFiles/papyrus.dir/meta/tsd.cc.o" "gcc" "src/CMakeFiles/papyrus.dir/meta/tsd.cc.o.d"
+  "/root/repo/src/oct/attribute_store.cc" "src/CMakeFiles/papyrus.dir/oct/attribute_store.cc.o" "gcc" "src/CMakeFiles/papyrus.dir/oct/attribute_store.cc.o.d"
+  "/root/repo/src/oct/database.cc" "src/CMakeFiles/papyrus.dir/oct/database.cc.o" "gcc" "src/CMakeFiles/papyrus.dir/oct/database.cc.o.d"
+  "/root/repo/src/oct/design_data.cc" "src/CMakeFiles/papyrus.dir/oct/design_data.cc.o" "gcc" "src/CMakeFiles/papyrus.dir/oct/design_data.cc.o.d"
+  "/root/repo/src/oct/object_id.cc" "src/CMakeFiles/papyrus.dir/oct/object_id.cc.o" "gcc" "src/CMakeFiles/papyrus.dir/oct/object_id.cc.o.d"
+  "/root/repo/src/sprite/network.cc" "src/CMakeFiles/papyrus.dir/sprite/network.cc.o" "gcc" "src/CMakeFiles/papyrus.dir/sprite/network.cc.o.d"
+  "/root/repo/src/storage/reclamation.cc" "src/CMakeFiles/papyrus.dir/storage/reclamation.cc.o" "gcc" "src/CMakeFiles/papyrus.dir/storage/reclamation.cc.o.d"
+  "/root/repo/src/sync/sds.cc" "src/CMakeFiles/papyrus.dir/sync/sds.cc.o" "gcc" "src/CMakeFiles/papyrus.dir/sync/sds.cc.o.d"
+  "/root/repo/src/task/progress_view.cc" "src/CMakeFiles/papyrus.dir/task/progress_view.cc.o" "gcc" "src/CMakeFiles/papyrus.dir/task/progress_view.cc.o.d"
+  "/root/repo/src/task/task_manager.cc" "src/CMakeFiles/papyrus.dir/task/task_manager.cc.o" "gcc" "src/CMakeFiles/papyrus.dir/task/task_manager.cc.o.d"
+  "/root/repo/src/tcl/builtins.cc" "src/CMakeFiles/papyrus.dir/tcl/builtins.cc.o" "gcc" "src/CMakeFiles/papyrus.dir/tcl/builtins.cc.o.d"
+  "/root/repo/src/tcl/expr.cc" "src/CMakeFiles/papyrus.dir/tcl/expr.cc.o" "gcc" "src/CMakeFiles/papyrus.dir/tcl/expr.cc.o.d"
+  "/root/repo/src/tcl/interp.cc" "src/CMakeFiles/papyrus.dir/tcl/interp.cc.o" "gcc" "src/CMakeFiles/papyrus.dir/tcl/interp.cc.o.d"
+  "/root/repo/src/tcl/parser.cc" "src/CMakeFiles/papyrus.dir/tcl/parser.cc.o" "gcc" "src/CMakeFiles/papyrus.dir/tcl/parser.cc.o.d"
+  "/root/repo/src/tdl/template.cc" "src/CMakeFiles/papyrus.dir/tdl/template.cc.o" "gcc" "src/CMakeFiles/papyrus.dir/tdl/template.cc.o.d"
+  "/root/repo/src/tdl/template_layout.cc" "src/CMakeFiles/papyrus.dir/tdl/template_layout.cc.o" "gcc" "src/CMakeFiles/papyrus.dir/tdl/template_layout.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cadtools_test.dir/cadtools_test.cc.o"
+  "CMakeFiles/cadtools_test.dir/cadtools_test.cc.o.d"
+  "cadtools_test"
+  "cadtools_test.pdb"
+  "cadtools_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cadtools_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/display_test.dir/display_test.cc.o"
+  "CMakeFiles/display_test.dir/display_test.cc.o.d"
+  "display_test"
+  "display_test.pdb"
+  "display_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/display_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meta_test.dir/meta_test.cc.o"
+  "CMakeFiles/meta_test.dir/meta_test.cc.o.d"
+  "meta_test"
+  "meta_test.pdb"
+  "meta_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

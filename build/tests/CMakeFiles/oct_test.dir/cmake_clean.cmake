@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oct_test.dir/oct_test.cc.o"
+  "CMakeFiles/oct_test.dir/oct_test.cc.o.d"
+  "oct_test"
+  "oct_test.pdb"
+  "oct_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oct_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sprite_test.dir/sprite_test.cc.o"
+  "CMakeFiles/sprite_test.dir/sprite_test.cc.o.d"
+  "sprite_test"
+  "sprite_test.pdb"
+  "sprite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sprite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcl_test.dir/tcl_test.cc.o"
+  "CMakeFiles/tcl_test.dir/tcl_test.cc.o.d"
+  "tcl_test"
+  "tcl_test.pdb"
+  "tcl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdl_test.dir/tdl_test.cc.o"
+  "CMakeFiles/tdl_test.dir/tdl_test.cc.o.d"
+  "tdl_test"
+  "tdl_test.pdb"
+  "tdl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/template_layout_test.dir/template_layout_test.cc.o"
+  "CMakeFiles/template_layout_test.dir/template_layout_test.cc.o.d"
+  "template_layout_test"
+  "template_layout_test.pdb"
+  "template_layout_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/template_layout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
