@@ -1,5 +1,6 @@
 #include "activity/persistence.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -40,6 +41,19 @@ int64_t ParseI64(const std::string& s) {
   int64_t v = 0;
   (void)ParseInt64(s, &v);
   return v;
+}
+
+std::string FormatHex(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, v);
+  return buf;
+}
+
+bool ParseHex(const std::string& s, uint64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtoull(s.c_str(), &end, 16);
+  return end != nullptr && *end == '\0';
 }
 
 void AppendPayload(const oct::DesignPayload& p, std::ostringstream* out) {
@@ -131,119 +145,155 @@ void AppendObjectList(const char* tag, int owner,
   }
 }
 
-}  // namespace
+// --- format version 2: per-line checksums + stream trailer ---------------
 
-std::string SerializeDatabase(const oct::OctDatabase& db) {
+/// Wraps a stream of body lines into a v2 snapshot: `header`, then each
+/// body line with its ` !<hex>` FNV-1a checksum, then the
+/// `end <count> <hex>` trailer covering the concatenated bodies.
+std::string AssembleV2(const std::string& header,
+                       const std::string& body_text) {
   std::ostringstream out;
-  out << "papyrus-db 1\n";
-  // Collect and emit in (name, version) order so restore sees versions
-  // sequentially.
-  std::map<oct::ObjectId, const oct::ObjectRecord*> ordered;
-  db.ForEach([&](const oct::ObjectRecord& rec) {
-    ordered[rec.id] = &rec;
-  });
-  for (const auto& [id, rec] : ordered) {
-    out << "object " << EncField(id.name) << ' ' << id.version << ' '
-        << EncField(rec->creator_tool) << ' ' << rec->created_micros
-        << ' ' << rec->last_access_micros << ' ' << rec->size_bytes << ' '
-        << rec->visible << ' ' << rec->reclaimed << ' ';
-    AppendPayload(rec->payload, &out);
-    out << '\n';
+  out << header << '\n';
+  std::string stream_text;
+  int64_t count = 0;
+  for (const std::string& body : SplitLines(body_text)) {
+    if (body.empty()) continue;
+    out << body << " !" << FormatHex(Fnv1a(body)) << '\n';
+    stream_text += body;
+    stream_text += '\n';
+    ++count;
   }
-  out << "end\n";
+  out << "end " << count << ' ' << FormatHex(Fnv1a(stream_text)) << '\n';
   return out.str();
 }
 
-Result<std::unique_ptr<oct::OctDatabase>> RestoreDatabase(
-    const std::string& text, Clock* clock) {
-  auto db = std::make_unique<oct::OctDatabase>(clock);
-  std::vector<std::string> lines = SplitLines(text);
-  if (lines.empty() || !StartsWith(lines[0], "papyrus-db")) {
-    return Status::InvalidArgument("not a papyrus database snapshot");
+/// Splits a v2 record line into its body and checksum and verifies them.
+Result<std::string> CheckLine(const std::string& line) {
+  size_t sp = line.rfind(' ');
+  if (sp == std::string::npos || sp + 2 >= line.size() ||
+      line[sp + 1] != '!') {
+    return Status::InvalidArgument("record line missing checksum");
   }
+  uint64_t want = 0;
+  if (!ParseHex(line.substr(sp + 2), &want)) {
+    return Status::InvalidArgument("bad checksum field");
+  }
+  std::string body = line.substr(0, sp);
+  if (Fnv1a(body) != want) {
+    return Status::InvalidArgument("checksum mismatch");
+  }
+  return body;
+}
+
+/// Every '~'-prefixed (percent-encoded) field must decode strictly; a
+/// malformed escape in a line that passed its checksum is still damage.
+bool StrictFieldsOk(const std::vector<std::string>& f) {
+  for (const std::string& field : f) {
+    if (field.empty() || field[0] != '~') continue;
+    if (!PercentDecodeStrict(std::string_view(field).substr(1)).ok()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct V2Scan {
+  /// Verified record bodies, already field-split.
+  std::vector<std::vector<std::string>> records;
+  bool clean = false;   // trailer present and it verified
+  int64_t dropped = 0;  // record lines lost to damage
+};
+
+/// Walks a v2 snapshot and keeps the longest valid prefix: stops at the
+/// first line whose checksum (or strict field decoding, or the final
+/// trailer) fails, counting everything after as dropped.
+V2Scan ScanV2(const std::vector<std::string>& lines) {
+  V2Scan scan;
+  std::string stream_text;
+  auto drop_rest = [&](size_t from) {
+    for (size_t k = from; k < lines.size(); ++k) {
+      if (!lines[k].empty() && !StartsWith(lines[k], "end ")) {
+        ++scan.dropped;
+      }
+    }
+  };
   for (size_t i = 1; i < lines.size(); ++i) {
-    std::vector<std::string> f = SplitWhitespace(lines[i]);
-    if (f.empty() || f[0] == "end") continue;
-    if (f[0] != "object" || f.size() < 9) {
-      return Status::InvalidArgument("bad database line: " + lines[i]);
+    const std::string& line = lines[i];
+    if (line.empty()) continue;
+    if (StartsWith(line, "end ")) {
+      std::vector<std::string> f = SplitWhitespace(line);
+      uint64_t want = 0;
+      scan.clean = f.size() == 3 && ParseHex(f[2], &want) &&
+                   ParseI64(f[1]) ==
+                       static_cast<int64_t>(scan.records.size()) &&
+                   want == Fnv1a(stream_text);
+      drop_rest(i + 1);
+      return scan;
     }
-    oct::ObjectRecord rec;
-    rec.id.name = DecField(f[1]);
-    rec.id.version = static_cast<int>(ParseI64(f[2]));
-    rec.creator_tool = DecField(f[3]);
-    rec.created_micros = ParseI64(f[4]);
-    rec.last_access_micros = ParseI64(f[5]);
-    rec.size_bytes = ParseI64(f[6]);
-    rec.visible = f[7] == "1";
-    rec.reclaimed = f[8] == "1";
-    PAPYRUS_ASSIGN_OR_RETURN(rec.payload, ParsePayload(f, 9));
-    PAPYRUS_RETURN_IF_ERROR(db->RestoreRecord(std::move(rec)));
+    auto body = CheckLine(line);
+    std::vector<std::string> f;
+    if (body.ok()) f = SplitWhitespace(*body);
+    if (!body.ok() || f.empty() || !StrictFieldsOk(f)) {
+      drop_rest(i);
+      return scan;
+    }
+    stream_text += *body;
+    stream_text += '\n';
+    scan.records.push_back(std::move(f));
   }
-  return db;
+  return scan;  // ran off the end without a trailer: truncated
 }
 
-std::string SerializeThread(const DesignThread& thread) {
-  std::ostringstream out;
-  out << "papyrus-thread 1\n";
-  out << "meta " << thread.id() << ' ' << EncField(thread.name())
-      << ' ' << thread.current_cursor() << ' ' << thread.cache_interval()
-      << '\n';
-  for (const oct::ObjectId& id : thread.checkins()) {
-    out << "checkin " << EncField(id.name) << ' ' << id.version
-        << '\n';
+Result<int64_t> SnapshotVersion(const std::vector<std::string>& lines,
+                                const std::string& kind) {
+  if (lines.empty()) {
+    return Status::InvalidArgument("not a " + kind + " snapshot");
   }
-  for (const auto& [id, node] : thread.nodes()) {
-    out << "node " << id << ' ' << node.is_junction << ' '
-        << node.appended_micros << ' ' << node.last_access_micros << ' '
-        << EncField(node.annotation) << '\n';
-    if (!node.parents.empty()) {
-      out << "parents " << id;
-      for (NodeId p : node.parents) out << ' ' << p;
-      out << '\n';
-    }
-    if (!node.children.empty()) {
-      out << "children " << id;
-      for (NodeId c : node.children) out << ' ' << c;
-      out << '\n';
-    }
-    const task::TaskHistoryRecord& rec = node.record;
-    out << "record " << id << ' ' << EncField(rec.task_name) << ' '
-        << rec.invoke_micros << ' ' << rec.commit_micros << ' '
-        << rec.restarts << '\n';
-    AppendObjectList("rin", id, rec.inputs, &out);
-    AppendObjectList("rout", id, rec.outputs, &out);
-    for (const task::StepRecord& step : rec.steps) {
-      out << "step " << id << ' ' << EncField(step.step_name) << ' '
-          << EncField(step.tool) << ' ' << EncField(step.invocation) << ' '
-          << step.dispatch_micros << ' ' << step.completion_micros << ' '
-          << step.host << ' ' << step.exit_status << ' '
-          << EncField(step.message) << ' ' << step.internal_id << '\n';
-      AppendObjectList("sin", id, step.inputs, &out);
-      AppendObjectList("sout", id, step.outputs, &out);
-    }
+  std::vector<std::string> head = SplitWhitespace(lines[0]);
+  if (head.size() != 2 || head[0] != kind) {
+    return Status::InvalidArgument("not a " + kind + " snapshot");
   }
-  out << "end\n";
-  return out.str();
+  int64_t version = ParseI64(head[1]);
+  if (version != 1 && version != 2) {
+    return Status::InvalidArgument("unsupported " + kind + " version " +
+                                   head[1]);
+  }
+  return version;
 }
 
-Result<std::unique_ptr<DesignThread>> RestoreThread(
-    const std::string& text, Clock* clock) {
-  std::vector<std::string> lines = SplitLines(text);
-  if (lines.empty() || !StartsWith(lines[0], "papyrus-thread")) {
-    return Status::InvalidArgument("not a papyrus thread snapshot");
+Status ApplyDatabaseRecord(const std::vector<std::string>& f,
+                           oct::OctDatabase* db) {
+  if (f[0] != "object" || f.size() < 9) {
+    return Status::InvalidArgument("bad database line: " + Join(f, " "));
   }
+  oct::ObjectRecord rec;
+  rec.id.name = DecField(f[1]);
+  rec.id.version = static_cast<int>(ParseI64(f[2]));
+  rec.creator_tool = DecField(f[3]);
+  rec.created_micros = ParseI64(f[4]);
+  rec.last_access_micros = ParseI64(f[5]);
+  rec.size_bytes = ParseI64(f[6]);
+  rec.visible = f[7] == "1";
+  rec.reclaimed = f[8] == "1";
+  PAPYRUS_ASSIGN_OR_RETURN(rec.payload, ParsePayload(f, 9));
+  return db->RestoreRecord(std::move(rec));
+}
+
+/// Accumulates thread-snapshot record lines; shared by the v1 and v2
+/// readers, which differ only in how lines are vetted.
+struct ThreadBuilder {
   std::unique_ptr<DesignThread> thread;
   NodeId cursor = kInitialPoint;
   // Nodes are assembled fully before restoration so links and records are
   // complete at insert time.
   std::map<NodeId, HistoryNode> nodes;
   HistoryNode* cur = nullptr;
-  auto object_of = [](const std::vector<std::string>& f) {
-    return oct::ObjectId{DecField(f[2]), static_cast<int>(ParseI64(f[3]))};
-  };
-  for (size_t i = 1; i < lines.size(); ++i) {
-    std::vector<std::string> f = SplitWhitespace(lines[i]);
-    if (f.empty() || f[0] == "end") continue;
+
+  Status Apply(const std::vector<std::string>& f, Clock* clock) {
+    auto object_of = [](const std::vector<std::string>& g) {
+      return oct::ObjectId{DecField(g[2]),
+                           static_cast<int>(ParseI64(g[3]))};
+    };
     const std::string& tag = f[0];
     if (tag == "meta") {
       if (f.size() < 5) return Status::InvalidArgument("bad meta line");
@@ -251,7 +301,7 @@ Result<std::unique_ptr<DesignThread>> RestoreThread(
           static_cast<int>(ParseI64(f[1])), DecField(f[2]), clock);
       cursor = static_cast<NodeId>(ParseI64(f[3]));
       thread->set_cache_interval(static_cast<int>(ParseI64(f[4])));
-      continue;
+      return Status::OK();
     }
     if (thread == nullptr) {
       return Status::InvalidArgument("thread snapshot missing meta line");
@@ -259,7 +309,7 @@ Result<std::unique_ptr<DesignThread>> RestoreThread(
     if (tag == "checkin" && f.size() >= 3) {
       thread->CheckIn(oct::ObjectId{DecField(f[1]),
                                     static_cast<int>(ParseI64(f[2]))});
-      continue;
+      return Status::OK();
     }
     if (tag == "node") {
       if (f.size() < 6) return Status::InvalidArgument("bad node line");
@@ -272,10 +322,11 @@ Result<std::unique_ptr<DesignThread>> RestoreThread(
       NodeId id = node.id;
       nodes[id] = std::move(node);
       cur = &nodes[id];
-      continue;
+      return Status::OK();
     }
     if (cur == nullptr) {
-      return Status::InvalidArgument("field before any node: " + lines[i]);
+      return Status::InvalidArgument("field before any node: " +
+                                     Join(f, " "));
     }
     if (tag == "parents") {
       for (size_t k = 2; k < f.size(); ++k) {
@@ -291,6 +342,11 @@ Result<std::unique_ptr<DesignThread>> RestoreThread(
       cur->record.commit_micros = ParseI64(f[4]);
       if (f.size() >= 6) {
         cur->record.restarts = static_cast<int>(ParseI64(f[5]));
+      }
+      if (f.size() >= 9) {
+        cur->record.steps_lost = ParseI64(f[6]);
+        cur->record.steps_retried = ParseI64(f[7]);
+        cur->record.backoff_micros_total = ParseI64(f[8]);
       }
     } else if (tag == "rin" && f.size() >= 4) {
       cur->record.inputs.push_back(object_of(f));
@@ -321,17 +377,165 @@ Result<std::unique_ptr<DesignThread>> RestoreThread(
       }
       cur->record.steps.back().outputs.push_back(object_of(f));
     } else {
-      return Status::InvalidArgument("bad thread line: " + lines[i]);
+      return Status::InvalidArgument("bad thread line: " + Join(f, " "));
+    }
+    return Status::OK();
+  }
+
+  /// Drops graph links to nodes that did not survive recovery and falls
+  /// the cursor back to the initial point when its node is gone.
+  void PruneDanglingLinks() {
+    auto missing = [this](NodeId id) { return nodes.count(id) == 0; };
+    for (auto& [id, node] : nodes) {
+      node.parents.erase(std::remove_if(node.parents.begin(),
+                                        node.parents.end(), missing),
+                         node.parents.end());
+      node.children.erase(std::remove_if(node.children.begin(),
+                                         node.children.end(), missing),
+                          node.children.end());
+    }
+    if (cursor != kInitialPoint && missing(cursor)) {
+      cursor = kInitialPoint;
     }
   }
-  if (thread == nullptr) {
-    return Status::InvalidArgument("thread snapshot missing meta line");
+
+  Result<std::unique_ptr<DesignThread>> Finish() {
+    if (thread == nullptr) {
+      return Status::InvalidArgument("thread snapshot missing meta line");
+    }
+    for (auto& [id, node] : nodes) {
+      PAPYRUS_RETURN_IF_ERROR(thread->RestoreNode(std::move(node)));
+    }
+    PAPYRUS_RETURN_IF_ERROR(thread->RestoreCursor(cursor));
+    return std::move(thread);
   }
-  for (auto& [id, node] : nodes) {
-    PAPYRUS_RETURN_IF_ERROR(thread->RestoreNode(std::move(node)));
+};
+
+}  // namespace
+
+std::string SerializeDatabase(const oct::OctDatabase& db) {
+  std::ostringstream out;
+  // Collect and emit in (name, version) order so restore sees versions
+  // sequentially.
+  std::map<oct::ObjectId, const oct::ObjectRecord*> ordered;
+  db.ForEach([&](const oct::ObjectRecord& rec) {
+    ordered[rec.id] = &rec;
+  });
+  for (const auto& [id, rec] : ordered) {
+    out << "object " << EncField(id.name) << ' ' << id.version << ' '
+        << EncField(rec->creator_tool) << ' ' << rec->created_micros
+        << ' ' << rec->last_access_micros << ' ' << rec->size_bytes << ' '
+        << rec->visible << ' ' << rec->reclaimed << ' ';
+    AppendPayload(rec->payload, &out);
+    out << '\n';
   }
-  PAPYRUS_RETURN_IF_ERROR(thread->RestoreCursor(cursor));
-  return thread;
+  return AssembleV2("papyrus-db 2", out.str());
+}
+
+Result<std::unique_ptr<oct::OctDatabase>> RestoreDatabase(
+    const std::string& text, Clock* clock, RestoreStats* stats) {
+  auto db = std::make_unique<oct::OctDatabase>(clock);
+  std::vector<std::string> lines = SplitLines(text);
+  PAPYRUS_ASSIGN_OR_RETURN(int64_t version,
+                           SnapshotVersion(lines, "papyrus-db"));
+  if (version == 1) {
+    // Legacy snapshots have no checksums: read strictly, no recovery.
+    for (size_t i = 1; i < lines.size(); ++i) {
+      std::vector<std::string> f = SplitWhitespace(lines[i]);
+      if (f.empty() || f[0] == "end") continue;
+      PAPYRUS_RETURN_IF_ERROR(ApplyDatabaseRecord(f, db.get()));
+      if (stats != nullptr) ++stats->records_restored;
+    }
+    return db;
+  }
+  V2Scan scan = ScanV2(lines);
+  for (const std::vector<std::string>& f : scan.records) {
+    // The line passed its checksum, so a parse failure here is a format
+    // error in intact data — fail loudly rather than "recover".
+    PAPYRUS_RETURN_IF_ERROR(ApplyDatabaseRecord(f, db.get()));
+  }
+  if (stats != nullptr) {
+    stats->records_restored =
+        static_cast<int64_t>(scan.records.size());
+    stats->records_dropped = scan.dropped;
+    stats->truncated = !scan.clean;
+  }
+  return db;
+}
+
+std::string SerializeThread(const DesignThread& thread) {
+  std::ostringstream out;
+  out << "meta " << thread.id() << ' ' << EncField(thread.name())
+      << ' ' << thread.current_cursor() << ' ' << thread.cache_interval()
+      << '\n';
+  for (const oct::ObjectId& id : thread.checkins()) {
+    out << "checkin " << EncField(id.name) << ' ' << id.version
+        << '\n';
+  }
+  for (const auto& [id, node] : thread.nodes()) {
+    out << "node " << id << ' ' << node.is_junction << ' '
+        << node.appended_micros << ' ' << node.last_access_micros << ' '
+        << EncField(node.annotation) << '\n';
+    if (!node.parents.empty()) {
+      out << "parents " << id;
+      for (NodeId p : node.parents) out << ' ' << p;
+      out << '\n';
+    }
+    if (!node.children.empty()) {
+      out << "children " << id;
+      for (NodeId c : node.children) out << ' ' << c;
+      out << '\n';
+    }
+    const task::TaskHistoryRecord& rec = node.record;
+    out << "record " << id << ' ' << EncField(rec.task_name) << ' '
+        << rec.invoke_micros << ' ' << rec.commit_micros << ' '
+        << rec.restarts << ' ' << rec.steps_lost << ' '
+        << rec.steps_retried << ' ' << rec.backoff_micros_total << '\n';
+    AppendObjectList("rin", id, rec.inputs, &out);
+    AppendObjectList("rout", id, rec.outputs, &out);
+    for (const task::StepRecord& step : rec.steps) {
+      out << "step " << id << ' ' << EncField(step.step_name) << ' '
+          << EncField(step.tool) << ' ' << EncField(step.invocation) << ' '
+          << step.dispatch_micros << ' ' << step.completion_micros << ' '
+          << step.host << ' ' << step.exit_status << ' '
+          << EncField(step.message) << ' ' << step.internal_id << '\n';
+      AppendObjectList("sin", id, step.inputs, &out);
+      AppendObjectList("sout", id, step.outputs, &out);
+    }
+  }
+  return AssembleV2("papyrus-thread 2", out.str());
+}
+
+Result<std::unique_ptr<DesignThread>> RestoreThread(
+    const std::string& text, Clock* clock, RestoreStats* stats) {
+  std::vector<std::string> lines = SplitLines(text);
+  PAPYRUS_ASSIGN_OR_RETURN(int64_t version,
+                           SnapshotVersion(lines, "papyrus-thread"));
+  ThreadBuilder builder;
+  if (version == 1) {
+    for (size_t i = 1; i < lines.size(); ++i) {
+      std::vector<std::string> f = SplitWhitespace(lines[i]);
+      if (f.empty() || f[0] == "end") continue;
+      PAPYRUS_RETURN_IF_ERROR(builder.Apply(f, clock));
+      if (stats != nullptr) ++stats->records_restored;
+    }
+    return builder.Finish();
+  }
+  V2Scan scan = ScanV2(lines);
+  for (const std::vector<std::string>& f : scan.records) {
+    PAPYRUS_RETURN_IF_ERROR(builder.Apply(f, clock));
+  }
+  if (!scan.clean) {
+    // A dropped suffix may be referenced by surviving nodes: prune those
+    // links so the recovered stream is self-consistent.
+    builder.PruneDanglingLinks();
+  }
+  if (stats != nullptr) {
+    stats->records_restored = static_cast<int64_t>(scan.records.size());
+    stats->records_dropped = scan.dropped;
+    stats->truncated = !scan.clean;
+  }
+  return builder.Finish();
 }
 
 }  // namespace papyrus::activity

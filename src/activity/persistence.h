@@ -1,6 +1,7 @@
 #ifndef PAPYRUS_ACTIVITY_PERSISTENCE_H_
 #define PAPYRUS_ACTIVITY_PERSISTENCE_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -20,22 +21,44 @@ namespace papyrus::activity {
 /// timestamps, annotations and step-level history all survive the round
 /// trip. Thread-state caches are not persisted (they are recomputed on
 /// demand).
+///
+/// Format version 2 (the current writer) makes snapshots
+/// corruption-tolerant: every record line carries a trailing ` !<hex>`
+/// FNV-1a checksum of its body, and the file ends with a
+/// `end <count> <hex>` trailer covering the whole record stream. Restore
+/// recovers the longest valid prefix of a damaged snapshot — a truncated
+/// tail or a checksummed line that no longer matches drops that line and
+/// everything after it, reported through `RestoreStats`. Version-1
+/// snapshots (no checksums) remain readable.
+
+/// What restore had to do to a (possibly damaged) snapshot.
+struct RestoreStats {
+  int64_t records_restored = 0;  // record lines parsed and applied
+  int64_t records_dropped = 0;   // record lines lost to damage
+  /// True when the snapshot did not end with a valid trailer: the file
+  /// was truncated or its tail corrupted, and only a prefix was restored.
+  bool truncated = false;
+};
 
 /// Serializes every object version (including invisible and reclaimed
 /// tombstones — version numbering must survive recovery).
 std::string SerializeDatabase(const oct::OctDatabase& db);
 
 /// Rebuilds a database from `text` into a fresh instance using `clock`.
+/// Damaged version-2 snapshots restore their longest valid prefix;
+/// `stats` (optional) reports what was kept and dropped.
 Result<std::unique_ptr<oct::OctDatabase>> RestoreDatabase(
-    const std::string& text, Clock* clock);
+    const std::string& text, Clock* clock, RestoreStats* stats = nullptr);
 
 /// Serializes one thread's control stream, cursor, check-ins, and
 /// configuration.
 std::string SerializeThread(const DesignThread& thread);
 
-/// Rebuilds a design thread from `text`.
+/// Rebuilds a design thread from `text`. Damaged version-2 snapshots
+/// restore their longest valid prefix: links to dropped nodes are pruned
+/// and the cursor falls back to the initial point when its node is gone.
 Result<std::unique_ptr<DesignThread>> RestoreThread(
-    const std::string& text, Clock* clock);
+    const std::string& text, Clock* clock, RestoreStats* stats = nullptr);
 
 }  // namespace papyrus::activity
 

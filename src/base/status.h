@@ -22,6 +22,10 @@ enum class StatusCode {
   kOutOfRange,
   kUnimplemented,
   kInternal,
+  /// A transient environmental failure (host down, injected fault): the
+  /// operation may succeed if retried later. Never indicates a bug in the
+  /// request itself.
+  kUnavailable,
 };
 
 /// Returns a human readable name for `code` ("InvalidArgument", ...).
@@ -73,6 +77,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -89,6 +96,7 @@ class Status {
   bool IsPermissionDenied() const {
     return code_ == StatusCode::kPermissionDenied;
   }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

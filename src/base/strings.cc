@@ -118,6 +118,30 @@ std::string PercentDecode(std::string_view s) {
   return out;
 }
 
+Result<std::string> PercentDecodeStrict(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '%') {
+      out.push_back(s[i]);
+      continue;
+    }
+    if (i + 2 >= s.size()) {
+      return Status::InvalidArgument("truncated percent escape in \"" +
+                                     std::string(s) + "\"");
+    }
+    int hi = HexValue(s[i + 1]);
+    int lo = HexValue(s[i + 2]);
+    if (hi < 0 || lo < 0) {
+      return Status::InvalidArgument("malformed percent escape \"" +
+                                     std::string(s.substr(i, 3)) + "\"");
+    }
+    out.push_back(static_cast<char>(hi * 16 + lo));
+    i += 2;
+  }
+  return out;
+}
+
 uint64_t Fnv1a(std::string_view s) {
   uint64_t h = 1469598103934665603ull;
   for (char c : s) {

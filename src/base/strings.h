@@ -6,6 +6,8 @@
 #include <string_view>
 #include <vector>
 
+#include "base/result.h"
+
 namespace papyrus {
 
 /// Splits `s` at every occurrence of `sep`, keeping empty pieces.
@@ -36,6 +38,13 @@ uint64_t Fnv1a(std::string_view s);
 std::string PercentEncode(std::string_view s);
 /// Inverse of PercentEncode; invalid escapes are kept literally.
 std::string PercentDecode(std::string_view s);
+
+/// Strict inverse of PercentEncode: a '%' must be followed by exactly two
+/// hex digits. Malformed escapes ("%G1", a trailing "%" or "%4") return
+/// InvalidArgument instead of being passed through — the persistence layer
+/// uses this so corrupted snapshots are detected rather than silently
+/// mis-decoded.
+Result<std::string> PercentDecodeStrict(std::string_view s);
 
 }  // namespace papyrus
 

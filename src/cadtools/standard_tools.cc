@@ -43,6 +43,12 @@ uint64_t Mix(uint64_t seed, std::string_view salt) {
   return seed * 1099511628211ull ^ Fnv1a(salt);
 }
 
+// Permanent exit statuses (see the convention in tool.h: 1..64 is the
+// permanent band; 75 is reserved for transient failures, which none of
+// the standard tools raise on their own — fault injection wraps them).
+constexpr int kExitConstraint = 1;  // a design constraint was violated
+constexpr int kExitBadInput = 2;    // wrong input object type or format
+
 /// Fetches input `i` as a logic network, or null.
 const LogicNetwork* AsLogic(const ToolRunContext& ctx, size_t i) {
   if (i >= ctx.inputs.size()) return nullptr;
@@ -62,7 +68,7 @@ const BehavioralSpec* AsBehavioral(const ToolRunContext& ctx, size_t i) {
 ToolRunResult WrongInput(const std::string& tool,
                          const std::string& expected) {
   return ToolRunResult::Fail(
-      2, tool + ": input is not a " + expected + " object");
+      kExitBadInput, tool + ": input is not a " + expected + " object");
 }
 
 void Add(ToolRegistry* reg, ToolDescriptor desc, Tool::RunFn fn) {
@@ -195,7 +201,8 @@ void RegisterPleasure(ToolRegistry* reg) {
     const LogicNetwork* n = AsLogic(ctx, 0);
     if (n == nullptr) return WrongInput("pleasure", "logic");
     if (n->format != DesignFormat::kPla) {
-      return ToolRunResult::Fail(2, "pleasure: input is not in PLA format");
+      return ToolRunResult::Fail(
+          kExitBadInput, "pleasure: input is not in PLA format");
     }
     LogicNetwork out = *n;
     out.literals = std::max(1, static_cast<int>(n->literals * 0.8));
@@ -222,7 +229,8 @@ void RegisterPanda(ToolRegistry* reg) {
     const LogicNetwork* n = AsLogic(ctx, 0);
     if (n == nullptr) return WrongInput("panda", "logic");
     if (n->format != DesignFormat::kPla) {
-      return ToolRunResult::Fail(2, "panda: input is not in PLA format");
+      return ToolRunResult::Fail(
+          kExitBadInput, "panda: input is not in PLA format");
     }
     Layout lay;
     lay.style = "PLA";
@@ -238,7 +246,7 @@ void RegisterPanda(ToolRegistry* reg) {
     int64_t maxarea = ctx.options.FlagInt("maxarea", 0);
     if (maxarea > 0 && lay.area > static_cast<double>(maxarea)) {
       return ToolRunResult::Fail(
-          1, "panda: area constraint violated (" +
+          kExitConstraint, "panda: area constraint violated (" +
                  std::to_string(static_cast<int64_t>(lay.area)) + " > " +
                  std::to_string(maxarea) + ")");
     }
@@ -302,7 +310,8 @@ void RegisterPadplace(ToolRegistry* reg) {
     const Layout* l = AsLayout(ctx, 0);
     if (l == nullptr) return WrongInput("padplace", "layout or logic");
     if (l->has_pads) {
-      return ToolRunResult::Fail(1, "padplace: layout already has pads");
+      return ToolRunResult::Fail(kExitConstraint,
+                                 "padplace: layout already has pads");
     }
     Layout out = *l;
     out.has_pads = true;
@@ -449,7 +458,7 @@ void RegisterMosaicoDR(ToolRegistry* reg) {
     int64_t maxwire = ctx.options.FlagInt("maxwire", 0);
     if (maxwire > 0 && out.wire_length > static_cast<double>(maxwire)) {
       return ToolRunResult::Fail(
-          1, "mosaicoDR: insufficient routing area (wire " +
+          kExitConstraint, "mosaicoDR: insufficient routing area (wire " +
                  std::to_string(static_cast<int64_t>(out.wire_length)) +
                  " > budget " + std::to_string(maxwire) + ")");
     }
@@ -532,11 +541,13 @@ void RegisterSparcs(ToolRegistry* reg) {
     uint64_t h = Mix(l->seed, "sparcs-difficulty");
     if (!vertical_first && h % 3 == 0) {
       return ToolRunResult::Fail(
-          1, "sparcs: horizontal-first compaction failed (overconstrained)");
+          kExitConstraint,
+          "sparcs: horizontal-first compaction failed (overconstrained)");
     }
     if (vertical_first && h % 7 == 0) {
       return ToolRunResult::Fail(
-          1, "sparcs: vertical-first compaction failed (overconstrained)");
+          kExitConstraint,
+          "sparcs: vertical-first compaction failed (overconstrained)");
     }
     Layout out = *l;
     out.compacted = true;
@@ -583,7 +594,8 @@ void RegisterMosaicoRC(ToolRegistry* reg) {
     const Layout* l = AsLayout(ctx, ctx.inputs.size() - 1);
     if (l == nullptr) return WrongInput("mosaicoRC", "layout");
     if (!l->routed) {
-      return ToolRunResult::Fail(1, "mosaicoRC: layout is not fully routed");
+      return ToolRunResult::Fail(
+          kExitConstraint, "mosaicoRC: layout is not fully routed");
     }
     ToolRunResult r;
     r.message = "mosaicoRC: routing complete";

@@ -47,17 +47,46 @@ struct ToolRunContext {
   uint64_t seed = 0;
 };
 
-/// Outcome of a tool run. `exit_status == 0` means success; the task
-/// manager exposes this value as the Tcl `$status` variable (§4.2.3).
+/// Exit status reserved for transient failures, mirroring sysexits.h
+/// EX_TEMPFAIL ("temporary failure, user is invited to retry").
+constexpr int kToolExitTransient = 75;
+
+/// Outcome of a tool run.
+///
+/// Exit-status convention (shared by every mock tool and the task
+/// manager):
+///   - `0`      — success; declared outputs are present.
+///   - `1..64`  — *permanent* tool failure: the invocation itself is wrong
+///                for this input (constraint violated, wrong format,
+///                usage error). Re-running the same invocation would fail
+///                again. The task manager exposes the value as the Tcl
+///                `$status` variable (§4.2.3) so the template can react.
+///   - `75`     — *transient* environmental failure (EX_TEMPFAIL): license
+///                server hiccup, NFS timeout, injected chaos. The task
+///                manager retries the step with backoff and never shows
+///                the failure to the template unless retries are
+///                exhausted. Construct with `Transient()`, which also
+///                sets the `transient` flag.
 struct ToolRunResult {
   int exit_status = 0;
   std::string message;
+  bool transient = false;  // retryable environmental failure
   std::vector<oct::DesignPayload> outputs;  // one per declared output
 
+  /// A permanent failure: `status` must be in 1..64.
   static ToolRunResult Fail(int status, std::string msg) {
     ToolRunResult r;
     r.exit_status = status;
     r.message = std::move(msg);
+    return r;
+  }
+
+  /// A transient (retryable) failure: exit status 75, `transient` set.
+  static ToolRunResult Transient(std::string msg) {
+    ToolRunResult r;
+    r.exit_status = kToolExitTransient;
+    r.message = std::move(msg);
+    r.transient = true;
     return r;
   }
 };

@@ -86,11 +86,29 @@ Status Papyrus::SaveSession(const std::string& directory) {
     return Status::Internal("cannot create " + directory + ": " +
                             ec.message());
   }
+  // Write-to-temp + atomic rename: a crash mid-save leaves either the old
+  // snapshot or the new one, never a torn file.
   auto write_file = [&](const std::string& name,
                         const std::string& content) -> Status {
-    std::ofstream out(std::filesystem::path(directory) / name);
-    if (!out) return Status::Internal("cannot write " + name);
-    out << content;
+    std::filesystem::path final_path =
+        std::filesystem::path(directory) / name;
+    std::filesystem::path tmp_path = final_path;
+    tmp_path += ".tmp";
+    {
+      std::ofstream out(tmp_path, std::ios::trunc);
+      if (!out) return Status::Internal("cannot write " + name);
+      out << content;
+      out.flush();
+      if (!out) return Status::Internal("short write to " + name);
+    }
+    std::error_code rename_ec;
+    std::filesystem::rename(tmp_path, final_path, rename_ec);
+    if (rename_ec) {
+      std::error_code cleanup_ec;
+      std::filesystem::remove(tmp_path, cleanup_ec);
+      return Status::Internal("cannot replace " + name + ": " +
+                              rename_ec.message());
+    }
     return Status::OK();
   };
   PAPYRUS_RETURN_IF_ERROR(
@@ -118,11 +136,20 @@ Status Papyrus::LoadSession(const std::string& directory) {
     buffer << in.rdbuf();
     return buffer.str();
   };
+  last_restore_stats_ = activity::RestoreStats();
+  auto accumulate = [this](const activity::RestoreStats& s) {
+    last_restore_stats_.records_restored += s.records_restored;
+    last_restore_stats_.records_dropped += s.records_dropped;
+    last_restore_stats_.truncated |= s.truncated;
+  };
   PAPYRUS_ASSIGN_OR_RETURN(
       std::string db_text,
       read_file(std::filesystem::path(directory) / "database.pdb"));
-  PAPYRUS_ASSIGN_OR_RETURN(auto restored_db,
-                           activity::RestoreDatabase(db_text, &clock_));
+  activity::RestoreStats db_stats;
+  PAPYRUS_ASSIGN_OR_RETURN(
+      auto restored_db,
+      activity::RestoreDatabase(db_text, &clock_, &db_stats));
+  accumulate(db_stats);
   // Copy records into the session's own database so every subsystem keeps
   // its pointer. ForEach yields each name's versions in order, which is
   // what RestoreRecord requires.
@@ -147,8 +174,11 @@ Status Papyrus::LoadSession(const std::string& directory) {
   std::sort(thread_files.begin(), thread_files.end());
   for (const auto& path : thread_files) {
     PAPYRUS_ASSIGN_OR_RETURN(std::string text, read_file(path));
-    PAPYRUS_ASSIGN_OR_RETURN(auto thread,
-                             activity::RestoreThread(text, &clock_));
+    activity::RestoreStats thread_stats;
+    PAPYRUS_ASSIGN_OR_RETURN(
+        auto thread,
+        activity::RestoreThread(text, &clock_, &thread_stats));
+    accumulate(thread_stats);
     PAPYRUS_RETURN_IF_ERROR(activity_->AdoptThread(std::move(thread)));
   }
   return Status::OK();

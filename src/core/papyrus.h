@@ -7,6 +7,7 @@
 
 #include "activity/activity_manager.h"
 #include "activity/design_thread.h"
+#include "activity/persistence.h"
 #include "base/clock.h"
 #include "cadtools/registry.h"
 #include "meta/inference.h"
@@ -101,8 +102,15 @@ class Papyrus {
   /// Restores a previously saved session into this one. Requires a fresh
   /// session (empty database, no threads). Metadata inference state is
   /// not persisted; re-deriving it is a matter of re-observing history
-  /// records if needed.
+  /// records if needed. Damaged snapshot files restore their longest
+  /// valid prefix; `last_restore_stats()` reports what was dropped.
   Status LoadSession(const std::string& directory);
+
+  /// Aggregate recovery report of the most recent LoadSession, summed
+  /// across the database and every thread file.
+  const activity::RestoreStats& last_restore_stats() const {
+    return last_restore_stats_;
+  }
 
   // --- subsystem access ------------------------------------------------------
 
@@ -134,6 +142,7 @@ class Papyrus {
   oct::AttributeStore attributes_;
   std::unique_ptr<meta::MetadataEngine> metadata_;
   SessionOptions options_;
+  activity::RestoreStats last_restore_stats_;
 };
 
 }  // namespace papyrus

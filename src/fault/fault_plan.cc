@@ -1,0 +1,119 @@
+#include "fault/fault_plan.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/macros.h"
+#include "base/strings.h"
+#include "cadtools/tool.h"
+
+namespace papyrus::fault {
+
+namespace {
+
+/// SplitMix64: tiny, well-distributed PRNG for reproducible chaos.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+double NextUnit(uint64_t* state) {
+  return static_cast<double>(SplitMix64(state) >> 11) *
+         (1.0 / 9007199254740992.0);  // 2^53
+}
+
+bool ValidProbability(double p) { return p >= 0.0 && p < 1.0; }
+
+}  // namespace
+
+FaultPlan::FaultPlan(FaultPlanOptions options)
+    : options_(options),
+      transient_injections_(std::make_shared<int64_t>(0)) {}
+
+Status FaultPlan::Apply(sprite::Network* network,
+                        cadtools::ToolRegistry* tools) {
+  if (applied_) {
+    return Status::FailedPrecondition("fault plan already applied");
+  }
+  if (network == nullptr) {
+    return Status::InvalidArgument("fault plan needs a network");
+  }
+  if (!ValidProbability(options_.host_crash_rate) ||
+      !ValidProbability(options_.migration_flakiness) ||
+      !ValidProbability(options_.tool_transient_rate)) {
+    return Status::InvalidArgument(
+        "fault probabilities must be in [0, 1)");
+  }
+  if (options_.horizon_micros <= 0) {
+    return Status::InvalidArgument("fault horizon must be positive");
+  }
+  applied_ = true;
+
+  // --- host crash/reboot schedule --------------------------------------
+  uint64_t crash_state = options_.seed ^ 0x6372617368706c6eull;
+  int64_t now = network->clock()->NowMicros();
+  for (sprite::HostId host = 0; host < network->num_hosts(); ++host) {
+    if (options_.spare_home && host == network->home_host()) continue;
+    int64_t earliest = now + 1;
+    for (int cycle = 0; cycle < options_.max_crashes_per_host; ++cycle) {
+      if (NextUnit(&crash_state) >= options_.host_crash_rate) break;
+      int64_t span = now + options_.horizon_micros - earliest;
+      if (span <= 0) break;
+      ScheduledCrash crash;
+      crash.host = host;
+      crash.crash_micros =
+          earliest + static_cast<int64_t>(NextUnit(&crash_state) * span);
+      PAPYRUS_RETURN_IF_ERROR(
+          network->ScheduleCrash(host, crash.crash_micros));
+      if (options_.reboot_delay_micros > 0) {
+        crash.reboot_micros =
+            crash.crash_micros + options_.reboot_delay_micros;
+        PAPYRUS_RETURN_IF_ERROR(
+            network->RebootHost(host, crash.reboot_micros));
+      }
+      crashes_.push_back(crash);
+      if (crash.reboot_micros == 0) break;  // down forever: no next cycle
+      earliest = crash.reboot_micros + 1;
+    }
+  }
+
+  // --- flaky migration --------------------------------------------------
+  if (options_.migration_flakiness > 0.0) {
+    PAPYRUS_RETURN_IF_ERROR(network->SetMigrationFlakiness(
+        options_.migration_flakiness, options_.seed));
+  }
+
+  // --- transient tool failures ------------------------------------------
+  if (tools != nullptr && options_.tool_transient_rate > 0.0) {
+    for (const std::string& name : tools->ToolNames()) {
+      auto found = tools->Find(name);
+      if (!found.ok()) continue;
+      // The registry owns (and will destroy) the wrapped tool when the
+      // injector is registered under the same name, so keep a copy alive
+      // inside the wrapper.
+      auto inner = std::make_shared<cadtools::Tool>(**found);
+      // Per-tool counter state: each run makes a fresh draw, so a step
+      // that failed transiently can succeed when retried.
+      auto state = std::make_shared<uint64_t>(options_.seed ^
+                                              Fnv1a("transient:" + name));
+      double rate = options_.tool_transient_rate;
+      std::shared_ptr<int64_t> injections = transient_injections_;
+      tools->Register(std::make_unique<cadtools::Tool>(
+          inner->descriptor(),
+          [inner, state, rate,
+           injections](const cadtools::ToolRunContext& ctx) {
+            if (NextUnit(state.get()) < rate) {
+              ++*injections;
+              return cadtools::ToolRunResult::Transient(
+                  inner->name() + ": injected transient failure");
+            }
+            return inner->Run(ctx);
+          }));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace papyrus::fault

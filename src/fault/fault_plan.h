@@ -1,0 +1,77 @@
+#ifndef PAPYRUS_FAULT_FAULT_PLAN_H_
+#define PAPYRUS_FAULT_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "base/status.h"
+#include "cadtools/registry.h"
+#include "sprite/network.h"
+
+namespace papyrus::fault {
+
+/// Knobs for one reproducible chaos scenario. All probabilities are in
+/// [0, 1); all draws derive from `seed`, so the same options against the
+/// same workload produce the identical fault schedule in virtual time.
+struct FaultPlanOptions {
+  uint64_t seed = 1;
+  /// Probability that a given host crashes within the horizon.
+  double host_crash_rate = 0.0;
+  /// Window (from the current virtual time) in which crashes land.
+  int64_t horizon_micros = 10'000'000;
+  /// Crash-to-reboot delay. 0 means crashed hosts stay down forever.
+  int64_t reboot_delay_micros = 500'000;
+  /// Crash/reboot cycles a single host may go through.
+  int max_crashes_per_host = 1;
+  /// Never crash host 0 (the Papyrus session's home machine). The task
+  /// manager treats the home host as the fallback executor, so crashing it
+  /// models a full-session outage rather than workstation churn.
+  bool spare_home = true;
+  /// Probability that any individual Migrate call fails (process stays
+  /// put). Forwarded to Network::SetMigrationFlakiness.
+  double migration_flakiness = 0.0;
+  /// Probability that any individual tool run fails transiently
+  /// (EX_TEMPFAIL) instead of executing. Applied by wrapping every
+  /// registered tool.
+  double tool_transient_rate = 0.0;
+};
+
+/// One scheduled host crash (and optional reboot), for inspection.
+struct ScheduledCrash {
+  sprite::HostId host = sprite::kNoHost;
+  int64_t crash_micros = 0;
+  int64_t reboot_micros = 0;  // 0 = never
+};
+
+/// A seeded chaos plan: derives a deterministic schedule of host crashes
+/// and reboots, enables flaky migration, and wraps the tool registry so a
+/// seeded fraction of tool runs fail transiently. Apply once, before
+/// driving the workload; the same seed yields the same chaos.
+class FaultPlan {
+ public:
+  explicit FaultPlan(FaultPlanOptions options);
+
+  /// Schedules crashes/reboots on `network` (relative to its current
+  /// virtual time) and, when `tools` is non-null and the transient rate is
+  /// positive, wraps every registered tool with the transient-failure
+  /// injector. Call at most once per plan.
+  Status Apply(sprite::Network* network, cadtools::ToolRegistry* tools);
+
+  const std::vector<ScheduledCrash>& scheduled_crashes() const {
+    return crashes_;
+  }
+  /// Tool runs turned into transient failures so far (grows as the
+  /// workload executes).
+  int64_t transient_injections() const { return *transient_injections_; }
+
+ private:
+  FaultPlanOptions options_;
+  bool applied_ = false;
+  std::vector<ScheduledCrash> crashes_;
+  std::shared_ptr<int64_t> transient_injections_;
+};
+
+}  // namespace papyrus::fault
+
+#endif  // PAPYRUS_FAULT_FAULT_PLAN_H_

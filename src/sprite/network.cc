@@ -8,6 +8,14 @@ namespace papyrus::sprite {
 
 namespace {
 constexpr int64_t kNever = std::numeric_limits<int64_t>::max();
+
+/// splitmix64 — the deterministic generator behind flaky-migration draws.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
 }  // namespace
 
 Network::Network(ManualClock* clock, int num_hosts) : clock_(clock) {
@@ -36,6 +44,14 @@ Status Network::SetOwnerActive(HostId host, bool active) {
   return Status::OK();
 }
 
+void Network::PushHostEvent(HostEvent ev) {
+  host_events_.push_back(ev);
+  std::sort(host_events_.begin(), host_events_.end(),
+            [](const HostEvent& a, const HostEvent& b) {
+              return a.micros < b.micros;
+            });
+}
+
 Status Network::ScheduleOwnerEvent(HostId host, int64_t micros,
                                    bool active) {
   if (host < 0 || host >= num_hosts()) {
@@ -44,12 +60,76 @@ Status Network::ScheduleOwnerEvent(HostId host, int64_t micros,
   if (micros < clock_->NowMicros()) {
     return Status::InvalidArgument("owner event scheduled in the past");
   }
-  owner_events_.push_back(OwnerEvent{micros, host, active});
-  std::sort(owner_events_.begin(), owner_events_.end(),
-            [](const OwnerEvent& a, const OwnerEvent& b) {
-              return a.micros < b.micros;
-            });
+  PushHostEvent(
+      HostEvent{micros, host, HostEvent::Kind::kOwner, active});
   return Status::OK();
+}
+
+Status Network::CrashHost(HostId host) {
+  if (host < 0 || host >= num_hosts()) {
+    return Status::InvalidArgument("no such host");
+  }
+  if (!hosts_[host].up) {
+    return Status::FailedPrecondition("host is already down");
+  }
+  int64_t now = clock_->NowMicros();
+  AccrueProgress(now);
+  hosts_[host].up = false;
+  ++total_crashes_;
+  // Copy: losing a process mutates the host's running list, and the
+  // failure handler may call back into the network.
+  std::vector<ProcessId> pids = hosts_[host].running;
+  for (ProcessId pid : pids) {
+    if (processes_[pid].state != ProcessState::kRunning) continue;
+    LoseProcess(pid, now);
+  }
+  return Status::OK();
+}
+
+Status Network::ScheduleCrash(HostId host, int64_t micros) {
+  if (host < 0 || host >= num_hosts()) {
+    return Status::InvalidArgument("no such host");
+  }
+  if (micros < clock_->NowMicros()) {
+    return Status::InvalidArgument("crash scheduled in the past");
+  }
+  PushHostEvent(HostEvent{micros, host, HostEvent::Kind::kCrash, false});
+  return Status::OK();
+}
+
+Status Network::RebootHost(HostId host, int64_t micros) {
+  if (host < 0 || host >= num_hosts()) {
+    return Status::InvalidArgument("no such host");
+  }
+  if (micros < clock_->NowMicros()) {
+    return Status::InvalidArgument("reboot scheduled in the past");
+  }
+  PushHostEvent(HostEvent{micros, host, HostEvent::Kind::kReboot, false});
+  return Status::OK();
+}
+
+Status Network::SetMigrationFlakiness(double probability, uint64_t seed) {
+  if (probability < 0.0 || probability >= 1.0) {
+    return Status::InvalidArgument("flakiness must be in [0, 1)");
+  }
+  migration_flakiness_ = probability;
+  flaky_state_ = seed ^ 0x6d69677261746533ull;
+  return Status::OK();
+}
+
+double Network::NextFlakyDraw() {
+  return static_cast<double>(SplitMix64(&flaky_state_) >> 11) /
+         static_cast<double>(1ull << 53);
+}
+
+void Network::LoseProcess(ProcessId pid, int64_t now) {
+  ProcessInfo& p = processes_[pid];
+  DetachFromHost(pid);
+  p.state = ProcessState::kLost;
+  p.finish_micros = now;
+  --running_count_;
+  ++total_lost_;
+  if (failure_handler_) failure_handler_(p);
 }
 
 bool Network::IsOwnerActive(HostId host) const {
@@ -57,7 +137,12 @@ bool Network::IsOwnerActive(HostId host) const {
 }
 
 bool Network::IsIdle(HostId host) const {
-  return host >= 0 && host < num_hosts() && !hosts_[host].owner_active;
+  return host >= 0 && host < num_hosts() && hosts_[host].up &&
+         !hosts_[host].owner_active;
+}
+
+bool Network::IsUp(HostId host) const {
+  return host >= 0 && host < num_hosts() && hosts_[host].up;
 }
 
 int Network::LoadOf(HostId host) const {
@@ -69,7 +154,7 @@ Result<HostId> Network::FindIdleHost(bool exclude_home) const {
   HostId best = kNoHost;
   double best_score = std::numeric_limits<double>::max();
   for (HostId h = exclude_home ? 1 : 0; h < num_hosts(); ++h) {
-    if (hosts_[h].owner_active) continue;
+    if (!hosts_[h].up || hosts_[h].owner_active) continue;
     // Prefer lightly loaded, fast hosts.
     double score = (LoadOf(h) + 1) / hosts_[h].speed;
     if (score < best_score) {
@@ -92,6 +177,10 @@ Result<ProcessId> Network::Spawn(ProcessId parent,
   }
   if (work_micros < 0) {
     return Status::InvalidArgument("negative work");
+  }
+  if (!hosts_[host].up) {
+    return Status::Unavailable("host " + std::to_string(host) +
+                               " is down");
   }
   AccrueProgress(clock_->NowMicros());
   ProcessInfo p;
@@ -124,7 +213,17 @@ Status Network::Migrate(ProcessId pid, HostId to) {
   if (to < 0 || to >= num_hosts()) {
     return Status::InvalidArgument("no such host");
   }
+  if (!hosts_[to].up) {
+    return Status::Unavailable("host " + std::to_string(to) + " is down");
+  }
   if (to == p.current_host) return Status::OK();
+  if (migration_flakiness_ > 0.0 &&
+      NextFlakyDraw() < migration_flakiness_) {
+    ++total_migration_failures_;
+    return Status::Unavailable("migration failed (injected flakiness); "
+                               "process stays on host " +
+                               std::to_string(p.current_host));
+  }
   AccrueProgress(clock_->NowMicros());
   DetachFromHost(pid);
   p.current_host = to;
@@ -132,6 +231,11 @@ Status Network::Migrate(ProcessId pid, HostId to) {
   p.work_micros += migration_cost_micros_;
   ++p.migration_count;
   ++total_migrations_;
+  // §4.3.3 race: the owner came back while the transfer was in flight.
+  // The process lands and is immediately evicted back home.
+  if (hosts_[to].owner_active && p.home_host != to) {
+    EvictForeigners(to);
+  }
   return Status::OK();
 }
 
@@ -224,6 +328,12 @@ void Network::EvictForeigners(HostId host) {
     ProcessInfo& p = processes_[pid];
     if (p.current_host != host) continue;
     if (p.home_host == host) continue;  // native process, not evicted
+    if (!hosts_[p.home_host].up) {
+      // Nowhere to evict to: the home node is down, so the address space
+      // cannot be transferred and the process is lost.
+      LoseProcess(pid, clock_->NowMicros());
+      continue;
+    }
     DetachFromHost(pid);
     p.current_host = p.home_host;
     hosts_[p.home_host].running.push_back(pid);
@@ -244,16 +354,26 @@ void Network::DetachFromHost(ProcessId pid) {
 bool Network::Step() {
   ProcessId next_pid = kNoProcess;
   int64_t completion_at = NextCompletionTime(&next_pid);
-  int64_t owner_at = owner_events_.empty() ? kNever
-                                           : owner_events_.front().micros;
-  if (completion_at == kNever && owner_at == kNever) return false;
+  int64_t event_at = host_events_.empty() ? kNever
+                                          : host_events_.front().micros;
+  if (completion_at == kNever && event_at == kNever) return false;
 
-  if (owner_at <= completion_at) {
-    OwnerEvent ev = owner_events_.front();
-    owner_events_.erase(owner_events_.begin());
+  if (event_at <= completion_at) {
+    HostEvent ev = host_events_.front();
+    host_events_.erase(host_events_.begin());
     AccrueProgress(ev.micros);
     if (ev.micros > clock_->NowMicros()) clock_->SetMicros(ev.micros);
-    (void)SetOwnerActive(ev.host, ev.active);
+    switch (ev.kind) {
+      case HostEvent::Kind::kOwner:
+        (void)SetOwnerActive(ev.host, ev.active);
+        break;
+      case HostEvent::Kind::kCrash:
+        (void)CrashHost(ev.host);  // no-op if already down
+        break;
+      case HostEvent::Kind::kReboot:
+        hosts_[ev.host].up = true;
+        break;
+    }
     return true;
   }
   AccrueProgress(completion_at);

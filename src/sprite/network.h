@@ -23,6 +23,10 @@ enum class ProcessState {
   kRunning,
   kCompleted,
   kKilled,
+  /// The host executing the process crashed: the process died without a
+  /// completion signal and its partial work is gone. Distinct from kKilled
+  /// (a deliberate, clean termination by the task manager).
+  kLost,
 };
 
 /// Process control block, as returned by `GetPcbInfo` — the simulator's
@@ -92,8 +96,11 @@ class Network {
   Status ScheduleOwnerEvent(HostId host, int64_t micros, bool active);
 
   bool IsOwnerActive(HostId host) const;
-  /// Idle = owner absent. (Load is a tie-breaker for FindIdleHost.)
+  /// Idle = host up and owner absent. (Load is a tie-breaker for
+  /// FindIdleHost.)
   bool IsIdle(HostId host) const;
+  /// True when the host has not crashed (or has rebooted since).
+  bool IsUp(HostId host) const;
   /// Number of processes currently executing on `host`.
   int LoadOf(HostId host) const;
 
@@ -108,8 +115,41 @@ class Network {
                           bool migratable);
 
   /// Moves a running process to another host (Sprite process migration).
-  /// Non-migratable processes refuse.
+  /// Non-migratable processes refuse. Migrating onto a host whose owner is
+  /// active is allowed but futile: the process bounces straight back to its
+  /// home node (one migration + one eviction) — the §4.3.3 race where the
+  /// owner returns while the address-space transfer is in flight. Under
+  /// flaky-migration mode (`SetMigrationFlakiness`) the call may fail with
+  /// Unavailable; the process then stays where it was.
   Status Migrate(ProcessId pid, HostId to);
+
+  // --- failure model ---------------------------------------------------
+
+  /// Crashes `host` immediately: every process executing there — foreign
+  /// *and* native — dies in state kLost and the failure handler fires for
+  /// each. The host accepts no spawns or migrations until rebooted.
+  Status CrashHost(HostId host);
+  /// Schedules a crash at absolute virtual time `micros`.
+  Status ScheduleCrash(HostId host, int64_t micros);
+  /// Schedules the host to come back up at absolute virtual time `micros`
+  /// (idle, empty, owner absent). Rebooting an up host is a no-op.
+  Status RebootHost(HostId host, int64_t micros);
+
+  /// Enables seeded flaky-migration mode: each Migrate call fails with
+  /// probability `probability` (deterministically derived from `seed` and
+  /// the call sequence, so runs are reproducible in virtual time).
+  /// Evictions are not flaky — going home always succeeds while the home
+  /// host is up. Probability 0 disables the mode.
+  Status SetMigrationFlakiness(double probability, uint64_t seed);
+
+  /// Lost-process signals (host crash). Runs after the process is
+  /// finalized, like the completion handler; the two are distinct signals
+  /// so the task manager can tell environmental failure from completion
+  /// or eviction.
+  using FailureHandler = std::function<void(const ProcessInfo&)>;
+  void SetFailureHandler(FailureHandler handler) {
+    failure_handler_ = std::move(handler);
+  }
 
   /// Terminates a running process without completion signal.
   Status Kill(ProcessId pid);
@@ -150,6 +190,13 @@ class Network {
   int64_t total_spawns() const { return total_spawns_; }
   /// Aggregate busy CPU-microseconds across hosts (for utilization).
   int64_t total_busy_micros() const { return total_busy_micros_; }
+  int64_t total_crashes() const { return total_crashes_; }
+  /// Processes that died in a host crash.
+  int64_t total_lost() const { return total_lost_; }
+  /// Migrate calls that failed under flaky-migration mode.
+  int64_t total_migration_failures() const {
+    return total_migration_failures_;
+  }
 
   ManualClock* clock() const { return clock_; }
 
@@ -157,13 +204,17 @@ class Network {
   struct Host {
     double speed = 1.0;
     bool owner_active = false;
+    bool up = true;
     std::vector<ProcessId> running;  // pids executing here
   };
 
-  struct OwnerEvent {
+  /// A scheduled change of host state: owner presence, crash, or reboot.
+  struct HostEvent {
+    enum class Kind { kOwner, kCrash, kReboot };
     int64_t micros;
     HostId host;
-    bool active;
+    Kind kind;
+    bool active;  // kOwner only
   };
 
   /// Applies progress to all running processes for the interval since the
@@ -174,14 +225,20 @@ class Network {
   void Complete(ProcessId pid, int64_t now);
   void EvictForeigners(HostId host);
   void DetachFromHost(ProcessId pid);
+  /// Finalizes a process as kLost and fires the failure handler.
+  void LoseProcess(ProcessId pid, int64_t now);
+  void PushHostEvent(HostEvent ev);
   double RateOf(const ProcessInfo& p) const;
+  /// Deterministic draw in [0, 1) for flaky-migration decisions.
+  double NextFlakyDraw();
 
   ManualClock* clock_;
   std::vector<Host> hosts_;
   std::map<ProcessId, ProcessInfo> processes_;
-  std::vector<OwnerEvent> owner_events_;  // kept sorted by time
+  std::vector<HostEvent> host_events_;  // kept sorted by time
   CompletionHandler completion_handler_;
   EvictionHandler eviction_handler_;
+  FailureHandler failure_handler_;
   ProcessId next_pid_ = 1;
   int running_count_ = 0;
   int64_t last_accrual_micros_ = 0;
@@ -189,7 +246,12 @@ class Network {
   int64_t total_evictions_ = 0;
   int64_t total_spawns_ = 0;
   int64_t total_busy_micros_ = 0;
+  int64_t total_crashes_ = 0;
+  int64_t total_lost_ = 0;
+  int64_t total_migration_failures_ = 0;
   int64_t migration_cost_micros_ = 0;
+  double migration_flakiness_ = 0.0;
+  uint64_t flaky_state_ = 0;
 };
 
 }  // namespace papyrus::sprite

@@ -41,6 +41,11 @@ struct TaskHistoryRecord {
   int64_t invoke_micros = 0;
   int64_t commit_micros = 0;
   int restarts = 0;  // programmable-abort restarts during the run
+  // Environmental-failure accounting, kept separate from `restarts`
+  // (programmable aborts are design decisions; these are infrastructure).
+  int64_t steps_lost = 0;     // step processes killed by host crashes
+  int64_t steps_retried = 0;  // re-dispatches after loss/transient failure
+  int64_t backoff_micros_total = 0;  // virtual time spent backing off
 };
 
 }  // namespace papyrus::task

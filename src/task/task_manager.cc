@@ -2,6 +2,7 @@
 #include "base/macros.h"
 
 #include <algorithm>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <set>
@@ -50,6 +51,9 @@ struct ResolvedStep {
   bool has_explicit_resumed = false;
   int resumed_user_id = 0;
   std::vector<int> control_deps;  // user ids within `scope`
+  /// Environmental retries already consumed by this step (host crashes and
+  /// transient tool failures; programmable-abort restarts reset it).
+  int attempt = 0;
 };
 
 /// One in-flight (or suspended) task invocation: the state machine that
@@ -79,8 +83,16 @@ class Execution {
   bool done() const { return done_; }
   bool remigration() const { return invocation_.remigration; }
   void OnProcessComplete(const sprite::ProcessInfo& pinfo);
+  /// Routed from the network's failure handler: the host running this
+  /// step crashed. Schedules an environmental retry (or fails the step
+  /// when retries are exhausted).
+  void OnProcessLost(const sprite::ProcessInfo& pinfo);
   /// Called by the driver when the whole system is wedged.
   void OnDeadlock();
+  /// Earliest virtual time at which a backed-off retry becomes
+  /// dispatchable, or INT64_MAX when none is pending. The driver advances
+  /// the clock here when the network itself has no events left.
+  int64_t NextRetryMicros() const;
   Result<TaskHistoryRecord> TakeResult();
 
  private:
@@ -102,6 +114,12 @@ class Execution {
     std::shared_ptr<FrameCtx> ctx;
     size_t idx;
   };
+  /// A step waiting out its exponential backoff before re-dispatch.
+  struct PendingRetry {
+    ResolvedStep step;
+    int64_t ready_micros = 0;
+    int64_t backoff_micros = 0;
+  };
 
   void RegisterTdlCommands();
   void ResetInterp();
@@ -117,12 +135,26 @@ class Execution {
     return scope + "#" + std::to_string(user_id);
   }
   bool NeedsSync(const tcl::RawCommand& cmd) const;
-  bool Quiescent() const { return active_.empty() && suspending_.empty(); }
+  bool Quiescent() const {
+    return active_.empty() && suspending_.empty() && retry_queue_.empty();
+  }
 
   bool StepIsReady(const ResolvedStep& step) const;
   Status DispatchStep(const ResolvedStep& step);
   void IssueStep(ResolvedStep step);
   void RescanSuspending();
+  /// Queues an environmental retry with exponential backoff. Returns
+  /// false when the step has exhausted its retry budget (the caller then
+  /// surfaces the failure through the normal step-failure path).
+  bool RequeueEnvironmental(const ResolvedStep& step);
+  /// Dispatches retries whose backoff has elapsed. Returns true when any
+  /// step was re-dispatched.
+  bool DispatchDueRetries();
+  /// Records a step failure with `exit_status`/`message` and runs the
+  /// §4.3.4 failure policy (ResumedStep restart or $status surfacing).
+  void FailStep(const ResolvedStep& step, int exit_status,
+                const std::string& message, int64_t dispatch_micros,
+                sprite::HostId host);
   void HandleStepFailure(const ResolvedStep& step);
   void ScheduleRestart(int resumed_internal_id);
   void DoRestart(int resumed_internal_id);
@@ -146,6 +178,7 @@ class Execution {
 
   std::map<sprite::ProcessId, ActiveEntry> active_;
   std::vector<ResolvedStep> suspending_;
+  std::vector<PendingRetry> retry_queue_;
   std::map<std::string, ResultEntry> result_;  // actual name -> entry
   std::set<std::string> completed_keys_;       // scope#uid, successful
   std::map<std::string, int> key_internal_ids_;  // scope#uid -> internal id
@@ -158,6 +191,9 @@ class Execution {
   bool any_failed_ = false;
   std::string failure_messages_;
   int restarts_ = 0;
+  int64_t steps_lost_ = 0;
+  int64_t steps_retried_ = 0;
+  int64_t backoff_micros_total_ = 0;
   int64_t invoke_micros_ = 0;
   bool done_ = false;
   Status result_status_;
@@ -270,6 +306,12 @@ bool Execution::Advance() {
     AbortTask(abort_status_);
     return true;
   }
+  if (DispatchDueRetries()) progress = true;
+  if (done_) return true;
+  if (pending_abort_) {
+    AbortTask(abort_status_);
+    return true;
+  }
   if (pending_restart_.has_value()) {
     if (restarts_ >= invocation_.max_restarts) {
       AbortTask(Status::Aborted("restart limit exceeded (" +
@@ -324,8 +366,9 @@ bool Execution::Advance() {
       return true;  // handled at the next Advance
     }
   }
-  // Interpretation complete; finalize once all dispatched work settles.
-  if (!active_.empty()) return progress;
+  // Interpretation complete; finalize once all dispatched work settles
+  // (including steps still waiting out a retry backoff).
+  if (!active_.empty() || !retry_queue_.empty()) return progress;
   if (pending_abort_ || pending_restart_.has_value()) return progress;
   if (!suspending_.empty()) {
     std::string names;
@@ -614,7 +657,15 @@ bool Execution::StepIsReady(const ResolvedStep& step) const {
 void Execution::IssueStep(ResolvedStep step) {
   if (StepIsReady(step)) {
     Status st = DispatchStep(step);
-    if (!st.ok()) {
+    if (st.IsUnavailable()) {
+      // Environmental: no host can take the process right now (e.g. the
+      // home node is down). Back off and retry rather than aborting.
+      if (!RequeueEnvironmental(step)) {
+        FailStep(step, cadtools::kToolExitTransient,
+                 st.message() + " (retries exhausted)",
+                 mgr_->network_->clock()->NowMicros(), sprite::kNoHost);
+      }
+    } else if (!st.ok()) {
       pending_abort_ = true;
       abort_status_ = st;
     }
@@ -678,7 +729,15 @@ void Execution::RescanSuspending() {
         ResolvedStep step = std::move(suspending_[i]);
         suspending_.erase(suspending_.begin() + i);
         Status st = DispatchStep(step);
-        if (!st.ok()) {
+        if (st.IsUnavailable()) {
+          if (!RequeueEnvironmental(step)) {
+            FailStep(step, cadtools::kToolExitTransient,
+                     st.message() + " (retries exhausted)",
+                     mgr_->network_->clock()->NowMicros(),
+                     sprite::kNoHost);
+            return;
+          }
+        } else if (!st.ok()) {
           pending_abort_ = true;
           abort_status_ = st;
           return;
@@ -688,6 +747,108 @@ void Execution::RescanSuspending() {
       }
     }
   }
+}
+
+bool Execution::RequeueEnvironmental(const ResolvedStep& step) {
+  if (step.attempt >= invocation_.max_step_retries) return false;
+  PendingRetry retry;
+  retry.step = step;
+  retry.step.attempt = step.attempt + 1;
+  // Exponential backoff in virtual time, capped so the shift stays sane.
+  int shift = std::min(step.attempt, 20);
+  retry.backoff_micros = invocation_.retry_backoff_micros << shift;
+  retry.ready_micros =
+      mgr_->network_->clock()->NowMicros() + retry.backoff_micros;
+  backoff_micros_total_ += retry.backoff_micros;
+  retry_queue_.push_back(std::move(retry));
+  return true;
+}
+
+bool Execution::DispatchDueRetries() {
+  bool dispatched = false;
+  int64_t now = mgr_->network_->clock()->NowMicros();
+  for (size_t i = 0; i < retry_queue_.size();) {
+    if (retry_queue_[i].ready_micros > now) {
+      ++i;
+      continue;
+    }
+    PendingRetry retry = std::move(retry_queue_[i]);
+    retry_queue_.erase(retry_queue_.begin() + i);
+    ++steps_retried_;
+    ++mgr_->steps_retried_;
+    if (observer_ != nullptr) {
+      observer_->OnStepRetried(retry.step.name, retry.step.attempt,
+                               retry.backoff_micros);
+    }
+    Status st = DispatchStep(retry.step);
+    if (st.IsUnavailable()) {
+      if (!RequeueEnvironmental(retry.step)) {
+        FailStep(retry.step, cadtools::kToolExitTransient,
+                 st.message() + " (retries exhausted)", now,
+                 sprite::kNoHost);
+        return true;
+      }
+    } else if (!st.ok()) {
+      pending_abort_ = true;
+      abort_status_ = st;
+      return true;
+    }
+    dispatched = true;
+  }
+  return dispatched;
+}
+
+void Execution::FailStep(const ResolvedStep& step, int exit_status,
+                         const std::string& message,
+                         int64_t dispatch_micros, sprite::HostId host) {
+  interp_->SetVar("status", std::to_string(exit_status));
+  StepRecord record;
+  record.step_name = step.name;
+  record.tool = step.tool;
+  record.invocation =
+      step.tool + (step.options.empty() ? "" : " " + step.options);
+  record.dispatch_micros = dispatch_micros;
+  record.completion_micros = mgr_->network_->clock()->NowMicros();
+  record.host = host;
+  record.exit_status = exit_status;
+  record.message = message;
+  record.internal_id = step.internal_id;
+  step_records_.push_back(record);
+  ++mgr_->steps_executed_;
+  if (observer_ != nullptr) observer_->OnStepCompleted(record);
+  any_failed_ = true;
+  if (!failure_messages_.empty()) failure_messages_ += "; ";
+  failure_messages_ += message;
+  HandleStepFailure(step);
+}
+
+void Execution::OnProcessLost(const sprite::ProcessInfo& pinfo) {
+  auto it = active_.find(pinfo.pid);
+  if (it == active_.end()) return;
+  ActiveEntry entry = std::move(it->second);
+  active_.erase(it);
+  mgr_->pid_router_.erase(pinfo.pid);
+  ++steps_lost_;
+  ++mgr_->steps_lost_;
+  if (observer_ != nullptr) {
+    observer_->OnHostFailed(pinfo.current_host, entry.step.name);
+  }
+  // A lost step is an environmental failure: the tool never ran, so there
+  // is nothing to undo — re-dispatch on a surviving host with backoff.
+  if (RequeueEnvironmental(entry.step)) return;
+  FailStep(entry.step, cadtools::kToolExitTransient,
+           entry.step.tool + ": host " +
+               std::to_string(pinfo.current_host) +
+               " crashed (retries exhausted)",
+           entry.dispatch_micros, pinfo.current_host);
+}
+
+int64_t Execution::NextRetryMicros() const {
+  int64_t best = std::numeric_limits<int64_t>::max();
+  for (const PendingRetry& retry : retry_queue_) {
+    best = std::min(best, retry.ready_micros);
+  }
+  return best;
 }
 
 void Execution::OnProcessComplete(const sprite::ProcessInfo& pinfo) {
@@ -735,6 +896,14 @@ void Execution::OnProcessComplete(const sprite::ProcessInfo& pinfo) {
                std::to_string(res.outputs.size()) + " outputs, template " +
                "declares " +
                std::to_string(entry.step.output_names.size()));
+  }
+
+  if (res.exit_status != 0 && res.transient) {
+    // Transient tool failure (EX_TEMPFAIL): retry with backoff instead of
+    // surfacing the failure to the template. No StepRecord is written for
+    // the failed attempt; only exhausted retries become visible.
+    if (RequeueEnvironmental(entry.step)) return;
+    res.message += " (retries exhausted)";
   }
 
   interp_->SetVar("status", std::to_string(res.exit_status));
@@ -849,6 +1018,12 @@ void Execution::DoRestart(int j) {
                        return s.internal_id > j;
                      }),
       suspending_.end());
+  retry_queue_.erase(
+      std::remove_if(retry_queue_.begin(), retry_queue_.end(),
+                     [j](const PendingRetry& r) {
+                       return r.step.internal_id > j;
+                     }),
+      retry_queue_.end());
   for (auto it = result_.begin(); it != result_.end();) {
     if (it->second.creating_internal_id > j) {
       (void)mgr_->db_->MarkInvisible(it->second.id);
@@ -906,6 +1081,7 @@ void Execution::AbortTask(Status status) {
   }
   active_.clear();
   suspending_.clear();
+  retry_queue_.clear();
   // Remove all side effects: every object the task created becomes
   // invisible (§3.3.1 "deletes" via visibility).
   for (const auto& [name, entry] : result_) {
@@ -947,6 +1123,9 @@ void Execution::Commit() {
   record.invoke_micros = invoke_micros_;
   record.commit_micros = mgr_->network_->clock()->NowMicros();
   record.restarts = restarts_;
+  record.steps_lost = steps_lost_;
+  record.steps_retried = steps_retried_;
+  record.backoff_micros_total = backoff_micros_total_;
   record_ = std::move(record);
   result_status_ = Status::OK();
   done_ = true;
@@ -978,6 +1157,10 @@ TaskManager::TaskManager(oct::OctDatabase* db,
   network_->SetCompletionHandler([this](const sprite::ProcessInfo& p) {
     auto it = pid_router_.find(p.pid);
     if (it != pid_router_.end()) it->second->OnProcessComplete(p);
+  });
+  network_->SetFailureHandler([this](const sprite::ProcessInfo& p) {
+    auto it = pid_router_.find(p.pid);
+    if (it != pid_router_.end()) it->second->OnProcessLost(p);
   });
 }
 
@@ -1034,6 +1217,20 @@ void TaskManager::DriveAll(std::vector<internal::Execution*>& executions) {
     if (progress) continue;
     TryRemigration();
     if (network_->Step()) continue;
+    // The network has no events left, but a backed-off retry may still be
+    // waiting on virtual time: jump the clock to the earliest one.
+    int64_t next_retry = std::numeric_limits<int64_t>::max();
+    for (internal::Execution* exec : executions) {
+      if (!exec->done()) {
+        next_retry = std::min(next_retry, exec->NextRetryMicros());
+      }
+    }
+    if (next_retry != std::numeric_limits<int64_t>::max()) {
+      if (next_retry > network_->clock()->NowMicros()) {
+        network_->clock()->SetMicros(next_retry);
+      }
+      continue;
+    }
     // Nothing can move: deadlock.
     for (internal::Execution* exec : executions) {
       if (!exec->done()) exec->OnDeadlock();

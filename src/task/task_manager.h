@@ -33,6 +33,13 @@ struct TaskInvocation {
   bool remigration = true;  // §4.3.3
   int max_restarts = 8;     // bound on programmable-abort restarts
   uint64_t seed = 1;        // base seed for source-less tools (edit)
+  /// Bound on *environmental* retries per step (host crash or transient
+  /// tool failure). Separate from `max_restarts`: a lost step is
+  /// re-dispatched in place, never unwound.
+  int max_step_retries = 4;
+  /// Base of the exponential backoff applied before each environmental
+  /// re-dispatch, in virtual microseconds (doubles per attempt).
+  int64_t retry_backoff_micros = 1000;
 };
 
 /// Observation and interaction hooks — the library-level equivalent of the
@@ -54,6 +61,22 @@ class TaskObserver {
                                int resumed_internal_id) {
     (void)task_name;
     (void)resumed_internal_id;
+  }
+  /// A step is being re-dispatched after an environmental failure (host
+  /// crash or transient tool failure). `attempt` counts retries of this
+  /// step so far (1 = first retry); `backoff_micros` is the virtual-time
+  /// delay that preceded this re-dispatch.
+  virtual void OnStepRetried(const std::string& step_name, int attempt,
+                             int64_t backoff_micros) {
+    (void)step_name;
+    (void)attempt;
+    (void)backoff_micros;
+  }
+  /// A workstation crashed while it was running this task's step.
+  virtual void OnHostFailed(sprite::HostId host,
+                            const std::string& step_name) {
+    (void)host;
+    (void)step_name;
   }
 };
 
@@ -94,6 +117,11 @@ class TaskManager {
   int64_t tasks_aborted() const { return tasks_aborted_; }
   int64_t steps_executed() const { return steps_executed_; }
   int64_t remigrations() const { return remigrations_; }
+  /// Step processes lost to host crashes, across all invocations.
+  int64_t steps_lost() const { return steps_lost_; }
+  /// Environmental re-dispatches (crash + transient), across all
+  /// invocations.
+  int64_t steps_retried() const { return steps_retried_; }
 
   oct::OctDatabase* database() const { return db_; }
   const cadtools::ToolRegistry* tools() const { return tools_; }
@@ -122,6 +150,8 @@ class TaskManager {
   int64_t tasks_aborted_ = 0;
   int64_t steps_executed_ = 0;
   int64_t remigrations_ = 0;
+  int64_t steps_lost_ = 0;
+  int64_t steps_retried_ = 0;
 };
 
 }  // namespace papyrus::task

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "base/clock.h"
+#include "cadtools/registry.h"
+#include "fault/fault_plan.h"
+#include "oct/database.h"
+#include "oct/design_data.h"
+#include "sprite/network.h"
+#include "task/task_manager.h"
+#include "tdl/template.h"
+
+namespace papyrus::fault {
+namespace {
+
+using oct::BehavioralSpec;
+using oct::ObjectId;
+using oct::TextData;
+
+/// Everything externally observable about one workload run: whether the
+/// task committed, the rendered payload of each declared output, the set
+/// of visible object names left in the database, and the environmental
+/// counters.
+struct RunOutcome {
+  bool committed = false;
+  std::map<std::string, std::string> outputs;  // name -> payload text
+  std::set<std::string> visible_names;
+  int64_t steps_lost = 0;
+  int64_t steps_retried = 0;
+  int64_t backoff_micros_total = 0;
+  int64_t crashes = 0;
+};
+
+/// Runs the thesis' Structure_Synthesis flow (6 steps, one subtask, real
+/// parallelism) on a fresh 4-host session, optionally under a fault plan
+/// seeded with `fault_seed` (0 = fault-free).
+RunOutcome RunWorkload(uint64_t fault_seed) {
+  ManualClock clock(0);
+  oct::OctDatabase db(&clock);
+  sprite::Network network(&clock, 4);
+  auto registry = cadtools::CreateStandardRegistry();
+  tdl::TemplateLibrary library;
+  EXPECT_TRUE(tdl::RegisterThesisTemplates(&library).ok());
+
+  FaultPlan plan([&] {
+    FaultPlanOptions opt;
+    opt.seed = fault_seed;
+    opt.host_crash_rate = fault_seed == 0 ? 0.0 : 0.6;
+    // The flow's fault-free makespan is ~1M virtual micros and its serial
+    // steps run on the home host, so crashes must cover the whole span
+    // and be allowed to hit home for chaos to actually bite.
+    opt.horizon_micros = 1'500'000;
+    opt.reboot_delay_micros = 60'000;
+    opt.max_crashes_per_host = 2;
+    opt.spare_home = false;
+    opt.migration_flakiness = fault_seed == 0 ? 0.0 : 0.25;
+    opt.tool_transient_rate = fault_seed == 0 ? 0.0 : 0.15;
+    return opt;
+  }());
+  EXPECT_TRUE(plan.Apply(&network, registry.get()).ok());
+
+  task::TaskManager manager(&db, registry.get(), &network, &library);
+
+  auto behav = db.CreateVersion("shifter", BehavioralSpec{8, 8, 12, 77});
+  auto cmds = db.CreateVersion("sim.cmd", TextData{"run 100"});
+  EXPECT_TRUE(behav.ok() && cmds.ok());
+
+  task::TaskInvocation inv;
+  inv.template_name = "Structure_Synthesis";
+  inv.inputs = {*behav, *cmds};
+  inv.output_names = {"shifter.layout", "shifter.stats"};
+  inv.seed = 42;  // tool outputs depend only on this and the step identity
+  inv.max_step_retries = 6;
+  auto rec = manager.Invoke(inv);
+
+  RunOutcome outcome;
+  outcome.committed = rec.ok();
+  outcome.crashes = network.total_crashes();
+  if (rec.ok()) {
+    outcome.steps_lost = rec->steps_lost;
+    outcome.steps_retried = rec->steps_retried;
+    outcome.backoff_micros_total = rec->backoff_micros_total;
+    for (const ObjectId& id : rec->outputs) {
+      auto out = db.Get(id);
+      EXPECT_TRUE(out.ok());
+      if (out.ok()) {
+        outcome.outputs[id.name] = oct::PayloadToString((*out)->payload);
+      }
+    }
+  }
+  db.ForEach([&](const oct::ObjectRecord& r) {
+    if (r.visible && !r.reclaimed) outcome.visible_names.insert(r.id.name);
+  });
+  return outcome;
+}
+
+TEST(FaultSoakTest, EveryChaosRunCommitsIdenticallyOrAbortsCleanly) {
+  RunOutcome baseline = RunWorkload(0);
+  ASSERT_TRUE(baseline.committed);
+  ASSERT_EQ(baseline.outputs.size(), 2u);
+  EXPECT_EQ(baseline.steps_lost, 0);
+  EXPECT_EQ(baseline.steps_retried, 0);
+
+  int committed_under_chaos = 0;
+  int aborted_under_chaos = 0;
+  int64_t total_lost = 0;
+  for (uint64_t seed = 1; seed <= 24; ++seed) {
+    SCOPED_TRACE("fault seed " + std::to_string(seed));
+    RunOutcome chaos = RunWorkload(seed);
+    if (chaos.committed) {
+      ++committed_under_chaos;
+      total_lost += chaos.steps_lost;
+      // Atomicity + determinism: a committed chaos run is outwardly
+      // indistinguishable from the fault-free run.
+      EXPECT_EQ(chaos.outputs, baseline.outputs);
+      EXPECT_EQ(chaos.visible_names, baseline.visible_names);
+      // Every lost step must have been re-dispatched for the task to
+      // have finished, and each retry waited out a backoff.
+      EXPECT_GE(chaos.steps_retried, chaos.steps_lost);
+      if (chaos.steps_retried > 0) {
+        EXPECT_GT(chaos.backoff_micros_total, 0);
+      }
+    } else {
+      ++aborted_under_chaos;
+      // Zero visible side effects: only the task's inputs remain.
+      EXPECT_EQ(chaos.visible_names,
+                (std::set<std::string>{"shifter", "sim.cmd"}));
+    }
+  }
+  // The soak is vacuous if chaos never bites: across 24 seeds at these
+  // rates, some runs must survive and some environmental damage must
+  // actually have been inflicted and repaired.
+  EXPECT_GT(committed_under_chaos, 0);
+  EXPECT_GT(total_lost + aborted_under_chaos, 0);
+}
+
+TEST(FaultSoakTest, SameSeedReproducesTheSameRun) {
+  RunOutcome a = RunWorkload(11);
+  RunOutcome b = RunWorkload(11);
+  EXPECT_EQ(a.committed, b.committed);
+  EXPECT_EQ(a.outputs, b.outputs);
+  EXPECT_EQ(a.visible_names, b.visible_names);
+  EXPECT_EQ(a.steps_lost, b.steps_lost);
+  EXPECT_EQ(a.steps_retried, b.steps_retried);
+  EXPECT_EQ(a.crashes, b.crashes);
+}
+
+TEST(FaultPlanTest, ValidatesOptionsAndSparesHome) {
+  ManualClock clock(0);
+  sprite::Network network(&clock, 4);
+
+  FaultPlanOptions bad;
+  bad.host_crash_rate = 1.5;
+  EXPECT_FALSE(FaultPlan(bad).Apply(&network, nullptr).ok());
+  bad = FaultPlanOptions{};
+  bad.horizon_micros = 0;
+  EXPECT_FALSE(FaultPlan(bad).Apply(&network, nullptr).ok());
+  EXPECT_FALSE(FaultPlan(FaultPlanOptions{}).Apply(nullptr, nullptr).ok());
+
+  FaultPlanOptions opt;
+  opt.seed = 3;
+  opt.host_crash_rate = 0.9;
+  opt.max_crashes_per_host = 3;
+  FaultPlan plan(opt);
+  ASSERT_TRUE(plan.Apply(&network, nullptr).ok());
+  EXPECT_FALSE(plan.scheduled_crashes().empty());
+  for (const ScheduledCrash& c : plan.scheduled_crashes()) {
+    EXPECT_NE(c.host, network.home_host());
+    EXPECT_GT(c.crash_micros, 0);
+    EXPECT_GT(c.reboot_micros, c.crash_micros);
+  }
+  // One-shot: a second Apply is refused.
+  EXPECT_TRUE(
+      plan.Apply(&network, nullptr).IsFailedPrecondition());
+}
+
+TEST(FaultPlanTest, TransientInjectionsAreCountedAndRetryable) {
+  ManualClock clock(0);
+  sprite::Network network(&clock, 2);
+  auto registry = cadtools::CreateStandardRegistry();
+
+  FaultPlanOptions opt;
+  opt.seed = 5;
+  opt.tool_transient_rate = 0.5;
+  FaultPlan plan(opt);
+  ASSERT_TRUE(plan.Apply(&network, registry.get()).ok());
+
+  auto tool = registry->Find("espresso");
+  ASSERT_TRUE(tool.ok());
+  oct::DesignPayload input =
+      oct::LogicNetwork{.num_inputs = 4, .num_outputs = 2, .minterms = 9,
+                        .format = oct::DesignFormat::kPla, .seed = 9};
+  cadtools::ToolRunContext ctx;
+  ctx.inputs = {&input};
+  ctx.input_names = {"net"};
+  ctx.seed = 1;
+  int transients = 0;
+  int successes = 0;
+  for (int i = 0; i < 40; ++i) {
+    cadtools::ToolRunResult res = (*tool)->Run(ctx);
+    if (res.transient) {
+      ++transients;
+      EXPECT_EQ(res.exit_status, cadtools::kToolExitTransient);
+    } else {
+      EXPECT_EQ(res.exit_status, 0) << res.message;
+      ++successes;
+    }
+  }
+  // Draws advance per run, so the same invocation both fails and
+  // succeeds across retries — a transient failure never dooms a step.
+  EXPECT_GT(transients, 0);
+  EXPECT_GT(successes, 0);
+  EXPECT_EQ(plan.transient_injections(), transients);
+}
+
+}  // namespace
+}  // namespace papyrus::fault

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <string>
+#include <vector>
+
 #include "activity/persistence.h"
 #include "base/clock.h"
 #include "base/strings.h"
@@ -195,6 +199,167 @@ TEST_F(ThreadPersistenceTest, FullSessionCrashRecovery) {
   auto sc = restored_->ResolveInScope("s.sc");
   ASSERT_TRUE(sc.ok());
   EXPECT_TRUE((*db)->Get(*sc).ok());
+}
+
+TEST(PercentEncodingTest, StrictDecoderRejectsMalformedEscapes) {
+  // Valid input decodes identically to the lenient decoder.
+  for (const std::string& s :
+       {std::string("plain"), std::string("has space"),
+        std::string("new\nline"), std::string("100% sure")}) {
+    auto dec = PercentDecodeStrict(PercentEncode(s));
+    ASSERT_TRUE(dec.ok()) << s;
+    EXPECT_EQ(*dec, s);
+  }
+  // Malformed escapes are errors, not pass-throughs.
+  EXPECT_TRUE(PercentDecodeStrict("%G1").status().IsInvalidArgument());
+  EXPECT_TRUE(PercentDecodeStrict("%1G").status().IsInvalidArgument());
+  EXPECT_TRUE(PercentDecodeStrict("abc%").status().IsInvalidArgument());
+  EXPECT_TRUE(PercentDecodeStrict("abc%4").status().IsInvalidArgument());
+  EXPECT_TRUE(PercentDecodeStrict("ok%20fine").ok());
+  // The lenient decoder keeps its historical pass-through behavior.
+  EXPECT_EQ(PercentDecode("%G1"), "%G1");
+}
+
+class CorruptionRecoveryTest : public ::testing::Test {
+ protected:
+  /// A database with several objects, serialized in v2 format.
+  std::string MakeSnapshot(int objects) {
+    ManualClock clock(0);
+    oct::OctDatabase db(&clock);
+    for (int i = 0; i < objects; ++i) {
+      auto v = db.CreateVersion("obj" + std::to_string(i),
+                                TextData{"payload " + std::to_string(i)});
+      EXPECT_TRUE(v.ok());
+    }
+    return SerializeDatabase(db);
+  }
+  ManualClock clock_{0};
+};
+
+TEST_F(CorruptionRecoveryTest, CleanSnapshotReportsNoDamage) {
+  std::string snap = MakeSnapshot(5);
+  RestoreStats stats;
+  auto db = RestoreDatabase(snap, &clock_, &stats);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(stats.records_restored, 5);
+  EXPECT_EQ(stats.records_dropped, 0);
+  EXPECT_FALSE(stats.truncated);
+  EXPECT_EQ((*db)->TotalVersionCount(), 5);
+}
+
+TEST_F(CorruptionRecoveryTest, TruncationRecoversThePrefix) {
+  std::string snap = MakeSnapshot(6);
+  // Cut the file mid-way: keep the header and roughly half the records.
+  size_t cut = snap.size() / 2;
+  std::string truncated = snap.substr(0, snap.rfind('\n', cut) + 1);
+  RestoreStats stats;
+  auto db = RestoreDatabase(truncated, &clock_, &stats);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_TRUE(stats.truncated);
+  EXPECT_GT(stats.records_restored, 0);
+  EXPECT_LT(stats.records_restored, 6);
+  EXPECT_EQ((*db)->TotalVersionCount(), stats.records_restored);
+}
+
+TEST_F(CorruptionRecoveryTest, BitFlipDropsTheDamagedSuffix) {
+  std::string snap = MakeSnapshot(6);
+  // Flip a byte inside the third record line's body.
+  std::vector<std::string> lines = Split(snap, '\n');
+  ASSERT_GT(lines.size(), 4u);
+  std::string& victim = lines[3];  // header + two intact records first
+  victim[victim.size() / 2] ^= 0x20;
+  std::string damaged = Join(lines, "\n");
+  RestoreStats stats;
+  auto db = RestoreDatabase(damaged, &clock_, &stats);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_TRUE(stats.truncated);
+  EXPECT_EQ(stats.records_restored, 2);
+  EXPECT_EQ(stats.records_dropped, 4);
+  EXPECT_EQ((*db)->TotalVersionCount(), 2);
+}
+
+TEST_F(CorruptionRecoveryTest, LegacyV1SnapshotsStillRestore) {
+  ManualClock clock(0);
+  EXPECT_TRUE(RestoreDatabase("papyrus-db 1\n"
+                              "object ~x 1 ~ 0 0 4 1 0 none\n"
+                              "end\n",
+                              &clock)
+                  .ok());
+  EXPECT_TRUE(RestoreThread("papyrus-thread 1\nmeta 3 ~legacy 0 8\nend\n",
+                            &clock)
+                  .ok());
+}
+
+TEST_F(CorruptionRecoveryTest, DamagedThreadPrunesDanglingLinks) {
+  // Build a real two-node thread, then chop the snapshot so the second
+  // node is lost; the survivor's child link and the cursor must not
+  // reference the dropped node.
+  Papyrus session;
+  int tid = session.CreateThread("chopped");
+  auto p1 =
+      session.Invoke(tid, "Create_Logic_Description", {}, {"c.logic"});
+  ASSERT_TRUE(p1.ok());
+  auto p2 = session.Invoke(tid, "PLA_Generation", {"c.logic"}, {"c.pla"});
+  ASSERT_TRUE(p2.ok());
+  auto thread = session.activity().GetThread(tid);
+  ASSERT_TRUE(thread.ok());
+  std::string snap = SerializeThread(**thread);
+
+  // Drop every line belonging to node p2 and the trailer.
+  std::vector<std::string> lines = Split(snap, '\n');
+  std::string marker = "node " + std::to_string(*p2) + ' ';
+  size_t keep = lines.size();
+  for (size_t i = 0; i < lines.size(); ++i) {
+    if (StartsWith(lines[i], marker)) {
+      keep = i;
+      break;
+    }
+  }
+  ASSERT_LT(keep, lines.size());
+  lines.resize(keep);
+  std::string damaged = Join(lines, "\n") + "\n";
+
+  RestoreStats stats;
+  auto restored = RestoreThread(damaged, &clock_, &stats);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_TRUE(stats.truncated);
+  EXPECT_TRUE((*restored)->HasNode(*p1));
+  EXPECT_FALSE((*restored)->HasNode(*p2));
+  auto node = (*restored)->GetNode(*p1);
+  ASSERT_TRUE(node.ok());
+  EXPECT_TRUE((*node)->children.empty());
+  // The cursor pointed at p2; it falls back to a valid point.
+  EXPECT_NE((*restored)->current_cursor(), *p2);
+  // The recovered thread still works.
+  EXPECT_TRUE((*restored)->DataScope().ok());
+}
+
+TEST(AtomicSaveTest, SaveLeavesNoTempFilesAndRoundTrips) {
+  namespace fs = std::filesystem;
+  fs::path dir =
+      fs::temp_directory_path() / "papyrus_atomic_save_test";
+  fs::remove_all(dir);
+
+  Papyrus session;
+  int tid = session.CreateThread("saved");
+  auto p1 =
+      session.Invoke(tid, "Create_Logic_Description", {}, {"a.logic"});
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(session.SaveSession(dir.string()).ok());
+  // Save again over the existing snapshot: the rename path must handle
+  // replacement, and no *.tmp litter may remain.
+  ASSERT_TRUE(session.SaveSession(dir.string()).ok());
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    EXPECT_NE(entry.path().extension(), ".tmp") << entry.path();
+  }
+
+  Papyrus fresh;
+  ASSERT_TRUE(fresh.LoadSession(dir.string()).ok());
+  EXPECT_EQ(fresh.last_restore_stats().records_dropped, 0);
+  EXPECT_FALSE(fresh.last_restore_stats().truncated);
+  EXPECT_EQ(fresh.database().TotalVersionCount(),
+            session.database().TotalVersionCount());
+  fs::remove_all(dir);
 }
 
 TEST(ThreadPersistenceErrorTest, RejectsGarbage) {

@@ -205,6 +205,153 @@ TEST_F(NetworkTest, SpawnValidation) {
   EXPECT_FALSE(net_.Spawn(kNoProcess, "x", -1, 0, true).ok());
 }
 
+TEST_F(NetworkTest, CrashKillsEveryProcessOnTheHost) {
+  std::vector<ProcessId> lost;
+  int completions = 0;
+  net_.SetFailureHandler(
+      [&](const ProcessInfo& p) { lost.push_back(p.pid); });
+  net_.SetCompletionHandler([&](const ProcessInfo&) { ++completions; });
+  // One native and one foreign (spawned elsewhere, migrated in) process.
+  auto native = net_.Spawn(kNoProcess, "native", 10000, 2, true);
+  auto foreign = net_.Spawn(kNoProcess, "foreign", 10000, 0, true);
+  ASSERT_TRUE(native.ok() && foreign.ok());
+  ASSERT_TRUE(net_.Migrate(*foreign, 2).ok());
+  ASSERT_TRUE(net_.CrashHost(2).ok());
+  EXPECT_EQ(lost.size(), 2u);
+  EXPECT_EQ(completions, 0);
+  EXPECT_FALSE(net_.IsUp(2));
+  EXPECT_FALSE(net_.IsIdle(2));
+  EXPECT_EQ(net_.total_crashes(), 1);
+  EXPECT_EQ(net_.total_lost(), 2);
+  for (ProcessId pid : {*native, *foreign}) {
+    auto info = net_.GetProcess(pid);
+    ASSERT_TRUE(info.ok());
+    EXPECT_EQ(info->state, ProcessState::kLost);
+  }
+  // A down host accepts neither spawns nor migrations.
+  EXPECT_TRUE(net_.Spawn(kNoProcess, "x", 100, 2, true)
+                  .status().IsUnavailable());
+  auto other = net_.Spawn(kNoProcess, "y", 100, 0, true);
+  ASSERT_TRUE(other.ok());
+  EXPECT_TRUE(net_.Migrate(*other, 2).IsUnavailable());
+  // Crashing a down host is an error; crashing a bogus host too.
+  EXPECT_TRUE(net_.CrashHost(2).IsFailedPrecondition());
+  EXPECT_FALSE(net_.CrashHost(99).ok());
+}
+
+TEST_F(NetworkTest, ScheduledCrashAndRebootFireInVirtualTime) {
+  std::vector<ProcessId> lost;
+  net_.SetFailureHandler(
+      [&](const ProcessInfo& p) { lost.push_back(p.pid); });
+  auto pid = net_.Spawn(kNoProcess, "victim", 5000, 1, true);
+  ASSERT_TRUE(pid.ok());
+  ASSERT_TRUE(net_.ScheduleCrash(1, 2000).ok());
+  ASSERT_TRUE(net_.RebootHost(1, 3000).ok());
+  net_.RunUntilQuiescent();
+  EXPECT_EQ(lost.size(), 1u);
+  auto info = net_.GetProcess(*pid);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->state, ProcessState::kLost);
+  EXPECT_EQ(info->finish_micros, 2000);
+  // After the reboot the host is usable again.
+  EXPECT_TRUE(net_.IsUp(1));
+  EXPECT_TRUE(net_.IsIdle(1));
+  auto pid2 = net_.Spawn(kNoProcess, "fresh", 100, 1, true);
+  EXPECT_TRUE(pid2.ok());
+  // Scheduling into the past is rejected.
+  EXPECT_FALSE(net_.ScheduleCrash(1, 0).ok());
+  EXPECT_FALSE(net_.RebootHost(1, 0).ok());
+}
+
+TEST_F(NetworkTest, FindIdleHostSkipsDownHosts) {
+  for (HostId h = 1; h < 4; ++h) {
+    ASSERT_TRUE(net_.CrashHost(h).ok());
+  }
+  auto h = net_.FindIdleHost(/*exclude_home=*/true);
+  EXPECT_FALSE(h.ok());
+  auto home = net_.FindIdleHost(/*exclude_home=*/false);
+  ASSERT_TRUE(home.ok());
+  EXPECT_EQ(*home, 0);
+}
+
+TEST_F(NetworkTest, FlakyMigrationFailsSomeCallsDeterministically) {
+  ASSERT_TRUE(net_.SetMigrationFlakiness(0.5, 7).ok());
+  int failures = 0;
+  auto pid = net_.Spawn(kNoProcess, "wanderer", 1000000, 0, true);
+  ASSERT_TRUE(pid.ok());
+  for (int i = 0; i < 40; ++i) {
+    HostId target = 1 + (i % 3);
+    Status st = net_.Migrate(*pid, target);
+    if (st.IsUnavailable()) {
+      ++failures;
+      // Failed migration leaves the process where it was.
+      auto info = net_.GetProcess(*pid);
+      ASSERT_TRUE(info.ok());
+      EXPECT_EQ(info->state, ProcessState::kRunning);
+    } else {
+      ASSERT_TRUE(st.ok());
+    }
+  }
+  // With p=0.5 over 40 draws, both outcomes occur (overwhelmingly).
+  EXPECT_GT(failures, 0);
+  EXPECT_LT(failures, 40);
+  EXPECT_EQ(net_.total_migration_failures(), failures);
+
+  // Same seed => same failure pattern.
+  ManualClock c2(0);
+  Network net2(&c2, 4);
+  ASSERT_TRUE(net2.SetMigrationFlakiness(0.5, 7).ok());
+  auto pid2 = net2.Spawn(kNoProcess, "wanderer", 1000000, 0, true);
+  ASSERT_TRUE(pid2.ok());
+  int failures2 = 0;
+  for (int i = 0; i < 40; ++i) {
+    if (net2.Migrate(*pid2, 1 + (i % 3)).IsUnavailable()) ++failures2;
+  }
+  EXPECT_EQ(failures2, failures);
+  // Probability outside [0, 1) is rejected; 0 disables.
+  EXPECT_FALSE(net_.SetMigrationFlakiness(1.5, 1).ok());
+  ASSERT_TRUE(net_.SetMigrationFlakiness(0.0, 1).ok());
+  EXPECT_TRUE(net_.Migrate(*pid, 1).ok());
+}
+
+TEST_F(NetworkTest, OwnerReturnDuringMigrationBouncesProcessHome) {
+  // The §4.3.3 race: the owner of the target host returns while the
+  // migration is in flight. The process lands, is immediately evicted,
+  // and ends up back home — with both counters accounting the round trip.
+  auto pid = net_.Spawn(kNoProcess, "racer", 10000, 0, true);
+  ASSERT_TRUE(pid.ok());
+  ASSERT_TRUE(net_.SetOwnerActive(3, true).ok());
+  int64_t evictions_before = net_.total_evictions();
+  ASSERT_TRUE(net_.Migrate(*pid, 3).ok());
+  auto info = net_.GetProcess(*pid);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->current_host, net_.home_host());
+  EXPECT_EQ(info->state, ProcessState::kRunning);
+  EXPECT_EQ(info->migration_count, 2);  // out and back
+  EXPECT_EQ(net_.total_evictions(), evictions_before + 1);
+  // The process still completes its full work afterwards.
+  net_.RunUntilQuiescent();
+  auto done = net_.GetProcess(*pid);
+  ASSERT_TRUE(done.ok());
+  EXPECT_EQ(done->state, ProcessState::kCompleted);
+}
+
+TEST_F(NetworkTest, EvictionToACrashedHomeLosesTheProcess) {
+  std::vector<ProcessId> lost;
+  net_.SetFailureHandler(
+      [&](const ProcessInfo& p) { lost.push_back(p.pid); });
+  auto pid = net_.Spawn(kNoProcess, "orphan", 10000, 0, true);
+  ASSERT_TRUE(pid.ok());
+  ASSERT_TRUE(net_.Migrate(*pid, 2).ok());
+  ASSERT_TRUE(net_.CrashHost(0).ok());
+  // Owner returns on host 2: the eviction has nowhere to go.
+  ASSERT_TRUE(net_.SetOwnerActive(2, true).ok());
+  EXPECT_EQ(lost.size(), 1u);
+  auto info = net_.GetProcess(*pid);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->state, ProcessState::kLost);
+}
+
 TEST_F(NetworkTest, SpeedupScalesWithHosts) {
   // 8 independent unit jobs on 1 host vs 4 hosts.
   ManualClock c1(0);
