@@ -8,6 +8,7 @@
 
 #include "base/strings.h"
 #include "core/papyrus.h"
+#include "lint/diagnostics.h"
 
 namespace {
 
@@ -31,6 +32,10 @@ class ConsoleObserver : public papyrus::task::TaskObserver {
     if (rec.exit_status != 0) {
       std::printf("     !! %s\n", rec.message.c_str());
     }
+  }
+  void OnLintDiagnostic(const papyrus::lint::Diagnostic& d) override {
+    // Pre-flight findings stream here before the first step dispatches.
+    std::printf("  lint: %s\n", d.ToString().c_str());
   }
   void OnTaskRestarted(const std::string& task, int resumed) override {
     std::printf("  ** %s restarted from internal command %d "

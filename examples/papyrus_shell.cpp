@@ -14,6 +14,8 @@
 //   invoke THREAD TEMPLATE {inputs} {outputs}
 //   cursor THREAD POINT ?-erase?
 //   templates | template NAME | tools | stats
+//   lint ?NAME...?               (static flow verification; all templates
+//                                 when no names are given)
 //   oattr OBJECT ATTR            (metadata-engine attribute query)
 
 #include <cstdio>
@@ -24,6 +26,7 @@
 #include "activity/display.h"
 #include "base/strings.h"
 #include "core/papyrus.h"
+#include "lint/linter.h"
 #include "tcl/interp.h"
 #include "tdl/template_layout.h"
 
@@ -154,6 +157,33 @@ void RegisterShellCommands(Interp* in, Papyrus* session) {
       });
 
   in->RegisterCommand(
+      "lint", [session](Interp&, const std::vector<std::string>& argv) {
+        papyrus::lint::LintOptions options;
+        options.tools = &session->tools();
+        options.library = &session->templates();
+        std::vector<std::string> names(argv.begin() + 1, argv.end());
+        if (names.empty()) {
+          names = session->templates().TemplateNames();
+        }
+        std::ostringstream os;
+        int errors = 0;
+        int warnings = 0;
+        for (const std::string& name : names) {
+          auto tmpl = session->templates().Find(name);
+          if (!tmpl.ok()) return EvalResult::Error(tmpl.status().message());
+          auto result = papyrus::lint::LintTemplate(**tmpl, options);
+          for (const auto& d : result.diagnostics) {
+            os << d.ToString() << "\n";
+          }
+          errors += result.errors;
+          warnings += result.warnings;
+        }
+        os << names.size() << " template(s): " << errors << " error(s), "
+           << warnings << " warning(s)";
+        return EvalResult::Ok(os.str());
+      });
+
+  in->RegisterCommand(
       "oattr", [session](Interp&, const std::vector<std::string>& argv) {
         if (argv.size() != 3) {
           return EvalResult::Error("usage: oattr OBJECT[@V] ATTR");
@@ -192,6 +222,7 @@ void RegisterShellCommands(Interp* in, Papyrus* session) {
 constexpr const char* kDemoScript = R"TCL(
 puts "== Papyrus shell demo =="
 puts "templates: [templates]"
+puts "lint: [lint]"
 set t [thread create Shifter-synthesis]
 puts "created thread $t"
 set p1 [invoke $t Create_Logic_Description {} {shifter.logic}]

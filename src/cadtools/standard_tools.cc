@@ -90,6 +90,9 @@ void RegisterEdit(ToolRegistry* reg) {
   d.man_page =
       "edit -inputs N -outputs N -complexity N\n"
       "Creates a behavioral description interactively.";
+  d.min_inputs = 0;
+  d.max_inputs = 0;
+  d.num_outputs = 1;
   Add(reg, d, [](const ToolRunContext& ctx) {
     ToolRunResult r;
     BehavioralSpec spec;
@@ -114,6 +117,9 @@ void RegisterBdsyn(ToolRegistry* reg) {
   d.base_cost_micros = 40000;
   d.cost_per_input_byte = 2.0;
   d.man_page = "bdsyn [-o out] in\nBDS behavioral-to-logic translator.";
+  d.min_inputs = 1;
+  d.max_inputs = 1;
+  d.num_outputs = 1;
   Add(reg, d, [](const ToolRunContext& ctx) {
     const BehavioralSpec* b = AsBehavioral(ctx, 0);
     if (b == nullptr) return WrongInput("bdsyn", "behavioral");
@@ -142,6 +148,9 @@ void RegisterMisII(ToolRegistry* reg) {
   d.man_page =
       "misII [-f script] [-T target] [-o out] in\n"
       "Multi-level logic optimizer.";
+  d.min_inputs = 1;
+  d.max_inputs = 1;
+  d.num_outputs = 1;
   Add(reg, d, [](const ToolRunContext& ctx) {
     const LogicNetwork* n = AsLogic(ctx, 0);
     if (n == nullptr) return WrongInput("misII", "logic");
@@ -172,6 +181,9 @@ void RegisterEspresso(ToolRegistry* reg) {
   d.man_page =
       "espresso [-o equitott|pleasure] in\nTwo-level minimizer; -o picks "
       "the output format (equations or PLA personality).";
+  d.min_inputs = 1;
+  d.max_inputs = 1;
+  d.num_outputs = 1;
   Add(reg, d, [](const ToolRunContext& ctx) {
     const LogicNetwork* n = AsLogic(ctx, 0);
     if (n == nullptr) return WrongInput("espresso", "logic");
@@ -197,6 +209,9 @@ void RegisterPleasure(ToolRegistry* reg) {
   d.base_cost_micros = 60000;
   d.cost_per_input_byte = 3.0;
   d.man_page = "pleasure in\nFolds a PLA personality matrix.";
+  d.min_inputs = 1;
+  d.max_inputs = 1;
+  d.num_outputs = 1;
   Add(reg, d, [](const ToolRunContext& ctx) {
     const LogicNetwork* n = AsLogic(ctx, 0);
     if (n == nullptr) return WrongInput("pleasure", "logic");
@@ -225,6 +240,9 @@ void RegisterPanda(ToolRegistry* reg) {
   d.man_page =
       "panda [-maxarea A] in\nGenerates a PLA-style layout; fails when the "
       "estimated area exceeds -maxarea.";
+  d.min_inputs = 1;
+  d.max_inputs = 1;
+  d.num_outputs = 1;
   Add(reg, d, [](const ToolRunContext& ctx) {
     const LogicNetwork* n = AsLogic(ctx, 0);
     if (n == nullptr) return WrongInput("panda", "logic");
@@ -266,6 +284,9 @@ void RegisterWolfe(ToolRegistry* reg) {
   d.cost_per_input_byte = 20.0;
   d.man_page =
       "wolfe [-f] [-r rows] [-o out] in\nStandard-cell place and route.";
+  d.min_inputs = 1;
+  d.max_inputs = 1;
+  d.num_outputs = 1;
   Add(reg, d, [](const ToolRunContext& ctx) {
     const LogicNetwork* n = AsLogic(ctx, 0);
     if (n == nullptr) return WrongInput("wolfe", "logic");
@@ -295,6 +316,9 @@ void RegisterPadplace(ToolRegistry* reg) {
   d.base_cost_micros = 50000;
   d.cost_per_input_byte = 1.0;
   d.man_page = "padplace [-c] [-f] [-S] [-o out] in\nPlaces I/O pads.";
+  d.min_inputs = 1;
+  d.max_inputs = 1;
+  d.num_outputs = 1;
   Add(reg, d, [](const ToolRunContext& ctx) {
     // Pads can be attached to a physical layout or — as in the Figure 4.2
     // Structure_Synthesis flow, where Padp runs before place&route — to a
@@ -334,6 +358,9 @@ void RegisterMusa(ToolRegistry* reg) {
   d.base_cost_micros = 200000;
   d.cost_per_input_byte = 10.0;
   d.man_page = "musa [-i commands] in\nMulti-level functional simulation.";
+  d.min_inputs = 1;
+  d.max_inputs = 2;
+  d.num_outputs = 0;
   Add(reg, d, [](const ToolRunContext& ctx) {
     const LogicNetwork* n = AsLogic(ctx, 0);
     if (n == nullptr) return WrongInput("musa", "logic");
@@ -358,6 +385,9 @@ void RegisterAtlas(ToolRegistry* reg) {
   d.base_cost_micros = 70000;
   d.cost_per_input_byte = 2.0;
   d.man_page = "atlas [-i] [-z] [-o out] in\nDefines routing channels.";
+  d.min_inputs = 1;
+  d.max_inputs = 1;
+  d.num_outputs = 1;
   Add(reg, d, [](const ToolRunContext& ctx) {
     const Layout* l = AsLayout(ctx, 0);
     if (l == nullptr) return WrongInput("atlas", "layout");
@@ -379,6 +409,9 @@ void RegisterMosaicoGR(ToolRegistry* reg) {
   d.base_cost_micros = 180000;
   d.cost_per_input_byte = 8.0;
   d.man_page = "mosaicoGR in [-r] [-ov out]\nGlobal router.";
+  d.min_inputs = 1;
+  d.max_inputs = 1;
+  d.num_outputs = 1;
   Add(reg, d, [](const ToolRunContext& ctx) {
     const Layout* l = AsLayout(ctx, 0);
     if (l == nullptr) return WrongInput("mosaicoGR", "layout");
@@ -405,6 +438,9 @@ void RegisterPuppy(ToolRegistry* reg) {
   d.base_cost_micros = 220000;
   d.cost_per_input_byte = 10.0;
   d.man_page = "puppy [-o out] in\nPlaces macro cells.";
+  d.min_inputs = 1;
+  d.max_inputs = 1;
+  d.num_outputs = 1;
   Add(reg, d, [](const ToolRunContext& ctx) {
     const Layout* l = AsLayout(ctx, 0);
     if (l == nullptr) return WrongInput("puppy", "layout");
@@ -426,6 +462,9 @@ void RegisterPGcurrent(ToolRegistry* reg) {
   d.base_cost_micros = 40000;
   d.cost_per_input_byte = 1.0;
   d.man_page = "PGcurrent in > report\nComputes P/G rail currents.";
+  d.min_inputs = 1;
+  d.max_inputs = 1;
+  d.num_outputs = 1;
   Add(reg, d, [](const ToolRunContext& ctx) {
     const Layout* l = AsLayout(ctx, 0);
     if (l == nullptr) return WrongInput("PGcurrent", "layout");
@@ -447,6 +486,9 @@ void RegisterMosaicoDR(ToolRegistry* reg) {
   d.base_cost_micros = 250000;
   d.cost_per_input_byte = 12.0;
   d.man_page = "mosaicoDR [-d] [-o out] [-r router] in\nChannel router.";
+  d.min_inputs = 1;
+  d.max_inputs = 1;
+  d.num_outputs = 1;
   Add(reg, d, [](const ToolRunContext& ctx) {
     const Layout* l = AsLayout(ctx, 0);
     if (l == nullptr) return WrongInput("mosaicoDR", "layout");
@@ -482,6 +524,9 @@ void RegisterOctflatten(ToolRegistry* reg) {
   d.base_cost_micros = 30000;
   d.cost_per_input_byte = 1.5;
   d.man_page = "octflatten [-r ref] [-o out] in\nFlattens symbolic views.";
+  d.min_inputs = 1;
+  d.max_inputs = 2;
+  d.num_outputs = 1;
   Add(reg, d, [](const ToolRunContext& ctx) {
     const Layout* l = AsLayout(ctx, 0);
     if (l == nullptr) return WrongInput("octflatten", "layout");
@@ -507,6 +552,9 @@ void RegisterMizer(ToolRegistry* reg) {
   d.base_cost_micros = 90000;
   d.cost_per_input_byte = 4.0;
   d.man_page = "mizer [-o out] in\nMinimizes via count.";
+  d.min_inputs = 1;
+  d.max_inputs = 1;
+  d.num_outputs = 1;
   Add(reg, d, [](const ToolRunContext& ctx) {
     const Layout* l = AsLayout(ctx, 0);
     if (l == nullptr) return WrongInput("mizer", "layout");
@@ -534,6 +582,9 @@ void RegisterSparcs(ToolRegistry* reg) {
   d.man_page =
       "sparcs [-v] [-t] [-w layer]... [-o out] in\nCompacts a layout; -v "
       "compacts vertically first.";
+  d.min_inputs = 1;
+  d.max_inputs = 1;
+  d.num_outputs = 1;
   Add(reg, d, [](const ToolRunContext& ctx) {
     const Layout* l = AsLayout(ctx, 0);
     if (l == nullptr) return WrongInput("sparcs", "layout");
@@ -569,6 +620,9 @@ void RegisterVulcan(ToolRegistry* reg) {
   d.base_cost_micros = 40000;
   d.cost_per_input_byte = 1.0;
   d.man_page = "vulcan in [-o out]\nCreates an abstraction view.";
+  d.min_inputs = 1;
+  d.max_inputs = 1;
+  d.num_outputs = 1;
   Add(reg, d, [](const ToolRunContext& ctx) {
     const Layout* l = AsLayout(ctx, 0);
     if (l == nullptr) return WrongInput("vulcan", "layout");
@@ -590,6 +644,9 @@ void RegisterMosaicoRC(ToolRegistry* reg) {
   d.base_cost_micros = 60000;
   d.cost_per_input_byte = 2.0;
   d.man_page = "mosaicoRC [-m margin] [-c ref] out\nChecks routing.";
+  d.min_inputs = 1;
+  d.max_inputs = 2;
+  d.num_outputs = 0;
   Add(reg, d, [](const ToolRunContext& ctx) {
     const Layout* l = AsLayout(ctx, ctx.inputs.size() - 1);
     if (l == nullptr) return WrongInput("mosaicoRC", "layout");
@@ -613,6 +670,9 @@ void RegisterChipstats(ToolRegistry* reg) {
   d.base_cost_micros = 20000;
   d.cost_per_input_byte = 0.5;
   d.man_page = "chipstats in > report\nReports area/delay/power/cells.";
+  d.min_inputs = 1;
+  d.max_inputs = 1;
+  d.num_outputs = 1;
   Add(reg, d, [](const ToolRunContext& ctx) {
     const Layout* l = AsLayout(ctx, 0);
     if (l == nullptr) return WrongInput("chipstats", "layout");
@@ -636,6 +696,9 @@ void RegisterCrystal(ToolRegistry* reg) {
   d.base_cost_micros = 100000;
   d.cost_per_input_byte = 5.0;
   d.man_page = "crystal in\nStatic timing analyzer.";
+  d.min_inputs = 1;
+  d.max_inputs = 1;
+  d.num_outputs = 1;
   Add(reg, d, [](const ToolRunContext& ctx) {
     const Layout* l = AsLayout(ctx, 0);
     if (l == nullptr) return WrongInput("crystal", "layout");

@@ -104,6 +104,14 @@ struct ToolDescriptor {
   double cost_per_input_byte = 0.0;
   bool interactive = false;
   std::string man_page;
+  /// Call-signature contract used by the static analyzer (papyrus-lint):
+  /// bounds on the number of input objects a step invoking this tool may
+  /// declare, and the exact number of outputs it produces. The permissive
+  /// defaults (any inputs, unchecked outputs) exempt ad-hoc tools that
+  /// don't declare a signature.
+  int min_inputs = 0;
+  int max_inputs = -1;   // -1 = unbounded
+  int num_outputs = -1;  // -1 = unchecked
 };
 
 /// A CAD tool: descriptor plus a pure transformation function.

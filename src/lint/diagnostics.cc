@@ -1,0 +1,105 @@
+#include "lint/diagnostics.h"
+
+#include <sstream>
+
+namespace papyrus::lint {
+
+const char* SeverityToString(Severity severity) {
+  switch (severity) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Diagnostic::ToString() const {
+  std::ostringstream os;
+  os << (file.empty() ? "<template>" : file);
+  if (line > 0) {
+    os << ":" << line;
+    if (column > 0) os << ":" << column;
+  }
+  os << ": " << SeverityToString(severity) << "[" << rule
+     << "]: " << message;
+  return os.str();
+}
+
+std::string Diagnostic::ToJson() const {
+  std::ostringstream os;
+  os << "{\"severity\":\"" << SeverityToString(severity) << "\",\"rule\":\""
+     << JsonEscape(rule) << "\",\"file\":\"" << JsonEscape(file)
+     << "\",\"line\":" << line << ",\"column\":" << column
+     << ",\"template\":\"" << JsonEscape(template_name) << "\",\"step\":\""
+     << JsonEscape(step_name) << "\",\"message\":\"" << JsonEscape(message)
+     << "\"}";
+  return os.str();
+}
+
+std::string DiagnosticsToJson(const std::vector<Diagnostic>& diagnostics) {
+  std::string out = "[";
+  for (size_t i = 0; i < diagnostics.size(); ++i) {
+    out += i == 0 ? "\n  " : ",\n  ";
+    out += diagnostics[i].ToJson();
+  }
+  out += diagnostics.empty() ? "]" : "\n]";
+  return out;
+}
+
+void LineColumnAt(std::string_view text, size_t offset, int* line,
+                  int* column) {
+  int l = 1;
+  int c = 1;
+  for (size_t i = 0; i < offset && i < text.size(); ++i) {
+    if (text[i] == '\n') {
+      ++l;
+      c = 1;
+    } else {
+      ++c;
+    }
+  }
+  *line = l;
+  *column = c;
+}
+
+}  // namespace papyrus::lint

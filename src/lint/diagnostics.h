@@ -1,0 +1,67 @@
+#ifndef PAPYRUS_LINT_DIAGNOSTICS_H_
+#define PAPYRUS_LINT_DIAGNOSTICS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace papyrus::lint {
+
+/// Diagnostic severities. Only kError findings make `papyrus-lint` exit
+/// nonzero and make the task manager's pre-flight hook refuse a template.
+enum class Severity {
+  kNote,
+  kWarning,
+  kError,
+};
+
+const char* SeverityToString(Severity severity);
+
+/// Stable rule identifiers — the catalogue of checks the static analyzer
+/// implements. Templates are linted against all of them; golden tests key
+/// on these strings, so treat them as API.
+namespace rules {
+inline constexpr const char* kParseError = "parse-error";
+inline constexpr const char* kWriteRace = "write-race";
+inline constexpr const char* kUndefinedInput = "undefined-input";
+inline constexpr const char* kUnknownTool = "unknown-tool";
+inline constexpr const char* kToolArity = "tool-arity";
+inline constexpr const char* kDeadStep = "dead-step";
+inline constexpr const char* kUnproducedOutput = "unproduced-output";
+inline constexpr const char* kDependencyCycle = "dependency-cycle";
+inline constexpr const char* kUnresolvedSubtask = "unresolved-subtask";
+inline constexpr const char* kSubtaskArity = "subtask-arity";
+inline constexpr const char* kDuplicateStepId = "duplicate-step-id";
+inline constexpr const char* kUndefinedStepRef = "undefined-step-ref";
+}  // namespace rules
+
+/// One structured finding: severity, rule ID, message, and a file:line:col
+/// span. `file` is the template's source file when linting from disk, or
+/// the template name when linting an in-memory library entry.
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string rule;
+  std::string message;
+  std::string file;
+  int line = 0;  // 1-based; 0 = whole file
+  int column = 0;  // 1-based; 0 = whole line
+  std::string template_name;
+  std::string step_name;  // offending step, when applicable
+
+  /// `file:line:col: severity[rule]: message` — the gcc-style rendering.
+  std::string ToString() const;
+  /// One JSON object (no trailing newline).
+  std::string ToJson() const;
+};
+
+/// Renders a diagnostic list as a JSON array (pretty, one object per
+/// line) for `papyrus-lint --json`.
+std::string DiagnosticsToJson(const std::vector<Diagnostic>& diagnostics);
+
+/// Computes the 1-based line and column of `offset` within `text`.
+void LineColumnAt(std::string_view text, size_t offset, int* line,
+                  int* column);
+
+}  // namespace papyrus::lint
+
+#endif  // PAPYRUS_LINT_DIAGNOSTICS_H_

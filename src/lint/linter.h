@@ -1,0 +1,51 @@
+#ifndef PAPYRUS_LINT_LINTER_H_
+#define PAPYRUS_LINT_LINTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cadtools/registry.h"
+#include "lint/diagnostics.h"
+#include "lint/flow_graph.h"
+#include "tdl/template.h"
+
+namespace papyrus::lint {
+
+/// What the analyzer checks against. Both pointers are optional: without
+/// a tool registry the tool rules are skipped, without a template library
+/// every subtask invocation is reported unresolved.
+struct LintOptions {
+  const cadtools::ToolRegistry* tools = nullptr;
+  const tdl::TemplateLibrary* library = nullptr;
+  std::string file;  // diagnostic source label; template name when empty
+};
+
+/// Outcome of linting one template: the diagnostics (sorted by line), a
+/// severity tally, and the flow graph for callers that keep reasoning
+/// about the template (the runtime cross-checker).
+struct LintResult {
+  std::vector<Diagnostic> diagnostics;
+  std::shared_ptr<const FlowGraph> graph;
+  int errors = 0;
+  int warnings = 0;
+
+  /// True when the template is safe to run (no error-severity findings).
+  bool ok() const { return errors == 0; }
+};
+
+/// Lints an already-parsed template against the full rule catalogue.
+LintResult LintTemplate(const tdl::TaskTemplate& tmpl,
+                        const LintOptions& options);
+
+/// Parses the template header out of `script` and lints it. A bad header
+/// yields a single parse-error diagnostic.
+LintResult LintScript(const std::string& script, const LintOptions& options);
+
+/// Reads `path` and lints its contents, labeling diagnostics with the
+/// path. An unreadable file yields a parse-error diagnostic.
+LintResult LintFile(const std::string& path, const LintOptions& options);
+
+}  // namespace papyrus::lint
+
+#endif  // PAPYRUS_LINT_LINTER_H_

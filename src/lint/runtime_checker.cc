@@ -1,0 +1,51 @@
+#include "lint/runtime_checker.h"
+
+#include <algorithm>
+
+namespace papyrus::lint {
+
+namespace {
+constexpr size_t kMaxRecordedMessages = 32;
+}  // namespace
+
+void RuntimeFlowChecker::OnDispatch(int64_t pid, const std::string& scope,
+                                    const std::string& name,
+                                    const std::vector<std::string>& outputs) {
+  ActiveStep step;
+  step.name = name;
+  step.outputs = outputs;
+  step.node_id = graph_ == nullptr ? -1 : graph_->FindNode(scope, name);
+
+  for (const auto& [other_pid, other] : active_) {
+    // Same-object write overlap: two in-flight steps producing one name.
+    for (const std::string& out : step.outputs) {
+      if (std::count(other.outputs.begin(), other.outputs.end(), out) >
+          0) {
+        Record("concurrent writers of \"" + out + "\": steps \"" +
+               other.name + "\" and \"" + name + "\"");
+      }
+    }
+    // Happens-before consistency: if the static graph orders the two
+    // steps, the scheduler must never have them in flight together.
+    if (graph_ != nullptr && step.node_id >= 0 && other.node_id >= 0 &&
+        step.node_id != other.node_id) {
+      if (graph_->Ordered(step.node_id, other.node_id) ||
+          graph_->Ordered(other.node_id, step.node_id)) {
+        Record("statically ordered steps \"" + other.name + "\" and \"" +
+               name + "\" were dispatched concurrently");
+      }
+    }
+  }
+  active_[pid] = std::move(step);
+}
+
+void RuntimeFlowChecker::OnSettle(int64_t pid) { active_.erase(pid); }
+
+void RuntimeFlowChecker::Record(std::string message) {
+  ++violations_;
+  if (messages_.size() < kMaxRecordedMessages) {
+    messages_.push_back(std::move(message));
+  }
+}
+
+}  // namespace papyrus::lint

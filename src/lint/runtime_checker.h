@@ -1,0 +1,66 @@
+#ifndef PAPYRUS_LINT_RUNTIME_CHECKER_H_
+#define PAPYRUS_LINT_RUNTIME_CHECKER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lint/flow_graph.h"
+
+namespace papyrus::lint {
+
+/// Runtime cross-checker: watches the task manager's actual dispatches and
+/// verifies them against the statically derived happens-before graph, so
+/// the analyzer and the scheduler check each other.
+///
+/// Two step processes that are in flight at the same time must be
+/// unordered in the static graph (a data/control/barrier path between
+/// them means the scheduler violated a dependency), and must not both
+/// write the same object name (a race the static model missed — e.g.
+/// steps materialized by run-time substitution, which the linter can only
+/// mark dynamic).
+///
+/// Violations are recorded and counted, never fatal: chaos tests and
+/// deliberately racy templates must be able to run to completion.
+class RuntimeFlowChecker {
+ public:
+  explicit RuntimeFlowChecker(std::shared_ptr<const FlowGraph> graph)
+      : graph_(std::move(graph)) {}
+
+  /// A step process entered the network. `scope`/`name` identify the step
+  /// for correlation with the static graph; `outputs` are its resolved
+  /// run-time object names.
+  void OnDispatch(int64_t pid, const std::string& scope,
+                  const std::string& name,
+                  const std::vector<std::string>& outputs);
+
+  /// The process settled: completed, was lost to a crash, or was killed
+  /// by a restart/abort.
+  void OnSettle(int64_t pid);
+
+  int64_t violations() const { return violations_; }
+  /// Rendered descriptions of the first violations seen (bounded).
+  const std::vector<std::string>& violation_messages() const {
+    return messages_;
+  }
+
+ private:
+  struct ActiveStep {
+    int node_id = -1;  // static node, or -1/-2 when unknown/ambiguous
+    std::string name;
+    std::vector<std::string> outputs;
+  };
+
+  void Record(std::string message);
+
+  std::shared_ptr<const FlowGraph> graph_;
+  std::map<int64_t, ActiveStep> active_;
+  int64_t violations_ = 0;
+  std::vector<std::string> messages_;
+};
+
+}  // namespace papyrus::lint
+
+#endif  // PAPYRUS_LINT_RUNTIME_CHECKER_H_

@@ -9,6 +9,8 @@
 
 #include "base/strings.h"
 #include "cadtools/measurements.h"
+#include "lint/linter.h"
+#include "lint/runtime_checker.h"
 #include "oct/design_data.h"
 #include "tcl/interp.h"
 #include "tcl/parser.h"
@@ -168,6 +170,7 @@ class Execution {
   sprite::ProcessId exec_token_;
 
   const tdl::TaskTemplate* template_ = nullptr;
+  std::unique_ptr<lint::RuntimeFlowChecker> checker_;
   std::unique_ptr<tcl::Interp> interp_;
   std::shared_ptr<FrameCtx> root_ctx_;
   std::vector<StackEntry> stack_;
@@ -219,6 +222,34 @@ Status Execution::Init() {
   }
   auto cmds = tcl::ParseScript(template_->script);
   if (!cmds.ok()) return cmds.status();
+
+  // Pre-flight static verification: lint the template against the tool
+  // registry and template library before any step is dispatched. Error
+  // findings refuse the invocation unless explicitly overridden; the
+  // resulting flow graph arms the runtime cross-checker either way.
+  lint::LintOptions lint_options;
+  lint_options.tools = mgr_->tools_;
+  lint_options.library = mgr_->templates_;
+  lint::LintResult preflight = lint::LintTemplate(*template_, lint_options);
+  if (observer_ != nullptr) {
+    for (const lint::Diagnostic& d : preflight.diagnostics) {
+      observer_->OnLintDiagnostic(d);
+    }
+  }
+  if (!preflight.ok() && !invocation_.override_lint) {
+    std::string first;
+    for (const lint::Diagnostic& d : preflight.diagnostics) {
+      if (d.severity == lint::Severity::kError) {
+        first = d.ToString();
+        break;
+      }
+    }
+    return Status::FailedPrecondition(
+        "template " + template_->name + " failed pre-flight lint with " +
+        std::to_string(preflight.errors) + " error(s); first: " + first +
+        " (set TaskInvocation::override_lint to run anyway)");
+  }
+  checker_ = std::make_unique<lint::RuntimeFlowChecker>(preflight.graph);
 
   root_ctx_ = std::make_shared<FrameCtx>();
   root_ctx_->cmds =
@@ -717,6 +748,11 @@ Status Execution::DispatchStep(const ResolvedStep& step) {
   entry.host = host;
   active_[*pid] = std::move(entry);
   mgr_->pid_router_[*pid] = this;
+  if (checker_ != nullptr) {
+    const ResolvedStep& placed = active_[*pid].step;
+    checker_->OnDispatch(*pid, placed.scope, placed.name,
+                         placed.output_names);
+  }
   return Status::OK();
 }
 
@@ -828,6 +864,7 @@ void Execution::OnProcessLost(const sprite::ProcessInfo& pinfo) {
   ActiveEntry entry = std::move(it->second);
   active_.erase(it);
   mgr_->pid_router_.erase(pinfo.pid);
+  if (checker_ != nullptr) checker_->OnSettle(pinfo.pid);
   ++steps_lost_;
   ++mgr_->steps_lost_;
   if (observer_ != nullptr) {
@@ -857,6 +894,7 @@ void Execution::OnProcessComplete(const sprite::ProcessInfo& pinfo) {
   ActiveEntry entry = std::move(it->second);
   active_.erase(it);
   mgr_->pid_router_.erase(pinfo.pid);
+  if (checker_ != nullptr) checker_->OnSettle(pinfo.pid);
 
   auto tool = mgr_->tools_->Find(entry.step.tool);
   if (!tool.ok()) {
@@ -1007,6 +1045,7 @@ void Execution::DoRestart(int j) {
     if (it->second.step.internal_id > j) {
       (void)mgr_->network_->Kill(it->first);
       mgr_->pid_router_.erase(it->first);
+      if (checker_ != nullptr) checker_->OnSettle(it->first);
       it = active_.erase(it);
     } else {
       ++it;
@@ -1078,6 +1117,7 @@ void Execution::AbortTask(Status status) {
   for (const auto& [pid, entry] : active_) {
     (void)mgr_->network_->Kill(pid);
     mgr_->pid_router_.erase(pid);
+    if (checker_ != nullptr) checker_->OnSettle(pid);
   }
   active_.clear();
   suspending_.clear();
@@ -1092,6 +1132,7 @@ void Execution::AbortTask(Status status) {
   result_status_ = status.ok()
                        ? Status::Aborted("task aborted")
                        : status;
+  if (checker_ != nullptr) mgr_->flow_violations_ += checker_->violations();
   done_ = true;
   ++mgr_->tasks_aborted_;
 }
@@ -1128,6 +1169,7 @@ void Execution::Commit() {
   record.backoff_micros_total = backoff_micros_total_;
   record_ = std::move(record);
   result_status_ = Status::OK();
+  if (checker_ != nullptr) mgr_->flow_violations_ += checker_->violations();
   done_ = true;
   ++mgr_->tasks_committed_;
 }

@@ -10,6 +10,7 @@
 #include "base/result.h"
 #include "base/status.h"
 #include "cadtools/registry.h"
+#include "lint/diagnostics.h"
 #include "oct/attribute_store.h"
 #include "oct/database.h"
 #include "sprite/network.h"
@@ -40,6 +41,12 @@ struct TaskInvocation {
   /// Base of the exponential backoff applied before each environmental
   /// re-dispatch, in virtual microseconds (doubles per attempt).
   int64_t retry_backoff_micros = 1000;
+  /// Every invocation is statically verified first (`papyrus-lint`
+  /// pre-flight) and refused on error-severity findings. Setting this
+  /// runs the template anyway; diagnostics are still reported through
+  /// `TaskObserver::OnLintDiagnostic` and the runtime flow checker stays
+  /// armed.
+  bool override_lint = false;
 };
 
 /// Observation and interaction hooks — the library-level equivalent of the
@@ -77,6 +84,11 @@ class TaskObserver {
                             const std::string& step_name) {
     (void)host;
     (void)step_name;
+  }
+  /// One pre-flight lint finding for the invoked template (reported
+  /// before any step runs, whatever the severity).
+  virtual void OnLintDiagnostic(const lint::Diagnostic& diagnostic) {
+    (void)diagnostic;
   }
 };
 
@@ -122,6 +134,11 @@ class TaskManager {
   /// Environmental re-dispatches (crash + transient), across all
   /// invocations.
   int64_t steps_retried() const { return steps_retried_; }
+  /// Violations found by the runtime flow cross-checker: dispatches that
+  /// contradict the template's static happens-before graph, or
+  /// concurrent writers the static model missed. Zero on a healthy
+  /// scheduler running clean templates.
+  int64_t flow_violations() const { return flow_violations_; }
 
   oct::OctDatabase* database() const { return db_; }
   const cadtools::ToolRegistry* tools() const { return tools_; }
@@ -152,6 +169,7 @@ class TaskManager {
   int64_t remigrations_ = 0;
   int64_t steps_lost_ = 0;
   int64_t steps_retried_ = 0;
+  int64_t flow_violations_ = 0;
 };
 
 }  // namespace papyrus::task

@@ -171,7 +171,16 @@ Result<std::vector<RawCommand>> ParseScript(std::string_view script) {
       }
       RawWord word;
       Status st = ParseOneWord(script, &i, /*in_list=*/false, &word);
-      if (!st.ok()) return st;
+      if (!st.ok()) {
+        // `i` still points at the offending word; report its line so
+        // template-load failures pinpoint the broken command.
+        int line = 1;
+        for (size_t k = 0; k < i; ++k) {
+          if (script[k] == '\n') ++line;
+        }
+        return Status(st.code(),
+                      "line " + std::to_string(line) + ": " + st.message());
+      }
       cmd.words.push_back(std::move(word));
     }
     if (!cmd.words.empty()) commands.push_back(std::move(cmd));

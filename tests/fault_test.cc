@@ -33,6 +33,7 @@ struct RunOutcome {
   int64_t steps_retried = 0;
   int64_t backoff_micros_total = 0;
   int64_t crashes = 0;
+  int64_t flow_violations = 0;
 };
 
 /// Runs the thesis' Structure_Synthesis flow (6 steps, one subtask, real
@@ -80,6 +81,7 @@ RunOutcome RunWorkload(uint64_t fault_seed) {
   RunOutcome outcome;
   outcome.committed = rec.ok();
   outcome.crashes = network.total_crashes();
+  outcome.flow_violations = manager.flow_violations();
   if (rec.ok()) {
     outcome.steps_lost = rec->steps_lost;
     outcome.steps_retried = rec->steps_retried;
@@ -104,6 +106,7 @@ TEST(FaultSoakTest, EveryChaosRunCommitsIdenticallyOrAbortsCleanly) {
   ASSERT_EQ(baseline.outputs.size(), 2u);
   EXPECT_EQ(baseline.steps_lost, 0);
   EXPECT_EQ(baseline.steps_retried, 0);
+  EXPECT_EQ(baseline.flow_violations, 0);
 
   int committed_under_chaos = 0;
   int aborted_under_chaos = 0;
@@ -111,6 +114,10 @@ TEST(FaultSoakTest, EveryChaosRunCommitsIdenticallyOrAbortsCleanly) {
   for (uint64_t seed = 1; seed <= 24; ++seed) {
     SCOPED_TRACE("fault seed " + std::to_string(seed));
     RunOutcome chaos = RunWorkload(seed);
+    // The runtime happens-before checker must stay silent under chaos:
+    // crashes, retries and restarts never excuse a dispatch that
+    // contradicts the template's static flow graph.
+    EXPECT_EQ(chaos.flow_violations, 0);
     if (chaos.committed) {
       ++committed_under_chaos;
       total_lost += chaos.steps_lost;

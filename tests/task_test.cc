@@ -562,11 +562,36 @@ TEST_F(TaskManagerTest, UnsatisfiableDependencyAborts) {
   inv.template_name = "Stuck";
   inv.inputs = {in};
   inv.output_names = {"o"};
+  // Pre-flight lint already refuses this template (undefined-input);
+  // override it so the scheduler's own unsatisfiable-dependency abort
+  // path stays exercised.
+  inv.override_lint = true;
   auto rec = manager_.Invoke(inv);
   ASSERT_FALSE(rec.ok());
   EXPECT_TRUE(rec.status().IsAborted());
   EXPECT_NE(rec.status().message().find("unsatisfiable"),
             std::string::npos);
+}
+
+TEST_F(TaskManagerTest, PreflightLintRefusesBrokenTemplateByDefault) {
+  ASSERT_TRUE(library_
+                  .Add("task Stuck2 {In} {Out}\n"
+                       "step S {ghost} {Out} {espresso ghost}\n")
+                  .ok());
+  ObjectId in = MustCreate("c2", LogicNetwork{});
+  TaskInvocation inv;
+  inv.template_name = "Stuck2";
+  inv.inputs = {in};
+  inv.output_names = {"o2"};
+  auto rec = manager_.Invoke(inv);
+  ASSERT_FALSE(rec.ok());
+  EXPECT_TRUE(rec.status().IsFailedPrecondition())
+      << rec.status().ToString();
+  EXPECT_NE(rec.status().message().find("undefined-input"),
+            std::string::npos)
+      << rec.status().message();
+  // Refusal happens before any step or side effect.
+  EXPECT_EQ(manager_.steps_executed(), 0);
 }
 
 TEST_F(TaskManagerTest, FailedStepWithoutHandlerAbortsAtCommit) {
@@ -628,6 +653,9 @@ TEST_F(TaskManagerTest, SubtaskArityMismatchAbortsContainingTask) {
   inv.template_name = "Outer";
   inv.inputs = {in};
   inv.output_names = {"q"};
+  // The linter catches this statically (subtask-arity); override so the
+  // interpreter's own run-time arity abort stays exercised.
+  inv.override_lint = true;
   auto rec = manager_.Invoke(inv);
   ASSERT_FALSE(rec.ok());
   EXPECT_TRUE(rec.status().IsInvalidArgument());

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+
 #include "tdl/template.h"
 
 namespace papyrus::tdl {
@@ -85,6 +88,40 @@ TEST(TemplateLibraryTest, ThesisTemplatesRegister) {
   EXPECT_EQ((*ss)->formal_inputs[0], "Incell");
   EXPECT_EQ((*ss)->formal_inputs[1], "Musa_Command");
   ASSERT_EQ((*ss)->formal_outputs.size(), 2u);
+}
+
+TEST(TemplateLibraryTest, LoadErrorsNameTheFileAndLine) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "papyrus_tdl_load_error_test";
+  fs::create_directories(dir);
+  const fs::path bad = dir / "broken.tdl";
+  {
+    std::ofstream out(bad);
+    out << "task Broken {In} {Out}\n"
+        << "step Fine {In} {mid} {espresso In}\n"
+        << "step Oops {mid} {Out} {espresso mid\n";  // unbalanced brace
+  }
+
+  TemplateLibrary lib;
+  Status st = lib.AddFromFile(bad.string());
+  EXPECT_FALSE(st.ok());
+  // The message pinpoints the file and the line of the broken command.
+  EXPECT_NE(st.message().find(bad.string()), std::string::npos)
+      << st.message();
+  EXPECT_NE(st.message().find("line 3"), std::string::npos) << st.message();
+  EXPECT_NE(st.message().find("close-brace"), std::string::npos)
+      << st.message();
+
+  // LoadDirectory propagates the same context.
+  TemplateLibrary lib2;
+  auto loaded = lib2.LoadDirectory(dir.string());
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find(bad.string()),
+            std::string::npos);
+  EXPECT_NE(loaded.status().message().find("line 3"), std::string::npos);
+
+  fs::remove_all(dir);
 }
 
 TEST(TemplateLibraryTest, TemplateNamesSorted) {

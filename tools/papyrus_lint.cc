@@ -1,0 +1,117 @@
+// papyrus-lint: static flow verification for TDL task templates.
+//
+// Usage: papyrus-lint [--json] <template.tdl | directory>...
+//
+// Every *.tdl argument (and every *.tdl file inside directory arguments)
+// is first registered into one template library, so cross-template
+// subtask invocations resolve exactly as they would inside the task
+// manager; each template is then linted against the standard CAD tool
+// registry. Exit status: 0 clean (warnings allowed), 1 when any
+// error-severity finding exists, 2 on usage errors.
+
+#include <algorithm>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cadtools/registry.h"
+#include "lint/linter.h"
+#include "tdl/template.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+int Usage() {
+  std::cerr << "usage: papyrus-lint [--json] <template.tdl | directory>...\n";
+  return 2;
+}
+
+/// Expands file and directory arguments into a sorted list of .tdl paths.
+bool CollectPaths(const std::vector<std::string>& args,
+                  std::vector<std::string>* paths) {
+  for (const std::string& arg : args) {
+    std::error_code ec;
+    if (fs::is_directory(arg, ec)) {
+      std::vector<std::string> found;
+      for (const auto& entry : fs::directory_iterator(arg, ec)) {
+        if (entry.path().extension() == ".tdl") {
+          found.push_back(entry.path().string());
+        }
+      }
+      if (ec) {
+        std::cerr << "papyrus-lint: cannot read directory " << arg << "\n";
+        return false;
+      }
+      std::sort(found.begin(), found.end());
+      paths->insert(paths->end(), found.begin(), found.end());
+    } else {
+      paths->push_back(arg);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "papyrus-lint: unknown option " << arg << "\n";
+      return Usage();
+    } else {
+      args.push_back(std::move(arg));
+    }
+  }
+  if (args.empty()) return Usage();
+
+  std::vector<std::string> paths;
+  if (!CollectPaths(args, &paths)) return 2;
+  if (paths.empty()) {
+    std::cerr << "papyrus-lint: no .tdl files found\n";
+    return 2;
+  }
+
+  // Register everything first so cross-template subtasks resolve; parse
+  // failures surface as diagnostics during the lint pass below.
+  papyrus::tdl::TemplateLibrary library;
+  for (const std::string& path : paths) {
+    (void)library.AddFromFile(path);
+  }
+  auto tools = papyrus::cadtools::CreateStandardRegistry();
+
+  papyrus::lint::LintOptions options;
+  options.tools = tools.get();
+  options.library = &library;
+
+  std::vector<papyrus::lint::Diagnostic> all;
+  int errors = 0;
+  int warnings = 0;
+  for (const std::string& path : paths) {
+    papyrus::lint::LintResult result =
+        papyrus::lint::LintFile(path, options);
+    errors += result.errors;
+    warnings += result.warnings;
+    for (papyrus::lint::Diagnostic& d : result.diagnostics) {
+      if (!json) std::cout << d.ToString() << "\n";
+      all.push_back(std::move(d));
+    }
+  }
+
+  if (json) {
+    std::cout << papyrus::lint::DiagnosticsToJson(all) << "\n";
+  } else {
+    std::cout << paths.size() << " template(s): " << errors
+              << " error(s), " << warnings << " warning(s)\n";
+  }
+  return errors > 0 ? 1 : 0;
+}
