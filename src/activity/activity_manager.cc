@@ -2,6 +2,7 @@
 
 #include "activity/thread_ops.h"
 #include "base/macros.h"
+#include "cache/derivation_cache.h"
 
 namespace papyrus::activity {
 
@@ -141,6 +142,7 @@ Result<NodeId> ActivityManager::InvokeTask(int thread_id,
   task_inv.option_overrides = inv.option_overrides;
   task_inv.max_restarts = inv.max_restarts;
   task_inv.seed = inv.seed;
+  task_inv.disable_step_cache = inv.disable_step_cache;
   task_inv.attribute_store = attribute_stores_[thread_id].get();
 
   // Capture the invocation cursor and its path state (§5.3): the record
@@ -188,6 +190,9 @@ Status ActivityManager::MoveCursor(int thread_id, NodeId point,
   std::vector<oct::ObjectId> unreferenced;
   PAPYRUS_RETURN_IF_ERROR(thread->MoveCursorAndErase(point, &unreferenced));
   for (const oct::ObjectId& id : unreferenced) {
+    // Erasure re-opens the design point: memoized derivations through the
+    // erased versions must re-execute, not be served from history.
+    if (cache_ != nullptr) cache_->OnRework(id);
     (void)db_->MarkInvisible(id);
   }
   return Status::OK();

@@ -14,6 +14,10 @@
 #include "oct/database.h"
 #include "task/task_manager.h"
 
+namespace papyrus::cache {
+class DerivationCache;
+}  // namespace papyrus::cache
+
 namespace papyrus::activity {
 
 /// Arguments for invoking a task inside a thread (the §5.2 dialog).
@@ -29,6 +33,9 @@ struct ActivityInvocation {
   task::TaskObserver* observer = nullptr;
   int max_restarts = 8;
   uint64_t seed = 1;
+  /// Passed through to TaskInvocation: run every step even when a cached
+  /// committed derivation exists.
+  bool disable_step_cache = false;
 };
 
 /// The Papyrus Design Activity Manager (§5): owns the design threads,
@@ -84,8 +91,15 @@ class ActivityManager {
 
   /// Moves a thread's current cursor to `point`; when `erase` is set, the
   /// branch toward the old cursor is deleted and its now-unreferenced
-  /// objects are made invisible in the database (Figure 3.6).
+  /// objects are made invisible in the database (Figure 3.6). Erasure is
+  /// explicit rework: derivations through the erased objects are dropped
+  /// from the attached derivation cache so they re-execute.
   Status MoveCursor(int thread_id, NodeId point, bool erase = false);
+
+  /// Attaches the derivation cache (may be null) for rework invalidation.
+  void set_derivation_cache(cache::DerivationCache* cache) {
+    cache_ = cache;
+  }
 
   /// Task filtering hook (§5.4): when set and returning false for a task
   /// name, the task still runs but its history record is discarded instead
@@ -123,6 +137,7 @@ class ActivityManager {
   std::map<int, std::unique_ptr<oct::AttributeStore>> attribute_stores_;
   RecordFilter record_filter_;
   RecordSink record_sink_;
+  cache::DerivationCache* cache_ = nullptr;  // optional, not owned
   int next_thread_id_ = 1;
   int64_t records_appended_ = 0;
   int64_t records_filtered_ = 0;

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <vector>
 
@@ -348,6 +349,9 @@ struct ThreadBuilder {
         cur->record.steps_retried = ParseI64(f[7]);
         cur->record.backoff_micros_total = ParseI64(f[8]);
       }
+      if (f.size() >= 10) {
+        cur->record.steps_elided = ParseI64(f[9]);
+      }
     } else if (tag == "rin" && f.size() >= 4) {
       cur->record.inputs.push_back(object_of(f));
     } else if (tag == "rout" && f.size() >= 4) {
@@ -364,6 +368,9 @@ struct ThreadBuilder {
       step.message = DecField(f[9]);
       if (f.size() >= 11) {
         step.internal_id = static_cast<int>(ParseI64(f[10]));
+      }
+      if (f.size() >= 12) {
+        step.cache_hit = f[11] == "1";
       }
       cur->record.steps.push_back(std::move(step));
     } else if (tag == "sin" && f.size() >= 4) {
@@ -490,7 +497,8 @@ std::string SerializeThread(const DesignThread& thread) {
     out << "record " << id << ' ' << EncField(rec.task_name) << ' '
         << rec.invoke_micros << ' ' << rec.commit_micros << ' '
         << rec.restarts << ' ' << rec.steps_lost << ' '
-        << rec.steps_retried << ' ' << rec.backoff_micros_total << '\n';
+        << rec.steps_retried << ' ' << rec.backoff_micros_total << ' '
+        << rec.steps_elided << '\n';
     AppendObjectList("rin", id, rec.inputs, &out);
     AppendObjectList("rout", id, rec.outputs, &out);
     for (const task::StepRecord& step : rec.steps) {
@@ -498,7 +506,8 @@ std::string SerializeThread(const DesignThread& thread) {
           << EncField(step.tool) << ' ' << EncField(step.invocation) << ' '
           << step.dispatch_micros << ' ' << step.completion_micros << ' '
           << step.host << ' ' << step.exit_status << ' '
-          << EncField(step.message) << ' ' << step.internal_id << '\n';
+          << EncField(step.message) << ' ' << step.internal_id << ' '
+          << step.cache_hit << '\n';
       AppendObjectList("sin", id, step.inputs, &out);
       AppendObjectList("sout", id, step.outputs, &out);
     }
@@ -536,6 +545,79 @@ Result<std::unique_ptr<DesignThread>> RestoreThread(
     stats->truncated = !scan.clean;
   }
   return builder.Finish();
+}
+
+std::string SerializeDerivationCache(const cache::DerivationCache& cache) {
+  std::ostringstream out;
+  int64_t i = 0;
+  cache.ForEach([&](const std::string& key,
+                    const cache::CacheEntry& entry) {
+    (void)key;  // recomputed from the entry's components on restore
+    out << "entry " << i << ' ' << EncField(entry.tool) << ' '
+        << EncField(entry.tool_version) << ' '
+        << EncField(entry.canonical_options) << ' '
+        << FormatHex(entry.seed_salt) << ' ' << entry.cost_micros << ' '
+        << entry.recorded_micros << '\n';
+    AppendObjectList("ein", static_cast<int>(i), entry.inputs, &out);
+    for (const cache::CachedOutput& o : entry.outputs) {
+      out << "eout " << i << ' ' << EncField(o.id.name) << ' '
+          << o.id.version << '\n';
+    }
+    ++i;
+  });
+  return AssembleV2("papyrus-cache 2", out.str());
+}
+
+Status RestoreDerivationCache(const std::string& text,
+                              cache::DerivationCache* cache,
+                              RestoreStats* stats) {
+  std::vector<std::string> lines = SplitLines(text);
+  PAPYRUS_ASSIGN_OR_RETURN(int64_t version,
+                           SnapshotVersion(lines, "papyrus-cache"));
+  (void)version;  // the cache has no v1 snapshots; 2 is the only writer
+  V2Scan scan = ScanV2(lines);
+  std::optional<cache::CacheEntry> pending;
+  auto flush = [&]() {
+    if (pending.has_value()) {
+      (void)cache->Restore(std::move(*pending));
+      pending.reset();
+    }
+  };
+  for (const std::vector<std::string>& f : scan.records) {
+    if (f[0] == "entry" && f.size() >= 8) {
+      flush();
+      cache::CacheEntry entry;
+      entry.tool = DecField(f[2]);
+      entry.tool_version = DecField(f[3]);
+      entry.canonical_options = DecField(f[4]);
+      uint64_t salt = 0;
+      if (!ParseHex(f[5], &salt)) {
+        return Status::InvalidArgument("bad cache salt: " + f[5]);
+      }
+      entry.seed_salt = salt;
+      entry.cost_micros = ParseI64(f[6]);
+      entry.recorded_micros = ParseI64(f[7]);
+      pending = std::move(entry);
+    } else if (f[0] == "ein" && f.size() >= 4 && pending.has_value()) {
+      pending->inputs.push_back(
+          oct::ObjectId{DecField(f[2]),
+                        static_cast<int>(ParseI64(f[3]))});
+    } else if (f[0] == "eout" && f.size() >= 4 && pending.has_value()) {
+      pending->outputs.push_back(cache::CachedOutput{
+          oct::ObjectId{DecField(f[2]),
+                        static_cast<int>(ParseI64(f[3]))},
+          true});
+    } else {
+      return Status::InvalidArgument("bad cache line: " + Join(f, " "));
+    }
+  }
+  flush();
+  if (stats != nullptr) {
+    stats->records_restored = static_cast<int64_t>(scan.records.size());
+    stats->records_dropped = scan.dropped;
+    stats->truncated = !scan.clean;
+  }
+  return Status::OK();
 }
 
 }  // namespace papyrus::activity

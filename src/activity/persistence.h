@@ -7,6 +7,7 @@
 
 #include "activity/design_thread.h"
 #include "base/clock.h"
+#include "cache/derivation_cache.h"
 #include "oct/database.h"
 
 namespace papyrus::activity {
@@ -59,6 +60,20 @@ std::string SerializeThread(const DesignThread& thread);
 /// and the cursor falls back to the initial point when its node is gone.
 Result<std::unique_ptr<DesignThread>> RestoreThread(
     const std::string& text, Clock* clock, RestoreStats* stats = nullptr);
+
+/// Serializes the derivation cache's entries (v2 checksummed format, kind
+/// "papyrus-cache"). Counters are runtime state and are not persisted.
+std::string SerializeDerivationCache(const cache::DerivationCache& cache);
+
+/// Re-populates `cache` from a snapshot. The database must be restored
+/// first: entries are re-inserted through `DerivationCache::Restore`,
+/// which re-validates and re-pins the recorded output versions — entries
+/// whose versions did not survive are silently skipped (they would only
+/// have missed anyway). Damaged v2 snapshots restore their longest valid
+/// prefix.
+Status RestoreDerivationCache(const std::string& text,
+                              cache::DerivationCache* cache,
+                              RestoreStats* stats = nullptr);
 
 }  // namespace papyrus::activity
 

@@ -1,0 +1,159 @@
+#include "cache/derivation_cache.h"
+
+#include <sstream>
+
+#include "base/strings.h"
+
+namespace papyrus::cache {
+namespace {
+
+// Field separator for the key string. Object names are user/tool derived
+// and never contain control characters, so \x1f cannot collide.
+constexpr char kSep = '\x1f';
+
+}  // namespace
+
+std::string DerivationCache::CanonicalizeOptions(
+    const std::string& options,
+    const std::vector<std::string>& input_names,
+    const std::vector<std::string>& output_names) {
+  std::vector<std::string> words = SplitWhitespace(options);
+  for (std::string& word : words) {
+    bool replaced = false;
+    for (size_t i = 0; i < input_names.size() && !replaced; ++i) {
+      if (word == input_names[i]) {
+        word = "$i" + std::to_string(i);
+        replaced = true;
+      }
+    }
+    for (size_t i = 0; i < output_names.size() && !replaced; ++i) {
+      if (word == output_names[i]) {
+        word = "$o" + std::to_string(i);
+        replaced = true;
+      }
+    }
+  }
+  return Join(words, " ");
+}
+
+std::string DerivationCache::MakeKey(
+    const std::string& tool, const std::string& tool_version,
+    const std::string& canonical_options, uint64_t seed_salt,
+    const std::vector<oct::ObjectId>& inputs) {
+  std::ostringstream os;
+  os << tool << kSep << tool_version << kSep << canonical_options << kSep
+     << std::hex << seed_salt;
+  for (const oct::ObjectId& id : inputs) {
+    os << kSep << id.name << '@' << std::dec << id.version;
+  }
+  return os.str();
+}
+
+const CacheEntry* DerivationCache::Probe(const std::string& key) {
+  if (!enabled_) return nullptr;
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  for (const CachedOutput& out : it->second.outputs) {
+    auto rec = db_->Peek(out.id);
+    bool servable = rec.ok() && !(*rec)->reclaimed &&
+                    (!out.visible || (*rec)->visible);
+    if (!servable) {
+      // A stale entry: something slipped past the invalidation hooks
+      // (e.g. a task-level output was later deleted). Treat the probe as
+      // the invalidation point.
+      DropEntry(key);
+      ++stats_.invalidated;
+      ++stats_.misses;
+      return nullptr;
+    }
+  }
+  ++stats_.hits;
+  stats_.micros_saved += it->second.cost_micros;
+  return &it->second;
+}
+
+bool DerivationCache::Record(const std::string& key, CacheEntry entry) {
+  for (CachedOutput& out : entry.outputs) {
+    auto rec = db_->Peek(out.id);
+    if (!rec.ok() || (*rec)->reclaimed) return false;
+    out.visible = (*rec)->visible;
+  }
+  auto it = entries_.find(key);
+  if (it != entries_.end()) DropEntry(key);
+  for (const CachedOutput& out : entry.outputs) {
+    db_->Pin(out.id);
+    by_version_[out.id].insert(key);
+  }
+  for (const oct::ObjectId& in : entry.inputs) {
+    by_version_[in].insert(key);
+  }
+  entries_.emplace(key, std::move(entry));
+  ++stats_.recorded;
+  return true;
+}
+
+bool DerivationCache::Restore(CacheEntry entry) {
+  // Sequence the key computation before the move: function arguments are
+  // indeterminately ordered, so passing MakeKey(entry...) alongside
+  // std::move(entry) could read a moved-from entry.
+  std::string key = MakeKey(entry.tool, entry.tool_version,
+                            entry.canonical_options, entry.seed_salt,
+                            entry.inputs);
+  return Record(key, std::move(entry));
+}
+
+void DerivationCache::OnVersionReclaimed(const oct::ObjectId& id) {
+  auto it = by_version_.find(id);
+  if (it == by_version_.end()) return;
+  // DropEntry mutates by_version_; detach the key set first.
+  std::set<std::string> keys = std::move(it->second);
+  by_version_.erase(it);
+  for (const std::string& key : keys) {
+    DropEntry(key);
+    ++stats_.invalidated;
+  }
+}
+
+void DerivationCache::OnRework(const oct::ObjectId& id) {
+  OnVersionReclaimed(id);
+}
+
+void DerivationCache::Clear() {
+  while (!entries_.empty()) {
+    DropEntry(entries_.begin()->first);
+    ++stats_.invalidated;
+  }
+  by_version_.clear();
+}
+
+void DerivationCache::ForEach(
+    const std::function<void(const std::string&, const CacheEntry&)>& fn)
+    const {
+  for (const auto& [key, entry] : entries_) fn(key, entry);
+}
+
+void DerivationCache::DropEntry(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  for (const CachedOutput& out : it->second.outputs) {
+    db_->Unpin(out.id);
+    auto vit = by_version_.find(out.id);
+    if (vit != by_version_.end()) {
+      vit->second.erase(key);
+      if (vit->second.empty()) by_version_.erase(vit);
+    }
+  }
+  for (const oct::ObjectId& in : it->second.inputs) {
+    auto vit = by_version_.find(in);
+    if (vit != by_version_.end()) {
+      vit->second.erase(key);
+      if (vit->second.empty()) by_version_.erase(vit);
+    }
+  }
+  entries_.erase(it);
+}
+
+}  // namespace papyrus::cache

@@ -1,0 +1,169 @@
+#ifndef PAPYRUS_CACHE_DERIVATION_CACHE_H_
+#define PAPYRUS_CACHE_DERIVATION_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "oct/database.h"
+#include "oct/object_id.h"
+
+namespace papyrus::cache {
+
+/// One output version recorded by a cached derivation, together with its
+/// visibility at commit time: a version that was visible then was a
+/// task-level output, an invisible one was a discarded intermediate. A hit
+/// requires task-level outputs to *still* be visible (a later deletion is
+/// a rework signal), while intermediates only need to exist un-reclaimed —
+/// they are rematerialized (made visible again) for the reusing task.
+struct CachedOutput {
+  oct::ObjectId id;
+  bool visible = true;
+};
+
+/// One memoized design step: the full cache key components plus the
+/// recorded outcome. Keeping the components (not just the derived key)
+/// makes entries self-describing for persistence and diagnostics.
+struct CacheEntry {
+  std::string tool;
+  std::string tool_version;
+  /// Option string with the actual input/output object names replaced by
+  /// positional placeholders ($i<k>/$o<k>), so per-execution intermediate
+  /// name decoration does not defeat matching across task runs.
+  std::string canonical_options;
+  /// Deterministic seed component of the invocation (base invocation seed
+  /// mixed with scope/step-name/canonical-options), part of the key: two
+  /// invocations that would feed different seeds to the tool are
+  /// different derivations.
+  uint64_t seed_salt = 0;
+  std::vector<oct::ObjectId> inputs;  // ordered, as dispatched
+  std::vector<CachedOutput> outputs;  // recorded committed versions
+  /// Virtual execution cost of the original run (completion - dispatch);
+  /// credited to `micros_saved` on every hit.
+  int64_t cost_micros = 0;
+  int64_t recorded_micros = 0;  // commit time of the recording task
+};
+
+/// Counters exposed through the task manager and the shell `cache`
+/// command.
+struct CacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t recorded = 0;     // entries added (or replaced) at task commit
+  int64_t invalidated = 0;  // entries dropped by reclamation/rework/clear
+  int64_t micros_saved = 0;  // summed virtual cost of elided steps
+};
+
+/// The history-based derivation cache (the tentpole of this change): a
+/// content-addressed index over committed history, keyed by
+/// (tool, tool version, canonicalized options, seed salt, ordered input
+/// versions) and mapping to the recorded output versions.
+///
+/// Population happens only at task commit — aborted tasks and superseded
+/// restart attempts never pollute the cache. Every recorded output
+/// version is pinned in the database so background reclamation cannot
+/// silently free a payload the cache might serve; the reclamation manager
+/// notifies the cache first (`OnVersionReclaimed`), which drops the
+/// affected entries and releases the pins. Explicit rework that erases
+/// history (`ActivityManager::MoveCursor` with erase) likewise invalidates
+/// through `OnRework`.
+class DerivationCache {
+ public:
+  explicit DerivationCache(oct::OctDatabase* db) : db_(db) {
+    // Direct Reclaim callers (not just the reclamation manager) must also
+    // invalidate: the database calls back when it hits a pinned version.
+    db_->set_pinned_reclaim_handler(
+        [this](const oct::ObjectId& id) { OnVersionReclaimed(id); });
+  }
+
+  DerivationCache(const DerivationCache&) = delete;
+  DerivationCache& operator=(const DerivationCache&) = delete;
+
+  ~DerivationCache() {
+    Clear();
+    db_->set_pinned_reclaim_handler(nullptr);
+  }
+
+  // --- key derivation ----------------------------------------------------
+
+  /// Replaces every option word equal to an actual input/output object
+  /// name with its positional placeholder ($i<k>/$o<k>).
+  static std::string CanonicalizeOptions(
+      const std::string& options,
+      const std::vector<std::string>& input_names,
+      const std::vector<std::string>& output_names);
+
+  /// Builds the content-addressed key string from its components.
+  static std::string MakeKey(const std::string& tool,
+                             const std::string& tool_version,
+                             const std::string& canonical_options,
+                             uint64_t seed_salt,
+                             const std::vector<oct::ObjectId>& inputs);
+
+  // --- lookup ------------------------------------------------------------
+
+  /// Returns the entry for `key` when present and still servable: every
+  /// recorded output exists un-reclaimed, and outputs that were visible at
+  /// commit are still visible. Counts a hit (crediting `micros_saved`) or
+  /// a miss. Returns nullptr without counting when the cache is disabled.
+  /// The returned pointer is invalidated by any mutating call.
+  const CacheEntry* Probe(const std::string& key);
+
+  // --- population --------------------------------------------------------
+
+  /// Records one committed derivation under `key`, replacing any previous
+  /// entry. Snapshots each output's current visibility and pins the
+  /// output versions. Returns false (and records nothing) when an output
+  /// version does not exist in the database.
+  bool Record(const std::string& key, CacheEntry entry);
+
+  /// Re-inserts a persisted entry (the key is recomputed from the entry's
+  /// own components). Used by snapshot restore.
+  bool Restore(CacheEntry entry);
+
+  // --- invalidation ------------------------------------------------------
+
+  /// A version is about to be physically reclaimed: drop every entry that
+  /// mentions it (as input provenance or output) and release its pins.
+  void OnVersionReclaimed(const oct::ObjectId& id);
+
+  /// Explicit rework erased the history that produced `id`: the design
+  /// point is re-opened, so derivations through it must re-execute.
+  void OnRework(const oct::ObjectId& id);
+
+  /// Drops every entry (counts them as invalidated).
+  void Clear();
+
+  // --- control / introspection -------------------------------------------
+
+  /// A disabled cache misses every probe (uncounted) but still accepts
+  /// recordings, so re-enabling serves the history accumulated meanwhile.
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  const CacheStats& stats() const { return stats_; }
+  size_t size() const { return entries_.size(); }
+
+  /// Visits every entry (persistence, shell rendering).
+  void ForEach(
+      const std::function<void(const std::string& key, const CacheEntry&)>&
+          fn) const;
+
+ private:
+  void DropEntry(const std::string& key);
+
+  oct::OctDatabase* db_;
+  bool enabled_ = true;
+  CacheStats stats_;
+  std::map<std::string, CacheEntry> entries_;
+  /// Inverted index: object version -> keys of entries mentioning it
+  /// (inputs and outputs), driving O(entries-touched) invalidation.
+  std::map<oct::ObjectId, std::set<std::string>> by_version_;
+};
+
+}  // namespace papyrus::cache
+
+#endif  // PAPYRUS_CACHE_DERIVATION_CACHE_H_

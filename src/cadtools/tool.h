@@ -97,6 +97,10 @@ struct ToolRunResult {
 struct ToolDescriptor {
   std::string name;
   std::string description;
+  /// Tool release identity: part of the derivation-cache key, so bumping
+  /// it invalidates every memoized invocation of this tool (the recorded
+  /// outputs may no longer match what the new release would produce).
+  std::string version = "1";
   oct::DesignDomain output_domain = oct::DesignDomain::kOther;
   /// Simulated execution cost: base + per-input-byte component. The task
   /// manager turns this into Sprite process work.

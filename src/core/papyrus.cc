@@ -28,6 +28,11 @@ Papyrus::Papyrus(const SessionOptions& options)
   sds_ = std::make_unique<sync::SdsManager>(db_.get());
   reclamation_ =
       std::make_unique<storage::ReclamationManager>(db_.get(), &clock_);
+  step_cache_ = std::make_unique<cache::DerivationCache>(db_.get());
+  step_cache_->set_enabled(options.step_cache);
+  task_manager_->set_derivation_cache(step_cache_.get());
+  activity_->set_derivation_cache(step_cache_.get());
+  reclamation_->set_derivation_cache(step_cache_.get());
   metadata_ = std::make_unique<meta::MetadataEngine>(db_.get(),
                                                      &attributes_, &tsds_);
   if (options.standard_environment) {
@@ -113,6 +118,8 @@ Status Papyrus::SaveSession(const std::string& directory) {
   };
   PAPYRUS_RETURN_IF_ERROR(
       write_file("database.pdb", activity::SerializeDatabase(*db_)));
+  PAPYRUS_RETURN_IF_ERROR(write_file(
+      "cache.pdc", activity::SerializeDerivationCache(*step_cache_)));
   for (int id : activity_->ThreadIds()) {
     auto thread = activity_->GetThread(id);
     if (!thread.ok()) continue;
@@ -180,6 +187,17 @@ Status Papyrus::LoadSession(const std::string& directory) {
         activity::RestoreThread(text, &clock_, &thread_stats));
     accumulate(thread_stats);
     PAPYRUS_RETURN_IF_ERROR(activity_->AdoptThread(std::move(thread)));
+  }
+  // The derivation cache is optional in a session directory (pre-cache
+  // snapshots restore fine without it) but must come after the database:
+  // restoring entries re-validates and re-pins their output versions.
+  auto cache_text =
+      read_file(std::filesystem::path(directory) / "cache.pdc");
+  if (cache_text.ok()) {
+    activity::RestoreStats cache_stats;
+    PAPYRUS_RETURN_IF_ERROR(activity::RestoreDerivationCache(
+        *cache_text, step_cache_.get(), &cache_stats));
+    accumulate(cache_stats);
   }
   return Status::OK();
 }

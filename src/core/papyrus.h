@@ -9,6 +9,7 @@
 #include "activity/design_thread.h"
 #include "activity/persistence.h"
 #include "base/clock.h"
+#include "cache/derivation_cache.h"
 #include "cadtools/registry.h"
 #include "meta/inference.h"
 #include "meta/tsd.h"
@@ -32,6 +33,9 @@ struct SessionOptions {
   /// Preload the thesis' example task templates and the standard mock OCT
   /// tool suite + TSDs.
   bool standard_environment = true;
+  /// Serve repeated design steps from the history-based derivation cache
+  /// instead of re-running the tool (committed history only).
+  bool step_cache = true;
 };
 
 /// The Papyrus design-flow-management session: one object wiring together
@@ -123,6 +127,8 @@ class Papyrus {
   activity::ActivityManager& activity() { return *activity_; }
   sync::SdsManager& sds() { return *sds_; }
   storage::ReclamationManager& reclamation() { return *reclamation_; }
+  /// The history-based derivation cache (memoized ADG suffixes).
+  cache::DerivationCache& step_cache() { return *step_cache_; }
   meta::MetadataEngine& metadata() { return *metadata_; }
   meta::TsdRegistry& tsds() { return tsds_; }
   /// The attribute store the metadata engine populates.
@@ -138,6 +144,7 @@ class Papyrus {
   std::unique_ptr<activity::ActivityManager> activity_;
   std::unique_ptr<sync::SdsManager> sds_;
   std::unique_ptr<storage::ReclamationManager> reclamation_;
+  std::unique_ptr<cache::DerivationCache> step_cache_;
   meta::TsdRegistry tsds_;
   oct::AttributeStore attributes_;
   std::unique_ptr<meta::MetadataEngine> metadata_;

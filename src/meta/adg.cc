@@ -26,9 +26,36 @@ int Adg::AddInvocation(const std::string& tool, const std::string& options,
   return id;
 }
 
+int Adg::AddReuse(const std::string& tool, const std::string& options,
+                  std::vector<oct::ObjectId> inputs,
+                  std::vector<oct::ObjectId> outputs, int64_t micros) {
+  AdgEdge edge;
+  edge.id = next_edge_id_++;
+  edge.tool = tool;
+  edge.options = options;
+  edge.inputs = std::move(inputs);
+  edge.outputs = std::move(outputs);
+  edge.micros = micros;
+  edge.reuse = true;
+  for (const oct::ObjectId& out : edge.outputs) {
+    reuses_[out].push_back(edge.id);
+  }
+  ++reuse_edges_;
+  int id = edge.id;
+  edges_[id] = std::move(edge);
+  return id;
+}
+
 void Adg::AddFromHistoryRecord(const task::TaskHistoryRecord& record) {
   for (const task::StepRecord& step : record.steps) {
     if (step.exit_status != 0) continue;  // failed steps created nothing
+    if (step.cache_hit) {
+      // An elided step reused an earlier derivation's versions: record a
+      // reuse edge instead of a second (shadowing) derivation.
+      AddReuse(step.tool, step.invocation, step.inputs, step.outputs,
+               step.completion_micros);
+      continue;
+    }
     AddInvocation(step.tool, step.invocation, step.inputs, step.outputs,
                   step.completion_micros);
   }
@@ -46,6 +73,14 @@ std::vector<const AdgEdge*> Adg::Consumers(const oct::ObjectId& id) const {
   std::vector<const AdgEdge*> out;
   auto it = consumers_.find(id);
   if (it == consumers_.end()) return out;
+  for (int edge_id : it->second) out.push_back(&edges_.at(edge_id));
+  return out;
+}
+
+std::vector<const AdgEdge*> Adg::Reuses(const oct::ObjectId& id) const {
+  std::vector<const AdgEdge*> out;
+  auto it = reuses_.find(id);
+  if (it == reuses_.end()) return out;
   for (int edge_id : it->second) out.push_back(&edges_.at(edge_id));
   return out;
 }

@@ -22,6 +22,12 @@ struct AdgEdge {
   std::vector<oct::ObjectId> inputs;
   std::vector<oct::ObjectId> outputs;
   int64_t micros = 0;
+  /// A reuse edge: this "invocation" was served by the derivation cache
+  /// from an earlier recorded execution — no tool ran. Its outputs are the
+  /// earlier derivation's versions, so reuse edges never register as
+  /// producers (that would shadow the real derivation) nor as consumers
+  /// for retracing; they are indexed separately.
+  bool reuse = false;
 };
 
 /// The data-oriented design-history representation (§6.3): a bipartite
@@ -35,6 +41,13 @@ class Adg {
   int AddInvocation(const std::string& tool, const std::string& options,
                     std::vector<oct::ObjectId> inputs,
                     std::vector<oct::ObjectId> outputs, int64_t micros);
+
+  /// Records a cache-served (elided) step as a reuse edge: visible in the
+  /// graph and in the per-version reuse index, but not wired into the
+  /// producer/consumer maps — the original derivation already is.
+  int AddReuse(const std::string& tool, const std::string& options,
+               std::vector<oct::ObjectId> inputs,
+               std::vector<oct::ObjectId> outputs, int64_t micros);
 
   /// Extends the graph with every step of a committed task's history
   /// record — the ADG is collected "as a by-product of activity
@@ -59,14 +72,20 @@ class Adg {
   std::vector<const AdgEdge*> RetracePlan(
       const std::string& modified_name) const;
 
+  /// Reuse edges whose outputs include this version.
+  std::vector<const AdgEdge*> Reuses(const oct::ObjectId& id) const;
+
   size_t edge_count() const { return edges_.size(); }
   size_t object_count() const { return producers_.size(); }
+  size_t reuse_count() const { return reuse_edges_; }
   const std::map<int, AdgEdge>& edges() const { return edges_; }
 
  private:
   std::map<int, AdgEdge> edges_;
   std::map<oct::ObjectId, int> producers_;                // object -> edge
   std::map<oct::ObjectId, std::vector<int>> consumers_;   // object -> edges
+  std::map<oct::ObjectId, std::vector<int>> reuses_;      // object -> edges
+  size_t reuse_edges_ = 0;
   int next_edge_id_ = 1;
 };
 

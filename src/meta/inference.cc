@@ -121,7 +121,9 @@ const std::vector<MetadataEngine::AttrSpec>& MetadataEngine::AttrSpecsFor(
 Status MetadataEngine::Observe(const task::TaskHistoryRecord& record) {
   adg_.AddFromHistoryRecord(record);
   for (const task::StepRecord& step : record.steps) {
-    if (step.exit_status != 0) continue;
+    // Cache-served steps re-bind versions an earlier execution already
+    // taught the engine about; re-observing them would double-count.
+    if (step.exit_status != 0 || step.cache_hit) continue;
     InferForInvocation(step);
   }
   return Status::OK();

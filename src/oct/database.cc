@@ -104,10 +104,42 @@ Status OctDatabase::Reclaim(const ObjectId& id) {
     return Status::NotFound("no such object: " + id.ToString());
   }
   if (rec->reclaimed) return Status::OK();
+  if (rec->pin_count > 0 && pinned_reclaim_handler_) {
+    // Give the pin holder a chance to drop dependent state (cache entries)
+    // and release its claim; the handler may invalidate many pins at once.
+    pinned_reclaim_handler_(id);
+    rec = Find(id);
+  }
+  if (rec->pin_count > 0) {
+    return Status::FailedPrecondition("object is pinned: " + id.ToString());
+  }
   rec->payload = std::monostate{};
   rec->reclaimed = true;
   rec->visible = false;
   return Status::OK();
+}
+
+Status OctDatabase::Pin(const ObjectId& id) {
+  ObjectRecord* rec = Find(id);
+  if (rec == nullptr) {
+    return Status::NotFound("no such object: " + id.ToString());
+  }
+  if (rec->reclaimed) {
+    return Status::FailedPrecondition("cannot pin reclaimed object: " +
+                                      id.ToString());
+  }
+  ++rec->pin_count;
+  return Status::OK();
+}
+
+void OctDatabase::Unpin(const ObjectId& id) {
+  ObjectRecord* rec = Find(id);
+  if (rec != nullptr && rec->pin_count > 0) --rec->pin_count;
+}
+
+bool OctDatabase::IsPinned(const ObjectId& id) const {
+  const ObjectRecord* rec = Find(id);
+  return rec != nullptr && rec->pin_count > 0;
 }
 
 bool OctDatabase::Exists(const ObjectId& id) const {

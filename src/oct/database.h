@@ -25,6 +25,10 @@ struct ObjectRecord {
   int64_t size_bytes = 0;
   bool visible = true;     // LWT visibility: "deleted" objects are invisible
   bool reclaimed = false;  // payload physically freed by object reclamation
+  /// Reclamation protection: >0 means some manager (the derivation cache)
+  /// still references this version's payload; Reclaim refuses. Runtime
+  /// state, not persisted — pin holders re-establish pins on restore.
+  int pin_count = 0;
 };
 
 /// The design database substrate (stands in for Berkeley OCT).
@@ -75,8 +79,25 @@ class OctDatabase {
   Status MarkVisible(const ObjectId& id);
 
   /// Physically frees a version's payload. Keeps a tombstone so history
-  /// remains self-describing. Irreversible.
+  /// remains self-describing. Irreversible. A pinned version first gives
+  /// the pin holder a chance to release its claim (see
+  /// set_pinned_reclaim_handler); if the version is still pinned after
+  /// that, Reclaim refuses with FailedPrecondition.
   Status Reclaim(const ObjectId& id);
+
+  /// Reclamation protection for versions some manager still depends on.
+  /// Pins nest; Unpin of an unpinned or unknown version is a no-op.
+  Status Pin(const ObjectId& id);
+  void Unpin(const ObjectId& id);
+  bool IsPinned(const ObjectId& id) const;
+
+  /// Called by Reclaim when it encounters a pinned version, so the pin
+  /// holder (the derivation cache) can invalidate dependent state and
+  /// release the pin instead of vetoing reclamation. One holder at a time;
+  /// pass nullptr to unregister.
+  void set_pinned_reclaim_handler(std::function<void(const ObjectId&)> fn) {
+    pinned_reclaim_handler_ = std::move(fn);
+  }
 
   bool Exists(const ObjectId& id) const;
 
@@ -106,6 +127,7 @@ class OctDatabase {
   Clock* clock_;
   // name -> versions, index i holds version i+1.
   std::unordered_map<std::string, std::vector<ObjectRecord>> objects_;
+  std::function<void(const ObjectId&)> pinned_reclaim_handler_;
   int64_t total_versions_ = 0;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/macros.h"
+#include "cache/derivation_cache.h"
 
 namespace papyrus::storage {
 
@@ -16,6 +17,9 @@ void ReclamationManager::ReclaimObjects(
     auto rec = db_->Peek(id);
     if (!rec.ok() || (*rec)->reclaimed) continue;
     int64_t bytes = (*rec)->size_bytes;
+    // The derivation cache pins versions it may serve; dropping its
+    // entries first releases the pins so Reclaim can proceed.
+    if (cache_ != nullptr) cache_->OnVersionReclaimed(id);
     if (db_->Reclaim(id).ok()) {
       ++report->objects_reclaimed;
       report->bytes_reclaimed += bytes;

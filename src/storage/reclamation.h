@@ -11,6 +11,10 @@
 #include "base/clock.h"
 #include "oct/database.h"
 
+namespace papyrus::cache {
+class DerivationCache;
+}  // namespace papyrus::cache
+
 namespace papyrus::storage {
 
 /// Outcome counters of one reclamation pass.
@@ -54,6 +58,13 @@ class ReclamationManager {
   ReclamationManager& operator=(const ReclamationManager&) = delete;
 
   void set_approval(ApprovalFn fn) { approval_ = std::move(fn); }
+
+  /// Attaches the derivation cache (may be null). Reclamation notifies it
+  /// before physically freeing a version, so memoized derivations over
+  /// that version are dropped (and their pins released) first.
+  void set_derivation_cache(cache::DerivationCache* cache) {
+    cache_ = cache;
+  }
 
   // --- filtering ----------------------------------------------------------
 
@@ -112,6 +123,7 @@ class ReclamationManager {
   Clock* clock_;
   std::set<std::string> filtered_;
   ApprovalFn approval_;
+  cache::DerivationCache* cache_ = nullptr;  // optional, not owned
   int64_t total_bytes_reclaimed_ = 0;
 };
 

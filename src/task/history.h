@@ -26,6 +26,10 @@ struct StepRecord {
   std::string message;
   /// Issue-order id inside the task run (drives §4.3.4 undo).
   int internal_id = -1;
+  /// True when the step was elided by the derivation cache: no tool
+  /// process ran, the outputs are the recorded versions of an earlier
+  /// committed execution.
+  bool cache_hit = false;
 };
 
 /// The history record of one committed design task (§4.3.5): the linear
@@ -46,6 +50,8 @@ struct TaskHistoryRecord {
   int64_t steps_lost = 0;     // step processes killed by host crashes
   int64_t steps_retried = 0;  // re-dispatches after loss/transient failure
   int64_t backoff_micros_total = 0;  // virtual time spent backing off
+  /// Steps served from the derivation cache instead of executing.
+  int64_t steps_elided = 0;
 };
 
 }  // namespace papyrus::task

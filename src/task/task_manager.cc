@@ -2,12 +2,14 @@
 #include "base/macros.h"
 
 #include <algorithm>
+#include <deque>
 #include <limits>
 #include <memory>
 #include <optional>
 #include <set>
 
 #include "base/strings.h"
+#include "cache/derivation_cache.h"
 #include "cadtools/measurements.h"
 #include "lint/linter.h"
 #include "lint/runtime_checker.h"
@@ -37,6 +39,10 @@ struct FrameCtx {
   size_t push_site_idx = 0;  // parent's command index of the subtask cmd
   std::shared_ptr<std::vector<tcl::RawCommand>> cmds;
   int depth = 0;
+  /// Interned uniquifier appended to intermediate object names resolved in
+  /// this frame (".p<exec>" plus the sanitized scope), built once at frame
+  /// creation so ResolveName is a single concatenation per formal.
+  std::string intermediate_suffix;
 };
 
 /// A step command after name resolution, ready for dispatch.
@@ -107,6 +113,13 @@ class Execution {
   struct ResultEntry {
     oct::ObjectId id;
     int creating_internal_id = -1;  // -1: task input
+    /// Bound from the derivation cache, not produced by a tool run. Undo
+    /// must not hide a reused version the task did not create — unless the
+    /// hit rematerialized it (see `restored_visibility`).
+    bool reused = false;
+    /// The cache hit made a previously-invisible intermediate visible
+    /// again; undo and commit-time discard re-hide it.
+    bool restored_visibility = false;
   };
   struct StackEntry {
     std::shared_ptr<FrameCtx> ctx;
@@ -138,13 +151,39 @@ class Execution {
   }
   bool NeedsSync(const tcl::RawCommand& cmd) const;
   bool Quiescent() const {
-    return active_.empty() && suspending_.empty() && retry_queue_.empty();
+    return active_.empty() && suspended_.empty() && ready_queue_.empty() &&
+           retry_queue_.empty();
   }
 
-  bool StepIsReady(const ResolvedStep& step) const;
   Status DispatchStep(const ResolvedStep& step);
   void IssueStep(ResolvedStep step);
-  void RescanSuspending();
+  /// Dispatches one ready step, routing Unavailable into the
+  /// environmental-retry path and other errors into a task abort.
+  void DispatchNow(ResolvedStep step);
+  // --- incremental ready-set --------------------------------------------
+  // Pending steps are indexed by their unsatisfied inputs/control-deps
+  // (one waiter entry per unsatisfied occurrence); completions decrement
+  // instead of rescanning every pending step, making dispatch O(edges)
+  // per task instead of O(steps^2).
+  int CountUnsatisfied(const ResolvedStep& step) const;
+  /// Parks `step` in the ready-set index (or the ready queue when nothing
+  /// is unsatisfied). Does not dispatch.
+  void ParkStep(ResolvedStep step);
+  /// Binds `name` into the Result list and credits steps waiting on it.
+  void BindResult(const std::string& name, ResultEntry entry);
+  /// Marks scope#uid complete and credits steps waiting on the control
+  /// dependency.
+  void MarkStepCompleted(const std::string& key);
+  /// Dispatches everything in the ready queue (hits may cascade: a served
+  /// step's outputs can make further steps ready mid-drain).
+  void DrainReady();
+  /// Serves `step` from the derivation cache when an identical committed
+  /// derivation is recorded and still servable. On a hit the step
+  /// completes instantly: outputs bound, history appended with the
+  /// cache_hit marker, no process spawned. Returns false on a miss.
+  bool TryCompleteFromCache(const ResolvedStep& step,
+                            const std::vector<oct::ObjectId>& input_ids,
+                            const cadtools::Tool& tool);
   /// Queues an environmental retry with exponential backoff. Returns
   /// false when the step has exhausted its retry budget (the caller then
   /// surfaces the failure through the normal step-failure path).
@@ -179,8 +218,26 @@ class Execution {
   int current_internal_id_ = -1;
   size_t current_cmd_idx_ = 0;
 
+  /// A pending step plus its count of unsatisfied inputs/control-deps.
+  struct SuspendedStep {
+    ResolvedStep step;
+    int unsatisfied = 0;
+  };
+  /// A successful step execution staged for cache population; fed to the
+  /// derivation cache only if the task commits (and the step survives all
+  /// restarts), so aborted tasks and superseded attempts never pollute it.
+  struct StagedCacheEntry {
+    int internal_id = -1;
+    std::string key;
+    cache::CacheEntry entry;
+  };
+
   std::map<sprite::ProcessId, ActiveEntry> active_;
-  std::vector<ResolvedStep> suspending_;
+  std::map<int, SuspendedStep> suspended_;  // seq -> pending step
+  std::map<std::string, std::vector<int>> input_waiters_;  // name -> seqs
+  std::map<std::string, std::vector<int>> dep_waiters_;  // scope#uid -> seqs
+  std::deque<ResolvedStep> ready_queue_;
+  int next_suspend_seq_ = 0;
   std::vector<PendingRetry> retry_queue_;
   std::map<std::string, ResultEntry> result_;  // actual name -> entry
   std::set<std::string> completed_keys_;       // scope#uid, successful
@@ -197,6 +254,11 @@ class Execution {
   int64_t steps_lost_ = 0;
   int64_t steps_retried_ = 0;
   int64_t backoff_micros_total_ = 0;
+  int64_t steps_elided_ = 0;
+  std::vector<StagedCacheEntry> staged_cache_;
+  /// Synthetic flow-checker tokens for cache hits (negative, so they never
+  /// collide with real Sprite pids or execution tokens).
+  int64_t cache_token_seq_ = 0;
   int64_t invoke_micros_ = 0;
   bool done_ = false;
   Status result_status_;
@@ -252,6 +314,7 @@ Status Execution::Init() {
   checker_ = std::make_unique<lint::RuntimeFlowChecker>(preflight.graph);
 
   root_ctx_ = std::make_shared<FrameCtx>();
+  root_ctx_->intermediate_suffix = ".p" + std::to_string(exec_id_);
   root_ctx_->cmds =
       std::make_shared<std::vector<tcl::RawCommand>>(std::move(*cmds));
   for (size_t i = 0; i < template_->formal_inputs.size(); ++i) {
@@ -310,16 +373,9 @@ std::string Execution::ResolveName(const std::string& formal) const {
   if (it != current_frame_->name_map.end()) return it->second;
   // Intermediate object: uniquified per task-manager instance (§4.3.4 —
   // the thesis appends the task manager's process id; we append the
-  // execution id) and per subtask scope.
-  std::string name = formal + ".p" + std::to_string(exec_id_);
-  if (!current_frame_->scope.empty()) {
-    std::string scope = current_frame_->scope;
-    for (char& c : scope) {
-      if (c == '/') c = '_';
-    }
-    name += ".s" + scope;
-  }
-  return name;
+  // execution id) and per subtask scope. The suffix is interned on the
+  // frame at creation time, so resolution is a single concatenation.
+  return formal + current_frame_->intermediate_suffix;
 }
 
 bool Execution::NeedsSync(const tcl::RawCommand& cmd) const {
@@ -338,6 +394,10 @@ bool Execution::Advance() {
     return true;
   }
   if (DispatchDueRetries()) progress = true;
+  if (!ready_queue_.empty()) {
+    DrainReady();
+    progress = true;
+  }
   if (done_) return true;
   if (pending_abort_) {
     AbortTask(abort_status_);
@@ -351,6 +411,11 @@ bool Execution::Advance() {
       return true;
     }
     DoRestart(*pending_restart_);
+    // Restart re-dispatches surviving ready steps, which can fail hard.
+    if (pending_abort_) {
+      AbortTask(abort_status_);
+      return true;
+    }
     progress = true;
   }
   // Interpret top-level commands until blocked (or finished).
@@ -401,9 +466,13 @@ bool Execution::Advance() {
   // (including steps still waiting out a retry backoff).
   if (!active_.empty() || !retry_queue_.empty()) return progress;
   if (pending_abort_ || pending_restart_.has_value()) return progress;
-  if (!suspending_.empty()) {
+  if (!ready_queue_.empty()) {
+    DrainReady();
+    return true;
+  }
+  if (!suspended_.empty()) {
     std::string names;
-    for (const ResolvedStep& s : suspending_) names += " " + s.name;
+    for (const auto& [seq, s] : suspended_) names += " " + s.step.name;
     AbortTask(Status::Aborted("unsatisfiable step dependencies:" + names +
                               (failure_messages_.empty()
                                    ? ""
@@ -543,6 +612,14 @@ tcl::EvalResult Execution::CmdSubtask(
   ctx->push_site_idx = current_cmd_idx_;
   ctx->scope = current_frame_->scope + std::to_string(current_cmd_idx_) +
                "." + std::to_string(ctx->depth) + "/";
+  {
+    std::string sanitized = ctx->scope;
+    for (char& c : sanitized) {
+      if (c == '/') c = '_';
+    }
+    ctx->intermediate_suffix =
+        ".p" + std::to_string(exec_id_) + ".s" + sanitized;
+  }
   ctx->cmds =
       std::make_shared<std::vector<tcl::RawCommand>>(std::move(*cmds));
   for (size_t i = 0; i < ins->size(); ++i) {
@@ -675,33 +752,101 @@ tcl::EvalResult Execution::CmdAbort(const std::vector<std::string>& argv) {
   return tcl::EvalResult::Ok();
 }
 
-bool Execution::StepIsReady(const ResolvedStep& step) const {
+int Execution::CountUnsatisfied(const ResolvedStep& step) const {
+  int unsatisfied = 0;
   for (const std::string& input : step.input_names) {
-    if (result_.count(input) == 0) return false;
+    if (result_.count(input) == 0) ++unsatisfied;
   }
   for (int dep : step.control_deps) {
-    if (completed_keys_.count(StepKey(step.scope, dep)) == 0) return false;
+    if (completed_keys_.count(StepKey(step.scope, dep)) == 0) ++unsatisfied;
   }
-  return true;
+  return unsatisfied;
+}
+
+void Execution::ParkStep(ResolvedStep step) {
+  int unsatisfied = CountUnsatisfied(step);
+  if (unsatisfied == 0) {
+    ready_queue_.push_back(std::move(step));
+    return;
+  }
+  int seq = next_suspend_seq_++;
+  // One waiter entry per unsatisfied occurrence, so repeated input names
+  // decrement once per binding event.
+  for (const std::string& input : step.input_names) {
+    if (result_.count(input) == 0) input_waiters_[input].push_back(seq);
+  }
+  for (int dep : step.control_deps) {
+    std::string key = StepKey(step.scope, dep);
+    if (completed_keys_.count(key) == 0) dep_waiters_[key].push_back(seq);
+  }
+  suspended_[seq] = SuspendedStep{std::move(step), unsatisfied};
+}
+
+void Execution::BindResult(const std::string& name, ResultEntry entry) {
+  result_[name] = std::move(entry);
+  auto it = input_waiters_.find(name);
+  if (it == input_waiters_.end()) return;
+  std::vector<int> seqs = std::move(it->second);
+  input_waiters_.erase(it);
+  for (int seq : seqs) {
+    auto sit = suspended_.find(seq);
+    if (sit == suspended_.end()) continue;  // dropped by restart/abort
+    if (--sit->second.unsatisfied == 0) {
+      ready_queue_.push_back(std::move(sit->second.step));
+      suspended_.erase(sit);
+    }
+  }
+}
+
+void Execution::MarkStepCompleted(const std::string& key) {
+  completed_keys_.insert(key);
+  auto it = dep_waiters_.find(key);
+  if (it == dep_waiters_.end()) return;
+  std::vector<int> seqs = std::move(it->second);
+  dep_waiters_.erase(it);
+  for (int seq : seqs) {
+    auto sit = suspended_.find(seq);
+    if (sit == suspended_.end()) continue;
+    if (--sit->second.unsatisfied == 0) {
+      ready_queue_.push_back(std::move(sit->second.step));
+      suspended_.erase(sit);
+    }
+  }
+}
+
+void Execution::DispatchNow(ResolvedStep step) {
+  Status st = DispatchStep(step);
+  if (st.IsUnavailable()) {
+    // Environmental: no host can take the process right now (e.g. the
+    // home node is down). Back off and retry rather than aborting.
+    if (!RequeueEnvironmental(step)) {
+      FailStep(step, cadtools::kToolExitTransient,
+               st.message() + " (retries exhausted)",
+               mgr_->network_->clock()->NowMicros(), sprite::kNoHost);
+    }
+  } else if (!st.ok()) {
+    pending_abort_ = true;
+    abort_status_ = st;
+  }
+}
+
+void Execution::DrainReady() {
+  while (!ready_queue_.empty() && !pending_abort_ &&
+         !pending_restart_.has_value()) {
+    ResolvedStep step = std::move(ready_queue_.front());
+    ready_queue_.pop_front();
+    DispatchNow(std::move(step));
+  }
 }
 
 void Execution::IssueStep(ResolvedStep step) {
-  if (StepIsReady(step)) {
-    Status st = DispatchStep(step);
-    if (st.IsUnavailable()) {
-      // Environmental: no host can take the process right now (e.g. the
-      // home node is down). Back off and retry rather than aborting.
-      if (!RequeueEnvironmental(step)) {
-        FailStep(step, cadtools::kToolExitTransient,
-                 st.message() + " (retries exhausted)",
-                 mgr_->network_->clock()->NowMicros(), sprite::kNoHost);
-      }
-    } else if (!st.ok()) {
-      pending_abort_ = true;
-      abort_status_ = st;
-    }
+  if (CountUnsatisfied(step) == 0) {
+    DispatchNow(std::move(step));
+    // A cache hit binds outputs immediately, which can make queued steps
+    // ready before any network event fires.
+    DrainReady();
   } else {
-    suspending_.push_back(std::move(step));
+    ParkStep(std::move(step));
   }
 }
 
@@ -726,6 +871,12 @@ Status Execution::DispatchStep(const ResolvedStep& step) {
     input_ids.push_back(entry.id);
     auto rec = mgr_->db_->Peek(entry.id);
     if (rec.ok()) total_bytes += (*rec)->size_bytes;
+  }
+
+  // History-based elision: an identical committed derivation completes
+  // the step instantly from its recorded outputs, spawning no process.
+  if (TryCompleteFromCache(dispatched, input_ids, **tool)) {
+    return Status::OK();
   }
 
   bool migratable =
@@ -756,33 +907,70 @@ Status Execution::DispatchStep(const ResolvedStep& step) {
   return Status::OK();
 }
 
-void Execution::RescanSuspending() {
-  bool dispatched_any = true;
-  while (dispatched_any) {
-    dispatched_any = false;
-    for (size_t i = 0; i < suspending_.size(); ++i) {
-      if (StepIsReady(suspending_[i])) {
-        ResolvedStep step = std::move(suspending_[i]);
-        suspending_.erase(suspending_.begin() + i);
-        Status st = DispatchStep(step);
-        if (st.IsUnavailable()) {
-          if (!RequeueEnvironmental(step)) {
-            FailStep(step, cadtools::kToolExitTransient,
-                     st.message() + " (retries exhausted)",
-                     mgr_->network_->clock()->NowMicros(),
-                     sprite::kNoHost);
-            return;
-          }
-        } else if (!st.ok()) {
-          pending_abort_ = true;
-          abort_status_ = st;
-          return;
-        }
-        dispatched_any = true;
-        break;
-      }
+bool Execution::TryCompleteFromCache(
+    const ResolvedStep& step, const std::vector<oct::ObjectId>& input_ids,
+    const cadtools::Tool& tool) {
+  cache::DerivationCache* cache = mgr_->cache_;
+  if (cache == nullptr || invocation_.disable_step_cache) return false;
+  std::string canonical = cache::DerivationCache::CanonicalizeOptions(
+      step.options, step.input_names, step.output_names);
+  uint64_t salt =
+      invocation_.seed ^ Fnv1a(step.scope + step.name + canonical);
+  std::string key = cache::DerivationCache::MakeKey(
+      step.tool, tool.descriptor().version, canonical, salt, input_ids);
+  const cache::CacheEntry* hit = cache->Probe(key);
+  if (hit == nullptr) return false;
+  if (hit->outputs.size() != step.output_names.size()) return false;
+
+  int64_t now = mgr_->network_->clock()->NowMicros();
+  StepRecord record;
+  record.step_name = step.name;
+  record.tool = step.tool;
+  record.invocation =
+      step.tool + (step.options.empty() ? "" : " " + step.options);
+  record.inputs = input_ids;
+  record.dispatch_micros = now;
+  record.completion_micros = now;  // instant in virtual time
+  record.host = sprite::kNoHost;   // no process ran anywhere
+  record.exit_status = 0;
+  record.internal_id = step.internal_id;
+  record.cache_hit = true;
+
+  for (size_t i = 0; i < hit->outputs.size(); ++i) {
+    const cache::CachedOutput& out = hit->outputs[i];
+    ResultEntry entry;
+    entry.id = out.id;
+    entry.creating_internal_id = step.internal_id;
+    entry.reused = true;
+    // Recorded intermediates were hidden when their task committed;
+    // rematerialize them for this task's consumers. Undo re-hides.
+    auto rec = mgr_->db_->Peek(out.id);
+    if (rec.ok() && !(*rec)->visible) {
+      (void)mgr_->db_->MarkVisible(out.id);
+      entry.restored_visibility = true;
     }
+    record.outputs.push_back(out.id);
+    BindResult(step.output_names[i], std::move(entry));
   }
+  interp_->SetVar("status", "0");
+  if (step.user_id > 0) {
+    MarkStepCompleted(StepKey(step.scope, step.user_id));
+  }
+  if (checker_ != nullptr) {
+    // The flow checker still sees the step (so happens-before coverage
+    // stays complete) under a synthetic token that settles immediately.
+    int64_t token = -(++cache_token_seq_);
+    checker_->OnDispatch(token, step.scope, step.name, step.output_names);
+    checker_->OnSettle(token);
+  }
+  step_records_.push_back(record);
+  ++steps_elided_;
+  ++mgr_->steps_elided_;
+  if (observer_ != nullptr) {
+    observer_->OnCacheHit(step.name, hit->cost_micros);
+    observer_->OnStepCompleted(record);
+  }
+  return true;
 }
 
 bool Execution::RequeueEnvironmental(const ResolvedStep& step) {
@@ -831,6 +1019,9 @@ bool Execution::DispatchDueRetries() {
     }
     dispatched = true;
   }
+  // A re-dispatch can be served from the cache (another execution may
+  // have committed the derivation meanwhile), cascading readiness.
+  if (dispatched) DrainReady();
   return dispatched;
 }
 
@@ -974,18 +1165,42 @@ void Execution::OnProcessComplete(const sprite::ProcessInfo& pinfo) {
       return;
     }
     for (size_t i = 0; i < created->size(); ++i) {
-      result_[entry.step.output_names[i]] =
-          ResultEntry{(*created)[i], entry.step.internal_id};
+      BindResult(entry.step.output_names[i],
+                 ResultEntry{(*created)[i], entry.step.internal_id});
     }
     record.outputs = *created;
     if (entry.step.user_id > 0) {
-      completed_keys_.insert(
-          StepKey(entry.step.scope, entry.step.user_id));
+      MarkStepCompleted(StepKey(entry.step.scope, entry.step.user_id));
+    }
+    if (mgr_->cache_ != nullptr) {
+      // Stage this derivation for the cache; it is recorded only if the
+      // task commits and no restart unwinds past this step.
+      StagedCacheEntry staged;
+      staged.internal_id = entry.step.internal_id;
+      cache::CacheEntry& ce = staged.entry;
+      ce.tool = entry.step.tool;
+      ce.tool_version = (*tool)->descriptor().version;
+      ce.canonical_options = cache::DerivationCache::CanonicalizeOptions(
+          entry.step.options, entry.step.input_names,
+          entry.step.output_names);
+      ce.seed_salt =
+          invocation_.seed ^ Fnv1a(entry.step.scope + entry.step.name +
+                                   ce.canonical_options);
+      ce.inputs = entry.input_ids;
+      for (const oct::ObjectId& id : *created) {
+        ce.outputs.push_back(cache::CachedOutput{id, true});
+      }
+      ce.cost_micros =
+          record.completion_micros - record.dispatch_micros;
+      staged.key = cache::DerivationCache::MakeKey(
+          ce.tool, ce.tool_version, ce.canonical_options, ce.seed_salt,
+          ce.inputs);
+      staged_cache_.push_back(std::move(staged));
     }
     step_records_.push_back(record);
     ++mgr_->steps_executed_;
     if (observer_ != nullptr) observer_->OnStepCompleted(record);
-    RescanSuspending();
+    DrainReady();
     return;
   }
 
@@ -1051,21 +1266,40 @@ void Execution::DoRestart(int j) {
       ++it;
     }
   }
-  suspending_.erase(
-      std::remove_if(suspending_.begin(), suspending_.end(),
-                     [j](const ResolvedStep& s) {
-                       return s.internal_id > j;
-                     }),
-      suspending_.end());
+  // Collect surviving pending steps, then rebuild the ready-set index
+  // from scratch: result_ entries removed below can re-block steps whose
+  // unsatisfied counts were already credited.
+  std::vector<ResolvedStep> survivors;
+  for (auto& [seq, s] : suspended_) {
+    if (s.step.internal_id <= j) survivors.push_back(std::move(s.step));
+  }
+  for (ResolvedStep& s : ready_queue_) {
+    if (s.internal_id <= j) survivors.push_back(std::move(s));
+  }
+  suspended_.clear();
+  ready_queue_.clear();
+  input_waiters_.clear();
+  dep_waiters_.clear();
   retry_queue_.erase(
       std::remove_if(retry_queue_.begin(), retry_queue_.end(),
                      [j](const PendingRetry& r) {
                        return r.step.internal_id > j;
                      }),
       retry_queue_.end());
+  staged_cache_.erase(
+      std::remove_if(staged_cache_.begin(), staged_cache_.end(),
+                     [j](const StagedCacheEntry& s) {
+                       return s.internal_id > j;
+                     }),
+      staged_cache_.end());
   for (auto it = result_.begin(); it != result_.end();) {
     if (it->second.creating_internal_id > j) {
-      (void)mgr_->db_->MarkInvisible(it->second.id);
+      // Undo: hide what this attempt created — but a version bound from
+      // the cache belongs to committed history; only re-hide it when the
+      // hit rematerialized it.
+      if (!it->second.reused || it->second.restored_visibility) {
+        (void)mgr_->db_->MarkInvisible(it->second.id);
+      }
       it = result_.erase(it);
     } else {
       ++it;
@@ -1085,6 +1319,10 @@ void Execution::DoRestart(int j) {
                      [j](const StepRecord& r) { return r.internal_id > j; }),
       step_records_.end());
   interp_->SetVar("status", "0");
+  // Re-index the survivors against the post-undo Result list; anything
+  // (still) ready dispatches below rather than waiting for an event.
+  for (ResolvedStep& s : survivors) ParkStep(std::move(s));
+  DrainReady();
 
   // Rebuild the interpretation stack so the next command interpreted is
   // the (J+1)-th — §4.3.4.
@@ -1120,12 +1358,19 @@ void Execution::AbortTask(Status status) {
     if (checker_ != nullptr) checker_->OnSettle(pid);
   }
   active_.clear();
-  suspending_.clear();
+  suspended_.clear();
+  ready_queue_.clear();
+  input_waiters_.clear();
+  dep_waiters_.clear();
   retry_queue_.clear();
+  staged_cache_.clear();  // an aborted task never populates the cache
   // Remove all side effects: every object the task created becomes
-  // invisible (§3.3.1 "deletes" via visibility).
+  // invisible (§3.3.1 "deletes" via visibility). Versions bound from the
+  // cache belong to committed history and are only re-hidden when the hit
+  // had rematerialized them.
   for (const auto& [name, entry] : result_) {
-    if (entry.creating_internal_id >= 0) {
+    if (entry.creating_internal_id >= 0 &&
+        (!entry.reused || entry.restored_visibility)) {
       (void)mgr_->db_->MarkInvisible(entry.id);
     }
   }
@@ -1156,10 +1401,21 @@ void Execution::Commit() {
                              invocation_.output_names.end());
   for (const oct::ObjectId& id : invocation_.inputs) keep.insert(id.name);
   for (const auto& [name, entry] : result_) {
-    if (entry.creating_internal_id >= 0 && keep.count(name) == 0) {
-      (void)mgr_->db_->MarkInvisible(entry.id);
+    if (entry.creating_internal_id < 0 || keep.count(name) != 0) continue;
+    // Reused versions: re-hide only those the cache hit rematerialized;
+    // ones that stayed visible are some earlier task's committed outputs.
+    if (entry.reused && !entry.restored_visibility) continue;
+    (void)mgr_->db_->MarkInvisible(entry.id);
+  }
+  // Populate the derivation cache, now that intermediate visibility is
+  // final (Record snapshots it). Only executed steps were staged; hits
+  // and failed/unwound attempts never were.
+  if (mgr_->cache_ != nullptr) {
+    for (StagedCacheEntry& staged : staged_cache_) {
+      (void)mgr_->cache_->Record(staged.key, std::move(staged.entry));
     }
   }
+  staged_cache_.clear();
   record.steps = step_records_;
   record.invoke_micros = invoke_micros_;
   record.commit_micros = mgr_->network_->clock()->NowMicros();
@@ -1167,6 +1423,7 @@ void Execution::Commit() {
   record.steps_lost = steps_lost_;
   record.steps_retried = steps_retried_;
   record.backoff_micros_total = backoff_micros_total_;
+  record.steps_elided = steps_elided_;
   record_ = std::move(record);
   result_status_ = Status::OK();
   if (checker_ != nullptr) mgr_->flow_violations_ += checker_->violations();
@@ -1176,7 +1433,7 @@ void Execution::Commit() {
 
 void Execution::OnDeadlock() {
   std::string names;
-  for (const ResolvedStep& s : suspending_) names += " " + s.name;
+  for (const auto& [seq, s] : suspended_) names += " " + s.step.name;
   AbortTask(Status::Aborted(
       "task deadlocked; unsatisfiable steps:" + names +
       (failure_messages_.empty() ? ""

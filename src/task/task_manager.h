@@ -17,6 +17,10 @@
 #include "task/history.h"
 #include "tdl/template.h"
 
+namespace papyrus::cache {
+class DerivationCache;
+}  // namespace papyrus::cache
+
 namespace papyrus::task {
 
 /// One task invocation request. The activity manager resolves input names
@@ -47,6 +51,11 @@ struct TaskInvocation {
   /// `TaskObserver::OnLintDiagnostic` and the runtime flow checker stays
   /// armed.
   bool override_lint = false;
+  /// Escape hatch: run every step of this invocation even when an
+  /// identical committed derivation is cached (the run still *populates*
+  /// the cache on commit). For flows that must exercise the tools, e.g.
+  /// qualification reruns.
+  bool disable_step_cache = false;
 };
 
 /// Observation and interaction hooks — the library-level equivalent of the
@@ -89,6 +98,14 @@ class TaskObserver {
   /// before any step runs, whatever the severity).
   virtual void OnLintDiagnostic(const lint::Diagnostic& diagnostic) {
     (void)diagnostic;
+  }
+  /// The derivation cache elided this step: no tool process ran, the
+  /// outputs were bound from the recorded versions. `micros_saved` is the
+  /// virtual execution cost of the original run.
+  virtual void OnCacheHit(const std::string& step_name,
+                          int64_t micros_saved) {
+    (void)step_name;
+    (void)micros_saved;
   }
 };
 
@@ -139,6 +156,16 @@ class TaskManager {
   /// concurrent writers the static model missed. Zero on a healthy
   /// scheduler running clean templates.
   int64_t flow_violations() const { return flow_violations_; }
+  /// Steps elided by the derivation cache, across all invocations.
+  int64_t steps_elided() const { return steps_elided_; }
+
+  /// Attaches a derivation cache (may be null to detach). The manager
+  /// probes it before dispatching a step and populates it when a task
+  /// commits. Not owned.
+  void set_derivation_cache(cache::DerivationCache* cache) {
+    cache_ = cache;
+  }
+  cache::DerivationCache* derivation_cache() const { return cache_; }
 
   oct::OctDatabase* database() const { return db_; }
   const cadtools::ToolRegistry* tools() const { return tools_; }
@@ -170,6 +197,8 @@ class TaskManager {
   int64_t steps_lost_ = 0;
   int64_t steps_retried_ = 0;
   int64_t flow_violations_ = 0;
+  int64_t steps_elided_ = 0;
+  cache::DerivationCache* cache_ = nullptr;  // optional, not owned
 };
 
 }  // namespace papyrus::task

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "base/clock.h"
+#include "cache/derivation_cache.h"
 #include "cadtools/registry.h"
 #include "fault/fault_plan.h"
 #include "oct/database.h"
@@ -34,12 +35,20 @@ struct RunOutcome {
   int64_t backoff_micros_total = 0;
   int64_t crashes = 0;
   int64_t flow_violations = 0;
+  // Filled when `rerun` is requested: the same invocation repeated after
+  // commit, served from the derivation cache.
+  bool rerun_committed = false;
+  int64_t rerun_executed = 0;
+  int64_t rerun_elided = 0;
+  std::map<std::string, std::string> rerun_outputs;
 };
 
 /// Runs the thesis' Structure_Synthesis flow (6 steps, one subtask, real
 /// parallelism) on a fresh 4-host session, optionally under a fault plan
-/// seeded with `fault_seed` (0 = fault-free).
-RunOutcome RunWorkload(uint64_t fault_seed) {
+/// seeded with `fault_seed` (0 = fault-free). With `rerun`, the identical
+/// invocation is repeated after commit against the populated derivation
+/// cache.
+RunOutcome RunWorkload(uint64_t fault_seed, bool rerun = false) {
   ManualClock clock(0);
   oct::OctDatabase db(&clock);
   sprite::Network network(&clock, 4);
@@ -65,6 +74,8 @@ RunOutcome RunWorkload(uint64_t fault_seed) {
   EXPECT_TRUE(plan.Apply(&network, registry.get()).ok());
 
   task::TaskManager manager(&db, registry.get(), &network, &library);
+  cache::DerivationCache cache(&db);
+  manager.set_derivation_cache(&cache);
 
   auto behav = db.CreateVersion("shifter", BehavioralSpec{8, 8, 12, 77});
   auto cmds = db.CreateVersion("sim.cmd", TextData{"run 100"});
@@ -97,6 +108,24 @@ RunOutcome RunWorkload(uint64_t fault_seed) {
   db.ForEach([&](const oct::ObjectRecord& r) {
     if (r.visible && !r.reclaimed) outcome.visible_names.insert(r.id.name);
   });
+  if (rerun && outcome.committed) {
+    int64_t executed0 = manager.steps_executed();
+    int64_t elided0 = manager.steps_elided();
+    auto rec2 = manager.Invoke(inv);
+    outcome.rerun_committed = rec2.ok();
+    outcome.rerun_executed = manager.steps_executed() - executed0;
+    outcome.rerun_elided = manager.steps_elided() - elided0;
+    if (rec2.ok()) {
+      for (const ObjectId& id : rec2->outputs) {
+        auto out = db.Get(id);
+        EXPECT_TRUE(out.ok());
+        if (out.ok()) {
+          outcome.rerun_outputs[id.name] =
+              oct::PayloadToString((*out)->payload);
+        }
+      }
+    }
+  }
   return outcome;
 }
 
@@ -154,6 +183,27 @@ TEST(FaultSoakTest, SameSeedReproducesTheSameRun) {
   EXPECT_EQ(a.steps_lost, b.steps_lost);
   EXPECT_EQ(a.steps_retried, b.steps_retried);
   EXPECT_EQ(a.crashes, b.crashes);
+}
+
+TEST(FaultSoakTest, CrashedThenRetriedStepCachesOnlyCommittedOutputs) {
+  // Find a chaos run that committed only after losing step processes to
+  // host crashes: its retried steps ran more than once, but the cache
+  // must hold exactly the final committed outputs — the identical rerun
+  // is fully elided and byte-identical.
+  bool exercised = false;
+  for (uint64_t seed = 1; seed <= 24 && !exercised; ++seed) {
+    SCOPED_TRACE("fault seed " + std::to_string(seed));
+    RunOutcome chaos = RunWorkload(seed, /*rerun=*/true);
+    if (!chaos.committed || chaos.steps_lost == 0) continue;
+    exercised = true;
+    ASSERT_TRUE(chaos.rerun_committed);
+    EXPECT_EQ(chaos.rerun_executed, 0);
+    EXPECT_EQ(chaos.rerun_elided, 6);
+    EXPECT_EQ(chaos.rerun_outputs, chaos.outputs);
+  }
+  // The regression is vacuous if no seed produced a crashed-then-retried
+  // committed run; the soak test's rates make that practically impossible.
+  EXPECT_TRUE(exercised);
 }
 
 TEST(FaultPlanTest, ValidatesOptionsAndSparesHome) {
