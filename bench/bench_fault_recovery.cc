@@ -5,11 +5,18 @@
 // time), steps lost/retried, and the makespan overhead relative to the
 // fault-free baseline — the price of riding out environmental failure
 // with bounded-backoff re-dispatch instead of aborting.
+//
+// Flags:
+//   --json F   write the per-rate summary (with a metrics-registry
+//              snapshot of each rate's last run) to F (default
+//              BENCH_fault_recovery.json; "" disables)
 
 #include <benchmark/benchmark.h>
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -29,7 +36,8 @@ struct ChaosRun {
   int64_t crashes = 0;
 };
 
-ChaosRun RunOnce(double crash_rate, uint64_t seed) {
+ChaosRun RunOnce(double crash_rate, uint64_t seed,
+                 std::string* metrics_json = nullptr) {
   SessionOptions opts;
   opts.num_workstations = 6;
   opts.metadata_inference = false;
@@ -44,6 +52,7 @@ ChaosRun RunOnce(double crash_rate, uint64_t seed) {
   fopt.migration_flakiness = crash_rate > 0 ? 0.1 : 0.0;
   fopt.tool_transient_rate = crash_rate > 0 ? 0.05 : 0.0;
   fault::FaultPlan plan(fopt);
+  plan.set_observability(session.observability());
   (void)plan.Apply(&session.network(), &session.tools());
 
   auto behav = session.database().CreateVersion(
@@ -68,40 +77,83 @@ ChaosRun RunOnce(double crash_rate, uint64_t seed) {
     run.steps_lost = rec->steps_lost;
     run.steps_retried = rec->steps_retried;
   }
+  if (metrics_json != nullptr) *metrics_json = session.metrics().ToJson();
   return run;
 }
 
-void PrintOverheadTable() {
+struct RateSummary {
+  double rate = 0.0;
+  int commits = 0;
+  int seeds = 0;
+  double avg_makespan_ms = 0.0;
+  int64_t steps_lost = 0;
+  int64_t steps_retried = 0;
+  double overhead_pct = 0.0;
+  std::string metrics_json;  // snapshot of the rate's last run
+};
+
+std::vector<RateSummary> PrintOverheadTable() {
   constexpr int kSeeds = 20;
   std::printf("Structure_Synthesis under seeded chaos "
               "(%d seeds per rate, 6 hosts):\n", kSeeds);
   std::printf("%-12s %-10s %-14s %-10s %-10s %s\n", "crash rate",
               "commits", "makespan(ms)", "lost", "retried", "overhead");
   double baseline_ms = 0.0;
+  std::vector<RateSummary> summaries;
   for (double rate : {0.0, 0.1, 0.3}) {
-    int commits = 0;
-    int64_t lost = 0, retried = 0;
+    RateSummary sum;
+    sum.rate = rate;
+    sum.seeds = kSeeds;
     double committed_ms = 0.0;
     for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
-      ChaosRun run = RunOnce(rate, seed);
+      ChaosRun run = RunOnce(rate, seed, &sum.metrics_json);
       if (!run.committed) continue;
-      ++commits;
+      ++sum.commits;
       committed_ms += run.makespan_micros / 1000.0;
-      lost += run.steps_lost;
-      retried += run.steps_retried;
+      sum.steps_lost += run.steps_lost;
+      sum.steps_retried += run.steps_retried;
     }
-    double avg_ms = commits > 0 ? committed_ms / commits : 0.0;
+    double avg_ms = sum.commits > 0 ? committed_ms / sum.commits : 0.0;
+    sum.avg_makespan_ms = avg_ms;
     if (rate == 0.0) baseline_ms = avg_ms;
+    sum.overhead_pct = baseline_ms > 0
+                           ? 100.0 * (avg_ms - baseline_ms) / baseline_ms
+                           : 0.0;
     char rate_label[16];
     std::snprintf(rate_label, sizeof(rate_label), "%.0f%%", rate * 100);
     std::printf("%-12s %2d/%-7d %-14.1f %-10" PRId64 " %-10" PRId64
                 " %+.1f%%\n",
-                rate_label, commits, kSeeds, avg_ms, lost, retried,
-                baseline_ms > 0
-                    ? 100.0 * (avg_ms - baseline_ms) / baseline_ms
-                    : 0.0);
+                rate_label, sum.commits, kSeeds, avg_ms, sum.steps_lost,
+                sum.steps_retried, sum.overhead_pct);
+    summaries.push_back(std::move(sum));
   }
   std::printf("\n");
+  return summaries;
+}
+
+void WriteJson(const std::string& path,
+               const std::vector<RateSummary>& rows) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  out << "{\n  \"bench\": \"fault_recovery\",\n  \"flow\": "
+         "\"Structure_Synthesis\",\n  \"rates\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const RateSummary& r = rows[i];
+    out << "    {\"crash_rate\": " << r.rate
+        << ", \"commits\": " << r.commits << ", \"seeds\": " << r.seeds
+        << ", \"avg_makespan_ms\": " << r.avg_makespan_ms
+        << ", \"steps_lost\": " << r.steps_lost
+        << ", \"steps_retried\": " << r.steps_retried
+        << ", \"overhead_pct\": " << r.overhead_pct
+        << ",\n     \"metrics\": "
+        << (r.metrics_json.empty() ? "{}" : r.metrics_json) << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %s\n\n", path.c_str());
 }
 
 void BM_ChaosRun(benchmark::State& state) {
@@ -120,13 +172,22 @@ BENCHMARK(BM_ChaosRun)->Arg(0)->Arg(10)->Arg(30)
 }  // namespace papyrus::bench
 
 int main(int argc, char** argv) {
+  std::string json_path = "BENCH_fault_recovery.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
   papyrus::bench::Banner(
       "F-fault", "the §4.3 failure model (host crashes, eviction races, "
       "transient tool failures)",
       "a committed task is outwardly identical to its fault-free run; "
       "environmental failures cost bounded retries and virtual-time "
       "backoff, not aborted design work.");
-  papyrus::bench::PrintOverheadTable();
+  auto rows = papyrus::bench::PrintOverheadTable();
+  if (!json_path.empty()) {
+    papyrus::bench::WriteJson(json_path, rows);
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

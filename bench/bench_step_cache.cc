@@ -71,8 +71,10 @@ ScenarioResult RunScenario(Papyrus& session, const std::string& name,
 }
 
 /// The rerun matrix: one session, four invocations of the same flow with
-/// progressively fewer unchanged inputs.
-std::vector<ScenarioResult> RunMatrix() {
+/// progressively fewer unchanged inputs. The session's metrics snapshot
+/// (cache hits/misses, elisions, virtual time saved) lands in
+/// `metrics_json` for the JSON report.
+std::vector<ScenarioResult> RunMatrix(std::string* metrics_json) {
   Papyrus session;
   auto spec1 = session.database().CreateVersion(
       "spec", oct::BehavioralSpec{8, 8, 12, 77});
@@ -97,6 +99,7 @@ std::vector<ScenarioResult> RunMatrix() {
       "spec", oct::BehavioralSpec{8, 8, 12, 78});
   results.push_back(
       RunScenario(session, "rerun_changed_0pct", {*spec2, *cmds2}));
+  if (metrics_json != nullptr) *metrics_json = session.metrics().ToJson();
   return results;
 }
 
@@ -168,7 +171,7 @@ void PrintTable(const std::vector<ScenarioResult>& rows) {
 
 void WriteJson(const std::string& path,
                const std::vector<ScenarioResult>& rows,
-               double virtual_speedup) {
+               double virtual_speedup, const std::string& metrics_json) {
   std::ofstream out(path, std::ios::trunc);
   if (!out) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -188,7 +191,8 @@ void WriteJson(const std::string& path,
         << (r.committed ? "true" : "false") << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
-  out << "  ]\n}\n";
+  out << "  ],\n  \"metrics\": "
+      << (metrics_json.empty() ? "{}" : metrics_json) << "\n}\n";
   std::printf("wrote %s\n\n", path.c_str());
 }
 
@@ -239,7 +243,8 @@ int main(int argc, char** argv) {
       "tool processes; partially-changed inputs re-run only the "
       "downstream cone of the change.");
 
-  auto rows = papyrus::bench::RunMatrix();
+  std::string metrics_json;
+  auto rows = papyrus::bench::RunMatrix(&metrics_json);
   auto mosaico = papyrus::bench::RunMosaico();
   rows.insert(rows.end(), mosaico.begin(), mosaico.end());
   papyrus::bench::PrintTable(rows);
@@ -266,7 +271,7 @@ int main(int argc, char** argv) {
   }
 
   if (!json_path.empty()) {
-    papyrus::bench::WriteJson(json_path, rows, speedup);
+    papyrus::bench::WriteJson(json_path, rows, speedup, metrics_json);
   }
 
   benchmark::Initialize(&argc, argv);

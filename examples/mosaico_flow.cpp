@@ -3,8 +3,14 @@
 // programmable abort that preserves completed work across restarts.
 //
 // Build & run:  ./build/examples/mosaico_flow
+//
+// Headless observability capture (the CI trace-smoke job runs this):
+//   ./build/examples/mosaico_flow --trace trace.json --metrics metrics.json
+// The trace is Chrome trace_event JSON — open it at https://ui.perfetto.dev.
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "base/strings.h"
 #include "core/papyrus.h"
@@ -46,8 +52,20 @@ class ConsoleObserver : public papyrus::task::TaskObserver {
 
 }  // namespace
 
-int main() {
-  papyrus::Papyrus session;
+int main(int argc, char** argv) {
+  papyrus::SessionOptions options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      options.trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      options.metrics_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: mosaico_flow [--trace FILE] [--metrics FILE]\n");
+      return 2;
+    }
+  }
+  papyrus::Papyrus session(options);
   int thread = session.CreateThread("Chip-assembly");
 
   // Sweep macro-cell seeds until the flow exhibits all three behaviours:

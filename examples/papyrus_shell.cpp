@@ -18,6 +18,8 @@
 //                                 when no names are given)
 //   oattr OBJECT ATTR            (metadata-engine attribute query)
 //   cache ?stats|clear|on|off?   (history-based derivation cache)
+//   trace start|stop|dump FILE   (virtual-time Chrome trace recording)
+//   metrics ?-json?              (session metrics registry snapshot)
 
 #include <cstdio>
 #include <fstream>
@@ -228,6 +230,42 @@ void RegisterShellCommands(Interp* in, Papyrus* session) {
           return EvalResult::Ok();
         }
         return EvalResult::Error("usage: cache ?stats|clear|on|off?");
+      });
+
+  in->RegisterCommand(
+      "trace", [session](Interp&, const std::vector<std::string>& argv) {
+        papyrus::obs::TraceRecorder& trace = session->trace();
+        std::string sub = argv.size() > 1 ? argv[1] : "";
+        if (sub == "start") {
+          trace.set_enabled(true);
+          return EvalResult::Ok("tracing on");
+        }
+        if (sub == "stop") {
+          trace.set_enabled(false);
+          std::ostringstream os;
+          os << "tracing off; " << trace.event_count()
+             << " event(s) buffered";
+          return EvalResult::Ok(os.str());
+        }
+        if (sub == "dump" && argv.size() == 3) {
+          papyrus::Status st = trace.WriteJson(argv[2]);
+          if (!st.ok()) return EvalResult::Error(st.message());
+          std::ostringstream os;
+          os << "wrote " << trace.event_count() << " event(s) to "
+             << argv[2];
+          return EvalResult::Ok(os.str());
+        }
+        return EvalResult::Error("usage: trace start|stop|dump FILE");
+      });
+
+  in->RegisterCommand(
+      "metrics", [session](Interp&, const std::vector<std::string>& argv) {
+        bool json = argv.size() > 1 && argv[1] == "-json";
+        if (!json && argv.size() > 1) {
+          return EvalResult::Error("usage: metrics ?-json?");
+        }
+        return EvalResult::Ok(json ? session->metrics().ToJson()
+                                   : session->metrics().ToTable());
       });
 
   in->RegisterCommand(

@@ -49,11 +49,30 @@ std::string DerivationCache::MakeKey(
   return os.str();
 }
 
+void DerivationCache::set_observability(const obs::Observability& sinks) {
+  if (sinks.metrics == nullptr) {
+    c_hits_ = c_misses_ = c_recorded_ = c_invalidated_ = c_micros_saved_ =
+        nullptr;
+    return;
+  }
+  auto bind = [&sinks](const char* name, int64_t accumulated) {
+    obs::Counter* c = sinks.metrics->FindOrCreateCounter(name);
+    c->Increment(accumulated - c->value());
+    return c;
+  };
+  c_hits_ = bind(obs::kCacheHits, stats_.hits);
+  c_misses_ = bind(obs::kCacheMisses, stats_.misses);
+  c_recorded_ = bind(obs::kCacheRecorded, stats_.recorded);
+  c_invalidated_ = bind(obs::kCacheInvalidated, stats_.invalidated);
+  c_micros_saved_ = bind(obs::kCacheMicrosSaved, stats_.micros_saved);
+}
+
 const CacheEntry* DerivationCache::Probe(const std::string& key) {
   if (!enabled_) return nullptr;
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++stats_.misses;
+    if (c_misses_ != nullptr) c_misses_->Increment();
     return nullptr;
   }
   for (const CachedOutput& out : it->second.outputs) {
@@ -67,11 +86,17 @@ const CacheEntry* DerivationCache::Probe(const std::string& key) {
       DropEntry(key);
       ++stats_.invalidated;
       ++stats_.misses;
+      if (c_invalidated_ != nullptr) c_invalidated_->Increment();
+      if (c_misses_ != nullptr) c_misses_->Increment();
       return nullptr;
     }
   }
   ++stats_.hits;
   stats_.micros_saved += it->second.cost_micros;
+  if (c_hits_ != nullptr) c_hits_->Increment();
+  if (c_micros_saved_ != nullptr) {
+    c_micros_saved_->Increment(it->second.cost_micros);
+  }
   return &it->second;
 }
 
@@ -92,6 +117,7 @@ bool DerivationCache::Record(const std::string& key, CacheEntry entry) {
   }
   entries_.emplace(key, std::move(entry));
   ++stats_.recorded;
+  if (c_recorded_ != nullptr) c_recorded_->Increment();
   return true;
 }
 
@@ -114,6 +140,7 @@ void DerivationCache::OnVersionReclaimed(const oct::ObjectId& id) {
   for (const std::string& key : keys) {
     DropEntry(key);
     ++stats_.invalidated;
+    if (c_invalidated_ != nullptr) c_invalidated_->Increment();
   }
 }
 
@@ -125,6 +152,7 @@ void DerivationCache::Clear() {
   while (!entries_.empty()) {
     DropEntry(entries_.begin()->first);
     ++stats_.invalidated;
+    if (c_invalidated_ != nullptr) c_invalidated_->Increment();
   }
   by_version_.clear();
 }

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/observability.h"
 #include "oct/database.h"
 #include "oct/object_id.h"
 
@@ -147,6 +148,12 @@ class DerivationCache {
   const CacheStats& stats() const { return stats_; }
   size_t size() const { return entries_.size(); }
 
+  /// Mirrors the cache statistics into the registry's papyrus.cache.*
+  /// counters, catching the mirror up with whatever already accumulated.
+  /// The registry must outlive the cache (the destructor's Clear() still
+  /// counts invalidations).
+  void set_observability(const obs::Observability& obs);
+
   /// Visits every entry (persistence, shell rendering).
   void ForEach(
       const std::function<void(const std::string& key, const CacheEntry&)>&
@@ -158,6 +165,11 @@ class DerivationCache {
   oct::OctDatabase* db_;
   bool enabled_ = true;
   CacheStats stats_;
+  obs::Counter* c_hits_ = nullptr;
+  obs::Counter* c_misses_ = nullptr;
+  obs::Counter* c_recorded_ = nullptr;
+  obs::Counter* c_invalidated_ = nullptr;
+  obs::Counter* c_micros_saved_ = nullptr;
   std::map<std::string, CacheEntry> entries_;
   /// Inverted index: object version -> keys of entries mentioning it
   /// (inputs and outputs), driving O(entries-touched) invalidation.

@@ -11,7 +11,8 @@
 namespace papyrus {
 
 Papyrus::Papyrus(const SessionOptions& options)
-    : clock_(0), options_(options) {
+    : clock_(0), trace_(&clock_), options_(options) {
+  if (!options.trace_path.empty()) trace_.set_enabled(true);
   db_ = std::make_unique<oct::OctDatabase>(&clock_);
   tools_ = std::make_unique<cadtools::ToolRegistry>();
   network_ =
@@ -47,9 +48,29 @@ Papyrus::Papyrus(const SessionOptions& options)
   activity_->set_record_filter([this](const std::string& task_name) {
     return reclamation_->ShouldRecord(task_name);
   });
+  // Wire every instrumented subsystem to the session's trace recorder and
+  // metrics registry (the registry also absorbs counters the task manager
+  // accumulated against its private fallback registry).
+  const obs::Observability sinks = observability();
+  trace_.SetThreadName(obs::kSessionPid, 0, "session");
+  db_->set_observability(sinks);
+  network_->set_observability(sinks);
+  task_manager_->set_observability(sinks);
+  step_cache_->set_observability(sinks);
 }
 
-Papyrus::~Papyrus() = default;
+Papyrus::~Papyrus() {
+  // Seal the trace: the session-end marker is the last event, anything a
+  // destructor might still record afterwards is dropped by design.
+  trace_.Finish();
+  if (!options_.trace_path.empty()) {
+    (void)trace_.WriteJson(options_.trace_path);
+  }
+  if (!options_.metrics_path.empty()) {
+    std::ofstream out(options_.metrics_path, std::ios::trunc);
+    if (out) out << metrics_.ToJson();
+  }
+}
 
 Status Papyrus::AddTemplate(const std::string& script) {
   return templates_.Add(script);
@@ -85,6 +106,17 @@ Status Papyrus::MoveCursor(int thread_id, activity::NodeId point,
 }
 
 Status Papyrus::SaveSession(const std::string& directory) {
+  trace_.Begin(obs::kSessionPid, 0, "snapshot_save", "snapshot",
+               {obs::TraceArg::Str("directory", directory)});
+  Status st = SaveSessionImpl(directory);
+  trace_.End(obs::kSessionPid, 0, {obs::TraceArg::Bool("ok", st.ok())});
+  if (st.ok()) {
+    metrics_.FindOrCreateCounter(obs::kSnapshotSaves)->Increment();
+  }
+  return st;
+}
+
+Status Papyrus::SaveSessionImpl(const std::string& directory) {
   std::error_code ec;
   std::filesystem::create_directories(directory, ec);
   if (ec) {
@@ -131,6 +163,17 @@ Status Papyrus::SaveSession(const std::string& directory) {
 }
 
 Status Papyrus::LoadSession(const std::string& directory) {
+  trace_.Begin(obs::kSessionPid, 0, "snapshot_load", "snapshot",
+               {obs::TraceArg::Str("directory", directory)});
+  Status st = LoadSessionImpl(directory);
+  trace_.End(obs::kSessionPid, 0, {obs::TraceArg::Bool("ok", st.ok())});
+  if (st.ok()) {
+    metrics_.FindOrCreateCounter(obs::kSnapshotLoads)->Increment();
+  }
+  return st;
+}
+
+Status Papyrus::LoadSessionImpl(const std::string& directory) {
   if (db_->TotalVersionCount() != 0 || !activity_->ThreadIds().empty()) {
     return Status::FailedPrecondition(
         "LoadSession requires a fresh session");

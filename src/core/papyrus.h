@@ -13,6 +13,7 @@
 #include "cadtools/registry.h"
 #include "meta/inference.h"
 #include "meta/tsd.h"
+#include "obs/observability.h"
 #include "oct/database.h"
 #include "sprite/network.h"
 #include "storage/reclamation.h"
@@ -36,6 +37,13 @@ struct SessionOptions {
   /// Serve repeated design steps from the history-based derivation cache
   /// instead of re-running the tool (committed history only).
   bool step_cache = true;
+  /// Headless trace capture: when non-empty, tracing starts enabled and
+  /// the Chrome trace_event JSON (Perfetto-loadable, virtual-time
+  /// timestamps) is written here when the session is destroyed.
+  std::string trace_path;
+  /// When non-empty, a JSON metrics snapshot is written here at session
+  /// destruction.
+  std::string metrics_path;
 };
 
 /// The Papyrus design-flow-management session: one object wiring together
@@ -134,8 +142,28 @@ class Papyrus {
   /// The attribute store the metadata engine populates.
   oct::AttributeStore& attributes() { return attributes_; }
 
+  // --- observability ---------------------------------------------------------
+
+  /// The session trace recorder (virtual-time Chrome trace events). Call
+  /// `trace().set_enabled(true)` — or set SessionOptions::trace_path — to
+  /// record; dump any time with `trace().WriteJson(path)`.
+  obs::TraceRecorder& trace() { return trace_; }
+  /// The session metrics registry backing every subsystem's counters.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  /// The context handed to the session's subsystems; attach it to
+  /// session-external instrumented components (e.g. fault::FaultPlan).
+  obs::Observability observability() { return {&trace_, &metrics_}; }
+
  private:
+  Status SaveSessionImpl(const std::string& directory);
+  Status LoadSessionImpl(const std::string& directory);
+
+  // Declared before every subsystem so trace + metrics are destroyed
+  // last: subsystem destructors (e.g. the derivation cache's Clear) may
+  // still count into the registry while the session tears down.
   ManualClock clock_;
+  obs::MetricsRegistry metrics_;
+  obs::TraceRecorder trace_;
   std::unique_ptr<oct::OctDatabase> db_;
   std::unique_ptr<cadtools::ToolRegistry> tools_;
   std::unique_ptr<sprite::Network> network_;

@@ -30,7 +30,16 @@ bool ValidProbability(double p) { return p >= 0.0 && p < 1.0; }
 
 FaultPlan::FaultPlan(FaultPlanOptions options)
     : options_(options),
-      transient_injections_(std::make_shared<int64_t>(0)) {}
+      transient_injections_(std::make_shared<int64_t>(0)),
+      sinks_(std::make_shared<obs::Observability>()) {}
+
+void FaultPlan::set_observability(const obs::Observability& sinks) {
+  *sinks_ = sinks;
+  if (sinks_->trace != nullptr) {
+    sinks_->trace->SetThreadName(obs::kSessionPid, /*tid=*/2,
+                                 "fault injector");
+  }
+}
 
 Status FaultPlan::Apply(sprite::Network* network,
                         cadtools::ToolRegistry* tools) {
@@ -100,12 +109,24 @@ Status FaultPlan::Apply(sprite::Network* network,
                                               Fnv1a("transient:" + name));
       double rate = options_.tool_transient_rate;
       std::shared_ptr<int64_t> injections = transient_injections_;
+      std::shared_ptr<obs::Observability> sinks = sinks_;
       tools->Register(std::make_unique<cadtools::Tool>(
           inner->descriptor(),
-          [inner, state, rate,
-           injections](const cadtools::ToolRunContext& ctx) {
+          [inner, state, rate, injections,
+           sinks](const cadtools::ToolRunContext& ctx) {
             if (NextUnit(state.get()) < rate) {
               ++*injections;
+              if (sinks->metrics != nullptr) {
+                sinks->metrics
+                    ->FindOrCreateCounter(obs::kFaultTransientInjections)
+                    ->Increment();
+              }
+              if (sinks->trace != nullptr) {
+                sinks->trace->Instant(
+                    obs::kSessionPid, /*tid=*/2, "transient_injection",
+                    "fault",
+                    {obs::TraceArg::Str("tool", inner->name())});
+              }
               return cadtools::ToolRunResult::Transient(
                   inner->name() + ": injected transient failure");
             }

@@ -7,6 +7,7 @@
 
 #include "base/status.h"
 #include "cadtools/registry.h"
+#include "obs/observability.h"
 #include "sprite/network.h"
 
 namespace papyrus::fault {
@@ -65,11 +66,18 @@ class FaultPlan {
   /// workload executes).
   int64_t transient_injections() const { return *transient_injections_; }
 
+  /// Attaches trace + metrics sinks: each injected transient failure bumps
+  /// papyrus.fault.transient_injections and emits a session-track instant.
+  /// The sinks are shared with the installed tool wrappers, so this works
+  /// before or after Apply.
+  void set_observability(const obs::Observability& obs);
+
  private:
   FaultPlanOptions options_;
   bool applied_ = false;
   std::vector<ScheduledCrash> crashes_;
   std::shared_ptr<int64_t> transient_injections_;
+  std::shared_ptr<obs::Observability> sinks_;
 };
 
 }  // namespace papyrus::fault

@@ -1,0 +1,239 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace papyrus::obs {
+
+namespace {
+
+constexpr MetricType kC = MetricType::kCounter;
+constexpr MetricType kG = MetricType::kGauge;
+constexpr MetricType kH = MetricType::kHistogram;
+
+const char* TypeName(MetricType t) {
+  switch (t) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+const std::vector<MetricInfo>& MetricCatalogue() {
+  static const std::vector<MetricInfo> catalogue = {
+      {kStepsCompleted, kC,
+       "Design steps whose tool run exited 0 (cache hits excluded)."},
+      {kStepsFailed, kC,
+       "Design steps surfaced to the template with a non-zero exit."},
+      {kStepsRetried, kC,
+       "Environmental re-dispatches after host crashes or transient "
+       "tool failures."},
+      {kStepsLost, kC,
+       "Step processes killed mid-run by a workstation crash."},
+      {kStepsElided, kC,
+       "Steps served from the derivation cache instead of running the "
+       "tool."},
+      {kStepVirtualLatency, kH,
+       "Virtual microseconds from step dispatch to completion "
+       "(executed steps only)."},
+      {kStepRetryBackoff, kH,
+       "Virtual microseconds of exponential backoff preceding each "
+       "environmental re-dispatch."},
+      {kTasksCommitted, kC, "Task invocations that ran to commit."},
+      {kTasksAborted, kC,
+       "Task invocations undone by abort (template abort, failure, or "
+       "deadlock)."},
+      {kTaskRestarts, kC,
+       "Programmable-abort restarts across all invocations."},
+      {kFlowViolations, kC,
+       "Runtime flow-checker violations: dispatches contradicting the "
+       "static happens-before graph. Zero on a healthy engine."},
+      {kCacheHits, kC, "Derivation-cache probes served from history."},
+      {kCacheMisses, kC, "Derivation-cache probes that found no entry."},
+      {kCacheRecorded, kC,
+       "Derivations recorded (or replaced) at task commit."},
+      {kCacheInvalidated, kC,
+       "Cache entries dropped by reclamation, rework, or clear."},
+      {kCacheMicrosSaved, kC,
+       "Summed virtual execution cost of elided steps."},
+      {kSpriteSpawns, kC, "Processes started on the workstation network."},
+      {kSpriteMigrations, kC, "Successful process migrations."},
+      {kSpriteMigrationFailures, kC,
+       "Migrate calls that failed under flaky-migration injection."},
+      {kSpriteEvictions, kC,
+       "Foreign processes pushed home by a returning owner."},
+      {kSpriteRemigrations, kC,
+       "Task-manager re-migrations of processes stuck on the home "
+       "node."},
+      {kSpriteCrashes, kC, "Workstation crashes."},
+      {kSpriteReboots, kC, "Workstation reboots after a crash."},
+      {kSpriteLostProcesses, kC, "Processes that died in a host crash."},
+      {kOctVersionsCreated, kC,
+       "Design-object versions allocated by the OCT database."},
+      {kOctReclaimed, kC,
+       "Versions whose payload was physically reclaimed."},
+      {kOctLiveBytes, kG,
+       "Payload bytes of all non-reclaimed versions."},
+      {kFaultTransientInjections, kC,
+       "Tool runs turned into transient failures by the fault plan."},
+      {kSnapshotSaves, kC, "Session snapshots written."},
+      {kSnapshotLoads, kC, "Session snapshots restored."},
+      {kAttributesComputed, kC,
+       "Attribute measurements computed by invoking a measurement "
+       "tool."},
+      {kAttributesCached, kC,
+       "Attribute queries served from the attribute store."},
+      {kTraceEventsDropped, kC,
+       "Trace events dropped because the recorder was sealed or "
+       "disabled mid-session."},
+  };
+  return catalogue;
+}
+
+const std::vector<int64_t>& LatencyBucketBounds() {
+  // Virtual microseconds; tool costs in the simulator span roughly
+  // 1ms..5s of virtual time.
+  static const std::vector<int64_t> bounds = {
+      1'000,     5'000,      10'000,     50'000,     100'000,
+      250'000,   500'000,    1'000'000,  2'500'000,  5'000'000,
+      10'000'000};
+  return bounds;
+}
+
+Histogram::Histogram(std::vector<int64_t> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+void Histogram::Observe(int64_t value) {
+  size_t idx = std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+               bounds_.begin();
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::vector<int64_t> Histogram::BucketCounts() const {
+  std::vector<int64_t> out(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+MetricsRegistry::MetricsRegistry() {
+  for (const MetricInfo& info : MetricCatalogue()) {
+    switch (info.type) {
+      case MetricType::kCounter:
+        FindOrCreateCounter(info.name);
+        break;
+      case MetricType::kGauge:
+        FindOrCreateGauge(info.name);
+        break;
+      case MetricType::kHistogram:
+        FindOrCreateHistogram(info.name, LatencyBucketBounds());
+        break;
+    }
+  }
+}
+
+Counter* MetricsRegistry::FindOrCreateCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::FindOrCreateGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::FindOrCreateHistogram(
+    const std::string& name, std::vector<int64_t> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(bounds));
+  return slot.get();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    os << (first ? "\n" : ",\n") << "    \"" << name
+       << "\": " << c->value();
+    first = false;
+  }
+  os << "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    os << (first ? "\n" : ",\n") << "    \"" << name
+       << "\": " << g->value();
+    first = false;
+  }
+  os << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    os << (first ? "\n" : ",\n") << "    \"" << name << "\": {\n"
+       << "      \"buckets\": [";
+    const std::vector<int64_t>& bounds = h->bounds();
+    std::vector<int64_t> counts = h->BucketCounts();
+    for (size_t i = 0; i < counts.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << "{\"le\": ";
+      if (i < bounds.size()) {
+        os << bounds[i];
+      } else {
+        os << "\"+Inf\"";
+      }
+      os << ", \"count\": " << counts[i] << "}";
+    }
+    os << "],\n      \"sum\": " << h->sum()
+       << ",\n      \"count\": " << h->count() << "\n    }";
+    first = false;
+  }
+  os << "\n  }\n}\n";
+  return os.str();
+}
+
+std::string MetricsRegistry::ToTable() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  size_t width = 0;
+  for (const auto& [name, c] : counters_) width = std::max(width,
+                                                           name.size());
+  for (const auto& [name, g] : gauges_) width = std::max(width,
+                                                         name.size());
+  for (const auto& [name, h] : histograms_) width = std::max(width,
+                                                             name.size());
+  for (const auto& [name, c] : counters_) {
+    os << std::left << std::setw(static_cast<int>(width) + 2) << name
+       << c->value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    os << std::left << std::setw(static_cast<int>(width) + 2) << name
+       << g->value() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    os << std::left << std::setw(static_cast<int>(width) + 2) << name
+       << "count=" << h->count() << " sum=" << h->sum() << "\n";
+  }
+  return os.str();
+}
+
+// Referenced by papyrus-metrics --catalogue.
+const char* MetricTypeName(MetricType t) { return TypeName(t); }
+
+}  // namespace papyrus::obs

@@ -1,0 +1,165 @@
+#ifndef PAPYRUS_OBS_METRICS_H_
+#define PAPYRUS_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace papyrus::obs {
+
+/// A monotonically increasing counter. Increments are lock-free
+/// (relaxed atomics); reads see a consistent point-in-time value.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// A value that can move both ways (live bytes, queue depth).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// A fixed-bucket histogram: `bounds` are inclusive upper bucket edges in
+/// ascending order; observations above the last edge land in the implicit
+/// overflow bucket. Observe is lock-free; Snapshot (bucket counts + sum +
+/// count) is read without stopping writers, so under concurrent writes it
+/// is a near-point-in-time view, never a torn one.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<int64_t> bounds);
+
+  void Observe(int64_t value);
+
+  const std::vector<int64_t>& bounds() const { return bounds_; }
+  /// One count per bound, plus the trailing overflow bucket.
+  std::vector<int64_t> BucketCounts() const;
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<int64_t> bounds_;
+  std::vector<std::atomic<int64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+};
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+/// One entry of the stable metric-name catalogue: the contract between
+/// the engine, the exporters, and CI assertions. Names never change
+/// meaning once shipped; new metrics are appended.
+struct MetricInfo {
+  const char* name;
+  MetricType type;
+  const char* help;
+};
+
+/// The full catalogue, in export order. `papyrus-metrics --catalogue`
+/// renders it as a markdown table (docs/METRICS.md).
+const std::vector<MetricInfo>& MetricCatalogue();
+
+/// "counter" / "gauge" / "histogram".
+const char* MetricTypeName(MetricType t);
+
+/// Bucket edges (virtual microseconds) shared by the latency histograms.
+const std::vector<int64_t>& LatencyBucketBounds();
+
+// Catalogue names, usable as constants at instrumentation points.
+inline constexpr char kStepsCompleted[] = "papyrus.steps.completed";
+inline constexpr char kStepsFailed[] = "papyrus.steps.failed";
+inline constexpr char kStepsRetried[] = "papyrus.steps.retried";
+inline constexpr char kStepsLost[] = "papyrus.steps.lost";
+inline constexpr char kStepsElided[] = "papyrus.steps.elided";
+inline constexpr char kStepVirtualLatency[] =
+    "papyrus.step.virtual_latency";
+inline constexpr char kStepRetryBackoff[] = "papyrus.step.retry_backoff";
+inline constexpr char kTasksCommitted[] = "papyrus.tasks.committed";
+inline constexpr char kTasksAborted[] = "papyrus.tasks.aborted";
+inline constexpr char kTaskRestarts[] = "papyrus.tasks.restarts";
+inline constexpr char kFlowViolations[] = "papyrus.flow.violations";
+inline constexpr char kCacheHits[] = "papyrus.cache.hits";
+inline constexpr char kCacheMisses[] = "papyrus.cache.misses";
+inline constexpr char kCacheRecorded[] = "papyrus.cache.recorded";
+inline constexpr char kCacheInvalidated[] = "papyrus.cache.invalidated";
+inline constexpr char kCacheMicrosSaved[] = "papyrus.cache.micros_saved";
+inline constexpr char kSpriteSpawns[] = "papyrus.sprite.spawns";
+inline constexpr char kSpriteMigrations[] = "papyrus.sprite.migrations";
+inline constexpr char kSpriteMigrationFailures[] =
+    "papyrus.sprite.migration_failures";
+inline constexpr char kSpriteEvictions[] = "papyrus.sprite.evictions";
+inline constexpr char kSpriteRemigrations[] =
+    "papyrus.sprite.remigrations";
+inline constexpr char kSpriteCrashes[] = "papyrus.sprite.crashes";
+inline constexpr char kSpriteReboots[] = "papyrus.sprite.reboots";
+inline constexpr char kSpriteLostProcesses[] =
+    "papyrus.sprite.lost_processes";
+inline constexpr char kOctVersionsCreated[] =
+    "papyrus.oct.versions_created";
+inline constexpr char kOctReclaimed[] = "papyrus.oct.reclaimed";
+inline constexpr char kOctLiveBytes[] = "papyrus.oct.live_bytes";
+inline constexpr char kFaultTransientInjections[] =
+    "papyrus.fault.transient_injections";
+inline constexpr char kSnapshotSaves[] = "papyrus.snapshot.saves";
+inline constexpr char kSnapshotLoads[] = "papyrus.snapshot.loads";
+inline constexpr char kAttributesComputed[] =
+    "papyrus.attributes.computed";
+inline constexpr char kAttributesCached[] = "papyrus.attributes.cached";
+inline constexpr char kTraceEventsDropped[] =
+    "papyrus.trace.events_dropped";
+
+/// The metrics registry: owns every metric instance, hands out stable
+/// pointers, and snapshots the lot as JSON or a human table.
+///
+/// Thread contract: `FindOrCreate*` and the exporters take an internal
+/// mutex; increments through the returned pointers are lock-free and safe
+/// from any thread. Returned pointers live as long as the registry.
+class MetricsRegistry {
+ public:
+  /// Pre-registers the entire catalogue so exports always carry every
+  /// stable name, zero-valued when untouched.
+  MetricsRegistry();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* FindOrCreateCounter(const std::string& name);
+  Gauge* FindOrCreateGauge(const std::string& name);
+  /// `bounds` applies only on first creation; a later call with different
+  /// bounds returns the existing histogram unchanged.
+  Histogram* FindOrCreateHistogram(const std::string& name,
+                                   std::vector<int64_t> bounds);
+
+  /// Point-in-time export of every metric, names sorted, as JSON:
+  /// {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string ToJson() const;
+  /// The same snapshot as an aligned human-readable table.
+  std::string ToTable() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace papyrus::obs
+
+#endif  // PAPYRUS_OBS_METRICS_H_

@@ -1,0 +1,21 @@
+#ifndef PAPYRUS_OBS_OBSERVABILITY_H_
+#define PAPYRUS_OBS_OBSERVABILITY_H_
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace papyrus::obs {
+
+/// The observability context handed to every instrumented subsystem: a
+/// trace recorder for the event timeline and a metrics registry for the
+/// counters/gauges/histograms catalogue. Either pointer may be null —
+/// instrumentation points must null-check (a bare TaskManager outside a
+/// Papyrus session still works, it is just unobserved). Not owned.
+struct Observability {
+  TraceRecorder* trace = nullptr;
+  MetricsRegistry* metrics = nullptr;
+};
+
+}  // namespace papyrus::obs
+
+#endif  // PAPYRUS_OBS_OBSERVABILITY_H_

@@ -1,0 +1,219 @@
+#include "obs/trace.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace papyrus::obs {
+
+namespace {
+
+/// Minimal JSON string escaping: the event vocabulary is engine-generated
+/// (step names, tool options, host ids), but option strings may carry
+/// quotes or backslashes.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Metadata pseudo-track key for process-level names (tid is irrelevant
+/// for process_name events).
+constexpr int64_t kProcessNameTid = -1;
+
+}  // namespace
+
+bool TraceRecorder::ShouldRecord() {
+  if (!enabled_) return false;
+  if (sealed_) {
+    ++dropped_;
+    return false;
+  }
+  return true;
+}
+
+void TraceRecorder::Push(TraceEvent event) {
+  event.ts = clock_->NowMicros();
+  events_.push_back(std::move(event));
+}
+
+void TraceRecorder::SetProcessName(int pid, const std::string& name) {
+  if (!ShouldRecord()) return;
+  auto key = std::make_pair(pid, kProcessNameTid);
+  auto it = named_.find(key);
+  if (it != named_.end() && it->second == name) return;
+  named_[key] = name;
+  TraceEvent ev;
+  ev.ph = 'M';
+  ev.name = "process_name";
+  ev.pid = pid;
+  ev.tid = 0;
+  ev.args.push_back(TraceArg::Str("name", name));
+  Push(std::move(ev));
+}
+
+void TraceRecorder::SetThreadName(int pid, int64_t tid,
+                                  const std::string& name) {
+  if (!ShouldRecord()) return;
+  auto key = std::make_pair(pid, tid);
+  auto it = named_.find(key);
+  if (it != named_.end() && it->second == name) return;
+  named_[key] = name;
+  TraceEvent ev;
+  ev.ph = 'M';
+  ev.name = "thread_name";
+  ev.pid = pid;
+  ev.tid = tid;
+  ev.args.push_back(TraceArg::Str("name", name));
+  Push(std::move(ev));
+}
+
+void TraceRecorder::Begin(int pid, int64_t tid, const std::string& name,
+                          const std::string& cat,
+                          std::vector<TraceArg> args) {
+  if (!ShouldRecord()) return;
+  open_[{pid, tid}].push_back(name);
+  TraceEvent ev;
+  ev.ph = 'B';
+  ev.name = name;
+  ev.cat = cat;
+  ev.pid = pid;
+  ev.tid = tid;
+  ev.args = std::move(args);
+  Push(std::move(ev));
+}
+
+void TraceRecorder::End(int pid, int64_t tid,
+                        std::vector<TraceArg> args) {
+  if (!ShouldRecord()) return;
+  auto it = open_.find({pid, tid});
+  if (it == open_.end() || it->second.empty()) return;
+  TraceEvent ev;
+  ev.ph = 'E';
+  ev.name = it->second.back();
+  ev.pid = pid;
+  ev.tid = tid;
+  ev.args = std::move(args);
+  it->second.pop_back();
+  if (it->second.empty()) open_.erase(it);
+  Push(std::move(ev));
+}
+
+void TraceRecorder::Instant(int pid, int64_t tid, const std::string& name,
+                            const std::string& cat,
+                            std::vector<TraceArg> args) {
+  if (!ShouldRecord()) return;
+  TraceEvent ev;
+  ev.ph = 'i';
+  ev.name = name;
+  ev.cat = cat;
+  ev.pid = pid;
+  ev.tid = tid;
+  ev.args = std::move(args);
+  Push(std::move(ev));
+}
+
+void TraceRecorder::CounterValue(int pid, int64_t tid,
+                                 const std::string& name, int64_t value) {
+  if (!ShouldRecord()) return;
+  TraceEvent ev;
+  ev.ph = 'C';
+  ev.name = name;
+  ev.pid = pid;
+  ev.tid = tid;
+  ev.args.push_back(TraceArg::Int("value", value));
+  Push(std::move(ev));
+}
+
+void TraceRecorder::Finish() {
+  if (sealed_) return;
+  if (enabled_) {
+    Instant(kSessionPid, 0, "papyrus.session.end", "session");
+  }
+  sealed_ = true;
+}
+
+int64_t TraceRecorder::open_spans() const {
+  int64_t n = 0;
+  for (const auto& [track, stack] : open_) {
+    n += static_cast<int64_t>(stack.size());
+  }
+  return n;
+}
+
+void TraceRecorder::Clear() {
+  events_.clear();
+  open_.clear();
+  named_.clear();
+  dropped_ = 0;
+}
+
+std::string TraceRecorder::ToJson() const {
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  for (size_t i = 0; i < events_.size(); ++i) {
+    const TraceEvent& ev = events_[i];
+    os << "{\"ph\": \"" << ev.ph << "\", \"name\": \""
+       << JsonEscape(ev.name) << "\"";
+    if (!ev.cat.empty()) {
+      os << ", \"cat\": \"" << JsonEscape(ev.cat) << "\"";
+    }
+    // Metadata events are timeless; pin them to 0 so viewers sort them
+    // ahead of the timeline.
+    os << ", \"ts\": " << (ev.ph == 'M' ? 0 : ev.ts)
+       << ", \"pid\": " << ev.pid << ", \"tid\": " << ev.tid;
+    if (!ev.args.empty()) {
+      os << ", \"args\": {";
+      for (size_t a = 0; a < ev.args.size(); ++a) {
+        if (a > 0) os << ", ";
+        os << "\"" << JsonEscape(ev.args[a].key) << "\": ";
+        if (ev.args[a].raw) {
+          os << ev.args[a].value;
+        } else {
+          os << "\"" << JsonEscape(ev.args[a].value) << "\"";
+        }
+      }
+      os << "}";
+    }
+    os << "}" << (i + 1 < events_.size() ? "," : "") << "\n";
+  }
+  os << "]}\n";
+  return os.str();
+}
+
+Status TraceRecorder::WriteJson(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::Internal("cannot write trace to " + path);
+  out << ToJson();
+  out.flush();
+  if (!out) return Status::Internal("short write to " + path);
+  return Status::OK();
+}
+
+}  // namespace papyrus::obs

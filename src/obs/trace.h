@@ -1,0 +1,135 @@
+#ifndef PAPYRUS_OBS_TRACE_H_
+#define PAPYRUS_OBS_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/clock.h"
+#include "base/status.h"
+
+namespace papyrus::obs {
+
+/// Fixed Chrome-trace "process" ids: tracks group under them in
+/// Perfetto / chrome://tracing.
+///  - kHostTrackPid: the Sprite network, one thread-track per host
+///    (migrations, evictions, crashes, reboots, load counters);
+///  - kSessionPid: session-scoped events (OCT version allocation,
+///    snapshot save/load spans, the session-end marker);
+///  - kTaskPidBase + execution id: one process-group per design task,
+///    thread 0 carrying the task span and one thread per step internal
+///    id carrying that step's dispatch..completion spans.
+inline constexpr int kHostTrackPid = 1;
+inline constexpr int kSessionPid = 2;
+inline constexpr int kTaskPidBase = 10;
+
+/// One key/value pair attached to a trace event's `args`. `raw` values
+/// are emitted verbatim (numbers, booleans); others are JSON-escaped
+/// strings.
+struct TraceArg {
+  std::string key;
+  std::string value;
+  bool raw = false;
+
+  static TraceArg Str(std::string key, std::string value) {
+    return TraceArg{std::move(key), std::move(value), false};
+  }
+  static TraceArg Int(std::string key, int64_t value) {
+    return TraceArg{std::move(key), std::to_string(value), true};
+  }
+  static TraceArg Bool(std::string key, bool value) {
+    return TraceArg{std::move(key), value ? "true" : "false", true};
+  }
+};
+
+/// One Chrome `trace_event`. `ph` phases used: B/E (duration begin/end),
+/// i (instant), C (counter), M (metadata: process_name/thread_name).
+struct TraceEvent {
+  char ph = 'i';
+  std::string name;
+  std::string cat;
+  int64_t ts = 0;  // virtual microseconds
+  int pid = 0;
+  int64_t tid = 0;
+  std::vector<TraceArg> args;
+};
+
+/// Records structured events keyed on *virtual time* and serializes them
+/// in Chrome trace_event JSON object format, loadable in Perfetto and
+/// chrome://tracing. Timestamps come from the session's virtual clock,
+/// so a trace is a deterministic replay artifact, not a wall-time
+/// profile.
+///
+/// Thread contract: the recorder is single-threaded like the engine it
+/// instruments — all recording calls must come from the thread driving
+/// the session. (Metrics, by contrast, are thread-safe; see metrics.h.)
+///
+/// Lifecycle: disabled recorders drop events silently and for free.
+/// `Seal()` marks the end of the session; events recorded after it are
+/// dropped and counted (`dropped_events`), which is what guarantees the
+/// "zero events after session end" trace invariant that
+/// tools/check_trace.py asserts.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(const Clock* clock) : clock_(clock) {}
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+  bool sealed() const { return sealed_; }
+
+  /// Labels a Chrome process / thread track. Idempotent per target.
+  void SetProcessName(int pid, const std::string& name);
+  void SetThreadName(int pid, int64_t tid, const std::string& name);
+
+  /// Opens a duration span on (pid, tid). Spans on one track must nest;
+  /// the recorder remembers the open-name stack so End emits the
+  /// matching name.
+  void Begin(int pid, int64_t tid, const std::string& name,
+             const std::string& cat, std::vector<TraceArg> args = {});
+  /// Closes the innermost open span on (pid, tid); no-op when none is
+  /// open (e.g. the span's Begin predated `trace start`).
+  void End(int pid, int64_t tid, std::vector<TraceArg> args = {});
+  void Instant(int pid, int64_t tid, const std::string& name,
+               const std::string& cat, std::vector<TraceArg> args = {});
+  /// Chrome counter event (`ph: "C"`): one named series per (pid, name).
+  void CounterValue(int pid, int64_t tid, const std::string& name,
+                    int64_t value);
+
+  /// Emits the session-end marker and seals the recorder.
+  void Finish();
+
+  size_t event_count() const { return events_.size(); }
+  int64_t dropped_events() const { return dropped_; }
+  /// Open B spans across all tracks (0 once every span closed).
+  int64_t open_spans() const;
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  /// Drops all recorded events and name stacks (keeps enabled/sealed
+  /// state).
+  void Clear();
+
+  std::string ToJson() const;
+  Status WriteJson(const std::string& path) const;
+
+ private:
+  bool ShouldRecord();
+  void Push(TraceEvent event);
+
+  const Clock* clock_;
+  bool enabled_ = false;
+  bool sealed_ = false;
+  int64_t dropped_ = 0;
+  std::vector<TraceEvent> events_;
+  /// Open-span name stacks, per (pid, tid).
+  std::map<std::pair<int, int64_t>, std::vector<std::string>> open_;
+  /// Tracks already labeled, to keep metadata idempotent.
+  std::map<std::pair<int, int64_t>, std::string> named_;
+};
+
+}  // namespace papyrus::obs
+
+#endif  // PAPYRUS_OBS_TRACE_H_

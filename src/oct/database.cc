@@ -4,6 +4,27 @@ namespace papyrus::oct {
 
 OctDatabase::OctDatabase(Clock* clock) : clock_(clock) {}
 
+void OctDatabase::set_observability(const obs::Observability& sinks) {
+  obs_ = sinks;
+  if (obs_.metrics != nullptr) {
+    c_versions_created_ =
+        obs_.metrics->FindOrCreateCounter(obs::kOctVersionsCreated);
+    c_versions_created_->Increment(total_versions_ -
+                                   c_versions_created_->value());
+    c_reclaimed_ = obs_.metrics->FindOrCreateCounter(obs::kOctReclaimed);
+    g_live_bytes_ = obs_.metrics->FindOrCreateGauge(obs::kOctLiveBytes);
+    g_live_bytes_->Set(TotalLiveBytes());
+  } else {
+    c_versions_created_ = c_reclaimed_ = nullptr;
+    g_live_bytes_ = nullptr;
+  }
+  if (obs_.trace != nullptr) {
+    obs_.trace->SetProcessName(obs::kSessionPid, "papyrus session");
+    obs_.trace->SetThreadName(obs::kSessionPid, kOctTrackTid,
+                              "oct database");
+  }
+}
+
 Result<ObjectId> OctDatabase::CreateVersion(const std::string& name,
                                             DesignPayload payload,
                                             const std::string& creator_tool) {
@@ -20,6 +41,17 @@ Result<ObjectId> OctDatabase::CreateVersion(const std::string& name,
   rec.last_access_micros = rec.created_micros;
   versions.push_back(std::move(rec));
   ++total_versions_;
+  if (c_versions_created_ != nullptr) c_versions_created_->Increment();
+  if (g_live_bytes_ != nullptr) {
+    g_live_bytes_->Add(versions.back().size_bytes);
+  }
+  if (obs_.trace != nullptr) {
+    obs_.trace->Instant(
+        obs::kSessionPid, kOctTrackTid, "version_created", "oct",
+        {obs::TraceArg::Str("object", versions.back().id.ToString()),
+         obs::TraceArg::Str("tool", creator_tool),
+         obs::TraceArg::Int("bytes", versions.back().size_bytes)});
+  }
   return versions.back().id;
 }
 
@@ -113,6 +145,14 @@ Status OctDatabase::Reclaim(const ObjectId& id) {
   if (rec->pin_count > 0) {
     return Status::FailedPrecondition("object is pinned: " + id.ToString());
   }
+  if (c_reclaimed_ != nullptr) c_reclaimed_->Increment();
+  if (g_live_bytes_ != nullptr) g_live_bytes_->Add(-rec->size_bytes);
+  if (obs_.trace != nullptr) {
+    obs_.trace->Instant(obs::kSessionPid, kOctTrackTid,
+                        "version_reclaimed", "oct",
+                        {obs::TraceArg::Str("object", id.ToString()),
+                         obs::TraceArg::Int("bytes", rec->size_bytes)});
+  }
   rec->payload = std::monostate{};
   rec->reclaimed = true;
   rec->visible = false;
@@ -185,8 +225,12 @@ Status OctDatabase::RestoreRecord(ObjectRecord record) {
         std::to_string(record.id.version) + ", expected " +
         std::to_string(versions.size() + 1) + ")");
   }
-  versions.push_back(std::move(record));
+  const ObjectRecord& restored = versions.emplace_back(std::move(record));
   ++total_versions_;
+  if (c_versions_created_ != nullptr) c_versions_created_->Increment();
+  if (g_live_bytes_ != nullptr && !restored.reclaimed) {
+    g_live_bytes_->Add(restored.size_bytes);
+  }
   return Status::OK();
 }
 

@@ -10,6 +10,7 @@
 #include "base/clock.h"
 #include "base/result.h"
 #include "base/status.h"
+#include "obs/observability.h"
 #include "oct/design_data.h"
 #include "oct/object_id.h"
 
@@ -120,15 +121,27 @@ class OctDatabase {
 
   Clock* clock() const { return clock_; }
 
+  /// Attaches trace + metrics sinks: version allocations and reclamations
+  /// become session-track instants and papyrus.oct.* counters, with the
+  /// live-bytes gauge tracking TotalLiveBytes incrementally.
+  void set_observability(const obs::Observability& obs);
+
  private:
   ObjectRecord* Find(const ObjectId& id);
   const ObjectRecord* Find(const ObjectId& id) const;
+
+  /// Trace thread id for OCT events under the session process group.
+  static constexpr int64_t kOctTrackTid = 1;
 
   Clock* clock_;
   // name -> versions, index i holds version i+1.
   std::unordered_map<std::string, std::vector<ObjectRecord>> objects_;
   std::function<void(const ObjectId&)> pinned_reclaim_handler_;
   int64_t total_versions_ = 0;
+  obs::Observability obs_;
+  obs::Counter* c_versions_created_ = nullptr;
+  obs::Counter* c_reclaimed_ = nullptr;
+  obs::Gauge* g_live_bytes_ = nullptr;
 };
 
 /// Buffers the object creations of one design step and applies them

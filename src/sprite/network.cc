@@ -23,6 +23,52 @@ Network::Network(ManualClock* clock, int num_hosts) : clock_(clock) {
   last_accrual_micros_ = clock_->NowMicros();
 }
 
+void Network::set_observability(const obs::Observability& sinks) {
+  obs_ = sinks;
+  if (obs_.metrics != nullptr) {
+    auto bind = [this](const char* name, int64_t accumulated) {
+      obs::Counter* c = obs_.metrics->FindOrCreateCounter(name);
+      // Mirror what already happened so the registry view matches the
+      // network's own statistics from this point on.
+      c->Increment(accumulated - c->value());
+      return c;
+    };
+    c_spawns_ = bind(obs::kSpriteSpawns, total_spawns_);
+    c_migrations_ = bind(obs::kSpriteMigrations, total_migrations_);
+    c_migration_failures_ =
+        bind(obs::kSpriteMigrationFailures, total_migration_failures_);
+    c_evictions_ = bind(obs::kSpriteEvictions, total_evictions_);
+    c_crashes_ = bind(obs::kSpriteCrashes, total_crashes_);
+    c_reboots_ = bind(obs::kSpriteReboots, 0);
+    c_lost_ = bind(obs::kSpriteLostProcesses, total_lost_);
+  } else {
+    c_spawns_ = c_migrations_ = c_migration_failures_ = c_evictions_ =
+        c_crashes_ = c_reboots_ = c_lost_ = nullptr;
+  }
+  if (obs_.trace != nullptr) {
+    obs_.trace->SetProcessName(obs::kHostTrackPid, "sprite network");
+    for (HostId h = 0; h < num_hosts(); ++h) {
+      obs_.trace->SetThreadName(
+          obs::kHostTrackPid, h,
+          "host " + std::to_string(h) + (h == home_host() ? " (home)" : ""));
+    }
+  }
+}
+
+void Network::TraceHostEvent(HostId host, const std::string& name,
+                             std::vector<obs::TraceArg> args) {
+  if (obs_.trace == nullptr) return;
+  obs_.trace->Instant(obs::kHostTrackPid, host, name, "sprite",
+                      std::move(args));
+}
+
+void Network::TraceLoad(HostId host) {
+  if (obs_.trace == nullptr) return;
+  obs_.trace->CounterValue(obs::kHostTrackPid, host,
+                           "load host " + std::to_string(host),
+                           LoadOf(host));
+}
+
 Status Network::SetHostSpeed(HostId host, double speed) {
   if (host < 0 || host >= num_hosts()) {
     return Status::InvalidArgument("no such host");
@@ -76,6 +122,9 @@ Status Network::CrashHost(HostId host) {
   AccrueProgress(now);
   hosts_[host].up = false;
   ++total_crashes_;
+  if (c_crashes_ != nullptr) c_crashes_->Increment();
+  TraceHostEvent(host, "host_crash",
+                 {obs::TraceArg::Int("load", LoadOf(host))});
   // Copy: losing a process mutates the host's running list, and the
   // failure handler may call back into the network.
   std::vector<ProcessId> pids = hosts_[host].running;
@@ -124,11 +173,17 @@ double Network::NextFlakyDraw() {
 
 void Network::LoseProcess(ProcessId pid, int64_t now) {
   ProcessInfo& p = processes_[pid];
+  HostId host = p.current_host;
   DetachFromHost(pid);
   p.state = ProcessState::kLost;
   p.finish_micros = now;
   --running_count_;
   ++total_lost_;
+  if (c_lost_ != nullptr) c_lost_->Increment();
+  TraceHostEvent(host, "process_lost",
+                 {obs::TraceArg::Int("pid", pid),
+                  obs::TraceArg::Str("command", p.command)});
+  TraceLoad(host);
   if (failure_handler_) failure_handler_(p);
 }
 
@@ -196,6 +251,12 @@ Result<ProcessId> Network::Spawn(ProcessId parent,
   hosts_[host].running.push_back(p.pid);
   ++running_count_;
   ++total_spawns_;
+  if (c_spawns_ != nullptr) c_spawns_->Increment();
+  TraceHostEvent(host, "spawn",
+                 {obs::TraceArg::Int("pid", p.pid),
+                  obs::TraceArg::Str("command", command),
+                  obs::TraceArg::Bool("migratable", migratable)});
+  TraceLoad(host);
   // Zero-work processes complete on the next Step().
   return p.pid;
 }
@@ -220,17 +281,31 @@ Status Network::Migrate(ProcessId pid, HostId to) {
   if (migration_flakiness_ > 0.0 &&
       NextFlakyDraw() < migration_flakiness_) {
     ++total_migration_failures_;
+    if (c_migration_failures_ != nullptr) {
+      c_migration_failures_->Increment();
+    }
+    TraceHostEvent(p.current_host, "migrate_failed",
+                   {obs::TraceArg::Int("pid", pid),
+                    obs::TraceArg::Int("to", to)});
     return Status::Unavailable("migration failed (injected flakiness); "
                                "process stays on host " +
                                std::to_string(p.current_host));
   }
   AccrueProgress(clock_->NowMicros());
+  HostId from = p.current_host;
   DetachFromHost(pid);
   p.current_host = to;
   hosts_[to].running.push_back(pid);
   p.work_micros += migration_cost_micros_;
   ++p.migration_count;
   ++total_migrations_;
+  if (c_migrations_ != nullptr) c_migrations_->Increment();
+  TraceHostEvent(to, "migrate",
+                 {obs::TraceArg::Int("pid", pid),
+                  obs::TraceArg::Int("from", from),
+                  obs::TraceArg::Str("command", p.command)});
+  TraceLoad(from);
+  TraceLoad(to);
   // §4.3.3 race: the owner came back while the transfer was in flight.
   // The process lands and is immediately evicted back home.
   if (hosts_[to].owner_active && p.home_host != to) {
@@ -247,10 +322,12 @@ Status Network::Kill(ProcessId pid) {
     return Status::FailedPrecondition("process not running");
   }
   AccrueProgress(clock_->NowMicros());
+  HostId host = p.current_host;
   DetachFromHost(pid);
   p.state = ProcessState::kKilled;
   p.finish_micros = clock_->NowMicros();
   --running_count_;
+  TraceLoad(host);
   return Status::OK();
 }
 
@@ -313,11 +390,13 @@ int64_t Network::NextCompletionTime(ProcessId* which) const {
 
 void Network::Complete(ProcessId pid, int64_t now) {
   ProcessInfo& p = processes_[pid];
+  HostId host = p.current_host;
   DetachFromHost(pid);
   p.state = ProcessState::kCompleted;
   p.done_micros = p.work_micros;
   p.finish_micros = now;
   --running_count_;
+  TraceLoad(host);
   if (completion_handler_) completion_handler_(p);
 }
 
@@ -340,6 +419,12 @@ void Network::EvictForeigners(HostId host) {
     p.work_micros += migration_cost_micros_;
     ++p.migration_count;
     ++total_evictions_;
+    if (c_evictions_ != nullptr) c_evictions_->Increment();
+    TraceHostEvent(host, "evict",
+                   {obs::TraceArg::Int("pid", pid),
+                    obs::TraceArg::Int("home", p.home_host)});
+    TraceLoad(host);
+    TraceLoad(p.home_host);
     if (eviction_handler_) eviction_handler_(p);
   }
 }
@@ -371,7 +456,11 @@ bool Network::Step() {
         (void)CrashHost(ev.host);  // no-op if already down
         break;
       case HostEvent::Kind::kReboot:
-        hosts_[ev.host].up = true;
+        if (!hosts_[ev.host].up) {
+          hosts_[ev.host].up = true;
+          if (c_reboots_ != nullptr) c_reboots_->Increment();
+          TraceHostEvent(ev.host, "host_reboot", {});
+        }
         break;
     }
     return true;

@@ -10,6 +10,7 @@
 #include "base/clock.h"
 #include "base/result.h"
 #include "base/status.h"
+#include "obs/observability.h"
 
 namespace papyrus::sprite {
 
@@ -200,6 +201,13 @@ class Network {
 
   ManualClock* clock() const { return clock_; }
 
+  /// Attaches trace + metrics sinks. Labels one trace thread-track per
+  /// host under the shared host-track process group, mirrors the totals
+  /// accumulated so far into the registry's sprite counters, and emits
+  /// every subsequent network event (spawn, migration, eviction, crash,
+  /// reboot, lost process) plus per-host load counters.
+  void set_observability(const obs::Observability& obs);
+
  private:
   struct Host {
     double speed = 1.0;
@@ -231,6 +239,11 @@ class Network {
   double RateOf(const ProcessInfo& p) const;
   /// Deterministic draw in [0, 1) for flaky-migration decisions.
   double NextFlakyDraw();
+  /// Emits an instant on `host`'s trace track (no-op when untraced).
+  void TraceHostEvent(HostId host, const std::string& name,
+                      std::vector<obs::TraceArg> args);
+  /// Emits the host's current load as a Chrome counter series.
+  void TraceLoad(HostId host);
 
   ManualClock* clock_;
   std::vector<Host> hosts_;
@@ -252,6 +265,15 @@ class Network {
   int64_t migration_cost_micros_ = 0;
   double migration_flakiness_ = 0.0;
   uint64_t flaky_state_ = 0;
+
+  obs::Observability obs_;
+  obs::Counter* c_spawns_ = nullptr;
+  obs::Counter* c_migrations_ = nullptr;
+  obs::Counter* c_migration_failures_ = nullptr;
+  obs::Counter* c_evictions_ = nullptr;
+  obs::Counter* c_crashes_ = nullptr;
+  obs::Counter* c_reboots_ = nullptr;
+  obs::Counter* c_lost_ = nullptr;
 };
 
 }  // namespace papyrus::sprite

@@ -20,6 +20,13 @@ namespace papyrus::task {
 ///   red   (running)      ->  [>]
 ///   green (completed)    ->  [x]
 ///   failed               ->  [!]
+///
+/// Threading: the view keeps no lock. Per the TaskObserver contract
+/// (task_manager.h) every callback fires synchronously on the thread
+/// driving the engine, so the state maps are only ever mutated from that
+/// thread; call Render() and the accessors from the same thread (between
+/// Invoke calls, or from inside a callback). Rendering concurrently from
+/// another thread would race the message log and is not supported.
 class ProgressView : public TaskObserver {
  public:
   /// Pre-populates the step list by statically scanning the template

@@ -202,6 +202,14 @@ class Execution {
   void AbortTask(Status status);
   void Commit();
 
+  // --- observability ----------------------------------------------------
+  obs::TraceRecorder* trace() const { return mgr_->obs_.trace; }
+  /// This execution's Chrome process-group id: thread 0 is the task span,
+  /// one thread per step internal id carries that step's spans.
+  int trace_pid() const { return obs::kTaskPidBase + exec_id_; }
+  /// Labels the step's thread track (idempotent per track).
+  void NameStepTrack(const ResolvedStep& step);
+
   TaskManager* mgr_;
   TaskInvocation invocation_;
   TaskObserver* observer_;
@@ -333,7 +341,20 @@ Status Execution::Init() {
   current_frame_ = root_ctx_;
   invoke_micros_ = mgr_->network_->clock()->NowMicros();
   ResetInterp();
+  if (obs::TraceRecorder* tr = trace()) {
+    tr->SetProcessName(trace_pid(), "task " + std::to_string(exec_id_) +
+                                        ": " + template_->name);
+    tr->SetThreadName(trace_pid(), 0, "task");
+    tr->Begin(trace_pid(), 0, template_->name, "task",
+              {obs::TraceArg::Int("execution", exec_id_)});
+  }
   return Status::OK();
+}
+
+void Execution::NameStepTrack(const ResolvedStep& step) {
+  if (obs::TraceRecorder* tr = trace()) {
+    tr->SetThreadName(trace_pid(), step.internal_id, "step " + step.name);
+  }
 }
 
 void Execution::ResetInterp() {
@@ -664,6 +685,7 @@ tcl::EvalResult Execution::CmdAttribute(
                                    ? invocation_.attribute_store
                                    : &local_attr_store_;
   if (auto cached = store->GetValue(id, argv[2]); cached.ok()) {
+    mgr_->c_attrs_cached_->Increment();
     return tcl::EvalResult::Ok(*cached);
   }
   auto rec = mgr_->db_->Get(id);
@@ -679,6 +701,7 @@ tcl::EvalResult Execution::CmdAttribute(
   store->Attach(id, argv[2], cadtools::MeasurementToolFor(argv[2]),
                 oct::AttributeMode::kLazy);
   (void)store->SetComputed(id, argv[2], *value);
+  mgr_->c_attrs_computed_->Increment();
   return tcl::EvalResult::Ok(*value);
 }
 
@@ -904,6 +927,14 @@ Status Execution::DispatchStep(const ResolvedStep& step) {
     checker_->OnDispatch(*pid, placed.scope, placed.name,
                          placed.output_names);
   }
+  if (obs::TraceRecorder* tr = trace()) {
+    const ResolvedStep& placed = active_[*pid].step;
+    NameStepTrack(placed);
+    tr->Begin(trace_pid(), placed.internal_id, placed.name, "step",
+              {obs::TraceArg::Str("tool", placed.tool),
+               obs::TraceArg::Int("host", host),
+               obs::TraceArg::Int("attempt", placed.attempt)});
+  }
   return Status::OK();
 }
 
@@ -965,7 +996,13 @@ bool Execution::TryCompleteFromCache(
   }
   step_records_.push_back(record);
   ++steps_elided_;
-  ++mgr_->steps_elided_;
+  mgr_->c_steps_elided_->Increment();
+  if (obs::TraceRecorder* tr = trace()) {
+    NameStepTrack(step);
+    tr->Instant(trace_pid(), step.internal_id, "cache_hit", "cache",
+                {obs::TraceArg::Str("step", step.name),
+                 obs::TraceArg::Int("micros_saved", hit->cost_micros)});
+  }
   if (observer_ != nullptr) {
     observer_->OnCacheHit(step.name, hit->cost_micros);
     observer_->OnStepCompleted(record);
@@ -984,6 +1021,14 @@ bool Execution::RequeueEnvironmental(const ResolvedStep& step) {
   retry.ready_micros =
       mgr_->network_->clock()->NowMicros() + retry.backoff_micros;
   backoff_micros_total_ += retry.backoff_micros;
+  mgr_->h_retry_backoff_->Observe(retry.backoff_micros);
+  if (obs::TraceRecorder* tr = trace()) {
+    tr->Instant(
+        trace_pid(), step.internal_id, "retry_scheduled", "step",
+        {obs::TraceArg::Str("step", step.name),
+         obs::TraceArg::Int("attempt", retry.step.attempt),
+         obs::TraceArg::Int("backoff_micros", retry.backoff_micros)});
+  }
   retry_queue_.push_back(std::move(retry));
   return true;
 }
@@ -999,7 +1044,12 @@ bool Execution::DispatchDueRetries() {
     PendingRetry retry = std::move(retry_queue_[i]);
     retry_queue_.erase(retry_queue_.begin() + i);
     ++steps_retried_;
-    ++mgr_->steps_retried_;
+    mgr_->c_steps_retried_->Increment();
+    if (obs::TraceRecorder* tr = trace()) {
+      tr->Instant(trace_pid(), retry.step.internal_id, "retry", "step",
+                  {obs::TraceArg::Str("step", retry.step.name),
+                   obs::TraceArg::Int("attempt", retry.step.attempt)});
+    }
     if (observer_ != nullptr) {
       observer_->OnStepRetried(retry.step.name, retry.step.attempt,
                                retry.backoff_micros);
@@ -1041,7 +1091,15 @@ void Execution::FailStep(const ResolvedStep& step, int exit_status,
   record.message = message;
   record.internal_id = step.internal_id;
   step_records_.push_back(record);
-  ++mgr_->steps_executed_;
+  mgr_->c_steps_failed_->Increment();
+  if (obs::TraceRecorder* tr = trace()) {
+    // No process ever ran for this failure, so there is no open span to
+    // close — record the failure as an instant on the step's track.
+    NameStepTrack(step);
+    tr->Instant(trace_pid(), step.internal_id, "step_failed", "step",
+                {obs::TraceArg::Str("step", step.name),
+                 obs::TraceArg::Int("exit_status", exit_status)});
+  }
   if (observer_ != nullptr) observer_->OnStepCompleted(record);
   any_failed_ = true;
   if (!failure_messages_.empty()) failure_messages_ += "; ";
@@ -1057,7 +1115,12 @@ void Execution::OnProcessLost(const sprite::ProcessInfo& pinfo) {
   mgr_->pid_router_.erase(pinfo.pid);
   if (checker_ != nullptr) checker_->OnSettle(pinfo.pid);
   ++steps_lost_;
-  ++mgr_->steps_lost_;
+  mgr_->c_steps_lost_->Increment();
+  if (obs::TraceRecorder* tr = trace()) {
+    tr->End(trace_pid(), entry.step.internal_id,
+            {obs::TraceArg::Bool("lost", true),
+             obs::TraceArg::Int("host", pinfo.current_host)});
+  }
   if (observer_ != nullptr) {
     observer_->OnHostFailed(pinfo.current_host, entry.step.name);
   }
@@ -1089,6 +1152,10 @@ void Execution::OnProcessComplete(const sprite::ProcessInfo& pinfo) {
 
   auto tool = mgr_->tools_->Find(entry.step.tool);
   if (!tool.ok()) {
+    if (obs::TraceRecorder* tr = trace()) {
+      tr->End(trace_pid(), entry.step.internal_id,
+              {obs::TraceArg::Str("error", tool.status().message())});
+    }
     pending_abort_ = true;
     abort_status_ = tool.status();
     return;
@@ -1131,7 +1198,14 @@ void Execution::OnProcessComplete(const sprite::ProcessInfo& pinfo) {
     // Transient tool failure (EX_TEMPFAIL): retry with backoff instead of
     // surfacing the failure to the template. No StepRecord is written for
     // the failed attempt; only exhausted retries become visible.
-    if (RequeueEnvironmental(entry.step)) return;
+    if (RequeueEnvironmental(entry.step)) {
+      if (obs::TraceRecorder* tr = trace()) {
+        tr->End(trace_pid(), entry.step.internal_id,
+                {obs::TraceArg::Bool("transient", true),
+                 obs::TraceArg::Int("exit_status", res.exit_status)});
+      }
+      return;
+    }
     res.message += " (retries exhausted)";
   }
 
@@ -1198,7 +1272,14 @@ void Execution::OnProcessComplete(const sprite::ProcessInfo& pinfo) {
       staged_cache_.push_back(std::move(staged));
     }
     step_records_.push_back(record);
-    ++mgr_->steps_executed_;
+    mgr_->c_steps_completed_->Increment();
+    mgr_->h_step_latency_->Observe(record.completion_micros -
+                                   record.dispatch_micros);
+    if (obs::TraceRecorder* tr = trace()) {
+      tr->End(trace_pid(), entry.step.internal_id,
+              {obs::TraceArg::Int("exit_status", 0),
+               obs::TraceArg::Int("host", pinfo.current_host)});
+    }
     if (observer_ != nullptr) observer_->OnStepCompleted(record);
     DrainReady();
     return;
@@ -1206,7 +1287,14 @@ void Execution::OnProcessComplete(const sprite::ProcessInfo& pinfo) {
 
   // Step failed.
   step_records_.push_back(record);
-  ++mgr_->steps_executed_;
+  mgr_->c_steps_failed_->Increment();
+  mgr_->h_step_latency_->Observe(record.completion_micros -
+                                 record.dispatch_micros);
+  if (obs::TraceRecorder* tr = trace()) {
+    tr->End(trace_pid(), entry.step.internal_id,
+            {obs::TraceArg::Int("exit_status", res.exit_status),
+             obs::TraceArg::Str("message", res.message)});
+  }
   if (observer_ != nullptr) observer_->OnStepCompleted(record);
   any_failed_ = true;
   if (!failure_messages_.empty()) failure_messages_ += "; ";
@@ -1249,7 +1337,13 @@ void Execution::ScheduleRestart(int resumed_internal_id) {
 void Execution::DoRestart(int j) {
   pending_restart_.reset();
   ++restarts_;
+  mgr_->c_task_restarts_->Increment();
   any_failed_ = false;
+  if (obs::TraceRecorder* tr = trace()) {
+    tr->Instant(trace_pid(), 0, "task_restart", "task",
+                {obs::TraceArg::Int("resumed_internal_id", j),
+                 obs::TraceArg::Int("restarts", restarts_)});
+  }
   if (observer_ != nullptr) {
     observer_->OnTaskRestarted(template_->name, j);
   }
@@ -1261,6 +1355,10 @@ void Execution::DoRestart(int j) {
       (void)mgr_->network_->Kill(it->first);
       mgr_->pid_router_.erase(it->first);
       if (checker_ != nullptr) checker_->OnSettle(it->first);
+      if (obs::TraceRecorder* tr = trace()) {
+        tr->End(trace_pid(), it->second.step.internal_id,
+                {obs::TraceArg::Bool("killed", true)});
+      }
       it = active_.erase(it);
     } else {
       ++it;
@@ -1356,6 +1454,10 @@ void Execution::AbortTask(Status status) {
     (void)mgr_->network_->Kill(pid);
     mgr_->pid_router_.erase(pid);
     if (checker_ != nullptr) checker_->OnSettle(pid);
+    if (obs::TraceRecorder* tr = trace()) {
+      tr->End(trace_pid(), entry.step.internal_id,
+              {obs::TraceArg::Bool("killed", true)});
+    }
   }
   active_.clear();
   suspended_.clear();
@@ -1377,9 +1479,16 @@ void Execution::AbortTask(Status status) {
   result_status_ = status.ok()
                        ? Status::Aborted("task aborted")
                        : status;
-  if (checker_ != nullptr) mgr_->flow_violations_ += checker_->violations();
+  if (checker_ != nullptr) {
+    mgr_->c_flow_violations_->Increment(checker_->violations());
+  }
   done_ = true;
-  ++mgr_->tasks_aborted_;
+  mgr_->c_tasks_aborted_->Increment();
+  if (obs::TraceRecorder* tr = trace()) {
+    tr->End(trace_pid(), 0,
+            {obs::TraceArg::Bool("aborted", true),
+             obs::TraceArg::Str("status", result_status_.message())});
+  }
 }
 
 void Execution::Commit() {
@@ -1426,9 +1535,16 @@ void Execution::Commit() {
   record.steps_elided = steps_elided_;
   record_ = std::move(record);
   result_status_ = Status::OK();
-  if (checker_ != nullptr) mgr_->flow_violations_ += checker_->violations();
+  if (checker_ != nullptr) {
+    mgr_->c_flow_violations_->Increment(checker_->violations());
+  }
   done_ = true;
-  ++mgr_->tasks_committed_;
+  mgr_->c_tasks_committed_->Increment();
+  if (obs::TraceRecorder* tr = trace()) {
+    tr->End(trace_pid(), 0,
+            {obs::TraceArg::Int("restarts", restarts_),
+             obs::TraceArg::Int("steps_elided", steps_elided_)});
+  }
 }
 
 void Execution::OnDeadlock() {
@@ -1453,6 +1569,9 @@ TaskManager::TaskManager(oct::OctDatabase* db,
                          sprite::Network* network,
                          const tdl::TemplateLibrary* templates)
     : db_(db), tools_(tools), network_(network), templates_(templates) {
+  owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+  obs_.metrics = owned_metrics_.get();
+  BindMetrics(obs_.metrics);
   network_->SetCompletionHandler([this](const sprite::ProcessInfo& p) {
     auto it = pid_router_.find(p.pid);
     if (it != pid_router_.end()) it->second->OnProcessComplete(p);
@@ -1464,6 +1583,41 @@ TaskManager::TaskManager(oct::OctDatabase* db,
 }
 
 TaskManager::~TaskManager() = default;
+
+void TaskManager::set_observability(const obs::Observability& obs) {
+  obs_.trace = obs.trace;
+  if (obs.metrics != nullptr && obs.metrics != obs_.metrics) {
+    BindMetrics(obs.metrics);
+    obs_.metrics = obs.metrics;
+  }
+}
+
+void TaskManager::BindMetrics(obs::MetricsRegistry* registry) {
+  auto rebind = [registry](obs::Counter*& c, const char* name) {
+    obs::Counter* fresh = registry->FindOrCreateCounter(name);
+    // Carry accumulated statistics into the new registry so the
+    // accessors stay monotonic across a rebind.
+    if (c != nullptr && c != fresh) fresh->Increment(c->value());
+    c = fresh;
+  };
+  rebind(c_tasks_committed_, obs::kTasksCommitted);
+  rebind(c_tasks_aborted_, obs::kTasksAborted);
+  rebind(c_task_restarts_, obs::kTaskRestarts);
+  rebind(c_steps_completed_, obs::kStepsCompleted);
+  rebind(c_steps_failed_, obs::kStepsFailed);
+  rebind(c_remigrations_, obs::kSpriteRemigrations);
+  rebind(c_steps_lost_, obs::kStepsLost);
+  rebind(c_steps_retried_, obs::kStepsRetried);
+  rebind(c_flow_violations_, obs::kFlowViolations);
+  rebind(c_steps_elided_, obs::kStepsElided);
+  rebind(c_attrs_computed_, obs::kAttributesComputed);
+  rebind(c_attrs_cached_, obs::kAttributesCached);
+  // Histogram observations are not carried over; rebind before invoking.
+  h_step_latency_ = registry->FindOrCreateHistogram(
+      obs::kStepVirtualLatency, obs::LatencyBucketBounds());
+  h_retry_backoff_ = registry->FindOrCreateHistogram(
+      obs::kStepRetryBackoff, obs::LatencyBucketBounds());
+}
 
 Result<TaskHistoryRecord> TaskManager::Invoke(
     const TaskInvocation& invocation, TaskObserver* observer) {
@@ -1561,7 +1715,9 @@ void TaskManager::TryRemigration() {
         network_->LoadOf(*idle) + 1 >= network_->LoadOf(home)) {
       continue;
     }
-    if (network_->Migrate(pid, *idle).ok()) ++remigrations_;
+    if (network_->Migrate(pid, *idle).ok()) {
+      c_remigrations_->Increment();
+    }
   }
 }
 

@@ -11,6 +11,7 @@
 #include "base/status.h"
 #include "cadtools/registry.h"
 #include "lint/diagnostics.h"
+#include "obs/observability.h"
 #include "oct/attribute_store.h"
 #include "oct/database.h"
 #include "sprite/network.h"
@@ -60,6 +61,18 @@ struct TaskInvocation {
 
 /// Observation and interaction hooks — the library-level equivalent of the
 /// Tk task-manager window (§4.3.1). All methods have empty defaults.
+///
+/// Threading contract: the Papyrus engine is single-threaded. Every
+/// callback fires *synchronously* on the thread that called
+/// `TaskManager::Invoke` / `InvokeMany`, in the middle of the scheduler
+/// loop — there is no callback thread and no queueing. Consequences:
+///  - implementations need no locking of their own state unless they
+///    share it with other application threads;
+///  - implementations must not re-enter the TaskManager (no nested
+///    Invoke, no mutation of the network/database) — the scheduler's
+///    internal state is mid-update when callbacks run;
+///  - callbacks must return promptly; virtual time is frozen while they
+///    run, so blocking here stalls every concurrent task.
 class TaskObserver {
  public:
   virtual ~TaskObserver() = default;
@@ -142,22 +155,34 @@ class TaskManager {
       const std::vector<TaskObserver*>& observers = {});
 
   // --- statistics -------------------------------------------------------
-  int64_t tasks_committed() const { return tasks_committed_; }
-  int64_t tasks_aborted() const { return tasks_aborted_; }
-  int64_t steps_executed() const { return steps_executed_; }
-  int64_t remigrations() const { return remigrations_; }
+  // All statistics are backed by the metrics registry (obs/metrics.h)
+  // under their stable catalogue names; these accessors read the same
+  // counters the `metrics` exporters snapshot.
+  int64_t tasks_committed() const { return c_tasks_committed_->value(); }
+  int64_t tasks_aborted() const { return c_tasks_aborted_->value(); }
+  int64_t steps_executed() const {
+    return c_steps_completed_->value() + c_steps_failed_->value();
+  }
+  int64_t remigrations() const { return c_remigrations_->value(); }
   /// Step processes lost to host crashes, across all invocations.
-  int64_t steps_lost() const { return steps_lost_; }
+  int64_t steps_lost() const { return c_steps_lost_->value(); }
   /// Environmental re-dispatches (crash + transient), across all
   /// invocations.
-  int64_t steps_retried() const { return steps_retried_; }
+  int64_t steps_retried() const { return c_steps_retried_->value(); }
   /// Violations found by the runtime flow cross-checker: dispatches that
   /// contradict the template's static happens-before graph, or
   /// concurrent writers the static model missed. Zero on a healthy
   /// scheduler running clean templates.
-  int64_t flow_violations() const { return flow_violations_; }
+  int64_t flow_violations() const { return c_flow_violations_->value(); }
   /// Steps elided by the derivation cache, across all invocations.
-  int64_t steps_elided() const { return steps_elided_; }
+  int64_t steps_elided() const { return c_steps_elided_->value(); }
+
+  /// Rebinds statistics and tracing to an external observability context
+  /// (a Papyrus session's trace recorder + metrics registry). Counter
+  /// values accumulated so far are carried into the new registry. Call
+  /// before invoking; must come from the engine thread.
+  void set_observability(const obs::Observability& obs);
+  const obs::Observability& observability() const { return obs_; }
 
   /// Attaches a derivation cache (may be null to detach). The manager
   /// probes it before dispatching a step and populates it when a task
@@ -187,17 +212,33 @@ class TaskManager {
   sprite::Network* network_;
   const tdl::TemplateLibrary* templates_;
 
+  /// (Re)binds the metric pointers to `registry`, carrying over any
+  /// values already accumulated in the previous binding.
+  void BindMetrics(obs::MetricsRegistry* registry);
+
   // pid -> owning execution, for routing completion signals.
   std::map<sprite::ProcessId, internal::Execution*> pid_router_;
   int next_execution_id_ = 1;
-  int64_t tasks_committed_ = 0;
-  int64_t tasks_aborted_ = 0;
-  int64_t steps_executed_ = 0;
-  int64_t remigrations_ = 0;
-  int64_t steps_lost_ = 0;
-  int64_t steps_retried_ = 0;
-  int64_t flow_violations_ = 0;
-  int64_t steps_elided_ = 0;
+
+  /// Fallback registry for managers used outside a Papyrus session, so
+  /// the statistics accessors always have live counters behind them.
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::Observability obs_;
+  obs::Counter* c_tasks_committed_ = nullptr;
+  obs::Counter* c_tasks_aborted_ = nullptr;
+  obs::Counter* c_task_restarts_ = nullptr;
+  obs::Counter* c_steps_completed_ = nullptr;
+  obs::Counter* c_steps_failed_ = nullptr;
+  obs::Counter* c_remigrations_ = nullptr;
+  obs::Counter* c_steps_lost_ = nullptr;
+  obs::Counter* c_steps_retried_ = nullptr;
+  obs::Counter* c_flow_violations_ = nullptr;
+  obs::Counter* c_steps_elided_ = nullptr;
+  obs::Counter* c_attrs_computed_ = nullptr;
+  obs::Counter* c_attrs_cached_ = nullptr;
+  obs::Histogram* h_step_latency_ = nullptr;
+  obs::Histogram* h_retry_backoff_ = nullptr;
+
   cache::DerivationCache* cache_ = nullptr;  // optional, not owned
 };
 

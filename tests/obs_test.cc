@@ -1,0 +1,345 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/papyrus.h"
+#include "fault/fault_plan.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "oct/design_data.h"
+
+namespace papyrus::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Trace-structure helpers
+
+/// Asserts the B/E invariant over a recorded event stream: per (pid, tid)
+/// every E closes the most recent open B of the same name, and no span is
+/// left open. Returns the number of matched pairs.
+int CheckSpanBalance(const std::vector<TraceEvent>& events) {
+  std::map<std::pair<int, int64_t>, std::vector<std::string>> stacks;
+  int matched = 0;
+  for (const TraceEvent& ev : events) {
+    auto key = std::make_pair(ev.pid, ev.tid);
+    if (ev.ph == 'B') {
+      stacks[key].push_back(ev.name);
+    } else if (ev.ph == 'E') {
+      auto& stack = stacks[key];
+      EXPECT_FALSE(stack.empty())
+          << "E \"" << ev.name << "\" on pid=" << ev.pid
+          << " tid=" << ev.tid << " with no open B";
+      if (!stack.empty()) {
+        EXPECT_EQ(stack.back(), ev.name)
+            << "E closes the wrong span on pid=" << ev.pid
+            << " tid=" << ev.tid;
+        stack.pop_back();
+        ++matched;
+      }
+    }
+  }
+  for (const auto& [key, stack] : stacks) {
+    EXPECT_TRUE(stack.empty())
+        << stack.size() << " unclosed span(s) on pid=" << key.first
+        << " tid=" << key.second;
+  }
+  return matched;
+}
+
+int CountEvents(const std::vector<TraceEvent>& events, char ph,
+                const std::string& name) {
+  int n = 0;
+  for (const TraceEvent& ev : events) {
+    if (ev.ph == ph && ev.name == name) ++n;
+  }
+  return n;
+}
+
+/// Builds the Structure_Synthesis invocation once; repeated Invokes with
+/// the same inputs hit the derivation cache after the first commit.
+task::TaskInvocation SynthesisInvocation(Papyrus& session,
+                                         int max_retries = 0) {
+  auto spec = session.database().CreateVersion(
+      "spec", oct::BehavioralSpec{8, 8, 12, 77});
+  auto cmds = session.database().CreateVersion(
+      "sim.cmd", oct::TextData{"run 100"});
+  EXPECT_TRUE(spec.ok() && cmds.ok());
+  task::TaskInvocation inv;
+  inv.template_name = "Structure_Synthesis";
+  inv.inputs = {*spec, *cmds};
+  inv.output_names = {"spec.layout", "spec.stats"};
+  inv.seed = 42;
+  inv.max_step_retries = max_retries;
+  return inv;
+}
+
+// ---------------------------------------------------------------------------
+// Histogram semantics
+
+TEST(HistogramTest, BucketBoundariesAreInclusiveUpperEdges) {
+  Histogram h({10, 20});
+  h.Observe(0);    // <= 10
+  h.Observe(10);   // boundary: still the first bucket
+  h.Observe(11);   // (10, 20]
+  h.Observe(20);   // boundary: second bucket
+  h.Observe(21);   // overflow
+  h.Observe(-5);   // below all edges: first bucket
+  std::vector<int64_t> counts = h.BucketCounts();
+  ASSERT_EQ(counts.size(), 3u);  // two edges + overflow
+  EXPECT_EQ(counts[0], 3);
+  EXPECT_EQ(counts[1], 2);
+  EXPECT_EQ(counts[2], 1);
+  EXPECT_EQ(h.count(), 6);
+  EXPECT_EQ(h.sum(), 0 + 10 + 11 + 20 + 21 - 5);
+}
+
+TEST(HistogramTest, LatencyBoundsAreAscending) {
+  const std::vector<int64_t>& bounds = LatencyBucketBounds();
+  ASSERT_FALSE(bounds.empty());
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Registry semantics
+
+TEST(MetricsRegistryTest, PreRegistersTheWholeCatalogue) {
+  MetricsRegistry registry;
+  std::string json = registry.ToJson();
+  for (const MetricInfo& info : MetricCatalogue()) {
+    EXPECT_NE(json.find("\"" + std::string(info.name) + "\""),
+              std::string::npos)
+        << info.name << " missing from a fresh registry export";
+  }
+}
+
+TEST(MetricsRegistryTest, FindOrCreateReturnsStablePointers) {
+  MetricsRegistry registry;
+  Counter* a = registry.FindOrCreateCounter("papyrus.test.counter");
+  Counter* b = registry.FindOrCreateCounter("papyrus.test.counter");
+  EXPECT_EQ(a, b);
+  a->Increment(3);
+  EXPECT_EQ(b->value(), 3);
+  Histogram* h1 = registry.FindOrCreateHistogram("papyrus.test.h", {1, 2});
+  Histogram* h2 =
+      registry.FindOrCreateHistogram("papyrus.test.h", {7, 8, 9});
+  EXPECT_EQ(h1, h2);  // later bounds are ignored
+  EXPECT_EQ(h2->bounds().size(), 2u);
+}
+
+TEST(MetricsRegistryTest, SnapshotsAreIsolatedUnderConcurrentIncrements) {
+  MetricsRegistry registry;
+  Counter* counter = registry.FindOrCreateCounter(kStepsCompleted);
+  Histogram* hist =
+      registry.FindOrCreateHistogram(kStepVirtualLatency, {100, 1000});
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 25'000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([counter, hist] {
+      for (int i = 0; i < kIncrements; ++i) {
+        counter->Increment();
+        hist->Observe(i % 2000);
+      }
+    });
+  }
+  // Exports taken mid-flight must stay parseable point-in-time views:
+  // never torn, never crashing, monotone in the counter they report.
+  int64_t last_seen = 0;
+  for (int i = 0; i < 50; ++i) {
+    std::string json = registry.ToJson();
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    int64_t now = counter->value();
+    EXPECT_GE(now, last_seen);
+    last_seen = now;
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(counter->value(), int64_t{kThreads} * kIncrements);
+  EXPECT_EQ(hist->count(), int64_t{kThreads} * kIncrements);
+  std::vector<int64_t> buckets = hist->BucketCounts();
+  int64_t total = 0;
+  for (int64_t b : buckets) total += b;
+  EXPECT_EQ(total, hist->count());
+}
+
+// ---------------------------------------------------------------------------
+// Trace recorder semantics
+
+TEST(TraceRecorderTest, EndWithoutOpenSpanIsANoOp) {
+  ManualClock clock(0);
+  TraceRecorder trace(&clock);
+  trace.set_enabled(true);
+  trace.End(1, 1);  // mid-session `trace start`: the B predates recording
+  EXPECT_EQ(trace.event_count(), 0u);
+  trace.Begin(1, 1, "span", "test");
+  trace.End(1, 1);
+  trace.End(1, 1);
+  EXPECT_EQ(trace.event_count(), 2u);
+  EXPECT_EQ(trace.open_spans(), 0);
+}
+
+TEST(TraceRecorderTest, SealedRecorderDropsAndCountsEvents) {
+  ManualClock clock(0);
+  TraceRecorder trace(&clock);
+  trace.set_enabled(true);
+  trace.Instant(1, 0, "before", "test");
+  trace.Finish();
+  EXPECT_TRUE(trace.sealed());
+  size_t sealed_count = trace.event_count();
+  trace.Instant(1, 0, "after", "test");
+  trace.Begin(1, 0, "late", "test");
+  EXPECT_EQ(trace.event_count(), sealed_count);
+  EXPECT_EQ(trace.dropped_events(), 2);
+  // The session-end marker is the last recorded event.
+  EXPECT_EQ(trace.events().back().name, "papyrus.session.end");
+}
+
+// ---------------------------------------------------------------------------
+// Engine integration: spans under cache hits and retries
+
+TEST(ObsIntegrationTest, TraceNestsAndBalancesUnderCacheHits) {
+  Papyrus session;
+  session.trace().set_enabled(true);
+
+  task::TaskInvocation inv = SynthesisInvocation(session);
+  auto cold = session.task_manager().Invoke(inv);
+  ASSERT_TRUE(cold.ok());
+  size_t cold_end = session.trace().event_count();
+  auto warm = session.task_manager().Invoke(inv);
+  ASSERT_TRUE(warm.ok());
+
+  const std::vector<TraceEvent>& events = session.trace().events();
+  EXPECT_GT(CheckSpanBalance(events), 0);
+  EXPECT_EQ(session.trace().open_spans(), 0);
+
+  // The cold run opened real step spans; the fully-cached rerun elides
+  // every tool process, so it adds cache_hit instants and no step spans.
+  std::vector<TraceEvent> rerun(events.begin() + cold_end, events.end());
+  EXPECT_GT(CountEvents(rerun, 'i', "cache_hit"), 0);
+  for (const TraceEvent& ev : rerun) {
+    EXPECT_FALSE(ev.ph == 'B' && ev.cat == "step")
+        << "cached rerun dispatched step " << ev.name;
+  }
+  EXPECT_GT(
+      session.metrics().FindOrCreateCounter(kCacheHits)->value(), 0);
+  EXPECT_GT(
+      session.metrics().FindOrCreateCounter(kStepsElided)->value(), 0);
+}
+
+TEST(ObsIntegrationTest, TraceBalancesUnderRetriedSteps) {
+  // Scan fault seeds until transient injections force at least one retry;
+  // the trace must stay balanced through requeue/re-dispatch cycles.
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    SessionOptions opts;
+    opts.metadata_inference = false;
+    Papyrus session(opts);
+    session.trace().set_enabled(true);
+    fault::FaultPlanOptions fopt;
+    fopt.seed = seed;
+    fopt.tool_transient_rate = 0.3;
+    fault::FaultPlan plan(fopt);
+    plan.set_observability(session.observability());
+    ASSERT_TRUE(plan.Apply(&session.network(), &session.tools()).ok());
+
+    auto rec = session.task_manager().Invoke(
+        SynthesisInvocation(session, /*max_retries=*/6));
+    if (!rec.ok() || rec->steps_retried == 0) continue;
+
+    const std::vector<TraceEvent>& events = session.trace().events();
+    EXPECT_GT(CheckSpanBalance(events), 0);
+    EXPECT_EQ(session.trace().open_spans(), 0);
+    EXPECT_GT(CountEvents(events, 'i', "retry_scheduled"), 0);
+    EXPECT_GT(CountEvents(events, 'i', "retry"), 0);
+    EXPECT_GT(CountEvents(events, 'i', "transient_injection"), 0);
+    EXPECT_EQ(
+        session.metrics().FindOrCreateCounter(kStepsRetried)->value(),
+        rec->steps_retried);
+    EXPECT_GT(
+        session.metrics()
+            .FindOrCreateCounter(kFaultTransientInjections)
+            ->value(),
+        0);
+    return;
+  }
+  FAIL() << "no fault seed in [1,30] produced a retried step";
+}
+
+// ---------------------------------------------------------------------------
+// Golden trace for a small two-step flow
+
+TEST(ObsIntegrationTest, GoldenTwoStepFlowTrace) {
+  Papyrus session;
+  session.trace().set_enabled(true);
+
+  task::TaskInvocation inv;
+  inv.template_name = "Create_Logic_Description";
+  inv.output_names = {"cell.logic"};
+  inv.seed = 7;
+  auto rec = session.task_manager().Invoke(inv);
+  ASSERT_TRUE(rec.ok());
+
+  // The task- and step-category (ph, name) sequence is the golden
+  // contract: task span wrapping two serial step spans in template
+  // order. Host/oct/cache events ride on other categories and may
+  // evolve; this shape must not.
+  std::vector<std::pair<char, std::string>> shape;
+  for (const TraceEvent& ev : session.trace().events()) {
+    if (ev.cat == "task" || ev.cat == "step" ||
+        (ev.ph == 'E' && (ev.name == "Create_Logic_Description" ||
+                          ev.name == "Enter_Logic" ||
+                          ev.name == "Format_Transformation"))) {
+      shape.emplace_back(ev.ph, ev.name);
+    }
+  }
+  const std::vector<std::pair<char, std::string>> golden = {
+      {'B', "Create_Logic_Description"},
+      {'B', "Enter_Logic"},
+      {'E', "Enter_Logic"},
+      {'B', "Format_Transformation"},
+      {'E', "Format_Transformation"},
+      {'E', "Create_Logic_Description"},
+  };
+  EXPECT_EQ(shape, golden);
+}
+
+// ---------------------------------------------------------------------------
+// Session export plumbing
+
+TEST(ObsIntegrationTest, HeadlessCaptureWritesTraceAndMetrics) {
+  std::string dir = ::testing::TempDir();
+  std::string trace_path = dir + "/obs_test_trace.json";
+  std::string metrics_path = dir + "/obs_test_metrics.json";
+  {
+    SessionOptions opts;
+    opts.trace_path = trace_path;
+    opts.metrics_path = metrics_path;
+    Papyrus session(opts);
+    EXPECT_TRUE(session.trace().enabled());
+    auto rec = session.task_manager().Invoke(SynthesisInvocation(session));
+    EXPECT_TRUE(rec.ok());
+  }
+  std::ifstream trace_in(trace_path);
+  ASSERT_TRUE(trace_in.good());
+  std::stringstream trace_buf;
+  trace_buf << trace_in.rdbuf();
+  EXPECT_NE(trace_buf.str().find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace_buf.str().find("papyrus.session.end"),
+            std::string::npos);
+  std::ifstream metrics_in(metrics_path);
+  ASSERT_TRUE(metrics_in.good());
+  std::stringstream metrics_buf;
+  metrics_buf << metrics_in.rdbuf();
+  EXPECT_NE(metrics_buf.str().find("papyrus.steps.completed"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace papyrus::obs

@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Validate a Papyrus Chrome trace_event JSON file.
+
+Checks the structural invariants the TraceRecorder promises:
+
+  * the file is the object format: {"displayTimeUnit", "traceEvents"}
+  * every event has the required keys for its phase (ph in B E i C M)
+  * per (pid, tid), every B has a matching E with the same name, properly
+    nested (the E closes the most recent open B)
+  * timestamps of non-metadata events are non-decreasing in file order
+    (the recorder appends in virtual-time order)
+  * exactly one `papyrus.session.end` instant exists and it is the last
+    non-metadata event: a sealed recorder drops anything after it
+
+With --metrics FILE, also validates the metrics snapshot JSON:
+
+  * the three top-level sections exist (counters, gauges, histograms)
+  * papyrus.flow.violations == 0 (a traced run must be flow-clean)
+  * required catalogue keys are present
+
+Exit status 0 = all checks pass, 1 = any violation (each is printed).
+Stdlib only; no third-party dependencies.
+"""
+
+import argparse
+import json
+import sys
+
+REQUIRED_EVENT_KEYS = {"ph", "name", "pid", "tid", "ts"}
+VALID_PHASES = {"B", "E", "i", "C", "M"}
+SESSION_END = "papyrus.session.end"
+
+REQUIRED_COUNTERS = [
+    "papyrus.steps.completed",
+    "papyrus.steps.failed",
+    "papyrus.cache.hits",
+    "papyrus.cache.misses",
+    "papyrus.sprite.spawns",
+    "papyrus.oct.versions_created",
+    "papyrus.flow.violations",
+]
+REQUIRED_HISTOGRAMS = ["papyrus.step.virtual_latency"]
+
+
+class Checker:
+    def __init__(self):
+        self.errors = []
+
+    def error(self, msg):
+        self.errors.append(msg)
+        print(f"error: {msg}", file=sys.stderr)
+
+    def ok(self):
+        return not self.errors
+
+
+def check_trace(path, checker):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        checker.error(f"{path}: cannot parse trace JSON: {e}")
+        return
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        checker.error(f"{path}: not object-format trace JSON "
+                      "(missing traceEvents)")
+        return
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        checker.error(f"{path}: traceEvents is not a list")
+        return
+
+    # E events carry no name in the recorder's output; everything else must.
+    open_stacks = {}  # (pid, tid) -> [name, ...]
+    last_ts = None
+    session_end_index = None
+    non_meta_count = 0
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            checker.error(f"event #{i}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in VALID_PHASES:
+            checker.error(f"event #{i}: invalid phase {ph!r}")
+            continue
+        missing = REQUIRED_EVENT_KEYS - set(ev) - ({"name"} if ph == "E"
+                                                   else set())
+        if missing:
+            checker.error(f"event #{i} (ph={ph}): missing keys "
+                          f"{sorted(missing)}")
+            continue
+        if ph == "M":
+            continue
+        non_meta_count += 1
+        ts = ev["ts"]
+        if not isinstance(ts, (int, float)):
+            checker.error(f"event #{i}: ts is not numeric")
+            continue
+        if last_ts is not None and ts < last_ts:
+            checker.error(f"event #{i}: timestamp {ts} goes backwards "
+                          f"(previous {last_ts})")
+        last_ts = ts
+
+        key = (ev["pid"], ev["tid"])
+        if ph == "B":
+            open_stacks.setdefault(key, []).append(ev["name"])
+        elif ph == "E":
+            stack = open_stacks.get(key, [])
+            if not stack:
+                checker.error(f"event #{i}: E on pid={key[0]} tid={key[1]} "
+                              "with no open B")
+            else:
+                stack.pop()
+        elif ph == "i" and ev["name"] == SESSION_END:
+            if session_end_index is not None:
+                checker.error(f"event #{i}: duplicate {SESSION_END}")
+            session_end_index = non_meta_count
+
+    for (pid, tid), stack in sorted(open_stacks.items()):
+        for name in stack:
+            checker.error(f"unclosed span {name!r} on pid={pid} tid={tid}")
+
+    if session_end_index is None:
+        checker.error(f"no {SESSION_END} event (trace was not sealed)")
+    elif session_end_index != non_meta_count:
+        checker.error(
+            f"{non_meta_count - session_end_index} event(s) recorded "
+            f"after {SESSION_END}")
+
+
+def check_metrics(path, checker):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        checker.error(f"{path}: cannot parse metrics JSON: {e}")
+        return
+
+    for section in ("counters", "gauges", "histograms"):
+        if section not in doc or not isinstance(doc[section], dict):
+            checker.error(f"{path}: missing section {section!r}")
+            return
+
+    counters = doc["counters"]
+    for name in REQUIRED_COUNTERS:
+        if name not in counters:
+            checker.error(f"{path}: missing counter {name!r}")
+    violations = counters.get("papyrus.flow.violations")
+    if violations not in (None, 0):
+        checker.error(f"{path}: papyrus.flow.violations = {violations} "
+                      "(expected 0)")
+
+    for name in REQUIRED_HISTOGRAMS:
+        hist = doc["histograms"].get(name)
+        if hist is None:
+            checker.error(f"{path}: missing histogram {name!r}")
+            continue
+        buckets = hist.get("buckets", [])
+        if not buckets or buckets[-1].get("le") != "+Inf":
+            checker.error(f"{path}: histogram {name!r} lacks +Inf bucket")
+        total = sum(b.get("count", 0) for b in buckets)
+        if total != hist.get("count"):
+            checker.error(f"{path}: histogram {name!r} bucket counts "
+                          f"({total}) != count ({hist.get('count')})")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="trace_event JSON file to validate")
+    parser.add_argument("--metrics", metavar="FILE",
+                        help="also validate a metrics snapshot JSON")
+    args = parser.parse_args()
+
+    checker = Checker()
+    check_trace(args.trace, checker)
+    if args.metrics:
+        check_metrics(args.metrics, checker)
+
+    if checker.ok():
+        print(f"ok: {args.trace} passed all trace invariants"
+              + (f"; {args.metrics} passed metrics checks"
+                 if args.metrics else ""))
+        return 0
+    print(f"{len(checker.errors)} violation(s)", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,65 @@
+// papyrus-metrics: command-line companion for the metrics registry.
+//
+//   papyrus-metrics --catalogue
+//       Print the stable metric-name catalogue as a markdown table
+//       (the source of docs/METRICS.md).
+//
+//   papyrus-metrics --names
+//       Print just the metric names, one per line (for scripts).
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace {
+
+void PrintCatalogue() {
+  std::cout << "| Metric | Type | Description |\n";
+  std::cout << "| --- | --- | --- |\n";
+  for (const papyrus::obs::MetricInfo& info :
+       papyrus::obs::MetricCatalogue()) {
+    std::cout << "| `" << info.name << "` | "
+              << papyrus::obs::MetricTypeName(info.type) << " | "
+              << info.help << " |\n";
+  }
+}
+
+void PrintNames() {
+  for (const papyrus::obs::MetricInfo& info :
+       papyrus::obs::MetricCatalogue()) {
+    std::cout << info.name << "\n";
+  }
+}
+
+void PrintUsage(std::ostream& os) {
+  os << "usage: papyrus-metrics --catalogue | --names\n"
+     << "  --catalogue  print the metric catalogue as a markdown table\n"
+     << "  --names      print the metric names, one per line\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    PrintUsage(std::cerr);
+    return 2;
+  }
+  if (std::strcmp(argv[1], "--catalogue") == 0) {
+    PrintCatalogue();
+    return 0;
+  }
+  if (std::strcmp(argv[1], "--names") == 0) {
+    PrintNames();
+    return 0;
+  }
+  if (std::strcmp(argv[1], "--help") == 0 ||
+      std::strcmp(argv[1], "-h") == 0) {
+    PrintUsage(std::cout);
+    return 0;
+  }
+  std::cerr << "unknown option: " << argv[1] << "\n";
+  PrintUsage(std::cerr);
+  return 2;
+}
