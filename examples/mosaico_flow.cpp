@@ -7,8 +7,13 @@
 // Headless observability capture (the CI trace-smoke job runs this):
 //   ./build/examples/mosaico_flow --trace trace.json --metrics metrics.json
 // The trace is Chrome trace_event JSON — open it at https://ui.perfetto.dev.
+//
+// --jobs N runs concurrently in-flight design steps on N real worker
+// threads (task/step_executor.h); the flow's output is byte-identical at
+// any N.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -59,9 +64,12 @@ int main(int argc, char** argv) {
       options.trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
       options.metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      options.worker_threads = std::atoi(argv[++i]);
     } else {
       std::fprintf(stderr,
-                   "usage: mosaico_flow [--trace FILE] [--metrics FILE]\n");
+                   "usage: mosaico_flow [--trace FILE] [--metrics FILE] "
+                   "[--jobs N]\n");
       return 2;
     }
   }

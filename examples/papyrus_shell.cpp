@@ -20,8 +20,11 @@
 //   cache ?stats|clear|on|off?   (history-based derivation cache)
 //   trace start|stop|dump FILE   (virtual-time Chrome trace recording)
 //   metrics ?-json?              (session metrics registry snapshot)
+//   jobs ?N?                     (query/set step-executor worker threads;
+//                                 results are identical at any N)
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -266,6 +269,30 @@ void RegisterShellCommands(Interp* in, Papyrus* session) {
         }
         return EvalResult::Ok(json ? session->metrics().ToJson()
                                    : session->metrics().ToTable());
+      });
+
+  in->RegisterCommand(
+      "jobs", [session](Interp&, const std::vector<std::string>& argv) {
+        papyrus::task::TaskManager& mgr = session->task_manager();
+        if (argv.size() == 1) {
+          std::ostringstream os;
+          os << mgr.worker_threads();
+          return EvalResult::Ok(os.str());
+        }
+        if (argv.size() == 2) {
+          char* end = nullptr;
+          long n = std::strtol(argv[1].c_str(), &end, 10);
+          if (end == argv[1].c_str() || *end != '\0' || n < 1 ||
+              n > 64) {
+            return EvalResult::Error("jobs: N must be in 1..64");
+          }
+          mgr.set_worker_threads(static_cast<int>(n));
+          std::ostringstream os;
+          os << "step executor: " << mgr.worker_threads()
+             << " worker thread(s)";
+          return EvalResult::Ok(os.str());
+        }
+        return EvalResult::Error("usage: jobs ?N?");
       });
 
   in->RegisterCommand(

@@ -68,6 +68,7 @@ void DerivationCache::set_observability(const obs::Observability& sinks) {
 }
 
 const CacheEntry* DerivationCache::Probe(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!enabled_) return nullptr;
   auto it = entries_.find(key);
   if (it == entries_.end()) {
@@ -101,6 +102,12 @@ const CacheEntry* DerivationCache::Probe(const std::string& key) {
 }
 
 bool DerivationCache::Record(const std::string& key, CacheEntry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return RecordLocked(key, std::move(entry));
+}
+
+bool DerivationCache::RecordLocked(const std::string& key,
+                                   CacheEntry entry) {
   for (CachedOutput& out : entry.outputs) {
     auto rec = db_->Peek(out.id);
     if (!rec.ok() || (*rec)->reclaimed) return false;
@@ -128,10 +135,16 @@ bool DerivationCache::Restore(CacheEntry entry) {
   std::string key = MakeKey(entry.tool, entry.tool_version,
                             entry.canonical_options, entry.seed_salt,
                             entry.inputs);
-  return Record(key, std::move(entry));
+  std::lock_guard<std::mutex> lock(mu_);
+  return RecordLocked(key, std::move(entry));
 }
 
 void DerivationCache::OnVersionReclaimed(const oct::ObjectId& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  InvalidateVersionLocked(id);
+}
+
+void DerivationCache::InvalidateVersionLocked(const oct::ObjectId& id) {
   auto it = by_version_.find(id);
   if (it == by_version_.end()) return;
   // DropEntry mutates by_version_; detach the key set first.
@@ -145,10 +158,16 @@ void DerivationCache::OnVersionReclaimed(const oct::ObjectId& id) {
 }
 
 void DerivationCache::OnRework(const oct::ObjectId& id) {
-  OnVersionReclaimed(id);
+  std::lock_guard<std::mutex> lock(mu_);
+  InvalidateVersionLocked(id);
 }
 
 void DerivationCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ClearLocked();
+}
+
+void DerivationCache::ClearLocked() {
   while (!entries_.empty()) {
     DropEntry(entries_.begin()->first);
     ++stats_.invalidated;
@@ -160,6 +179,7 @@ void DerivationCache::Clear() {
 void DerivationCache::ForEach(
     const std::function<void(const std::string&, const CacheEntry&)>& fn)
     const {
+  std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [key, entry] : entries_) fn(key, entry);
 }
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -71,6 +72,14 @@ struct CacheStats {
 /// affected entries and releases the pins. Explicit rework that erases
 /// history (`ActivityManager::MoveCursor` with erase) likewise invalidates
 /// through `OnRework`.
+///
+/// Thread contract: lookups and mutations are serialized by an internal
+/// mutex, so concurrent readers (e.g. threads sharing a session while the
+/// engine runs with a worker pool) are safe. Under the parallel step
+/// executor the engine thread remains the only caller — probes happen at
+/// dispatch, population at commit, both engine-side — and the pointer
+/// returned by `Probe` is only valid until the next mutating call, so
+/// callers must consume it before re-entering the cache.
 class DerivationCache {
  public:
   explicit DerivationCache(oct::OctDatabase* db) : db_(db) {
@@ -142,11 +151,20 @@ class DerivationCache {
 
   /// A disabled cache misses every probe (uncounted) but still accepts
   /// recordings, so re-enabling serves the history accumulated meanwhile.
-  void set_enabled(bool enabled) { enabled_ = enabled; }
-  bool enabled() const { return enabled_; }
+  void set_enabled(bool enabled) {
+    std::lock_guard<std::mutex> lock(mu_);
+    enabled_ = enabled;
+  }
+  bool enabled() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return enabled_;
+  }
 
   const CacheStats& stats() const { return stats_; }
-  size_t size() const { return entries_.size(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
 
   /// Mirrors the cache statistics into the registry's papyrus.cache.*
   /// counters, catching the mirror up with whatever already accumulated.
@@ -160,8 +178,16 @@ class DerivationCache {
           fn) const;
 
  private:
+  // Internal bodies, caller holds `mu_`: they never take the lock
+  // themselves, so paths that compose them (Restore -> Record, probe
+  // invalidation -> drop) stay recursion-free.
   void DropEntry(const std::string& key);
+  bool RecordLocked(const std::string& key, CacheEntry entry);
+  void InvalidateVersionLocked(const oct::ObjectId& id);
+  void ClearLocked();
 
+  /// Serializes every public entry point (see the class thread contract).
+  mutable std::mutex mu_;
   oct::OctDatabase* db_;
   bool enabled_ = true;
   CacheStats stats_;

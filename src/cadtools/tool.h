@@ -40,11 +40,20 @@ struct ToolOptions {
 /// Everything a mock tool sees when invoked: resolved input payloads (in
 /// declared order), the parsed options, and a deterministic seed mixed from
 /// the tool name, options and input seeds.
+///
+/// The context is an *immutable snapshot*: under the parallel step executor
+/// the payloads are copies taken at dispatch time and the run may happen on
+/// a worker thread, so a tool must derive everything — including randomness
+/// — from the context alone (`seed`, `attempt`), never from shared state.
 struct ToolRunContext {
   std::vector<const oct::DesignPayload*> inputs;
   std::vector<std::string> input_names;
   ToolOptions options;
   uint64_t seed = 0;
+  /// 0 on the first dispatch of a step, incremented per environmental
+  /// retry. Lets fault injection (and any retry-aware tool) draw fresh
+  /// per-attempt randomness while staying a pure function of the context.
+  int attempt = 0;
 };
 
 /// Exit status reserved for transient failures, mirroring sysexits.h

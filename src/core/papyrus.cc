@@ -24,6 +24,7 @@ Papyrus::Papyrus(const SessionOptions& options)
   }
   task_manager_ = std::make_unique<task::TaskManager>(
       db_.get(), tools_.get(), network_.get(), &templates_);
+  task_manager_->set_worker_threads(options.worker_threads);
   activity_ = std::make_unique<activity::ActivityManager>(
       db_.get(), task_manager_.get(), &clock_);
   sds_ = std::make_unique<sync::SdsManager>(db_.get());

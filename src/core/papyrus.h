@@ -37,6 +37,12 @@ struct SessionOptions {
   /// Serve repeated design steps from the history-based derivation cache
   /// instead of re-running the tool (committed history only).
   bool step_cache = true;
+  /// Worker threads for the parallel step executor (task/step_executor.h).
+  /// 1 = serial: tool payloads run inline on the engine thread, today's
+  /// contract. N > 1 = payloads of concurrently in-flight steps execute
+  /// speculatively on N threads, with histories, ADG, and snapshot bytes
+  /// byte-identical to serial. Defaults to $PAPYRUS_TEST_WORKERS or 1.
+  int worker_threads = task::DefaultWorkerThreads();
   /// Headless trace capture: when non-empty, tracing starts enabled and
   /// the Chrome trace_event JSON (Perfetto-loadable, virtual-time
   /// timestamps) is written here when the session is destroyed.

@@ -6,6 +6,7 @@
 #include "base/macros.h"
 #include "base/strings.h"
 #include "cadtools/tool.h"
+#include "obs/effect_capture.h"
 
 namespace papyrus::fault {
 
@@ -103,19 +104,29 @@ Status FaultPlan::Apply(sprite::Network* network,
       // injector is registered under the same name, so keep a copy alive
       // inside the wrapper.
       auto inner = std::make_shared<cadtools::Tool>(**found);
-      // Per-tool counter state: each run makes a fresh draw, so a step
-      // that failed transiently can succeed when retried.
-      auto state = std::make_shared<uint64_t>(options_.seed ^
-                                              Fnv1a("transient:" + name));
+      // The injection decision is a pure function of (plan seed, tool,
+      // invocation seed, attempt): no shared draw state, so the wrapper
+      // is race-free on executor workers and the decision is independent
+      // of the order in which concurrent steps happen to run. The
+      // attempt component gives each environmental retry a fresh draw,
+      // so a step that failed transiently can succeed when retried.
+      uint64_t base = options_.seed ^ Fnv1a("transient:" + name);
       double rate = options_.tool_transient_rate;
       std::shared_ptr<int64_t> injections = transient_injections_;
       std::shared_ptr<obs::Observability> sinks = sinks_;
       tools->Register(std::make_unique<cadtools::Tool>(
           inner->descriptor(),
-          [inner, state, rate, injections,
+          [inner, base, rate, injections,
            sinks](const cadtools::ToolRunContext& ctx) {
-            if (NextUnit(state.get()) < rate) {
-              ++*injections;
+            uint64_t state = base ^ (ctx.seed * 0x9e3779b97f4a7c15ull) ^
+                             (static_cast<uint64_t>(ctx.attempt) *
+                              0xbf58476d1ce4e5b9ull);
+            if (NextUnit(&state) < rate) {
+              // Side effects go through the capture-aware entry points
+              // (obs::CountRaw, Counter::Increment, TraceRecorder::
+              // Instant): running on a worker they are buffered and
+              // land at the step's virtual completion event.
+              obs::CountRaw(injections.get(), 1);
               if (sinks->metrics != nullptr) {
                 sinks->metrics
                     ->FindOrCreateCounter(obs::kFaultTransientInjections)

@@ -34,7 +34,9 @@ struct FaultPlanOptions {
   double migration_flakiness = 0.0;
   /// Probability that any individual tool run fails transiently
   /// (EX_TEMPFAIL) instead of executing. Applied by wrapping every
-  /// registered tool.
+  /// registered tool. The decision is a pure function of (plan seed,
+  /// tool, invocation seed, attempt): deterministic at any worker-pool
+  /// size, and each retry attempt draws fresh.
   double tool_transient_rate = 0.0;
 };
 

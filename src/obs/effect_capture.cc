@@ -1,0 +1,43 @@
+#include "obs/effect_capture.h"
+
+#include "obs/metrics.h"
+
+namespace papyrus::obs {
+
+namespace {
+thread_local EffectCapture* g_current_capture = nullptr;
+}  // namespace
+
+EffectCapture* CurrentEffectCapture() { return g_current_capture; }
+
+void SetCurrentEffectCapture(EffectCapture* capture) {
+  g_current_capture = capture;
+}
+
+void EffectCapture::Replay() {
+  for (auto& [counter, delta] : counters_) counter->Increment(delta);
+  for (auto& [cell, delta] : raws_) *cell += delta;
+  for (auto& instant : instants_) {
+    if (instant.recorder != nullptr) {
+      instant.recorder->Instant(instant.pid, instant.tid, instant.name,
+                                instant.cat, instant.args);
+    }
+  }
+  Drop();
+}
+
+void EffectCapture::Drop() {
+  counters_.clear();
+  raws_.clear();
+  instants_.clear();
+}
+
+void CountRaw(int64_t* cell, int64_t delta) {
+  if (EffectCapture* capture = CurrentEffectCapture()) {
+    capture->AddRaw(cell, delta);
+    return;
+  }
+  *cell += delta;
+}
+
+}  // namespace papyrus::obs

@@ -1,0 +1,95 @@
+#ifndef PAPYRUS_OBS_EFFECT_CAPTURE_H_
+#define PAPYRUS_OBS_EFFECT_CAPTURE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace papyrus::obs {
+
+class Counter;
+
+/// A per-job buffer for observability side effects produced while a tool
+/// payload runs on a step-executor worker thread (task/step_executor.h).
+///
+/// The parallel step executor runs `Tool::Run` speculatively, ahead of the
+/// step's virtual completion event. Side effects a run emits — counter
+/// increments, trace instants, raw statistic bumps (e.g. the fault plan's
+/// injection count) — must not land when the worker happens to execute,
+/// for two reasons:
+///  - ordering: serial execution emits them at the completion event, and
+///    byte-identical traces/statistics require the same placement;
+///  - thread safety: the trace recorder and plain statistic cells are
+///    engine-thread-only.
+///
+/// So while a worker runs a job, a thread-local capture is installed
+/// (`SetCurrentEffectCapture`); `Counter::Increment`,
+/// `TraceRecorder::Instant`, and `CountRaw` divert into it instead of
+/// applying. The engine thread replays the buffer at the job's virtual
+/// completion event (`Replay`) — or drops it when the step was killed,
+/// lost, or unwound, matching serial execution where the tool never ran.
+///
+/// The engine thread never has a capture installed, so direct calls (and
+/// replay itself) apply immediately. Worker-side code may only emit
+/// *instants*; spans and track metadata remain engine-only.
+class EffectCapture {
+ public:
+  /// One deferred TraceRecorder::Instant. The timestamp is assigned at
+  /// replay time (the virtual completion event), exactly where serial
+  /// execution would have stamped it.
+  struct PendingInstant {
+    TraceRecorder* recorder;
+    int pid;
+    int64_t tid;
+    std::string name;
+    std::string cat;
+    std::vector<TraceArg> args;
+  };
+
+  void AddCounter(Counter* counter, int64_t delta) {
+    counters_.emplace_back(counter, delta);
+  }
+  void AddRaw(int64_t* cell, int64_t delta) {
+    raws_.emplace_back(cell, delta);
+  }
+  void AddInstant(PendingInstant instant) {
+    instants_.push_back(std::move(instant));
+  }
+
+  /// Applies every buffered effect in emission order and clears the
+  /// buffer. Engine thread only (no capture may be installed).
+  void Replay();
+
+  /// Discards every buffered effect (killed / lost / unwound step).
+  void Drop();
+
+  bool empty() const {
+    return counters_.empty() && raws_.empty() && instants_.empty();
+  }
+
+ private:
+  std::vector<std::pair<Counter*, int64_t>> counters_;
+  std::vector<std::pair<int64_t*, int64_t>> raws_;
+  std::vector<PendingInstant> instants_;
+};
+
+/// The capture installed on the calling thread, or nullptr (the engine
+/// thread, or a worker between jobs).
+EffectCapture* CurrentEffectCapture();
+
+/// Installs (or clears, with nullptr) the calling thread's capture. Owned
+/// by the step executor; the capture must outlive the installation.
+void SetCurrentEffectCapture(EffectCapture* capture);
+
+/// Increments a plain (non-atomic, engine-owned) statistic cell: diverted
+/// into the current capture when one is installed, applied directly
+/// otherwise. Lets engine-owned plain counters (e.g. the fault plan's
+/// injection count) stay race-free under speculative execution.
+void CountRaw(int64_t* cell, int64_t delta);
+
+}  // namespace papyrus::obs
+
+#endif  // PAPYRUS_OBS_EFFECT_CAPTURE_H_

@@ -93,6 +93,21 @@ const std::vector<MetricInfo>& MetricCatalogue() {
       {kTraceEventsDropped, kC,
        "Trace events dropped because the recorder was sealed or "
        "disabled mid-session."},
+      {kExecWorkers, kG,
+       "Worker threads configured for the parallel step executor (1 = "
+       "serial engine-thread execution)."},
+      {kExecStepsPool, kC,
+       "Tool payloads executed speculatively on a worker-pool thread."},
+      {kExecStepsInline, kC,
+       "Tool payloads executed inline on the engine thread (serial mode, "
+       "or stolen at the completion event before a worker picked them "
+       "up)."},
+      {kExecQueueDepth, kH,
+       "Commit-funnel depth at each virtual completion event: "
+       "speculative results still awaiting their engine-thread commit."},
+      {kExecWallLatency, kH,
+       "Wall-clock microseconds a tool payload spent executing "
+       "(worker or inline), as opposed to its virtual cost."},
   };
   return catalogue;
 }
@@ -104,6 +119,22 @@ const std::vector<int64_t>& LatencyBucketBounds() {
       1'000,     5'000,      10'000,     50'000,     100'000,
       250'000,   500'000,    1'000'000,  2'500'000,  5'000'000,
       10'000'000};
+  return bounds;
+}
+
+const std::vector<int64_t>& QueueDepthBucketBounds() {
+  // Pending commits at a completion event: small integers, bounded by
+  // the number of concurrently in-flight steps.
+  static const std::vector<int64_t> bounds = {0, 1, 2, 4, 8, 16, 32, 64};
+  return bounds;
+}
+
+const std::vector<int64_t>& WallLatencyBucketBounds() {
+  // Wall-clock microseconds; in-process tool payloads run in the
+  // 10us..1s range depending on payload size and injected sleeps.
+  static const std::vector<int64_t> bounds = {
+      10,      50,      100,     500,       1'000,     5'000,    10'000,
+      50'000,  100'000, 500'000, 1'000'000, 5'000'000};
   return bounds;
 }
 
@@ -128,6 +159,18 @@ std::vector<int64_t> Histogram::BucketCounts() const {
   return out;
 }
 
+namespace {
+
+// Bucket edges for a catalogue histogram. Latency-in-virtual-micros is
+// the default; depth and wall-clock histograms carry their own scales.
+const std::vector<int64_t>& CatalogueBounds(const std::string& name) {
+  if (name == kExecQueueDepth) return QueueDepthBucketBounds();
+  if (name == kExecWallLatency) return WallLatencyBucketBounds();
+  return LatencyBucketBounds();
+}
+
+}  // namespace
+
 MetricsRegistry::MetricsRegistry() {
   for (const MetricInfo& info : MetricCatalogue()) {
     switch (info.type) {
@@ -138,7 +181,7 @@ MetricsRegistry::MetricsRegistry() {
         FindOrCreateGauge(info.name);
         break;
       case MetricType::kHistogram:
-        FindOrCreateHistogram(info.name, LatencyBucketBounds());
+        FindOrCreateHistogram(info.name, CatalogueBounds(info.name));
         break;
     }
   }

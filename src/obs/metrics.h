@@ -9,13 +9,24 @@
 #include <string>
 #include <vector>
 
+#include "obs/effect_capture.h"
+
 namespace papyrus::obs {
 
 /// A monotonically increasing counter. Increments are lock-free
 /// (relaxed atomics); reads see a consistent point-in-time value.
+///
+/// When the calling thread has an EffectCapture installed (a step-executor
+/// worker running a speculative tool payload), the increment is buffered
+/// there and applied on the engine thread at the step's virtual completion
+/// event, keeping counter values byte-identical to serial execution.
 class Counter {
  public:
   void Increment(int64_t delta = 1) {
+    if (EffectCapture* capture = CurrentEffectCapture()) {
+      capture->AddCounter(this, delta);
+      return;
+    }
     value_.fetch_add(delta, std::memory_order_relaxed);
   }
   int64_t value() const { return value_.load(std::memory_order_relaxed); }
@@ -82,6 +93,13 @@ const char* MetricTypeName(MetricType t);
 /// Bucket edges (virtual microseconds) shared by the latency histograms.
 const std::vector<int64_t>& LatencyBucketBounds();
 
+/// Bucket edges for small-integer depth histograms (commit-funnel queue
+/// depth observed at each virtual completion event).
+const std::vector<int64_t>& QueueDepthBucketBounds();
+
+/// Bucket edges (wall-clock microseconds) for real executor latencies.
+const std::vector<int64_t>& WallLatencyBucketBounds();
+
 // Catalogue names, usable as constants at instrumentation points.
 inline constexpr char kStepsCompleted[] = "papyrus.steps.completed";
 inline constexpr char kStepsFailed[] = "papyrus.steps.failed";
@@ -124,6 +142,11 @@ inline constexpr char kAttributesComputed[] =
 inline constexpr char kAttributesCached[] = "papyrus.attributes.cached";
 inline constexpr char kTraceEventsDropped[] =
     "papyrus.trace.events_dropped";
+inline constexpr char kExecWorkers[] = "papyrus.exec.workers";
+inline constexpr char kExecStepsPool[] = "papyrus.exec.steps_pool";
+inline constexpr char kExecStepsInline[] = "papyrus.exec.steps_inline";
+inline constexpr char kExecQueueDepth[] = "papyrus.exec.queue_depth";
+inline constexpr char kExecWallLatency[] = "papyrus.exec.wall_latency";
 
 /// The metrics registry: owns every metric instance, hands out stable
 /// pointers, and snapshots the lot as JSON or a human table.

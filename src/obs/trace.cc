@@ -3,6 +3,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/effect_capture.h"
+
 namespace papyrus::obs {
 
 namespace {
@@ -128,6 +130,15 @@ void TraceRecorder::End(int pid, int64_t tid,
 void TraceRecorder::Instant(int pid, int64_t tid, const std::string& name,
                             const std::string& cat,
                             std::vector<TraceArg> args) {
+  // On a step-executor worker (EffectCapture installed), defer the whole
+  // emission: the recorder's state — including `enabled_` and the clock —
+  // is engine-thread-only, and serial execution would stamp this instant
+  // at the step's virtual completion event anyway. The engine replays it
+  // through this same path (capture-free) at that event.
+  if (EffectCapture* capture = CurrentEffectCapture()) {
+    capture->AddInstant({this, pid, tid, name, cat, std::move(args)});
+    return;
+  }
   if (!ShouldRecord()) return;
   TraceEvent ev;
   ev.ph = 'i';

@@ -61,9 +61,13 @@ struct TraceEvent {
 /// so a trace is a deterministic replay artifact, not a wall-time
 /// profile.
 ///
-/// Thread contract: the recorder is single-threaded like the engine it
-/// instruments — all recording calls must come from the thread driving
-/// the session. (Metrics, by contrast, are thread-safe; see metrics.h.)
+/// Thread contract: the recorder's state is engine-thread-only — all
+/// recording calls must come from the thread driving the session, with
+/// one carve-out: `Instant` called on a step-executor worker (a thread
+/// with an EffectCapture installed, see obs/effect_capture.h) buffers the
+/// event instead of touching recorder state; the engine replays it at the
+/// step's virtual completion event, where serial execution would have
+/// emitted it. (Metrics, by contrast, are thread-safe; see metrics.h.)
 ///
 /// Lifecycle: disabled recorders drop events silently and for free.
 /// `Seal()` marks the end of the session; events recorded after it are

@@ -92,6 +92,11 @@ Result<const ObjectRecord*> OctDatabase::Peek(const ObjectId& id) const {
   return rec;
 }
 
+int64_t OctDatabase::PayloadBytes(const ObjectId& id) const {
+  const ObjectRecord* rec = Find(id);
+  return rec == nullptr ? 0 : rec->size_bytes;
+}
+
 Result<ObjectId> OctDatabase::LatestVisible(const std::string& name) const {
   auto it = objects_.find(name);
   if (it == objects_.end()) {

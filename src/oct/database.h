@@ -67,6 +67,12 @@ class OctDatabase {
   /// Used by managers that need bookkeeping state (reclaimer, renderers).
   Result<const ObjectRecord*> Peek(const ObjectId& id) const;
 
+  /// Cached byte footprint of a version's payload (0 when the version
+  /// does not exist). O(1): reads the size computed at creation, never
+  /// touching the payload, the access time, or visibility — hot on the
+  /// step-dispatch path (tool cost model, derivation-cache sizing).
+  int64_t PayloadBytes(const ObjectId& id) const;
+
   /// Latest *visible* version of `name`, or NotFound.
   Result<ObjectId> LatestVisible(const std::string& name) const;
 

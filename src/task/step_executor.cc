@@ -1,0 +1,249 @@
+#include "task/step_executor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+
+namespace papyrus::task {
+
+namespace {
+
+int64_t WallMicrosNow() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int DefaultWorkerThreads() {
+  const char* env = std::getenv("PAPYRUS_TEST_WORKERS");
+  if (env == nullptr || *env == '\0') return 1;
+  char* end = nullptr;
+  long n = std::strtol(env, &end, 10);
+  if (end == env) return 1;
+  if (n < 1) return 1;
+  if (n > 64) return 64;
+  return static_cast<int>(n);
+}
+
+StepExecutor::StepExecutor() = default;
+
+StepExecutor::~StepExecutor() { StopPool(); }
+
+void StepExecutor::set_worker_threads(int n) {
+  if (n < 1) n = 1;
+  if (n > 64) n = 64;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!jobs_.empty()) return;  // resize only between steps
+    if (n == workers_configured_ && pool_.size() == (n > 1 ? size_t(n) : 0)) {
+      return;
+    }
+  }
+  StopPool();
+  std::lock_guard<std::mutex> lock(mu_);
+  workers_configured_ = n;
+  if (g_workers_ != nullptr) g_workers_->Set(n);
+  worker_steps_.assign(static_cast<size_t>(n), nullptr);
+  StartPoolLocked();
+}
+
+void StepExecutor::StartPoolLocked() {
+  stop_ = false;
+  if (workers_configured_ <= 1) return;
+  pool_.reserve(static_cast<size_t>(workers_configured_));
+  for (int i = 0; i < workers_configured_; ++i) {
+    pool_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+void StepExecutor::StopPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : pool_) t.join();
+  pool_.clear();
+}
+
+void StepExecutor::BindMetrics(obs::MetricsRegistry* registry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  registry_ = registry;
+  if (registry == nullptr) {
+    g_workers_ = nullptr;
+    c_steps_pool_ = nullptr;
+    c_steps_inline_ = nullptr;
+    h_queue_depth_ = nullptr;
+    h_wall_latency_ = nullptr;
+    std::fill(worker_steps_.begin(), worker_steps_.end(), nullptr);
+    return;
+  }
+  g_workers_ = registry->FindOrCreateGauge(obs::kExecWorkers);
+  g_workers_->Set(workers_configured_);
+  c_steps_pool_ = registry->FindOrCreateCounter(obs::kExecStepsPool);
+  c_steps_inline_ = registry->FindOrCreateCounter(obs::kExecStepsInline);
+  h_queue_depth_ = registry->FindOrCreateHistogram(
+      obs::kExecQueueDepth, obs::QueueDepthBucketBounds());
+  h_wall_latency_ = registry->FindOrCreateHistogram(
+      obs::kExecWallLatency, obs::WallLatencyBucketBounds());
+  std::fill(worker_steps_.begin(), worker_steps_.end(), nullptr);
+}
+
+obs::Counter* StepExecutor::WorkerStepsCounterLocked(int worker_index) {
+  if (registry_ == nullptr) return nullptr;
+  auto idx = static_cast<size_t>(worker_index);
+  if (idx >= worker_steps_.size()) worker_steps_.resize(idx + 1, nullptr);
+  if (worker_steps_[idx] == nullptr) {
+    worker_steps_[idx] = registry_->FindOrCreateCounter(
+        "papyrus.exec.worker" + std::to_string(worker_index) + ".steps");
+  }
+  return worker_steps_[idx];
+}
+
+uint64_t StepExecutor::Submit(const cadtools::Tool* tool,
+                              std::vector<oct::DesignPayload> inputs,
+                              std::vector<std::string> input_names,
+                              cadtools::ToolOptions options, uint64_t seed,
+                              int attempt) {
+  auto job = std::make_unique<Job>();
+  job->tool = tool;
+  job->inputs = std::move(inputs);
+  job->input_names = std::move(input_names);
+  job->options = std::move(options);
+  job->seed = seed;
+  job->attempt = attempt;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t id = next_job_id_++;
+  jobs_.emplace(id, std::move(job));
+  if (workers_configured_ > 1) {
+    queue_.push_back(id);
+    work_cv_.notify_one();
+  }
+  // With one worker (serial mode) the job just parks in the table; Take
+  // runs it inline at the completion event, preserving the pre-executor
+  // execution point exactly.
+  return id;
+}
+
+void StepExecutor::RunJob(Job* job, obs::EffectCapture* capture) {
+  cadtools::ToolRunContext ctx;
+  ctx.inputs.reserve(job->inputs.size());
+  for (const oct::DesignPayload& p : job->inputs) ctx.inputs.push_back(&p);
+  ctx.input_names = job->input_names;
+  ctx.options = job->options;
+  ctx.seed = job->seed;
+  ctx.attempt = job->attempt;
+
+  obs::SetCurrentEffectCapture(capture);
+  int64_t start = WallMicrosNow();
+  job->result = job->tool->Run(ctx);
+  job->wall_micros = WallMicrosNow() - start;
+  obs::SetCurrentEffectCapture(nullptr);
+}
+
+void StepExecutor::WorkerLoop(int worker_index) {
+  for (;;) {
+    Job* job = nullptr;
+    obs::Counter* steps = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_) return;
+      uint64_t id = queue_.front();
+      queue_.pop_front();
+      auto it = jobs_.find(id);
+      // The engine may have stolen (Take) or discarded the job after it
+      // was queued; stale queue entries are skipped.
+      if (it == jobs_.end() || it->second->state != Job::State::kQueued) {
+        continue;
+      }
+      job = it->second.get();
+      job->state = Job::State::kRunning;
+      steps = WorkerStepsCounterLocked(worker_index);
+    }
+
+    // Run outside the lock: the kRunning state gives this thread
+    // exclusive ownership of the job payload. Side effects go to the
+    // job's capture for replay at the virtual completion event.
+    RunJob(job, &job->effects);
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job->state = Job::State::kDone;
+      // Pool bookkeeping applies directly (capture uninstalled): these
+      // metrics describe the pool itself and are worker-count-dependent
+      // by design.
+      if (c_steps_pool_ != nullptr) c_steps_pool_->Increment();
+      if (steps != nullptr) steps->Increment();
+    }
+    done_cv_.notify_all();
+  }
+}
+
+cadtools::ToolRunResult StepExecutor::Take(uint64_t job_id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) {
+    return cadtools::ToolRunResult::Fail(
+        64, "step executor: unknown job id " + std::to_string(job_id));
+  }
+  Job* job = it->second.get();
+
+  // Commit-funnel depth: speculative results (including this one) still
+  // awaiting their engine-thread commit at this completion event.
+  if (h_queue_depth_ != nullptr) {
+    h_queue_depth_->Observe(static_cast<int64_t>(jobs_.size()));
+  }
+
+  if (job->state == Job::State::kQueued) {
+    // Serial mode — or a pool steal: no worker picked the job up yet, so
+    // the engine runs it inline at the completion event. No capture is
+    // installed: direct side effects land exactly where serial execution
+    // puts them.
+    job->state = Job::State::kRunning;
+    lock.unlock();
+    RunJob(job, nullptr);
+    lock.lock();
+    job->state = Job::State::kDone;
+    if (c_steps_inline_ != nullptr) c_steps_inline_->Increment();
+  } else {
+    done_cv_.wait(lock, [job] { return job->state == Job::State::kDone; });
+  }
+
+  if (h_wall_latency_ != nullptr) h_wall_latency_->Observe(job->wall_micros);
+
+  cadtools::ToolRunResult result = std::move(job->result);
+  obs::EffectCapture effects = std::move(job->effects);
+  jobs_.erase(it);
+  lock.unlock();
+
+  // Replay the buffered observability effects on the engine thread, at
+  // the virtual completion event — the instant serial execution would
+  // have emitted them.
+  effects.Replay();
+  return result;
+}
+
+void StepExecutor::Discard(uint64_t job_id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) return;
+  Job* job = it->second.get();
+  if (job->state == Job::State::kRunning) {
+    // A worker is mid-run; wait it out, then drop everything. (Tool
+    // payloads are short compute kernels; there is no cancellation.)
+    done_cv_.wait(lock, [job] { return job->state == Job::State::kDone; });
+  }
+  it->second->effects.Drop();
+  jobs_.erase(it);
+}
+
+size_t StepExecutor::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return jobs_.size();
+}
+
+}  // namespace papyrus::task

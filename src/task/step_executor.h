@@ -1,0 +1,157 @@
+#ifndef PAPYRUS_TASK_STEP_EXECUTOR_H_
+#define PAPYRUS_TASK_STEP_EXECUTOR_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "cadtools/tool.h"
+#include "obs/effect_capture.h"
+#include "obs/metrics.h"
+#include "oct/design_data.h"
+
+namespace papyrus::task {
+
+/// Worker-thread count to use when SessionOptions doesn't override it:
+/// the PAPYRUS_TEST_WORKERS environment variable clamped to [1, 64], or 1
+/// (serial, today's contract) when unset or unparsable. CI sets the
+/// variable to drive the whole test suite through the worker pool.
+int DefaultWorkerThreads();
+
+/// Runs `Tool::Run` payloads for in-flight design steps, either inline on
+/// the engine thread (serial mode) or speculatively on a real worker pool
+/// — while keeping every observable byte identical to serial execution.
+///
+/// ## Model
+///
+/// The discrete-event scheduler often has several steps in flight
+/// concurrently *in virtual time*: dispatched, waiting for their virtual
+/// completion events. Serial Papyrus runs each payload lazily at its
+/// completion event. The executor instead lets the engine *submit* the
+/// payload at dispatch time, as an immutable snapshot (owned copies of
+/// the input payloads + the fully-built ToolRunContext scalars), so a
+/// worker can compute the result while virtual time advances. At the
+/// completion event the engine *takes* the result — blocking until the
+/// worker finishes if it hasn't — and performs all state mutation itself.
+///
+/// ## Determinism
+///
+/// Virtual completion events fire in an order fixed by the simulation,
+/// independent of wall-clock thread scheduling. Since
+///  - tools are pure functions of their ToolRunContext (snapshot → same
+///    result no matter when or where it runs),
+///  - all mutation (OCT commits, history records, ADG edges, cache
+///    staging, observer callbacks) happens on the engine thread at Take,
+///    in the same order serial execution would, and
+///  - observability side effects emitted during a worker-side run are
+///    buffered in an EffectCapture and replayed at Take (or dropped at
+///    Discard, matching serial execution where a killed step never ran),
+/// histories, ADG dumps, engine counters, and snapshot bytes are
+/// byte-identical for every worker count. The executor's own metrics
+/// (papyrus.exec.*) describe the pool and are the one deliberate
+/// exception.
+///
+/// ## Thread contract
+///
+/// Submit / Take / Discard / set_worker_threads / BindMetrics are
+/// engine-thread-only. Workers touch only the job table (under the
+/// executor mutex) and the job payload while it is in the running state.
+/// With worker_threads() == 1 no threads exist and Take runs the payload
+/// inline at the completion event — exactly the pre-executor behavior.
+/// In pool mode the engine steals still-queued jobs at Take instead of
+/// waiting for a worker to pick them up.
+class StepExecutor {
+ public:
+  StepExecutor();
+  ~StepExecutor();
+
+  StepExecutor(const StepExecutor&) = delete;
+  StepExecutor& operator=(const StepExecutor&) = delete;
+
+  /// Resizes the pool. Must be called with no jobs outstanding (between
+  /// sessions or tasks); a call with jobs in flight is ignored.
+  void set_worker_threads(int n);
+  int worker_threads() const { return workers_configured_; }
+
+  /// Binds the executor's pool metrics (papyrus.exec.*). Engine thread,
+  /// with no jobs outstanding.
+  void BindMetrics(obs::MetricsRegistry* registry);
+
+  /// Snapshots one step's tool invocation and enqueues it. `tool` is
+  /// borrowed and must outlive the job. Returns a nonzero job id.
+  uint64_t Submit(const cadtools::Tool* tool,
+                  std::vector<oct::DesignPayload> inputs,
+                  std::vector<std::string> input_names,
+                  cadtools::ToolOptions options, uint64_t seed,
+                  int attempt);
+
+  /// Consumes a job at its virtual completion event: runs it inline if no
+  /// worker has it (serial mode, or pool steal), otherwise waits for the
+  /// worker, then replays the job's captured observability effects and
+  /// returns the result. The job id becomes invalid.
+  cadtools::ToolRunResult Take(uint64_t job_id);
+
+  /// Drops a job whose step will never complete (host crash, task abort,
+  /// programmable-abort unwind): the result and every captured side
+  /// effect are discarded, as if the tool had never run.
+  void Discard(uint64_t job_id);
+
+  /// Jobs submitted but not yet taken or discarded.
+  size_t pending() const;
+
+ private:
+  struct Job {
+    const cadtools::Tool* tool = nullptr;
+    std::vector<oct::DesignPayload> inputs;
+    std::vector<std::string> input_names;
+    cadtools::ToolOptions options;
+    uint64_t seed = 0;
+    int attempt = 0;
+
+    enum class State { kQueued, kRunning, kDone };
+    State state = State::kQueued;
+    bool discarded = false;  // Discard arrived while a worker ran it.
+    cadtools::ToolRunResult result;
+    obs::EffectCapture effects;
+    int64_t wall_micros = 0;
+  };
+
+  /// Runs the job's payload with `capture` installed (nullptr to apply
+  /// side effects directly). Called without the executor lock held.
+  static void RunJob(Job* job, obs::EffectCapture* capture);
+
+  void WorkerLoop(int worker_index);
+  void StartPoolLocked();
+  void StopPool();
+  obs::Counter* WorkerStepsCounterLocked(int worker_index);
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: queue non-empty or stop
+  std::condition_variable done_cv_;  // engine: a job reached kDone
+  bool stop_ = false;
+  int workers_configured_ = 1;
+  std::vector<std::thread> pool_;
+  uint64_t next_job_id_ = 1;
+  std::unordered_map<uint64_t, std::unique_ptr<Job>> jobs_;
+  std::deque<uint64_t> queue_;
+
+  // Pool observability (worker-count-dependent by design; excluded from
+  // the cross-worker-count determinism guarantee). Guarded by mu_.
+  obs::MetricsRegistry* registry_ = nullptr;
+  obs::Gauge* g_workers_ = nullptr;
+  obs::Counter* c_steps_pool_ = nullptr;
+  obs::Counter* c_steps_inline_ = nullptr;
+  obs::Histogram* h_queue_depth_ = nullptr;
+  obs::Histogram* h_wall_latency_ = nullptr;
+  std::vector<obs::Counter*> worker_steps_;  // per worker index
+};
+
+}  // namespace papyrus::task
+
+#endif  // PAPYRUS_TASK_STEP_EXECUTOR_H_

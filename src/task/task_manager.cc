@@ -78,9 +78,10 @@ class Execution {
         exec_token_(kExecTokenBase + exec_id) {}
 
   ~Execution() {
-    // Defensive: drop any leftover router entries.
+    // Defensive: drop any leftover router entries and executor jobs.
     for (const auto& [pid, entry] : active_) {
       mgr_->pid_router_.erase(pid);
+      if (entry.job_id != 0) mgr_->executor_->Discard(entry.job_id);
     }
   }
 
@@ -109,6 +110,15 @@ class Execution {
     std::vector<oct::ObjectId> input_ids;
     int64_t dispatch_micros = 0;
     sprite::HostId host = sprite::kNoHost;
+    /// Speculative executor job holding this step's tool run (0 = none;
+    /// the payload then runs inline at the completion event).
+    uint64_t job_id = 0;
+    /// Derivation-cache key parts, computed once at dispatch and reused
+    /// for commit-time staging. Valid when `have_cache_key`.
+    bool have_cache_key = false;
+    std::string canonical_options;
+    uint64_t seed_salt = 0;
+    std::string cache_key;
   };
   struct ResultEntry {
     oct::ObjectId id;
@@ -183,7 +193,7 @@ class Execution {
   /// cache_hit marker, no process spawned. Returns false on a miss.
   bool TryCompleteFromCache(const ResolvedStep& step,
                             const std::vector<oct::ObjectId>& input_ids,
-                            const cadtools::Tool& tool);
+                            const std::string& cache_key);
   /// Queues an environmental retry with exponential backoff. Returns
   /// false when the step has exhausted its retry budget (the caller then
   /// surfaces the failure through the normal step-failure path).
@@ -892,13 +902,33 @@ Status Execution::DispatchStep(const ResolvedStep& step) {
   for (const std::string& input : dispatched.input_names) {
     const ResultEntry& entry = result_.at(input);
     input_ids.push_back(entry.id);
-    auto rec = mgr_->db_->Peek(entry.id);
-    if (rec.ok()) total_bytes += (*rec)->size_bytes;
+    // O(1) cached size lookup: the byte footprint was computed when the
+    // version was created; dispatch never re-serializes payloads.
+    total_bytes += mgr_->db_->PayloadBytes(entry.id);
+  }
+
+  // Derivation-cache key parts are computed once here and cached on the
+  // ActiveEntry, so the cache probe and the commit-time staging share one
+  // canonicalization pass per dispatch.
+  bool have_cache_key = mgr_->cache_ != nullptr;
+  std::string canonical_options;
+  uint64_t seed_salt = 0;
+  std::string cache_key;
+  if (have_cache_key) {
+    canonical_options = cache::DerivationCache::CanonicalizeOptions(
+        dispatched.options, dispatched.input_names,
+        dispatched.output_names);
+    seed_salt = invocation_.seed ^
+                Fnv1a(dispatched.scope + dispatched.name + canonical_options);
+    cache_key = cache::DerivationCache::MakeKey(
+        dispatched.tool, (*tool)->descriptor().version, canonical_options,
+        seed_salt, input_ids);
   }
 
   // History-based elision: an identical committed derivation completes
   // the step instantly from its recorded outputs, spawning no process.
-  if (TryCompleteFromCache(dispatched, input_ids, **tool)) {
+  if (have_cache_key &&
+      TryCompleteFromCache(dispatched, input_ids, cache_key)) {
     return Status::OK();
   }
 
@@ -915,11 +945,51 @@ Status Execution::DispatchStep(const ResolvedStep& step) {
                                    host, migratable);
   if (!pid.ok()) return pid.status();
 
+  // Speculative submission: snapshot the input payloads (immutable under
+  // single-assignment update) and hand the tool run to the step executor,
+  // which may compute it on a worker thread while virtual time advances.
+  // The result is consumed — and every side effect applied — at the
+  // step's virtual completion event, keeping execution byte-identical to
+  // serial mode. A failed snapshot (job_id 0) falls back to running the
+  // payload inline at completion.
+  uint64_t job_id = 0;
+  {
+    std::vector<oct::DesignPayload> payloads;
+    std::vector<std::string> payload_names;
+    payloads.reserve(input_ids.size());
+    payload_names.reserve(input_ids.size());
+    bool snapshot_ok = true;
+    for (const oct::ObjectId& id : input_ids) {
+      auto rec = mgr_->db_->Peek(id);
+      if (!rec.ok()) {
+        snapshot_ok = false;
+        break;
+      }
+      payloads.push_back((*rec)->payload);
+      payload_names.push_back(id.name);
+    }
+    if (snapshot_ok) {
+      cadtools::ToolOptions options = cadtools::ToolOptions::Parse(
+          SplitWhitespace(dispatched.options));
+      uint64_t seed =
+          invocation_.seed ^ Fnv1a(dispatched.scope + dispatched.name +
+                                   dispatched.options);
+      job_id = mgr_->executor_->Submit(
+          *tool, std::move(payloads), std::move(payload_names),
+          std::move(options), seed, dispatched.attempt);
+    }
+  }
+
   ActiveEntry entry;
   entry.step = std::move(dispatched);
   entry.input_ids = std::move(input_ids);
   entry.dispatch_micros = mgr_->network_->clock()->NowMicros();
   entry.host = host;
+  entry.job_id = job_id;
+  entry.have_cache_key = have_cache_key;
+  entry.canonical_options = std::move(canonical_options);
+  entry.seed_salt = seed_salt;
+  entry.cache_key = std::move(cache_key);
   active_[*pid] = std::move(entry);
   mgr_->pid_router_[*pid] = this;
   if (checker_ != nullptr) {
@@ -940,16 +1010,10 @@ Status Execution::DispatchStep(const ResolvedStep& step) {
 
 bool Execution::TryCompleteFromCache(
     const ResolvedStep& step, const std::vector<oct::ObjectId>& input_ids,
-    const cadtools::Tool& tool) {
+    const std::string& cache_key) {
   cache::DerivationCache* cache = mgr_->cache_;
   if (cache == nullptr || invocation_.disable_step_cache) return false;
-  std::string canonical = cache::DerivationCache::CanonicalizeOptions(
-      step.options, step.input_names, step.output_names);
-  uint64_t salt =
-      invocation_.seed ^ Fnv1a(step.scope + step.name + canonical);
-  std::string key = cache::DerivationCache::MakeKey(
-      step.tool, tool.descriptor().version, canonical, salt, input_ids);
-  const cache::CacheEntry* hit = cache->Probe(key);
+  const cache::CacheEntry* hit = cache->Probe(cache_key);
   if (hit == nullptr) return false;
   if (hit->outputs.size() != step.output_names.size()) return false;
 
@@ -1113,6 +1177,10 @@ void Execution::OnProcessLost(const sprite::ProcessInfo& pinfo) {
   ActiveEntry entry = std::move(it->second);
   active_.erase(it);
   mgr_->pid_router_.erase(pinfo.pid);
+  // The tool "never ran": drop the speculative result and every side
+  // effect it captured, exactly as serial execution (which would only
+  // now have run the payload) produces nothing for a lost step.
+  if (entry.job_id != 0) mgr_->executor_->Discard(entry.job_id);
   if (checker_ != nullptr) checker_->OnSettle(pinfo.pid);
   ++steps_lost_;
   mgr_->c_steps_lost_->Increment();
@@ -1152,6 +1220,7 @@ void Execution::OnProcessComplete(const sprite::ProcessInfo& pinfo) {
 
   auto tool = mgr_->tools_->Find(entry.step.tool);
   if (!tool.ok()) {
+    if (entry.job_id != 0) mgr_->executor_->Discard(entry.job_id);
     if (obs::TraceRecorder* tr = trace()) {
       tr->End(trace_pid(), entry.step.internal_id,
               {obs::TraceArg::Str("error", tool.status().message())});
@@ -1161,13 +1230,18 @@ void Execution::OnProcessComplete(const sprite::ProcessInfo& pinfo) {
     return;
   }
 
-  // Run the actual transformation now that the simulated process has
-  // "finished computing".
+  // The simulated process has "finished computing": consume the actual
+  // transformation. The input validity loop runs unchanged — Get both
+  // revalidates each input at completion time and updates its access
+  // time, exactly as serial execution does — but the payloads a worker
+  // used are the dispatch-time snapshots (identical by single-assignment
+  // update whenever Get succeeds here).
   cadtools::ToolRunContext ctx;
   ctx.options = cadtools::ToolOptions::Parse(
       SplitWhitespace(entry.step.options));
   ctx.seed = invocation_.seed ^
              Fnv1a(entry.step.scope + entry.step.name + entry.step.options);
+  ctx.attempt = entry.step.attempt;
   bool inputs_ok = true;
   for (const oct::ObjectId& id : entry.input_ids) {
     auto rec = mgr_->db_->Get(id);
@@ -1180,8 +1254,16 @@ void Execution::OnProcessComplete(const sprite::ProcessInfo& pinfo) {
   }
   cadtools::ToolRunResult res;
   if (!inputs_ok) {
+    // Serial execution would have failed before running the tool; the
+    // speculative result (if any) is dropped with its captured effects.
+    if (entry.job_id != 0) mgr_->executor_->Discard(entry.job_id);
     res = cadtools::ToolRunResult::Fail(
         2, entry.step.tool + ": input object disappeared");
+  } else if (entry.job_id != 0) {
+    // Commit funnel: collect the (possibly worker-computed) result and
+    // replay its captured observability effects, here on the engine
+    // thread at the virtual completion event.
+    res = mgr_->executor_->Take(entry.job_id);
   } else {
     res = (*tool)->Run(ctx);
   }
@@ -1246,29 +1328,24 @@ void Execution::OnProcessComplete(const sprite::ProcessInfo& pinfo) {
     if (entry.step.user_id > 0) {
       MarkStepCompleted(StepKey(entry.step.scope, entry.step.user_id));
     }
-    if (mgr_->cache_ != nullptr) {
+    if (mgr_->cache_ != nullptr && entry.have_cache_key) {
       // Stage this derivation for the cache; it is recorded only if the
-      // task commits and no restart unwinds past this step.
+      // task commits and no restart unwinds past this step. The key
+      // parts were canonicalized once at dispatch (ActiveEntry).
       StagedCacheEntry staged;
       staged.internal_id = entry.step.internal_id;
       cache::CacheEntry& ce = staged.entry;
       ce.tool = entry.step.tool;
       ce.tool_version = (*tool)->descriptor().version;
-      ce.canonical_options = cache::DerivationCache::CanonicalizeOptions(
-          entry.step.options, entry.step.input_names,
-          entry.step.output_names);
-      ce.seed_salt =
-          invocation_.seed ^ Fnv1a(entry.step.scope + entry.step.name +
-                                   ce.canonical_options);
+      ce.canonical_options = std::move(entry.canonical_options);
+      ce.seed_salt = entry.seed_salt;
       ce.inputs = entry.input_ids;
       for (const oct::ObjectId& id : *created) {
         ce.outputs.push_back(cache::CachedOutput{id, true});
       }
       ce.cost_micros =
           record.completion_micros - record.dispatch_micros;
-      staged.key = cache::DerivationCache::MakeKey(
-          ce.tool, ce.tool_version, ce.canonical_options, ce.seed_salt,
-          ce.inputs);
+      staged.key = std::move(entry.cache_key);
       staged_cache_.push_back(std::move(staged));
     }
     step_records_.push_back(record);
@@ -1354,6 +1431,9 @@ void Execution::DoRestart(int j) {
     if (it->second.step.internal_id > j) {
       (void)mgr_->network_->Kill(it->first);
       mgr_->pid_router_.erase(it->first);
+      if (it->second.job_id != 0) {
+        mgr_->executor_->Discard(it->second.job_id);
+      }
       if (checker_ != nullptr) checker_->OnSettle(it->first);
       if (obs::TraceRecorder* tr = trace()) {
         tr->End(trace_pid(), it->second.step.internal_id,
@@ -1453,6 +1533,7 @@ void Execution::AbortTask(Status status) {
   for (const auto& [pid, entry] : active_) {
     (void)mgr_->network_->Kill(pid);
     mgr_->pid_router_.erase(pid);
+    if (entry.job_id != 0) mgr_->executor_->Discard(entry.job_id);
     if (checker_ != nullptr) checker_->OnSettle(pid);
     if (obs::TraceRecorder* tr = trace()) {
       tr->End(trace_pid(), entry.step.internal_id,
@@ -1569,6 +1650,8 @@ TaskManager::TaskManager(oct::OctDatabase* db,
                          sprite::Network* network,
                          const tdl::TemplateLibrary* templates)
     : db_(db), tools_(tools), network_(network), templates_(templates) {
+  executor_ = std::make_unique<StepExecutor>();
+  executor_->set_worker_threads(DefaultWorkerThreads());
   owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
   obs_.metrics = owned_metrics_.get();
   BindMetrics(obs_.metrics);
@@ -1617,6 +1700,15 @@ void TaskManager::BindMetrics(obs::MetricsRegistry* registry) {
       obs::kStepVirtualLatency, obs::LatencyBucketBounds());
   h_retry_backoff_ = registry->FindOrCreateHistogram(
       obs::kStepRetryBackoff, obs::LatencyBucketBounds());
+  executor_->BindMetrics(registry);
+}
+
+void TaskManager::set_worker_threads(int n) {
+  executor_->set_worker_threads(n);
+}
+
+int TaskManager::worker_threads() const {
+  return executor_->worker_threads();
 }
 
 Result<TaskHistoryRecord> TaskManager::Invoke(

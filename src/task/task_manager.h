@@ -16,6 +16,7 @@
 #include "oct/database.h"
 #include "sprite/network.h"
 #include "task/history.h"
+#include "task/step_executor.h"
 #include "tdl/template.h"
 
 namespace papyrus::cache {
@@ -62,10 +63,15 @@ struct TaskInvocation {
 /// Observation and interaction hooks — the library-level equivalent of the
 /// Tk task-manager window (§4.3.1). All methods have empty defaults.
 ///
-/// Threading contract: the Papyrus engine is single-threaded. Every
-/// callback fires *synchronously* on the thread that called
-/// `TaskManager::Invoke` / `InvokeMany`, in the middle of the scheduler
-/// loop — there is no callback thread and no queueing. Consequences:
+/// Threading contract: all engine *state mutation* is single-threaded.
+/// With `worker_threads > 1` (see step_executor.h) tool payloads execute
+/// speculatively on a worker pool, but every OCT commit, history record,
+/// ADG edge, cache update — and every one of these callbacks — is funneled
+/// back to the engine thread at the step's virtual completion event, in
+/// the same fixed order serial execution uses. Every callback fires
+/// *synchronously* on the thread that called `TaskManager::Invoke` /
+/// `InvokeMany`, in the middle of the scheduler loop — there is no
+/// callback thread and no queueing, at any worker count. Consequences:
 ///  - implementations need no locking of their own state unless they
 ///    share it with other application threads;
 ///  - implementations must not re-enter the TaskManager (no nested
@@ -192,6 +198,14 @@ class TaskManager {
   }
   cache::DerivationCache* derivation_cache() const { return cache_; }
 
+  /// Sizes the parallel step executor's worker pool. 1 (the default, see
+  /// `DefaultWorkerThreads`) executes tool payloads inline on the engine
+  /// thread; N > 1 runs them speculatively on N worker threads with
+  /// byte-identical observable results. Engine thread, between
+  /// invocations only.
+  void set_worker_threads(int n);
+  int worker_threads() const;
+
   oct::OctDatabase* database() const { return db_; }
   const cadtools::ToolRegistry* tools() const { return tools_; }
   sprite::Network* network() const { return network_; }
@@ -238,6 +252,9 @@ class TaskManager {
   obs::Counter* c_attrs_cached_ = nullptr;
   obs::Histogram* h_step_latency_ = nullptr;
   obs::Histogram* h_retry_backoff_ = nullptr;
+
+  /// Runs tool payloads — inline or on the worker pool (step_executor.h).
+  std::unique_ptr<StepExecutor> executor_;
 
   cache::DerivationCache* cache_ = nullptr;  // optional, not owned
 };

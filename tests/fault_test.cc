@@ -258,6 +258,9 @@ TEST(FaultPlanTest, TransientInjectionsAreCountedAndRetryable) {
   int transients = 0;
   int successes = 0;
   for (int i = 0; i < 40; ++i) {
+    // Each retry presents a new attempt number (as the task manager's
+    // environmental-retry path does), which re-seeds the injection draw.
+    ctx.attempt = i;
     cadtools::ToolRunResult res = (*tool)->Run(ctx);
     if (res.transient) {
       ++transients;
@@ -267,11 +270,20 @@ TEST(FaultPlanTest, TransientInjectionsAreCountedAndRetryable) {
       ++successes;
     }
   }
-  // Draws advance per run, so the same invocation both fails and
-  // succeeds across retries — a transient failure never dooms a step.
+  // The draw is a pure function of (plan seed, tool, invocation seed,
+  // attempt), so the same invocation both fails and succeeds across
+  // retries — a transient failure never dooms a step — and rerunning an
+  // attempt reproduces its outcome exactly.
   EXPECT_GT(transients, 0);
   EXPECT_GT(successes, 0);
   EXPECT_EQ(plan.transient_injections(), transients);
+  // Determinism at fixed attempt: re-running attempt 0 gives the same
+  // verdict every time.
+  ctx.attempt = 0;
+  bool first = (*tool)->Run(ctx).transient;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ((*tool)->Run(ctx).transient, first);
+  }
 }
 
 }  // namespace

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -339,6 +341,164 @@ TEST(ObsIntegrationTest, HeadlessCaptureWritesTraceAndMetrics) {
   metrics_buf << metrics_in.rdbuf();
   EXPECT_NE(metrics_buf.str().find("papyrus.steps.completed"),
             std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel-executor determinism at the session level
+
+/// Everything a worker count could conceivably perturb, rendered to
+/// comparable strings: full task histories, the ADG, and the raw snapshot
+/// bytes SaveSession wrote.
+struct SessionFingerprint {
+  std::string histories;
+  std::string adg;
+  std::map<std::string, std::string> snapshot;  // file name -> bytes
+  int64_t steps_pool = 0;
+  int64_t steps_inline = 0;
+};
+
+std::string SerializeHistory(const task::TaskHistoryRecord& rec) {
+  std::ostringstream out;
+  out << rec.task_name << '|' << rec.invoke_micros << '|'
+      << rec.commit_micros << '|' << rec.restarts << '|' << rec.steps_lost
+      << '|' << rec.steps_retried << '|' << rec.steps_elided << '\n';
+  for (const task::StepRecord& s : rec.steps) {
+    out << "  " << s.internal_id << '|' << s.step_name << '|' << s.tool
+        << '|' << s.invocation << '|' << s.dispatch_micros << '|'
+        << s.completion_micros << '|' << s.host << '|' << s.exit_status
+        << '|' << s.cache_hit << '|';
+    for (const oct::ObjectId& id : s.inputs) out << id.ToString() << ',';
+    out << '|';
+    for (const oct::ObjectId& id : s.outputs) out << id.ToString() << ',';
+    out << '\n';
+  }
+  return out.str();
+}
+
+/// Registers `soak`: a deterministic tool that *wall-blocks* for a few
+/// milliseconds (like a real CAD tool stuck on a license server or NFS)
+/// before producing a seed-derived output. The block gives pool workers
+/// real wall-clock room to pick speculative jobs up, independent of how
+/// the OS schedules threads on a loaded machine.
+void RegisterSoakTool(Papyrus& session) {
+  cadtools::ToolDescriptor desc;
+  desc.name = "soak";
+  desc.description = "wall-blocking deterministic test tool";
+  desc.base_cost_micros = 4000;
+  desc.min_inputs = 1;
+  desc.max_inputs = 1;
+  desc.num_outputs = 1;
+  session.tools().Register(std::make_unique<cadtools::Tool>(
+      desc, [](const cadtools::ToolRunContext& ctx) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(3));
+        cadtools::ToolRunResult res;
+        res.outputs.push_back(
+            oct::TextData{"soak " + std::to_string(ctx.seed)});
+        return res;
+      }));
+}
+
+constexpr char kSoakTemplate[] =
+    "task Soak_Fanout {In} {O1 O2 O3 O4 O5 O6 O7 O8}\n"
+    "step S1 {In} {O1} {soak In}\n"
+    "step S2 {In} {O2} {soak In}\n"
+    "step S3 {In} {O3} {soak In}\n"
+    "step S4 {In} {O4} {soak In}\n"
+    "step S5 {In} {O5} {soak In}\n"
+    "step S6 {In} {O6} {soak In}\n"
+    "step S7 {In} {O7} {soak In}\n"
+    "step S8 {In} {O8} {soak In}\n";
+
+/// Runs a fixed seeded workload — two full Structure_Synthesis flows, a
+/// Padp task, and an 8-wide wall-blocking fan-out, interleaved by
+/// InvokeMany — in a fresh session with `workers` executor threads, feeds
+/// the metadata engine, and snapshots the session.
+SessionFingerprint RunSessionWorkload(int workers) {
+  std::string dir =
+      ::testing::TempDir() + "/det_w" + std::to_string(workers);
+  SessionOptions opts;
+  opts.worker_threads = workers;
+  Papyrus session(opts);
+  RegisterSoakTool(session);
+  EXPECT_TRUE(session.AddTemplate(kSoakTemplate).ok());
+
+  std::vector<task::TaskInvocation> invocations;
+  invocations.push_back(SynthesisInvocation(session));
+  invocations.push_back(SynthesisInvocation(session));
+  auto cell = session.database().CreateVersion(
+      "cell", oct::Layout{.num_cells = 12, .area = 1200.0, .seed = 3});
+  EXPECT_TRUE(cell.ok());
+  task::TaskInvocation padp;
+  padp.template_name = "Padp";
+  padp.inputs = {*cell};
+  padp.output_names = {"cell.padded"};
+  padp.seed = 9;
+  invocations.push_back(padp);
+  auto net = session.database().CreateVersion(
+      "soak.in", oct::TextData{"payload"});
+  EXPECT_TRUE(net.ok());
+  task::TaskInvocation soak;
+  soak.template_name = "Soak_Fanout";
+  soak.inputs = {*net};
+  soak.output_names = {"s1", "s2", "s3", "s4", "s5", "s6", "s7", "s8"};
+  soak.seed = 13;
+  invocations.push_back(soak);
+
+  SessionFingerprint fp;
+  auto results = session.task_manager().InvokeMany(invocations);
+  EXPECT_EQ(results.size(), invocations.size());
+  for (auto& r : results) {
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    if (!r.ok()) continue;
+    fp.histories += SerializeHistory(*r);
+    EXPECT_TRUE(session.metadata().Observe(*r).ok());
+  }
+  EXPECT_EQ(session.task_manager().flow_violations(), 0);
+
+  std::ostringstream adg;
+  for (const auto& [id, e] : session.metadata().adg().edges()) {
+    adg << id << '|' << e.tool << '|' << e.options << '|' << e.micros
+        << '|' << e.reuse << '|';
+    for (const oct::ObjectId& oid : e.inputs) adg << oid.ToString() << ',';
+    adg << '|';
+    for (const oct::ObjectId& oid : e.outputs) adg << oid.ToString() << ',';
+    adg << '\n';
+  }
+  fp.adg = adg.str();
+
+  EXPECT_TRUE(session.SaveSession(dir).ok());
+  for (const char* name : {"database.pdb", "cache.pdc"}) {
+    std::ifstream in(dir + "/" + name, std::ios::binary);
+    EXPECT_TRUE(in.good()) << name;
+    std::stringstream buf;
+    buf << in.rdbuf();
+    fp.snapshot[name] = buf.str();
+  }
+  fp.steps_pool =
+      session.metrics().FindOrCreateCounter(kExecStepsPool)->value();
+  fp.steps_inline =
+      session.metrics().FindOrCreateCounter(kExecStepsInline)->value();
+  return fp;
+}
+
+TEST(ObsIntegrationTest, SessionIsByteIdenticalAtAnyWorkerCount) {
+  SessionFingerprint serial = RunSessionWorkload(1);
+  ASSERT_FALSE(serial.histories.empty());
+  ASSERT_FALSE(serial.adg.empty());
+  // Serial mode runs every payload inline on the engine thread.
+  EXPECT_EQ(serial.steps_pool, 0);
+  EXPECT_GT(serial.steps_inline, 0);
+
+  for (int workers : {2, 8}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    SessionFingerprint pool = RunSessionWorkload(workers);
+    EXPECT_EQ(pool.histories, serial.histories);
+    EXPECT_EQ(pool.adg, serial.adg);
+    EXPECT_EQ(pool.snapshot, serial.snapshot);
+    // The pool genuinely executed speculative payloads: parallelism is
+    // real, not a serial fallback in disguise.
+    EXPECT_GT(pool.steps_pool, 0);
+  }
 }
 
 }  // namespace

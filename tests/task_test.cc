@@ -1,10 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "base/clock.h"
 #include "cadtools/registry.h"
 #include "oct/database.h"
+#include "oct/design_data.h"
 #include "sprite/network.h"
 #include "task/task_manager.h"
 #include "tdl/template.h"
@@ -726,6 +730,128 @@ TEST_F(TaskManagerTest, HistoryRecordsActualInvocationStrings) {
             std::string::npos);
   EXPECT_NE(rec->steps[0].invocation.find("padplace"), std::string::npos);
   EXPECT_EQ(rec->steps[0].invocation.find("Outcell"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel-executor determinism (task/step_executor.h)
+
+/// Every field of a step record, rendered into one line. Any divergence
+/// between worker-pool sizes — ordering, timestamps, hosts, payload-derived
+/// output versions — shows up as a string mismatch.
+std::string SerializeStep(const StepRecord& s) {
+  std::ostringstream out;
+  out << s.internal_id << '|' << s.step_name << '|' << s.tool << '|'
+      << s.invocation << '|';
+  for (const ObjectId& id : s.inputs) out << id.ToString() << ',';
+  out << '|';
+  for (const ObjectId& id : s.outputs) out << id.ToString() << ',';
+  out << '|' << s.dispatch_micros << '|' << s.completion_micros << '|'
+      << s.host << '|' << s.exit_status << '|' << s.message << '|'
+      << s.cache_hit;
+  return out.str();
+}
+
+std::string SerializeHistory(const TaskHistoryRecord& rec) {
+  std::ostringstream out;
+  out << rec.task_name << '|';
+  for (const ObjectId& id : rec.inputs) out << id.ToString() << ',';
+  out << '|';
+  for (const ObjectId& id : rec.outputs) out << id.ToString() << ',';
+  out << '|' << rec.invoke_micros << '|' << rec.commit_micros << '|'
+      << rec.restarts << '|' << rec.steps_lost << '|' << rec.steps_retried
+      << '|' << rec.backoff_micros_total << '|' << rec.steps_elided << '\n';
+  for (const StepRecord& s : rec.steps) out << "  " << SerializeStep(s)
+                                            << '\n';
+  return out.str();
+}
+
+/// Runs a fixed multi-task workload (two 6-step Structure_Synthesis flows
+/// plus two Padp tasks, interleaved by InvokeMany across 4 hosts) on a
+/// fresh stack with `workers` executor threads, and renders everything the
+/// task manager produced.
+std::string RunSeededWorkload(int workers) {
+  ManualClock clock(0);
+  oct::OctDatabase db(&clock);
+  sprite::Network network(&clock, 4);
+  auto registry = cadtools::CreateStandardRegistry();
+  tdl::TemplateLibrary library;
+  EXPECT_TRUE(tdl::RegisterThesisTemplates(&library).ok());
+  TaskManager manager(&db, registry.get(), &network, &library);
+  manager.set_worker_threads(workers);
+
+  std::vector<TaskInvocation> invocations;
+  for (int i = 0; i < 2; ++i) {
+    auto spec = db.CreateVersion("spec" + std::to_string(i),
+                                 BehavioralSpec{8, 8, 12, 70u + i});
+    auto cmds = db.CreateVersion("cmd" + std::to_string(i),
+                                 TextData{"run 100"});
+    EXPECT_TRUE(spec.ok() && cmds.ok());
+    TaskInvocation inv;
+    inv.template_name = "Structure_Synthesis";
+    inv.inputs = {*spec, *cmds};
+    inv.output_names = {"layout" + std::to_string(i),
+                        "stats" + std::to_string(i)};
+    inv.seed = 42 + i;
+    invocations.push_back(inv);
+  }
+  for (int i = 0; i < 2; ++i) {
+    auto in = db.CreateVersion(
+        "cell" + std::to_string(i),
+        Layout{.num_cells = 10 + i,
+               .area = 900.0 + i,
+               .seed = static_cast<uint64_t>(i)});
+    EXPECT_TRUE(in.ok());
+    TaskInvocation inv;
+    inv.template_name = "Padp";
+    inv.inputs = {*in};
+    inv.output_names = {"cell" + std::to_string(i) + ".padded"};
+    inv.seed = 7 + i;
+    invocations.push_back(inv);
+  }
+
+  auto results = manager.InvokeMany(invocations);
+  EXPECT_EQ(results.size(), invocations.size());
+  std::ostringstream out;
+  for (auto& r : results) {
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    if (r.ok()) out << SerializeHistory(*r);
+  }
+  // Database end state: every surviving version with its payload bytes.
+  db.ForEach([&](const oct::ObjectRecord& rec) {
+    if (rec.reclaimed) return;
+    out << rec.id.ToString() << '|' << rec.visible << '|'
+        << rec.size_bytes << '|' << oct::PayloadToString(rec.payload)
+        << '\n';
+  });
+  out << "committed=" << manager.tasks_committed()
+      << " executed=" << manager.steps_executed()
+      << " violations=" << manager.flow_violations() << '\n';
+  EXPECT_EQ(manager.flow_violations(), 0);
+  return out.str();
+}
+
+TEST(ParallelDeterminismTest, HistoriesAreIdenticalAtAnyWorkerCount) {
+  // The worker pool only changes *where* tool payloads burn CPU; every
+  // observable — step order, timestamps, hosts, versions, payloads — is
+  // decided by the virtual-time schedule and must not move.
+  std::string serial = RunSeededWorkload(1);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(RunSeededWorkload(2), serial);
+  EXPECT_EQ(RunSeededWorkload(8), serial);
+}
+
+TEST(ParallelDeterminismTest, WorkerCountIsReconfigurable) {
+  ManualClock clock(0);
+  oct::OctDatabase db(&clock);
+  sprite::Network network(&clock, 2);
+  auto registry = cadtools::CreateStandardRegistry();
+  tdl::TemplateLibrary library;
+  ASSERT_TRUE(tdl::RegisterThesisTemplates(&library).ok());
+  TaskManager manager(&db, registry.get(), &network, &library);
+  manager.set_worker_threads(4);
+  EXPECT_EQ(manager.worker_threads(), 4);
+  manager.set_worker_threads(0);  // clamped to serial
+  EXPECT_EQ(manager.worker_threads(), 1);
 }
 
 TEST_F(TaskManagerTest, SingleAssignmentCreatesNewVersions) {
