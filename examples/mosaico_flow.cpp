@@ -11,15 +11,25 @@
 // --jobs N runs concurrently in-flight design steps on N real worker
 // threads (task/step_executor.h); the flow's output is byte-identical at
 // any N.
+//
+// --daemon ROOT drives the same flow as a thin papyrusd wire client
+// instead: macros are checked in and Mosaico tasks submitted over the
+// line protocol, journaled into the crash-surviving queue under ROOT,
+// drained, and reported task by task. No observer rides over the wire,
+// so the YACR option-retry is absent — the mode demonstrates the
+// queue's retry/terminal-state path, not the interactive one.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "base/strings.h"
 #include "core/papyrus.h"
 #include "lint/diagnostics.h"
+#include "server/daemon.h"
+#include "server/wire.h"
 
 namespace {
 
@@ -55,10 +65,98 @@ class ConsoleObserver : public papyrus::task::TaskObserver {
   }
 };
 
+/// The --daemon mode: the identical chip-assembly workload, but phrased
+/// entirely in wire-protocol lines against a daemon rooted at `root`.
+/// Returns 0 when every submitted task reaches a terminal state.
+int RunAsDaemonClient(const std::string& root,
+                      const papyrus::SessionOptions& session_options) {
+  papyrus::server::DaemonOptions options;
+  options.root = root;
+  options.session.worker_threads = session_options.worker_threads;
+  options.trace_path = session_options.trace_path;
+  options.metrics_path = session_options.metrics_path;
+  auto daemon = papyrus::server::PapyrusDaemon::Start(options);
+  if (!daemon.ok()) {
+    std::fprintf(stderr, "mosaico_flow: %s\n",
+                 daemon.status().ToString().c_str());
+    return 1;
+  }
+  auto send = [&](const papyrus::server::WireMessage& request) {
+    std::string line = request.Format();
+    std::string reply = (*daemon)->HandleLine(line);
+    std::printf("  -> %s\n  <- %s\n", line.c_str(), reply.c_str());
+    return reply;
+  };
+
+  constexpr int kMacros = 6;
+  std::vector<std::string> task_ids;
+  for (int n = 0; n < kMacros; ++n) {
+    std::string cell = "/designs/macro" + std::to_string(n);
+    papyrus::server::WireMessage checkin;
+    checkin.verb = "checkin";
+    checkin.Add("session", "mosaico");
+    checkin.Add("path", cell);
+    checkin.Add("type", "layout");
+    checkin.Add("cells", "40");
+    checkin.Add("area", "25000");
+    checkin.Add("seed", std::to_string(n));
+    send(checkin);
+
+    papyrus::server::WireMessage submit;
+    submit.verb = "submit";
+    submit.Add("session", "mosaico");
+    submit.Add("thread", "Chip-assembly");
+    submit.Add("template", "Mosaico");
+    submit.Add("in", cell);
+    submit.Add("out", "chip" + std::to_string(n));
+    submit.Add("out", "chip" + std::to_string(n) + ".stats");
+    submit.Add("seed", std::to_string(n));
+    auto reply = papyrus::server::WireMessage::Parse(send(submit));
+    if (reply.ok() && reply->verb == "ok") {
+      if (const std::string* id = reply->Find("id")) {
+        task_ids.push_back(*id);
+      }
+    }
+  }
+
+  papyrus::server::WireMessage drain;
+  drain.verb = "drain";
+  send(drain);
+  papyrus::server::WireMessage stat;
+  stat.verb = "stat";
+  send(stat);
+
+  int terminal = 0;
+  for (const std::string& id : task_ids) {
+    papyrus::server::WireMessage query;
+    query.verb = "task";
+    query.Add("id", id);
+    auto reply = papyrus::server::WireMessage::Parse(send(query));
+    if (!reply.ok() || reply->verb != "ok") continue;
+    const std::string* state = reply->Find("state");
+    if (state != nullptr && (*state == "done" || *state == "failed")) {
+      ++terminal;
+    }
+  }
+  papyrus::Status st = (*daemon)->Shutdown();
+  if (!st.ok()) {
+    std::fprintf(stderr, "mosaico_flow: shutdown: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+  std::printf("daemon flow: %d/%d tasks terminal\n", terminal,
+              static_cast<int>(task_ids.size()));
+  return (terminal == kMacros &&
+          static_cast<int>(task_ids.size()) == kMacros)
+             ? 0
+             : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   papyrus::SessionOptions options;
+  std::string daemon_root;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       options.trace_path = argv[++i];
@@ -66,13 +164,16 @@ int main(int argc, char** argv) {
       options.metrics_path = argv[++i];
     } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       options.worker_threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--daemon") == 0 && i + 1 < argc) {
+      daemon_root = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: mosaico_flow [--trace FILE] [--metrics FILE] "
-                   "[--jobs N]\n");
+                   "[--jobs N] [--daemon ROOT]\n");
       return 2;
     }
   }
+  if (!daemon_root.empty()) return RunAsDaemonClient(daemon_root, options);
   papyrus::Papyrus session(options);
   int thread = session.CreateThread("Chip-assembly");
 

@@ -22,17 +22,24 @@
 //   metrics ?-json?              (session metrics registry snapshot)
 //   jobs ?N?                     (query/set step-executor worker threads;
 //                                 results are identical at any N)
+//   daemon open ROOT ?JOBS? | daemon send WIRE-WORDS... | daemon close
+//       (thin client for papyrusd: `send` joins its words into one
+//        wire-protocol line — e.g. `daemon send submit ~session=alpha
+//        ~thread=t ~template=Padp ~in=/x ~out=y` — and returns the
+//        daemon's ok/err response line verbatim)
 
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 
 #include "activity/display.h"
 #include "base/strings.h"
 #include "core/papyrus.h"
 #include "lint/linter.h"
+#include "server/daemon.h"
 #include "tcl/interp.h"
 #include "tdl/template_layout.h"
 
@@ -293,6 +300,54 @@ void RegisterShellCommands(Interp* in, Papyrus* session) {
           return EvalResult::Ok(os.str());
         }
         return EvalResult::Error("usage: jobs ?N?");
+      });
+
+  // The shell doubles as a thin papyrusd client: everything below goes
+  // through the textual wire protocol, never the C++ session API, so a
+  // script written against `daemon send` works identically against a
+  // papyrusd reached over any other line transport.
+  auto client =
+      std::make_shared<std::unique_ptr<papyrus::server::PapyrusDaemon>>();
+  in->RegisterCommand(
+      "daemon",
+      [client](Interp&, const std::vector<std::string>& argv) {
+        if (argv.size() >= 3 && argv[1] == "open") {
+          if (*client != nullptr) {
+            return EvalResult::Error("daemon already open");
+          }
+          papyrus::server::DaemonOptions options;
+          options.root = argv[2];
+          if (argv.size() > 3) {
+            options.session.worker_threads =
+                static_cast<int>(ToInt(argv[3], 1));
+          }
+          auto daemon = papyrus::server::PapyrusDaemon::Start(options);
+          if (!daemon.ok()) {
+            return EvalResult::Error(daemon.status().message());
+          }
+          *client = std::move(*daemon);
+          return EvalResult::Ok("connected to " + argv[2]);
+        }
+        if (argv.size() >= 2 && argv[1] == "send") {
+          if (*client == nullptr) {
+            return EvalResult::Error("no daemon open");
+          }
+          std::vector<std::string> words(argv.begin() + 2, argv.end());
+          return EvalResult::Ok(
+              (*client)->HandleLine(papyrus::Join(words, " ")));
+        }
+        if (argv.size() >= 2 && argv[1] == "close") {
+          if (*client == nullptr) {
+            return EvalResult::Error("no daemon open");
+          }
+          papyrus::Status st = (*client)->Shutdown();
+          client->reset();
+          if (!st.ok()) return EvalResult::Error(st.message());
+          return EvalResult::Ok("closed");
+        }
+        return EvalResult::Error(
+            "usage: daemon open ROOT ?JOBS? | daemon send WORDS... | "
+            "daemon close");
       });
 
   in->RegisterCommand(

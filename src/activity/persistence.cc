@@ -44,6 +44,17 @@ int64_t ParseI64(const std::string& s) {
   return v;
 }
 
+/// Payload seeds are full-range uint64 values (tool-derived hashes
+/// routinely exceed INT64_MAX), so they cannot go through ParseI64.
+uint64_t ParseU64(const std::string& s) {
+  if (s.empty() || s[0] == '-') return 0;
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return 0;
+  return static_cast<uint64_t>(v);
+}
+
 std::string FormatHex(uint64_t v) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%016" PRIx64, v);
@@ -94,7 +105,7 @@ Result<oct::DesignPayload> ParsePayload(
     b.num_inputs = static_cast<int>(ParseI64(f[at + 1]));
     b.num_outputs = static_cast<int>(ParseI64(f[at + 2]));
     b.complexity = static_cast<int>(ParseI64(f[at + 3]));
-    b.seed = static_cast<uint64_t>(ParseI64(f[at + 4]));
+    b.seed = ParseU64(f[at + 4]);
     return oct::DesignPayload{b};
   }
   if (tag == "logic") {
@@ -106,7 +117,7 @@ Result<oct::DesignPayload> ParsePayload(
     n.literals = static_cast<int>(ParseI64(f[at + 4]));
     n.levels = static_cast<int>(ParseI64(f[at + 5]));
     n.format = static_cast<oct::DesignFormat>(ParseI64(f[at + 6]));
-    n.seed = static_cast<uint64_t>(ParseI64(f[at + 7]));
+    n.seed = ParseU64(f[at + 7]);
     return oct::DesignPayload{n};
   }
   if (tag == "layout") {
@@ -123,7 +134,7 @@ Result<oct::DesignPayload> ParsePayload(
     l.has_abstraction = f[at + 9] == "1";
     l.style = DecField(f[at + 10]);
     l.format = static_cast<oct::DesignFormat>(ParseI64(f[at + 11]));
-    l.seed = static_cast<uint64_t>(ParseI64(f[at + 12]));
+    l.seed = ParseU64(f[at + 12]);
     return oct::DesignPayload{l};
   }
   if (tag == "text") {

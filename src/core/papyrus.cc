@@ -7,6 +7,7 @@
 
 #include "activity/persistence.h"
 #include "base/macros.h"
+#include "storage/atomic_file.h"
 
 namespace papyrus {
 
@@ -124,30 +125,13 @@ Status Papyrus::SaveSessionImpl(const std::string& directory) {
     return Status::Internal("cannot create " + directory + ": " +
                             ec.message());
   }
-  // Write-to-temp + atomic rename: a crash mid-save leaves either the old
-  // snapshot or the new one, never a torn file.
+  // Write-to-temp + fsync + atomic rename (storage::AtomicWriteFile): a
+  // crash mid-save leaves either the old snapshot or the new one, never a
+  // torn file.
   auto write_file = [&](const std::string& name,
                         const std::string& content) -> Status {
-    std::filesystem::path final_path =
-        std::filesystem::path(directory) / name;
-    std::filesystem::path tmp_path = final_path;
-    tmp_path += ".tmp";
-    {
-      std::ofstream out(tmp_path, std::ios::trunc);
-      if (!out) return Status::Internal("cannot write " + name);
-      out << content;
-      out.flush();
-      if (!out) return Status::Internal("short write to " + name);
-    }
-    std::error_code rename_ec;
-    std::filesystem::rename(tmp_path, final_path, rename_ec);
-    if (rename_ec) {
-      std::error_code cleanup_ec;
-      std::filesystem::remove(tmp_path, cleanup_ec);
-      return Status::Internal("cannot replace " + name + ": " +
-                              rename_ec.message());
-    }
-    return Status::OK();
+    return storage::AtomicWriteFile(
+        (std::filesystem::path(directory) / name).string(), content);
   };
   PAPYRUS_RETURN_IF_ERROR(
       write_file("database.pdb", activity::SerializeDatabase(*db_)));

@@ -93,6 +93,51 @@ const std::vector<MetricInfo>& MetricCatalogue() {
       {kTraceEventsDropped, kC,
        "Trace events dropped because the recorder was sealed or "
        "disabled mid-session."},
+      {kQueueDepth, kG,
+       "Tasks in the persistent queue not yet done or failed (pending + "
+       "claimed)."},
+      {kQueueEnqueued, kC,
+       "Tasks journaled into the persistent queue."},
+      {kQueueClaimed, kC,
+       "Claims granted: a pending task handed to a session under a "
+       "virtual-time lease."},
+      {kQueueCompleted, kC,
+       "Tasks marked done after their commit and snapshot landed."},
+      {kQueueFailed, kC,
+       "Tasks marked permanently failed (attempt budget exhausted)."},
+      {kQueueRequeued, kC,
+       "Claimed tasks returned to pending (execution error or explicit "
+       "release) before their lease expired."},
+      {kQueueLeaseExpired, kC,
+       "Leases reaped by the expiry scan: the claim outlived its "
+       "deadline and the task went back to pending."},
+      {kQueueRecovered, kC,
+       "Claimed-but-not-done tasks re-enqueued while replaying the "
+       "journal at daemon startup."},
+      {kQueueCheckpoints, kC,
+       "Atomic queue checkpoints written (journal compactions)."},
+      {kQueueWaitLatency, kH,
+       "Virtual microseconds a task spent in the queue from enqueue to "
+       "the claim that committed it."},
+      {kServerSessionsOpen, kG,
+       "Design sessions currently hosted by the daemon."},
+      {kServerTasksExecuted, kC,
+       "Queue tasks the daemon actually ran to commit (dedup hits "
+       "excluded)."},
+      {kServerTasksDeduped, kC,
+       "Queue tasks skipped because the applied-task ledger showed "
+       "their effects already committed (at-least-once delivery, "
+       "exactly-once commit)."},
+      {kServerRestarts, kC,
+       "Daemon incarnations beyond the first observed by a shared "
+       "metrics registry (crash-restart recoveries)."},
+      {kServerCrashesInjected, kC,
+       "Daemon crashes injected by a seeded crash plan during a soak."},
+      {kServerWireRequests, kC,
+       "Wire-protocol request lines handled (including errors)."},
+      {kServerTaskLatency, kH,
+       "Virtual microseconds from claim to commit for tasks the daemon "
+       "executed."},
       {kExecWorkers, kG,
        "Worker threads configured for the parallel step executor (1 = "
        "serial engine-thread execution)."},

@@ -142,6 +142,30 @@ inline constexpr char kAttributesComputed[] =
 inline constexpr char kAttributesCached[] = "papyrus.attributes.cached";
 inline constexpr char kTraceEventsDropped[] =
     "papyrus.trace.events_dropped";
+inline constexpr char kQueueDepth[] = "papyrus.queue.depth";
+inline constexpr char kQueueEnqueued[] = "papyrus.queue.enqueued";
+inline constexpr char kQueueClaimed[] = "papyrus.queue.claimed";
+inline constexpr char kQueueCompleted[] = "papyrus.queue.completed";
+inline constexpr char kQueueFailed[] = "papyrus.queue.failed";
+inline constexpr char kQueueRequeued[] = "papyrus.queue.requeued";
+inline constexpr char kQueueLeaseExpired[] =
+    "papyrus.queue.lease_expired";
+inline constexpr char kQueueRecovered[] = "papyrus.queue.recovered";
+inline constexpr char kQueueCheckpoints[] = "papyrus.queue.checkpoints";
+inline constexpr char kQueueWaitLatency[] = "papyrus.queue.wait_latency";
+inline constexpr char kServerSessionsOpen[] =
+    "papyrus.server.sessions_open";
+inline constexpr char kServerTasksExecuted[] =
+    "papyrus.server.tasks_executed";
+inline constexpr char kServerTasksDeduped[] =
+    "papyrus.server.tasks_deduped";
+inline constexpr char kServerRestarts[] = "papyrus.server.restarts";
+inline constexpr char kServerCrashesInjected[] =
+    "papyrus.server.crashes_injected";
+inline constexpr char kServerWireRequests[] =
+    "papyrus.server.wire_requests";
+inline constexpr char kServerTaskLatency[] =
+    "papyrus.server.task_latency";
 inline constexpr char kExecWorkers[] = "papyrus.exec.workers";
 inline constexpr char kExecStepsPool[] = "papyrus.exec.steps_pool";
 inline constexpr char kExecStepsInline[] = "papyrus.exec.steps_inline";

@@ -17,11 +17,16 @@ namespace papyrus::obs {
 ///    (migrations, evictions, crashes, reboots, load counters);
 ///  - kSessionPid: session-scoped events (OCT version allocation,
 ///    snapshot save/load spans, the session-end marker);
+///  - kServerPid: daemon-scoped events (queue enqueue/claim/complete
+///    instants, per-task execution spans, recovery scans, shutdown
+///    drain) — spans daemon incarnations when the harness passes one
+///    recorder across restarts;
 ///  - kTaskPidBase + execution id: one process-group per design task,
 ///    thread 0 carrying the task span and one thread per step internal
 ///    id carrying that step's dispatch..completion spans.
 inline constexpr int kHostTrackPid = 1;
 inline constexpr int kSessionPid = 2;
+inline constexpr int kServerPid = 3;
 inline constexpr int kTaskPidBase = 10;
 
 /// One key/value pair attached to a trace event's `args`. `raw` values

@@ -1,0 +1,446 @@
+#include "server/daemon.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "base/macros.h"
+#include "base/strings.h"
+#include "oct/design_data.h"
+
+namespace papyrus::server {
+
+namespace {
+
+/// splitmix64: the seeded stream behind the crash plan's draws.
+uint64_t NextDraw(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Process-unique claim-owner tokens: a stale incarnation's lease can
+/// never be confused with the current holder's.
+std::string NextOwnerToken() {
+  static int counter = 0;
+  return "papyrusd-" + std::to_string(++counter);
+}
+
+std::string ErrorLine(const std::string& message) {
+  WireMessage response;
+  response.verb = "err";
+  response.Add("msg", message);
+  return response.Format();
+}
+
+}  // namespace
+
+DaemonCrashPlan::DaemonCrashPlan(uint64_t seed, double crash_rate,
+                                 int max_crashes)
+    : state_(seed ^ 0x706a7079727573ULL),
+      rate_(crash_rate),
+      max_(max_crashes) {}
+
+DaemonCrashPlan::DaemonCrashPlan(std::vector<int64_t> fire_on_draws)
+    : max_(static_cast<int>(fire_on_draws.size())),
+      fire_on_draws_(std::move(fire_on_draws)) {
+  std::sort(fire_on_draws_.begin(), fire_on_draws_.end());
+}
+
+bool DaemonCrashPlan::ShouldCrash() {
+  ++draws_;
+  if (!fire_on_draws_.empty()) {
+    if (!std::binary_search(fire_on_draws_.begin(), fire_on_draws_.end(),
+                            draws_)) {
+      return false;
+    }
+    ++fired_;
+    return true;
+  }
+  double draw = static_cast<double>(NextDraw(&state_) >> 11) *
+                (1.0 / 9007199254740992.0);  // [0, 1)
+  if (fired_ >= max_ || draw >= rate_) return false;
+  ++fired_;
+  return true;
+}
+
+PapyrusDaemon::PapyrusDaemon(const DaemonOptions& options)
+    : options_(options),
+      clock_(options.clock != nullptr ? options.clock : &owned_clock_),
+      owner_(NextOwnerToken()) {
+  obs::MetricsRegistry* metrics = options_.metrics;
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  obs::TraceRecorder* trace = options_.trace;
+  if (trace == nullptr) {
+    owned_trace_ = std::make_unique<obs::TraceRecorder>(clock_);
+    if (!options_.trace_path.empty()) owned_trace_->set_enabled(true);
+    trace = owned_trace_.get();
+  }
+  obs_ = {trace, metrics};
+  c_executed_ = metrics->FindOrCreateCounter(obs::kServerTasksExecuted);
+  c_deduped_ = metrics->FindOrCreateCounter(obs::kServerTasksDeduped);
+  c_restarts_ = metrics->FindOrCreateCounter(obs::kServerRestarts);
+  c_crashes_ =
+      metrics->FindOrCreateCounter(obs::kServerCrashesInjected);
+  c_wire_ = metrics->FindOrCreateCounter(obs::kServerWireRequests);
+  g_sessions_ = metrics->FindOrCreateGauge(obs::kServerSessionsOpen);
+  h_task_latency_ = metrics->FindOrCreateHistogram(
+      obs::kServerTaskLatency, obs::LatencyBucketBounds());
+}
+
+PapyrusDaemon::~PapyrusDaemon() = default;
+
+Result<std::unique_ptr<PapyrusDaemon>> PapyrusDaemon::Start(
+    const DaemonOptions& options) {
+  if (options.root.empty()) {
+    return Status::InvalidArgument("daemon root directory required");
+  }
+  std::unique_ptr<PapyrusDaemon> daemon(new PapyrusDaemon(options));
+  std::string queue_dir =
+      (std::filesystem::path(options.root) / "queue").string();
+  PAPYRUS_ASSIGN_OR_RETURN(
+      daemon->queue_,
+      PersistentQueue::Open(queue_dir, daemon->clock_, daemon->obs_));
+  daemon->obs_.trace->SetProcessName(obs::kServerPid, "papyrusd");
+  daemon->obs_.trace->SetThreadName(obs::kServerPid, 0, "queue");
+  if (daemon->queue_->recovered() > 0) {
+    // Unresolved claims mean the previous incarnation died hot.
+    daemon->c_restarts_->Increment();
+    daemon->TraceInstant(
+        "queue_recovered",
+        {obs::TraceArg::Int("tasks", daemon->queue_->recovered())});
+  }
+  return daemon;
+}
+
+void PapyrusDaemon::TraceInstant(const std::string& name,
+                                 std::vector<obs::TraceArg> args) {
+  obs_.trace->Instant(obs::kServerPid, 0, name, "server",
+                      std::move(args));
+}
+
+Result<int64_t> PapyrusDaemon::Submit(const TaskDescription& desc) {
+  if (crashed_) return Status::FailedPrecondition("daemon crashed");
+  if (shut_down_) return Status::FailedPrecondition("daemon shut down");
+  PAPYRUS_ASSIGN_OR_RETURN(int64_t id,
+                           queue_->Enqueue(desc.session, desc.Encode()));
+  TraceInstant("task_enqueued",
+               {obs::TraceArg::Int("id", id),
+                obs::TraceArg::Str("session", desc.session),
+                obs::TraceArg::Str("template", desc.template_name)});
+  return id;
+}
+
+Result<ManagedSession*> PapyrusDaemon::OpenSession(
+    const std::string& name) {
+  if (name.empty() || name.find('/') != std::string::npos ||
+      name == "." || name == "..") {
+    return Status::InvalidArgument("bad session name \"" + name + "\"");
+  }
+  auto it = sessions_.find(name);
+  if (it != sessions_.end()) return it->second.get();
+  std::string dir =
+      (std::filesystem::path(options_.root) / "sessions" / name)
+          .string();
+  PAPYRUS_ASSIGN_OR_RETURN(
+      auto session,
+      ManagedSession::Open(dir, name, options_.session, obs_));
+  ManagedSession* raw = session.get();
+  sessions_[name] = std::move(session);
+  g_sessions_->Set(static_cast<int64_t>(sessions_.size()));
+  return raw;
+}
+
+bool PapyrusDaemon::MaybeCrash(const char* point) {
+  if (options_.crash_plan == nullptr ||
+      !options_.crash_plan->ShouldCrash()) {
+    return false;
+  }
+  crashed_ = true;
+  c_crashes_->Increment();
+  TraceInstant("crash_injected", {obs::TraceArg::Str("point", point)});
+  return true;
+}
+
+Status PapyrusDaemon::CrashStatus(const char* point) const {
+  return Status::Aborted(std::string("daemon crash injected at ") +
+                         point);
+}
+
+Result<bool> PapyrusDaemon::RunOne() {
+  if (crashed_) return Status::FailedPrecondition("daemon crashed");
+  if (shut_down_) return Status::FailedPrecondition("daemon shut down");
+  queue_->ExpireLeases();
+  PAPYRUS_ASSIGN_OR_RETURN(auto claimed,
+                           queue_->Claim(owner_, options_.lease_micros));
+  if (!claimed.has_value()) return false;
+  const QueueTask task = *claimed;
+  TraceInstant("task_claimed", {obs::TraceArg::Int("id", task.id),
+                                obs::TraceArg::Int("attempt",
+                                                   task.attempts)});
+  // Crash point 1: claim journaled, nothing executed. Recovery re-pends
+  // the claim; the task runs fresh in the next incarnation.
+  if (MaybeCrash("before_execute")) return CrashStatus("before_execute");
+
+  auto desc = TaskDescription::Decode(task.description);
+  if (!desc.ok()) {
+    // Malformed descriptions can never execute; retrying is pointless.
+    PAPYRUS_RETURN_IF_ERROR(
+        queue_->Fail(task.id, owner_, desc.status().message()));
+    TraceInstant("task_failed", {obs::TraceArg::Int("id", task.id)});
+    return true;
+  }
+  PAPYRUS_ASSIGN_OR_RETURN(ManagedSession * session,
+                           OpenSession(desc->session));
+
+  if (session->HasApplied(task.id)) {
+    // The previous incarnation crashed between persisting the snapshot
+    // and journaling done: the effects are durable, only the
+    // acknowledgement is missing. Complete without re-executing —
+    // this is what turns at-least-once delivery into exactly-once
+    // commit.
+    c_deduped_->Increment();
+    TraceInstant("task_deduped", {obs::TraceArg::Int("id", task.id)});
+    PAPYRUS_RETURN_IF_ERROR(queue_->Complete(task.id, owner_));
+    return true;
+  }
+
+  int64_t session_before = session->session().clock().NowMicros();
+  auto node = session->Execute(task.id, *desc);
+  // The daemon clock advances by the session's virtual progress, so
+  // queue timestamps and the daemon trace stay monotone across every
+  // session and incarnation.
+  int64_t delta =
+      session->session().clock().NowMicros() - session_before;
+  if (delta > 0) clock_->AdvanceMicros(delta);
+  if (!node.ok()) {
+    if (task.attempts >= options_.max_task_attempts) {
+      PAPYRUS_RETURN_IF_ERROR(
+          queue_->Fail(task.id, owner_, node.status().message()));
+      TraceInstant("task_failed", {obs::TraceArg::Int("id", task.id)});
+    } else {
+      PAPYRUS_RETURN_IF_ERROR(queue_->Release(task.id, owner_));
+      TraceInstant("task_released", {obs::TraceArg::Int("id", task.id)});
+    }
+    return true;
+  }
+  // Crash point 2: executed but nothing saved. The in-memory effects
+  // die with this incarnation; recovery re-runs the task from the last
+  // durable snapshot, reproducing them byte-identically (clock and
+  // execution ids restore exactly).
+  if (MaybeCrash("after_execute")) return CrashStatus("after_execute");
+
+  PAPYRUS_RETURN_IF_ERROR(session->Save());
+  // Crash point 3: effects durable, done not journaled. Recovery
+  // re-claims the task and the applied ledger dedupes it above.
+  if (MaybeCrash("after_save")) return CrashStatus("after_save");
+
+  PAPYRUS_RETURN_IF_ERROR(queue_->Complete(task.id, owner_));
+  c_executed_->Increment();
+  if (delta > 0) h_task_latency_->Observe(delta);
+  TraceInstant("task_done", {obs::TraceArg::Int("id", task.id),
+                             obs::TraceArg::Int("node", *node)});
+  return true;
+}
+
+Status PapyrusDaemon::Drain() {
+  while (true) {
+    PAPYRUS_ASSIGN_OR_RETURN(bool ran, RunOne());
+    if (!ran) break;
+  }
+  return Status::OK();
+}
+
+Status PapyrusDaemon::Shutdown() {
+  if (crashed_) {
+    return Status::FailedPrecondition("daemon crashed; cannot shut down");
+  }
+  if (shut_down_) return Status::OK();
+  // Leases drain naturally (RunOne resolves its claim before returning);
+  // what graceful shutdown adds is the compacted queue checkpoint and a
+  // sealed trace.
+  PAPYRUS_RETURN_IF_ERROR(queue_->Checkpoint());
+  TraceInstant("daemon_shutdown", {});
+  if (owned_trace_ != nullptr) {
+    owned_trace_->Finish();
+    if (!options_.trace_path.empty()) {
+      PAPYRUS_RETURN_IF_ERROR(
+          owned_trace_->WriteJson(options_.trace_path));
+    }
+  }
+  if (owned_metrics_ != nullptr && !options_.metrics_path.empty()) {
+    std::ofstream out(options_.metrics_path, std::ios::trunc);
+    if (!out) {
+      return Status::Internal("cannot write " + options_.metrics_path);
+    }
+    out << owned_metrics_->ToJson();
+  }
+  shut_down_ = true;
+  return Status::OK();
+}
+
+Result<std::string> PapyrusDaemon::HandleCheckin(
+    const WireMessage& request) {
+  const std::string* session_name = request.Find("session");
+  const std::string* path = request.Find("path");
+  const std::string* type = request.Find("type");
+  if (session_name == nullptr || path == nullptr || type == nullptr) {
+    return Status::InvalidArgument(
+        "checkin needs ~session, ~path, and ~type");
+  }
+  auto get_int = [&](const char* key, int64_t fallback) {
+    const std::string* v = request.Find(key);
+    int64_t out = fallback;
+    if (v != nullptr) (void)ParseInt64(*v, &out);
+    return out;
+  };
+  oct::DesignPayload payload;
+  if (*type == "text") {
+    const std::string* text = request.Find("text");
+    payload = oct::TextData{text != nullptr ? *text : ""};
+  } else if (*type == "behav") {
+    oct::BehavioralSpec spec;
+    spec.num_inputs = static_cast<int>(get_int("inputs", 0));
+    spec.num_outputs = static_cast<int>(get_int("outputs", 0));
+    spec.complexity = static_cast<int>(get_int("complexity", 0));
+    spec.seed = static_cast<uint64_t>(get_int("seed", 0));
+    payload = spec;
+  } else if (*type == "layout") {
+    oct::Layout layout;
+    layout.num_cells = static_cast<int>(get_int("cells", 0));
+    layout.area = static_cast<double>(get_int("area", 0));
+    layout.seed = static_cast<uint64_t>(get_int("seed", 0));
+    payload = layout;
+  } else {
+    return Status::InvalidArgument("unknown checkin type \"" + *type +
+                                   "\"");
+  }
+  PAPYRUS_ASSIGN_OR_RETURN(ManagedSession * session,
+                           OpenSession(*session_name));
+  PAPYRUS_ASSIGN_OR_RETURN(
+      oct::ObjectId id,
+      session->session().CheckInObject(*path, std::move(payload)));
+  // Check-ins are daemon state like everything else: durable before the
+  // acknowledgement goes back over the wire.
+  PAPYRUS_RETURN_IF_ERROR(session->Save());
+  return id.ToString();
+}
+
+std::string PapyrusDaemon::HandleLine(const std::string& line) {
+  c_wire_->Increment();
+  auto request = WireMessage::Parse(line);
+  if (!request.ok()) return ErrorLine(request.status().message());
+  return HandleLineImpl(*request);
+}
+
+std::string PapyrusDaemon::HandleLineImpl(const WireMessage& request) {
+  WireMessage response;
+  response.verb = "ok";
+  if (request.verb == "ping") {
+    response.Add("pong", "1");
+    return response.Format();
+  }
+  if (request.verb == "submit") {
+    TaskDescription desc;
+    const std::string* session = request.Find("session");
+    const std::string* thread = request.Find("thread");
+    const std::string* template_name = request.Find("template");
+    if (session == nullptr || thread == nullptr ||
+        template_name == nullptr) {
+      return ErrorLine("submit needs ~session, ~thread, and ~template");
+    }
+    desc.session = *session;
+    desc.thread = *thread;
+    desc.template_name = *template_name;
+    if (const std::string* seed = request.Find("seed")) {
+      int64_t value = 0;
+      if (!ParseInt64(*seed, &value) || value < 0) {
+        return ErrorLine("bad seed \"" + *seed + "\"");
+      }
+      desc.seed = static_cast<uint64_t>(value);
+    }
+    desc.input_refs = request.FindAll("in");
+    desc.output_names = request.FindAll("out");
+    for (const auto& [key, value] : request.fields) {
+      if (key.rfind("opt.", 0) == 0) {
+        desc.option_overrides[key.substr(4)] = value;
+      }
+    }
+    auto id = Submit(desc);
+    if (!id.ok()) return ErrorLine(id.status().message());
+    response.Add("id", std::to_string(*id));
+    return response.Format();
+  }
+  if (request.verb == "checkin") {
+    auto id = HandleCheckin(request);
+    if (!id.ok()) return ErrorLine(id.status().message());
+    response.Add("id", *id);
+    return response.Format();
+  }
+  if (request.verb == "run") {
+    auto ran = RunOne();
+    if (!ran.ok()) return ErrorLine(ran.status().message());
+    response.Add("ran", *ran ? "1" : "0");
+    return response.Format();
+  }
+  if (request.verb == "drain") {
+    Status st = Drain();
+    if (!st.ok()) return ErrorLine(st.message());
+    response.Add("done", std::to_string(queue_->DoneCount()));
+    response.Add("failed", std::to_string(queue_->FailedCount()));
+    return response.Format();
+  }
+  if (request.verb == "stat") {
+    response.Add("pending", std::to_string(queue_->PendingCount()));
+    response.Add("claimed", std::to_string(queue_->ClaimedCount()));
+    response.Add("done", std::to_string(queue_->DoneCount()));
+    response.Add("failed", std::to_string(queue_->FailedCount()));
+    response.Add("depth", std::to_string(queue_->depth()));
+    response.Add("recovered", std::to_string(queue_->recovered()));
+    return response.Format();
+  }
+  if (request.verb == "task") {
+    const std::string* id_text = request.Find("id");
+    int64_t id = 0;
+    if (id_text == nullptr || !ParseInt64(*id_text, &id)) {
+      return ErrorLine("task needs a numeric ~id");
+    }
+    auto task = queue_->Get(id);
+    if (!task.ok()) return ErrorLine(task.status().message());
+    response.Add("id", std::to_string(task->id));
+    response.Add("state", TaskStateName(task->state));
+    response.Add("session", task->session);
+    response.Add("attempts", std::to_string(task->attempts));
+    if (!task->failure.empty()) response.Add("failure", task->failure);
+    return response.Format();
+  }
+  if (request.verb == "sessions") {
+    for (const auto& [name, session] : sessions_) {
+      response.Add("session", name);
+      response.Add("generation",
+                   std::to_string(session->generation()));
+    }
+    return response.Format();
+  }
+  if (request.verb == "checkpoint") {
+    Status st = queue_->Checkpoint();
+    if (!st.ok()) return ErrorLine(st.message());
+    response.Add("checkpointed", "1");
+    return response.Format();
+  }
+  if (request.verb == "shutdown") {
+    Status st = Shutdown();
+    if (!st.ok()) return ErrorLine(st.message());
+    response.Add("bye", "1");
+    return response.Format();
+  }
+  return ErrorLine("unknown verb \"" + request.verb + "\"");
+}
+
+}  // namespace papyrus::server

@@ -1,0 +1,160 @@
+#ifndef PAPYRUS_SERVER_DAEMON_H_
+#define PAPYRUS_SERVER_DAEMON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "base/clock.h"
+#include "base/result.h"
+#include "base/status.h"
+#include "obs/observability.h"
+#include "server/queue.h"
+#include "server/session_manager.h"
+#include "server/wire.h"
+
+namespace papyrus::server {
+
+/// A seeded, deterministic schedule of daemon crashes for chaos soaks.
+/// Each crash point in the daemon's task pipeline draws once from the
+/// plan's pseudo-random stream; the plan object outlives daemon
+/// incarnations (the harness owns it), so a crash consumed by one
+/// incarnation is not re-drawn by the next.
+class DaemonCrashPlan {
+ public:
+  DaemonCrashPlan(uint64_t seed, double crash_rate, int max_crashes);
+
+  /// Fully explicit alternative: fire exactly on these 1-based draw
+  /// indices. Lets a test pin a crash to a specific pipeline point
+  /// (draws go before_execute, after_execute, after_save per task).
+  explicit DaemonCrashPlan(std::vector<int64_t> fire_on_draws);
+
+  /// Draws the next crash decision. At most `max_crashes` fire.
+  bool ShouldCrash();
+
+  int crashes_fired() const { return fired_; }
+  int64_t draws() const { return draws_; }
+
+ private:
+  uint64_t state_ = 0;
+  double rate_ = 0.0;
+  int max_ = 0;
+  std::vector<int64_t> fire_on_draws_;
+  int fired_ = 0;
+  int64_t draws_ = 0;
+};
+
+struct DaemonOptions {
+  /// Daemon root: holds `queue/` and `sessions/<name>/`.
+  std::string root;
+  /// Applied to every hosted session.
+  SessionConfig session;
+  /// Virtual-time lease granted per claim.
+  int64_t lease_micros = 60'000'000;
+  /// Claims granted to one task before it is failed permanently.
+  int max_task_attempts = 5;
+  /// Seeded daemon-crash schedule (chaos soaks). Not owned; may be null.
+  DaemonCrashPlan* crash_plan = nullptr;
+  /// The daemon's virtual clock (queue timestamps, lease deadlines,
+  /// daemon-track trace events). Not owned; pass one clock across
+  /// incarnations so a soak's trace stays monotone. Null = the daemon
+  /// owns a private clock restored from the queue checkpoint.
+  ManualClock* clock = nullptr;
+  /// External observability spanning incarnations (soaks). Null = the
+  /// daemon owns private sinks, dumped to the paths below at Shutdown.
+  obs::TraceRecorder* trace = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+  std::string trace_path;
+  std::string metrics_path;
+};
+
+/// papyrusd: the multi-session Papyrus daemon.
+///
+/// Hosts many concurrent design sessions (each a full Papyrus engine
+/// with its own threads, database, and derivation cache) and feeds them
+/// from one crash-surviving persistent task queue. The execution
+/// pipeline per task:
+///
+///   claim (journaled, leased) -> execute in the target session
+///   -> persist a session snapshot generation -> journal done
+///
+/// A crash at any point is recovered on the next Start: unresolved
+/// claims re-pend, and the per-session applied-task ledger (persisted
+/// inside the snapshot generation) tells whether the task's effects
+/// already landed — if so the re-delivery is completed without
+/// re-execution. Net effect: at-least-once execution, exactly-once
+/// commit, and byte-identical histories with or without crashes.
+class PapyrusDaemon {
+ public:
+  static Result<std::unique_ptr<PapyrusDaemon>> Start(
+      const DaemonOptions& options);
+
+  PapyrusDaemon(const PapyrusDaemon&) = delete;
+  PapyrusDaemon& operator=(const PapyrusDaemon&) = delete;
+  ~PapyrusDaemon();
+
+  /// Journals a task into the queue; durable once this returns.
+  Result<int64_t> Submit(const TaskDescription& desc);
+
+  /// Claims and processes one queue task end-to-end. Returns false when
+  /// nothing was claimable. When the crash plan fires, the daemon is
+  /// dead: the call returns Aborted, in-memory state is abandoned
+  /// without saving (that is the crash), and every later call refuses.
+  Result<bool> RunOne();
+
+  /// RunOne until the queue has nothing claimable.
+  Status Drain();
+
+  /// Graceful shutdown: queue checkpoint + (when the daemon owns its
+  /// sinks) seal and dump trace/metrics. The session snapshots are
+  /// already durable — every committed task saved one.
+  Status Shutdown();
+
+  /// Handles one wire-protocol request line, returns the response line.
+  std::string HandleLine(const std::string& line);
+
+  /// Opens (or returns the already-open) hosted session.
+  Result<ManagedSession*> OpenSession(const std::string& name);
+
+  PersistentQueue& queue() { return *queue_; }
+  ManualClock& clock() { return *clock_; }
+  bool crashed() const { return crashed_; }
+  const std::string& owner() const { return owner_; }
+
+ private:
+  explicit PapyrusDaemon(const DaemonOptions& options);
+
+  /// Draws the crash plan at a pipeline crash point; true = the daemon
+  /// just died.
+  bool MaybeCrash(const char* point);
+  Status CrashStatus(const char* point) const;
+  void TraceInstant(const std::string& name,
+                    std::vector<obs::TraceArg> args);
+  std::string HandleLineImpl(const WireMessage& request);
+  Result<std::string> HandleCheckin(const WireMessage& request);
+
+  DaemonOptions options_;
+  ManualClock owned_clock_{0};
+  ManualClock* clock_;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  std::unique_ptr<obs::TraceRecorder> owned_trace_;
+  obs::Observability obs_;
+  std::string owner_;
+  std::unique_ptr<PersistentQueue> queue_;
+  std::map<std::string, std::unique_ptr<ManagedSession>> sessions_;
+  bool crashed_ = false;
+  bool shut_down_ = false;
+
+  obs::Counter* c_executed_ = nullptr;
+  obs::Counter* c_deduped_ = nullptr;
+  obs::Counter* c_restarts_ = nullptr;
+  obs::Counter* c_crashes_ = nullptr;
+  obs::Counter* c_wire_ = nullptr;
+  obs::Gauge* g_sessions_ = nullptr;
+  obs::Histogram* h_task_latency_ = nullptr;
+};
+
+}  // namespace papyrus::server
+
+#endif  // PAPYRUS_SERVER_DAEMON_H_

@@ -1,0 +1,488 @@
+#include "server/queue.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <sstream>
+
+#include "base/macros.h"
+#include "base/strings.h"
+#include "storage/atomic_file.h"
+
+namespace papyrus::server {
+
+namespace {
+
+constexpr char kJournalFile[] = "queue.pjq";
+constexpr char kCheckpointFile[] = "queue.pjc";
+constexpr char kCheckpointHeader[] = "papyrus-queue v1";
+
+std::string HexHash(std::string_view body) {
+  std::ostringstream out;
+  out << std::hex << Fnv1a(body);
+  return out.str();
+}
+
+/// Appends the ` !<hex>` line checksum the v2 snapshot format uses.
+std::string Stamp(const std::string& body) {
+  return body + " !" + HexHash(body);
+}
+
+/// Validates and strips a line checksum; false on damage.
+bool Unstamp(const std::string& line, std::string* body) {
+  size_t mark = line.rfind(" !");
+  if (mark == std::string::npos) return false;
+  *body = line.substr(0, mark);
+  return HexHash(*body) == line.substr(mark + 2);
+}
+
+/// String fields ride as `~<percent-encoded>` so an empty value still
+/// occupies a whitespace-delimited token (bare `~`), same as the v2
+/// snapshot format.
+std::string EncField(const std::string& s) {
+  return "~" + PercentEncode(s);
+}
+
+std::string DecField(const std::string& token) {
+  if (!token.empty() && token[0] == '~') {
+    return PercentDecode(token.substr(1));
+  }
+  return PercentDecode(token);
+}
+
+const char* StateCode(TaskState s) {
+  switch (s) {
+    case TaskState::kPending:
+      return "p";
+    case TaskState::kClaimed:
+      return "c";
+    case TaskState::kDone:
+      return "d";
+    case TaskState::kFailed:
+      return "f";
+  }
+  return "?";
+}
+
+bool ParseStateCode(const std::string& code, TaskState* out) {
+  if (code == "p") *out = TaskState::kPending;
+  else if (code == "c") *out = TaskState::kClaimed;
+  else if (code == "d") *out = TaskState::kDone;
+  else if (code == "f") *out = TaskState::kFailed;
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+const char* TaskStateName(TaskState state) {
+  switch (state) {
+    case TaskState::kPending:
+      return "pending";
+    case TaskState::kClaimed:
+      return "claimed";
+    case TaskState::kDone:
+      return "done";
+    case TaskState::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+PersistentQueue::PersistentQueue(std::string directory, ManualClock* clock,
+                                 const obs::Observability& obs)
+    : directory_(std::move(directory)),
+      journal_path_(
+          (std::filesystem::path(directory_) / kJournalFile).string()),
+      checkpoint_path_(
+          (std::filesystem::path(directory_) / kCheckpointFile).string()),
+      clock_(clock),
+      obs_(obs) {
+  if (obs_.metrics != nullptr) {
+    c_enqueued_ = obs_.metrics->FindOrCreateCounter(obs::kQueueEnqueued);
+    c_claimed_ = obs_.metrics->FindOrCreateCounter(obs::kQueueClaimed);
+    c_completed_ =
+        obs_.metrics->FindOrCreateCounter(obs::kQueueCompleted);
+    c_failed_ = obs_.metrics->FindOrCreateCounter(obs::kQueueFailed);
+    c_requeued_ = obs_.metrics->FindOrCreateCounter(obs::kQueueRequeued);
+    c_lease_expired_ =
+        obs_.metrics->FindOrCreateCounter(obs::kQueueLeaseExpired);
+    c_recovered_ =
+        obs_.metrics->FindOrCreateCounter(obs::kQueueRecovered);
+    c_checkpoints_ =
+        obs_.metrics->FindOrCreateCounter(obs::kQueueCheckpoints);
+    g_depth_ = obs_.metrics->FindOrCreateGauge(obs::kQueueDepth);
+    h_wait_ = obs_.metrics->FindOrCreateHistogram(
+        obs::kQueueWaitLatency, obs::LatencyBucketBounds());
+  }
+}
+
+Result<std::unique_ptr<PersistentQueue>> PersistentQueue::Open(
+    const std::string& directory, ManualClock* clock,
+    const obs::Observability& obs) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) {
+    return Status::Internal("cannot create queue directory " + directory +
+                            ": " + ec.message());
+  }
+  std::unique_ptr<PersistentQueue> queue(
+      new PersistentQueue(directory, clock, obs));
+  PAPYRUS_RETURN_IF_ERROR(queue->LoadCheckpoint());
+  PAPYRUS_RETURN_IF_ERROR(queue->ReplayJournal());
+  // Recovery invariant: a claim that was never resolved belongs to a
+  // dead incarnation. Its lease holder cannot come back (owners are
+  // per-incarnation tokens), so the task returns to pending for
+  // re-dispatch. The daemon's applied-task ledger dedupes the re-run if
+  // the previous incarnation crashed after the commit landed.
+  for (auto& [id, task] : queue->tasks_) {
+    if (task.state == TaskState::kClaimed) {
+      task.state = TaskState::kPending;
+      task.lease_deadline_micros = 0;
+      ++queue->recovered_;
+      if (queue->c_recovered_ != nullptr) queue->c_recovered_->Increment();
+    }
+  }
+  queue->journal_.open(queue->journal_path_,
+                       std::ios::app | std::ios::binary);
+  if (!queue->journal_) {
+    return Status::Internal("cannot open journal " + queue->journal_path_);
+  }
+  queue->UpdateDepthGauge();
+  return queue;
+}
+
+Status PersistentQueue::LoadCheckpoint() {
+  std::ifstream in(checkpoint_path_, std::ios::binary);
+  if (!in) return Status::OK();  // fresh queue
+  std::string line;
+  if (!std::getline(in, line) || line != kCheckpointHeader) {
+    return Status::Internal("bad queue checkpoint header in " +
+                            checkpoint_path_);
+  }
+  while (std::getline(in, line)) {
+    std::string body;
+    if (!Unstamp(line, &body)) break;  // damaged tail: keep the prefix
+    std::vector<std::string> f = SplitWhitespace(body);
+    if (f.empty()) continue;
+    if (f[0] == "now" && f.size() == 2) {
+      int64_t now = 0;
+      if (ParseInt64(f[1], &now) && clock_->NowMicros() < now) {
+        clock_->SetMicros(now);
+      }
+    } else if (f[0] == "next" && f.size() == 2) {
+      int64_t next = 0;
+      if (ParseInt64(f[1], &next)) next_id_ = std::max(next_id_, next);
+    } else if (f[0] == "t" && f.size() == 10) {
+      QueueTask task;
+      int64_t attempts = 0;
+      if (!ParseInt64(f[1], &task.id) || !ParseStateCode(f[2], &task.state) ||
+          !ParseInt64(f[3], &attempts) ||
+          !ParseInt64(f[4], &task.enqueue_micros) ||
+          !ParseInt64(f[5], &task.lease_deadline_micros)) {
+        continue;
+      }
+      task.attempts = static_cast<int>(attempts);
+      task.session = DecField(f[6]);
+      task.owner = DecField(f[7]);
+      task.description = DecField(f[8]);
+      task.failure = DecField(f[9]);
+      next_id_ = std::max(next_id_, task.id + 1);
+      tasks_[task.id] = std::move(task);
+    }
+  }
+  return Status::OK();
+}
+
+Status PersistentQueue::ReplayJournal() {
+  std::ifstream in(journal_path_, std::ios::binary);
+  if (!in) return Status::OK();
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string body;
+    // A torn or corrupted line ends the valid prefix; everything after
+    // it never durably happened.
+    if (!Unstamp(line, &body)) break;
+    PAPYRUS_RETURN_IF_ERROR(ApplyJournalLine(body));
+  }
+  return Status::OK();
+}
+
+Status PersistentQueue::ApplyJournalLine(const std::string& body) {
+  std::vector<std::string> f = SplitWhitespace(body);
+  if (f.empty()) return Status::OK();
+  int64_t id = 0;
+  if (f.size() < 2 || !ParseInt64(f[1], &id)) return Status::OK();
+  if (f[0] == "e" && f.size() == 5) {
+    // Replay over a newer checkpoint can re-see an enqueue; the
+    // checkpointed task wins.
+    next_id_ = std::max(next_id_, id + 1);
+    if (tasks_.count(id) != 0) return Status::OK();
+    QueueTask task;
+    task.id = id;
+    if (!ParseInt64(f[2], &task.enqueue_micros)) return Status::OK();
+    task.session = DecField(f[3]);
+    task.description = DecField(f[4]);
+    tasks_[id] = std::move(task);
+    return Status::OK();
+  }
+  auto it = tasks_.find(id);
+  if (it == tasks_.end()) return Status::OK();
+  QueueTask& task = it->second;
+  // Terminal states never regress, whatever a stale journal says.
+  if (task.state == TaskState::kDone || task.state == TaskState::kFailed) {
+    return Status::OK();
+  }
+  if (f[0] == "c" && f.size() == 5) {
+    int64_t attempt = 0;
+    int64_t deadline = 0;
+    if (!ParseInt64(f[2], &attempt) || !ParseInt64(f[3], &deadline)) {
+      return Status::OK();
+    }
+    task.state = TaskState::kClaimed;
+    task.attempts = static_cast<int>(attempt);
+    task.lease_deadline_micros = deadline;
+    task.owner = DecField(f[4]);
+  } else if (f[0] == "r" || f[0] == "x") {
+    task.state = TaskState::kPending;
+    task.lease_deadline_micros = 0;
+  } else if (f[0] == "d") {
+    task.state = TaskState::kDone;
+  } else if (f[0] == "f" && f.size() >= 3) {
+    task.state = TaskState::kFailed;
+    task.failure = DecField(f[2]);
+  }
+  return Status::OK();
+}
+
+Status PersistentQueue::AppendJournal(const std::string& body) {
+  journal_ << Stamp(body) << '\n';
+  journal_.flush();
+  if (!journal_) {
+    return Status::Internal("cannot append to journal " + journal_path_);
+  }
+  return Status::OK();
+}
+
+Result<int64_t> PersistentQueue::Enqueue(const std::string& session,
+                                         const std::string& description) {
+  int64_t id = next_id_;
+  std::ostringstream body;
+  body << "e " << id << ' ' << clock_->NowMicros() << ' '
+       << EncField(session) << ' ' << EncField(description);
+  // Journal first: the task exists once this line is on disk, and only
+  // then. A crash right after Enqueue returns cannot lose it.
+  PAPYRUS_RETURN_IF_ERROR(AppendJournal(body.str()));
+  next_id_ = id + 1;
+  QueueTask task;
+  task.id = id;
+  task.session = session;
+  task.description = description;
+  task.enqueue_micros = clock_->NowMicros();
+  tasks_[id] = std::move(task);
+  if (c_enqueued_ != nullptr) c_enqueued_->Increment();
+  UpdateDepthGauge();
+  return id;
+}
+
+Result<std::optional<QueueTask>> PersistentQueue::Claim(
+    const std::string& owner, int64_t lease_micros) {
+  for (auto& [id, task] : tasks_) {
+    if (task.state != TaskState::kPending) continue;
+    int64_t deadline = clock_->NowMicros() + lease_micros;
+    std::ostringstream body;
+    body << "c " << id << ' ' << (task.attempts + 1) << ' ' << deadline
+         << ' ' << EncField(owner);
+    PAPYRUS_RETURN_IF_ERROR(AppendJournal(body.str()));
+    task.state = TaskState::kClaimed;
+    ++task.attempts;
+    task.lease_deadline_micros = deadline;
+    task.owner = owner;
+    if (c_claimed_ != nullptr) c_claimed_->Increment();
+    return std::optional<QueueTask>(task);
+  }
+  return std::optional<QueueTask>();
+}
+
+Status PersistentQueue::Complete(int64_t id, const std::string& owner) {
+  auto it = tasks_.find(id);
+  if (it == tasks_.end()) {
+    return Status::NotFound("no queued task " + std::to_string(id));
+  }
+  QueueTask& task = it->second;
+  if (task.state != TaskState::kClaimed) {
+    return Status::FailedPrecondition(
+        "task " + std::to_string(id) + " is " + TaskStateName(task.state) +
+        ", not claimed");
+  }
+  if (task.owner != owner) {
+    return Status::PermissionDenied(
+        "task " + std::to_string(id) + " is leased to \"" + task.owner +
+        "\", not \"" + owner + "\"");
+  }
+  std::ostringstream body;
+  body << "d " << id << ' ' << clock_->NowMicros();
+  PAPYRUS_RETURN_IF_ERROR(AppendJournal(body.str()));
+  task.state = TaskState::kDone;
+  if (c_completed_ != nullptr) c_completed_->Increment();
+  if (h_wait_ != nullptr) {
+    h_wait_->Observe(clock_->NowMicros() - task.enqueue_micros);
+  }
+  UpdateDepthGauge();
+  return Status::OK();
+}
+
+Status PersistentQueue::Fail(int64_t id, const std::string& owner,
+                             const std::string& reason) {
+  auto it = tasks_.find(id);
+  if (it == tasks_.end()) {
+    return Status::NotFound("no queued task " + std::to_string(id));
+  }
+  QueueTask& task = it->second;
+  if (task.state != TaskState::kClaimed || task.owner != owner) {
+    return Status::FailedPrecondition(
+        "task " + std::to_string(id) + " is not leased to \"" + owner +
+        "\"");
+  }
+  std::ostringstream body;
+  body << "f " << id << ' ' << EncField(reason);
+  PAPYRUS_RETURN_IF_ERROR(AppendJournal(body.str()));
+  task.state = TaskState::kFailed;
+  task.failure = reason;
+  if (c_failed_ != nullptr) c_failed_->Increment();
+  UpdateDepthGauge();
+  return Status::OK();
+}
+
+Status PersistentQueue::Release(int64_t id, const std::string& owner) {
+  auto it = tasks_.find(id);
+  if (it == tasks_.end()) {
+    return Status::NotFound("no queued task " + std::to_string(id));
+  }
+  QueueTask& task = it->second;
+  if (task.state != TaskState::kClaimed || task.owner != owner) {
+    return Status::FailedPrecondition(
+        "task " + std::to_string(id) + " is not leased to \"" + owner +
+        "\"");
+  }
+  std::ostringstream body;
+  body << "r " << id;
+  PAPYRUS_RETURN_IF_ERROR(AppendJournal(body.str()));
+  task.state = TaskState::kPending;
+  task.lease_deadline_micros = 0;
+  if (c_requeued_ != nullptr) c_requeued_->Increment();
+  return Status::OK();
+}
+
+int PersistentQueue::ExpireLeases() {
+  int reaped = 0;
+  int64_t now = clock_->NowMicros();
+  for (auto& [id, task] : tasks_) {
+    if (task.state != TaskState::kClaimed ||
+        task.lease_deadline_micros > now) {
+      continue;
+    }
+    std::ostringstream body;
+    body << "x " << id;
+    if (!AppendJournal(body.str()).ok()) continue;
+    task.state = TaskState::kPending;
+    task.lease_deadline_micros = 0;
+    ++reaped;
+    if (c_lease_expired_ != nullptr) c_lease_expired_->Increment();
+  }
+  return reaped;
+}
+
+Status PersistentQueue::Checkpoint() {
+  std::ostringstream out;
+  out << kCheckpointHeader << '\n';
+  {
+    std::ostringstream body;
+    body << "now " << clock_->NowMicros();
+    out << Stamp(body.str()) << '\n';
+  }
+  {
+    std::ostringstream body;
+    body << "next " << next_id_;
+    out << Stamp(body.str()) << '\n';
+  }
+  for (const auto& [id, task] : tasks_) {
+    std::ostringstream body;
+    body << "t " << id << ' ' << StateCode(task.state) << ' '
+         << task.attempts << ' ' << task.enqueue_micros << ' '
+         << task.lease_deadline_micros << ' '
+         << EncField(task.session) << ' ' << EncField(task.owner)
+         << ' ' << EncField(task.description) << ' '
+         << EncField(task.failure);
+    out << Stamp(body.str()) << '\n';
+  }
+  // Checkpoint lands atomically first; only then is the journal
+  // truncated. A crash in between replays the stale journal over the new
+  // checkpoint, which is idempotent by construction.
+  PAPYRUS_RETURN_IF_ERROR(
+      storage::AtomicWriteFile(checkpoint_path_, out.str()));
+  journal_.close();
+  PAPYRUS_RETURN_IF_ERROR(storage::AtomicWriteFile(journal_path_, ""));
+  journal_.open(journal_path_, std::ios::app | std::ios::binary);
+  if (!journal_) {
+    return Status::Internal("cannot reopen journal " + journal_path_);
+  }
+  if (c_checkpoints_ != nullptr) c_checkpoints_->Increment();
+  return Status::OK();
+}
+
+int64_t PersistentQueue::depth() const {
+  return PendingCount() + ClaimedCount();
+}
+
+int64_t PersistentQueue::PendingCount() const {
+  int64_t n = 0;
+  for (const auto& [id, t] : tasks_) {
+    if (t.state == TaskState::kPending) ++n;
+  }
+  return n;
+}
+
+int64_t PersistentQueue::ClaimedCount() const {
+  int64_t n = 0;
+  for (const auto& [id, t] : tasks_) {
+    if (t.state == TaskState::kClaimed) ++n;
+  }
+  return n;
+}
+
+int64_t PersistentQueue::DoneCount() const {
+  int64_t n = 0;
+  for (const auto& [id, t] : tasks_) {
+    if (t.state == TaskState::kDone) ++n;
+  }
+  return n;
+}
+
+int64_t PersistentQueue::FailedCount() const {
+  int64_t n = 0;
+  for (const auto& [id, t] : tasks_) {
+    if (t.state == TaskState::kFailed) ++n;
+  }
+  return n;
+}
+
+Result<QueueTask> PersistentQueue::Get(int64_t id) const {
+  auto it = tasks_.find(id);
+  if (it == tasks_.end()) {
+    return Status::NotFound("no queued task " + std::to_string(id));
+  }
+  return it->second;
+}
+
+std::vector<QueueTask> PersistentQueue::Tasks() const {
+  std::vector<QueueTask> out;
+  out.reserve(tasks_.size());
+  for (const auto& [id, t] : tasks_) out.push_back(t);
+  return out;
+}
+
+void PersistentQueue::UpdateDepthGauge() {
+  if (g_depth_ != nullptr) g_depth_->Set(depth());
+}
+
+}  // namespace papyrus::server

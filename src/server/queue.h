@@ -1,0 +1,162 @@
+#ifndef PAPYRUS_SERVER_QUEUE_H_
+#define PAPYRUS_SERVER_QUEUE_H_
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/clock.h"
+#include "base/result.h"
+#include "base/status.h"
+#include "obs/observability.h"
+
+namespace papyrus::server {
+
+/// Lifecycle of a queued task:
+///
+///   pending --Claim--> claimed --Complete--> done
+///      ^                  |   \--Fail-----> failed
+///      |                  |
+///      +---Release--------+        (execution error, retry later)
+///      +---ExpireLeases---+        (lease deadline passed)
+///      +---Open-----------+        (daemon restart: claims are orphaned)
+enum class TaskState { kPending, kClaimed, kDone, kFailed };
+
+const char* TaskStateName(TaskState state);
+
+/// One task in the persistent queue.
+struct QueueTask {
+  int64_t id = 0;
+  std::string session;      // target session name
+  std::string description;  // encoded wire::TaskDescription, verbatim
+  TaskState state = TaskState::kPending;
+  /// Claims granted so far (== execution attempts started).
+  int attempts = 0;
+  int64_t enqueue_micros = 0;
+  /// Virtual-time deadline of the current lease (claimed tasks only).
+  int64_t lease_deadline_micros = 0;
+  /// Claim token of the current (or last) lease holder.
+  std::string owner;
+  /// Failure reason (failed tasks only).
+  std::string failure;
+};
+
+/// The crash-surviving task queue behind papyrusd.
+///
+/// Durability = an append-only journal (`queue.pjq`) replayed over the
+/// last atomic checkpoint (`queue.pjc`). Every state transition is
+/// journaled *before* it takes effect in memory: a task is on disk from
+/// the moment Enqueue returns, and a claim, completion, or failure that
+/// was acknowledged survives any later crash. Journal lines carry the
+/// same ` !<hex>` FNV-1a line checksums as the v2 snapshot format; replay
+/// stops at the first damaged line, recovering the longest valid prefix.
+///
+/// Leases make dispatch crash-safe without distributed coordination: a
+/// claim holds a virtual-time lease, and a lease that expires (or is
+/// found dangling when the queue reopens after a crash) returns the task
+/// to pending for re-dispatch. Combined with the daemon's applied-task
+/// ledger this yields at-least-once execution with exactly-once commit.
+///
+/// Single-threaded like the rest of the engine: all calls from the
+/// daemon thread.
+class PersistentQueue {
+ public:
+  /// Opens (creating if needed) the queue stored in `directory`.
+  /// Restores checkpoint + journal, re-pends any claimed task
+  /// (`recovered()` counts them), and restores `clock` to the last
+  /// persisted virtual time when it is behind it.
+  static Result<std::unique_ptr<PersistentQueue>> Open(
+      const std::string& directory, ManualClock* clock,
+      const obs::Observability& obs = {});
+
+  PersistentQueue(const PersistentQueue&) = delete;
+  PersistentQueue& operator=(const PersistentQueue&) = delete;
+
+  /// Journals and enqueues a task; returns its queue id.
+  Result<int64_t> Enqueue(const std::string& session,
+                          const std::string& description);
+
+  /// Claims the lowest-id pending task under a `lease_micros` lease held
+  /// by `owner`. Returns nullopt when nothing is pending.
+  Result<std::optional<QueueTask>> Claim(const std::string& owner,
+                                         int64_t lease_micros);
+
+  /// Marks a task done. Only the current lease holder may complete it —
+  /// a stale owner whose lease was reaped and re-claimed is rejected, so
+  /// two daemons can never both think they committed the same task.
+  Status Complete(int64_t id, const std::string& owner);
+
+  /// Marks a task permanently failed (attempt budget exhausted).
+  Status Fail(int64_t id, const std::string& owner,
+              const std::string& reason);
+
+  /// Returns a claimed task to pending before its lease expires (the
+  /// execution hit a retryable error). Lease-holder checked like
+  /// Complete.
+  Status Release(int64_t id, const std::string& owner);
+
+  /// Reaps every lease whose deadline has passed; the tasks go back to
+  /// pending. Returns how many were reaped.
+  int ExpireLeases();
+
+  /// Writes an atomic checkpoint of the full queue state and truncates
+  /// the journal. Crash-safe in both orders: the checkpoint lands via
+  /// write-rename-fsync first, and replaying the old journal over it is
+  /// idempotent.
+  Status Checkpoint();
+
+  // --- introspection ----------------------------------------------------
+
+  /// Tasks not yet done or failed.
+  int64_t depth() const;
+  int64_t PendingCount() const;
+  int64_t ClaimedCount() const;
+  int64_t DoneCount() const;
+  int64_t FailedCount() const;
+  /// Claimed tasks re-pended while reopening after a crash.
+  int64_t recovered() const { return recovered_; }
+
+  Result<QueueTask> Get(int64_t id) const;
+  /// Snapshot of every task, by id.
+  std::vector<QueueTask> Tasks() const;
+
+ private:
+  PersistentQueue(std::string directory, ManualClock* clock,
+                  const obs::Observability& obs);
+
+  Status LoadCheckpoint();
+  Status ReplayJournal();
+  Status ApplyJournalLine(const std::string& body);
+  Status AppendJournal(const std::string& body);
+  void UpdateDepthGauge();
+
+  std::string directory_;
+  std::string journal_path_;
+  std::string checkpoint_path_;
+  ManualClock* clock_;
+  obs::Observability obs_;
+
+  std::map<int64_t, QueueTask> tasks_;
+  int64_t next_id_ = 1;
+  int64_t recovered_ = 0;
+  std::ofstream journal_;
+
+  obs::Counter* c_enqueued_ = nullptr;
+  obs::Counter* c_claimed_ = nullptr;
+  obs::Counter* c_completed_ = nullptr;
+  obs::Counter* c_failed_ = nullptr;
+  obs::Counter* c_requeued_ = nullptr;
+  obs::Counter* c_lease_expired_ = nullptr;
+  obs::Counter* c_recovered_ = nullptr;
+  obs::Counter* c_checkpoints_ = nullptr;
+  obs::Gauge* g_depth_ = nullptr;
+  obs::Histogram* h_wait_ = nullptr;
+};
+
+}  // namespace papyrus::server
+
+#endif  // PAPYRUS_SERVER_QUEUE_H_

@@ -1,0 +1,255 @@
+#include "server/session_manager.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <tuple>
+#include <vector>
+
+#include "base/macros.h"
+#include "base/strings.h"
+#include "storage/atomic_file.h"
+
+namespace papyrus::server {
+
+namespace {
+
+constexpr char kCurrentFile[] = "CURRENT";
+constexpr char kStateFile[] = "state.pss";
+constexpr char kStateHeader[] = "papyrus-session-state v1";
+constexpr char kSnapshotPrefix[] = "snap.";
+
+Result<std::string> ReadFileText(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot read " + path.string());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+ManagedSession::ManagedSession(std::string directory, std::string name)
+    : directory_(std::move(directory)), name_(std::move(name)) {}
+
+Result<std::unique_ptr<ManagedSession>> ManagedSession::Open(
+    const std::string& directory, const std::string& name,
+    const SessionConfig& config, const obs::Observability& obs) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) {
+    return Status::Internal("cannot create session directory " +
+                            directory + ": " + ec.message());
+  }
+  std::unique_ptr<ManagedSession> managed(
+      new ManagedSession(directory, name));
+
+  SessionOptions options;
+  options.num_workstations = config.num_workstations;
+  options.worker_threads = config.worker_threads;
+  options.cache_interval = config.cache_interval;
+  managed->session_ = std::make_unique<Papyrus>(options);
+  // Rebind the session's instrumented subsystems to the daemon's sinks
+  // so one registry and one trace span every session and incarnation.
+  if (obs.trace != nullptr || obs.metrics != nullptr) {
+    managed->session_->database().set_observability(obs);
+    managed->session_->network().set_observability(obs);
+    managed->session_->task_manager().set_observability(obs);
+    managed->session_->step_cache().set_observability(obs);
+  }
+
+  auto current = ReadFileText(
+      std::filesystem::path(directory) / kCurrentFile);
+  if (current.ok()) {
+    std::string snapshot(Trim(*current));
+    if (!StartsWith(snapshot, kSnapshotPrefix) ||
+        !ParseInt64(snapshot.substr(sizeof(kSnapshotPrefix) - 1),
+                    &managed->generation_)) {
+      return Status::Internal("bad CURRENT pointer \"" + snapshot +
+                              "\" in " + directory);
+    }
+    PAPYRUS_RETURN_IF_ERROR(managed->Restore(snapshot));
+  }
+
+  // Intra-session chaos lands after restore so crash times are relative
+  // to the restored virtual clock.
+  if (config.fault.seed != 0) {
+    managed->fault_plan_ =
+        std::make_unique<fault::FaultPlan>(config.fault);
+    if (obs.trace != nullptr || obs.metrics != nullptr) {
+      managed->fault_plan_->set_observability(obs);
+    } else {
+      managed->fault_plan_->set_observability(
+          managed->session_->observability());
+    }
+    PAPYRUS_RETURN_IF_ERROR(managed->fault_plan_->Apply(
+        &managed->session_->network(), &managed->session_->tools()));
+  }
+  return managed;
+}
+
+Status ManagedSession::Restore(const std::string& snapshot_dir) {
+  std::filesystem::path dir =
+      std::filesystem::path(directory_) / snapshot_dir;
+  PAPYRUS_RETURN_IF_ERROR(session_->LoadSession(dir.string()));
+  PAPYRUS_ASSIGN_OR_RETURN(std::string state_text,
+                           ReadFileText(dir / kStateFile));
+  PAPYRUS_RETURN_IF_ERROR(RestoreState(state_text));
+  return ReplayMetadata();
+}
+
+Status ManagedSession::RestoreState(const std::string& state_text) {
+  std::istringstream in(state_text);
+  std::string line;
+  if (!std::getline(in, line) || line != kStateHeader) {
+    return Status::Internal("bad session state header for " + name_);
+  }
+  while (std::getline(in, line)) {
+    std::vector<std::string> f = SplitWhitespace(line);
+    if (f.empty()) continue;
+    if (f[0] == "clock" && f.size() == 2) {
+      int64_t micros = 0;
+      if (!ParseInt64(f[1], &micros)) {
+        return Status::Internal("bad clock line in session state");
+      }
+      // The restored history's timestamps end here; new work must
+      // continue from the same virtual instant for byte-identity.
+      session_->clock().SetMicros(micros);
+    } else if (f[0] == "nextexec" && f.size() == 2) {
+      int64_t next = 0;
+      if (!ParseInt64(f[1], &next)) {
+        return Status::Internal("bad nextexec line in session state");
+      }
+      session_->task_manager().set_next_execution_id(
+          static_cast<int>(next));
+    } else if (f[0] == "applied" && f.size() == 4) {
+      int64_t task_id = 0;
+      int64_t thread_id = 0;
+      int64_t node_id = 0;
+      if (!ParseInt64(f[1], &task_id) || !ParseInt64(f[2], &thread_id) ||
+          !ParseInt64(f[3], &node_id)) {
+        return Status::Internal("bad applied line in session state");
+      }
+      applied_[task_id] = {static_cast<int>(thread_id),
+                           static_cast<activity::NodeId>(node_id)};
+    }
+  }
+  return Status::OK();
+}
+
+std::string ManagedSession::SerializeState() const {
+  std::ostringstream out;
+  out << kStateHeader << '\n';
+  out << "clock " << session_->clock().NowMicros() << '\n';
+  out << "nextexec " << session_->task_manager().next_execution_id()
+      << '\n';
+  for (const auto& [task_id, where] : applied_) {
+    out << "applied " << task_id << ' ' << where.first << ' '
+        << where.second << '\n';
+  }
+  return out.str();
+}
+
+Status ManagedSession::ReplayMetadata() {
+  // Metadata inference state is not persisted; re-observe every restored
+  // record in commit order (commit timestamps strictly increase under
+  // the serial daemon, so the order is the live observation order).
+  struct Entry {
+    int64_t micros;
+    int thread_id;
+    activity::NodeId node_id;
+    const task::TaskHistoryRecord* record;
+  };
+  std::vector<Entry> entries;
+  for (int thread_id : session_->activity().ThreadIds()) {
+    auto thread = session_->activity().GetThread(thread_id);
+    if (!thread.ok()) continue;
+    for (const auto& [node_id, node] : (*thread)->nodes()) {
+      if (node.is_junction || node.record.task_name.empty()) continue;
+      entries.push_back(
+          {node.appended_micros, thread_id, node_id, &node.record});
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) {
+              return std::tie(a.micros, a.thread_id, a.node_id) <
+                     std::tie(b.micros, b.thread_id, b.node_id);
+            });
+  for (const Entry& e : entries) {
+    PAPYRUS_RETURN_IF_ERROR(session_->metadata().Observe(*e.record));
+  }
+  return Status::OK();
+}
+
+Result<activity::NodeId> ManagedSession::AppliedNode(
+    int64_t task_id) const {
+  auto it = applied_.find(task_id);
+  if (it == applied_.end()) {
+    return Status::NotFound("task " + std::to_string(task_id) +
+                            " not applied in session " + name_);
+  }
+  return it->second.second;
+}
+
+Result<int> ManagedSession::ThreadByName(const std::string& thread_name) {
+  for (int id : session_->activity().ThreadIds()) {
+    auto thread = session_->activity().GetThread(id);
+    if (thread.ok() && (*thread)->name() == thread_name) return id;
+  }
+  return session_->CreateThread(thread_name);
+}
+
+Result<activity::NodeId> ManagedSession::Execute(
+    int64_t task_id, const TaskDescription& desc) {
+  PAPYRUS_ASSIGN_OR_RETURN(int thread_id, ThreadByName(desc.thread));
+  activity::ActivityInvocation inv;
+  inv.template_name = desc.template_name;
+  inv.input_refs = desc.input_refs;
+  inv.output_names = desc.output_names;
+  inv.option_overrides = desc.option_overrides;
+  inv.seed = desc.seed;
+  PAPYRUS_ASSIGN_OR_RETURN(
+      activity::NodeId node,
+      session_->activity().InvokeTask(thread_id, inv));
+  applied_[task_id] = {thread_id, node};
+  return node;
+}
+
+Status ManagedSession::Save() {
+  int64_t next_gen = generation_ + 1;
+  std::string snapshot = kSnapshotPrefix + std::to_string(next_gen);
+  std::filesystem::path dir =
+      std::filesystem::path(directory_) / snapshot;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create " + dir.string() + ": " +
+                            ec.message());
+  }
+  PAPYRUS_RETURN_IF_ERROR(session_->SaveSession(dir.string()));
+  PAPYRUS_RETURN_IF_ERROR(storage::AtomicWriteFile(
+      (dir / kStateFile).string(), SerializeState()));
+  // The generation exists in full; only now may CURRENT point at it. A
+  // crash before this line leaves the previous generation authoritative
+  // (the half-built one is pruned on the next Save); a crash after it
+  // leaves the new one. There is no in-between.
+  PAPYRUS_RETURN_IF_ERROR(storage::AtomicWriteFile(
+      (std::filesystem::path(directory_) / kCurrentFile).string(),
+      snapshot));
+  generation_ = next_gen;
+  // Older generations (and aborted half-writes) are garbage; reclaim
+  // best-effort.
+  for (const auto& entry :
+       std::filesystem::directory_iterator(directory_, ec)) {
+    if (!entry.is_directory()) continue;
+    std::string base = entry.path().filename().string();
+    if (StartsWith(base, kSnapshotPrefix) && base != snapshot) {
+      std::error_code remove_ec;
+      std::filesystem::remove_all(entry.path(), remove_ec);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace papyrus::server

@@ -1,0 +1,109 @@
+#ifndef PAPYRUS_SERVER_SESSION_MANAGER_H_
+#define PAPYRUS_SERVER_SESSION_MANAGER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "activity/design_thread.h"
+#include "core/papyrus.h"
+#include "fault/fault_plan.h"
+#include "obs/observability.h"
+#include "server/wire.h"
+
+namespace papyrus::server {
+
+/// Session-shaping knobs the daemon applies to every hosted session (the
+/// daemon-config face of core::SessionOptions).
+struct SessionConfig {
+  int num_workstations = 4;
+  int worker_threads = task::DefaultWorkerThreads();
+  int cache_interval = 8;
+  /// Intra-session chaos: when `fault.seed != 0` the plan is applied to
+  /// each session incarnation's network + tool registry. Note the plan
+  /// schedules crashes at absolute virtual times, so runs that restart
+  /// mid-flow see different chaos than crash-free runs — exactly-once
+  /// commit still holds, byte-for-byte trace equality does not.
+  fault::FaultPlanOptions fault = {.seed = 0};
+};
+
+/// One design session hosted by papyrusd, durably backed by generation
+/// snapshots:
+///
+///   <dir>/CURRENT            -> "snap.<gen>" (atomic pointer swap)
+///   <dir>/snap.<gen>/        database.pdb, thread_*.pth, cache.pdc,
+///                            state.pss
+///
+/// `state.pss` carries what core session snapshots do not: the session's
+/// virtual clock, the task manager's execution-id counter (intermediate
+/// object names embed it), and the applied-task ledger mapping queue
+/// task ids to committed history nodes.
+///
+/// Recovery invariant: a generation becomes visible only after every one
+/// of its files landed (each written via write-rename-fsync) *and* the
+/// CURRENT pointer swapped to it. The ledger inside the generation
+/// therefore tells exactly which queue tasks' effects are durable: the
+/// daemon skips execution of any re-delivered task the ledger already
+/// contains — at-least-once delivery, exactly-once commit — and because
+/// clock + execution ids + histories restore bit-faithfully, a re-run of
+/// a task whose effects were lost reproduces them byte-identically.
+class ManagedSession {
+ public:
+  /// Opens (restoring from CURRENT, or creating fresh) the session named
+  /// `name` stored under `directory`. Subsystem metrics and traces are
+  /// rebound to `obs` when provided, so one daemon-lifetime registry and
+  /// trace span every session and incarnation.
+  static Result<std::unique_ptr<ManagedSession>> Open(
+      const std::string& directory, const std::string& name,
+      const SessionConfig& config, const obs::Observability& obs = {});
+
+  ManagedSession(const ManagedSession&) = delete;
+  ManagedSession& operator=(const ManagedSession&) = delete;
+
+  const std::string& name() const { return name_; }
+  Papyrus& session() { return *session_; }
+  int64_t generation() const { return generation_; }
+
+  /// True when `task_id`'s effects are already durably committed (the
+  /// ledger entry rode a CURRENT-visible generation).
+  bool HasApplied(int64_t task_id) const {
+    return applied_.count(task_id) != 0;
+  }
+  /// The committed history node of an applied task.
+  Result<activity::NodeId> AppliedNode(int64_t task_id) const;
+
+  /// Resolves the named design thread, creating it on first use.
+  Result<int> ThreadByName(const std::string& thread_name);
+
+  /// Runs a task description in this session and records it in the
+  /// in-memory applied ledger. The effects are durable only after the
+  /// next Save() — the daemon saves before acknowledging the queue.
+  Result<activity::NodeId> Execute(int64_t task_id,
+                                   const TaskDescription& desc);
+
+  /// Durably persists a new snapshot generation and swaps CURRENT to it.
+  Status Save();
+
+ private:
+  ManagedSession(std::string directory, std::string name);
+
+  Status Restore(const std::string& snapshot_dir);
+  Status RestoreState(const std::string& state_text);
+  std::string SerializeState() const;
+  /// Re-derives the ADG by re-observing every restored history record in
+  /// commit order (metadata inference state is not persisted).
+  Status ReplayMetadata();
+
+  std::string directory_;
+  std::string name_;
+  std::unique_ptr<Papyrus> session_;
+  std::unique_ptr<fault::FaultPlan> fault_plan_;
+  int64_t generation_ = 0;
+  /// queue task id -> (thread id, committed node id)
+  std::map<int64_t, std::pair<int, activity::NodeId>> applied_;
+};
+
+}  // namespace papyrus::server
+
+#endif  // PAPYRUS_SERVER_SESSION_MANAGER_H_

@@ -1,0 +1,31 @@
+#ifndef PAPYRUS_STORAGE_ATOMIC_FILE_H_
+#define PAPYRUS_STORAGE_ATOMIC_FILE_H_
+
+#include <string>
+
+#include "base/status.h"
+
+namespace papyrus::storage {
+
+/// Durably replaces the file at `path` with `content`:
+///
+///   1. writes `content` to `<path>.tmp` and flushes it,
+///   2. fsyncs the temp file so the bytes (not just the metadata) are on
+///      stable storage before the swap,
+///   3. atomically renames the temp file over `path`,
+///   4. fsyncs the containing directory so the rename itself survives a
+///      host crash.
+///
+/// A crash at any point leaves either the previous file or the complete
+/// new one — never a torn or half-written snapshot. Every durable save
+/// path in the tree (session snapshots, `cache.pdc`, the daemon's queue
+/// checkpoints and `CURRENT` pointers) funnels through this helper so the
+/// temp-file dance is written exactly once.
+///
+/// On failure the temp file is removed (best effort) and the previous
+/// `path` contents are untouched.
+Status AtomicWriteFile(const std::string& path, const std::string& content);
+
+}  // namespace papyrus::storage
+
+#endif  // PAPYRUS_STORAGE_ATOMIC_FILE_H_

@@ -1107,6 +1107,22 @@ bool Execution::DispatchDueRetries() {
     }
     PendingRetry retry = std::move(retry_queue_[i]);
     retry_queue_.erase(retry_queue_.begin() + i);
+    Status st = DispatchStep(retry.step);
+    if (st.IsUnavailable()) {
+      // No host could take the process (e.g. a crash took the home node
+      // down): the step was *not* re-dispatched, so it must not count as
+      // a retry — it goes back on the backoff queue and is counted when a
+      // dispatch actually happens. Counting here *and* on the eventual
+      // successful pop double-counted papyrus.steps.retried after a host
+      // crash.
+      if (!RequeueEnvironmental(retry.step)) {
+        FailStep(retry.step, cadtools::kToolExitTransient,
+                 st.message() + " (retries exhausted)", now,
+                 sprite::kNoHost);
+        return true;
+      }
+      continue;
+    }
     ++steps_retried_;
     mgr_->c_steps_retried_->Increment();
     if (obs::TraceRecorder* tr = trace()) {
@@ -1118,15 +1134,7 @@ bool Execution::DispatchDueRetries() {
       observer_->OnStepRetried(retry.step.name, retry.step.attempt,
                                retry.backoff_micros);
     }
-    Status st = DispatchStep(retry.step);
-    if (st.IsUnavailable()) {
-      if (!RequeueEnvironmental(retry.step)) {
-        FailStep(retry.step, cadtools::kToolExitTransient,
-                 st.message() + " (retries exhausted)", now,
-                 sprite::kNoHost);
-        return true;
-      }
-    } else if (!st.ok()) {
+    if (!st.ok()) {
       pending_abort_ = true;
       abort_status_ = st;
       return true;

@@ -206,6 +206,15 @@ class TaskManager {
   void set_worker_threads(int n);
   int worker_threads() const;
 
+  /// The execution-id counter behind intermediate object names (each
+  /// execution's intermediates are suffixed ".p<exec id>"). A restored
+  /// session must continue the counter where the snapshot left off so
+  /// re-run work names its intermediates identically; the daemon
+  /// persists this in its per-generation session state. Engine thread,
+  /// between invocations only.
+  void set_next_execution_id(int id) { next_execution_id_ = id; }
+  int next_execution_id() const { return next_execution_id_; }
+
   oct::OctDatabase* database() const { return db_; }
   const cadtools::ToolRegistry* tools() const { return tools_; }
   sprite::Network* network() const { return network_; }

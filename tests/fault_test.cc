@@ -286,5 +286,52 @@ TEST(FaultPlanTest, TransientInjectionsAreCountedAndRetryable) {
   }
 }
 
+// Regression: a backed-off retry that pops while every host is still down
+// is *not* a retry — the step was never re-dispatched. The old code
+// incremented papyrus.steps.retried on that dead pop *and* again when the
+// dispatch finally landed, double-counting one environmental failure.
+TEST(FaultRetryAccountingTest,
+     UnavailableDispatchDoesNotDoubleCountRetries) {
+  ManualClock clock(0);
+  oct::OctDatabase db(&clock);
+  sprite::Network network(&clock, 2);
+  auto registry = cadtools::CreateStandardRegistry();
+  tdl::TemplateLibrary library;
+  ASSERT_TRUE(tdl::RegisterThesisTemplates(&library).ok());
+  task::TaskManager manager(&db, registry.get(), &network, &library);
+
+  auto cell = db.CreateVersion(
+      "cell", oct::Layout{.num_cells = 4, .area = 400.0, .seed = 1});
+  ASSERT_TRUE(cell.ok());
+
+  // Take the whole network down before dispatch. The initial dispatch is
+  // Unavailable and backs off (ready at t=1000). The owner event at
+  // t=1200 is filler: it advances virtual time past the backoff deadline
+  // while every host is still dead, so the retry queue pops exactly once
+  // into an Unavailable dispatch before the home host returns at t=5000.
+  ASSERT_TRUE(network.CrashHost(0).ok());
+  ASSERT_TRUE(network.CrashHost(1).ok());
+  ASSERT_TRUE(network.ScheduleOwnerEvent(1, 1'200, true).ok());
+  ASSERT_TRUE(network.RebootHost(0, 5'000).ok());
+
+  task::TaskInvocation inv;
+  inv.template_name = "Padp";
+  inv.inputs = {*cell};
+  inv.output_names = {"cell.padded"};
+  inv.seed = 7;
+  inv.max_step_retries = 6;
+  auto rec = manager.Invoke(inv);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+
+  // Two backoffs happened (1000 then 2000 virtual micros), proving the
+  // dead pop occurred...
+  EXPECT_EQ(rec->backoff_micros_total, 3'000);
+  // ...but only one actual re-dispatch: the dead pop at t=1200 must not
+  // count (the buggy code reported 2 here).
+  EXPECT_EQ(rec->steps_retried, 1);
+  EXPECT_EQ(manager.steps_retried(), 1);
+  EXPECT_EQ(manager.flow_violations(), 0);
+}
+
 }  // namespace
 }  // namespace papyrus::fault

@@ -84,6 +84,35 @@ TEST(DatabasePersistenceTest, RoundTripsAllStateBits) {
   EXPECT_EQ(v3->version, 3);
 }
 
+TEST(DatabasePersistenceTest, FullRangeSeedsRoundTrip) {
+  // Tool-derived payload seeds are raw 64-bit hashes, routinely above
+  // INT64_MAX; restoring them through a signed parser silently zeroed
+  // them (breaking byte-identical re-serialization after recovery).
+  constexpr uint64_t kBig = 15855573893945410426ull;
+  ManualClock clock(0);
+  oct::OctDatabase db(&clock);
+  auto logic =
+      db.CreateVersion("n", LogicNetwork{.minterms = 3, .seed = kBig});
+  auto layout = db.CreateVersion("l", Layout{.num_cells = 1, .seed = kBig});
+  auto behav = db.CreateVersion(
+      "b", oct::BehavioralSpec{.num_inputs = 1, .seed = kBig});
+  ASSERT_TRUE(logic.ok() && layout.ok() && behav.ok());
+
+  std::string snapshot = SerializeDatabase(db);
+  ManualClock clock2(0);
+  auto restored = RestoreDatabase(snapshot, &clock2);
+  ASSERT_TRUE(restored.ok());
+  auto lrec = (*restored)->Get(*logic);
+  auto yrec = (*restored)->Get(*layout);
+  auto brec = (*restored)->Get(*behav);
+  ASSERT_TRUE(lrec.ok() && yrec.ok() && brec.ok());
+  EXPECT_EQ(std::get<LogicNetwork>((*lrec)->payload).seed, kBig);
+  EXPECT_EQ(std::get<Layout>((*yrec)->payload).seed, kBig);
+  EXPECT_EQ(std::get<oct::BehavioralSpec>((*brec)->payload).seed, kBig);
+  // Re-serialization of the restored database is byte-identical.
+  EXPECT_EQ(SerializeDatabase(**restored), snapshot);
+}
+
 TEST(DatabasePersistenceTest, RejectsGarbage) {
   ManualClock clock(0);
   EXPECT_FALSE(RestoreDatabase("not a snapshot", &clock).ok());

@@ -1,8 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
 #include "activity/design_thread.h"
 #include "base/clock.h"
 #include "oct/database.h"
+#include "storage/atomic_file.h"
 #include "storage/reclamation.h"
 
 namespace papyrus::storage {
@@ -232,6 +238,38 @@ TEST_F(ReclamationTest, DeadBranchPruningSparesCurrentCursor) {
   ASSERT_TRUE(report.ok());
   EXPECT_EQ(report->records_affected, 0);
   EXPECT_EQ(thread_.size(), 1);
+}
+
+TEST(AtomicFileTest, WritesAndOverwritesWithoutResidue) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::path(::testing::TempDir()) / "atomic_file";
+  fs::create_directories(dir);
+  fs::path target = dir / "data.txt";
+
+  ASSERT_TRUE(AtomicWriteFile(target.string(), "first\n").ok());
+  ASSERT_TRUE(AtomicWriteFile(target.string(), "second\n").ok());
+  std::ifstream in(target, std::ios::binary);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), "second\n");
+
+  // The write-rename dance leaves no temporary files behind.
+  int entries = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    (void)entry;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1);
+}
+
+TEST(AtomicFileTest, FailsCleanlyOnMissingDirectory) {
+  namespace fs = std::filesystem;
+  fs::path bogus =
+      fs::path(::testing::TempDir()) / "atomic_missing" / "nested" / "f";
+  fs::remove_all(fs::path(::testing::TempDir()) / "atomic_missing");
+  Status st = AtomicWriteFile(bogus.string(), "x");
+  EXPECT_FALSE(st.ok());
+  EXPECT_FALSE(fs::exists(bogus));
 }
 
 TEST_F(ReclamationTest, BytesReclaimedAccumulatesAcrossPasses) {

@@ -1,0 +1,136 @@
+// papyrusd: the multi-session Papyrus daemon, spoken to over a
+// line-based wire protocol on stdin/stdout.
+//
+//   papyrusd --root DIR [--jobs N] [--lease-micros N] [--max-attempts N]
+//            [--trace FILE] [--metrics FILE]
+//
+// Requests are single lines, `verb ~key=value ...` with percent-escaped
+// values; every request gets exactly one `ok ...` or `err ...` response
+// line. Verbs: ping, checkin, submit, run, drain, stat, task, sessions,
+// checkpoint, shutdown.
+//
+//   echo 'ping' | papyrusd --root /tmp/pd
+//
+//   checkin ~session=alpha ~path=/proj/spec ~type=behav ~inputs=8
+//       ~outputs=8 ~complexity=12 ~seed=7          (one line)
+//   submit ~session=alpha ~thread=synth ~template=Structure_Synthesis
+//       ~in=/proj/spec ~in=/proj/sim.cmd ~out=s.layout ~out=s.stats
+//   drain
+//
+// Every task is journaled into the crash-surviving queue under
+// --root/queue before it is acknowledged, and every session snapshot
+// under --root/sessions/<name> is durable before the task completes:
+// kill the process at any instant and the next papyrusd on the same
+// root resumes with nothing lost and nothing executed twice.
+//
+// For seeded crash-injection soaks (the queue-chaos CI job) use
+// --chaos-seed/--chaos-rate/--chaos-max: an injected crash terminates
+// the process with exit code 42 so a supervisor loop can restart it.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "base/strings.h"
+#include "server/daemon.h"
+
+namespace {
+
+void PrintUsage(std::ostream& os) {
+  os << "usage: papyrusd --root DIR [--jobs N] [--lease-micros N]\n"
+     << "                [--max-attempts N] [--trace FILE]"
+     << " [--metrics FILE]\n"
+     << "                [--chaos-seed S --chaos-rate R --chaos-max M]\n"
+     << "Reads wire-protocol lines from stdin, answers one line each on\n"
+     << "stdout. EOF or a `shutdown` request ends the daemon"
+     << " gracefully.\n";
+}
+
+int64_t ToInt(const char* s, int64_t fallback) {
+  int64_t v = 0;
+  return papyrus::ParseInt64(s, &v) ? v : fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  papyrus::server::DaemonOptions options;
+  uint64_t chaos_seed = 0;
+  double chaos_rate = 0.0;
+  int chaos_max = 0;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--root") == 0) {
+      options.root = next("--root");
+    } else if (std::strcmp(argv[i], "--jobs") == 0) {
+      options.session.worker_threads =
+          static_cast<int>(ToInt(next("--jobs"), 1));
+    } else if (std::strcmp(argv[i], "--lease-micros") == 0) {
+      options.lease_micros =
+          ToInt(next("--lease-micros"), options.lease_micros);
+    } else if (std::strcmp(argv[i], "--max-attempts") == 0) {
+      options.max_task_attempts = static_cast<int>(
+          ToInt(next("--max-attempts"), options.max_task_attempts));
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      options.trace_path = next("--trace");
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      options.metrics_path = next("--metrics");
+    } else if (std::strcmp(argv[i], "--chaos-seed") == 0) {
+      chaos_seed = static_cast<uint64_t>(ToInt(next("--chaos-seed"), 0));
+    } else if (std::strcmp(argv[i], "--chaos-rate") == 0) {
+      chaos_rate = std::strtod(next("--chaos-rate"), nullptr);
+    } else if (std::strcmp(argv[i], "--chaos-max") == 0) {
+      chaos_max = static_cast<int>(ToInt(next("--chaos-max"), 0));
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      PrintUsage(std::cout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", argv[i]);
+      PrintUsage(std::cerr);
+      return 2;
+    }
+  }
+  if (options.root.empty()) {
+    PrintUsage(std::cerr);
+    return 2;
+  }
+  papyrus::server::DaemonCrashPlan chaos(chaos_seed, chaos_rate,
+                                         chaos_max);
+  if (chaos_seed != 0) options.crash_plan = &chaos;
+
+  auto daemon = papyrus::server::PapyrusDaemon::Start(options);
+  if (!daemon.ok()) {
+    std::fprintf(stderr, "papyrusd: %s\n",
+                 daemon.status().ToString().c_str());
+    return 1;
+  }
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (papyrus::Trim(line).empty()) continue;
+    std::cout << (*daemon)->HandleLine(line) << "\n" << std::flush;
+    if ((*daemon)->crashed()) {
+      // The crash plan fired: die hot, like the kill -9 it stands in
+      // for. The journaled queue makes the next incarnation whole.
+      std::fprintf(stderr, "papyrusd: injected crash; exiting hot\n");
+      return 42;
+    }
+    if (papyrus::Trim(line) == "shutdown") return 0;
+  }
+  papyrus::Status st = (*daemon)->Shutdown();
+  if (!st.ok()) {
+    std::fprintf(stderr, "papyrusd: shutdown: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
