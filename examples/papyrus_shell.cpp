@@ -221,7 +221,10 @@ void RegisterShellCommands(Interp* in, Papyrus* session) {
         papyrus::cache::DerivationCache& cache = session->step_cache();
         std::string sub = argv.size() > 1 ? argv[1] : "stats";
         if (sub == "stats") {
-          const papyrus::cache::CacheStats& s = cache.stats();
+          // stats() returns a by-value snapshot taken under the cache
+          // mutex; binding a reference here would outlive nothing, but
+          // a copy makes the snapshot semantics explicit.
+          const papyrus::cache::CacheStats s = cache.stats();
           std::ostringstream os;
           os << "derivation cache: " << (cache.enabled() ? "on" : "off")
              << "; entries: " << cache.size() << "; hits: " << s.hits

@@ -2,6 +2,7 @@
 
 #include "activity/thread_ops.h"
 #include "base/macros.h"
+#include "base/thread_annotations.h"
 #include "cache/derivation_cache.h"
 
 namespace papyrus::activity {
@@ -107,6 +108,7 @@ Result<int> ActivityManager::CascadeThreads(int leading, NodeId connector,
 
 Result<oct::ObjectId> ActivityManager::ResolveInput(
     DesignThread* thread, const std::string& ref) {
+  base::AssertEngineThread("ActivityManager::ResolveInput");
   PAPYRUS_ASSIGN_OR_RETURN(oct::ObjectRef parsed,
                            oct::ParseObjectRef(ref));
   if (parsed.is_absolute_path) {
@@ -185,6 +187,7 @@ Result<NodeId> ActivityManager::InvokeTask(int thread_id,
 
 Status ActivityManager::MoveCursor(int thread_id, NodeId point,
                                    bool erase) {
+  base::AssertEngineThread("ActivityManager::MoveCursor");
   PAPYRUS_ASSIGN_OR_RETURN(DesignThread * thread, GetThread(thread_id));
   if (!erase) return thread->MoveCursor(point);
   std::vector<oct::ObjectId> unreferenced;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "base/macros.h"
+#include "base/thread_annotations.h"
 #include "base/strings.h"
 
 namespace papyrus::activity {
@@ -275,6 +276,7 @@ Result<int64_t> SnapshotVersion(const std::vector<std::string>& lines,
 
 Status ApplyDatabaseRecord(const std::vector<std::string>& f,
                            oct::OctDatabase* db) {
+  base::AssertEngineThread("activity::ApplyDatabaseRecord");
   if (f[0] != "object" || f.size() < 9) {
     return Status::InvalidArgument("bad database line: " + Join(f, " "));
   }

@@ -1,0 +1,32 @@
+#include "base/thread_annotations.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace papyrus::base {
+namespace {
+
+// Worker mark for the calling thread.  Plain thread_local bool: only ever
+// written by the owning thread (ScopedWorkerThread ctor/dtor), read by the
+// assertion helpers.
+thread_local bool t_is_worker_thread = false;
+
+}  // namespace
+
+bool OnEngineThread() { return !t_is_worker_thread; }
+
+void AssertEngineThread(const char* what) {
+  if (t_is_worker_thread) {
+    std::fprintf(stderr,
+                 "papyrus: engine-thread contract violated: %s called from a "
+                 "worker-pool thread\n",
+                 what == nullptr ? "(unknown)" : what);
+    std::abort();
+  }
+}
+
+ScopedWorkerThread::ScopedWorkerThread() { t_is_worker_thread = true; }
+
+ScopedWorkerThread::~ScopedWorkerThread() { t_is_worker_thread = false; }
+
+}  // namespace papyrus::base

@@ -1,0 +1,107 @@
+// Clang -Wthread-safety capability annotations.
+//
+// The macros expand to Clang thread-safety attributes when compiling with
+// Clang and to nothing elsewhere (GCC builds see plain declarations).  The
+// CI `thread-safety` job builds the library and tools with
+// `-Werror=thread-safety -Werror=thread-safety-beta`, turning contract
+// violations — mutating an OctDatabase off the engine thread, touching a
+// PAPYRUS_GUARDED_BY field without its mutex — into compile errors.
+//
+// Vocabulary (see DESIGN.md "Threading contract"):
+//   PAPYRUS_CAPABILITY(name)    class is a capability (a mutex, a role)
+//   PAPYRUS_GUARDED_BY(mu)      field may only be touched holding `mu`
+//   PAPYRUS_REQUIRES(cap)       caller must hold `cap` on entry
+//   PAPYRUS_ACQUIRE / RELEASE   function takes / drops the capability
+//   PAPYRUS_EXCLUDES(mu)        caller must NOT hold `mu` (self-deadlock)
+//   PAPYRUS_ASSERT_CAPABILITY   runtime check that vouches for the
+//                               capability to the static analysis
+#ifndef PAPYRUS_BASE_THREAD_ANNOTATIONS_H_
+#define PAPYRUS_BASE_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && !defined(SWIG)
+#define PAPYRUS_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define PAPYRUS_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+#define PAPYRUS_CAPABILITY(x) PAPYRUS_THREAD_ANNOTATION(capability(x))
+
+#define PAPYRUS_SCOPED_CAPABILITY PAPYRUS_THREAD_ANNOTATION(scoped_lockable)
+
+#define PAPYRUS_GUARDED_BY(x) PAPYRUS_THREAD_ANNOTATION(guarded_by(x))
+
+#define PAPYRUS_PT_GUARDED_BY(x) PAPYRUS_THREAD_ANNOTATION(pt_guarded_by(x))
+
+#define PAPYRUS_REQUIRES(...) \
+  PAPYRUS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+#define PAPYRUS_REQUIRES_SHARED(...) \
+  PAPYRUS_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+#define PAPYRUS_ACQUIRE(...) \
+  PAPYRUS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+#define PAPYRUS_RELEASE(...) \
+  PAPYRUS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+#define PAPYRUS_TRY_ACQUIRE(...) \
+  PAPYRUS_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+#define PAPYRUS_EXCLUDES(...) PAPYRUS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+#define PAPYRUS_ASSERT_CAPABILITY(x) \
+  PAPYRUS_THREAD_ANNOTATION(assert_capability(x))
+
+#define PAPYRUS_RETURN_CAPABILITY(x) PAPYRUS_THREAD_ANNOTATION(lock_returned(x))
+
+#define PAPYRUS_NO_THREAD_SAFETY_ANALYSIS \
+  PAPYRUS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace papyrus::base {
+
+// The engine-thread *role capability* (in the style of Clang's role
+// checking): a virtual capability that is never backed by a lock.  Code
+// annotated PAPYRUS_REQUIRES(engine_thread) may only be reached from the
+// engine thread — event-loop tops (TaskManager::Invoke, the daemon verb
+// dispatcher, …) vouch for the role with AssertEngineThread(), which also
+// performs the runtime check.
+//
+// Runtime model: every thread is an engine thread until it is marked as a
+// pool worker (ScopedWorkerThread in StepExecutor::WorkerLoop).  Tests and
+// tools drive sessions from their own main thread, which is therefore the
+// engine thread for that session; the hazard the contract guards against
+// is mutation from speculative pool workers.
+class PAPYRUS_CAPABILITY("role") ThreadRole {
+ public:
+  constexpr ThreadRole() = default;
+  ThreadRole(const ThreadRole&) = delete;
+  ThreadRole& operator=(const ThreadRole&) = delete;
+};
+
+// The global engine-thread role instance named by annotations, e.g.
+//   void Commit() PAPYRUS_REQUIRES(base::engine_thread);
+inline constinit ThreadRole engine_thread;
+
+// True unless the calling thread has been marked as a pool worker.
+bool OnEngineThread();
+
+// Aborts (with `what` in the message) when called from a pool worker.
+// Statically vouches for the engine_thread role for the rest of the
+// calling function.
+void AssertEngineThread(const char* what)
+    PAPYRUS_ASSERT_CAPABILITY(engine_thread);
+
+// Marks the current thread as a pool worker for its lifetime.  Instantiated
+// at the top of StepExecutor::WorkerLoop; worker-side code that calls an
+// engine-only API then dies loudly instead of corrupting shared state.
+class ScopedWorkerThread {
+ public:
+  ScopedWorkerThread();
+  ~ScopedWorkerThread();
+  ScopedWorkerThread(const ScopedWorkerThread&) = delete;
+  ScopedWorkerThread& operator=(const ScopedWorkerThread&) = delete;
+};
+
+}  // namespace papyrus::base
+
+#endif  // PAPYRUS_BASE_THREAD_ANNOTATIONS_H_

@@ -50,6 +50,10 @@ std::string DerivationCache::MakeKey(
 }
 
 void DerivationCache::set_observability(const obs::Observability& sinks) {
+  // Lock-discipline fix: this used to read `stats_` and write the counter
+  // mirror pointers without `mu_`, racing with pool-era callers of
+  // Probe/Record on another session thread.
+  base::MutexLock lock(mu_);
   if (sinks.metrics == nullptr) {
     c_hits_ = c_misses_ = c_recorded_ = c_invalidated_ = c_micros_saved_ =
         nullptr;
@@ -68,7 +72,7 @@ void DerivationCache::set_observability(const obs::Observability& sinks) {
 }
 
 const CacheEntry* DerivationCache::Probe(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   if (!enabled_) return nullptr;
   auto it = entries_.find(key);
   if (it == entries_.end()) {
@@ -102,7 +106,7 @@ const CacheEntry* DerivationCache::Probe(const std::string& key) {
 }
 
 bool DerivationCache::Record(const std::string& key, CacheEntry entry) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   return RecordLocked(key, std::move(entry));
 }
 
@@ -135,12 +139,12 @@ bool DerivationCache::Restore(CacheEntry entry) {
   std::string key = MakeKey(entry.tool, entry.tool_version,
                             entry.canonical_options, entry.seed_salt,
                             entry.inputs);
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   return RecordLocked(key, std::move(entry));
 }
 
 void DerivationCache::OnVersionReclaimed(const oct::ObjectId& id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   InvalidateVersionLocked(id);
 }
 
@@ -158,12 +162,12 @@ void DerivationCache::InvalidateVersionLocked(const oct::ObjectId& id) {
 }
 
 void DerivationCache::OnRework(const oct::ObjectId& id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   InvalidateVersionLocked(id);
 }
 
 void DerivationCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   ClearLocked();
 }
 
@@ -179,7 +183,7 @@ void DerivationCache::ClearLocked() {
 void DerivationCache::ForEach(
     const std::function<void(const std::string&, const CacheEntry&)>& fn)
     const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   for (const auto& [key, entry] : entries_) fn(key, entry);
 }
 

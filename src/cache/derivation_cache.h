@@ -4,11 +4,12 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 #include "obs/observability.h"
 #include "oct/database.h"
 #include "oct/object_id.h"
@@ -73,27 +74,41 @@ struct CacheStats {
 /// history (`ActivityManager::MoveCursor` with erase) likewise invalidates
 /// through `OnRework`.
 ///
-/// Thread contract: lookups and mutations are serialized by an internal
-/// mutex, so concurrent readers (e.g. threads sharing a session while the
-/// engine runs with a worker pool) are safe. Under the parallel step
-/// executor the engine thread remains the only caller — probes happen at
-/// dispatch, population at commit, both engine-side — and the pointer
-/// returned by `Probe` is only valid until the next mutating call, so
-/// callers must consume it before re-entering the cache.
+/// Thread contract: lookups and mutations are serialized by the internal
+/// `mu_` (all cached state is PAPYRUS_GUARDED_BY(mu_)), so concurrent
+/// readers (e.g. threads sharing a session while the engine runs with a
+/// worker pool) are safe. Entry points that reach into the OctDatabase
+/// (pinning, visibility peeks) additionally carry
+/// PAPYRUS_REQUIRES(base::engine_thread): the database is engine-owned,
+/// and under the parallel step executor the engine thread remains the
+/// only caller — probes happen at dispatch, population at commit, both
+/// engine-side. The pointer returned by `Probe` is only valid until the
+/// next mutating call, so callers must consume it before re-entering the
+/// cache.
 class DerivationCache {
  public:
   explicit DerivationCache(oct::OctDatabase* db) : db_(db) {
+    base::AssertEngineThread("DerivationCache::DerivationCache");
     // Direct Reclaim callers (not just the reclamation manager) must also
     // invalidate: the database calls back when it hits a pinned version.
-    db_->set_pinned_reclaim_handler(
-        [this](const oct::ObjectId& id) { OnVersionReclaimed(id); });
+    // Reclaim is engine-only, so the handler runs on the engine thread.
+    db_->set_pinned_reclaim_handler([this](const oct::ObjectId& id) {
+      base::AssertEngineThread("DerivationCache pinned-reclaim handler");
+      OnVersionReclaimed(id);
+    });
   }
 
   DerivationCache(const DerivationCache&) = delete;
   DerivationCache& operator=(const DerivationCache&) = delete;
 
   ~DerivationCache() {
-    Clear();
+    // Vouch locally instead of annotating the destructor: REQUIRES on a
+    // dtor would propagate into every owner's (often implicit) dtor.
+    base::AssertEngineThread("DerivationCache::~DerivationCache");
+    {
+      base::MutexLock lock(mu_);
+      ClearLocked();
+    }
     db_->set_pinned_reclaim_handler(nullptr);
   }
 
@@ -120,7 +135,8 @@ class DerivationCache {
   /// commit are still visible. Counts a hit (crediting `micros_saved`) or
   /// a miss. Returns nullptr without counting when the cache is disabled.
   /// The returned pointer is invalidated by any mutating call.
-  const CacheEntry* Probe(const std::string& key);
+  const CacheEntry* Probe(const std::string& key)
+      PAPYRUS_REQUIRES(base::engine_thread) PAPYRUS_EXCLUDES(mu_);
 
   // --- population --------------------------------------------------------
 
@@ -128,41 +144,51 @@ class DerivationCache {
   /// entry. Snapshots each output's current visibility and pins the
   /// output versions. Returns false (and records nothing) when an output
   /// version does not exist in the database.
-  bool Record(const std::string& key, CacheEntry entry);
+  bool Record(const std::string& key, CacheEntry entry)
+      PAPYRUS_REQUIRES(base::engine_thread) PAPYRUS_EXCLUDES(mu_);
 
   /// Re-inserts a persisted entry (the key is recomputed from the entry's
   /// own components). Used by snapshot restore.
-  bool Restore(CacheEntry entry);
+  bool Restore(CacheEntry entry)
+      PAPYRUS_REQUIRES(base::engine_thread) PAPYRUS_EXCLUDES(mu_);
 
   // --- invalidation ------------------------------------------------------
 
   /// A version is about to be physically reclaimed: drop every entry that
   /// mentions it (as input provenance or output) and release its pins.
-  void OnVersionReclaimed(const oct::ObjectId& id);
+  void OnVersionReclaimed(const oct::ObjectId& id)
+      PAPYRUS_REQUIRES(base::engine_thread) PAPYRUS_EXCLUDES(mu_);
 
   /// Explicit rework erased the history that produced `id`: the design
   /// point is re-opened, so derivations through it must re-execute.
-  void OnRework(const oct::ObjectId& id);
+  void OnRework(const oct::ObjectId& id)
+      PAPYRUS_REQUIRES(base::engine_thread) PAPYRUS_EXCLUDES(mu_);
 
   /// Drops every entry (counts them as invalidated).
-  void Clear();
+  void Clear() PAPYRUS_REQUIRES(base::engine_thread) PAPYRUS_EXCLUDES(mu_);
 
   // --- control / introspection -------------------------------------------
 
   /// A disabled cache misses every probe (uncounted) but still accepts
   /// recordings, so re-enabling serves the history accumulated meanwhile.
-  void set_enabled(bool enabled) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void set_enabled(bool enabled) PAPYRUS_EXCLUDES(mu_) {
+    base::MutexLock lock(mu_);
     enabled_ = enabled;
   }
-  bool enabled() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool enabled() const PAPYRUS_EXCLUDES(mu_) {
+    base::MutexLock lock(mu_);
     return enabled_;
   }
 
-  const CacheStats& stats() const { return stats_; }
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  /// Returns a consistent snapshot of the counters. By value: `stats_` is
+  /// guarded by `mu_`, so handing out a reference would let callers read
+  /// it unlocked.
+  CacheStats stats() const PAPYRUS_EXCLUDES(mu_) {
+    base::MutexLock lock(mu_);
+    return stats_;
+  }
+  size_t size() const PAPYRUS_EXCLUDES(mu_) {
+    base::MutexLock lock(mu_);
     return entries_.size();
   }
 
@@ -170,36 +196,41 @@ class DerivationCache {
   /// counters, catching the mirror up with whatever already accumulated.
   /// The registry must outlive the cache (the destructor's Clear() still
   /// counts invalidations).
-  void set_observability(const obs::Observability& obs);
+  void set_observability(const obs::Observability& obs) PAPYRUS_EXCLUDES(mu_);
 
   /// Visits every entry (persistence, shell rendering).
   void ForEach(
       const std::function<void(const std::string& key, const CacheEntry&)>&
-          fn) const;
+          fn) const PAPYRUS_EXCLUDES(mu_);
 
  private:
-  // Internal bodies, caller holds `mu_`: they never take the lock
+  // Internal bodies, caller holds `mu_` (and the engine role, for the
+  // database pin/unpin side effects): they never take the lock
   // themselves, so paths that compose them (Restore -> Record, probe
   // invalidation -> drop) stay recursion-free.
-  void DropEntry(const std::string& key);
-  bool RecordLocked(const std::string& key, CacheEntry entry);
-  void InvalidateVersionLocked(const oct::ObjectId& id);
-  void ClearLocked();
+  void DropEntry(const std::string& key)
+      PAPYRUS_REQUIRES(mu_, base::engine_thread);
+  bool RecordLocked(const std::string& key, CacheEntry entry)
+      PAPYRUS_REQUIRES(mu_, base::engine_thread);
+  void InvalidateVersionLocked(const oct::ObjectId& id)
+      PAPYRUS_REQUIRES(mu_, base::engine_thread);
+  void ClearLocked() PAPYRUS_REQUIRES(mu_, base::engine_thread);
 
   /// Serializes every public entry point (see the class thread contract).
-  mutable std::mutex mu_;
+  mutable base::Mutex mu_;
   oct::OctDatabase* db_;
-  bool enabled_ = true;
-  CacheStats stats_;
-  obs::Counter* c_hits_ = nullptr;
-  obs::Counter* c_misses_ = nullptr;
-  obs::Counter* c_recorded_ = nullptr;
-  obs::Counter* c_invalidated_ = nullptr;
-  obs::Counter* c_micros_saved_ = nullptr;
-  std::map<std::string, CacheEntry> entries_;
+  bool enabled_ PAPYRUS_GUARDED_BY(mu_) = true;
+  CacheStats stats_ PAPYRUS_GUARDED_BY(mu_);
+  obs::Counter* c_hits_ PAPYRUS_GUARDED_BY(mu_) = nullptr;
+  obs::Counter* c_misses_ PAPYRUS_GUARDED_BY(mu_) = nullptr;
+  obs::Counter* c_recorded_ PAPYRUS_GUARDED_BY(mu_) = nullptr;
+  obs::Counter* c_invalidated_ PAPYRUS_GUARDED_BY(mu_) = nullptr;
+  obs::Counter* c_micros_saved_ PAPYRUS_GUARDED_BY(mu_) = nullptr;
+  std::map<std::string, CacheEntry> entries_ PAPYRUS_GUARDED_BY(mu_);
   /// Inverted index: object version -> keys of entries mentioning it
   /// (inputs and outputs), driving O(entries-touched) invalidation.
-  std::map<oct::ObjectId, std::set<std::string>> by_version_;
+  std::map<oct::ObjectId, std::set<std::string>> by_version_
+      PAPYRUS_GUARDED_BY(mu_);
 };
 
 }  // namespace papyrus::cache

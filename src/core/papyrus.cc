@@ -7,12 +7,14 @@
 
 #include "activity/persistence.h"
 #include "base/macros.h"
+#include "base/thread_annotations.h"
 #include "storage/atomic_file.h"
 
 namespace papyrus {
 
 Papyrus::Papyrus(const SessionOptions& options)
     : clock_(0), trace_(&clock_), options_(options) {
+  base::AssertEngineThread("Papyrus::Papyrus");
   if (!options.trace_path.empty()) trace_.set_enabled(true);
   db_ = std::make_unique<oct::OctDatabase>(&clock_);
   tools_ = std::make_unique<cadtools::ToolRegistry>();
@@ -62,6 +64,7 @@ Papyrus::Papyrus(const SessionOptions& options)
 }
 
 Papyrus::~Papyrus() {
+  base::AssertEngineThread("Papyrus::~Papyrus");
   // Seal the trace: the session-end marker is the last event, anything a
   // destructor might still record afterwards is dropped by design.
   trace_.Finish();
@@ -119,6 +122,7 @@ Status Papyrus::SaveSession(const std::string& directory) {
 }
 
 Status Papyrus::SaveSessionImpl(const std::string& directory) {
+  base::AssertEngineThread("Papyrus::SaveSessionImpl");
   std::error_code ec;
   std::filesystem::create_directories(directory, ec);
   if (ec) {
@@ -159,6 +163,7 @@ Status Papyrus::LoadSession(const std::string& directory) {
 }
 
 Status Papyrus::LoadSessionImpl(const std::string& directory) {
+  base::AssertEngineThread("Papyrus::LoadSessionImpl");
   if (db_->TotalVersionCount() != 0 || !activity_->ThreadIds().empty()) {
     return Status::FailedPrecondition(
         "LoadSession requires a fresh session");
@@ -232,6 +237,7 @@ Status Papyrus::LoadSessionImpl(const std::string& directory) {
 
 Result<oct::ObjectId> Papyrus::CheckInObject(const std::string& path,
                                              oct::DesignPayload payload) {
+  base::AssertEngineThread("Papyrus::CheckInObject");
   if (path.empty() || path[0] != '/') {
     return Status::InvalidArgument(
         "check-in names must be absolute paths (got \"" + path + "\")");

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "base/macros.h"
+#include "base/thread_annotations.h"
 #include "base/strings.h"
 #include "cadtools/tool.h"
 #include "obs/effect_capture.h"
@@ -35,6 +36,7 @@ FaultPlan::FaultPlan(FaultPlanOptions options)
       sinks_(std::make_shared<obs::Observability>()) {}
 
 void FaultPlan::set_observability(const obs::Observability& sinks) {
+  base::AssertEngineThread("FaultPlan::set_observability");
   *sinks_ = sinks;
   if (sinks_->trace != nullptr) {
     sinks_->trace->SetThreadName(obs::kSessionPid, /*tid=*/2,

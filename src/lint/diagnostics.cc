@@ -86,6 +86,84 @@ std::string DiagnosticsToJson(const std::vector<Diagnostic>& diagnostics) {
   return out;
 }
 
+const std::vector<RuleInfo>& RuleCatalogue() {
+  static const std::vector<RuleInfo> catalogue = {
+      // --- template rules (papyrus-lint over .tdl) ---------------------
+      {rules::kParseError, Severity::kError, "template",
+       "The template header or script cannot be parsed."},
+      {rules::kWriteRace, Severity::kError, "template",
+       "Two steps with no ordering between them write the same object, "
+       "so the committed value depends on scheduling."},
+      {rules::kUndefinedInput, Severity::kError, "template",
+       "A step reads an object that no formal input or earlier step "
+       "provides."},
+      {rules::kUnknownTool, Severity::kError, "template",
+       "A step invokes a CAD tool the registry does not know."},
+      {rules::kToolArity, Severity::kError, "template",
+       "A step passes a tool more or fewer inputs/outputs than it "
+       "accepts."},
+      {rules::kDeadStep, Severity::kWarning, "template",
+       "A step's outputs are never consumed and never leave the task."},
+      {rules::kUnproducedOutput, Severity::kError, "template",
+       "A declared formal output is produced by no step."},
+      {rules::kDependencyCycle, Severity::kError, "template",
+       "The step data-flow graph contains a cycle, so no execution "
+       "order exists."},
+      {rules::kUnresolvedSubtask, Severity::kError, "template",
+       "A subtask invocation names a template missing from the "
+       "library."},
+      {rules::kSubtaskArity, Severity::kError, "template",
+       "A subtask invocation's actual inputs/outputs do not match the "
+       "callee's formals."},
+      {rules::kDuplicateStepId, Severity::kError, "template",
+       "Two steps declare the same step id."},
+      {rules::kUndefinedStepRef, Severity::kError, "template",
+       "An option override or step reference names a step that does "
+       "not exist."},
+      // --- wire rules (papyrus-lint --wire over .wire) -----------------
+      {rules::kWireParseError, Severity::kError, "wire",
+       "The line is not a well-formed wire request (malformed ~key=value "
+       "field or percent escape)."},
+      {rules::kWireUnknownVerb, Severity::kError, "wire",
+       "The verb is not part of the papyrusd protocol."},
+      {rules::kWireMissingField, Severity::kError, "wire",
+       "A required field of the verb is absent."},
+      {rules::kWireBadField, Severity::kError, "wire",
+       "A field value is malformed (non-numeric seed or id, unknown "
+       "checkin type)."},
+      {rules::kWireUnknownSession, Severity::kError, "wire",
+       "A submit targets a session the script never checked anything "
+       "into."},
+      {rules::kWireUnknownTemplate, Severity::kError, "wire",
+       "A submit names a task template the daemon's library does not "
+       "hold."},
+      {rules::kWireTaskArity, Severity::kError, "wire",
+       "A submit's ~in/~out counts do not match the template's formal "
+       "inputs/outputs."},
+      {rules::kWireRunBeforeCheckin, Severity::kError, "wire",
+       "A submitted task reads an object that was never checked in and "
+       "that no earlier task produces — it will fail at execution."},
+      {rules::kWireCrossSessionInput, Severity::kError, "wire",
+       "A submitted task reads an object bound in a different session; "
+       "sessions share nothing."},
+      {rules::kWireWriteRace, Severity::kError, "wire",
+       "Two queued tasks in the same session write the same object, so "
+       "the first task's output is clobbered before anyone can read "
+       "it."},
+      {rules::kWireDuplicateTask, Severity::kWarning, "wire",
+       "A submit repeats an earlier submit byte-for-byte (same session, "
+       "thread, template, refs, and seed)."},
+      {rules::kWireAfterShutdown, Severity::kError, "wire",
+       "A task-bearing verb (checkin/submit/run) follows shutdown; a "
+       "crash-free daemon exits at the first shutdown and never reads "
+       "it."},
+      {rules::kWireDrainMisuse, Severity::kWarning, "wire",
+       "Queued tasks are never drained (or a drain/run has nothing to "
+       "do), so commits silently wait for a later incarnation."},
+  };
+  return catalogue;
+}
+
 void LineColumnAt(std::string_view text, size_t offset, int* line,
                   int* column) {
   int l = 1;

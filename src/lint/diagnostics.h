@@ -33,7 +33,42 @@ inline constexpr const char* kUnresolvedSubtask = "unresolved-subtask";
 inline constexpr const char* kSubtaskArity = "subtask-arity";
 inline constexpr const char* kDuplicateStepId = "duplicate-step-id";
 inline constexpr const char* kUndefinedStepRef = "undefined-step-ref";
+
+// Wire-script rules (`papyrus-lint --wire`): whole-deployment checks over
+// papyrusd protocol scripts — the daemon protocol itself plus the
+// cross-task data flow of everything the script queues.
+inline constexpr const char* kWireParseError = "wire-parse-error";
+inline constexpr const char* kWireUnknownVerb = "wire-unknown-verb";
+inline constexpr const char* kWireMissingField = "wire-missing-field";
+inline constexpr const char* kWireBadField = "wire-bad-field";
+inline constexpr const char* kWireUnknownSession = "wire-unknown-session";
+inline constexpr const char* kWireUnknownTemplate =
+    "wire-unknown-template";
+inline constexpr const char* kWireTaskArity = "wire-task-arity";
+inline constexpr const char* kWireRunBeforeCheckin =
+    "wire-run-before-checkin";
+inline constexpr const char* kWireCrossSessionInput =
+    "wire-cross-session-input";
+inline constexpr const char* kWireWriteRace = "wire-write-race";
+inline constexpr const char* kWireDuplicateTask = "wire-duplicate-task";
+inline constexpr const char* kWireAfterShutdown = "wire-after-shutdown";
+inline constexpr const char* kWireDrainMisuse = "wire-drain-misuse";
 }  // namespace rules
+
+/// One catalogue entry: a stable rule id, the severity its findings
+/// normally carry, which analyzer emits it, and a one-line summary.
+/// `papyrus-lint --catalogue` renders the list as docs/LINT.md; CI keeps
+/// the checked-in file in sync (the docs/METRICS.md pattern).
+struct RuleInfo {
+  const char* id;
+  Severity severity;
+  const char* scope;  // "template" or "wire"
+  const char* summary;
+};
+
+/// Every rule either analyzer can emit, template rules first, in a
+/// stable order. Golden tests and docs key on ids; treat them as API.
+const std::vector<RuleInfo>& RuleCatalogue();
 
 /// One structured finding: severity, rule ID, message, and a file:line:col
 /// span. `file` is the template's source file when linting from disk, or

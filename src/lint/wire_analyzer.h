@@ -1,0 +1,68 @@
+#ifndef PAPYRUS_LINT_WIRE_ANALYZER_H_
+#define PAPYRUS_LINT_WIRE_ANALYZER_H_
+
+#include <string>
+#include <vector>
+
+#include "cadtools/registry.h"
+#include "lint/diagnostics.h"
+#include "server/queue.h"
+#include "tdl/template.h"
+
+namespace papyrus::lint {
+
+/// What the wire analyzer checks against. Without a template library the
+/// template-resolution rules (wire-unknown-template, wire-task-arity, and
+/// the re-lint of referenced templates) are skipped; without a tool
+/// registry referenced templates are linted with tool rules off.
+struct WireAnalyzerOptions {
+  const tdl::TemplateLibrary* library = nullptr;
+  const cadtools::ToolRegistry* tools = nullptr;
+  std::string file;  // diagnostic source label
+};
+
+/// Outcome of analyzing one wire script: diagnostics sorted by line, plus
+/// a severity tally. Only errors make `papyrus-lint --wire` exit nonzero.
+struct WireAnalysis {
+  std::vector<Diagnostic> diagnostics;
+  int errors = 0;
+  int warnings = 0;
+  int notes = 0;
+
+  bool ok() const { return errors == 0; }
+};
+
+/// Statically analyzes a papyrusd wire script — the whole-deployment
+/// counterpart of LintTemplate. The analyzer simulates the daemon's
+/// execution model line by line: checkins bind object names inside their
+/// session, submits queue tasks (inputs must already be bound, outputs
+/// become bound), `run` executes the oldest queued task, `drain` executes
+/// them all, and `shutdown` ends the incarnation (later lines address a
+/// restarted daemon on the same root, so only task-bearing verbs are dead
+/// there). Every referenced task template is additionally linted against
+/// the full template rule catalogue, so a flow error inside a template
+/// the script queues surfaces from the script's analysis too.
+///
+/// Blank lines and `#` comments are skipped, matching papyrusd.
+WireAnalysis AnalyzeWireScript(const std::string& text,
+                               const WireAnalyzerOptions& options);
+
+/// Reads `path` and analyzes its contents, labeling diagnostics with the
+/// path. An unreadable file yields one wire-parse-error diagnostic.
+WireAnalysis AnalyzeWireFile(const std::string& path,
+                             const WireAnalyzerOptions& options);
+
+/// The papyrusd startup pre-flight: re-checks every pending or claimed
+/// task already sitting in a reopened queue (descriptions may come from
+/// an older incarnation or another client). Emits wire-parse-error,
+/// wire-unknown-template, wire-task-arity, and wire-write-race findings;
+/// `file` labels the findings (the queue directory). Report-only — the
+/// daemon still drains a queue with findings, they just fail fast at
+/// execution.
+std::vector<Diagnostic> PreflightQueuedTasks(
+    const std::vector<server::QueueTask>& tasks,
+    const tdl::TemplateLibrary* library, const std::string& file);
+
+}  // namespace papyrus::lint
+
+#endif  // PAPYRUS_LINT_WIRE_ANALYZER_H_

@@ -1,6 +1,7 @@
 #include "meta/retrace.h"
 
 #include "base/macros.h"
+#include "base/thread_annotations.h"
 #include "base/strings.h"
 #include "cadtools/tool.h"
 
@@ -8,6 +9,7 @@ namespace papyrus::meta {
 
 Result<RetraceResult> Retracer::Retrace(const Adg& adg,
                                         const std::string& modified_name) {
+  base::AssertEngineThread("Retracer::Retrace");
   RetraceResult result;
   result.record.task_name = "<retrace " + modified_name + ">";
   result.record.invoke_micros = db_->clock()->NowMicros();

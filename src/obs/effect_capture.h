@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "base/thread_annotations.h"
 #include "obs/trace.h"
 
 namespace papyrus::obs {
@@ -61,7 +62,7 @@ class EffectCapture {
 
   /// Applies every buffered effect in emission order and clears the
   /// buffer. Engine thread only (no capture may be installed).
-  void Replay();
+  void Replay() PAPYRUS_REQUIRES(base::engine_thread);
 
   /// Discards every buffered effect (killed / lost / unwound step).
   void Drop();

@@ -233,14 +233,14 @@ MetricsRegistry::MetricsRegistry() {
 }
 
 Counter* MetricsRegistry::FindOrCreateCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* MetricsRegistry::FindOrCreateGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return slot.get();
@@ -248,14 +248,14 @@ Gauge* MetricsRegistry::FindOrCreateGauge(const std::string& name) {
 
 Histogram* MetricsRegistry::FindOrCreateHistogram(
     const std::string& name, std::vector<int64_t> bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(bounds));
   return slot.get();
 }
 
 std::string MetricsRegistry::ToJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   std::ostringstream os;
   os << "{\n  \"counters\": {";
   bool first = true;
@@ -297,7 +297,7 @@ std::string MetricsRegistry::ToJson() const {
 }
 
 std::string MetricsRegistry::ToTable() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   std::ostringstream os;
   size_t width = 0;
   for (const auto& [name, c] : counters_) width = std::max(width,

@@ -5,10 +5,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 #include "obs/effect_capture.h"
 
 namespace papyrus::obs {
@@ -175,9 +176,10 @@ inline constexpr char kExecWallLatency[] = "papyrus.exec.wall_latency";
 /// The metrics registry: owns every metric instance, hands out stable
 /// pointers, and snapshots the lot as JSON or a human table.
 ///
-/// Thread contract: `FindOrCreate*` and the exporters take an internal
-/// mutex; increments through the returned pointers are lock-free and safe
-/// from any thread. Returned pointers live as long as the registry.
+/// Thread contract: `FindOrCreate*` and the exporters serialize on the
+/// internal `mu_` (the name->instance maps are PAPYRUS_GUARDED_BY(mu_));
+/// increments through the returned pointers are lock-free and safe from
+/// any thread. Returned pointers live as long as the registry.
 class MetricsRegistry {
  public:
   /// Pre-registers the entire catalogue so exports always carry every
@@ -187,24 +189,29 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  Counter* FindOrCreateCounter(const std::string& name);
-  Gauge* FindOrCreateGauge(const std::string& name);
+  Counter* FindOrCreateCounter(const std::string& name)
+      PAPYRUS_EXCLUDES(mu_);
+  Gauge* FindOrCreateGauge(const std::string& name) PAPYRUS_EXCLUDES(mu_);
   /// `bounds` applies only on first creation; a later call with different
   /// bounds returns the existing histogram unchanged.
   Histogram* FindOrCreateHistogram(const std::string& name,
-                                   std::vector<int64_t> bounds);
+                                   std::vector<int64_t> bounds)
+      PAPYRUS_EXCLUDES(mu_);
 
   /// Point-in-time export of every metric, names sorted, as JSON:
   /// {"counters":{...},"gauges":{...},"histograms":{...}}.
-  std::string ToJson() const;
+  std::string ToJson() const PAPYRUS_EXCLUDES(mu_);
   /// The same snapshot as an aligned human-readable table.
-  std::string ToTable() const;
+  std::string ToTable() const PAPYRUS_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable base::Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      PAPYRUS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      PAPYRUS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      PAPYRUS_GUARDED_BY(mu_);
 };
 
 }  // namespace papyrus::obs

@@ -8,6 +8,7 @@
 
 #include "base/clock.h"
 #include "base/status.h"
+#include "base/thread_annotations.h"
 
 namespace papyrus::obs {
 
@@ -66,10 +67,10 @@ struct TraceEvent {
 /// so a trace is a deterministic replay artifact, not a wall-time
 /// profile.
 ///
-/// Thread contract: the recorder's state is engine-thread-only — all
-/// recording calls must come from the thread driving the session, with
-/// one carve-out: `Instant` called on a step-executor worker (a thread
-/// with an EffectCapture installed, see obs/effect_capture.h) buffers the
+/// Thread contract: the recorder's state is engine-thread-only — every
+/// mutating call carries PAPYRUS_REQUIRES(base::engine_thread), with one
+/// carve-out: `Instant` called on a step-executor worker (a thread with
+/// an EffectCapture installed, see obs/effect_capture.h) buffers the
 /// event instead of touching recorder state; the engine replays it at the
 /// step's virtual completion event, where serial execution would have
 /// emitted it. (Metrics, by contrast, are thread-safe; see metrics.h.)
@@ -86,30 +87,39 @@ class TraceRecorder {
   TraceRecorder(const TraceRecorder&) = delete;
   TraceRecorder& operator=(const TraceRecorder&) = delete;
 
-  void set_enabled(bool enabled) { enabled_ = enabled; }
+  void set_enabled(bool enabled) PAPYRUS_REQUIRES(base::engine_thread) {
+    enabled_ = enabled;
+  }
   bool enabled() const { return enabled_; }
   bool sealed() const { return sealed_; }
 
   /// Labels a Chrome process / thread track. Idempotent per target.
-  void SetProcessName(int pid, const std::string& name);
-  void SetThreadName(int pid, int64_t tid, const std::string& name);
+  void SetProcessName(int pid, const std::string& name)
+      PAPYRUS_REQUIRES(base::engine_thread);
+  void SetThreadName(int pid, int64_t tid, const std::string& name)
+      PAPYRUS_REQUIRES(base::engine_thread);
 
   /// Opens a duration span on (pid, tid). Spans on one track must nest;
   /// the recorder remembers the open-name stack so End emits the
   /// matching name.
   void Begin(int pid, int64_t tid, const std::string& name,
-             const std::string& cat, std::vector<TraceArg> args = {});
+             const std::string& cat, std::vector<TraceArg> args = {})
+      PAPYRUS_REQUIRES(base::engine_thread);
   /// Closes the innermost open span on (pid, tid); no-op when none is
   /// open (e.g. the span's Begin predated `trace start`).
-  void End(int pid, int64_t tid, std::vector<TraceArg> args = {});
+  void End(int pid, int64_t tid, std::vector<TraceArg> args = {})
+      PAPYRUS_REQUIRES(base::engine_thread);
+  /// The one worker-callable recording API (deliberately NOT
+  /// engine-annotated): with an EffectCapture installed the event is
+  /// buffered capture-side, otherwise it lands directly in the recorder.
   void Instant(int pid, int64_t tid, const std::string& name,
                const std::string& cat, std::vector<TraceArg> args = {});
   /// Chrome counter event (`ph: "C"`): one named series per (pid, name).
   void CounterValue(int pid, int64_t tid, const std::string& name,
-                    int64_t value);
+                    int64_t value) PAPYRUS_REQUIRES(base::engine_thread);
 
   /// Emits the session-end marker and seals the recorder.
-  void Finish();
+  void Finish() PAPYRUS_REQUIRES(base::engine_thread);
 
   size_t event_count() const { return events_.size(); }
   int64_t dropped_events() const { return dropped_; }
@@ -119,7 +129,7 @@ class TraceRecorder {
 
   /// Drops all recorded events and name stacks (keeps enabled/sealed
   /// state).
-  void Clear();
+  void Clear() PAPYRUS_REQUIRES(base::engine_thread);
 
   std::string ToJson() const;
   Status WriteJson(const std::string& path) const;

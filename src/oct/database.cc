@@ -1,5 +1,7 @@
 #include "oct/database.h"
 
+#include "base/thread_annotations.h"
+
 namespace papyrus::oct {
 
 OctDatabase::OctDatabase(Clock* clock) : clock_(clock) {}
@@ -28,6 +30,7 @@ void OctDatabase::set_observability(const obs::Observability& sinks) {
 Result<ObjectId> OctDatabase::CreateVersion(const std::string& name,
                                             DesignPayload payload,
                                             const std::string& creator_tool) {
+  base::AssertEngineThread("OctDatabase::CreateVersion");
   if (name.empty()) {
     return Status::InvalidArgument("object name must not be empty");
   }
@@ -114,6 +117,7 @@ int OctDatabase::VersionCount(const std::string& name) const {
 }
 
 Status OctDatabase::MarkInvisible(const ObjectId& id) {
+  base::AssertEngineThread("OctDatabase::MarkInvisible");
   ObjectRecord* rec = Find(id);
   if (rec == nullptr) {
     return Status::NotFound("no such object: " + id.ToString());
@@ -123,6 +127,7 @@ Status OctDatabase::MarkInvisible(const ObjectId& id) {
 }
 
 Status OctDatabase::MarkVisible(const ObjectId& id) {
+  base::AssertEngineThread("OctDatabase::MarkVisible");
   ObjectRecord* rec = Find(id);
   if (rec == nullptr) {
     return Status::NotFound("no such object: " + id.ToString());
@@ -136,6 +141,7 @@ Status OctDatabase::MarkVisible(const ObjectId& id) {
 }
 
 Status OctDatabase::Reclaim(const ObjectId& id) {
+  base::AssertEngineThread("OctDatabase::Reclaim");
   ObjectRecord* rec = Find(id);
   if (rec == nullptr) {
     return Status::NotFound("no such object: " + id.ToString());
@@ -165,6 +171,7 @@ Status OctDatabase::Reclaim(const ObjectId& id) {
 }
 
 Status OctDatabase::Pin(const ObjectId& id) {
+  base::AssertEngineThread("OctDatabase::Pin");
   ObjectRecord* rec = Find(id);
   if (rec == nullptr) {
     return Status::NotFound("no such object: " + id.ToString());
@@ -178,6 +185,7 @@ Status OctDatabase::Pin(const ObjectId& id) {
 }
 
 void OctDatabase::Unpin(const ObjectId& id) {
+  base::AssertEngineThread("OctDatabase::Unpin");
   ObjectRecord* rec = Find(id);
   if (rec != nullptr && rec->pin_count > 0) --rec->pin_count;
 }
@@ -219,6 +227,7 @@ void OctDatabase::ForEach(
 }
 
 Status OctDatabase::RestoreRecord(ObjectRecord record) {
+  base::AssertEngineThread("OctDatabase::RestoreRecord");
   if (record.id.name.empty() || record.id.version < 1) {
     return Status::InvalidArgument("restored record has an invalid id");
   }

@@ -10,6 +10,7 @@
 #include "base/clock.h"
 #include "base/result.h"
 #include "base/status.h"
+#include "base/thread_annotations.h"
 #include "obs/observability.h"
 #include "oct/design_data.h"
 #include "oct/object_id.h"
@@ -45,6 +46,13 @@ struct ObjectRecord {
 /// Thread workspaces and synchronization data spaces (src/activity,
 /// src/sync) are *views* over this store: they hold sets of ObjectIds and
 /// never duplicate payloads.
+///
+/// Thread contract: the store is engine-owned and unlocked. Every
+/// mutating call (version creation, visibility flips, reclamation,
+/// pinning, restore — and `Get`, which bumps the access time) carries
+/// PAPYRUS_REQUIRES(base::engine_thread); the const views (`Peek`,
+/// `LatestVisible`, `PayloadBytes`, ...) are what step-executor workers
+/// may read through dispatch-time snapshots.
 class OctDatabase {
  public:
   explicit OctDatabase(Clock* clock);
@@ -56,12 +64,14 @@ class OctDatabase {
   /// The version number is allocated by the database (§3.2).
   Result<ObjectId> CreateVersion(const std::string& name,
                                  DesignPayload payload,
-                                 const std::string& creator_tool = "");
+                                 const std::string& creator_tool = "")
+      PAPYRUS_REQUIRES(base::engine_thread);
 
   /// Looks up a specific version. Fails with NotFound for unknown ids,
   /// invisible ("deleted") versions, and reclaimed versions.
-  /// Updates the record's last-access time.
-  Result<const ObjectRecord*> Get(const ObjectId& id);
+  /// Updates the record's last-access time (hence engine-only).
+  Result<const ObjectRecord*> Get(const ObjectId& id)
+      PAPYRUS_REQUIRES(base::engine_thread);
 
   /// Looks up without updating access time or filtering invisible records.
   /// Used by managers that need bookkeeping state (reclaimer, renderers).
@@ -80,29 +90,32 @@ class OctDatabase {
   int VersionCount(const std::string& name) const;
 
   /// Marks a version invisible ("delete" under the visibility abstraction).
-  Status MarkInvisible(const ObjectId& id);
+  Status MarkInvisible(const ObjectId& id)
+      PAPYRUS_REQUIRES(base::engine_thread);
 
   /// Undeletes a version, provided it has not been physically reclaimed.
-  Status MarkVisible(const ObjectId& id);
+  Status MarkVisible(const ObjectId& id)
+      PAPYRUS_REQUIRES(base::engine_thread);
 
   /// Physically frees a version's payload. Keeps a tombstone so history
   /// remains self-describing. Irreversible. A pinned version first gives
   /// the pin holder a chance to release its claim (see
   /// set_pinned_reclaim_handler); if the version is still pinned after
   /// that, Reclaim refuses with FailedPrecondition.
-  Status Reclaim(const ObjectId& id);
+  Status Reclaim(const ObjectId& id) PAPYRUS_REQUIRES(base::engine_thread);
 
   /// Reclamation protection for versions some manager still depends on.
   /// Pins nest; Unpin of an unpinned or unknown version is a no-op.
-  Status Pin(const ObjectId& id);
-  void Unpin(const ObjectId& id);
+  Status Pin(const ObjectId& id) PAPYRUS_REQUIRES(base::engine_thread);
+  void Unpin(const ObjectId& id) PAPYRUS_REQUIRES(base::engine_thread);
   bool IsPinned(const ObjectId& id) const;
 
   /// Called by Reclaim when it encounters a pinned version, so the pin
   /// holder (the derivation cache) can invalidate dependent state and
   /// release the pin instead of vetoing reclamation. One holder at a time;
   /// pass nullptr to unregister.
-  void set_pinned_reclaim_handler(std::function<void(const ObjectId&)> fn) {
+  void set_pinned_reclaim_handler(std::function<void(const ObjectId&)> fn)
+      PAPYRUS_REQUIRES(base::engine_thread) {
     pinned_reclaim_handler_ = std::move(fn);
   }
 
@@ -123,14 +136,16 @@ class OctDatabase {
   /// the persistence layer (§5.3: the history is stored persistently for
   /// inter-process communication and crash recovery). Records of one name
   /// must be restored in version order.
-  Status RestoreRecord(ObjectRecord record);
+  Status RestoreRecord(ObjectRecord record)
+      PAPYRUS_REQUIRES(base::engine_thread);
 
   Clock* clock() const { return clock_; }
 
   /// Attaches trace + metrics sinks: version allocations and reclamations
   /// become session-track instants and papyrus.oct.* counters, with the
   /// live-bytes gauge tracking TotalLiveBytes incrementally.
-  void set_observability(const obs::Observability& obs);
+  void set_observability(const obs::Observability& obs)
+      PAPYRUS_REQUIRES(base::engine_thread);
 
  private:
   ObjectRecord* Find(const ObjectId& id);
@@ -164,7 +179,8 @@ class Transaction {
 
   /// Applies all staged creations; returns the ids created, in staging
   /// order. After Commit the transaction is empty and reusable.
-  Result<std::vector<ObjectId>> Commit();
+  Result<std::vector<ObjectId>> Commit()
+      PAPYRUS_REQUIRES(base::engine_thread);
 
   /// Discards staged work.
   void Abort() { staged_.clear(); }

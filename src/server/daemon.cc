@@ -8,7 +8,10 @@
 
 #include "base/macros.h"
 #include "base/strings.h"
+#include "base/thread_annotations.h"
+#include "lint/wire_analyzer.h"
 #include "oct/design_data.h"
+#include "tdl/template.h"
 
 namespace papyrus::server {
 
@@ -71,6 +74,7 @@ PapyrusDaemon::PapyrusDaemon(const DaemonOptions& options)
     : options_(options),
       clock_(options.clock != nullptr ? options.clock : &owned_clock_),
       owner_(NextOwnerToken()) {
+  base::AssertEngineThread("PapyrusDaemon::PapyrusDaemon");
   obs::MetricsRegistry* metrics = options_.metrics;
   if (metrics == nullptr) {
     owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
@@ -98,6 +102,7 @@ PapyrusDaemon::~PapyrusDaemon() = default;
 
 Result<std::unique_ptr<PapyrusDaemon>> PapyrusDaemon::Start(
     const DaemonOptions& options) {
+  base::AssertEngineThread("PapyrusDaemon::Start");
   if (options.root.empty()) {
     return Status::InvalidArgument("daemon root directory required");
   }
@@ -126,6 +131,7 @@ void PapyrusDaemon::TraceInstant(const std::string& name,
 }
 
 Result<int64_t> PapyrusDaemon::Submit(const TaskDescription& desc) {
+  base::AssertEngineThread("PapyrusDaemon::Submit");
   if (crashed_) return Status::FailedPrecondition("daemon crashed");
   if (shut_down_) return Status::FailedPrecondition("daemon shut down");
   PAPYRUS_ASSIGN_OR_RETURN(int64_t id,
@@ -139,6 +145,7 @@ Result<int64_t> PapyrusDaemon::Submit(const TaskDescription& desc) {
 
 Result<ManagedSession*> PapyrusDaemon::OpenSession(
     const std::string& name) {
+  base::AssertEngineThread("PapyrusDaemon::OpenSession");
   if (name.empty() || name.find('/') != std::string::npos ||
       name == "." || name == "..") {
     return Status::InvalidArgument("bad session name \"" + name + "\"");
@@ -155,6 +162,16 @@ Result<ManagedSession*> PapyrusDaemon::OpenSession(
   sessions_[name] = std::move(session);
   g_sessions_->Set(static_cast<int64_t>(sessions_.size()));
   return raw;
+}
+
+std::vector<lint::Diagnostic> PapyrusDaemon::PreflightQueue() const {
+  // Sessions check tasks against the thesis library (Papyrus registers
+  // it at construction), so pre-flight resolves against the same one.
+  tdl::TemplateLibrary library;
+  (void)tdl::RegisterThesisTemplates(&library);
+  std::string label =
+      (std::filesystem::path(options_.root) / "queue").string();
+  return lint::PreflightQueuedTasks(queue_->Tasks(), &library, label);
 }
 
 bool PapyrusDaemon::MaybeCrash(const char* point) {
@@ -174,6 +191,7 @@ Status PapyrusDaemon::CrashStatus(const char* point) const {
 }
 
 Result<bool> PapyrusDaemon::RunOne() {
+  base::AssertEngineThread("PapyrusDaemon::RunOne");
   if (crashed_) return Status::FailedPrecondition("daemon crashed");
   if (shut_down_) return Status::FailedPrecondition("daemon shut down");
   queue_->ExpireLeases();
@@ -250,6 +268,7 @@ Result<bool> PapyrusDaemon::RunOne() {
 }
 
 Status PapyrusDaemon::Drain() {
+  base::AssertEngineThread("PapyrusDaemon::Drain");
   while (true) {
     PAPYRUS_ASSIGN_OR_RETURN(bool ran, RunOne());
     if (!ran) break;
@@ -258,6 +277,7 @@ Status PapyrusDaemon::Drain() {
 }
 
 Status PapyrusDaemon::Shutdown() {
+  base::AssertEngineThread("PapyrusDaemon::Shutdown");
   if (crashed_) {
     return Status::FailedPrecondition("daemon crashed; cannot shut down");
   }
@@ -287,6 +307,7 @@ Status PapyrusDaemon::Shutdown() {
 
 Result<std::string> PapyrusDaemon::HandleCheckin(
     const WireMessage& request) {
+  base::AssertEngineThread("PapyrusDaemon::HandleCheckin");
   const std::string* session_name = request.Find("session");
   const std::string* path = request.Find("path");
   const std::string* type = request.Find("type");
@@ -333,6 +354,8 @@ Result<std::string> PapyrusDaemon::HandleCheckin(
 }
 
 std::string PapyrusDaemon::HandleLine(const std::string& line) {
+  // Event-loop top: every verb handler below inherits the engine role.
+  base::AssertEngineThread("PapyrusDaemon::HandleLine");
   c_wire_->Increment();
   auto request = WireMessage::Parse(line);
   if (!request.ok()) return ErrorLine(request.status().message());
@@ -340,6 +363,7 @@ std::string PapyrusDaemon::HandleLine(const std::string& line) {
 }
 
 std::string PapyrusDaemon::HandleLineImpl(const WireMessage& request) {
+  base::AssertEngineThread("PapyrusDaemon::HandleLineImpl");
   WireMessage response;
   response.verb = "ok";
   if (request.verb == "ping") {

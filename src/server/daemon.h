@@ -9,6 +9,7 @@
 #include "base/clock.h"
 #include "base/result.h"
 #include "base/status.h"
+#include "lint/diagnostics.h"
 #include "obs/observability.h"
 #include "server/queue.h"
 #include "server/session_manager.h"
@@ -116,6 +117,13 @@ class PapyrusDaemon {
 
   /// Opens (or returns the already-open) hosted session.
   Result<ManagedSession*> OpenSession(const std::string& name);
+
+  /// Startup pre-flight: statically re-checks every pending or claimed
+  /// task the reopened queue holds (descriptions may come from an older
+  /// incarnation or another client) against the session template
+  /// library. Report-only — findings fail fast at execution anyway;
+  /// papyrusd prints them to stderr before serving.
+  std::vector<lint::Diagnostic> PreflightQueue() const;
 
   PersistentQueue& queue() { return *queue_; }
   ManualClock& clock() { return *clock_; }

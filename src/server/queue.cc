@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "base/macros.h"
+#include "base/thread_annotations.h"
 #include "base/strings.h"
 #include "storage/atomic_file.h"
 
@@ -119,6 +120,7 @@ PersistentQueue::PersistentQueue(std::string directory, ManualClock* clock,
 Result<std::unique_ptr<PersistentQueue>> PersistentQueue::Open(
     const std::string& directory, ManualClock* clock,
     const obs::Observability& obs) {
+  base::AssertEngineThread("PersistentQueue::Open");
   std::error_code ec;
   std::filesystem::create_directories(directory, ec);
   if (ec) {

@@ -12,6 +12,7 @@
 #include "base/clock.h"
 #include "base/result.h"
 #include "base/status.h"
+#include "base/thread_annotations.h"
 #include "obs/observability.h"
 
 namespace papyrus::server {
@@ -61,8 +62,9 @@ struct QueueTask {
 /// to pending for re-dispatch. Combined with the daemon's applied-task
 /// ledger this yields at-least-once execution with exactly-once commit.
 ///
-/// Single-threaded like the rest of the engine: all calls from the
-/// daemon thread.
+/// Single-threaded like the rest of the engine: every journal- or
+/// state-mutating call carries PAPYRUS_REQUIRES(base::engine_thread) —
+/// the daemon's dispatch thread is the engine thread.
 class PersistentQueue {
  public:
   /// Opens (creating if needed) the queue stored in `directory`.
@@ -78,36 +80,41 @@ class PersistentQueue {
 
   /// Journals and enqueues a task; returns its queue id.
   Result<int64_t> Enqueue(const std::string& session,
-                          const std::string& description);
+                          const std::string& description)
+      PAPYRUS_REQUIRES(base::engine_thread);
 
   /// Claims the lowest-id pending task under a `lease_micros` lease held
   /// by `owner`. Returns nullopt when nothing is pending.
   Result<std::optional<QueueTask>> Claim(const std::string& owner,
-                                         int64_t lease_micros);
+                                         int64_t lease_micros)
+      PAPYRUS_REQUIRES(base::engine_thread);
 
   /// Marks a task done. Only the current lease holder may complete it —
   /// a stale owner whose lease was reaped and re-claimed is rejected, so
   /// two daemons can never both think they committed the same task.
-  Status Complete(int64_t id, const std::string& owner);
+  Status Complete(int64_t id, const std::string& owner)
+      PAPYRUS_REQUIRES(base::engine_thread);
 
   /// Marks a task permanently failed (attempt budget exhausted).
   Status Fail(int64_t id, const std::string& owner,
-              const std::string& reason);
+              const std::string& reason)
+      PAPYRUS_REQUIRES(base::engine_thread);
 
   /// Returns a claimed task to pending before its lease expires (the
   /// execution hit a retryable error). Lease-holder checked like
   /// Complete.
-  Status Release(int64_t id, const std::string& owner);
+  Status Release(int64_t id, const std::string& owner)
+      PAPYRUS_REQUIRES(base::engine_thread);
 
   /// Reaps every lease whose deadline has passed; the tasks go back to
   /// pending. Returns how many were reaped.
-  int ExpireLeases();
+  int ExpireLeases() PAPYRUS_REQUIRES(base::engine_thread);
 
   /// Writes an atomic checkpoint of the full queue state and truncates
   /// the journal. Crash-safe in both orders: the checkpoint lands via
   /// write-rename-fsync first, and replaying the old journal over it is
   /// idempotent.
-  Status Checkpoint();
+  Status Checkpoint() PAPYRUS_REQUIRES(base::engine_thread);
 
   // --- introspection ----------------------------------------------------
 
@@ -128,11 +135,13 @@ class PersistentQueue {
   PersistentQueue(std::string directory, ManualClock* clock,
                   const obs::Observability& obs);
 
-  Status LoadCheckpoint();
-  Status ReplayJournal();
-  Status ApplyJournalLine(const std::string& body);
-  Status AppendJournal(const std::string& body);
-  void UpdateDepthGauge();
+  Status LoadCheckpoint() PAPYRUS_REQUIRES(base::engine_thread);
+  Status ReplayJournal() PAPYRUS_REQUIRES(base::engine_thread);
+  Status ApplyJournalLine(const std::string& body)
+      PAPYRUS_REQUIRES(base::engine_thread);
+  Status AppendJournal(const std::string& body)
+      PAPYRUS_REQUIRES(base::engine_thread);
+  void UpdateDepthGauge() PAPYRUS_REQUIRES(base::engine_thread);
 
   std::string directory_;
   std::string journal_path_;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "base/macros.h"
+#include "base/thread_annotations.h"
 #include "base/strings.h"
 #include "storage/atomic_file.h"
 
@@ -36,6 +37,7 @@ ManagedSession::ManagedSession(std::string directory, std::string name)
 Result<std::unique_ptr<ManagedSession>> ManagedSession::Open(
     const std::string& directory, const std::string& name,
     const SessionConfig& config, const obs::Observability& obs) {
+  base::AssertEngineThread("ManagedSession::Open");
   std::error_code ec;
   std::filesystem::create_directories(directory, ec);
   if (ec) {

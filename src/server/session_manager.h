@@ -7,6 +7,7 @@
 #include <string>
 
 #include "activity/design_thread.h"
+#include "base/thread_annotations.h"
 #include "core/papyrus.h"
 #include "fault/fault_plan.h"
 #include "obs/observability.h"
@@ -74,26 +75,30 @@ class ManagedSession {
   Result<activity::NodeId> AppliedNode(int64_t task_id) const;
 
   /// Resolves the named design thread, creating it on first use.
-  Result<int> ThreadByName(const std::string& thread_name);
+  Result<int> ThreadByName(const std::string& thread_name)
+      PAPYRUS_REQUIRES(base::engine_thread);
 
   /// Runs a task description in this session and records it in the
   /// in-memory applied ledger. The effects are durable only after the
   /// next Save() — the daemon saves before acknowledging the queue.
   Result<activity::NodeId> Execute(int64_t task_id,
-                                   const TaskDescription& desc);
+                                   const TaskDescription& desc)
+      PAPYRUS_REQUIRES(base::engine_thread);
 
   /// Durably persists a new snapshot generation and swaps CURRENT to it.
-  Status Save();
+  Status Save() PAPYRUS_REQUIRES(base::engine_thread);
 
  private:
   ManagedSession(std::string directory, std::string name);
 
-  Status Restore(const std::string& snapshot_dir);
-  Status RestoreState(const std::string& state_text);
+  Status Restore(const std::string& snapshot_dir)
+      PAPYRUS_REQUIRES(base::engine_thread);
+  Status RestoreState(const std::string& state_text)
+      PAPYRUS_REQUIRES(base::engine_thread);
   std::string SerializeState() const;
   /// Re-derives the ADG by re-observing every restored history record in
   /// commit order (metadata inference state is not persisted).
-  Status ReplayMetadata();
+  Status ReplayMetadata() PAPYRUS_REQUIRES(base::engine_thread);
 
   std::string directory_;
   std::string name_;

@@ -1,4 +1,5 @@
 #include "sprite/network.h"
+#include "base/thread_annotations.h"
 
 #include <algorithm>
 #include <cmath>
@@ -24,6 +25,7 @@ Network::Network(ManualClock* clock, int num_hosts) : clock_(clock) {
 }
 
 void Network::set_observability(const obs::Observability& sinks) {
+  base::AssertEngineThread("Network::set_observability");
   obs_ = sinks;
   if (obs_.metrics != nullptr) {
     auto bind = [this](const char* name, int64_t accumulated) {
@@ -63,6 +65,7 @@ void Network::TraceHostEvent(HostId host, const std::string& name,
 }
 
 void Network::TraceLoad(HostId host) {
+  base::AssertEngineThread("Network::TraceLoad");
   if (obs_.trace == nullptr) return;
   obs_.trace->CounterValue(obs::kHostTrackPid, host,
                            "load host " + std::to_string(host),

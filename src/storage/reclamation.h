@@ -9,6 +9,7 @@
 
 #include "activity/design_thread.h"
 #include "base/clock.h"
+#include "base/thread_annotations.h"
 #include "oct/database.h"
 
 namespace papyrus::cache {
@@ -83,14 +84,16 @@ class ReclamationManager {
   /// appended before `older_than_micros` and physically reclaims their
   /// intermediate object versions.
   Result<ReclamationReport> VerticalAge(activity::DesignThread* thread,
-                                        int64_t older_than_micros);
+                                        int64_t older_than_micros)
+      PAPYRUS_REQUIRES(base::engine_thread);
 
   /// Horizontal aging (Figure 5.8): prunes the linear prefix of records
   /// appended before `older_than_micros`, re-rooting the stream at the
   /// first younger record, and reclaims versions referenced only by the
   /// pruned prefix. Stops at branching structure.
   Result<ReclamationReport> HorizontalAge(activity::DesignThread* thread,
-                                          int64_t older_than_micros);
+                                          int64_t older_than_micros)
+      PAPYRUS_REQUIRES(base::engine_thread);
 
   // --- garbage collection ----------------------------------------------------
 
@@ -101,12 +104,14 @@ class ReclamationManager {
   /// reclaimed.
   Result<ReclamationReport> AbstractIterations(
       activity::DesignThread* thread,
-      const std::vector<std::vector<activity::NodeId>>& rounds);
+      const std::vector<std::vector<activity::NodeId>>& rounds)
+      PAPYRUS_REQUIRES(base::engine_thread);
 
   /// Dead-end branch pruning: erases frontier branches whose tip has not
   /// been accessed for `unaccessed_micros`.
   Result<ReclamationReport> PruneDeadBranches(
-      activity::DesignThread* thread, int64_t unaccessed_micros);
+      activity::DesignThread* thread, int64_t unaccessed_micros)
+      PAPYRUS_REQUIRES(base::engine_thread);
 
   int64_t total_bytes_reclaimed() const { return total_bytes_reclaimed_; }
 
@@ -117,7 +122,8 @@ class ReclamationManager {
   }
   /// Physically reclaims the given versions and accumulates the report.
   void ReclaimObjects(const std::vector<oct::ObjectId>& ids,
-                      ReclamationReport* report);
+                      ReclamationReport* report)
+      PAPYRUS_REQUIRES(base::engine_thread);
 
   oct::OctDatabase* db_;
   Clock* clock_;

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "base/thread_annotations.h"
 #include "cadtools/measurements.h"
 
 namespace papyrus::sync {
@@ -147,6 +148,7 @@ void SdsManager::NotifySubscribers(const std::string& sds_name,
 Status SdsManager::Move(const oct::ObjectId& id, const Space& source,
                         const Space& destination, bool notify,
                         std::vector<NotifyPredicate> predicates) {
+  base::AssertEngineThread("SdsManager::Move");
   if (source.kind == Space::Kind::kThreadWorkspace &&
       destination.kind == Space::Kind::kThreadWorkspace) {
     // §3.3.4.2: no direct data sharing among threads.

@@ -29,20 +29,25 @@ int DefaultWorkerThreads() {
 
 StepExecutor::StepExecutor() = default;
 
-StepExecutor::~StepExecutor() { StopPool(); }
+StepExecutor::~StepExecutor() {
+  // Vouch locally instead of annotating the destructor (a REQUIRES dtor
+  // would propagate into every owner's, often implicit, dtor).
+  base::AssertEngineThread("StepExecutor::~StepExecutor");
+  StopPool();
+}
 
 void StepExecutor::set_worker_threads(int n) {
   if (n < 1) n = 1;
   if (n > 64) n = 64;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    base::MutexLock lock(mu_);
     if (!jobs_.empty()) return;  // resize only between steps
     if (n == workers_configured_ && pool_.size() == (n > 1 ? size_t(n) : 0)) {
       return;
     }
   }
   StopPool();
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   workers_configured_ = n;
   if (g_workers_ != nullptr) g_workers_->Set(n);
   worker_steps_.assign(static_cast<size_t>(n), nullptr);
@@ -60,7 +65,7 @@ void StepExecutor::StartPoolLocked() {
 
 void StepExecutor::StopPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    base::MutexLock lock(mu_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -69,7 +74,7 @@ void StepExecutor::StopPool() {
 }
 
 void StepExecutor::BindMetrics(obs::MetricsRegistry* registry) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   registry_ = registry;
   if (registry == nullptr) {
     g_workers_ = nullptr;
@@ -115,7 +120,7 @@ uint64_t StepExecutor::Submit(const cadtools::Tool* tool,
   job->seed = seed;
   job->attempt = attempt;
 
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   uint64_t id = next_job_id_++;
   jobs_.emplace(id, std::move(job));
   if (workers_configured_ > 1) {
@@ -145,12 +150,17 @@ void StepExecutor::RunJob(Job* job, obs::EffectCapture* capture) {
 }
 
 void StepExecutor::WorkerLoop(int worker_index) {
+  // Mark this thread for the engine-thread role checks: an engine-only
+  // API reached from a tool payload aborts here instead of racing.
+  base::ScopedWorkerThread worker_mark;
   for (;;) {
     Job* job = nullptr;
     obs::Counter* steps = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      base::MutexLock lock(mu_);
+      // Explicit predicate loop (not wait(lock, pred)): the analysis does
+      // not see a predicate lambda as holding `mu_`.
+      while (!stop_ && queue_.empty()) work_cv_.wait(lock);
       if (stop_) return;
       uint64_t id = queue_.front();
       queue_.pop_front();
@@ -171,7 +181,7 @@ void StepExecutor::WorkerLoop(int worker_index) {
     RunJob(job, &job->effects);
 
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      base::MutexLock lock(mu_);
       job->state = Job::State::kDone;
       // Pool bookkeeping applies directly (capture uninstalled): these
       // metrics describe the pool itself and are worker-count-dependent
@@ -184,7 +194,7 @@ void StepExecutor::WorkerLoop(int worker_index) {
 }
 
 cadtools::ToolRunResult StepExecutor::Take(uint64_t job_id) {
-  std::unique_lock<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   auto it = jobs_.find(job_id);
   if (it == jobs_.end()) {
     return cadtools::ToolRunResult::Fail(
@@ -210,7 +220,7 @@ cadtools::ToolRunResult StepExecutor::Take(uint64_t job_id) {
     job->state = Job::State::kDone;
     if (c_steps_inline_ != nullptr) c_steps_inline_->Increment();
   } else {
-    done_cv_.wait(lock, [job] { return job->state == Job::State::kDone; });
+    while (job->state != Job::State::kDone) done_cv_.wait(lock);
   }
 
   if (h_wall_latency_ != nullptr) h_wall_latency_->Observe(job->wall_micros);
@@ -228,21 +238,21 @@ cadtools::ToolRunResult StepExecutor::Take(uint64_t job_id) {
 }
 
 void StepExecutor::Discard(uint64_t job_id) {
-  std::unique_lock<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   auto it = jobs_.find(job_id);
   if (it == jobs_.end()) return;
   Job* job = it->second.get();
   if (job->state == Job::State::kRunning) {
     // A worker is mid-run; wait it out, then drop everything. (Tool
     // payloads are short compute kernels; there is no cancellation.)
-    done_cv_.wait(lock, [job] { return job->state == Job::State::kDone; });
+    while (job->state != Job::State::kDone) done_cv_.wait(lock);
   }
   it->second->effects.Drop();
   jobs_.erase(it);
 }
 
 size_t StepExecutor::pending() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   return jobs_.size();
 }
 

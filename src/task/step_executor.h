@@ -1,16 +1,16 @@
 #ifndef PAPYRUS_TASK_STEP_EXECUTOR_H_
 #define PAPYRUS_TASK_STEP_EXECUTOR_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 #include "cadtools/tool.h"
 #include "obs/effect_capture.h"
 #include "obs/metrics.h"
@@ -59,9 +59,12 @@ int DefaultWorkerThreads();
 ///
 /// ## Thread contract
 ///
-/// Submit / Take / Discard / set_worker_threads / BindMetrics are
-/// engine-thread-only. Workers touch only the job table (under the
-/// executor mutex) and the job payload while it is in the running state.
+/// Submit / Take / Discard / set_worker_threads / BindMetrics carry
+/// PAPYRUS_REQUIRES(base::engine_thread). Workers touch only the job
+/// table (under `mu_`, which guards all executor state) and the job
+/// payload while it is in the running state; each worker thread is marked
+/// with base::ScopedWorkerThread at the top of its loop, so an
+/// engine-only API reached from a tool payload aborts instead of racing.
 /// With worker_threads() == 1 no threads exist and Take runs the payload
 /// inline at the completion event — exactly the pre-executor behavior.
 /// In pool mode the engine steals still-queued jobs at Take instead of
@@ -76,12 +79,19 @@ class StepExecutor {
 
   /// Resizes the pool. Must be called with no jobs outstanding (between
   /// sessions or tasks); a call with jobs in flight is ignored.
-  void set_worker_threads(int n);
-  int worker_threads() const { return workers_configured_; }
+  void set_worker_threads(int n)
+      PAPYRUS_REQUIRES(base::engine_thread) PAPYRUS_EXCLUDES(mu_);
+  int worker_threads() const PAPYRUS_EXCLUDES(mu_) {
+    // Lock-discipline fix: this used to read workers_configured_ without
+    // `mu_` while set_worker_threads writes it under the lock.
+    base::MutexLock lock(mu_);
+    return workers_configured_;
+  }
 
   /// Binds the executor's pool metrics (papyrus.exec.*). Engine thread,
   /// with no jobs outstanding.
-  void BindMetrics(obs::MetricsRegistry* registry);
+  void BindMetrics(obs::MetricsRegistry* registry)
+      PAPYRUS_REQUIRES(base::engine_thread) PAPYRUS_EXCLUDES(mu_);
 
   /// Snapshots one step's tool invocation and enqueues it. `tool` is
   /// borrowed and must outlive the job. Returns a nonzero job id.
@@ -89,21 +99,24 @@ class StepExecutor {
                   std::vector<oct::DesignPayload> inputs,
                   std::vector<std::string> input_names,
                   cadtools::ToolOptions options, uint64_t seed,
-                  int attempt);
+                  int attempt)
+      PAPYRUS_REQUIRES(base::engine_thread) PAPYRUS_EXCLUDES(mu_);
 
   /// Consumes a job at its virtual completion event: runs it inline if no
   /// worker has it (serial mode, or pool steal), otherwise waits for the
   /// worker, then replays the job's captured observability effects and
   /// returns the result. The job id becomes invalid.
-  cadtools::ToolRunResult Take(uint64_t job_id);
+  cadtools::ToolRunResult Take(uint64_t job_id)
+      PAPYRUS_REQUIRES(base::engine_thread) PAPYRUS_EXCLUDES(mu_);
 
   /// Drops a job whose step will never complete (host crash, task abort,
   /// programmable-abort unwind): the result and every captured side
   /// effect are discarded, as if the tool had never run.
-  void Discard(uint64_t job_id);
+  void Discard(uint64_t job_id)
+      PAPYRUS_REQUIRES(base::engine_thread) PAPYRUS_EXCLUDES(mu_);
 
   /// Jobs submitted but not yet taken or discarded.
-  size_t pending() const;
+  size_t pending() const PAPYRUS_EXCLUDES(mu_);
 
  private:
   struct Job {
@@ -126,30 +139,36 @@ class StepExecutor {
   /// side effects directly). Called without the executor lock held.
   static void RunJob(Job* job, obs::EffectCapture* capture);
 
-  void WorkerLoop(int worker_index);
-  void StartPoolLocked();
-  void StopPool();
-  obs::Counter* WorkerStepsCounterLocked(int worker_index);
+  void WorkerLoop(int worker_index) PAPYRUS_EXCLUDES(mu_);
+  void StartPoolLocked() PAPYRUS_REQUIRES(mu_, base::engine_thread);
+  void StopPool() PAPYRUS_REQUIRES(base::engine_thread) PAPYRUS_EXCLUDES(mu_);
+  obs::Counter* WorkerStepsCounterLocked(int worker_index)
+      PAPYRUS_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;  // workers: queue non-empty or stop
-  std::condition_variable done_cv_;  // engine: a job reached kDone
-  bool stop_ = false;
-  int workers_configured_ = 1;
-  std::vector<std::thread> pool_;
-  uint64_t next_job_id_ = 1;
-  std::unordered_map<uint64_t, std::unique_ptr<Job>> jobs_;
-  std::deque<uint64_t> queue_;
+  mutable base::Mutex mu_;
+  base::CondVar work_cv_;  // workers: queue non-empty or stop
+  base::CondVar done_cv_;  // engine: a job reached kDone
+  bool stop_ PAPYRUS_GUARDED_BY(mu_) = false;
+  int workers_configured_ PAPYRUS_GUARDED_BY(mu_) = 1;
+  /// Thread handles are engine-owned (started / joined only by the engine
+  /// thread), guarded by the role, not the mutex: StopPool must join
+  /// without holding `mu_`.
+  std::vector<std::thread> pool_ PAPYRUS_GUARDED_BY(base::engine_thread);
+  uint64_t next_job_id_ PAPYRUS_GUARDED_BY(mu_) = 1;
+  std::unordered_map<uint64_t, std::unique_ptr<Job>> jobs_
+      PAPYRUS_GUARDED_BY(mu_);
+  std::deque<uint64_t> queue_ PAPYRUS_GUARDED_BY(mu_);
 
   // Pool observability (worker-count-dependent by design; excluded from
-  // the cross-worker-count determinism guarantee). Guarded by mu_.
-  obs::MetricsRegistry* registry_ = nullptr;
-  obs::Gauge* g_workers_ = nullptr;
-  obs::Counter* c_steps_pool_ = nullptr;
-  obs::Counter* c_steps_inline_ = nullptr;
-  obs::Histogram* h_queue_depth_ = nullptr;
-  obs::Histogram* h_wall_latency_ = nullptr;
-  std::vector<obs::Counter*> worker_steps_;  // per worker index
+  // the cross-worker-count determinism guarantee).
+  obs::MetricsRegistry* registry_ PAPYRUS_GUARDED_BY(mu_) = nullptr;
+  obs::Gauge* g_workers_ PAPYRUS_GUARDED_BY(mu_) = nullptr;
+  obs::Counter* c_steps_pool_ PAPYRUS_GUARDED_BY(mu_) = nullptr;
+  obs::Counter* c_steps_inline_ PAPYRUS_GUARDED_BY(mu_) = nullptr;
+  obs::Histogram* h_queue_depth_ PAPYRUS_GUARDED_BY(mu_) = nullptr;
+  obs::Histogram* h_wall_latency_ PAPYRUS_GUARDED_BY(mu_) = nullptr;
+  std::vector<obs::Counter*> worker_steps_
+      PAPYRUS_GUARDED_BY(mu_);  // per worker index
 };
 
 }  // namespace papyrus::task

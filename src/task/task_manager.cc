@@ -1,5 +1,6 @@
 #include "task/task_manager.h"
 #include "base/macros.h"
+#include "base/thread_annotations.h"
 
 #include <algorithm>
 #include <deque>
@@ -78,6 +79,7 @@ class Execution {
         exec_token_(kExecTokenBase + exec_id) {}
 
   ~Execution() {
+    base::AssertEngineThread("Execution::~Execution");
     // Defensive: drop any leftover router entries and executor jobs.
     for (const auto& [pid, entry] : active_) {
       mgr_->pid_router_.erase(pid);
@@ -284,6 +286,7 @@ class Execution {
 };
 
 Status Execution::Init() {
+  base::AssertEngineThread("Execution::Init");
   auto tmpl = mgr_->templates_->Find(invocation_.template_name);
   if (!tmpl.ok()) return tmpl.status();
   template_ = *tmpl;
@@ -362,6 +365,7 @@ Status Execution::Init() {
 }
 
 void Execution::NameStepTrack(const ResolvedStep& step) {
+  base::AssertEngineThread("Execution::NameStepTrack");
   if (obs::TraceRecorder* tr = trace()) {
     tr->SetThreadName(trace_pid(), step.internal_id, "step " + step.name);
   }
@@ -665,6 +669,7 @@ tcl::EvalResult Execution::CmdSubtask(
 
 tcl::EvalResult Execution::CmdAttribute(
     const std::vector<std::string>& argv) {
+  base::AssertEngineThread("Execution::CmdAttribute");
   if (argv.size() != 3) {
     return tcl::EvalResult::Error(
         "wrong # args: attribute Object_Name Attribute_Name");
@@ -884,6 +889,7 @@ void Execution::IssueStep(ResolvedStep step) {
 }
 
 Status Execution::DispatchStep(const ResolvedStep& step) {
+  base::AssertEngineThread("Execution::DispatchStep");
   auto tool = mgr_->tools_->Find(step.tool);
   if (!tool.ok()) return tool.status();
 
@@ -1011,6 +1017,7 @@ Status Execution::DispatchStep(const ResolvedStep& step) {
 bool Execution::TryCompleteFromCache(
     const ResolvedStep& step, const std::vector<oct::ObjectId>& input_ids,
     const std::string& cache_key) {
+  base::AssertEngineThread("Execution::TryCompleteFromCache");
   cache::DerivationCache* cache = mgr_->cache_;
   if (cache == nullptr || invocation_.disable_step_cache) return false;
   const cache::CacheEntry* hit = cache->Probe(cache_key);
@@ -1180,6 +1187,7 @@ void Execution::FailStep(const ResolvedStep& step, int exit_status,
 }
 
 void Execution::OnProcessLost(const sprite::ProcessInfo& pinfo) {
+  base::AssertEngineThread("Execution::OnProcessLost");
   auto it = active_.find(pinfo.pid);
   if (it == active_.end()) return;
   ActiveEntry entry = std::move(it->second);
@@ -1219,6 +1227,7 @@ int64_t Execution::NextRetryMicros() const {
 }
 
 void Execution::OnProcessComplete(const sprite::ProcessInfo& pinfo) {
+  base::AssertEngineThread("Execution::OnProcessComplete");
   auto it = active_.find(pinfo.pid);
   if (it == active_.end()) return;
   ActiveEntry entry = std::move(it->second);
@@ -1420,6 +1429,7 @@ void Execution::ScheduleRestart(int resumed_internal_id) {
 }
 
 void Execution::DoRestart(int j) {
+  base::AssertEngineThread("Execution::DoRestart");
   pending_restart_.reset();
   ++restarts_;
   mgr_->c_task_restarts_->Increment();
@@ -1536,6 +1546,7 @@ void Execution::DoRestart(int j) {
 }
 
 void Execution::AbortTask(Status status) {
+  base::AssertEngineThread("Execution::AbortTask");
   pending_abort_ = false;
   pending_restart_.reset();
   for (const auto& [pid, entry] : active_) {
@@ -1581,6 +1592,7 @@ void Execution::AbortTask(Status status) {
 }
 
 void Execution::Commit() {
+  base::AssertEngineThread("Execution::Commit");
   TaskHistoryRecord record;
   record.task_name = template_->name;
   record.inputs = invocation_.inputs;
@@ -1658,6 +1670,7 @@ TaskManager::TaskManager(oct::OctDatabase* db,
                          sprite::Network* network,
                          const tdl::TemplateLibrary* templates)
     : db_(db), tools_(tools), network_(network), templates_(templates) {
+  base::AssertEngineThread("TaskManager::TaskManager");
   executor_ = std::make_unique<StepExecutor>();
   executor_->set_worker_threads(DefaultWorkerThreads());
   owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
@@ -1676,6 +1689,7 @@ TaskManager::TaskManager(oct::OctDatabase* db,
 TaskManager::~TaskManager() = default;
 
 void TaskManager::set_observability(const obs::Observability& obs) {
+  base::AssertEngineThread("TaskManager::set_observability");
   obs_.trace = obs.trace;
   if (obs.metrics != nullptr && obs.metrics != obs_.metrics) {
     BindMetrics(obs.metrics);
@@ -1684,6 +1698,7 @@ void TaskManager::set_observability(const obs::Observability& obs) {
 }
 
 void TaskManager::BindMetrics(obs::MetricsRegistry* registry) {
+  base::AssertEngineThread("TaskManager::BindMetrics");
   auto rebind = [registry](obs::Counter*& c, const char* name) {
     obs::Counter* fresh = registry->FindOrCreateCounter(name);
     // Carry accumulated statistics into the new registry so the
@@ -1712,6 +1727,7 @@ void TaskManager::BindMetrics(obs::MetricsRegistry* registry) {
 }
 
 void TaskManager::set_worker_threads(int n) {
+  base::AssertEngineThread("TaskManager::set_worker_threads");
   executor_->set_worker_threads(n);
 }
 

@@ -1,10 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "base/clock.h"
 #include "base/macros.h"
+#include "base/mutex.h"
 #include "base/result.h"
 #include "base/status.h"
 #include "base/strings.h"
+#include "base/thread_annotations.h"
 
 namespace papyrus {
 namespace {
@@ -139,6 +143,43 @@ TEST(ClockTest, SystemClockMovesForward) {
   int64_t b = clock->NowMicros();
   EXPECT_GE(b, a);
   EXPECT_GT(a, 0);
+}
+
+// Every thread is the engine thread until marked; the mark is scoped and
+// thread-local.
+TEST(ThreadRoleTest, EveryThreadIsEngineUntilMarked) {
+  EXPECT_TRUE(base::OnEngineThread());
+  {
+    base::ScopedWorkerThread mark;
+    EXPECT_FALSE(base::OnEngineThread());
+  }
+  EXPECT_TRUE(base::OnEngineThread());
+
+  bool fresh_thread_is_engine = false;
+  bool marked_thread_is_engine = true;
+  std::thread([&] {
+    fresh_thread_is_engine = base::OnEngineThread();
+    base::ScopedWorkerThread mark;
+    marked_thread_is_engine = base::OnEngineThread();
+  }).join();
+  EXPECT_TRUE(fresh_thread_is_engine);
+  EXPECT_FALSE(marked_thread_is_engine);
+}
+
+TEST(ThreadRoleTest, AssertEngineThreadPassesOnEngineThread) {
+  base::AssertEngineThread("ThreadRoleTest");  // must not abort
+}
+
+// The runtime half of the contract: an engine-only entry point reached
+// from a marked pool worker dies loudly instead of corrupting state.
+TEST(ThreadRoleDeathTest, AssertEngineThreadAbortsOnWorkerThread) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(
+      {
+        base::ScopedWorkerThread mark;
+        base::AssertEngineThread("DeathTestProbe");
+      },
+      "engine-thread contract violated: DeathTestProbe");
 }
 
 }  // namespace

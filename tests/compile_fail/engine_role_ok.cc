@@ -1,0 +1,47 @@
+// Compile-PASS control for the thread-safety contracts (not part of any
+// CMake target). CI compiles this with the same
+//   clang++ -fsyntax-only -Werror=thread-safety -Werror=thread-safety-beta
+// flags as engine_role_violation.cc and requires it to SUCCEED — it
+// exercises the sanctioned patterns, so a failure here means the
+// annotation macros themselves broke (and the violation check's failure
+// would be meaningless).
+
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
+
+namespace {
+
+struct Guarded {
+  papyrus::base::Mutex mu;
+  int value PAPYRUS_GUARDED_BY(mu) = 0;
+};
+
+// Guarded access through the RAII lock, including the manual
+// unlock/relock pair the step executor's inline-run path uses.
+int ReadLocked(Guarded& g) {
+  papyrus::base::MutexLock lock(g.mu);
+  int v = g.value;
+  lock.unlock();
+  lock.lock();
+  v += g.value;
+  return v;
+}
+
+void Mutate() PAPYRUS_REQUIRES(papyrus::base::engine_thread);
+void Mutate() {}
+
+// The engine role is vouched for by the runtime assert, the same recipe
+// every library entry point uses.
+void CallFromEngine() {
+  papyrus::base::AssertEngineThread("CallFromEngine");
+  Mutate();
+}
+
+}  // namespace
+
+// Anchor so -fsyntax-only sees the functions used.
+void CompileFailControlAnchor() {
+  Guarded g;
+  (void)ReadLocked(g);
+  CallFromEngine();
+}

@@ -1,0 +1,38 @@
+// Compile-FAIL check for the thread-safety contracts (not part of any
+// CMake target). CI compiles this with
+//   clang++ -fsyntax-only -Werror=thread-safety -Werror=thread-safety-beta
+// and requires the compile to FAIL: each block below violates a contract
+// the annotations must reject. If this file ever compiles clean under
+// Clang, the enforcement layer is broken.
+//
+// The positive control engine_role_ok.cc must keep compiling clean with
+// the same flags.
+
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
+
+namespace {
+
+struct Guarded {
+  papyrus::base::Mutex mu;
+  int value PAPYRUS_GUARDED_BY(mu) = 0;
+};
+
+// Violation 1: reading a guarded field without holding its mutex.
+int ReadUnlocked(Guarded& g) {
+  return g.value;  // expected-error: requires holding mutex 'g.mu'
+}
+
+// Violation 2: calling an engine-thread-only API without the role.
+void Mutate() PAPYRUS_REQUIRES(papyrus::base::engine_thread);
+
+void CallFromAnywhere() {
+  Mutate();  // expected-error: requires holding role 'engine_thread'
+}
+
+// Violation 3: releasing a mutex never acquired.
+void UnlockUnheld(Guarded& g) {
+  g.mu.unlock();  // expected-error: releasing mutex that was not held
+}
+
+}  // namespace

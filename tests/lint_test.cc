@@ -1,16 +1,22 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <memory>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "base/clock.h"
 #include "cadtools/registry.h"
 #include "lint/linter.h"
 #include "lint/runtime_checker.h"
+#include "lint/wire_analyzer.h"
 #include "oct/database.h"
 #include "oct/design_data.h"
+#include "server/queue.h"
+#include "server/wire.h"
 #include "sprite/network.h"
 #include "task/task_manager.h"
 #include "tdl/template.h"
@@ -24,6 +30,14 @@ std::string TemplatesDir() {
 
 std::string BadTemplatesDir() {
   return std::string(PAPYRUS_SOURCE_DIR) + "/tests/data/bad_templates";
+}
+
+std::string BadWireDir() {
+  return std::string(PAPYRUS_SOURCE_DIR) + "/tests/data/bad_wire";
+}
+
+std::string CiWireDir() {
+  return std::string(PAPYRUS_SOURCE_DIR) + "/ci";
 }
 
 class LintTest : public ::testing::Test {
@@ -245,6 +259,234 @@ TEST_F(LintTest, RuntimeCheckerSilentOnCleanThesisFlow) {
   auto rec = manager.Invoke(inv);
   ASSERT_TRUE(rec.ok()) << rec.status().ToString();
   EXPECT_EQ(manager.flow_violations(), 0);
+}
+
+class WireLintTest : public LintTest {
+ protected:
+  WireAnalyzerOptions WireOptions() const {
+    WireAnalyzerOptions options;
+    options.tools = registry_.get();
+    options.library = &library_;
+    return options;
+  }
+};
+
+// One bad script per wire rule; each must trigger exactly its intended
+// rule, at the expected line, with a stable id.
+TEST_F(WireLintTest, GoldenDiagnosticsOneRulePerBadScript) {
+  const std::vector<GoldenCase> cases = {
+      {"parse_error.wire", rules::kWireParseError, Severity::kError, 2},
+      {"unknown_verb.wire", rules::kWireUnknownVerb, Severity::kError, 2},
+      {"missing_field.wire", rules::kWireMissingField, Severity::kError,
+       2},
+      {"bad_field.wire", rules::kWireBadField, Severity::kError, 2},
+      {"unknown_session.wire", rules::kWireUnknownSession,
+       Severity::kError, 3},
+      {"unknown_template.wire", rules::kWireUnknownTemplate,
+       Severity::kError, 4},
+      {"task_arity.wire", rules::kWireTaskArity, Severity::kError, 5},
+      {"run_before_checkin.wire", rules::kWireRunBeforeCheckin,
+       Severity::kError, 4},
+      {"cross_session_input.wire", rules::kWireCrossSessionInput,
+       Severity::kError, 5},
+      {"write_race.wire", rules::kWireWriteRace, Severity::kError, 7},
+      {"duplicate_task.wire", rules::kWireDuplicateTask,
+       Severity::kWarning, 6},
+      {"after_shutdown.wire", rules::kWireAfterShutdown, Severity::kError,
+       4},
+      {"drain_misuse.wire", rules::kWireDrainMisuse, Severity::kWarning,
+       4},
+  };
+  // The corpus and the case table must cover each other exactly.
+  size_t corpus_files = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(BadWireDir())) {
+    if (entry.path().extension() == ".wire") ++corpus_files;
+  }
+  EXPECT_EQ(corpus_files, cases.size());
+
+  for (const GoldenCase& c : cases) {
+    const std::string path = BadWireDir() + "/" + c.file;
+    SCOPED_TRACE(path);
+    WireAnalysis analysis = AnalyzeWireFile(path, WireOptions());
+    ASSERT_EQ(analysis.diagnostics.size(), 1u)
+        << [&] {
+             std::string all;
+             for (const Diagnostic& d : analysis.diagnostics) {
+               all += d.ToString() + "\n";
+             }
+             return all;
+           }();
+    const Diagnostic& d = analysis.diagnostics.front();
+    EXPECT_EQ(d.rule, c.rule);
+    EXPECT_EQ(d.severity, c.severity);
+    EXPECT_EQ(d.line, c.line);
+    EXPECT_EQ(d.file, path);
+    EXPECT_EQ(analysis.errors, c.severity == Severity::kError ? 1 : 0);
+    EXPECT_EQ(analysis.warnings, c.severity == Severity::kWarning ? 1 : 0);
+    EXPECT_EQ(analysis.ok(), c.severity != Severity::kError);
+  }
+}
+
+// The CI workloads drive the real daemon; the analyzer must pass them
+// with zero errors and zero warnings (notes are fine — the drain-only
+// script legitimately drains a root it cannot see).
+TEST_F(WireLintTest, CiWorkloadsAnalyzeClean) {
+  int analyzed = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(CiWireDir())) {
+    if (entry.path().extension() != ".wire") continue;
+    SCOPED_TRACE(entry.path().string());
+    WireAnalysis analysis =
+        AnalyzeWireFile(entry.path().string(), WireOptions());
+    EXPECT_EQ(analysis.errors, 0);
+    EXPECT_EQ(analysis.warnings, 0);
+    for (const Diagnostic& d : analysis.diagnostics) {
+      if (d.severity != Severity::kNote) ADD_FAILURE() << d.ToString();
+    }
+    ++analyzed;
+  }
+  EXPECT_GE(analyzed, 2);
+}
+
+// An unreadable path is itself a finding, not a crash.
+TEST_F(WireLintTest, MissingFileIsAParseError) {
+  WireAnalysis analysis =
+      AnalyzeWireFile(BadWireDir() + "/no_such.wire", WireOptions());
+  ASSERT_EQ(analysis.diagnostics.size(), 1u);
+  EXPECT_EQ(analysis.diagnostics.front().rule, rules::kWireParseError);
+  EXPECT_FALSE(analysis.ok());
+}
+
+// JSON output round-trip: every diagnostic renders as one JSON object
+// carrying the schema fields machine consumers key on.
+TEST_F(WireLintTest, DiagnosticsJsonCarriesSchemaFields) {
+  WireAnalysis analysis =
+      AnalyzeWireFile(BadWireDir() + "/write_race.wire", WireOptions());
+  ASSERT_EQ(analysis.diagnostics.size(), 1u);
+  const std::string json = DiagnosticsToJson(analysis.diagnostics);
+  // One array, one element per diagnostic.
+  size_t objects = 0;
+  for (size_t at = json.find("{\"severity\""); at != std::string::npos;
+       at = json.find("{\"severity\"", at + 1)) {
+    ++objects;
+  }
+  EXPECT_EQ(objects, analysis.diagnostics.size());
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\"rule\":\"wire-write-race\""), std::string::npos);
+  EXPECT_NE(json.find("\"severity\":\"error\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"file\":"), std::string::npos);
+}
+
+// The rule catalogue is the docs/LINT.md source of truth: ids must be
+// unique, every wire rule must appear with scope "wire", and every
+// golden-tested template rule with scope "template".
+TEST_F(WireLintTest, RuleCatalogueCoversEveryRuleOnce) {
+  const std::vector<RuleInfo>& catalogue = RuleCatalogue();
+  std::set<std::string> ids;
+  for (const RuleInfo& info : catalogue) {
+    EXPECT_TRUE(ids.insert(info.id).second)
+        << "duplicate catalogue id " << info.id;
+    EXPECT_TRUE(std::string(info.scope) == "template" ||
+                std::string(info.scope) == "wire")
+        << info.id;
+    EXPECT_NE(std::string(info.summary), "") << info.id;
+  }
+  const std::vector<std::pair<const char*, const char*>> expected = {
+      {rules::kParseError, "template"},
+      {rules::kWriteRace, "template"},
+      {rules::kUndefinedInput, "template"},
+      {rules::kUnknownTool, "template"},
+      {rules::kToolArity, "template"},
+      {rules::kDeadStep, "template"},
+      {rules::kUnproducedOutput, "template"},
+      {rules::kDependencyCycle, "template"},
+      {rules::kUnresolvedSubtask, "template"},
+      {rules::kSubtaskArity, "template"},
+      {rules::kDuplicateStepId, "template"},
+      {rules::kUndefinedStepRef, "template"},
+      {rules::kWireParseError, "wire"},
+      {rules::kWireUnknownVerb, "wire"},
+      {rules::kWireMissingField, "wire"},
+      {rules::kWireBadField, "wire"},
+      {rules::kWireUnknownSession, "wire"},
+      {rules::kWireUnknownTemplate, "wire"},
+      {rules::kWireTaskArity, "wire"},
+      {rules::kWireRunBeforeCheckin, "wire"},
+      {rules::kWireCrossSessionInput, "wire"},
+      {rules::kWireWriteRace, "wire"},
+      {rules::kWireDuplicateTask, "wire"},
+      {rules::kWireAfterShutdown, "wire"},
+      {rules::kWireDrainMisuse, "wire"},
+  };
+  EXPECT_EQ(catalogue.size(), expected.size());
+  for (const auto& [id, scope] : expected) {
+    auto it = std::find_if(
+        catalogue.begin(), catalogue.end(),
+        [id = id](const RuleInfo& info) {
+          return std::string(info.id) == id;
+        });
+    ASSERT_NE(it, catalogue.end()) << id << " missing from catalogue";
+    EXPECT_EQ(std::string(it->scope), scope) << id;
+  }
+}
+
+// Daemon startup pre-flight: findings over a recovered queue are
+// warnings (the daemon still drains), keyed to queue task ids.
+TEST_F(WireLintTest, PreflightFlagsBadQueuedTasks) {
+  auto encode = [](const std::string& session,
+                   const std::string& template_name,
+                   const std::vector<std::string>& ins,
+                   const std::vector<std::string>& outs) {
+    server::TaskDescription desc;
+    desc.session = session;
+    desc.thread = "main";
+    desc.template_name = template_name;
+    desc.input_refs = ins;
+    desc.output_names = outs;
+    return desc.Encode();
+  };
+  std::vector<server::QueueTask> tasks;
+  server::QueueTask ok_task;
+  ok_task.id = 1;
+  ok_task.description = encode("alpha", "Padp", {"/a"}, {"x"});
+  tasks.push_back(ok_task);
+  server::QueueTask ghost;
+  ghost.id = 2;
+  ghost.description = encode("alpha", "NoSuchFlow", {"/a"}, {"y"});
+  tasks.push_back(ghost);
+  server::QueueTask arity;
+  arity.id = 3;
+  arity.description = encode("alpha", "Padp", {"/a", "/b"}, {"z"});
+  tasks.push_back(arity);
+  server::QueueTask racer;
+  racer.id = 4;
+  racer.description = encode("alpha", "Padp", {"/b"}, {"x"});
+  tasks.push_back(racer);
+  server::QueueTask done;  // settled tasks are out of scope
+  done.id = 5;
+  done.state = server::TaskState::kDone;
+  done.description = encode("alpha", "NoSuchFlow", {"/a"}, {"x"});
+  tasks.push_back(done);
+
+  std::vector<Diagnostic> findings =
+      PreflightQueuedTasks(tasks, &library_, "queue");
+  ASSERT_EQ(findings.size(), 3u) << [&] {
+    std::string all;
+    for (const Diagnostic& d : findings) all += d.ToString() + "\n";
+    return all;
+  }();
+  EXPECT_EQ(findings[0].rule, rules::kWireUnknownTemplate);
+  EXPECT_EQ(findings[1].rule, rules::kWireTaskArity);
+  EXPECT_EQ(findings[2].rule, rules::kWireWriteRace);
+  for (const Diagnostic& d : findings) {
+    EXPECT_EQ(d.severity, Severity::kWarning) << d.ToString();
+    EXPECT_EQ(d.file, "queue");
+  }
+  EXPECT_NE(findings[2].message.find("queued task 4"), std::string::npos);
+  EXPECT_NE(findings[2].message.find("task 1"), std::string::npos);
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "base/clock.h"
+#include "base/thread_annotations.h"
 #include "oct/attribute_store.h"
 #include "oct/database.h"
 #include "oct/design_data.h"
@@ -282,6 +283,23 @@ TEST_F(AttributeStoreTest, AttachDoesNotClobberComputedValue) {
   auto v = store_.GetValue(id_, "num_inputs");
   ASSERT_TRUE(v.ok());
   EXPECT_EQ(*v, "8");
+}
+
+// The threading contract's runtime teeth (acceptance criterion): a
+// deliberate database mutation from a worker-pool thread dies on the
+// engine-thread assert instead of corrupting shared state.  Under Clang
+// the same call is already a compile error via
+// PAPYRUS_REQUIRES(base::engine_thread).
+TEST(OctDatabaseDeathTest, MutationOffEngineThreadAborts) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  ManualClock clock(0);
+  OctDatabase db(&clock);
+  EXPECT_DEATH(
+      {
+        base::ScopedWorkerThread mark;
+        (void)db.CreateVersion("net", TextData{"x"});
+      },
+      "engine-thread contract violated: OctDatabase::CreateVersion");
 }
 
 }  // namespace

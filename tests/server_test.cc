@@ -414,10 +414,15 @@ void ExpectSameFingerprint(const DaemonFingerprint& expected,
 }
 
 /// One crash-free reference run at the given worker count; the chaos
-/// tests compare their final state against its fingerprint.
+/// tests compare their final state against its fingerprint. The scratch
+/// directory embeds the calling test's name: ctest runs each test in its
+/// own process, possibly concurrently, and a shared path would let one
+/// test remove_all() the directory out from under another's daemon.
 DaemonFingerprint ReferenceRun(int workers) {
-  DaemonHarness h(
-      FreshDir("daemon_reference_w" + std::to_string(workers)));
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  std::string test_name = info != nullptr ? info->name() : "unknown";
+  DaemonHarness h(FreshDir("daemon_reference_" + test_name + "_w" +
+                           std::to_string(workers)));
   h.workers = workers;
   EXPECT_TRUE(h.Boot().ok());
   int n = SubmitWorkload(h);

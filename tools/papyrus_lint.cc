@@ -1,13 +1,27 @@
-// papyrus-lint: static flow verification for TDL task templates.
+// papyrus-lint: static verification for TDL task templates and papyrusd
+// wire scripts.
 //
 // Usage: papyrus-lint [--json] <template.tdl | directory>...
+//        papyrus-lint --wire [--json] <script.wire | *.tdl | directory>...
+//        papyrus-lint --catalogue
 //
-// Every *.tdl argument (and every *.tdl file inside directory arguments)
-// is first registered into one template library, so cross-template
-// subtask invocations resolve exactly as they would inside the task
-// manager; each template is then linted against the standard CAD tool
-// registry. Exit status: 0 clean (warnings allowed), 1 when any
-// error-severity finding exists, 2 on usage errors.
+// Template mode: every *.tdl argument (and every *.tdl file inside
+// directory arguments) is first registered into one template library, so
+// cross-template subtask invocations resolve exactly as they would
+// inside the task manager; each template is then linted against the
+// standard CAD tool registry.
+//
+// Wire mode (--wire): every *.wire argument is analyzed as a papyrusd
+// protocol script — daemon protocol checks plus the cross-task data flow
+// of everything the script queues. The thesis template library is
+// pre-registered (the daemon's sessions hold the same one); extra *.tdl
+// files or directories on the command line extend it.
+//
+// --catalogue prints the full rule catalogue as a markdown table (the
+// source of docs/LINT.md); --names prints just the rule ids.
+//
+// Exit status: 0 clean (warnings allowed), 1 when any error-severity
+// finding exists, 2 on usage errors.
 
 #include <algorithm>
 #include <filesystem>
@@ -17,6 +31,7 @@
 
 #include "cadtools/registry.h"
 #include "lint/linter.h"
+#include "lint/wire_analyzer.h"
 #include "tdl/template.h"
 
 namespace {
@@ -24,44 +39,102 @@ namespace {
 namespace fs = std::filesystem;
 
 int Usage() {
-  std::cerr << "usage: papyrus-lint [--json] <template.tdl | directory>...\n";
+  std::cerr
+      << "usage: papyrus-lint [--json] <template.tdl | directory>...\n"
+      << "       papyrus-lint --wire [--json]"
+      << " <script.wire | *.tdl | directory>...\n"
+      << "       papyrus-lint --catalogue | --names\n";
   return 2;
 }
 
-/// Expands file and directory arguments into a sorted list of .tdl paths.
+void PrintCatalogue() {
+  std::cout << "| Rule | Scope | Severity | Description |\n";
+  std::cout << "| --- | --- | --- | --- |\n";
+  for (const papyrus::lint::RuleInfo& info :
+       papyrus::lint::RuleCatalogue()) {
+    std::cout << "| `" << info.id << "` | " << info.scope << " | "
+              << papyrus::lint::SeverityToString(info.severity) << " | "
+              << info.summary << " |\n";
+  }
+}
+
+void PrintNames() {
+  for (const papyrus::lint::RuleInfo& info :
+       papyrus::lint::RuleCatalogue()) {
+    std::cout << info.id << "\n";
+  }
+}
+
+/// Expands file and directory arguments into sorted lists of .tdl and
+/// .wire paths (directories contribute their matching files).
 bool CollectPaths(const std::vector<std::string>& args,
-                  std::vector<std::string>* paths) {
+                  std::vector<std::string>* tdl_paths,
+                  std::vector<std::string>* wire_paths) {
   for (const std::string& arg : args) {
     std::error_code ec;
     if (fs::is_directory(arg, ec)) {
-      std::vector<std::string> found;
+      std::vector<std::string> tdl_found;
+      std::vector<std::string> wire_found;
       for (const auto& entry : fs::directory_iterator(arg, ec)) {
         if (entry.path().extension() == ".tdl") {
-          found.push_back(entry.path().string());
+          tdl_found.push_back(entry.path().string());
+        } else if (entry.path().extension() == ".wire") {
+          wire_found.push_back(entry.path().string());
         }
       }
       if (ec) {
         std::cerr << "papyrus-lint: cannot read directory " << arg << "\n";
         return false;
       }
-      std::sort(found.begin(), found.end());
-      paths->insert(paths->end(), found.begin(), found.end());
+      std::sort(tdl_found.begin(), tdl_found.end());
+      std::sort(wire_found.begin(), wire_found.end());
+      tdl_paths->insert(tdl_paths->end(), tdl_found.begin(),
+                        tdl_found.end());
+      wire_paths->insert(wire_paths->end(), wire_found.begin(),
+                         wire_found.end());
+    } else if (fs::path(arg).extension() == ".wire") {
+      wire_paths->push_back(arg);
     } else {
-      paths->push_back(arg);
+      tdl_paths->push_back(arg);
     }
   }
   return true;
+}
+
+struct Totals {
+  std::vector<papyrus::lint::Diagnostic> all;
+  int errors = 0;
+  int warnings = 0;
+};
+
+void Report(const Totals& totals, bool json, const std::string& counted,
+            size_t count) {
+  if (json) {
+    std::cout << papyrus::lint::DiagnosticsToJson(totals.all) << "\n";
+  } else {
+    std::cout << count << " " << counted << ": " << totals.errors
+              << " error(s), " << totals.warnings << " warning(s)\n";
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool json = false;
+  bool wire = false;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--json") {
       json = true;
+    } else if (arg == "--wire") {
+      wire = true;
+    } else if (arg == "--catalogue") {
+      PrintCatalogue();
+      return 0;
+    } else if (arg == "--names") {
+      PrintNames();
+      return 0;
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;
@@ -74,44 +147,67 @@ int main(int argc, char** argv) {
   }
   if (args.empty()) return Usage();
 
-  std::vector<std::string> paths;
-  if (!CollectPaths(args, &paths)) return 2;
-  if (paths.empty()) {
-    std::cerr << "papyrus-lint: no .tdl files found\n";
-    return 2;
-  }
+  std::vector<std::string> tdl_paths;
+  std::vector<std::string> wire_paths;
+  if (!CollectPaths(args, &tdl_paths, &wire_paths)) return 2;
 
+  papyrus::tdl::TemplateLibrary library;
+  if (wire) {
+    // The daemon's sessions hold the thesis library; analyze against the
+    // same baseline, extended by any .tdl arguments.
+    (void)papyrus::tdl::RegisterThesisTemplates(&library);
+  }
   // Register everything first so cross-template subtasks resolve; parse
   // failures surface as diagnostics during the lint pass below.
-  papyrus::tdl::TemplateLibrary library;
-  for (const std::string& path : paths) {
+  for (const std::string& path : tdl_paths) {
     (void)library.AddFromFile(path);
   }
   auto tools = papyrus::cadtools::CreateStandardRegistry();
 
+  Totals totals;
+  if (wire) {
+    if (wire_paths.empty()) {
+      std::cerr << "papyrus-lint: no .wire files found\n";
+      return 2;
+    }
+    papyrus::lint::WireAnalyzerOptions options;
+    options.library = &library;
+    options.tools = tools.get();
+    for (const std::string& path : wire_paths) {
+      papyrus::lint::WireAnalysis analysis =
+          papyrus::lint::AnalyzeWireFile(path, options);
+      totals.errors += analysis.errors;
+      totals.warnings += analysis.warnings;
+      for (papyrus::lint::Diagnostic& d : analysis.diagnostics) {
+        if (!json) std::cout << d.ToString() << "\n";
+        totals.all.push_back(std::move(d));
+      }
+    }
+    Report(totals, json, "script(s)", wire_paths.size());
+    return totals.errors > 0 ? 1 : 0;
+  }
+
+  if (!wire_paths.empty()) {
+    std::cerr << "papyrus-lint: .wire files need --wire\n";
+    return 2;
+  }
+  if (tdl_paths.empty()) {
+    std::cerr << "papyrus-lint: no .tdl files found\n";
+    return 2;
+  }
   papyrus::lint::LintOptions options;
   options.tools = tools.get();
   options.library = &library;
-
-  std::vector<papyrus::lint::Diagnostic> all;
-  int errors = 0;
-  int warnings = 0;
-  for (const std::string& path : paths) {
+  for (const std::string& path : tdl_paths) {
     papyrus::lint::LintResult result =
         papyrus::lint::LintFile(path, options);
-    errors += result.errors;
-    warnings += result.warnings;
+    totals.errors += result.errors;
+    totals.warnings += result.warnings;
     for (papyrus::lint::Diagnostic& d : result.diagnostics) {
       if (!json) std::cout << d.ToString() << "\n";
-      all.push_back(std::move(d));
+      totals.all.push_back(std::move(d));
     }
   }
-
-  if (json) {
-    std::cout << papyrus::lint::DiagnosticsToJson(all) << "\n";
-  } else {
-    std::cout << paths.size() << " template(s): " << errors
-              << " error(s), " << warnings << " warning(s)\n";
-  }
-  return errors > 0 ? 1 : 0;
+  Report(totals, json, "template(s)", tdl_paths.size());
+  return totals.errors > 0 ? 1 : 0;
 }

@@ -114,17 +114,27 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Startup pre-flight: statically re-check whatever the reopened queue
+  // already holds and report findings before serving (report-only —
+  // bad tasks still fail fast at execution with a journaled reason).
+  for (const papyrus::lint::Diagnostic& d : (*daemon)->PreflightQueue()) {
+    std::fprintf(stderr, "papyrusd: preflight: %s\n",
+                 d.ToString().c_str());
+  }
+
   std::string line;
   while (std::getline(std::cin, line)) {
-    if (papyrus::Trim(line).empty()) continue;
-    std::cout << (*daemon)->HandleLine(line) << "\n" << std::flush;
+    std::string trimmed(papyrus::Trim(line));
+    // Blank lines and # comments let .wire scripts carry commentary.
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::cout << (*daemon)->HandleLine(trimmed) << "\n" << std::flush;
     if ((*daemon)->crashed()) {
       // The crash plan fired: die hot, like the kill -9 it stands in
       // for. The journaled queue makes the next incarnation whole.
       std::fprintf(stderr, "papyrusd: injected crash; exiting hot\n");
       return 42;
     }
-    if (papyrus::Trim(line) == "shutdown") return 0;
+    if (trimmed == "shutdown") return 0;
   }
   papyrus::Status st = (*daemon)->Shutdown();
   if (!st.ok()) {
