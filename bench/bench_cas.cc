@@ -1,0 +1,362 @@
+// Experiment F-cas — shared content-addressed artifact store: a cold
+// session runs a mixed synthesis + place-and-route workload and publishes
+// every committed derivation into an on-disk CAS; a brand-new session
+// (empty database, empty session cache — a different user, or the same
+// one after a daemon restart) then reruns the identical workload and
+// elides the steps through the shared store, at zero virtual cost.
+// Reported: the fresh-session elision rate (the acceptance floor is
+// 80%), blob-level dedup bytes, and byte-identity of histories and
+// output payload hashes across worker-pool sizes (warm@1 == warm@4,
+// cold@1 == cold@4) and across cold/warm (payload hashes).
+//
+// Flags:
+//   --smoke    run the matrix only; exit non-zero if the fresh-session
+//              elision rate is below 80%, dedup never triggered, or any
+//              determinism check fails
+//   --json F   write the report to F (default BENCH_cas.json;
+//              "" disables)
+
+#include <benchmark/benchmark.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/papyrus.h"
+#include "oct/design_data.h"
+#include "storage/cas.h"
+
+namespace papyrus::bench {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string FreshStoreDir(const std::string& name) {
+  fs::path dir = fs::temp_directory_path() / ("bench_cas_" + name);
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  return dir.string();
+}
+
+struct RunResult {
+  int64_t steps_executed = 0;
+  int64_t steps_elided = 0;
+  int64_t shared_hits = 0;
+  int64_t virtual_micros = 0;
+  bool committed = true;
+  /// Deterministic rendering of every step record, for byte-identity
+  /// comparison across pool sizes.
+  std::string history;
+  /// Content hashes of every committed task output, cold-vs-warm
+  /// comparable (version ids differ; payload bytes must not).
+  std::vector<std::string> payload_hashes;
+  /// This session's view of the store counters (dedup/hits/misses are
+  /// per-instance runtime state, so they must be read before close).
+  storage::CasStats store;
+};
+
+/// The workload: three Structure_Synthesis flows (distinct seeds) over
+/// shared inputs, plus one clean-seed Mosaico macro flow. `mosaico_seed`
+/// must come from FindCleanMosaicoSeed so every step commits.
+RunResult RunWorkload(Papyrus& session, uint64_t mosaico_seed) {
+  RunResult r;
+  auto spec = session.database().CreateVersion(
+      "spec", oct::BehavioralSpec{8, 8, 12, 77});
+  auto cmds = session.database().CreateVersion(
+      "sim.cmd", oct::TextData{"run 100"});
+  auto cell = session.database().CreateVersion(
+      "cell", oct::Layout{.num_cells = 40,
+                          .area = 20000.0,
+                          .style = "macro",
+                          .seed = mosaico_seed});
+  int64_t executed0 = session.task_manager().steps_executed();
+  int64_t elided0 = session.task_manager().steps_elided();
+  int64_t virtual0 = session.clock().NowMicros();
+
+  std::vector<task::TaskInvocation> invocations;
+  for (uint64_t seed = 42; seed <= 44; ++seed) {
+    task::TaskInvocation inv;
+    inv.template_name = "Structure_Synthesis";
+    inv.inputs = {*spec, *cmds};
+    std::string base = "s" + std::to_string(seed);
+    inv.output_names = {base + ".layout", base + ".stats"};
+    inv.seed = seed;
+    invocations.push_back(inv);
+  }
+  {
+    task::TaskInvocation inv;
+    inv.template_name = "Mosaico";
+    inv.inputs = {*cell};
+    inv.output_names = {"cell.layout", "cell.stats"};
+    inv.seed = mosaico_seed;
+    invocations.push_back(inv);
+  }
+
+  std::ostringstream history;
+  for (const task::TaskInvocation& inv : invocations) {
+    auto rec = session.task_manager().Invoke(inv);
+    if (!rec.ok()) {
+      r.committed = false;
+      continue;
+    }
+    for (const task::StepRecord& s : rec->steps) {
+      history << s.step_name << '|' << s.invocation << '|' << s.cache_hit
+              << '|' << s.dispatch_micros << '|' << s.completion_micros
+              << '|' << s.exit_status << '\n';
+    }
+    for (const oct::ObjectId& id : rec->outputs) {
+      auto hash = session.database().ContentHash(id);
+      r.payload_hashes.push_back(hash.ok() ? *hash : "<unhashable>");
+    }
+  }
+  r.history = history.str();
+  r.steps_executed = session.task_manager().steps_executed() - executed0;
+  r.steps_elided = session.task_manager().steps_elided() - elided0;
+  r.shared_hits = session.step_cache().stats().shared_hits;
+  r.virtual_micros = session.clock().NowMicros() - virtual0;
+  if (session.shared_store() != nullptr) {
+    r.store = session.shared_store()->stats();
+  }
+  return r;
+}
+
+/// Failed steps are never cached, so the warm rerun would re-execute
+/// them; pick a macro-cell seed whose cold Mosaico run is fully clean.
+uint64_t FindCleanMosaicoSeed() {
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    Papyrus session;
+    auto cell = session.database().CreateVersion(
+        "cell", oct::Layout{.num_cells = 40,
+                            .area = 20000.0,
+                            .style = "macro",
+                            .seed = seed});
+    task::TaskInvocation inv;
+    inv.template_name = "Mosaico";
+    inv.inputs = {*cell};
+    inv.output_names = {"cell.layout", "cell.stats"};
+    inv.seed = seed;
+    auto rec = session.task_manager().Invoke(inv);
+    if (!rec.ok()) continue;
+    bool clean = true;
+    for (const auto& step : rec->steps) {
+      if (step.exit_status != 0) clean = false;
+    }
+    if (clean) return seed;
+  }
+  return 1;
+}
+
+RunResult RunOnce(const std::string& store_dir, int workers,
+                  uint64_t mosaico_seed) {
+  SessionOptions options;
+  options.shared_store_path = store_dir;
+  options.worker_threads = workers;
+  Papyrus session(options);
+  return RunWorkload(session, mosaico_seed);
+}
+
+struct MatrixReport {
+  RunResult cold1, cold4, warm1, warm4;
+  double elision_rate = 0.0;
+  storage::CasStats store;
+  bool cold_pool_invariant = false;
+  bool warm_pool_invariant = false;
+  bool payload_hashes_warm_eq_cold = false;
+  bool warm_zero_virtual_cost = false;
+};
+
+MatrixReport RunMatrix(uint64_t mosaico_seed) {
+  MatrixReport m;
+  // Two independent stores, cold-populated at pool sizes 1 and 4; the
+  // warm runs go against the @1 store.
+  std::string store1 = FreshStoreDir("pool1");
+  std::string store4 = FreshStoreDir("pool4");
+  m.cold1 = RunOnce(store1, /*workers=*/1, mosaico_seed);
+  m.cold4 = RunOnce(store4, /*workers=*/4, mosaico_seed);
+  m.warm1 = RunOnce(store1, /*workers=*/1, mosaico_seed);
+  m.warm4 = RunOnce(store1, /*workers=*/4, mosaico_seed);
+
+  int64_t warm_total = m.warm1.steps_executed + m.warm1.steps_elided;
+  m.elision_rate = warm_total > 0
+                       ? static_cast<double>(m.warm1.steps_elided) /
+                             static_cast<double>(warm_total)
+                       : 0.0;
+  m.cold_pool_invariant = m.cold1.history == m.cold4.history &&
+                          m.cold1.payload_hashes == m.cold4.payload_hashes;
+  m.warm_pool_invariant = m.warm1.history == m.warm4.history &&
+                          m.warm1.payload_hashes == m.warm4.payload_hashes;
+  m.payload_hashes_warm_eq_cold =
+      m.warm1.payload_hashes == m.cold1.payload_hashes;
+  m.warm_zero_virtual_cost = m.warm1.virtual_micros == 0;
+
+  // Shape from the last warm run's view; publish-time counters (bytes
+  // written, dedup) from the cold run that populated the store.
+  m.store = m.warm4.store;
+  m.store.published = m.cold1.store.published;
+  m.store.bytes_written = m.cold1.store.bytes_written;
+  m.store.dedup_bytes = m.cold1.store.dedup_bytes;
+  m.store.hits = m.warm1.store.hits + m.warm4.store.hits;
+  m.store.misses = m.warm1.store.misses + m.warm4.store.misses;
+  return m;
+}
+
+void PrintReport(const MatrixReport& m) {
+  std::printf("%-18s %-10s %-9s %-12s %-12s\n", "scenario", "executed",
+              "elided", "shared-hits", "virtual(ms)");
+  struct Row {
+    const char* name;
+    const RunResult* r;
+  } rows[] = {{"cold@1", &m.cold1},
+              {"cold@4", &m.cold4},
+              {"warm_fresh@1", &m.warm1},
+              {"warm_fresh@4", &m.warm4}};
+  for (const Row& row : rows) {
+    std::printf("%-18s %-10" PRId64 " %-9" PRId64 " %-12" PRId64
+                " %-12.1f%s\n",
+                row.name, row.r->steps_executed, row.r->steps_elided,
+                row.r->shared_hits, row.r->virtual_micros / 1000.0,
+                row.r->committed ? "" : "  (NOT committed)");
+  }
+  std::printf(
+      "\nfresh-session elision rate: %.1f%%  (floor 80%%)\n"
+      "store: %" PRId64 " entries, %" PRId64 " blobs, %" PRId64
+      " unique bytes; dedup %" PRId64 " bytes\n"
+      "determinism: cold@1==cold@4 %s, warm@1==warm@4 %s, "
+      "payload hashes warm==cold %s, warm virtual cost zero %s\n\n",
+      m.elision_rate * 100.0, m.store.entries, m.store.blobs,
+      m.store.total_bytes, m.store.dedup_bytes,
+      m.cold_pool_invariant ? "yes" : "NO",
+      m.warm_pool_invariant ? "yes" : "NO",
+      m.payload_hashes_warm_eq_cold ? "yes" : "NO",
+      m.warm_zero_virtual_cost ? "yes" : "NO");
+}
+
+void WriteJson(const std::string& path, const MatrixReport& m) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  auto scenario = [&](const char* name, const RunResult& r,
+                      bool last = false) {
+    out << "    {\"name\": \"" << name
+        << "\", \"steps_executed\": " << r.steps_executed
+        << ", \"steps_elided\": " << r.steps_elided
+        << ", \"shared_hits\": " << r.shared_hits
+        << ", \"virtual_micros\": " << r.virtual_micros
+        << ", \"committed\": " << (r.committed ? "true" : "false") << "}"
+        << (last ? "" : ",") << "\n";
+  };
+  out << "{\n  \"bench\": \"cas\",\n  \"flow\": "
+         "\"3x Structure_Synthesis + Mosaico\",\n"
+      << "  \"fresh_session_elision_rate\": " << m.elision_rate << ",\n"
+      << "  \"scenarios\": [\n";
+  scenario("cold@1", m.cold1);
+  scenario("cold@4", m.cold4);
+  scenario("warm_fresh@1", m.warm1);
+  scenario("warm_fresh@4", m.warm4, /*last=*/true);
+  out << "  ],\n  \"store\": {\"entries\": " << m.store.entries
+      << ", \"blobs\": " << m.store.blobs
+      << ", \"total_bytes\": " << m.store.total_bytes
+      << ", \"bytes_written\": " << m.store.bytes_written
+      << ", \"dedup_bytes\": " << m.store.dedup_bytes
+      << ", \"hits\": " << m.store.hits
+      << ", \"misses\": " << m.store.misses << "},\n"
+      << "  \"determinism\": {"
+      << "\"cold_pool_invariant\": "
+      << (m.cold_pool_invariant ? "true" : "false")
+      << ", \"warm_pool_invariant\": "
+      << (m.warm_pool_invariant ? "true" : "false")
+      << ", \"payload_hashes_warm_eq_cold\": "
+      << (m.payload_hashes_warm_eq_cold ? "true" : "false")
+      << ", \"warm_zero_virtual_cost\": "
+      << (m.warm_zero_virtual_cost ? "true" : "false") << "}\n}\n";
+  std::printf("wrote %s\n\n", path.c_str());
+}
+
+void BM_StorePublish(benchmark::State& state) {
+  std::string root = FreshStoreDir("bm_publish");
+  auto store = storage::ContentStore::Open(root);
+  if (!store.ok()) {
+    state.SkipWithError("cannot open store");
+    return;
+  }
+  storage::CasEntryMeta meta;
+  meta.tool = "misII";
+  meta.tool_version = "1";
+  std::vector<storage::CasPublishOutput> outputs(1);
+  outputs[0].name_hint = "cell.layout";
+  outputs[0].bytes = std::string(512, 'x');
+  int64_t n = 0;
+  for (auto _ : state) {
+    outputs[0].bytes[0] = static_cast<char>('a' + (n % 26));
+    (void)(*store)->Publish("key-" + std::to_string(n++), meta, outputs);
+  }
+}
+BENCHMARK(BM_StorePublish)->Unit(benchmark::kMicrosecond);
+
+void BM_StoreFetchHit(benchmark::State& state) {
+  std::string root = FreshStoreDir("bm_fetch");
+  auto store = storage::ContentStore::Open(root);
+  if (!store.ok()) {
+    state.SkipWithError("cannot open store");
+    return;
+  }
+  storage::CasEntryMeta meta;
+  meta.tool = "misII";
+  std::vector<storage::CasPublishOutput> outputs(1);
+  outputs[0].name_hint = "cell.layout";
+  outputs[0].bytes = std::string(512, 'x');
+  (void)(*store)->Publish("hot", meta, outputs);
+  for (auto _ : state) {
+    auto hit = (*store)->Fetch("hot");
+    benchmark::DoNotOptimize(hit);
+  }
+}
+BENCHMARK(BM_StoreFetchHit)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace papyrus::bench
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path = "BENCH_cas.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
+  papyrus::bench::Banner(
+      "F-cas", "shared content-addressed artifact store (cross-session "
+      "derivation reuse over ref-counted, deduplicated blobs)",
+      "a fresh session replays a workload another session committed and "
+      "elides >= 80% of its steps through the store, byte-identically at "
+      "any worker-pool size.");
+
+  uint64_t mosaico_seed = papyrus::bench::FindCleanMosaicoSeed();
+  auto report = papyrus::bench::RunMatrix(mosaico_seed);
+  papyrus::bench::PrintReport(report);
+
+  bool ok = report.cold1.committed && report.warm1.committed &&
+            report.elision_rate >= 0.80 && report.store.dedup_bytes > 0 &&
+            report.cold_pool_invariant && report.warm_pool_invariant &&
+            report.payload_hashes_warm_eq_cold &&
+            report.warm_zero_virtual_cost;
+  if (smoke) {
+    std::printf("smoke: %s\n", ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+  }
+  if (!json_path.empty()) papyrus::bench::WriteJson(json_path, report);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return ok ? 0 : 1;
+}

@@ -166,10 +166,15 @@ int main(int argc, char** argv) {
       options.worker_threads = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--daemon") == 0 && i + 1 < argc) {
       daemon_root = argv[++i];
+    } else if (std::strcmp(argv[i], "--shared-store") == 0 &&
+               i + 1 < argc) {
+      // Attach the shared content-addressed artifact store: derivations
+      // committed by one mosaico_flow run are elided by the next.
+      options.shared_store_path = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: mosaico_flow [--trace FILE] [--metrics FILE] "
-                   "[--jobs N] [--daemon ROOT]\n");
+                   "[--jobs N] [--daemon ROOT] [--shared-store DIR]\n");
       return 2;
     }
   }
@@ -243,5 +248,16 @@ int main(int argc, char** argv) {
               static_cast<long>(session.task_manager().tasks_aborted()),
               static_cast<long>(session.task_manager().steps_executed()),
               static_cast<long>(session.task_manager().remigrations()));
+  if (papyrus::storage::ContentStore* store = session.shared_store()) {
+    const papyrus::storage::CasStats c = store->stats();
+    const papyrus::cache::CacheStats s = session.step_cache().stats();
+    std::printf("shared store: %ld entries, %ld blobs, %ld bytes; "
+                "shared hits %ld / misses %ld; dedup bytes %ld\n",
+                static_cast<long>(c.entries), static_cast<long>(c.blobs),
+                static_cast<long>(c.total_bytes),
+                static_cast<long>(s.shared_hits),
+                static_cast<long>(s.shared_misses),
+                static_cast<long>(c.dedup_bytes));
+  }
   return (saw_direct && saw_fallback && saw_restart) ? 0 : 1;
 }

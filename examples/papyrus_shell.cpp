@@ -232,6 +232,16 @@ void RegisterShellCommands(Interp* in, Papyrus* session) {
              << "; invalidated: " << s.invalidated
              << "; steps elided: " << session->task_manager().steps_elided()
              << "; virtual time saved: " << s.micros_saved / 1000 << "ms";
+          if (papyrus::storage::ContentStore* store =
+                  session->shared_store()) {
+            const papyrus::storage::CasStats c = store->stats();
+            os << "\nshared store: entries: " << c.entries
+               << "; blobs: " << c.blobs << " (" << c.live_blobs
+               << " live, " << c.evictable_blobs << " evictable); bytes: "
+               << c.total_bytes << "; shared hits: " << s.shared_hits
+               << "; shared misses: " << s.shared_misses
+               << "; dedup bytes: " << c.dedup_bytes;
+          }
           return EvalResult::Ok(os.str());
         }
         if (sub == "clear") {

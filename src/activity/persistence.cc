@@ -29,31 +29,10 @@ std::string DecField(const std::string& v) {
   return PercentDecode(sv);
 }
 
-std::string FormatDouble(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
-}
-
-double ParseDouble(const std::string& s) {
-  return std::strtod(s.c_str(), nullptr);
-}
-
 int64_t ParseI64(const std::string& s) {
   int64_t v = 0;
   (void)ParseInt64(s, &v);
   return v;
-}
-
-/// Payload seeds are full-range uint64 values (tool-derived hashes
-/// routinely exceed INT64_MAX), so they cannot go through ParseI64.
-uint64_t ParseU64(const std::string& s) {
-  if (s.empty() || s[0] == '-') return 0;
-  char* end = nullptr;
-  errno = 0;
-  unsigned long long v = std::strtoull(s.c_str(), &end, 10);
-  if (errno != 0 || end != s.c_str() + s.size()) return 0;
-  return static_cast<uint64_t>(v);
 }
 
 std::string FormatHex(uint64_t v) {
@@ -69,80 +48,16 @@ bool ParseHex(const std::string& s, uint64_t* out) {
   return end != nullptr && *end == '\0';
 }
 
+// The payload codec itself lives in oct/design_data (EncodePayloadText /
+// ParsePayloadFields) so the content-addressed store and the snapshot
+// format share one byte-exact encoding.
 void AppendPayload(const oct::DesignPayload& p, std::ostringstream* out) {
-  if (const auto* b = std::get_if<oct::BehavioralSpec>(&p)) {
-    *out << "behavioral " << b->num_inputs << ' ' << b->num_outputs << ' '
-         << b->complexity << ' ' << b->seed;
-  } else if (const auto* n = std::get_if<oct::LogicNetwork>(&p)) {
-    *out << "logic " << n->num_inputs << ' ' << n->num_outputs << ' '
-         << n->minterms << ' ' << n->literals << ' ' << n->levels << ' '
-         << static_cast<int>(n->format) << ' ' << n->seed;
-  } else if (const auto* l = std::get_if<oct::Layout>(&p)) {
-    *out << "layout " << l->num_cells << ' ' << FormatDouble(l->area)
-         << ' ' << FormatDouble(l->delay_ns) << ' '
-         << FormatDouble(l->power_mw) << ' '
-         << FormatDouble(l->wire_length) << ' ' << l->has_pads << ' '
-         << l->routed << ' ' << l->compacted << ' ' << l->has_abstraction
-         << ' ' << EncField(l->style) << ' '
-         << static_cast<int>(l->format) << ' ' << l->seed;
-  } else if (const auto* t = std::get_if<oct::TextData>(&p)) {
-    *out << "text " << EncField(t->text);
-  } else {
-    *out << "none";
-  }
+  *out << oct::EncodePayloadText(p);
 }
 
 Result<oct::DesignPayload> ParsePayload(
     const std::vector<std::string>& f, size_t at) {
-  auto need = [&](size_t n) {
-    return f.size() >= at + 1 + n;
-  };
-  if (at >= f.size()) return Status::InvalidArgument("missing payload");
-  const std::string& tag = f[at];
-  if (tag == "none") return oct::DesignPayload{};
-  if (tag == "behavioral") {
-    if (!need(4)) return Status::InvalidArgument("short behavioral");
-    oct::BehavioralSpec b;
-    b.num_inputs = static_cast<int>(ParseI64(f[at + 1]));
-    b.num_outputs = static_cast<int>(ParseI64(f[at + 2]));
-    b.complexity = static_cast<int>(ParseI64(f[at + 3]));
-    b.seed = ParseU64(f[at + 4]);
-    return oct::DesignPayload{b};
-  }
-  if (tag == "logic") {
-    if (!need(7)) return Status::InvalidArgument("short logic");
-    oct::LogicNetwork n;
-    n.num_inputs = static_cast<int>(ParseI64(f[at + 1]));
-    n.num_outputs = static_cast<int>(ParseI64(f[at + 2]));
-    n.minterms = static_cast<int>(ParseI64(f[at + 3]));
-    n.literals = static_cast<int>(ParseI64(f[at + 4]));
-    n.levels = static_cast<int>(ParseI64(f[at + 5]));
-    n.format = static_cast<oct::DesignFormat>(ParseI64(f[at + 6]));
-    n.seed = ParseU64(f[at + 7]);
-    return oct::DesignPayload{n};
-  }
-  if (tag == "layout") {
-    if (!need(12)) return Status::InvalidArgument("short layout");
-    oct::Layout l;
-    l.num_cells = static_cast<int>(ParseI64(f[at + 1]));
-    l.area = ParseDouble(f[at + 2]);
-    l.delay_ns = ParseDouble(f[at + 3]);
-    l.power_mw = ParseDouble(f[at + 4]);
-    l.wire_length = ParseDouble(f[at + 5]);
-    l.has_pads = f[at + 6] == "1";
-    l.routed = f[at + 7] == "1";
-    l.compacted = f[at + 8] == "1";
-    l.has_abstraction = f[at + 9] == "1";
-    l.style = DecField(f[at + 10]);
-    l.format = static_cast<oct::DesignFormat>(ParseI64(f[at + 11]));
-    l.seed = ParseU64(f[at + 12]);
-    return oct::DesignPayload{l};
-  }
-  if (tag == "text") {
-    if (!need(1)) return Status::InvalidArgument("short text");
-    return oct::DesignPayload{oct::TextData{DecField(f[at + 1])}};
-  }
-  return Status::InvalidArgument("unknown payload tag: " + tag);
+  return oct::ParsePayloadFields(f, at);
 }
 
 std::vector<std::string> SplitLines(const std::string& text) {
@@ -258,7 +173,8 @@ V2Scan ScanV2(const std::vector<std::string>& lines) {
 }
 
 Result<int64_t> SnapshotVersion(const std::vector<std::string>& lines,
-                                const std::string& kind) {
+                                const std::string& kind,
+                                int64_t max_version = 2) {
   if (lines.empty()) {
     return Status::InvalidArgument("not a " + kind + " snapshot");
   }
@@ -267,7 +183,7 @@ Result<int64_t> SnapshotVersion(const std::vector<std::string>& lines,
     return Status::InvalidArgument("not a " + kind + " snapshot");
   }
   int64_t version = ParseI64(head[1]);
-  if (version != 1 && version != 2) {
+  if (version < 1 || version > max_version) {
     return Status::InvalidArgument("unsupported " + kind + " version " +
                                    head[1]);
   }
@@ -576,18 +492,26 @@ std::string SerializeDerivationCache(const cache::DerivationCache& cache) {
       out << "eout " << i << ' ' << EncField(o.id.name) << ' '
           << o.id.version << '\n';
     }
+    // v3: the shared-store content key rides along so a restored daemon
+    // session can republish its entries (shared hits restore with no
+    // key and are never republished).
+    if (!entry.content_key.empty()) {
+      out << "ckey " << i << ' ' << EncField(entry.content_key) << '\n';
+    }
     ++i;
   });
-  return AssembleV2("papyrus-cache 2", out.str());
+  return AssembleV2("papyrus-cache 3", out.str());
 }
 
 Status RestoreDerivationCache(const std::string& text,
                               cache::DerivationCache* cache,
                               RestoreStats* stats) {
   std::vector<std::string> lines = SplitLines(text);
-  PAPYRUS_ASSIGN_OR_RETURN(int64_t version,
-                           SnapshotVersion(lines, "papyrus-cache"));
-  (void)version;  // the cache has no v1 snapshots; 2 is the only writer
+  PAPYRUS_ASSIGN_OR_RETURN(
+      int64_t version,
+      SnapshotVersion(lines, "papyrus-cache", /*max_version=*/3));
+  // v2 entries simply lack `ckey` lines: they restore with an empty
+  // content key (usable locally, never republished to a shared store).
   V2Scan scan = ScanV2(lines);
   std::optional<cache::CacheEntry> pending;
   auto flush = [&]() {
@@ -620,6 +544,9 @@ Status RestoreDerivationCache(const std::string& text,
           oct::ObjectId{DecField(f[2]),
                         static_cast<int>(ParseI64(f[3]))},
           true});
+    } else if (f[0] == "ckey" && f.size() >= 3 && version >= 3 &&
+               pending.has_value()) {
+      pending->content_key = DecField(f[2]);
     } else {
       return Status::InvalidArgument("bad cache line: " + Join(f, " "));
     }

@@ -61,8 +61,9 @@ std::string SerializeThread(const DesignThread& thread);
 Result<std::unique_ptr<DesignThread>> RestoreThread(
     const std::string& text, Clock* clock, RestoreStats* stats = nullptr);
 
-/// Serializes the derivation cache's entries (v2 checksummed format, kind
-/// "papyrus-cache"). Counters are runtime state and are not persisted.
+/// Serializes the derivation cache's entries (v3 checksummed format, kind
+/// "papyrus-cache"; v3 added per-entry `ckey` shared-store content keys).
+/// Counters are runtime state and are not persisted.
 std::string SerializeDerivationCache(const cache::DerivationCache& cache);
 
 /// Re-populates `cache` from a snapshot. The database must be restored

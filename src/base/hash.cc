@@ -1,0 +1,153 @@
+#include "base/hash.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace papyrus {
+namespace {
+
+constexpr uint32_t kRoundConstants[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+};
+
+inline uint32_t RotR(uint32_t x, int n) {
+  return (x >> n) | (x << (32 - n));
+}
+
+}  // namespace
+
+Sha256::Sha256() { Reset(); }
+
+void Sha256::Reset() {
+  state_[0] = 0x6a09e667;
+  state_[1] = 0xbb67ae85;
+  state_[2] = 0x3c6ef372;
+  state_[3] = 0xa54ff53a;
+  state_[4] = 0x510e527f;
+  state_[5] = 0x9b05688c;
+  state_[6] = 0x1f83d9ab;
+  state_[7] = 0x5be0cd19;
+  length_bits_ = 0;
+  buffered_ = 0;
+}
+
+void Sha256::Compress(const uint8_t block[64]) {
+  uint32_t w[64];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (uint32_t{block[4 * i]} << 24) | (uint32_t{block[4 * i + 1]} << 16) |
+           (uint32_t{block[4 * i + 2]} << 8) | uint32_t{block[4 * i + 3]};
+  }
+  for (int i = 16; i < 64; ++i) {
+    uint32_t s0 = RotR(w[i - 15], 7) ^ RotR(w[i - 15], 18) ^ (w[i - 15] >> 3);
+    uint32_t s1 = RotR(w[i - 2], 17) ^ RotR(w[i - 2], 19) ^ (w[i - 2] >> 10);
+    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+  }
+
+  uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+  uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+  for (int i = 0; i < 64; ++i) {
+    uint32_t s1 = RotR(e, 6) ^ RotR(e, 11) ^ RotR(e, 25);
+    uint32_t ch = (e & f) ^ (~e & g);
+    uint32_t t1 = h + s1 + ch + kRoundConstants[i] + w[i];
+    uint32_t s0 = RotR(a, 2) ^ RotR(a, 13) ^ RotR(a, 22);
+    uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+    uint32_t t2 = s0 + maj;
+    h = g;
+    g = f;
+    f = e;
+    e = d + t1;
+    d = c;
+    c = b;
+    b = a;
+    a = t1 + t2;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+  state_[5] += f;
+  state_[6] += g;
+  state_[7] += h;
+}
+
+void Sha256::Update(std::string_view data) {
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(data.data());
+  size_t n = data.size();
+  length_bits_ += uint64_t{n} * 8;
+  if (buffered_ > 0) {
+    size_t take = std::min(n, sizeof(buffer_) - buffered_);
+    std::memcpy(buffer_ + buffered_, p, take);
+    buffered_ += take;
+    p += take;
+    n -= take;
+    if (buffered_ == sizeof(buffer_)) {
+      Compress(buffer_);
+      buffered_ = 0;
+    }
+  }
+  while (n >= 64) {
+    Compress(p);
+    p += 64;
+    n -= 64;
+  }
+  if (n > 0) {
+    std::memcpy(buffer_, p, n);
+    buffered_ = n;
+  }
+}
+
+std::array<uint8_t, Sha256::kDigestBytes> Sha256::Finish() {
+  uint64_t length_bits = length_bits_;
+  uint8_t pad = 0x80;
+  Update(std::string_view(reinterpret_cast<const char*>(&pad), 1));
+  static const uint8_t kZero[64] = {};
+  while (buffered_ != 56) {
+    size_t want = buffered_ < 56 ? 56 - buffered_ : 64 - buffered_ + 56;
+    size_t take = std::min<size_t>(want, 64);
+    Update(std::string_view(reinterpret_cast<const char*>(kZero), take));
+  }
+  uint8_t len_be[8];
+  for (int i = 0; i < 8; ++i) {
+    len_be[i] = static_cast<uint8_t>(length_bits >> (56 - 8 * i));
+  }
+  Update(std::string_view(reinterpret_cast<const char*>(len_be), 8));
+  std::array<uint8_t, kDigestBytes> digest;
+  for (int i = 0; i < 8; ++i) {
+    digest[4 * i] = static_cast<uint8_t>(state_[i] >> 24);
+    digest[4 * i + 1] = static_cast<uint8_t>(state_[i] >> 16);
+    digest[4 * i + 2] = static_cast<uint8_t>(state_[i] >> 8);
+    digest[4 * i + 3] = static_cast<uint8_t>(state_[i]);
+  }
+  return digest;
+}
+
+std::string Sha256::FinishHex() {
+  static const char kHex[] = "0123456789abcdef";
+  std::array<uint8_t, kDigestBytes> digest = Finish();
+  std::string hex;
+  hex.reserve(2 * kDigestBytes);
+  for (uint8_t byte : digest) {
+    hex.push_back(kHex[byte >> 4]);
+    hex.push_back(kHex[byte & 0xf]);
+  }
+  return hex;
+}
+
+std::string Sha256Hex(std::string_view data) {
+  Sha256 hasher;
+  hasher.Update(data);
+  return hasher.FinishHex();
+}
+
+}  // namespace papyrus

@@ -1,0 +1,48 @@
+#ifndef PAPYRUS_BASE_HASH_H_
+#define PAPYRUS_BASE_HASH_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace papyrus {
+
+/// Streaming SHA-256 (FIPS 180-4). Papyrus uses it wherever a *strong*
+/// content identity is needed — content-addressed store keys, blob
+/// verification on re-bind — as opposed to Fnv1a, which remains the cheap
+/// checksum for journal lines and mock-tool pseudo-randomness.
+class Sha256 {
+ public:
+  static constexpr size_t kDigestBytes = 32;
+
+  Sha256();
+
+  /// Absorbs `data`; may be called any number of times.
+  void Update(std::string_view data);
+
+  /// Finalizes and returns the 32-byte digest. The object must not be
+  /// reused after Finish() without Reset().
+  std::array<uint8_t, kDigestBytes> Finish();
+
+  /// Returns Finish() formatted as 64 lowercase hex characters.
+  std::string FinishHex();
+
+  /// Restores the initial state so the object can hash a new message.
+  void Reset();
+
+ private:
+  void Compress(const uint8_t block[64]);
+
+  uint32_t state_[8];
+  uint64_t length_bits_;
+  uint8_t buffer_[64];
+  size_t buffered_;
+};
+
+/// One-shot convenience: lowercase-hex SHA-256 of `data`.
+std::string Sha256Hex(std::string_view data);
+
+}  // namespace papyrus
+
+#endif  // PAPYRUS_BASE_HASH_H_

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "base/hash.h"
 #include "base/strings.h"
 
 namespace papyrus::cache {
@@ -47,6 +48,113 @@ std::string DerivationCache::MakeKey(
     os << kSep << id.name << '@' << std::dec << id.version;
   }
   return os.str();
+}
+
+std::string DerivationCache::MakeContentKey(
+    const std::string& tool, const std::string& tool_version,
+    const std::string& canonical_options, uint64_t seed_salt,
+    const std::vector<std::string>& input_content_hashes) {
+  Sha256 hasher;
+  // A format tag versions the key derivation itself: changing how keys
+  // are built must never alias entries published by older builds.
+  hasher.Update("papyrus-content-key-v1");
+  std::ostringstream head;
+  head << kSep << tool << kSep << tool_version << kSep << canonical_options
+       << kSep << std::hex << seed_salt;
+  hasher.Update(head.str());
+  for (const std::string& hash : input_content_hashes) {
+    hasher.Update(std::string(1, kSep));
+    hasher.Update(hash);
+  }
+  return hasher.FinishHex();
+}
+
+void DerivationCache::AttachSharedStore(storage::ContentStore* store,
+                                        bool auto_publish, bool probe) {
+  base::MutexLock lock(mu_);
+  store_ = store;
+  auto_publish_ = auto_publish;
+  probe_shared_ = probe;
+  unpublished_.clear();
+}
+
+std::optional<SharedFetch> DerivationCache::ProbeShared(
+    const std::string& content_key) {
+  storage::ContentStore* store;
+  {
+    base::MutexLock lock(mu_);
+    if (store_ == nullptr || !probe_shared_ || !enabled_ ||
+        content_key.empty()) {
+      return std::nullopt;
+    }
+    store = store_;
+  }
+  // The store locks itself; fetching outside mu_ keeps the cache free for
+  // concurrent session threads during blob reads.
+  auto fetched = store->Fetch(content_key);
+  SharedFetch result;
+  bool usable = fetched.ok();
+  if (usable) {
+    result.cost_micros = fetched->meta.cost_micros;
+    for (const storage::CasFetchedOutput& out : fetched->outputs) {
+      auto payload = oct::DecodePayloadText(out.bytes);
+      if (!payload.ok()) {
+        // Verified bytes that no longer decode mean a format skew, not
+        // damage; treat as a miss and let the tool re-run.
+        usable = false;
+        break;
+      }
+      result.outputs.push_back(
+          SharedFetchedOutput{out.name_hint, out.visible,
+                              std::move(*payload)});
+    }
+  }
+  base::MutexLock lock(mu_);
+  if (!usable) {
+    ++stats_.shared_misses;
+    return std::nullopt;
+  }
+  ++stats_.shared_hits;
+  stats_.micros_saved += result.cost_micros;
+  if (c_micros_saved_ != nullptr) {
+    c_micros_saved_->Increment(result.cost_micros);
+  }
+  return result;
+}
+
+void DerivationCache::PublishSharedLocked(const CacheEntry& entry) {
+  if (store_ == nullptr || entry.content_key.empty()) return;
+  storage::CasEntryMeta meta;
+  meta.tool = entry.tool;
+  meta.tool_version = entry.tool_version;
+  meta.canonical_options = entry.canonical_options;
+  meta.seed_salt = entry.seed_salt;
+  meta.cost_micros = entry.cost_micros;
+  std::vector<storage::CasPublishOutput> outputs;
+  outputs.reserve(entry.outputs.size());
+  for (const CachedOutput& out : entry.outputs) {
+    auto rec = db_->Peek(out.id);
+    if (!rec.ok() || (*rec)->reclaimed) return;  // no longer publishable
+    storage::CasPublishOutput pub;
+    pub.name_hint = out.id.name;
+    pub.visible = out.visible;
+    pub.bytes = oct::EncodePayloadText((*rec)->payload);
+    outputs.push_back(std::move(pub));
+  }
+  (void)store_->Publish(entry.content_key, meta, outputs);
+}
+
+void DerivationCache::FlushSharedPublications() {
+  base::MutexLock lock(mu_);
+  if (store_ == nullptr) {
+    unpublished_.clear();
+    return;
+  }
+  for (const std::string& key : unpublished_) {
+    auto it = entries_.find(key);
+    if (it != entries_.end()) PublishSharedLocked(it->second);
+  }
+  unpublished_.clear();
 }
 
 void DerivationCache::set_observability(const obs::Observability& sinks) {
@@ -126,9 +234,21 @@ bool DerivationCache::RecordLocked(const std::string& key,
   for (const oct::ObjectId& in : entry.inputs) {
     by_version_[in].insert(key);
   }
-  entries_.emplace(key, std::move(entry));
+  auto [inserted, ok] = entries_.emplace(key, std::move(entry));
   ++stats_.recorded;
   if (c_recorded_ != nullptr) c_recorded_->Increment();
+  if (store_ != nullptr && !inserted->second.content_key.empty()) {
+    if (auto_publish_) {
+      // Standalone session: commit is this process's durability point, so
+      // the derivation becomes shareable immediately.
+      PublishSharedLocked(inserted->second);
+    } else {
+      // Daemon session: hold publication until the snapshot carrying this
+      // entry durably lands (FlushSharedPublications), so a crash cannot
+      // leak outputs of a commit that never survived.
+      unpublished_.insert(key);
+    }
+  }
   return true;
 }
 
@@ -205,6 +325,7 @@ void DerivationCache::DropEntry(const std::string& key) {
       if (vit->second.empty()) by_version_.erase(vit);
     }
   }
+  unpublished_.erase(key);
   entries_.erase(it);
 }
 

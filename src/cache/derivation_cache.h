@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -12,7 +13,9 @@
 #include "base/thread_annotations.h"
 #include "obs/observability.h"
 #include "oct/database.h"
+#include "oct/design_data.h"
 #include "oct/object_id.h"
+#include "storage/cas.h"
 
 namespace papyrus::cache {
 
@@ -48,6 +51,15 @@ struct CacheEntry {
   /// credited to `micros_saved` on every hit.
   int64_t cost_micros = 0;
   int64_t recorded_micros = 0;  // commit time of the recording task
+  /// Session-independent content-addressed key: SHA-256 over the tool
+  /// identity, canonical options, seed salt, and the *content hashes* of
+  /// the inputs (not their session-local version numbers). The same step
+  /// derives the same content_key in any session, for any user, across
+  /// daemon restarts — it is what the shared store is keyed by. Empty when
+  /// content hashing was unavailable (an entry restored from a v2
+  /// cache.pdc, or one rebuilt from a shared-store hit, which the store
+  /// already holds).
+  std::string content_key;
 };
 
 /// Counters exposed through the task manager and the shell `cache`
@@ -58,6 +70,25 @@ struct CacheStats {
   int64_t recorded = 0;     // entries added (or replaced) at task commit
   int64_t invalidated = 0;  // entries dropped by reclamation/rework/clear
   int64_t micros_saved = 0;  // summed virtual cost of elided steps
+  /// Shared-store fallthrough, counted per session (the attached
+  /// ContentStore keeps its own global papyrus.cas.* counters):
+  int64_t shared_hits = 0;    // session misses served by the shared store
+  int64_t shared_misses = 0;  // fallthroughs that found nothing there
+};
+
+/// One output rebuilt from a shared-store hit: the decoded payload plus
+/// the naming/visibility metadata needed to bind it into this session's
+/// OCT namespace as a fresh version.
+struct SharedFetchedOutput {
+  std::string name_hint;
+  bool visible = true;
+  oct::DesignPayload payload;
+};
+
+/// A verified, decoded shared-store hit.
+struct SharedFetch {
+  int64_t cost_micros = 0;  // virtual cost the hit elides
+  std::vector<SharedFetchedOutput> outputs;
 };
 
 /// The history-based derivation cache (the tentpole of this change): a
@@ -121,12 +152,60 @@ class DerivationCache {
       const std::vector<std::string>& input_names,
       const std::vector<std::string>& output_names);
 
-  /// Builds the content-addressed key string from its components.
+  /// Builds the session-local key string from its components (inputs by
+  /// session version number).
   static std::string MakeKey(const std::string& tool,
                              const std::string& tool_version,
                              const std::string& canonical_options,
                              uint64_t seed_salt,
                              const std::vector<oct::ObjectId>& inputs);
+
+  /// Builds the session-independent shared-store key: SHA-256 over the
+  /// tool identity, options, salt, and the input payloads' content hashes
+  /// (ordered as dispatched).
+  static std::string MakeContentKey(
+      const std::string& tool, const std::string& tool_version,
+      const std::string& canonical_options, uint64_t seed_salt,
+      const std::vector<std::string>& input_content_hashes);
+
+  // --- shared store ------------------------------------------------------
+
+  /// Attaches (or detaches, with nullptr) a shared content-addressed
+  /// store. Session-cache misses then fall through to it, and committed
+  /// derivations are published into it.
+  ///
+  ///  - `auto_publish` (standalone sessions): Record() publishes
+  ///    immediately — a commit is this process's durability point.
+  ///  - `!auto_publish` (papyrusd): entries queue as unpublished until
+  ///    FlushSharedPublications(), which the daemon calls only after the
+  ///    session snapshot durably landed. Publishing after — never before —
+  ///    the snapshot keeps crashy and crash-free runs byte-identical: a
+  ///    task that re-runs after a crash sees exactly the store its
+  ///    durably-committed predecessors built, nothing more.
+  ///  - `probe`: when false the store is write-through only (published to,
+  ///    never fetched from) — used by benches/CI to re-derive content
+  ///    independently and measure deduplication.
+  void AttachSharedStore(storage::ContentStore* store, bool auto_publish,
+                         bool probe = true)
+      PAPYRUS_REQUIRES(base::engine_thread) PAPYRUS_EXCLUDES(mu_);
+
+  storage::ContentStore* shared_store() const PAPYRUS_EXCLUDES(mu_) {
+    base::MutexLock lock(mu_);
+    return store_;
+  }
+
+  /// Probes the shared store for `content_key` and decodes the payloads.
+  /// Returns nullopt — and the caller just runs the tool — when no store
+  /// is attached, probing is disabled, the key is absent, blob
+  /// verification failed (the store drops the damaged entry itself), or
+  /// payload decoding failed. Never returns unverified bytes.
+  std::optional<SharedFetch> ProbeShared(const std::string& content_key)
+      PAPYRUS_REQUIRES(base::engine_thread) PAPYRUS_EXCLUDES(mu_);
+
+  /// Publishes every entry recorded while auto_publish was off. The
+  /// daemon calls this right after its durable session save.
+  void FlushSharedPublications()
+      PAPYRUS_REQUIRES(base::engine_thread) PAPYRUS_EXCLUDES(mu_);
 
   // --- lookup ------------------------------------------------------------
 
@@ -212,6 +291,11 @@ class DerivationCache {
       PAPYRUS_REQUIRES(mu_, base::engine_thread);
   bool RecordLocked(const std::string& key, CacheEntry entry)
       PAPYRUS_REQUIRES(mu_, base::engine_thread);
+  /// Encodes the entry's output payloads (read from the database) and
+  /// publishes them under entry.content_key. No-op for entries without a
+  /// content key or outputs that are no longer readable.
+  void PublishSharedLocked(const CacheEntry& entry)
+      PAPYRUS_REQUIRES(mu_, base::engine_thread);
   void InvalidateVersionLocked(const oct::ObjectId& id)
       PAPYRUS_REQUIRES(mu_, base::engine_thread);
   void ClearLocked() PAPYRUS_REQUIRES(mu_, base::engine_thread);
@@ -231,6 +315,14 @@ class DerivationCache {
   /// (inputs and outputs), driving O(entries-touched) invalidation.
   std::map<oct::ObjectId, std::set<std::string>> by_version_
       PAPYRUS_GUARDED_BY(mu_);
+
+  /// Shared content-addressed store (not owned; may be nullptr).
+  storage::ContentStore* store_ PAPYRUS_GUARDED_BY(mu_) = nullptr;
+  bool auto_publish_ PAPYRUS_GUARDED_BY(mu_) = true;
+  bool probe_shared_ PAPYRUS_GUARDED_BY(mu_) = true;
+  /// Session keys recorded while auto_publish was off, awaiting
+  /// FlushSharedPublications (the daemon's post-snapshot publish point).
+  std::set<std::string> unpublished_ PAPYRUS_GUARDED_BY(mu_);
 };
 
 }  // namespace papyrus::cache

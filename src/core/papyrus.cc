@@ -61,6 +61,22 @@ Papyrus::Papyrus(const SessionOptions& options)
   network_->set_observability(sinks);
   task_manager_->set_observability(sinks);
   step_cache_->set_observability(sinks);
+  if (!options.shared_store_path.empty()) {
+    storage::CasOptions cas_options;
+    cas_options.size_budget_bytes = options.shared_store_budget_bytes;
+    auto store =
+        storage::ContentStore::Open(options.shared_store_path, cas_options);
+    if (store.ok()) {
+      // Standalone session: a task commit is this process's durability
+      // point, so entries publish immediately.
+      shared_store_ = std::move(*store);
+      shared_store_->set_observability(sinks);
+      step_cache_->AttachSharedStore(shared_store_.get(),
+                                     /*auto_publish=*/true);
+    }
+    // An unopenable store degrades to a private session; nothing else
+    // depends on it.
+  }
 }
 
 Papyrus::~Papyrus() {

@@ -16,6 +16,7 @@
 #include "obs/observability.h"
 #include "oct/database.h"
 #include "sprite/network.h"
+#include "storage/cas.h"
 #include "storage/reclamation.h"
 #include "sync/sds.h"
 #include "task/task_manager.h"
@@ -50,6 +51,14 @@ struct SessionOptions {
   /// When non-empty, a JSON metrics snapshot is written here at session
   /// destruction.
   std::string metrics_path;
+  /// When non-empty, the session opens (creating if needed) a shared
+  /// content-addressed artifact store at this directory and attaches it
+  /// to the derivation cache: committed derivations are published for
+  /// other sessions, and session-cache misses fall through to it.
+  std::string shared_store_path;
+  /// Size budget for the shared store's unique blob bytes (0 = unlimited);
+  /// only meaningful with `shared_store_path`.
+  int64_t shared_store_budget_bytes = 0;
 };
 
 /// The Papyrus design-flow-management session: one object wiring together
@@ -143,6 +152,19 @@ class Papyrus {
   storage::ReclamationManager& reclamation() { return *reclamation_; }
   /// The history-based derivation cache (memoized ADG suffixes).
   cache::DerivationCache& step_cache() { return *step_cache_; }
+  /// The shared content-addressed store attached to the derivation cache
+  /// (owned when SessionOptions::shared_store_path was set, the daemon's
+  /// when AttachSharedStore was called, else nullptr).
+  storage::ContentStore* shared_store() {
+    return step_cache_->shared_store();
+  }
+  /// Attaches an externally owned shared store (the daemon's, shared by
+  /// every managed session). With `auto_publish` false, publications are
+  /// held until step_cache().FlushSharedPublications() — the daemon calls
+  /// it only after the snapshot carrying the entries is durable.
+  void AttachSharedStore(storage::ContentStore* store, bool auto_publish) {
+    step_cache_->AttachSharedStore(store, auto_publish);
+  }
   meta::MetadataEngine& metadata() { return *metadata_; }
   meta::TsdRegistry& tsds() { return tsds_; }
   /// The attribute store the metadata engine populates.
@@ -178,6 +200,9 @@ class Papyrus {
   std::unique_ptr<activity::ActivityManager> activity_;
   std::unique_ptr<sync::SdsManager> sds_;
   std::unique_ptr<storage::ReclamationManager> reclamation_;
+  // Declared before the cache so it is destroyed after it (the cache
+  // holds a raw pointer to the store while attached).
+  std::unique_ptr<storage::ContentStore> shared_store_;
   std::unique_ptr<cache::DerivationCache> step_cache_;
   meta::TsdRegistry tsds_;
   oct::AttributeStore attributes_;

@@ -138,6 +138,32 @@ const std::vector<MetricInfo>& MetricCatalogue() {
       {kServerTaskLatency, kH,
        "Virtual microseconds from claim to commit for tasks the daemon "
        "executed."},
+      {kCasHits, kC,
+       "Shared-store fetches that returned hash-verified outputs "
+       "(cross-session derivation-cache hits)."},
+      {kCasMisses, kC,
+       "Shared-store fetches that found no entry for the content key."},
+      {kCasPublished, kC,
+       "New entries accepted into the content-addressed store."},
+      {kCasDedupBytes, kC,
+       "Blob bytes NOT written because identical content already lived "
+       "in the store (cross-entry and cross-session sharing)."},
+      {kCasBytesWritten, kC,
+       "Blob bytes physically written to the store."},
+      {kCasEvictedEntries, kC,
+       "Entries evicted by the LRU size-budget policy."},
+      {kCasEvictedBytes, kC,
+       "Unique blob bytes freed by eviction (shared blobs survive "
+       "until their last referencing entry goes)."},
+      {kCasVerifyFailures, kC,
+       "Blobs whose bytes no longer matched their SHA-256 at fetch "
+       "time; the damaged entry is dropped and the step re-runs."},
+      {kCasOrphansCollected, kC,
+       "Crash-orphaned blob files garbage-collected at store open."},
+      {kCasEntries, kG, "Entries currently in the shared store."},
+      {kCasBlobs, kG, "Unique blobs currently in the shared store."},
+      {kCasStoreBytes, kG,
+       "Summed unique blob bytes currently on disk."},
       {kExecWorkers, kG,
        "Worker threads configured for the parallel step executor (1 = "
        "serial engine-thread execution)."},

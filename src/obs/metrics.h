@@ -167,6 +167,21 @@ inline constexpr char kServerWireRequests[] =
     "papyrus.server.wire_requests";
 inline constexpr char kServerTaskLatency[] =
     "papyrus.server.task_latency";
+inline constexpr char kCasHits[] = "papyrus.cas.hits";
+inline constexpr char kCasMisses[] = "papyrus.cas.misses";
+inline constexpr char kCasPublished[] = "papyrus.cas.published";
+inline constexpr char kCasDedupBytes[] = "papyrus.cas.dedup_bytes";
+inline constexpr char kCasBytesWritten[] = "papyrus.cas.bytes_written";
+inline constexpr char kCasEvictedEntries[] =
+    "papyrus.cas.evicted_entries";
+inline constexpr char kCasEvictedBytes[] = "papyrus.cas.evicted_bytes";
+inline constexpr char kCasVerifyFailures[] =
+    "papyrus.cas.verify_failures";
+inline constexpr char kCasOrphansCollected[] =
+    "papyrus.cas.orphans_collected";
+inline constexpr char kCasEntries[] = "papyrus.cas.entries";
+inline constexpr char kCasBlobs[] = "papyrus.cas.blobs";
+inline constexpr char kCasStoreBytes[] = "papyrus.cas.store_bytes";
 inline constexpr char kExecWorkers[] = "papyrus.exec.workers";
 inline constexpr char kExecStepsPool[] = "papyrus.exec.steps_pool";
 inline constexpr char kExecStepsInline[] = "papyrus.exec.steps_inline";

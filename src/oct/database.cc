@@ -100,6 +100,22 @@ int64_t OctDatabase::PayloadBytes(const ObjectId& id) const {
   return rec == nullptr ? 0 : rec->size_bytes;
 }
 
+Result<std::string> OctDatabase::ContentHash(const ObjectId& id) {
+  base::AssertEngineThread("OctDatabase::ContentHash");
+  ObjectRecord* rec = Find(id);
+  if (rec == nullptr) {
+    return Status::NotFound("no such object: " + id.ToString());
+  }
+  if (rec->reclaimed) {
+    return Status::FailedPrecondition("object was reclaimed: " +
+                                      id.ToString());
+  }
+  if (rec->content_hash.empty()) {
+    rec->content_hash = PayloadContentHash(rec->payload);
+  }
+  return rec->content_hash;
+}
+
 Result<ObjectId> OctDatabase::LatestVisible(const std::string& name) const {
   auto it = objects_.find(name);
   if (it == objects_.end()) {

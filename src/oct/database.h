@@ -31,6 +31,10 @@ struct ObjectRecord {
   /// still references this version's payload; Reclaim refuses. Runtime
   /// state, not persisted — pin holders re-establish pins on restore.
   int pin_count = 0;
+  /// Memoized PayloadContentHash (payloads are immutable once created).
+  /// Empty until OctDatabase::ContentHash first computes it. Runtime
+  /// state, never persisted.
+  std::string content_hash;
 };
 
 /// The design database substrate (stands in for Berkeley OCT).
@@ -82,6 +86,14 @@ class OctDatabase {
   /// touching the payload, the access time, or visibility — hot on the
   /// step-dispatch path (tool cost model, derivation-cache sizing).
   int64_t PayloadBytes(const ObjectId& id) const;
+
+  /// Lowercase-hex SHA-256 content identity of a version's payload,
+  /// memoized on the record (payloads are immutable). Fails with NotFound
+  /// for unknown ids and FailedPrecondition for reclaimed versions (their
+  /// payload bytes are gone, so they have no content anymore). Engine-only
+  /// because it writes the memo field.
+  Result<std::string> ContentHash(const ObjectId& id)
+      PAPYRUS_REQUIRES(base::engine_thread);
 
   /// Latest *visible* version of `name`, or NotFound.
   Result<ObjectId> LatestVisible(const std::string& name) const;

@@ -1,6 +1,12 @@
 #include "oct/design_data.h"
 
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
 #include <sstream>
+
+#include "base/hash.h"
+#include "base/strings.h"
 
 namespace papyrus::oct {
 
@@ -84,6 +90,128 @@ DesignDomain PayloadDomain(const DesignPayload& p) {
   if (std::holds_alternative<LogicNetwork>(p)) return DesignDomain::kLogic;
   if (std::holds_alternative<Layout>(p)) return DesignDomain::kPhysical;
   return DesignDomain::kOther;
+}
+
+namespace {
+
+// The codec helpers mirror activity/persistence.cc conventions exactly:
+// snapshot payload fields and CAS blob bytes must stay byte-identical.
+std::string EncField(const std::string& v) {
+  return "~" + PercentEncode(v);
+}
+
+std::string DecField(const std::string& v) {
+  std::string_view sv = v;
+  if (!sv.empty() && sv.front() == '~') sv.remove_prefix(1);
+  return PercentDecode(sv);
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+int64_t FieldI64(const std::string& s) {
+  int64_t v = 0;
+  (void)ParseInt64(s, &v);
+  return v;
+}
+
+/// Payload seeds are full-range uint64 values (tool-derived hashes
+/// routinely exceed INT64_MAX), so they cannot go through FieldI64.
+uint64_t FieldU64(const std::string& s) {
+  if (s.empty() || s[0] == '-') return 0;
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return 0;
+  return static_cast<uint64_t>(v);
+}
+
+}  // namespace
+
+std::string EncodePayloadText(const DesignPayload& p) {
+  std::ostringstream out;
+  if (const auto* b = std::get_if<BehavioralSpec>(&p)) {
+    out << "behavioral " << b->num_inputs << ' ' << b->num_outputs << ' '
+        << b->complexity << ' ' << b->seed;
+  } else if (const auto* n = std::get_if<LogicNetwork>(&p)) {
+    out << "logic " << n->num_inputs << ' ' << n->num_outputs << ' '
+        << n->minterms << ' ' << n->literals << ' ' << n->levels << ' '
+        << static_cast<int>(n->format) << ' ' << n->seed;
+  } else if (const auto* l = std::get_if<Layout>(&p)) {
+    out << "layout " << l->num_cells << ' ' << FormatDouble(l->area) << ' '
+        << FormatDouble(l->delay_ns) << ' ' << FormatDouble(l->power_mw)
+        << ' ' << FormatDouble(l->wire_length) << ' ' << l->has_pads << ' '
+        << l->routed << ' ' << l->compacted << ' ' << l->has_abstraction
+        << ' ' << EncField(l->style) << ' ' << static_cast<int>(l->format)
+        << ' ' << l->seed;
+  } else if (const auto* t = std::get_if<TextData>(&p)) {
+    out << "text " << EncField(t->text);
+  } else {
+    out << "none";
+  }
+  return out.str();
+}
+
+Result<DesignPayload> ParsePayloadFields(const std::vector<std::string>& f,
+                                         size_t at) {
+  auto need = [&](size_t n) { return f.size() >= at + 1 + n; };
+  if (at >= f.size()) return Status::InvalidArgument("missing payload");
+  const std::string& tag = f[at];
+  if (tag == "none") return DesignPayload{};
+  if (tag == "behavioral") {
+    if (!need(4)) return Status::InvalidArgument("short behavioral");
+    BehavioralSpec b;
+    b.num_inputs = static_cast<int>(FieldI64(f[at + 1]));
+    b.num_outputs = static_cast<int>(FieldI64(f[at + 2]));
+    b.complexity = static_cast<int>(FieldI64(f[at + 3]));
+    b.seed = FieldU64(f[at + 4]);
+    return DesignPayload{b};
+  }
+  if (tag == "logic") {
+    if (!need(7)) return Status::InvalidArgument("short logic");
+    LogicNetwork n;
+    n.num_inputs = static_cast<int>(FieldI64(f[at + 1]));
+    n.num_outputs = static_cast<int>(FieldI64(f[at + 2]));
+    n.minterms = static_cast<int>(FieldI64(f[at + 3]));
+    n.literals = static_cast<int>(FieldI64(f[at + 4]));
+    n.levels = static_cast<int>(FieldI64(f[at + 5]));
+    n.format = static_cast<DesignFormat>(FieldI64(f[at + 6]));
+    n.seed = FieldU64(f[at + 7]);
+    return DesignPayload{n};
+  }
+  if (tag == "layout") {
+    if (!need(12)) return Status::InvalidArgument("short layout");
+    Layout l;
+    l.num_cells = static_cast<int>(FieldI64(f[at + 1]));
+    l.area = std::strtod(f[at + 2].c_str(), nullptr);
+    l.delay_ns = std::strtod(f[at + 3].c_str(), nullptr);
+    l.power_mw = std::strtod(f[at + 4].c_str(), nullptr);
+    l.wire_length = std::strtod(f[at + 5].c_str(), nullptr);
+    l.has_pads = f[at + 6] == "1";
+    l.routed = f[at + 7] == "1";
+    l.compacted = f[at + 8] == "1";
+    l.has_abstraction = f[at + 9] == "1";
+    l.style = DecField(f[at + 10]);
+    l.format = static_cast<DesignFormat>(FieldI64(f[at + 11]));
+    l.seed = FieldU64(f[at + 12]);
+    return DesignPayload{l};
+  }
+  if (tag == "text") {
+    if (!need(1)) return Status::InvalidArgument("short text");
+    return DesignPayload{TextData{DecField(f[at + 1])}};
+  }
+  return Status::InvalidArgument("unknown payload tag: " + tag);
+}
+
+Result<DesignPayload> DecodePayloadText(std::string_view text) {
+  return ParsePayloadFields(SplitWhitespace(text), 0);
+}
+
+std::string PayloadContentHash(const DesignPayload& p) {
+  return Sha256Hex(EncodePayloadText(p));
 }
 
 std::string PayloadToString(const DesignPayload& p) {

@@ -3,8 +3,11 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <variant>
 #include <vector>
+
+#include "base/result.h"
 
 namespace papyrus::oct {
 
@@ -94,6 +97,27 @@ DesignDomain PayloadDomain(const DesignPayload& p);
 
 /// One-line human readable description (for renderers and examples).
 std::string PayloadToString(const DesignPayload& p);
+
+/// Canonical single-line text encoding of a payload: the whitespace-field
+/// layout the snapshot format has always used ("behavioral 4 2 10 7",
+/// "layout 40 2e+04 ... ~macro 5 1", ...; doubles as %.17g, strings
+/// '~'-prefixed percent-encoded). Two payloads encode identically iff they
+/// are semantically identical, which makes this encoding the basis of
+/// content identity: CAS blob bytes *are* this text, and
+/// PayloadContentHash() hashes it.
+std::string EncodePayloadText(const DesignPayload& p);
+
+/// Parses `f[at..]` as written by EncodePayloadText (shared with the
+/// snapshot payload codec, which embeds payload fields in wider records).
+Result<DesignPayload> ParsePayloadFields(const std::vector<std::string>& f,
+                                         size_t at);
+
+/// Inverse of EncodePayloadText.
+Result<DesignPayload> DecodePayloadText(std::string_view text);
+
+/// Lowercase-hex SHA-256 of EncodePayloadText(p) — the payload's strong
+/// content identity, used for CAS keys and blob verification.
+std::string PayloadContentHash(const DesignPayload& p);
 
 }  // namespace papyrus::oct
 

@@ -114,6 +114,16 @@ Result<std::unique_ptr<PapyrusDaemon>> PapyrusDaemon::Start(
       PersistentQueue::Open(queue_dir, daemon->clock_, daemon->obs_));
   daemon->obs_.trace->SetProcessName(obs::kServerPid, "papyrusd");
   daemon->obs_.trace->SetThreadName(obs::kServerPid, 0, "queue");
+  // The daemon-wide artifact store: one per root, shared by every hosted
+  // session, surviving restarts (Open recovers + garbage-collects).
+  storage::CasOptions cas_options;
+  cas_options.size_budget_bytes = options.cas_budget_bytes;
+  PAPYRUS_ASSIGN_OR_RETURN(
+      daemon->shared_store_,
+      storage::ContentStore::Open(
+          (std::filesystem::path(options.root) / "cas").string(),
+          cas_options));
+  daemon->shared_store_->set_observability(daemon->obs_);
   if (daemon->queue_->recovered() > 0) {
     // Unresolved claims mean the previous incarnation died hot.
     daemon->c_restarts_->Increment();
@@ -157,7 +167,8 @@ Result<ManagedSession*> PapyrusDaemon::OpenSession(
           .string();
   PAPYRUS_ASSIGN_OR_RETURN(
       auto session,
-      ManagedSession::Open(dir, name, options_.session, obs_));
+      ManagedSession::Open(dir, name, options_.session, obs_,
+                           shared_store_.get()));
   ManagedSession* raw = session.get();
   sessions_[name] = std::move(session);
   g_sessions_->Set(static_cast<int64_t>(sessions_.size()));
@@ -427,6 +438,16 @@ std::string PapyrusDaemon::HandleLineImpl(const WireMessage& request) {
     response.Add("failed", std::to_string(queue_->FailedCount()));
     response.Add("depth", std::to_string(queue_->depth()));
     response.Add("recovered", std::to_string(queue_->recovered()));
+    storage::CasStats cas = shared_store_->stats();
+    response.Add("cas_entries", std::to_string(cas.entries));
+    response.Add("cas_blobs", std::to_string(cas.blobs));
+    response.Add("cas_bytes", std::to_string(cas.total_bytes));
+    response.Add("cas_hits", std::to_string(cas.hits));
+    response.Add("cas_misses", std::to_string(cas.misses));
+    response.Add("cas_dedup_bytes", std::to_string(cas.dedup_bytes));
+    response.Add("cas_live_blobs", std::to_string(cas.live_blobs));
+    response.Add("cas_evictable_blobs",
+                 std::to_string(cas.evictable_blobs));
     return response.Format();
   }
   if (request.verb == "task") {

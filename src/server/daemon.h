@@ -68,6 +68,10 @@ struct DaemonOptions {
   obs::MetricsRegistry* metrics = nullptr;
   std::string trace_path;
   std::string metrics_path;
+  /// Size budget for the daemon's shared content-addressed artifact
+  /// store at `<root>/cas` (unique blob bytes; 0 = unlimited). The store
+  /// itself is always opened: every hosted session shares it.
+  int64_t cas_budget_bytes = 0;
 };
 
 /// papyrusd: the multi-session Papyrus daemon.
@@ -126,6 +130,9 @@ class PapyrusDaemon {
   std::vector<lint::Diagnostic> PreflightQueue() const;
 
   PersistentQueue& queue() { return *queue_; }
+  /// The daemon-wide shared artifact store (`<root>/cas`), attached to
+  /// every hosted session's derivation cache.
+  storage::ContentStore& shared_store() { return *shared_store_; }
   ManualClock& clock() { return *clock_; }
   bool crashed() const { return crashed_; }
   const std::string& owner() const { return owner_; }
@@ -150,6 +157,9 @@ class PapyrusDaemon {
   obs::Observability obs_;
   std::string owner_;
   std::unique_ptr<PersistentQueue> queue_;
+  // Declared before the sessions so it is destroyed after them (each
+  // session's derivation cache holds a raw pointer while attached).
+  std::unique_ptr<storage::ContentStore> shared_store_;
   std::map<std::string, std::unique_ptr<ManagedSession>> sessions_;
   bool crashed_ = false;
   bool shut_down_ = false;

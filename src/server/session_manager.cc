@@ -36,7 +36,8 @@ ManagedSession::ManagedSession(std::string directory, std::string name)
 
 Result<std::unique_ptr<ManagedSession>> ManagedSession::Open(
     const std::string& directory, const std::string& name,
-    const SessionConfig& config, const obs::Observability& obs) {
+    const SessionConfig& config, const obs::Observability& obs,
+    storage::ContentStore* shared_store) {
   base::AssertEngineThread("ManagedSession::Open");
   std::error_code ec;
   std::filesystem::create_directories(directory, ec);
@@ -60,6 +61,13 @@ Result<std::unique_ptr<ManagedSession>> ManagedSession::Open(
     managed->session_->task_manager().set_observability(obs);
     managed->session_->step_cache().set_observability(obs);
   }
+  if (shared_store != nullptr) {
+    // Deferred publication: entries recorded during execution are held
+    // until Save() swaps CURRENT (FlushSharedPublications below), so the
+    // store only ever holds outputs of durably committed tasks.
+    managed->session_->AttachSharedStore(shared_store,
+                                         /*auto_publish=*/false);
+  }
 
   auto current = ReadFileText(
       std::filesystem::path(directory) / kCurrentFile);
@@ -72,6 +80,11 @@ Result<std::unique_ptr<ManagedSession>> ManagedSession::Open(
                               "\" in " + directory);
     }
     PAPYRUS_RETURN_IF_ERROR(managed->Restore(snapshot));
+    // Everything restored from CURRENT is durable by definition, so the
+    // deferred publications queued during restore flush now. This closes
+    // the crash window between a CURRENT swap and its flush: the restore
+    // republishes (idempotently) what that flush would have.
+    managed->session_->step_cache().FlushSharedPublications();
   }
 
   // Intra-session chaos lands after restore so crash times are relative
@@ -240,6 +253,9 @@ Status ManagedSession::Save() {
       (std::filesystem::path(directory_) / kCurrentFile).string(),
       snapshot));
   generation_ = next_gen;
+  // The generation is durable; derivations it carries may now be shared
+  // with other sessions through the content-addressed store.
+  session_->step_cache().FlushSharedPublications();
   // Older generations (and aborted half-writes) are garbage; reclaim
   // best-effort.
   for (const auto& entry :

@@ -55,9 +55,16 @@ class ManagedSession {
   /// `name` stored under `directory`. Subsystem metrics and traces are
   /// rebound to `obs` when provided, so one daemon-lifetime registry and
   /// trace span every session and incarnation.
+  /// `shared_store` (optional, not owned — the daemon's, shared by every
+  /// hosted session) is attached with deferred publication: entries land
+  /// in the store only after the snapshot generation carrying them is
+  /// durable, so a daemon crash can never leak outputs of a commit that
+  /// did not survive. Entries restored from CURRENT republish at Open
+  /// (idempotent — they are durable by definition).
   static Result<std::unique_ptr<ManagedSession>> Open(
       const std::string& directory, const std::string& name,
-      const SessionConfig& config, const obs::Observability& obs = {});
+      const SessionConfig& config, const obs::Observability& obs = {},
+      storage::ContentStore* shared_store = nullptr);
 
   ManagedSession(const ManagedSession&) = delete;
   ManagedSession& operator=(const ManagedSession&) = delete;

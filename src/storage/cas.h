@@ -1,0 +1,212 @@
+#ifndef PAPYRUS_STORAGE_CAS_H_
+#define PAPYRUS_STORAGE_CAS_H_
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/mutex.h"
+#include "base/result.h"
+#include "base/status.h"
+#include "obs/observability.h"
+
+namespace papyrus::storage {
+
+/// One output an entry carries: the blob is stored once under its SHA-256
+/// and shared by every entry that produced identical bytes.
+struct CasOutput {
+  std::string name_hint;  // output object base name ("cell.layout")
+  bool visible = true;    // false: rematerialized intermediate
+  std::string blob_hash;  // lowercase-hex SHA-256 of the blob bytes
+  int64_t size_bytes = 0;
+};
+
+/// Provenance metadata kept with an entry so a fetch can rebuild a full
+/// session-cache entry (and the shell can display where a hit came from).
+struct CasEntryMeta {
+  std::string tool;
+  std::string tool_version;
+  std::string canonical_options;
+  uint64_t seed_salt = 0;
+  int64_t cost_micros = 0;  // virtual cost the hit elides
+};
+
+/// An output handed back by Fetch: metadata plus the verified blob bytes.
+struct CasFetchedOutput {
+  std::string name_hint;
+  bool visible = true;
+  std::string blob_hash;
+  std::string bytes;
+};
+
+struct CasFetchResult {
+  CasEntryMeta meta;
+  std::vector<CasFetchedOutput> outputs;
+};
+
+/// What Publish stores for one output.
+struct CasPublishOutput {
+  std::string name_hint;
+  bool visible = true;
+  std::string bytes;  // canonical payload text (oct::EncodePayloadText)
+};
+
+/// Point-in-time statistics snapshot (mirrored into papyrus.cas.*).
+struct CasStats {
+  int64_t hits = 0;            // fetches that returned verified outputs
+  int64_t misses = 0;          // fetches with no entry for the key
+  int64_t published = 0;       // new entries accepted by Publish
+  int64_t dedup_bytes = 0;     // blob bytes NOT written because the blob
+                               // already existed (cross-entry sharing)
+  int64_t bytes_written = 0;   // blob bytes physically written
+  int64_t evicted_entries = 0;
+  int64_t evicted_bytes = 0;   // blob bytes freed by eviction
+  int64_t verify_failures = 0; // blobs whose bytes no longer matched
+                               // their hash at fetch time
+  int64_t orphans_collected = 0;  // crash-orphaned blob files GC'd at Open
+  // Current store shape:
+  int64_t entries = 0;
+  int64_t blobs = 0;
+  int64_t live_blobs = 0;       // blobs referenced by >= 2 entries
+  int64_t evictable_blobs = 0;  // blobs referenced by exactly 1 entry
+  int64_t total_bytes = 0;      // summed unique blob bytes on disk
+};
+
+struct CasOptions {
+  /// Evict least-recently-used entries once unique blob bytes exceed this
+  /// budget (0 = unlimited). Blobs are deleted only when no surviving
+  /// entry references them.
+  int64_t size_budget_bytes = 0;
+  /// Compact the journal into the checkpoint after this many appends.
+  int64_t checkpoint_interval = 256;
+};
+
+/// Concurrency-safe, ref-counted, content-addressed store for derivation
+/// outputs, shared across sessions, users, and daemon restarts.
+///
+/// On-disk layout under `root`:
+///   cas.state            atomic checkpoint (write-rename-fsync)
+///   cas.journal          checksummed append-only journal over the
+///                        checkpoint (put/del/touch records)
+///   blobs/<hh>/<sha256>  one file per unique output payload
+///
+/// Durability protocol: blob files land first (each written atomically),
+/// then the journal line that makes the entry exist is appended. A crash
+/// between the two leaves orphan blobs, which Open() garbage-collects
+/// after recovering the index from checkpoint + longest-valid journal
+/// prefix. Blob ref-counts are derived state — an entry's `put` / `del`
+/// journal records ARE the journaled ref-count updates — so the store can
+/// never recover an inconsistent count.
+///
+/// Thread contract: all public methods lock the internal mutex; Fetch
+/// copies blob bytes out under the lock, so concurrent eviction can never
+/// yank bytes from under a reader.
+class ContentStore {
+ public:
+  static Result<std::unique_ptr<ContentStore>> Open(
+      const std::string& root, const CasOptions& options = {});
+
+  ~ContentStore();
+  ContentStore(const ContentStore&) = delete;
+  ContentStore& operator=(const ContentStore&) = delete;
+
+  /// Stores `outputs` under `key` (idempotent: an existing entry is left
+  /// untouched and counts as deduplication). Blobs whose bytes already
+  /// exist in the store are shared, not rewritten. May evict other
+  /// entries to honor the size budget — never the one just published.
+  Status Publish(const std::string& key, const CasEntryMeta& meta,
+                 const std::vector<CasPublishOutput>& outputs)
+      PAPYRUS_EXCLUDES(mu_);
+
+  /// Looks up `key`, re-reads every blob, and verifies its SHA-256 before
+  /// returning the bytes. NotFound on a miss. On verification failure the
+  /// damaged entry is dropped from the store (so the caller re-runs the
+  /// tool and republishes clean bytes) and Aborted is returned — corrupt
+  /// bytes are never handed out. A hit refreshes the entry's LRU position
+  /// durably (journaled `touch`).
+  Result<CasFetchResult> Fetch(const std::string& key) PAPYRUS_EXCLUDES(mu_);
+
+  /// True iff an entry exists (no verification, no LRU refresh).
+  bool Contains(const std::string& key) PAPYRUS_EXCLUDES(mu_);
+
+  /// Compacts the journal into the checkpoint immediately.
+  Status Checkpoint() PAPYRUS_EXCLUDES(mu_);
+
+  CasStats stats() PAPYRUS_EXCLUDES(mu_);
+
+  /// Attaches trace + metrics sinks (papyrus.cas.* counters/gauges).
+  void set_observability(const obs::Observability& obs) PAPYRUS_EXCLUDES(mu_);
+
+  const std::string& root() const { return root_; }
+
+ private:
+  struct Entry {
+    CasEntryMeta meta;
+    std::vector<CasOutput> outputs;
+    int64_t lru_seq = 0;  // monotonic use sequence (not wall clock)
+  };
+  struct Blob {
+    int64_t size_bytes = 0;
+    int64_t refs = 0;
+  };
+
+  ContentStore(std::string root, const CasOptions& options);
+
+  Status LoadCheckpoint() PAPYRUS_REQUIRES(mu_);
+  Status ReplayJournal() PAPYRUS_REQUIRES(mu_);
+  Status ApplyJournalLine(const std::vector<std::string>& f)
+      PAPYRUS_REQUIRES(mu_);
+  Status CollectOrphans() PAPYRUS_REQUIRES(mu_);
+  Status AppendJournal(const std::string& body) PAPYRUS_REQUIRES(mu_);
+  Status WriteCheckpoint() PAPYRUS_REQUIRES(mu_);
+  Status MaybeCheckpoint() PAPYRUS_REQUIRES(mu_);
+
+  /// Inserts `entry` under `key` into the in-memory index, bumping blob
+  /// refs. The caller has already durably journaled it.
+  void IndexEntry(const std::string& key, Entry entry) PAPYRUS_REQUIRES(mu_);
+  /// Removes an entry, dropping blob refs and deleting unreferenced blob
+  /// files. Returns the blob bytes freed.
+  int64_t DropEntry(const std::string& key, bool journal)
+      PAPYRUS_REQUIRES(mu_);
+  /// Evicts LRU entries until `total_bytes_` fits the budget; `keep` is
+  /// never evicted.
+  void EnforceBudget(const std::string& keep) PAPYRUS_REQUIRES(mu_);
+
+  std::string BlobPath(const std::string& hash) const;
+  static std::string PutRecord(const std::string& key, const Entry& entry);
+
+  void RefreshGauges() PAPYRUS_REQUIRES(mu_);
+
+  const std::string root_;
+  const CasOptions options_;
+
+  base::Mutex mu_;
+  std::map<std::string, Entry> entries_ PAPYRUS_GUARDED_BY(mu_);
+  std::map<std::string, Blob> blobs_ PAPYRUS_GUARDED_BY(mu_);
+  int64_t total_bytes_ PAPYRUS_GUARDED_BY(mu_) = 0;
+  int64_t next_lru_seq_ PAPYRUS_GUARDED_BY(mu_) = 1;
+  int64_t journal_appends_ PAPYRUS_GUARDED_BY(mu_) = 0;
+  std::ofstream journal_ PAPYRUS_GUARDED_BY(mu_);
+  CasStats stats_ PAPYRUS_GUARDED_BY(mu_);
+
+  obs::Observability obs_ PAPYRUS_GUARDED_BY(mu_);
+  obs::Counter* c_hits_ PAPYRUS_GUARDED_BY(mu_) = nullptr;
+  obs::Counter* c_misses_ PAPYRUS_GUARDED_BY(mu_) = nullptr;
+  obs::Counter* c_published_ PAPYRUS_GUARDED_BY(mu_) = nullptr;
+  obs::Counter* c_dedup_bytes_ PAPYRUS_GUARDED_BY(mu_) = nullptr;
+  obs::Counter* c_bytes_written_ PAPYRUS_GUARDED_BY(mu_) = nullptr;
+  obs::Counter* c_evicted_entries_ PAPYRUS_GUARDED_BY(mu_) = nullptr;
+  obs::Counter* c_evicted_bytes_ PAPYRUS_GUARDED_BY(mu_) = nullptr;
+  obs::Counter* c_verify_failures_ PAPYRUS_GUARDED_BY(mu_) = nullptr;
+  obs::Counter* c_orphans_ PAPYRUS_GUARDED_BY(mu_) = nullptr;
+  obs::Gauge* g_entries_ PAPYRUS_GUARDED_BY(mu_) = nullptr;
+  obs::Gauge* g_blobs_ PAPYRUS_GUARDED_BY(mu_) = nullptr;
+  obs::Gauge* g_bytes_ PAPYRUS_GUARDED_BY(mu_) = nullptr;
+};
+
+}  // namespace papyrus::storage
+
+#endif  // PAPYRUS_STORAGE_CAS_H_

@@ -121,6 +121,9 @@ class Execution {
     std::string canonical_options;
     uint64_t seed_salt = 0;
     std::string cache_key;
+    /// Content-addressed key for the shared store (empty when no store is
+    /// attached or an input's content hash was unavailable).
+    std::string content_key;
   };
   struct ResultEntry {
     oct::ObjectId id;
@@ -195,7 +198,20 @@ class Execution {
   /// cache_hit marker, no process spawned. Returns false on a miss.
   bool TryCompleteFromCache(const ResolvedStep& step,
                             const std::vector<oct::ObjectId>& input_ids,
-                            const std::string& cache_key);
+                            const std::string& cache_key,
+                            const std::string& content_key,
+                            const std::string& tool_version);
+  /// Second-level elision: on a session-cache miss, probes the shared
+  /// content-addressed store. A verified hit re-binds the stored payloads
+  /// into this session's OCT namespace as freshly created versions — the
+  /// step completes at zero virtual cost without spawning a process, and
+  /// the derivation is staged for the session cache (with no content key,
+  /// so a warm hit is never republished). Returns false on a miss.
+  bool TryCompleteFromShared(const ResolvedStep& step,
+                             const std::vector<oct::ObjectId>& input_ids,
+                             const std::string& cache_key,
+                             const std::string& content_key,
+                             const std::string& tool_version);
   /// Queues an environmental retry with exponential backoff. Returns
   /// false when the step has exhausted its retry budget (the caller then
   /// surfaces the failure through the normal step-failure path).
@@ -920,6 +936,7 @@ Status Execution::DispatchStep(const ResolvedStep& step) {
   std::string canonical_options;
   uint64_t seed_salt = 0;
   std::string cache_key;
+  std::string content_key;
   if (have_cache_key) {
     canonical_options = cache::DerivationCache::CanonicalizeOptions(
         dispatched.options, dispatched.input_names,
@@ -929,12 +946,33 @@ Status Execution::DispatchStep(const ResolvedStep& step) {
     cache_key = cache::DerivationCache::MakeKey(
         dispatched.tool, (*tool)->descriptor().version, canonical_options,
         seed_salt, input_ids);
+    if (mgr_->cache_->shared_store() != nullptr) {
+      // Content-addressed key: identical bytes-in (not just identical
+      // version ids) derive the same key in any session or daemon epoch.
+      std::vector<std::string> input_hashes;
+      input_hashes.reserve(input_ids.size());
+      bool hashed = true;
+      for (const oct::ObjectId& id : input_ids) {
+        auto h = mgr_->db_->ContentHash(id);
+        if (!h.ok()) {
+          hashed = false;
+          break;
+        }
+        input_hashes.push_back(std::move(*h));
+      }
+      if (hashed) {
+        content_key = cache::DerivationCache::MakeContentKey(
+            dispatched.tool, (*tool)->descriptor().version,
+            canonical_options, seed_salt, input_hashes);
+      }
+    }
   }
 
   // History-based elision: an identical committed derivation completes
   // the step instantly from its recorded outputs, spawning no process.
   if (have_cache_key &&
-      TryCompleteFromCache(dispatched, input_ids, cache_key)) {
+      TryCompleteFromCache(dispatched, input_ids, cache_key, content_key,
+                           (*tool)->descriptor().version)) {
     return Status::OK();
   }
 
@@ -996,6 +1034,7 @@ Status Execution::DispatchStep(const ResolvedStep& step) {
   entry.canonical_options = std::move(canonical_options);
   entry.seed_salt = seed_salt;
   entry.cache_key = std::move(cache_key);
+  entry.content_key = std::move(content_key);
   active_[*pid] = std::move(entry);
   mgr_->pid_router_[*pid] = this;
   if (checker_ != nullptr) {
@@ -1016,12 +1055,19 @@ Status Execution::DispatchStep(const ResolvedStep& step) {
 
 bool Execution::TryCompleteFromCache(
     const ResolvedStep& step, const std::vector<oct::ObjectId>& input_ids,
-    const std::string& cache_key) {
+    const std::string& cache_key, const std::string& content_key,
+    const std::string& tool_version) {
   base::AssertEngineThread("Execution::TryCompleteFromCache");
   cache::DerivationCache* cache = mgr_->cache_;
   if (cache == nullptr || invocation_.disable_step_cache) return false;
   const cache::CacheEntry* hit = cache->Probe(cache_key);
-  if (hit == nullptr) return false;
+  if (hit == nullptr) {
+    // Session-cache miss: fall through to the shared content-addressed
+    // store, where another session (or a previous daemon epoch) may have
+    // committed this exact derivation.
+    return TryCompleteFromShared(step, input_ids, cache_key, content_key,
+                                 tool_version);
+  }
   if (hit->outputs.size() != step.output_names.size()) return false;
 
   int64_t now = mgr_->network_->clock()->NowMicros();
@@ -1076,6 +1122,97 @@ bool Execution::TryCompleteFromCache(
   }
   if (observer_ != nullptr) {
     observer_->OnCacheHit(step.name, hit->cost_micros);
+    observer_->OnStepCompleted(record);
+  }
+  return true;
+}
+
+bool Execution::TryCompleteFromShared(
+    const ResolvedStep& step, const std::vector<oct::ObjectId>& input_ids,
+    const std::string& cache_key, const std::string& content_key,
+    const std::string& tool_version) {
+  base::AssertEngineThread("Execution::TryCompleteFromShared");
+  cache::DerivationCache* cache = mgr_->cache_;
+  if (content_key.empty()) return false;
+  auto fetched = cache->ProbeShared(content_key);
+  if (!fetched.has_value()) return false;
+  if (fetched->outputs.size() != step.output_names.size()) return false;
+
+  // The stored payloads do not exist in this session's namespace; re-bind
+  // them as freshly created versions. A cold run of this step would create
+  // byte-identical versions here (the content key pins tool, version,
+  // options, salt, and input bytes), so elision stays invisible to
+  // everything downstream except the clock.
+  oct::Transaction txn(mgr_->db_);
+  for (size_t i = 0; i < fetched->outputs.size(); ++i) {
+    txn.StageCreate(step.output_names[i],
+                    std::move(fetched->outputs[i].payload), step.tool);
+  }
+  auto created = txn.Commit();
+  if (!created.ok()) return false;  // fall back to running the tool
+
+  int64_t now = mgr_->network_->clock()->NowMicros();
+  StepRecord record;
+  record.step_name = step.name;
+  record.tool = step.tool;
+  record.invocation =
+      step.tool + (step.options.empty() ? "" : " " + step.options);
+  record.inputs = input_ids;
+  record.dispatch_micros = now;
+  record.completion_micros = now;  // instant in virtual time
+  record.host = sprite::kNoHost;   // no process ran anywhere
+  record.exit_status = 0;
+  record.internal_id = step.internal_id;
+  record.cache_hit = true;
+
+  for (size_t i = 0; i < created->size(); ++i) {
+    record.outputs.push_back((*created)[i]);
+    BindResult(step.output_names[i],
+               ResultEntry{(*created)[i], step.internal_id});
+  }
+  interp_->SetVar("status", "0");
+  if (step.user_id > 0) {
+    MarkStepCompleted(StepKey(step.scope, step.user_id));
+  }
+  if (checker_ != nullptr) {
+    int64_t token = -(++cache_token_seq_);
+    checker_->OnDispatch(token, step.scope, step.name, step.output_names);
+    checker_->OnSettle(token);
+  }
+
+  // Stage the derivation for the session cache so later probes in this
+  // session hit locally. The content key is left empty: a shared hit is
+  // never republished back into the store it came from.
+  StagedCacheEntry staged;
+  staged.internal_id = step.internal_id;
+  cache::CacheEntry& ce = staged.entry;
+  ce.tool = step.tool;
+  ce.tool_version = tool_version;
+  ce.canonical_options = cache::DerivationCache::CanonicalizeOptions(
+      step.options, step.input_names, step.output_names);
+  // Same formula as DispatchStep: Restore() re-derives the entry's key
+  // from these fields after a daemon restart, so the salt must be real.
+  ce.seed_salt = invocation_.seed ^
+                 Fnv1a(step.scope + step.name + ce.canonical_options);
+  ce.inputs = input_ids;
+  for (const oct::ObjectId& id : *created) {
+    ce.outputs.push_back(cache::CachedOutput{id, true});
+  }
+  ce.cost_micros = fetched->cost_micros;
+  staged.key = cache_key;
+  staged_cache_.push_back(std::move(staged));
+
+  step_records_.push_back(record);
+  ++steps_elided_;
+  mgr_->c_steps_elided_->Increment();
+  if (obs::TraceRecorder* tr = trace()) {
+    NameStepTrack(step);
+    tr->Instant(trace_pid(), step.internal_id, "cas_hit", "cache",
+                {obs::TraceArg::Str("step", step.name),
+                 obs::TraceArg::Int("micros_saved", fetched->cost_micros)});
+  }
+  if (observer_ != nullptr) {
+    observer_->OnCacheHit(step.name, fetched->cost_micros);
     observer_->OnStepCompleted(record);
   }
   return true;
@@ -1356,6 +1493,7 @@ void Execution::OnProcessComplete(const sprite::ProcessInfo& pinfo) {
       ce.tool_version = (*tool)->descriptor().version;
       ce.canonical_options = std::move(entry.canonical_options);
       ce.seed_salt = entry.seed_salt;
+      ce.content_key = std::move(entry.content_key);
       ce.inputs = entry.input_ids;
       for (const oct::ObjectId& id : *created) {
         ce.outputs.push_back(cache::CachedOutput{id, true});
@@ -1618,8 +1756,9 @@ void Execution::Commit() {
     (void)mgr_->db_->MarkInvisible(entry.id);
   }
   // Populate the derivation cache, now that intermediate visibility is
-  // final (Record snapshots it). Only executed steps were staged; hits
-  // and failed/unwound attempts never were.
+  // final (Record snapshots it). Executed steps and shared-store hits
+  // were staged; session-cache hits and failed/unwound attempts never
+  // were.
   if (mgr_->cache_ != nullptr) {
     for (StagedCacheEntry& staged : staged_cache_) {
       (void)mgr_->cache_->Record(staged.key, std::move(staged.entry));

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <string>
 #include <thread>
 
 #include "base/clock.h"
+#include "base/hash.h"
 #include "base/macros.h"
 #include "base/mutex.h"
 #include "base/result.h"
@@ -180,6 +182,52 @@ TEST(ThreadRoleDeathTest, AssertEngineThreadAbortsOnWorkerThread) {
         base::AssertEngineThread("DeathTestProbe");
       },
       "engine-thread contract violated: DeathTestProbe");
+}
+
+// ---------------------------------------------------------------------------
+// SHA-256 (base/hash.h) — FIPS 180-4 test vectors. These pin the exact
+// digest function: content-addressed store keys and blob names derive
+// from it, so a change here silently orphans every existing store.
+// ---------------------------------------------------------------------------
+
+TEST(Sha256Test, EmptyInputVector) {
+  EXPECT_EQ(
+      Sha256Hex(""),
+      "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, AbcVector) {
+  EXPECT_EQ(
+      Sha256Hex("abc"),
+      "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockVector) {
+  // 56 bytes: forces the length padding into a second compression block.
+  EXPECT_EQ(
+      Sha256Hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAsVector) {
+  std::string input(1000000, 'a');
+  EXPECT_EQ(
+      Sha256Hex(input),
+      "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalUpdatesMatchOneShot) {
+  Sha256 hasher;
+  hasher.Update("ab");
+  hasher.Update("");
+  hasher.Update("c");
+  EXPECT_EQ(hasher.FinishHex(), Sha256Hex("abc"));
+  // Reset() restarts the stream; split points never affect the digest.
+  hasher.Reset();
+  std::string long_input(130, 'x');  // straddles two 64-byte blocks
+  hasher.Update(long_input.substr(0, 63));
+  hasher.Update(long_input.substr(63));
+  EXPECT_EQ(hasher.FinishHex(), Sha256Hex(long_input));
 }
 
 }  // namespace
