@@ -276,7 +276,13 @@ void WriteJson(const std::string& path, const MatrixReport& m) {
       << ", \"payload_hashes_warm_eq_cold\": "
       << (m.payload_hashes_warm_eq_cold ? "true" : "false")
       << ", \"warm_zero_virtual_cost\": "
-      << (m.warm_zero_virtual_cost ? "true" : "false") << "}\n}\n";
+      << (m.warm_zero_virtual_cost ? "true" : "false") << "},\n"
+      // Regression floors enforced by tools/check_bench.py.
+      << "  \"floors\": {\n"
+      << "    \"fresh_session_elision_rate\": {\"min\": 1},\n"
+      << "    \"scenarios/*/committed\": {\"eq\": true},\n"
+      << "    \"determinism/*\": {\"eq\": true}\n"
+      << "  }\n}\n";
   std::printf("wrote %s\n\n", path.c_str());
 }
 
@@ -350,11 +356,11 @@ int main(int argc, char** argv) {
             report.cold_pool_invariant && report.warm_pool_invariant &&
             report.payload_hashes_warm_eq_cold &&
             report.warm_zero_virtual_cost;
+  if (!json_path.empty()) papyrus::bench::WriteJson(json_path, report);
   if (smoke) {
     std::printf("smoke: %s\n", ok ? "PASS" : "FAIL");
     return ok ? 0 : 1;
   }
-  if (!json_path.empty()) papyrus::bench::WriteJson(json_path, report);
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -230,7 +230,13 @@ void WriteJson(const std::string& path,
         << (r.committed ? "true" : "false") << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
-  out << "  ]\n}\n";
+  out << "  ],\n"
+      // Regression floors enforced by tools/check_bench.py. The 4-way
+      // speedup floor sits well under the ~3.9x a healthy build shows.
+      << "  \"floors\": {\n"
+      << "    \"wall_speedup_4_workers\": {\"min\": 2.0},\n"
+      << "    \"scenarios/*/committed\": {\"eq\": true}\n"
+      << "  }\n}\n";
   std::printf("wrote %s\n\n", path.c_str());
 }
 
@@ -297,6 +303,9 @@ int main(int argc, char** argv) {
   std::printf("histories byte-identical across pool sizes: %s\n\n",
               deterministic ? "yes" : "NO");
 
+  if (!json_path.empty()) {
+    papyrus::bench::WriteJson(json_path, rows, speedup_4);
+  }
   if (smoke) {
     // No tight wall-clock bound — CI machines are noisy and oversubscribed.
     // The pool must have genuinely executed speculative payloads and must
@@ -305,10 +314,6 @@ int main(int argc, char** argv) {
               pool4.wall_micros < serial.wall_micros;
     std::printf("smoke: %s\n", ok ? "PASS" : "FAIL");
     return ok ? 0 : 1;
-  }
-
-  if (!json_path.empty()) {
-    papyrus::bench::WriteJson(json_path, rows, speedup_4);
   }
 
   benchmark::Initialize(&argc, argv);

@@ -278,7 +278,13 @@ void WriteJson(const std::string& path,
         << (r.metrics_json.empty() ? "{}" : r.metrics_json) << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
-  out << "  ]\n}\n";
+  out << "  ],\n"
+      // Regression floors enforced by tools/check_bench.py.
+      << "  \"floors\": {\n"
+      << "    \"scenarios/*/exactly_once\": {\"eq\": true},\n"
+      << "    \"scenarios/*/byte_identical\": {\"eq\": true},\n"
+      << "    \"scenarios/*/failed\": {\"max\": 0}\n"
+      << "  }\n}\n";
   std::printf("wrote %s\n\n", path.c_str());
 }
 

@@ -192,7 +192,14 @@ void WriteJson(const std::string& path,
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ],\n  \"metrics\": "
-      << (metrics_json.empty() ? "{}" : metrics_json) << "\n}\n";
+      << (metrics_json.empty() ? "{}" : metrics_json) << ",\n"
+      // Regression floors enforced by tools/check_bench.py. A healthy
+      // unchanged rerun elides everything, so its virtual speedup is
+      // the cold flow's full virtual cost (~1e6); 1000 is far below.
+      << "  \"floors\": {\n"
+      << "    \"virtual_speedup_unchanged_rerun\": {\"min\": 1000},\n"
+      << "    \"scenarios/*/committed\": {\"eq\": true}\n"
+      << "  }\n}\n";
   std::printf("wrote %s\n\n", path.c_str());
 }
 
@@ -259,6 +266,10 @@ int main(int argc, char** argv) {
               " elided, virtual-time speedup %.0fx\n\n",
               unchanged.steps_executed, unchanged.steps_elided, speedup);
 
+  if (!json_path.empty()) {
+    papyrus::bench::WriteJson(json_path, rows, speedup, metrics_json);
+  }
+
   if (smoke) {
     bool ok = unchanged.committed && unchanged.steps_executed == 0 &&
               unchanged.steps_elided > 0;
@@ -268,10 +279,6 @@ int main(int argc, char** argv) {
     }
     std::printf("smoke: %s\n", ok ? "PASS" : "FAIL");
     return ok ? 0 : 1;
-  }
-
-  if (!json_path.empty()) {
-    papyrus::bench::WriteJson(json_path, rows, speedup, metrics_json);
   }
 
   benchmark::Initialize(&argc, argv);

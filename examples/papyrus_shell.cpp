@@ -22,7 +22,8 @@
 //   metrics ?-json?              (session metrics registry snapshot)
 //   jobs ?N?                     (query/set step-executor worker threads;
 //                                 results are identical at any N)
-//   daemon open ROOT ?JOBS? | daemon send WIRE-WORDS... | daemon close
+//   daemon open ROOT ?JOBS? | daemon connect SOCKET
+//       | daemon send WIRE-WORDS... | daemon close
 //       (thin client for papyrusd: `send` joins its words into one
 //        wire-protocol line — e.g. `daemon send submit ~session=alpha
 //        ~thread=t ~template=Padp ~in=/x ~out=y` — and returns the
@@ -318,14 +319,18 @@ void RegisterShellCommands(Interp* in, Papyrus* session) {
   // The shell doubles as a thin papyrusd client: everything below goes
   // through the textual wire protocol, never the C++ session API, so a
   // script written against `daemon send` works identically against a
-  // papyrusd reached over any other line transport.
+  // papyrusd reached over any other line transport. `daemon open`
+  // hosts a daemon in-process; `daemon connect` dials a running
+  // papyrusd --socket over its Unix-domain socket.
   auto client =
       std::make_shared<std::unique_ptr<papyrus::server::PapyrusDaemon>>();
+  auto remote =
+      std::make_shared<std::unique_ptr<papyrus::server::WireClient>>();
   in->RegisterCommand(
       "daemon",
-      [client](Interp&, const std::vector<std::string>& argv) {
+      [client, remote](Interp&, const std::vector<std::string>& argv) {
         if (argv.size() >= 3 && argv[1] == "open") {
-          if (*client != nullptr) {
+          if (*client != nullptr || *remote != nullptr) {
             return EvalResult::Error("daemon already open");
           }
           papyrus::server::DaemonOptions options;
@@ -341,15 +346,37 @@ void RegisterShellCommands(Interp* in, Papyrus* session) {
           *client = std::move(*daemon);
           return EvalResult::Ok("connected to " + argv[2]);
         }
+        if (argv.size() >= 3 && argv[1] == "connect") {
+          if (*client != nullptr || *remote != nullptr) {
+            return EvalResult::Error("daemon already open");
+          }
+          auto wire = papyrus::server::WireClient::Connect(argv[2]);
+          if (!wire.ok()) {
+            return EvalResult::Error(wire.status().message());
+          }
+          *remote = std::move(*wire);
+          return EvalResult::Ok("connected to socket " + argv[2]);
+        }
         if (argv.size() >= 2 && argv[1] == "send") {
+          std::vector<std::string> words(argv.begin() + 2, argv.end());
+          std::string line = papyrus::Join(words, " ");
+          if (*remote != nullptr) {
+            auto response = (*remote)->Call(line);
+            if (!response.ok()) {
+              return EvalResult::Error(response.status().message());
+            }
+            return EvalResult::Ok(*response);
+          }
           if (*client == nullptr) {
             return EvalResult::Error("no daemon open");
           }
-          std::vector<std::string> words(argv.begin() + 2, argv.end());
-          return EvalResult::Ok(
-              (*client)->HandleLine(papyrus::Join(words, " ")));
+          return EvalResult::Ok((*client)->HandleLine(line));
         }
         if (argv.size() >= 2 && argv[1] == "close") {
+          if (*remote != nullptr) {
+            remote->reset();
+            return EvalResult::Ok("disconnected");
+          }
           if (*client == nullptr) {
             return EvalResult::Error("no daemon open");
           }
@@ -359,8 +386,8 @@ void RegisterShellCommands(Interp* in, Papyrus* session) {
           return EvalResult::Ok("closed");
         }
         return EvalResult::Error(
-            "usage: daemon open ROOT ?JOBS? | daemon send WORDS... | "
-            "daemon close");
+            "usage: daemon open ROOT ?JOBS? | daemon connect SOCKET | "
+            "daemon send WORDS... | daemon close");
       });
 
   in->RegisterCommand(

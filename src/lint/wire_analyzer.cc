@@ -20,8 +20,8 @@ namespace {
 /// wire-unknown-verb.
 bool KnownVerb(const std::string& verb) {
   static const std::set<std::string> kVerbs = {
-      "ping",  "checkin", "submit",   "run",        "drain",
-      "stat",  "task",    "sessions", "checkpoint", "shutdown"};
+      "ping", "connect", "attach", "checkin", "submit", "run",
+      "drain", "stat", "task", "sessions", "checkpoint", "shutdown"};
   return kVerbs.count(verb) != 0;
 }
 
@@ -117,7 +117,17 @@ class WireSimulator {
                ") is never read by a crash-free daemon");
       return;
     }
-    if (msg.verb == "checkin") {
+    if (msg.verb == "attach") {
+      // Pins the connection to a session; later checkin/submit lines may
+      // omit ~session. The daemon opens the session eagerly, so the lint
+      // only needs the field itself.
+      if (const std::string* session = msg.Find("session")) {
+        attached_session_ = *session;
+      } else {
+        Emit(Severity::kError, rules::kWireMissingField, line,
+             "attach needs ~session");
+      }
+    } else if (msg.verb == "checkin") {
       HandleCheckin(line, msg);
     } else if (msg.verb == "submit") {
       HandleSubmit(line, msg);
@@ -157,23 +167,39 @@ class WireSimulator {
     // ping/stat/sessions/checkpoint carry no checkable obligations.
   }
 
+  /// The session a task-bearing line targets: its explicit ~session
+  /// field, else the session a preceding attach pinned. Mirrors the
+  /// daemon's SessionField fallback.
+  const std::string* ResolveSession(const server::WireMessage& msg,
+                                    int line) {
+    if (const std::string* session = msg.Find("session")) return session;
+    if (!attached_session_.empty()) return &attached_session_;
+    Emit(Severity::kError, rules::kWireMissingField, line,
+         msg.verb + " needs ~session (or a preceding attach)");
+    return nullptr;
+  }
+
   void HandleCheckin(int line, const server::WireMessage& msg) {
-    if (!RequireFields(msg, line, {"session", "path", "type"})) return;
+    const std::string* session = ResolveSession(msg, line);
+    if (session == nullptr) return;
+    if (!RequireFields(msg, line, {"path", "type"})) return;
     const std::string& type = *msg.Find("type");
     if (type != "text" && type != "behav" && type != "layout") {
       Emit(Severity::kError, rules::kWireBadField, line,
            "unknown checkin ~type \"" + type + "\"");
       return;
     }
-    bound_[*msg.Find("session")][*msg.Find("path")] = line;
+    bound_[*session][*msg.Find("path")] = line;
   }
 
   void HandleSubmit(int line, const server::WireMessage& msg) {
-    if (!RequireFields(msg, line, {"session", "thread", "template"})) {
+    const std::string* resolved = ResolveSession(msg, line);
+    if (resolved == nullptr) return;
+    if (!RequireFields(msg, line, {"thread", "template"})) {
       return;
     }
     any_submit_ = true;
-    const std::string& session = *msg.Find("session");
+    const std::string& session = *resolved;
     const std::string& template_name = *msg.Find("template");
     if (const std::string* seed = msg.Find("seed")) {
       if (int64_t v = 0; !ParseInt64(*seed, &v) || v < 0) {
@@ -318,6 +344,8 @@ class WireSimulator {
   std::set<std::string> referenced_templates_;
   int shutdown_line_ = 0;
   bool any_submit_ = false;
+  /// Session pinned by the most recent attach; "" until one runs.
+  std::string attached_session_;
 };
 
 }  // namespace

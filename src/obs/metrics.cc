@@ -119,6 +119,14 @@ const std::vector<MetricInfo>& MetricCatalogue() {
       {kQueueWaitLatency, kH,
        "Virtual microseconds a task spent in the queue from enqueue to "
        "the claim that committed it."},
+      {kQueueFairnessRotations, kC,
+       "Weighted-round-robin cursor rotations: the fair claim policy "
+       "moved on to serve a different session."},
+      {kQueueFairnessCapped, kC,
+       "Sessions passed over by the fair claim policy because they "
+       "already had max_inflight_per_session tasks claimed."},
+      {kQueueFairnessActiveSessions, kG,
+       "Sessions with pending work observed by the last fair claim."},
       {kServerSessionsOpen, kG,
        "Design sessions currently hosted by the daemon."},
       {kServerTasksExecuted, kC,
@@ -138,6 +146,17 @@ const std::vector<MetricInfo>& MetricCatalogue() {
       {kServerTaskLatency, kH,
        "Virtual microseconds from claim to commit for tasks the daemon "
        "executed."},
+      {kServerClientsConnected, kG,
+       "Wire clients currently connected to the daemon socket "
+       "transport (stdin counts as one when attached)."},
+      {kServerClientsTotal, kC,
+       "Wire client connections accepted over the daemon's lifetime."},
+      {kServerClientsDisconnected, kC,
+       "Wire client connections closed, including abrupt disconnects "
+       "mid-request."},
+      {kServerClientsRejectedLines, kC,
+       "Wire lines rejected by the transport before dispatch "
+       "(oversized or unterminated at disconnect)."},
       {kCasHits, kC,
        "Shared-store fetches that returned hash-verified outputs "
        "(cross-session derivation-cache hits)."},

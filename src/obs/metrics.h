@@ -154,6 +154,12 @@ inline constexpr char kQueueLeaseExpired[] =
 inline constexpr char kQueueRecovered[] = "papyrus.queue.recovered";
 inline constexpr char kQueueCheckpoints[] = "papyrus.queue.checkpoints";
 inline constexpr char kQueueWaitLatency[] = "papyrus.queue.wait_latency";
+inline constexpr char kQueueFairnessRotations[] =
+    "papyrus.queue.fairness_rotations";
+inline constexpr char kQueueFairnessCapped[] =
+    "papyrus.queue.fairness_capped";
+inline constexpr char kQueueFairnessActiveSessions[] =
+    "papyrus.queue.fairness_active_sessions";
 inline constexpr char kServerSessionsOpen[] =
     "papyrus.server.sessions_open";
 inline constexpr char kServerTasksExecuted[] =
@@ -167,6 +173,14 @@ inline constexpr char kServerWireRequests[] =
     "papyrus.server.wire_requests";
 inline constexpr char kServerTaskLatency[] =
     "papyrus.server.task_latency";
+inline constexpr char kServerClientsConnected[] =
+    "papyrus.server.clients_connected";
+inline constexpr char kServerClientsTotal[] =
+    "papyrus.server.clients_total";
+inline constexpr char kServerClientsDisconnected[] =
+    "papyrus.server.clients_disconnected";
+inline constexpr char kServerClientsRejectedLines[] =
+    "papyrus.server.clients_rejected_lines";
 inline constexpr char kCasHits[] = "papyrus.cas.hits";
 inline constexpr char kCasMisses[] = "papyrus.cas.misses";
 inline constexpr char kCasPublished[] = "papyrus.cas.published";

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "base/hash.h"
+#include "base/macros.h"
 #include "base/strings.h"
 
 namespace papyrus::oct {
@@ -120,12 +121,22 @@ int64_t FieldI64(const std::string& s) {
 
 /// Payload seeds are full-range uint64 values (tool-derived hashes
 /// routinely exceed INT64_MAX), so they cannot go through FieldI64.
-uint64_t FieldU64(const std::string& s) {
-  if (s.empty() || s[0] == '-') return 0;
+/// A seed the field cannot hold is a load error, never a silent 0:
+/// restoring a different seed would make every derived artifact
+/// diverge from the history that produced it.
+Result<uint64_t> FieldU64(const std::string& s) {
+  if (s.empty() || s[0] == '-') {
+    return Status::InvalidArgument("malformed payload seed: '" + s + "'");
+  }
   char* end = nullptr;
   errno = 0;
   unsigned long long v = std::strtoull(s.c_str(), &end, 10);
-  if (errno != 0 || end != s.c_str() + s.size()) return 0;
+  if (errno == ERANGE) {
+    return Status::InvalidArgument("payload seed overflows uint64: " + s);
+  }
+  if (errno != 0 || end != s.c_str() + s.size()) {
+    return Status::InvalidArgument("malformed payload seed: '" + s + "'");
+  }
   return static_cast<uint64_t>(v);
 }
 
@@ -167,7 +178,7 @@ Result<DesignPayload> ParsePayloadFields(const std::vector<std::string>& f,
     b.num_inputs = static_cast<int>(FieldI64(f[at + 1]));
     b.num_outputs = static_cast<int>(FieldI64(f[at + 2]));
     b.complexity = static_cast<int>(FieldI64(f[at + 3]));
-    b.seed = FieldU64(f[at + 4]);
+    PAPYRUS_ASSIGN_OR_RETURN(b.seed, FieldU64(f[at + 4]));
     return DesignPayload{b};
   }
   if (tag == "logic") {
@@ -179,7 +190,7 @@ Result<DesignPayload> ParsePayloadFields(const std::vector<std::string>& f,
     n.literals = static_cast<int>(FieldI64(f[at + 4]));
     n.levels = static_cast<int>(FieldI64(f[at + 5]));
     n.format = static_cast<DesignFormat>(FieldI64(f[at + 6]));
-    n.seed = FieldU64(f[at + 7]);
+    PAPYRUS_ASSIGN_OR_RETURN(n.seed, FieldU64(f[at + 7]));
     return DesignPayload{n};
   }
   if (tag == "layout") {
@@ -196,7 +207,7 @@ Result<DesignPayload> ParsePayloadFields(const std::vector<std::string>& f,
     l.has_abstraction = f[at + 9] == "1";
     l.style = DecField(f[at + 10]);
     l.format = static_cast<DesignFormat>(FieldI64(f[at + 11]));
-    l.seed = FieldU64(f[at + 12]);
+    PAPYRUS_ASSIGN_OR_RETURN(l.seed, FieldU64(f[at + 12]));
     return DesignPayload{l};
   }
   if (tag == "text") {

@@ -1,9 +1,13 @@
 #include "server/daemon.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "base/macros.h"
@@ -25,11 +29,14 @@ uint64_t NextDraw(uint64_t* state) {
   return z ^ (z >> 31);
 }
 
-/// Process-unique claim-owner tokens: a stale incarnation's lease can
+/// Globally unique claim-owner tokens: the pid distinguishes sibling
+/// worker processes on one shared queue, the counter distinguishes
+/// incarnations within a process — a stale incarnation's lease can
 /// never be confused with the current holder's.
 std::string NextOwnerToken() {
   static int counter = 0;
-  return "papyrusd-" + std::to_string(++counter);
+  return "papyrusd-" + std::to_string(::getpid()) + "-" +
+         std::to_string(++counter);
 }
 
 std::string ErrorLine(const std::string& message) {
@@ -109,20 +116,45 @@ Result<std::unique_ptr<PapyrusDaemon>> PapyrusDaemon::Start(
   std::unique_ptr<PapyrusDaemon> daemon(new PapyrusDaemon(options));
   std::string queue_dir =
       (std::filesystem::path(options.root) / "queue").string();
+  QueueOptions queue_options;
+  queue_options.shared = options.shared_queue;
   PAPYRUS_ASSIGN_OR_RETURN(
       daemon->queue_,
-      PersistentQueue::Open(queue_dir, daemon->clock_, daemon->obs_));
+      PersistentQueue::Open(queue_dir, daemon->clock_, daemon->obs_,
+                            queue_options));
+  if (options.shared_queue) {
+    // Session locks live alongside the session directories.
+    std::error_code lock_ec;
+    std::filesystem::create_directories(
+        std::filesystem::path(options.root) / "sessions", lock_ec);
+    if (lock_ec) {
+      return Status::Internal("cannot create sessions directory: " +
+                              lock_ec.message());
+    }
+  }
   daemon->obs_.trace->SetProcessName(obs::kServerPid, "papyrusd");
   daemon->obs_.trace->SetThreadName(obs::kServerPid, 0, "queue");
   // The daemon-wide artifact store: one per root, shared by every hosted
   // session, surviving restarts (Open recovers + garbage-collects).
   storage::CasOptions cas_options;
   cas_options.size_budget_bytes = options.cas_budget_bytes;
-  PAPYRUS_ASSIGN_OR_RETURN(
-      daemon->shared_store_,
-      storage::ContentStore::Open(
-          (std::filesystem::path(options.root) / "cas").string(),
-          cas_options));
+  {
+    // Opening the store recovers and garbage-collects it; in shared
+    // mode, serialize that against sibling workers starting up.
+    std::unique_ptr<storage::FileLock> cas_lock;
+    if (options.shared_queue) {
+      PAPYRUS_ASSIGN_OR_RETURN(
+          cas_lock,
+          storage::FileLock::Acquire(
+              (std::filesystem::path(options.root) / "cas.lock")
+                  .string()));
+    }
+    PAPYRUS_ASSIGN_OR_RETURN(
+        daemon->shared_store_,
+        storage::ContentStore::Open(
+            (std::filesystem::path(options.root) / "cas").string(),
+            cas_options));
+  }
   daemon->shared_store_->set_observability(daemon->obs_);
   if (daemon->queue_->recovered() > 0) {
     // Unresolved claims mean the previous incarnation died hot.
@@ -161,7 +193,14 @@ Result<ManagedSession*> PapyrusDaemon::OpenSession(
     return Status::InvalidArgument("bad session name \"" + name + "\"");
   }
   auto it = sessions_.find(name);
-  if (it != sessions_.end()) return it->second.get();
+  if (it != sessions_.end()) {
+    TouchSession(name);
+    return it->second.get();
+  }
+  if (!EnsureSessionLock(name)) {
+    return Status::Unavailable("session \"" + name +
+                               "\" is hosted by another worker");
+  }
   std::string dir =
       (std::filesystem::path(options_.root) / "sessions" / name)
           .string();
@@ -171,8 +210,69 @@ Result<ManagedSession*> PapyrusDaemon::OpenSession(
                            shared_store_.get()));
   ManagedSession* raw = session.get();
   sessions_[name] = std::move(session);
+  TouchSession(name);
+  MaybeEvictSessions(name);
   g_sessions_->Set(static_cast<int64_t>(sessions_.size()));
   return raw;
+}
+
+std::string PapyrusDaemon::SessionLockPath(const std::string& name) const {
+  return (std::filesystem::path(options_.root) / "sessions" /
+          (name + ".lock"))
+      .string();
+}
+
+bool PapyrusDaemon::EnsureSessionLock(const std::string& name) {
+  if (!options_.shared_queue) return true;
+  if (session_locks_.count(name) != 0) return true;
+  if (name.empty() || name.find('/') != std::string::npos ||
+      name == "." || name == "..") {
+    // Unlockable name: let the claim proceed so execution can fail the
+    // task permanently instead of it pending forever.
+    return true;
+  }
+  auto lock = storage::FileLock::TryAcquire(SessionLockPath(name));
+  if (!lock.ok()) return !lock.status().IsUnavailable();
+  session_locks_[name] = std::move(lock).value();
+  return true;
+}
+
+bool PapyrusDaemon::BenignSupersession(const Status& status) const {
+  // A sibling worker's expiry scan reaped our lease (virtual clocks
+  // advance independently across workers). Our effects are durable and
+  // ledgered, so whoever re-claims the task dedupes it — losing the
+  // acknowledgement race is not an error.
+  return options_.shared_queue && (status.IsFailedPrecondition() ||
+                                   status.IsPermissionDenied());
+}
+
+void PapyrusDaemon::TouchSession(const std::string& name) {
+  session_last_used_[name] = ++session_use_tick_;
+}
+
+void PapyrusDaemon::MaybeEvictSessions(const std::string& keep) {
+  if (options_.max_open_sessions <= 0) return;
+  while (static_cast<int>(sessions_.size()) > options_.max_open_sessions) {
+    std::string victim;
+    int64_t oldest = 0;
+    for (const auto& [name, session] : sessions_) {
+      if (name == keep) continue;
+      int64_t used = session_last_used_[name];
+      if (victim.empty() || used < oldest) {
+        victim = name;
+        oldest = used;
+      }
+    }
+    if (victim.empty()) return;
+    // Idle between tasks, and every commit already saved a snapshot:
+    // closing is just dropping the in-memory engine. The session lock
+    // goes too, handing hosting rights back to the worker pool.
+    sessions_.erase(victim);
+    session_locks_.erase(victim);
+    session_last_used_.erase(victim);
+    TraceInstant("session_evicted", {obs::TraceArg::Str("name", victim)});
+  }
+  g_sessions_->Set(static_cast<int64_t>(sessions_.size()));
 }
 
 std::vector<lint::Diagnostic> PapyrusDaemon::PreflightQueue() const {
@@ -201,13 +301,29 @@ Status PapyrusDaemon::CrashStatus(const char* point) const {
                          point);
 }
 
+ClaimPolicy PapyrusDaemon::MakeClaimPolicy() {
+  ClaimPolicy policy;
+  policy.fair = options_.fair_dispatch;
+  policy.max_inflight_per_session = options_.max_inflight_per_session;
+  if (!options_.dispatch_weights.empty()) {
+    policy.weights = &options_.dispatch_weights;
+  }
+  if (options_.shared_queue) {
+    policy.session_filter = [this](const std::string& name) {
+      return EnsureSessionLock(name);
+    };
+  }
+  return policy;
+}
+
 Result<bool> PapyrusDaemon::RunOne() {
   base::AssertEngineThread("PapyrusDaemon::RunOne");
   if (crashed_) return Status::FailedPrecondition("daemon crashed");
   if (shut_down_) return Status::FailedPrecondition("daemon shut down");
   queue_->ExpireLeases();
-  PAPYRUS_ASSIGN_OR_RETURN(auto claimed,
-                           queue_->Claim(owner_, options_.lease_micros));
+  PAPYRUS_ASSIGN_OR_RETURN(
+      auto claimed,
+      queue_->Claim(owner_, options_.lease_micros, MakeClaimPolicy()));
   if (!claimed.has_value()) return false;
   const QueueTask task = *claimed;
   TraceInstant("task_claimed", {obs::TraceArg::Int("id", task.id),
@@ -236,7 +352,8 @@ Result<bool> PapyrusDaemon::RunOne() {
     // commit.
     c_deduped_->Increment();
     TraceInstant("task_deduped", {obs::TraceArg::Int("id", task.id)});
-    PAPYRUS_RETURN_IF_ERROR(queue_->Complete(task.id, owner_));
+    Status done = queue_->Complete(task.id, owner_);
+    if (!done.ok() && !BenignSupersession(done)) return done;
     return true;
   }
 
@@ -250,11 +367,12 @@ Result<bool> PapyrusDaemon::RunOne() {
   if (delta > 0) clock_->AdvanceMicros(delta);
   if (!node.ok()) {
     if (task.attempts >= options_.max_task_attempts) {
-      PAPYRUS_RETURN_IF_ERROR(
-          queue_->Fail(task.id, owner_, node.status().message()));
+      Status failed = queue_->Fail(task.id, owner_, node.status().message());
+      if (!failed.ok() && !BenignSupersession(failed)) return failed;
       TraceInstant("task_failed", {obs::TraceArg::Int("id", task.id)});
     } else {
-      PAPYRUS_RETURN_IF_ERROR(queue_->Release(task.id, owner_));
+      Status released = queue_->Release(task.id, owner_);
+      if (!released.ok() && !BenignSupersession(released)) return released;
       TraceInstant("task_released", {obs::TraceArg::Int("id", task.id)});
     }
     return true;
@@ -270,7 +388,12 @@ Result<bool> PapyrusDaemon::RunOne() {
   // re-claims the task and the applied ledger dedupes it above.
   if (MaybeCrash("after_save")) return CrashStatus("after_save");
 
-  PAPYRUS_RETURN_IF_ERROR(queue_->Complete(task.id, owner_));
+  Status done = queue_->Complete(task.id, owner_);
+  if (!done.ok()) {
+    if (!BenignSupersession(done)) return done;
+    TraceInstant("task_superseded", {obs::TraceArg::Int("id", task.id)});
+    return true;
+  }
   c_executed_->Increment();
   if (delta > 0) h_task_latency_->Observe(delta);
   TraceInstant("task_done", {obs::TraceArg::Int("id", task.id),
@@ -285,6 +408,51 @@ Status PapyrusDaemon::Drain() {
     if (!ran) break;
   }
   return Status::OK();
+}
+
+Status PapyrusDaemon::WorkerDrain() {
+  base::AssertEngineThread("PapyrusDaemon::WorkerDrain");
+  // "Nothing claimable" is not "done" on a shared queue: pending tasks
+  // may belong to sessions locked by siblings, and claimed tasks may be
+  // theirs in flight. Done means globally empty — or nothing left that
+  // this worker can ever claim.
+  int stalled_rounds = 0;
+  int futile_nudges = 0;
+  while (true) {
+    PAPYRUS_ASSIGN_OR_RETURN(bool ran, RunOne());
+    if (ran) {
+      stalled_rounds = 0;
+      futile_nudges = 0;
+      continue;
+    }
+    PAPYRUS_RETURN_IF_ERROR(queue_->Refresh());
+    if (queue_->depth() == 0) return Status::OK();
+    ++stalled_rounds;
+    if (stalled_rounds > 50) {
+      // Unclaimable work but no progress for ~100ms of wall time: a
+      // sibling may have died holding leases. Leases expire in virtual
+      // time, which only execution advances — nudge it so the reaper
+      // can run. Expiring a live sibling's lease is benign: it still
+      // holds the session lock, so nobody re-runs its task; it just
+      // loses the acknowledgement race (BenignSupersession).
+      clock_->AdvanceMicros(options_.lease_micros / 4 + 1);
+      stalled_rounds = 0;
+      // A dead sibling's locks died with its process (flock), so its
+      // re-pended work becomes claimable after a nudge or two. If
+      // nudging repeatedly frees nothing, the remainder is hosted by
+      // live siblings — e.g. a front-end that executes its sessions'
+      // tasks on its clients' schedule. Waiting on that would hang
+      // forever; cede the work to its hosts and exit.
+      if (++futile_nudges > 10) {
+        TraceInstant("worker_ceded",
+                     {obs::TraceArg::Int(
+                         "depth", static_cast<int64_t>(queue_->depth()))});
+        return Status::OK();
+      }
+      continue;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
 }
 
 Status PapyrusDaemon::Shutdown() {
@@ -316,15 +484,30 @@ Status PapyrusDaemon::Shutdown() {
   return Status::OK();
 }
 
+namespace {
+
+/// The request's target session: an explicit ~session field, else the
+/// session the connection attached to.
+const std::string* SessionField(const WireMessage& request,
+                                const ClientContext& ctx) {
+  const std::string* session = request.Find("session");
+  if (session != nullptr) return session;
+  if (!ctx.attached_session.empty()) return &ctx.attached_session;
+  return nullptr;
+}
+
+}  // namespace
+
 Result<std::string> PapyrusDaemon::HandleCheckin(
-    const WireMessage& request) {
+    const WireMessage& request, const ClientContext& ctx) {
   base::AssertEngineThread("PapyrusDaemon::HandleCheckin");
-  const std::string* session_name = request.Find("session");
+  const std::string* session_name = SessionField(request, ctx);
   const std::string* path = request.Find("path");
   const std::string* type = request.Find("type");
   if (session_name == nullptr || path == nullptr || type == nullptr) {
     return Status::InvalidArgument(
-        "checkin needs ~session, ~path, and ~type");
+        "checkin needs ~session (or an attached session), ~path, and "
+        "~type");
   }
   auto get_int = [&](const char* key, int64_t fallback) {
     const std::string* v = request.Find(key);
@@ -365,15 +548,21 @@ Result<std::string> PapyrusDaemon::HandleCheckin(
 }
 
 std::string PapyrusDaemon::HandleLine(const std::string& line) {
+  return HandleLine(line, &default_context_);
+}
+
+std::string PapyrusDaemon::HandleLine(const std::string& line,
+                                      ClientContext* ctx) {
   // Event-loop top: every verb handler below inherits the engine role.
   base::AssertEngineThread("PapyrusDaemon::HandleLine");
   c_wire_->Increment();
   auto request = WireMessage::Parse(line);
   if (!request.ok()) return ErrorLine(request.status().message());
-  return HandleLineImpl(*request);
+  return HandleLineImpl(*request, ctx);
 }
 
-std::string PapyrusDaemon::HandleLineImpl(const WireMessage& request) {
+std::string PapyrusDaemon::HandleLineImpl(const WireMessage& request,
+                                          ClientContext* ctx) {
   base::AssertEngineThread("PapyrusDaemon::HandleLineImpl");
   WireMessage response;
   response.verb = "ok";
@@ -381,14 +570,43 @@ std::string PapyrusDaemon::HandleLineImpl(const WireMessage& request) {
     response.Add("pong", "1");
     return response.Format();
   }
+  if (request.verb == "connect") {
+    // A hello from a transport client: names the connection (for traces
+    // and operators) and reports the protocol generation.
+    if (const std::string* client = request.Find("client")) {
+      ctx->client_name = *client;
+    }
+    response.Add("proto", "1");
+    if (!ctx->client_name.empty()) {
+      response.Add("client", ctx->client_name);
+    }
+    TraceInstant("client_connect",
+                 {obs::TraceArg::Str("client", ctx->client_name)});
+    return response.Format();
+  }
+  if (request.verb == "attach") {
+    // Pins this connection to a session: later submit/checkin lines may
+    // omit ~session. Opens the session so a bad name fails here, not at
+    // the first task.
+    const std::string* session_name = request.Find("session");
+    if (session_name == nullptr) return ErrorLine("attach needs ~session");
+    auto session = OpenSession(*session_name);
+    if (!session.ok()) return ErrorLine(session.status().message());
+    ctx->attached_session = *session_name;
+    response.Add("session", *session_name);
+    response.Add("generation", std::to_string((*session)->generation()));
+    return response.Format();
+  }
   if (request.verb == "submit") {
     TaskDescription desc;
-    const std::string* session = request.Find("session");
+    const std::string* session = SessionField(request, *ctx);
     const std::string* thread = request.Find("thread");
     const std::string* template_name = request.Find("template");
     if (session == nullptr || thread == nullptr ||
         template_name == nullptr) {
-      return ErrorLine("submit needs ~session, ~thread, and ~template");
+      return ErrorLine(
+          "submit needs ~session (or an attached session), ~thread, and "
+          "~template");
     }
     desc.session = *session;
     desc.thread = *thread;
@@ -413,7 +631,7 @@ std::string PapyrusDaemon::HandleLineImpl(const WireMessage& request) {
     return response.Format();
   }
   if (request.verb == "checkin") {
-    auto id = HandleCheckin(request);
+    auto id = HandleCheckin(request, *ctx);
     if (!id.ok()) return ErrorLine(id.status().message());
     response.Add("id", *id);
     return response.Format();

@@ -13,7 +13,9 @@
 #include "obs/observability.h"
 #include "server/queue.h"
 #include "server/session_manager.h"
+#include "server/transport.h"
 #include "server/wire.h"
+#include "storage/file_lock.h"
 
 namespace papyrus::server {
 
@@ -72,6 +74,26 @@ struct DaemonOptions {
   /// store at `<root>/cas` (unique blob bytes; 0 = unlimited). The store
   /// itself is always opened: every hosted session shares it.
   int64_t cas_budget_bytes = 0;
+  /// Weighted-round-robin claim order across sessions with pending work
+  /// instead of global FIFO; per-session order (and therefore every
+  /// snapshot) is identical either way.
+  bool fair_dispatch = true;
+  /// Max claimed-but-unresolved tasks one session may hold at a time
+  /// under fair dispatch (0 = unlimited). Matters when several workers
+  /// share the queue.
+  int max_inflight_per_session = 0;
+  /// Per-session fairness weights (missing = 1): a rotation stop serves
+  /// this many tasks before the cursor moves on.
+  std::map<std::string, int> dispatch_weights;
+  /// Open the queue in shared (multi-process) mode: several `papyrusd
+  /// --worker` processes claim from one queue directory, each hosting a
+  /// session only while it holds that session's file lock.
+  bool shared_queue = false;
+  /// Max concurrently hosted sessions (0 = unlimited). Beyond the cap
+  /// the least-recently-used idle session is closed — its state is
+  /// already durable (every commit saves a snapshot) — so a daemon can
+  /// serve 10k sessions without holding 10k engines in memory.
+  int max_open_sessions = 0;
 };
 
 /// papyrusd: the multi-session Papyrus daemon.
@@ -111,13 +133,22 @@ class PapyrusDaemon {
   /// RunOne until the queue has nothing claimable.
   Status Drain();
 
+  /// Shared-queue worker loop: RunOne until the *whole* queue is empty,
+  /// cooperating with sibling workers — waits (bounded wall sleeps)
+  /// while claimable work is held by others, and nudges virtual time
+  /// forward when progress stalls so a dead sibling's leases expire.
+  Status WorkerDrain();
+
   /// Graceful shutdown: queue checkpoint + (when the daemon owns its
   /// sinks) seal and dump trace/metrics. The session snapshots are
   /// already durable — every committed task saved one.
   Status Shutdown();
 
   /// Handles one wire-protocol request line, returns the response line.
+  /// `ctx` is the issuing connection's state (connect/attach live
+  /// there); the single-argument form uses a daemon-owned context.
   std::string HandleLine(const std::string& line);
+  std::string HandleLine(const std::string& line, ClientContext* ctx);
 
   /// Opens (or returns the already-open) hosted session.
   Result<ManagedSession*> OpenSession(const std::string& name);
@@ -134,8 +165,11 @@ class PapyrusDaemon {
   /// every hosted session's derivation cache.
   storage::ContentStore& shared_store() { return *shared_store_; }
   ManualClock& clock() { return *clock_; }
+  obs::MetricsRegistry* metrics_registry() const { return obs_.metrics; }
   bool crashed() const { return crashed_; }
+  bool shut_down() const { return shut_down_; }
   const std::string& owner() const { return owner_; }
+  int open_sessions() const { return static_cast<int>(sessions_.size()); }
 
  private:
   explicit PapyrusDaemon(const DaemonOptions& options);
@@ -146,8 +180,20 @@ class PapyrusDaemon {
   Status CrashStatus(const char* point) const;
   void TraceInstant(const std::string& name,
                     std::vector<obs::TraceArg> args);
-  std::string HandleLineImpl(const WireMessage& request);
-  Result<std::string> HandleCheckin(const WireMessage& request);
+  std::string HandleLineImpl(const WireMessage& request,
+                             ClientContext* ctx);
+  Result<std::string> HandleCheckin(const WireMessage& request,
+                                    const ClientContext& ctx);
+  ClaimPolicy MakeClaimPolicy();
+  /// Shared mode: true when this process may host `name` — we already
+  /// hold its session lock, or just took it. False = a sibling hosts it.
+  bool EnsureSessionLock(const std::string& name);
+  std::string SessionLockPath(const std::string& name) const;
+  /// A queue rejection that means "a sibling worker superseded this
+  /// lease" rather than a real failure.
+  bool BenignSupersession(const Status& status) const;
+  void TouchSession(const std::string& name);
+  void MaybeEvictSessions(const std::string& keep);
 
   DaemonOptions options_;
   ManualClock owned_clock_{0};
@@ -161,6 +207,13 @@ class PapyrusDaemon {
   // session's derivation cache holds a raw pointer while attached).
   std::unique_ptr<storage::ContentStore> shared_store_;
   std::map<std::string, std::unique_ptr<ManagedSession>> sessions_;
+  /// Shared mode: the session locks this worker holds (hosting rights).
+  std::map<std::string, std::unique_ptr<storage::FileLock>> session_locks_;
+  /// LRU bookkeeping for max_open_sessions eviction.
+  std::map<std::string, int64_t> session_last_used_;
+  int64_t session_use_tick_ = 0;
+  /// Context behind the single-argument HandleLine (stdin, tests).
+  ClientContext default_context_;
   bool crashed_ = false;
   bool shut_down_ = false;
 

@@ -15,6 +15,8 @@ namespace {
 
 constexpr char kJournalFile[] = "queue.pjq";
 constexpr char kCheckpointFile[] = "queue.pjc";
+constexpr char kLockFile[] = "queue.lock";
+constexpr char kEpochFile[] = "queue.pjg";
 constexpr char kCheckpointHeader[] = "papyrus-queue v1";
 
 std::string HexHash(std::string_view body) {
@@ -73,6 +75,18 @@ bool ParseStateCode(const std::string& code, TaskState* out) {
   return true;
 }
 
+/// The checkpoint epoch: bumped (atomically, under the queue lock) every
+/// time a checkpoint truncates the journal. Shared-mode workers compare
+/// it against the epoch they last synced at — a mismatch means their
+/// journal byte offset refers to a journal that no longer exists, so
+/// they rebuild from the checkpoint instead of tail-replaying.
+int64_t ReadEpochFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  int64_t epoch = 0;
+  if (in) in >> epoch;
+  return epoch;
+}
+
 }  // namespace
 
 const char* TaskStateName(TaskState state) {
@@ -90,14 +104,17 @@ const char* TaskStateName(TaskState state) {
 }
 
 PersistentQueue::PersistentQueue(std::string directory, ManualClock* clock,
-                                 const obs::Observability& obs)
+                                 const obs::Observability& obs,
+                                 const QueueOptions& options)
     : directory_(std::move(directory)),
       journal_path_(
           (std::filesystem::path(directory_) / kJournalFile).string()),
       checkpoint_path_(
           (std::filesystem::path(directory_) / kCheckpointFile).string()),
+      lock_path_((std::filesystem::path(directory_) / kLockFile).string()),
       clock_(clock),
-      obs_(obs) {
+      obs_(obs),
+      options_(options) {
   if (obs_.metrics != nullptr) {
     c_enqueued_ = obs_.metrics->FindOrCreateCounter(obs::kQueueEnqueued);
     c_claimed_ = obs_.metrics->FindOrCreateCounter(obs::kQueueClaimed);
@@ -111,6 +128,12 @@ PersistentQueue::PersistentQueue(std::string directory, ManualClock* clock,
         obs_.metrics->FindOrCreateCounter(obs::kQueueRecovered);
     c_checkpoints_ =
         obs_.metrics->FindOrCreateCounter(obs::kQueueCheckpoints);
+    c_fair_rotations_ =
+        obs_.metrics->FindOrCreateCounter(obs::kQueueFairnessRotations);
+    c_fair_capped_ =
+        obs_.metrics->FindOrCreateCounter(obs::kQueueFairnessCapped);
+    g_fair_active_ = obs_.metrics->FindOrCreateGauge(
+        obs::kQueueFairnessActiveSessions);
     g_depth_ = obs_.metrics->FindOrCreateGauge(obs::kQueueDepth);
     h_wait_ = obs_.metrics->FindOrCreateHistogram(
         obs::kQueueWaitLatency, obs::LatencyBucketBounds());
@@ -119,7 +142,7 @@ PersistentQueue::PersistentQueue(std::string directory, ManualClock* clock,
 
 Result<std::unique_ptr<PersistentQueue>> PersistentQueue::Open(
     const std::string& directory, ManualClock* clock,
-    const obs::Observability& obs) {
+    const obs::Observability& obs, const QueueOptions& options) {
   base::AssertEngineThread("PersistentQueue::Open");
   std::error_code ec;
   std::filesystem::create_directories(directory, ec);
@@ -128,9 +151,21 @@ Result<std::unique_ptr<PersistentQueue>> PersistentQueue::Open(
                             ": " + ec.message());
   }
   std::unique_ptr<PersistentQueue> queue(
-      new PersistentQueue(directory, clock, obs));
+      new PersistentQueue(directory, clock, obs, options));
+  if (options.shared) {
+    // Serialize the initial load against live workers; their claims are
+    // real leases, not orphans, so nothing is re-pended here. A worker
+    // that died mid-claim is reaped later by lease expiry.
+    PAPYRUS_ASSIGN_OR_RETURN(std::unique_ptr<storage::FileLock> lock,
+                             storage::FileLock::Acquire(queue->lock_path_));
+    queue->epoch_seen_ = ReadEpochFile(queue->EpochPath());
+    PAPYRUS_RETURN_IF_ERROR(queue->LoadCheckpoint());
+    PAPYRUS_RETURN_IF_ERROR(queue->ReplayJournalTail());
+    queue->UpdateDepthGauge();
+    return queue;
+  }
   PAPYRUS_RETURN_IF_ERROR(queue->LoadCheckpoint());
-  PAPYRUS_RETURN_IF_ERROR(queue->ReplayJournal());
+  PAPYRUS_RETURN_IF_ERROR(queue->ReplayJournalTail());
   // Recovery invariant: a claim that was never resolved belongs to a
   // dead incarnation. Its lease holder cannot come back (owners are
   // per-incarnation tokens), so the task returns to pending for
@@ -138,8 +173,10 @@ Result<std::unique_ptr<PersistentQueue>> PersistentQueue::Open(
   // the previous incarnation crashed after the commit landed.
   for (auto& [id, task] : queue->tasks_) {
     if (task.state == TaskState::kClaimed) {
+      queue->Index(task, -1);
       task.state = TaskState::kPending;
       task.lease_deadline_micros = 0;
+      queue->Index(task, +1);
       ++queue->recovered_;
       if (queue->c_recovered_ != nullptr) queue->c_recovered_->Increment();
     }
@@ -151,6 +188,10 @@ Result<std::unique_ptr<PersistentQueue>> PersistentQueue::Open(
   }
   queue->UpdateDepthGauge();
   return queue;
+}
+
+std::string PersistentQueue::EpochPath() const {
+  return (std::filesystem::path(directory_) / kEpochFile).string();
 }
 
 Status PersistentQueue::LoadCheckpoint() {
@@ -189,15 +230,17 @@ Status PersistentQueue::LoadCheckpoint() {
       task.description = DecField(f[8]);
       task.failure = DecField(f[9]);
       next_id_ = std::max(next_id_, task.id + 1);
-      tasks_[task.id] = std::move(task);
+      auto [it, inserted] = tasks_.insert_or_assign(task.id, std::move(task));
+      if (inserted) Index(it->second, +1);
     }
   }
   return Status::OK();
 }
 
-Status PersistentQueue::ReplayJournal() {
+Status PersistentQueue::ReplayJournalTail() {
   std::ifstream in(journal_path_, std::ios::binary);
   if (!in) return Status::OK();
+  if (journal_offset_ > 0) in.seekg(journal_offset_);
   std::string line;
   while (std::getline(in, line)) {
     std::string body;
@@ -205,6 +248,7 @@ Status PersistentQueue::ReplayJournal() {
     // it never durably happened.
     if (!Unstamp(line, &body)) break;
     PAPYRUS_RETURN_IF_ERROR(ApplyJournalLine(body));
+    journal_offset_ += static_cast<int64_t>(line.size()) + 1;
   }
   return Status::OK();
 }
@@ -224,7 +268,8 @@ Status PersistentQueue::ApplyJournalLine(const std::string& body) {
     if (!ParseInt64(f[2], &task.enqueue_micros)) return Status::OK();
     task.session = DecField(f[3]);
     task.description = DecField(f[4]);
-    tasks_[id] = std::move(task);
+    auto [it, inserted] = tasks_.emplace(id, std::move(task));
+    if (inserted) Index(it->second, +1);
     return Status::OK();
   }
   auto it = tasks_.find(id);
@@ -240,16 +285,22 @@ Status PersistentQueue::ApplyJournalLine(const std::string& body) {
     if (!ParseInt64(f[2], &attempt) || !ParseInt64(f[3], &deadline)) {
       return Status::OK();
     }
+    Index(task, -1);
     task.state = TaskState::kClaimed;
     task.attempts = static_cast<int>(attempt);
     task.lease_deadline_micros = deadline;
     task.owner = DecField(f[4]);
+    Index(task, +1);
   } else if (f[0] == "r" || f[0] == "x") {
+    Index(task, -1);
     task.state = TaskState::kPending;
     task.lease_deadline_micros = 0;
+    Index(task, +1);
   } else if (f[0] == "d") {
+    Index(task, -1);
     task.state = TaskState::kDone;
   } else if (f[0] == "f" && f.size() >= 3) {
+    Index(task, -1);
     task.state = TaskState::kFailed;
     task.failure = DecField(f[2]);
   }
@@ -257,16 +308,86 @@ Status PersistentQueue::ApplyJournalLine(const std::string& body) {
 }
 
 Status PersistentQueue::AppendJournal(const std::string& body) {
-  journal_ << Stamp(body) << '\n';
+  std::string line = Stamp(body);
+  if (options_.shared) {
+    // Shared mode appends through a fresh stream each time: a sibling's
+    // checkpoint swaps the journal inode, and a held-open stream would
+    // keep writing to the orphaned file. Callers hold the queue flock
+    // across SyncShared() + this append, so O_APPEND lands the line at a
+    // stable EOF and the offset stays exact.
+    std::ofstream out(journal_path_, std::ios::app | std::ios::binary);
+    out << line << '\n';
+    out.flush();
+    if (!out) {
+      return Status::Internal("cannot append to journal " + journal_path_);
+    }
+    journal_offset_ += static_cast<int64_t>(line.size()) + 1;
+    return Status::OK();
+  }
+  journal_ << line << '\n';
   journal_.flush();
   if (!journal_) {
     return Status::Internal("cannot append to journal " + journal_path_);
   }
+  journal_offset_ += static_cast<int64_t>(line.size()) + 1;
   return Status::OK();
+}
+
+Result<std::unique_ptr<storage::FileLock>> PersistentQueue::SyncShared() {
+  if (!options_.shared) return std::unique_ptr<storage::FileLock>();
+  PAPYRUS_ASSIGN_OR_RETURN(std::unique_ptr<storage::FileLock> lock,
+                           storage::FileLock::Acquire(lock_path_));
+  int64_t epoch = ReadEpochFile(EpochPath());
+  if (epoch != epoch_seen_) {
+    PAPYRUS_RETURN_IF_ERROR(ReloadFromDisk());
+    epoch_seen_ = epoch;
+  } else {
+    PAPYRUS_RETURN_IF_ERROR(ReplayJournalTail());
+  }
+  UpdateDepthGauge();
+  return lock;
+}
+
+Status PersistentQueue::ReloadFromDisk() {
+  tasks_.clear();
+  pending_by_session_.clear();
+  claimed_by_session_.clear();
+  next_id_ = 1;
+  journal_offset_ = 0;
+  PAPYRUS_RETURN_IF_ERROR(LoadCheckpoint());
+  return ReplayJournalTail();
+}
+
+Status PersistentQueue::Refresh() {
+  PAPYRUS_ASSIGN_OR_RETURN(std::unique_ptr<storage::FileLock> lock,
+                           SyncShared());
+  (void)lock;
+  return Status::OK();
+}
+
+void PersistentQueue::Index(const QueueTask& task, int delta) {
+  if (task.state == TaskState::kPending) {
+    if (delta > 0) {
+      pending_by_session_[task.session].insert(task.id);
+    } else {
+      auto it = pending_by_session_.find(task.session);
+      if (it != pending_by_session_.end()) {
+        it->second.erase(task.id);
+        if (it->second.empty()) pending_by_session_.erase(it);
+      }
+    }
+  } else if (task.state == TaskState::kClaimed) {
+    int64_t& n = claimed_by_session_[task.session];
+    n += delta;
+    if (n <= 0) claimed_by_session_.erase(task.session);
+  }
 }
 
 Result<int64_t> PersistentQueue::Enqueue(const std::string& session,
                                          const std::string& description) {
+  PAPYRUS_ASSIGN_OR_RETURN(std::unique_ptr<storage::FileLock> lock,
+                           SyncShared());
+  (void)lock;
   int64_t id = next_id_;
   std::ostringstream body;
   body << "e " << id << ' ' << clock_->NowMicros() << ' '
@@ -280,32 +401,117 @@ Result<int64_t> PersistentQueue::Enqueue(const std::string& session,
   task.session = session;
   task.description = description;
   task.enqueue_micros = clock_->NowMicros();
-  tasks_[id] = std::move(task);
+  auto [it, inserted] = tasks_.emplace(id, std::move(task));
+  if (inserted) Index(it->second, +1);
   if (c_enqueued_ != nullptr) c_enqueued_->Increment();
   UpdateDepthGauge();
   return id;
 }
 
-Result<std::optional<QueueTask>> PersistentQueue::Claim(
-    const std::string& owner, int64_t lease_micros) {
-  for (auto& [id, task] : tasks_) {
-    if (task.state != TaskState::kPending) continue;
-    int64_t deadline = clock_->NowMicros() + lease_micros;
-    std::ostringstream body;
-    body << "c " << id << ' ' << (task.attempts + 1) << ' ' << deadline
-         << ' ' << EncField(owner);
-    PAPYRUS_RETURN_IF_ERROR(AppendJournal(body.str()));
-    task.state = TaskState::kClaimed;
-    ++task.attempts;
-    task.lease_deadline_micros = deadline;
-    task.owner = owner;
-    if (c_claimed_ != nullptr) c_claimed_->Increment();
-    return std::optional<QueueTask>(task);
+const std::string* PersistentQueue::PickFairSession(
+    const ClaimPolicy& policy) {
+  auto eligible = [&](const std::string& session,
+                      const std::set<int64_t>& ids) {
+    if (ids.empty()) return false;
+    if (policy.max_inflight_per_session > 0) {
+      auto it = claimed_by_session_.find(session);
+      if (it != claimed_by_session_.end() &&
+          it->second >= policy.max_inflight_per_session) {
+        if (c_fair_capped_ != nullptr) c_fair_capped_->Increment();
+        return false;
+      }
+    }
+    if (policy.session_filter && !policy.session_filter(session)) {
+      return false;
+    }
+    return true;
+  };
+  if (g_fair_active_ != nullptr) {
+    g_fair_active_->Set(static_cast<int64_t>(pending_by_session_.size()));
   }
-  return std::optional<QueueTask>();
+  // Keep serving the cursor's session while its weight has credits left.
+  if (rr_credits_ > 0) {
+    auto it = pending_by_session_.find(rr_cursor_);
+    if (it != pending_by_session_.end() && eligible(it->first, it->second)) {
+      --rr_credits_;
+      return &it->first;
+    }
+    rr_credits_ = 0;  // drained or blocked: rotate away
+  }
+  // Rotate: the first eligible session strictly after the cursor, in key
+  // order, wrapping around — every session with pending work is visited
+  // before the cursor's session comes up again.
+  auto it = pending_by_session_.upper_bound(rr_cursor_);
+  for (size_t seen = 0, total = pending_by_session_.size(); seen < total;
+       ++seen, ++it) {
+    if (it == pending_by_session_.end()) it = pending_by_session_.begin();
+    if (!eligible(it->first, it->second)) continue;
+    rr_cursor_ = it->first;
+    int weight = 1;
+    if (policy.weights != nullptr) {
+      auto w = policy.weights->find(rr_cursor_);
+      if (w != policy.weights->end() && w->second > 1) weight = w->second;
+    }
+    rr_credits_ = weight - 1;
+    if (c_fair_rotations_ != nullptr) c_fair_rotations_->Increment();
+    return &it->first;
+  }
+  return nullptr;
+}
+
+Result<std::optional<QueueTask>> PersistentQueue::Claim(
+    const std::string& owner, int64_t lease_micros,
+    const ClaimPolicy& policy) {
+  PAPYRUS_ASSIGN_OR_RETURN(std::unique_ptr<storage::FileLock> lock,
+                           SyncShared());
+  (void)lock;
+  QueueTask* picked = nullptr;
+  if (policy.fair) {
+    const std::string* session = PickFairSession(policy);
+    if (session != nullptr) {
+      int64_t id = *pending_by_session_.find(*session)->second.begin();
+      picked = &tasks_.find(id)->second;
+    }
+  } else {
+    // Global FIFO: lowest pending id, subject to filter and cap.
+    for (auto& [id, task] : tasks_) {
+      if (task.state != TaskState::kPending) continue;
+      if (policy.max_inflight_per_session > 0) {
+        auto it = claimed_by_session_.find(task.session);
+        if (it != claimed_by_session_.end() &&
+            it->second >= policy.max_inflight_per_session) {
+          continue;
+        }
+      }
+      if (policy.session_filter && !policy.session_filter(task.session)) {
+        continue;
+      }
+      picked = &task;
+      break;
+    }
+  }
+  if (picked == nullptr) return std::optional<QueueTask>();
+  QueueTask& task = *picked;
+  int64_t deadline = clock_->NowMicros() + lease_micros;
+  std::ostringstream body;
+  body << "c " << task.id << ' ' << (task.attempts + 1) << ' ' << deadline
+       << ' ' << EncField(owner);
+  PAPYRUS_RETURN_IF_ERROR(AppendJournal(body.str()));
+  Index(task, -1);
+  task.state = TaskState::kClaimed;
+  ++task.attempts;
+  task.lease_deadline_micros = deadline;
+  task.owner = owner;
+  Index(task, +1);
+  claim_log_.push_back({task.id, task.session});
+  if (c_claimed_ != nullptr) c_claimed_->Increment();
+  return std::optional<QueueTask>(task);
 }
 
 Status PersistentQueue::Complete(int64_t id, const std::string& owner) {
+  PAPYRUS_ASSIGN_OR_RETURN(std::unique_ptr<storage::FileLock> lock,
+                           SyncShared());
+  (void)lock;
   auto it = tasks_.find(id);
   if (it == tasks_.end()) {
     return Status::NotFound("no queued task " + std::to_string(id));
@@ -324,6 +530,7 @@ Status PersistentQueue::Complete(int64_t id, const std::string& owner) {
   std::ostringstream body;
   body << "d " << id << ' ' << clock_->NowMicros();
   PAPYRUS_RETURN_IF_ERROR(AppendJournal(body.str()));
+  Index(task, -1);
   task.state = TaskState::kDone;
   if (c_completed_ != nullptr) c_completed_->Increment();
   if (h_wait_ != nullptr) {
@@ -335,6 +542,9 @@ Status PersistentQueue::Complete(int64_t id, const std::string& owner) {
 
 Status PersistentQueue::Fail(int64_t id, const std::string& owner,
                              const std::string& reason) {
+  PAPYRUS_ASSIGN_OR_RETURN(std::unique_ptr<storage::FileLock> lock,
+                           SyncShared());
+  (void)lock;
   auto it = tasks_.find(id);
   if (it == tasks_.end()) {
     return Status::NotFound("no queued task " + std::to_string(id));
@@ -348,6 +558,7 @@ Status PersistentQueue::Fail(int64_t id, const std::string& owner,
   std::ostringstream body;
   body << "f " << id << ' ' << EncField(reason);
   PAPYRUS_RETURN_IF_ERROR(AppendJournal(body.str()));
+  Index(task, -1);
   task.state = TaskState::kFailed;
   task.failure = reason;
   if (c_failed_ != nullptr) c_failed_->Increment();
@@ -356,6 +567,9 @@ Status PersistentQueue::Fail(int64_t id, const std::string& owner,
 }
 
 Status PersistentQueue::Release(int64_t id, const std::string& owner) {
+  PAPYRUS_ASSIGN_OR_RETURN(std::unique_ptr<storage::FileLock> lock,
+                           SyncShared());
+  (void)lock;
   auto it = tasks_.find(id);
   if (it == tasks_.end()) {
     return Status::NotFound("no queued task " + std::to_string(id));
@@ -369,13 +583,17 @@ Status PersistentQueue::Release(int64_t id, const std::string& owner) {
   std::ostringstream body;
   body << "r " << id;
   PAPYRUS_RETURN_IF_ERROR(AppendJournal(body.str()));
+  Index(task, -1);
   task.state = TaskState::kPending;
   task.lease_deadline_micros = 0;
+  Index(task, +1);
   if (c_requeued_ != nullptr) c_requeued_->Increment();
   return Status::OK();
 }
 
 int PersistentQueue::ExpireLeases() {
+  Result<std::unique_ptr<storage::FileLock>> lock = SyncShared();
+  if (!lock.ok()) return 0;
   int reaped = 0;
   int64_t now = clock_->NowMicros();
   for (auto& [id, task] : tasks_) {
@@ -386,8 +604,10 @@ int PersistentQueue::ExpireLeases() {
     std::ostringstream body;
     body << "x " << id;
     if (!AppendJournal(body.str()).ok()) continue;
+    Index(task, -1);
     task.state = TaskState::kPending;
     task.lease_deadline_micros = 0;
+    Index(task, +1);
     ++reaped;
     if (c_lease_expired_ != nullptr) c_lease_expired_->Increment();
   }
@@ -395,6 +615,9 @@ int PersistentQueue::ExpireLeases() {
 }
 
 Status PersistentQueue::Checkpoint() {
+  PAPYRUS_ASSIGN_OR_RETURN(std::unique_ptr<storage::FileLock> lock,
+                           SyncShared());
+  (void)lock;
   std::ostringstream out;
   out << kCheckpointHeader << '\n';
   {
@@ -422,8 +645,22 @@ Status PersistentQueue::Checkpoint() {
   // checkpoint, which is idempotent by construction.
   PAPYRUS_RETURN_IF_ERROR(
       storage::AtomicWriteFile(checkpoint_path_, out.str()));
+  if (options_.shared) {
+    // Bump the epoch before swapping the journal so siblings whose byte
+    // offsets point into the old inode rebuild from the checkpoint. A
+    // crash in between leaves the old journal in place, which replays
+    // idempotently over the new checkpoint either way.
+    PAPYRUS_RETURN_IF_ERROR(storage::AtomicWriteFile(
+        EpochPath(), std::to_string(epoch_seen_ + 1) + "\n"));
+    epoch_seen_ += 1;
+    PAPYRUS_RETURN_IF_ERROR(storage::AtomicWriteFile(journal_path_, ""));
+    journal_offset_ = 0;
+    if (c_checkpoints_ != nullptr) c_checkpoints_->Increment();
+    return Status::OK();
+  }
   journal_.close();
   PAPYRUS_RETURN_IF_ERROR(storage::AtomicWriteFile(journal_path_, ""));
+  journal_offset_ = 0;
   journal_.open(journal_path_, std::ios::app | std::ios::binary);
   if (!journal_) {
     return Status::Internal("cannot reopen journal " + journal_path_);

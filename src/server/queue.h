@@ -3,9 +3,11 @@
 
 #include <cstdint>
 #include <fstream>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -14,6 +16,7 @@
 #include "base/status.h"
 #include "base/thread_annotations.h"
 #include "obs/observability.h"
+#include "storage/file_lock.h"
 
 namespace papyrus::server {
 
@@ -46,6 +49,45 @@ struct QueueTask {
   std::string failure;
 };
 
+/// How Claim picks the next task. The default (fair == false) is global
+/// FIFO: the lowest-id pending task, whatever its session — one heavy
+/// session can monopolize the daemon. With fair == true, claims rotate
+/// weighted-round-robin across sessions that have pending work: each
+/// rotation stop serves up to `weight` tasks (in id order) from one
+/// session before the cursor advances, sessions with more in-flight
+/// (claimed) tasks than `max_inflight_per_session` are passed over until
+/// some complete, and `session_filter` (when set) masks sessions this
+/// claimer cannot currently host (e.g. locked by another worker
+/// process). Within a session, claim order is always ascending task id,
+/// so per-session execution — and therefore every session snapshot — is
+/// byte-identical whichever policy interleaves the sessions.
+struct ClaimPolicy {
+  bool fair = false;
+  /// Max claimed-but-unresolved tasks per session (0 = unlimited).
+  int max_inflight_per_session = 0;
+  /// Per-session weight: rotation stops serve this many tasks before
+  /// moving on. Missing sessions (or null) weigh 1.
+  const std::map<std::string, int>* weights = nullptr;
+  /// Returns false for sessions this claimer must not serve right now.
+  std::function<bool(const std::string&)> session_filter;
+};
+
+/// One granted claim, in grant order (in-memory; for fairness audits).
+struct ClaimRecord {
+  int64_t id = 0;
+  std::string session;
+};
+
+struct QueueOptions {
+  /// Multi-process mode: every mutating operation takes the `queue.lock`
+  /// flock, re-syncs journal lines appended by other workers since the
+  /// last look, then appends its own. Claims orphaned by a dead worker
+  /// are NOT re-pended at Open (live workers hold real leases); they
+  /// return via lease expiry, and the stale-owner check keeps a reaped
+  /// worker from completing a task that was re-claimed.
+  bool shared = false;
+};
+
 /// The crash-surviving task queue behind papyrusd.
 ///
 /// Durability = an append-only journal (`queue.pjq`) replayed over the
@@ -62,6 +104,12 @@ struct QueueTask {
 /// to pending for re-dispatch. Combined with the daemon's applied-task
 /// ledger this yields at-least-once execution with exactly-once commit.
 ///
+/// In shared mode (QueueOptions::shared) many worker processes open the
+/// same directory: the journal becomes the coordination medium — each
+/// operation serializes on an flock, replays the other workers' appended
+/// lines, then appends its own — so claim/lease/stale-owner semantics
+/// span processes with no daemon-to-daemon channel.
+///
 /// Single-threaded like the rest of the engine: every journal- or
 /// state-mutating call carries PAPYRUS_REQUIRES(base::engine_thread) —
 /// the daemon's dispatch thread is the engine thread.
@@ -69,11 +117,13 @@ class PersistentQueue {
  public:
   /// Opens (creating if needed) the queue stored in `directory`.
   /// Restores checkpoint + journal, re-pends any claimed task
-  /// (`recovered()` counts them), and restores `clock` to the last
-  /// persisted virtual time when it is behind it.
+  /// (`recovered()` counts them; exclusive mode only — shared mode
+  /// leaves live workers' claims alone), and restores `clock` to the
+  /// last persisted virtual time when it is behind it.
   static Result<std::unique_ptr<PersistentQueue>> Open(
       const std::string& directory, ManualClock* clock,
-      const obs::Observability& obs = {});
+      const obs::Observability& obs = {},
+      const QueueOptions& options = {});
 
   PersistentQueue(const PersistentQueue&) = delete;
   PersistentQueue& operator=(const PersistentQueue&) = delete;
@@ -83,10 +133,11 @@ class PersistentQueue {
                           const std::string& description)
       PAPYRUS_REQUIRES(base::engine_thread);
 
-  /// Claims the lowest-id pending task under a `lease_micros` lease held
-  /// by `owner`. Returns nullopt when nothing is pending.
+  /// Claims the next pending task per `policy` under a `lease_micros`
+  /// lease held by `owner`. Returns nullopt when nothing is claimable.
   Result<std::optional<QueueTask>> Claim(const std::string& owner,
-                                         int64_t lease_micros)
+                                         int64_t lease_micros,
+                                         const ClaimPolicy& policy = {})
       PAPYRUS_REQUIRES(base::engine_thread);
 
   /// Marks a task done. Only the current lease holder may complete it —
@@ -116,6 +167,12 @@ class PersistentQueue {
   /// idempotent.
   Status Checkpoint() PAPYRUS_REQUIRES(base::engine_thread);
 
+  /// Shared mode: replays journal lines other workers appended since
+  /// this queue last looked (no-op in exclusive mode, or when nothing
+  /// changed). Every mutating call does this implicitly; introspection
+  /// callers that want a fresh cross-process view call it explicitly.
+  Status Refresh() PAPYRUS_REQUIRES(base::engine_thread);
+
   // --- introspection ----------------------------------------------------
 
   /// Tasks not yet done or failed.
@@ -130,29 +187,63 @@ class PersistentQueue {
   Result<QueueTask> Get(int64_t id) const;
   /// Snapshot of every task, by id.
   std::vector<QueueTask> Tasks() const;
+  /// Every claim this queue instance granted, in grant order.
+  const std::vector<ClaimRecord>& claim_log() const { return claim_log_; }
 
  private:
   PersistentQueue(std::string directory, ManualClock* clock,
-                  const obs::Observability& obs);
+                  const obs::Observability& obs,
+                  const QueueOptions& options);
 
+  std::string EpochPath() const;
   Status LoadCheckpoint() PAPYRUS_REQUIRES(base::engine_thread);
-  Status ReplayJournal() PAPYRUS_REQUIRES(base::engine_thread);
+  /// Replays journal lines from `journal_offset_` to EOF.
+  Status ReplayJournalTail() PAPYRUS_REQUIRES(base::engine_thread);
   Status ApplyJournalLine(const std::string& body)
       PAPYRUS_REQUIRES(base::engine_thread);
   Status AppendJournal(const std::string& body)
+      PAPYRUS_REQUIRES(base::engine_thread);
+  /// Shared mode: flock the queue and fold in other workers' appends.
+  /// Returns the lock (null in exclusive mode); holding it spans the
+  /// caller's own journal append.
+  Result<std::unique_ptr<storage::FileLock>> SyncShared()
+      PAPYRUS_REQUIRES(base::engine_thread);
+  Status ReloadFromDisk() PAPYRUS_REQUIRES(base::engine_thread);
+  /// Picks the session to serve next under weighted round-robin.
+  const std::string* PickFairSession(const ClaimPolicy& policy)
+      PAPYRUS_REQUIRES(base::engine_thread);
+  /// Maintains the per-session pending/claimed indexes around a state
+  /// change; call with -1 before mutating `task.state`, +1 after.
+  void Index(const QueueTask& task, int delta)
       PAPYRUS_REQUIRES(base::engine_thread);
   void UpdateDepthGauge() PAPYRUS_REQUIRES(base::engine_thread);
 
   std::string directory_;
   std::string journal_path_;
   std::string checkpoint_path_;
+  std::string lock_path_;
   ManualClock* clock_;
   obs::Observability obs_;
+  QueueOptions options_;
 
   std::map<int64_t, QueueTask> tasks_;
+  /// session -> pending task ids (claim picks *begin, so id order).
+  std::map<std::string, std::set<int64_t>> pending_by_session_;
+  /// session -> claimed task count (the fairness in-flight cap input).
+  std::map<std::string, int64_t> claimed_by_session_;
   int64_t next_id_ = 1;
   int64_t recovered_ = 0;
   std::ofstream journal_;
+  /// Bytes of the journal already folded into memory.
+  int64_t journal_offset_ = 0;
+  /// Shared mode: checkpoint epoch this queue last synced at.
+  int64_t epoch_seen_ = 0;
+
+  /// Weighted-round-robin cursor: the session served last, and how many
+  /// more consecutive claims its weight still allows.
+  std::string rr_cursor_;
+  int rr_credits_ = 0;
+  std::vector<ClaimRecord> claim_log_;
 
   obs::Counter* c_enqueued_ = nullptr;
   obs::Counter* c_claimed_ = nullptr;
@@ -162,6 +253,9 @@ class PersistentQueue {
   obs::Counter* c_lease_expired_ = nullptr;
   obs::Counter* c_recovered_ = nullptr;
   obs::Counter* c_checkpoints_ = nullptr;
+  obs::Counter* c_fair_rotations_ = nullptr;
+  obs::Counter* c_fair_capped_ = nullptr;
+  obs::Gauge* g_fair_active_ = nullptr;
   obs::Gauge* g_depth_ = nullptr;
   obs::Histogram* h_wait_ = nullptr;
 };

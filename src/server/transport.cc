@@ -1,0 +1,382 @@
+#include "server/transport.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "base/macros.h"
+#include "obs/metrics.h"
+#include "server/wire.h"
+
+namespace papyrus::server {
+
+namespace {
+
+constexpr int kListenBacklog = 64;
+constexpr size_t kReadChunk = 4096;
+
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::Internal(std::string("fcntl(O_NONBLOCK): ") +
+                            std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+/// The one response the transport writes itself: a client whose line
+/// blew the size cap never reaches the dispatcher.
+std::string OversizedLineResponse(size_t max_line_bytes) {
+  WireMessage response;
+  response.verb = "err";
+  response.Add("msg", "request line exceeds " +
+                          std::to_string(max_line_bytes) + " bytes");
+  return response.Format();
+}
+
+ssize_t WriteSome(int fd, bool is_socket, const char* data, size_t len) {
+  if (is_socket) {
+    // MSG_NOSIGNAL: a client that vanished mid-response yields EPIPE,
+    // not a process-killing SIGPIPE.
+    return ::send(fd, data, len, MSG_NOSIGNAL);
+  }
+  return ::write(fd, data, len);
+}
+
+}  // namespace
+
+std::vector<LineFramer::Line> LineFramer::Feed(std::string_view bytes) {
+  std::vector<Line> lines;
+  size_t start = 0;
+  while (start <= bytes.size()) {
+    size_t nl = bytes.find('\n', start);
+    if (nl == std::string_view::npos) {
+      if (!discarding_) {
+        buffer_.append(bytes.substr(start));
+        if (buffer_.size() > max_line_bytes_) {
+          buffer_.clear();
+          discarding_ = true;
+        }
+      }
+      break;
+    }
+    if (discarding_) {
+      // The terminator of a line that already blew the cap: report it
+      // once, then resume normal framing.
+      lines.push_back({std::string(), /*oversized=*/true});
+      discarding_ = false;
+    } else {
+      buffer_.append(bytes.substr(start, nl - start));
+      if (buffer_.size() > max_line_bytes_) {
+        lines.push_back({std::string(), /*oversized=*/true});
+      } else {
+        lines.push_back({std::move(buffer_), /*oversized=*/false});
+      }
+      buffer_.clear();
+    }
+    start = nl + 1;
+  }
+  return lines;
+}
+
+SocketTransport::SocketTransport(const TransportOptions& options)
+    : options_(options) {
+  if (options_.metrics != nullptr) {
+    g_connected_ =
+        options_.metrics->FindOrCreateGauge(obs::kServerClientsConnected);
+    c_total_ =
+        options_.metrics->FindOrCreateCounter(obs::kServerClientsTotal);
+    c_disconnected_ = options_.metrics->FindOrCreateCounter(
+        obs::kServerClientsDisconnected);
+    c_rejected_ = options_.metrics->FindOrCreateCounter(
+        obs::kServerClientsRejectedLines);
+  }
+}
+
+SocketTransport::~SocketTransport() {
+  for (auto& [fd, conn] : connections_) {
+    if (conn.is_socket) ::close(conn.in_fd);
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    ::unlink(options_.socket_path.c_str());
+  }
+}
+
+Result<std::unique_ptr<SocketTransport>> SocketTransport::Listen(
+    const TransportOptions& options) {
+  std::unique_ptr<SocketTransport> transport(new SocketTransport(options));
+  if (!options.socket_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options.socket_path.size() >= sizeof(addr.sun_path)) {
+      return Status::InvalidArgument("socket path too long: " +
+                                     options.socket_path);
+    }
+    std::strncpy(addr.sun_path, options.socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+      return Status::Internal(std::string("socket(): ") +
+                              std::strerror(errno));
+    }
+    // A previous incarnation's socket file would make bind fail; the
+    // queue lock already arbitrates daemon identity, so take the path.
+    ::unlink(options.socket_path.c_str());
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+        ::listen(fd, kListenBacklog) < 0) {
+      Status st = Status::Internal("cannot listen on " +
+                                   options.socket_path + ": " +
+                                   std::strerror(errno));
+      ::close(fd);
+      return st;
+    }
+    Status nb = SetNonBlocking(fd);
+    if (!nb.ok()) {
+      ::close(fd);
+      return nb;
+    }
+    transport->listen_fd_ = fd;
+  }
+  if (options.serve_stdin) {
+    Connection conn;
+    conn.in_fd = STDIN_FILENO;
+    conn.out_fd = STDOUT_FILENO;
+    conn.is_socket = false;
+    conn.framer = LineFramer(options.max_line_bytes);
+    conn.context.client_name = "stdin";
+    transport->connections_.emplace(STDIN_FILENO, std::move(conn));
+    if (transport->g_connected_ != nullptr) {
+      transport->g_connected_->Set(1);
+    }
+    if (transport->c_total_ != nullptr) transport->c_total_->Increment();
+  }
+  return transport;
+}
+
+int SocketTransport::open_connections() const {
+  return static_cast<int>(connections_.size());
+}
+
+void SocketTransport::Accept() {
+  while (true) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN or transient error: next poll round
+    if (!SetNonBlocking(fd).ok()) {
+      ::close(fd);
+      continue;
+    }
+    Connection conn;
+    conn.in_fd = fd;
+    conn.out_fd = fd;
+    conn.is_socket = true;
+    conn.framer = LineFramer(options_.max_line_bytes);
+    connections_.emplace(fd, std::move(conn));
+    if (c_total_ != nullptr) c_total_->Increment();
+    if (g_connected_ != nullptr) {
+      g_connected_->Set(static_cast<int64_t>(connections_.size()));
+    }
+  }
+}
+
+bool SocketTransport::ServiceRead(Connection* conn,
+                                  const Handler& handler) {
+  char chunk[kReadChunk];
+  while (true) {
+    ssize_t n = ::read(conn->in_fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      if (errno == EINTR) continue;
+      return false;  // connection error
+    }
+    if (n == 0) {
+      // Orderly EOF. A partial line buffered here is a request that
+      // never completed — counted, never dispatched.
+      return false;
+    }
+    for (LineFramer::Line& line :
+         conn->framer.Feed(std::string_view(chunk, n))) {
+      std::string response;
+      if (line.oversized) {
+        if (c_rejected_ != nullptr) c_rejected_->Increment();
+        response = OversizedLineResponse(options_.max_line_bytes);
+      } else if (line.text.empty() || line.text[0] == '#') {
+        continue;  // blank lines and comments, as on stdin
+      } else {
+        response = handler(line.text, &conn->context);
+      }
+      conn->out += response;
+      conn->out += '\n';
+    }
+    if (!ServiceWrite(conn)) return false;
+    if (static_cast<ssize_t>(sizeof(chunk)) > n) return true;
+  }
+}
+
+bool SocketTransport::ServiceWrite(Connection* conn) {
+  while (!conn->out.empty()) {
+    ssize_t n = WriteSome(conn->out_fd, conn->is_socket, conn->out.data(),
+                          conn->out.size());
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      if (errno == EINTR) continue;
+      return false;  // EPIPE: the client is gone
+    }
+    conn->out.erase(0, static_cast<size_t>(n));
+  }
+  return true;
+}
+
+void SocketTransport::CloseConnection(
+    std::map<int, Connection>::iterator it, bool count_partial) {
+  Connection& conn = it->second;
+  if (count_partial && conn.framer.HasPartial() && c_rejected_ != nullptr) {
+    c_rejected_->Increment();
+  }
+  if (conn.is_socket) ::close(conn.in_fd);
+  connections_.erase(it);
+  if (c_disconnected_ != nullptr) c_disconnected_->Increment();
+  if (g_connected_ != nullptr) {
+    g_connected_->Set(static_cast<int64_t>(connections_.size()));
+  }
+}
+
+Status SocketTransport::PollOnce(const Handler& handler, int timeout_ms) {
+  std::vector<pollfd> fds;
+  fds.reserve(connections_.size() + 1);
+  if (listen_fd_ >= 0) {
+    fds.push_back({listen_fd_, POLLIN, 0});
+  }
+  for (auto& [fd, conn] : connections_) {
+    short events = POLLIN;
+    if (!conn.out.empty()) events |= POLLOUT;
+    fds.push_back({conn.in_fd, events, 0});
+  }
+  int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (ready < 0) {
+    if (errno == EINTR) return Status::OK();
+    return Status::Internal(std::string("poll(): ") +
+                            std::strerror(errno));
+  }
+  if (ready == 0) return Status::OK();
+  size_t i = 0;
+  if (listen_fd_ >= 0) {
+    if ((fds[0].revents & POLLIN) != 0) Accept();
+    i = 1;
+  }
+  for (; i < fds.size(); ++i) {
+    if (fds[i].revents == 0) continue;
+    auto it = connections_.find(fds[i].fd);
+    if (it == connections_.end()) continue;
+    Connection& conn = it->second;
+    bool alive = true;
+    if ((fds[i].revents & POLLOUT) != 0) alive = ServiceWrite(&conn);
+    if (alive && (fds[i].revents & (POLLIN | POLLHUP)) != 0) {
+      alive = ServiceRead(&conn, handler);
+    }
+    if (alive && (fds[i].revents & POLLERR) != 0) alive = false;
+    if (!alive) CloseConnection(it, /*count_partial=*/true);
+  }
+  return Status::OK();
+}
+
+Status SocketTransport::Run(const Handler& handler,
+                            const std::function<bool()>& stop) {
+  // Event-loop top: every handler call below runs on this (engine)
+  // thread, one request at a time, whatever the client concurrency.
+  base::AssertEngineThread("SocketTransport::Run");
+  while (!stop()) {
+    // With no listener, the loop lives only as long as its streams.
+    if (listen_fd_ < 0 && connections_.empty()) break;
+    PAPYRUS_RETURN_IF_ERROR(PollOnce(handler, /*timeout_ms=*/50));
+  }
+  // Final courtesy flush so responses to the request that triggered the
+  // stop (e.g. `shutdown`) reach their clients.
+  for (auto& [fd, conn] : connections_) (void)ServiceWrite(&conn);
+  return Status::OK();
+}
+
+WireClient::~WireClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<WireClient>> WireClient::Connect(
+    const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("socket path too long: " + socket_path);
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket(): ") +
+                            std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status st = Status::Unavailable("cannot connect to " + socket_path +
+                                    ": " + std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  return std::unique_ptr<WireClient>(new WireClient(fd));
+}
+
+Status WireClient::SendRaw(std::string_view bytes) {
+  if (fd_ < 0) return Status::FailedPrecondition("client closed");
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n =
+        ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(std::string("send(): ") +
+                                 std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<std::string> WireClient::ReadLine() {
+  if (fd_ < 0) return Status::FailedPrecondition("client closed");
+  while (true) {
+    size_t nl = in_buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = in_buffer_.substr(0, nl);
+      in_buffer_.erase(0, nl + 1);
+      return line;
+    }
+    char chunk[kReadChunk];
+    ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(std::string("read(): ") +
+                                 std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::Unavailable("daemon closed the connection");
+    }
+    in_buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+Result<std::string> WireClient::Call(const std::string& line) {
+  PAPYRUS_RETURN_IF_ERROR(SendRaw(line + "\n"));
+  return ReadLine();
+}
+
+void WireClient::CloseAbruptly() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace papyrus::server

@@ -1,0 +1,181 @@
+#ifndef PAPYRUS_SERVER_TRANSPORT_H_
+#define PAPYRUS_SERVER_TRANSPORT_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/result.h"
+#include "base/status.h"
+#include "base/thread_annotations.h"
+#include "obs/observability.h"
+
+namespace papyrus::server {
+
+/// Per-connection daemon state: who the client says it is (`connect
+/// ~client=`) and which session its unqualified requests target
+/// (`attach ~session=`). Owned by the transport, one per connection,
+/// passed by pointer into every dispatch for that connection.
+struct ClientContext {
+  std::string client_name;
+  std::string attached_session;
+};
+
+/// Incremental line framing over a byte stream that arrives in
+/// arbitrary fragments: a read may end mid-line (even mid-percent-
+/// escape) or carry many coalesced requests — Feed buffers partial
+/// tails and emits each completed line exactly once, whatever the
+/// fragmentation. A line that exceeds `max_line_bytes` before its
+/// newline arrives is discarded (the framer keeps eating until the
+/// terminator) and surfaces as one `oversized` entry, so a hostile or
+/// broken client cannot balloon the daemon's memory.
+class LineFramer {
+ public:
+  static constexpr size_t kDefaultMaxLineBytes = 1 << 20;
+
+  struct Line {
+    std::string text;
+    bool oversized = false;
+  };
+
+  explicit LineFramer(size_t max_line_bytes = kDefaultMaxLineBytes)
+      : max_line_bytes_(max_line_bytes) {}
+
+  /// Consumes a fragment; returns the lines it completed, in order.
+  std::vector<Line> Feed(std::string_view bytes);
+
+  /// True when bytes of an unterminated line are buffered (a client
+  /// that disconnects here died mid-request).
+  bool HasPartial() const { return !buffer_.empty() || discarding_; }
+
+ private:
+  size_t max_line_bytes_;
+  std::string buffer_;
+  bool discarding_ = false;
+};
+
+struct TransportOptions {
+  /// Unix-domain socket path to listen on; empty = no listener (stdin
+  /// only). Unlinked on destruction.
+  std::string socket_path;
+  /// Serve the wire protocol on stdin/stdout alongside the socket (the
+  /// PR 6 transport, retained).
+  bool serve_stdin = true;
+  size_t max_line_bytes = LineFramer::kDefaultMaxLineBytes;
+  /// For the papyrus.server.clients_* metrics; may be null.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// The daemon's concurrent client layer: a poll()-driven event loop
+/// multiplexing one Unix-domain-socket listener plus the retained
+/// stdin stream over any number of simultaneous connections.
+///
+/// Concurrency lives entirely at the I/O edge. Reads and writes are
+/// interleaved and partial per connection, but every completed request
+/// line is dispatched to the handler *sequentially on the engine
+/// thread* (Run() is the event-loop top and vouches for the role), so
+/// the deterministic-mutation contract over the engine is untouched —
+/// many clients, one dispatch loop.
+class SocketTransport {
+ public:
+  /// Handles one request line for one client; returns the response
+  /// line (without trailing newline).
+  using Handler =
+      std::function<std::string(const std::string& line, ClientContext* ctx)>;
+
+  static Result<std::unique_ptr<SocketTransport>> Listen(
+      const TransportOptions& options);
+
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+  ~SocketTransport();
+
+  /// Runs the event loop until `stop()` returns true (checked between
+  /// poll rounds) — typically "the daemon shut down or crashed". The
+  /// stdin stream closing does not stop the loop while a listener is
+  /// live; socket clients keep being served.
+  Status Run(const Handler& handler, const std::function<bool()>& stop)
+      PAPYRUS_REQUIRES(base::engine_thread);
+
+  /// One bounded poll round (used by Run; exposed for tests that
+  /// interleave transport progress with other work).
+  Status PollOnce(const Handler& handler, int timeout_ms)
+      PAPYRUS_REQUIRES(base::engine_thread);
+
+  int open_connections() const;
+  const std::string& socket_path() const { return options_.socket_path; }
+
+ private:
+  struct Connection {
+    int in_fd = -1;
+    int out_fd = -1;   // != in_fd only for the stdin/stdout pair
+    bool is_socket = false;
+    LineFramer framer;
+    std::string out;   // bytes accepted but not yet written
+    ClientContext context;
+    bool closing = false;  // flush pending output, then close
+  };
+
+  explicit SocketTransport(const TransportOptions& options);
+
+  void Accept();
+  /// Reads what is available, dispatches completed lines, queues the
+  /// responses. Returns false when the connection is gone.
+  bool ServiceRead(Connection* conn, const Handler& handler);
+  /// Flushes as much buffered output as the fd accepts right now.
+  bool ServiceWrite(Connection* conn);
+  void CloseConnection(std::map<int, Connection>::iterator it,
+                       bool count_partial);
+
+  TransportOptions options_;
+  int listen_fd_ = -1;
+  /// Keyed by in_fd.
+  std::map<int, Connection> connections_;
+
+  obs::Gauge* g_connected_ = nullptr;
+  obs::Counter* c_total_ = nullptr;
+  obs::Counter* c_disconnected_ = nullptr;
+  obs::Counter* c_rejected_ = nullptr;
+};
+
+/// A blocking wire-protocol client for the daemon socket: the shell's
+/// `daemon connect`, the scale bench, and the adversarial framing tests
+/// speak through this (the latter via the raw send/read calls).
+class WireClient {
+ public:
+  static Result<std::unique_ptr<WireClient>> Connect(
+      const std::string& socket_path);
+
+  WireClient(const WireClient&) = delete;
+  WireClient& operator=(const WireClient&) = delete;
+  ~WireClient();
+
+  /// Sends one request line and blocks for its response line.
+  Result<std::string> Call(const std::string& line);
+
+  /// Raw bytes, exactly as given — lets tests split lines mid-escape or
+  /// coalesce many requests into one segment.
+  Status SendRaw(std::string_view bytes);
+  /// Blocks until the next complete response line.
+  Result<std::string> ReadLine();
+
+  /// Drops the connection without reading pending responses (abrupt
+  /// disconnect mid-request, from the daemon's point of view).
+  void CloseAbruptly();
+
+ private:
+  explicit WireClient(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  std::string in_buffer_;
+};
+
+}  // namespace papyrus::server
+
+#endif  // PAPYRUS_SERVER_TRANSPORT_H_

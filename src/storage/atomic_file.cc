@@ -42,7 +42,14 @@ bool FsyncPath(const std::filesystem::path& path, bool directory) {
 Status AtomicWriteFile(const std::string& path, const std::string& content) {
   std::filesystem::path final_path(path);
   std::filesystem::path tmp_path = final_path;
+  // Process-unique temp name: concurrent writers of the same target
+  // (daemon workers sharing a root) each rename their own temp file —
+  // last rename wins — instead of one stealing the other's temp.
+#ifndef _WIN32
+  tmp_path += ".tmp." + std::to_string(::getpid());
+#else
   tmp_path += ".tmp";
+#endif
   {
     std::ofstream out(tmp_path, std::ios::trunc | std::ios::binary);
     if (!out) {

@@ -1,0 +1,52 @@
+#include "storage/file_lock.h"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace papyrus::storage {
+
+Result<std::unique_ptr<FileLock>> FileLock::AcquireImpl(
+    const std::string& path, bool blocking) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::Internal("cannot open lock file " + path + ": " +
+                            std::strerror(errno));
+  }
+  int flags = LOCK_EX | (blocking ? 0 : LOCK_NB);
+  while (::flock(fd, flags) != 0) {
+    if (errno == EINTR) continue;
+    int err = errno;
+    ::close(fd);
+    if (!blocking && (err == EWOULDBLOCK || err == EAGAIN)) {
+      return Status::Unavailable("lock " + path + " is held elsewhere");
+    }
+    return Status::Internal("cannot lock " + path + ": " +
+                            std::strerror(err));
+  }
+  return std::unique_ptr<FileLock>(new FileLock(path, fd));
+}
+
+Result<std::unique_ptr<FileLock>> FileLock::Acquire(
+    const std::string& path) {
+  return AcquireImpl(path, /*blocking=*/true);
+}
+
+Result<std::unique_ptr<FileLock>> FileLock::TryAcquire(
+    const std::string& path) {
+  return AcquireImpl(path, /*blocking=*/false);
+}
+
+FileLock::~FileLock() {
+  if (fd_ >= 0) {
+    // flock drops with the last close of this description; explicit
+    // unlock keeps the window tight.
+    ::flock(fd_, LOCK_UN);
+    ::close(fd_);
+  }
+}
+
+}  // namespace papyrus::storage

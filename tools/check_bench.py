@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Gate checked-in Papyrus bench results against their embedded floors.
+
+Every BENCH_*.json carries a top-level "floors" object declaring the
+regression contract for its own numbers:
+
+    "floors": {
+      "scales/*/tasks_per_sec": {"min": 50},
+      "multiprocess/byte_identical": {"eq": true},
+      "scenarios/*/failed": {"max": 0}
+    }
+
+A floor key is a slash-separated path into the document. `*` fans out
+over every element of an array (or every value of an object) at that
+position. The constraint object supports:
+
+    {"min": N}   value must be >= N
+    {"max": N}   value must be <= N
+    {"eq": V}    value must equal V (numbers, booleans, strings)
+
+A bare number is shorthand for {"min": N}. Every floor must match at
+least one value — a path that resolves to nothing is itself a failure
+(the contract went stale), as is a file with no "floors" at all.
+
+Usage: check_bench.py FILE [FILE...]
+Exit status 0 = every floor of every file holds, 1 = any violation
+(each is printed). Stdlib only; no third-party dependencies.
+"""
+
+import json
+import numbers
+import sys
+
+
+class Checker:
+    def __init__(self):
+        self.errors = []
+        self.checked = 0
+
+    def error(self, msg):
+        self.errors.append(msg)
+        print(f"error: {msg}", file=sys.stderr)
+
+    def ok(self):
+        return not self.errors
+
+
+def resolve(doc, parts):
+    """Yields every value the path selects, depth-first."""
+    if not parts:
+        yield doc
+        return
+    head, rest = parts[0], parts[1:]
+    if head == "*":
+        if isinstance(doc, list):
+            for item in doc:
+                yield from resolve(item, rest)
+        elif isinstance(doc, dict):
+            for item in doc.values():
+                yield from resolve(item, rest)
+    elif isinstance(doc, dict) and head in doc:
+        yield from resolve(doc[head], rest)
+    elif isinstance(doc, list) and head.isdigit() and int(head) < len(doc):
+        yield from resolve(doc[int(head)], rest)
+
+
+def is_number(v):
+    # bool is an int subclass; a floor of {"min": 1} on `true` would
+    # silently pass, so booleans only ever satisfy {"eq": ...}.
+    return isinstance(v, numbers.Real) and not isinstance(v, bool)
+
+
+def check_floor(path, constraint, values, where, checker):
+    if isinstance(constraint, numbers.Real) and not isinstance(
+        constraint, bool
+    ):
+        constraint = {"min": constraint}
+    if not isinstance(constraint, dict) or not constraint:
+        checker.error(f"{where}: floor {path!r} is not a constraint object")
+        return
+    unknown = set(constraint) - {"min", "max", "eq"}
+    if unknown:
+        checker.error(
+            f"{where}: floor {path!r} has unknown keys {sorted(unknown)}"
+        )
+        return
+    for value in values:
+        checker.checked += 1
+        if "eq" in constraint and value != constraint["eq"]:
+            checker.error(
+                f"{where}: {path} = {value!r}, want == {constraint['eq']!r}"
+            )
+        if "min" in constraint:
+            if not is_number(value):
+                checker.error(
+                    f"{where}: {path} = {value!r} is not numeric (min floor)"
+                )
+            elif value < constraint["min"]:
+                checker.error(
+                    f"{where}: {path} = {value} regressed below the "
+                    f"floor {constraint['min']}"
+                )
+        if "max" in constraint:
+            if not is_number(value):
+                checker.error(
+                    f"{where}: {path} = {value!r} is not numeric (max floor)"
+                )
+            elif value > constraint["max"]:
+                checker.error(
+                    f"{where}: {path} = {value} exceeds the "
+                    f"ceiling {constraint['max']}"
+                )
+
+
+def check_file(path, checker):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        checker.error(f"{path}: cannot read: {e}")
+        return
+    floors = doc.get("floors")
+    if floors is None:
+        checker.error(f"{path}: no \"floors\" object — nothing gates "
+                      "this bench against regression")
+        return
+    if not isinstance(floors, dict) or not floors:
+        checker.error(f"{path}: \"floors\" must be a non-empty object")
+        return
+    for floor_path, constraint in floors.items():
+        values = list(resolve(doc, floor_path.split("/")))
+        if not values:
+            checker.error(
+                f"{path}: floor {floor_path!r} matches nothing — the "
+                "contract is stale"
+            )
+            continue
+        check_floor(floor_path, constraint, values, path, checker)
+
+
+def main(argv):
+    if len(argv) < 2 or argv[1] in ("-h", "--help"):
+        print(__doc__, file=sys.stderr)
+        return 2
+    checker = Checker()
+    for path in argv[1:]:
+        check_file(path, checker)
+    if checker.ok():
+        print(
+            f"check_bench: OK ({len(argv) - 1} file(s), "
+            f"{checker.checked} floor value(s) checked)"
+        )
+        return 0
+    print(f"check_bench: {len(checker.errors)} violation(s)",
+          file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,13 +1,16 @@
 // papyrusd: the multi-session Papyrus daemon, spoken to over a
-// line-based wire protocol on stdin/stdout.
+// line-based wire protocol on stdin/stdout and, with --socket, over a
+// Unix-domain socket serving many clients concurrently.
 //
 //   papyrusd --root DIR [--jobs N] [--lease-micros N] [--max-attempts N]
-//            [--trace FILE] [--metrics FILE]
+//            [--trace FILE] [--metrics FILE] [--socket PATH] [--shared]
+//            [--worker] [--fifo] [--inflight N] [--weight SESSION=N]
+//            [--max-open-sessions N]
 //
 // Requests are single lines, `verb ~key=value ...` with percent-escaped
 // values; every request gets exactly one `ok ...` or `err ...` response
-// line. Verbs: ping, checkin, submit, run, drain, stat, task, sessions,
-// checkpoint, shutdown.
+// line. Verbs: ping, connect, attach, checkin, submit, run, drain,
+// stat, task, sessions, checkpoint, shutdown.
 //
 //   echo 'ping' | papyrusd --root /tmp/pd
 //
@@ -23,10 +26,27 @@
 // kill the process at any instant and the next papyrusd on the same
 // root resumes with nothing lost and nothing executed twice.
 //
+// Scaling out:
+//   --socket PATH   accept concurrent wire clients on a Unix-domain
+//                   socket (stdin stays served); requests from all
+//                   clients funnel into the one engine dispatch loop.
+//   --worker        headless drain loop over a *shared* queue: several
+//                   workers on one --root split the sessions between
+//                   them (per-session file locks) and exit when the
+//                   queue is empty.
+//   --shared        open the queue in shared (multi-process) mode
+//                   without the worker loop — e.g. the front-end that
+//                   accepts submissions while workers drain.
+//   --fifo          global FIFO claim order instead of the default
+//                   weighted round-robin across sessions.
+//   --inflight N    per-session in-flight claim cap under fairness.
+//   --weight S=N    serve session S N tasks per rotation (repeatable).
+//
 // For seeded crash-injection soaks (the queue-chaos CI job) use
 // --chaos-seed/--chaos-rate/--chaos-max: an injected crash terminates
 // the process with exit code 42 so a supervisor loop can restart it.
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,6 +55,7 @@
 
 #include "base/strings.h"
 #include "server/daemon.h"
+#include "server/transport.h"
 
 namespace {
 
@@ -42,10 +63,14 @@ void PrintUsage(std::ostream& os) {
   os << "usage: papyrusd --root DIR [--jobs N] [--lease-micros N]\n"
      << "                [--max-attempts N] [--trace FILE]"
      << " [--metrics FILE]\n"
+     << "                [--socket PATH] [--shared] [--worker] [--fifo]\n"
+     << "                [--inflight N] [--weight SESSION=N]"
+     << " [--max-open-sessions N]\n"
      << "                [--chaos-seed S --chaos-rate R --chaos-max M]\n"
-     << "Reads wire-protocol lines from stdin, answers one line each on\n"
-     << "stdout. EOF or a `shutdown` request ends the daemon"
-     << " gracefully.\n";
+     << "Reads wire-protocol lines from stdin (and --socket clients),\n"
+     << "answers one line each. EOF or a `shutdown` request ends the\n"
+     << "daemon gracefully; --worker drains the shared queue and"
+     << " exits.\n";
 }
 
 int64_t ToInt(const char* s, int64_t fallback) {
@@ -60,6 +85,8 @@ int main(int argc, char** argv) {
   uint64_t chaos_seed = 0;
   double chaos_rate = 0.0;
   int chaos_max = 0;
+  std::string socket_path;
+  bool worker = false;
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
@@ -83,6 +110,34 @@ int main(int argc, char** argv) {
       options.trace_path = next("--trace");
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       options.metrics_path = next("--metrics");
+    } else if (std::strcmp(argv[i], "--socket") == 0) {
+      socket_path = next("--socket");
+    } else if (std::strcmp(argv[i], "--shared") == 0) {
+      options.shared_queue = true;
+    } else if (std::strcmp(argv[i], "--worker") == 0) {
+      worker = true;
+      options.shared_queue = true;
+    } else if (std::strcmp(argv[i], "--fifo") == 0) {
+      options.fair_dispatch = false;
+    } else if (std::strcmp(argv[i], "--inflight") == 0) {
+      options.max_inflight_per_session =
+          static_cast<int>(ToInt(next("--inflight"), 0));
+    } else if (std::strcmp(argv[i], "--weight") == 0) {
+      std::string spec = next("--weight");
+      size_t eq = spec.rfind('=');
+      int64_t weight = 0;
+      if (eq == std::string::npos || eq == 0 ||
+          !papyrus::ParseInt64(spec.substr(eq + 1), &weight) ||
+          weight < 1) {
+        std::fprintf(stderr, "--weight wants SESSION=N, got %s\n",
+                     spec.c_str());
+        return 2;
+      }
+      options.dispatch_weights[spec.substr(0, eq)] =
+          static_cast<int>(weight);
+    } else if (std::strcmp(argv[i], "--max-open-sessions") == 0) {
+      options.max_open_sessions =
+          static_cast<int>(ToInt(next("--max-open-sessions"), 0));
     } else if (std::strcmp(argv[i], "--chaos-seed") == 0) {
       chaos_seed = static_cast<uint64_t>(ToInt(next("--chaos-seed"), 0));
     } else if (std::strcmp(argv[i], "--chaos-rate") == 0) {
@@ -120,6 +175,66 @@ int main(int argc, char** argv) {
   for (const papyrus::lint::Diagnostic& d : (*daemon)->PreflightQueue()) {
     std::fprintf(stderr, "papyrusd: preflight: %s\n",
                  d.ToString().c_str());
+  }
+
+  if (worker) {
+    papyrus::Status st = (*daemon)->WorkerDrain();
+    if ((*daemon)->crashed()) {
+      std::fprintf(stderr, "papyrusd: injected crash; exiting hot\n");
+      return 42;
+    }
+    if (!st.ok()) {
+      std::fprintf(stderr, "papyrusd: worker: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    st = (*daemon)->Shutdown();
+    if (!st.ok()) {
+      std::fprintf(stderr, "papyrusd: shutdown: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    return 0;
+  }
+
+  if (!socket_path.empty()) {
+    // A client that disconnects mid-write must not kill the daemon.
+    std::signal(SIGPIPE, SIG_IGN);
+    papyrus::server::TransportOptions transport_options;
+    transport_options.socket_path = socket_path;
+    transport_options.serve_stdin = true;
+    transport_options.metrics = (*daemon)->metrics_registry();
+    auto transport =
+        papyrus::server::SocketTransport::Listen(transport_options);
+    if (!transport.ok()) {
+      std::fprintf(stderr, "papyrusd: %s\n",
+                   transport.status().ToString().c_str());
+      return 1;
+    }
+    papyrus::Status st = (*transport)->Run(
+        [&](const std::string& line, papyrus::server::ClientContext* ctx) {
+          return (*daemon)->HandleLine(std::string(papyrus::Trim(line)),
+                                       ctx);
+        },
+        [&] { return (*daemon)->shut_down() || (*daemon)->crashed(); });
+    if ((*daemon)->crashed()) {
+      std::fprintf(stderr, "papyrusd: injected crash; exiting hot\n");
+      return 42;
+    }
+    if (!st.ok()) {
+      std::fprintf(stderr, "papyrusd: transport: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    if (!(*daemon)->shut_down()) {
+      st = (*daemon)->Shutdown();
+      if (!st.ok()) {
+        std::fprintf(stderr, "papyrusd: shutdown: %s\n",
+                     st.ToString().c_str());
+        return 1;
+      }
+    }
+    return 0;
   }
 
   std::string line;
