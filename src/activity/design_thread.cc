@@ -12,6 +12,107 @@ constexpr int64_t kMicrosPerHour = 3600ll * 1000000ll;
 DesignThread::DesignThread(int thread_id, std::string name, Clock* clock)
     : id_(thread_id), name_(std::move(name)), clock_(clock) {}
 
+void DesignThread::TouchNode(NodeId id) {
+  ++seq_;
+  if (wal_dirty_set_.insert(id).second) wal_dirty_nodes_.push_back(id);
+}
+
+void DesignThread::TouchMeta() {
+  ++seq_;
+  wal_meta_dirty_ = true;
+}
+
+void DesignThread::TouchDeleted(NodeId id) {
+  ++seq_;
+  wal_deleted_nodes_.push_back(id);
+}
+
+bool DesignThread::HasWalDirt() const {
+  return wal_meta_dirty_ || !wal_deleted_nodes_.empty() ||
+         !wal_dirty_nodes_.empty() || !wal_new_checkins_.empty();
+}
+
+DesignThread::WalDirt DesignThread::DrainWalDirt() {
+  WalDirt out;
+  out.meta = wal_meta_dirty_;
+  out.deleted = std::move(wal_deleted_nodes_);
+  // A node dirtied and then erased inside one commit window is covered by
+  // its deletion record alone.
+  for (NodeId id : wal_dirty_nodes_) {
+    if (nodes_.count(id) > 0) out.upserts.push_back(id);
+  }
+  out.checkins = std::move(wal_new_checkins_);
+  DiscardWalDirt();
+  return out;
+}
+
+void DesignThread::DiscardWalDirt() {
+  wal_meta_dirty_ = false;
+  wal_deleted_nodes_.clear();
+  wal_dirty_nodes_.clear();
+  wal_dirty_set_.clear();
+  wal_new_checkins_.clear();
+}
+
+Status DesignThread::UpsertNode(HistoryNode node) {
+  if (node.id <= 0) {
+    return Status::InvalidArgument("journaled node has an invalid id");
+  }
+  // Thread-state caches are runtime-only; a journaled state never
+  // resurrects one.
+  node.cache_flag = false;
+  node.cache_valid = false;
+  node.cached_state.clear();
+  next_node_id_ = std::max(next_node_id_, node.id + 1);
+  int64_t hour = node.appended_micros / kMicrosPerHour;
+  hour_index_.try_emplace(hour, node.id);
+  NodeId id = node.id;
+  bool is_root = node.parents.empty();
+  nodes_[id] = std::move(node);
+  if (is_root) {
+    MarkRoot(id);
+  } else {
+    UnmarkRoot(id);
+  }
+  ++seq_;
+  return Status::OK();
+}
+
+Status DesignThread::ForgetNode(NodeId id) {
+  nodes_.erase(id);
+  UnmarkRoot(id);
+  for (auto it = hour_index_.begin(); it != hour_index_.end();) {
+    if (it->second == id) {
+      it = hour_index_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // The journal's meta record (replayed after the batch's deletions and
+  // upserts) re-establishes the exact cursor.
+  if (current_cursor_ == id) current_cursor_ = kInitialPoint;
+  ++seq_;
+  return Status::OK();
+}
+
+Status DesignThread::ReplayMeta(NodeId cursor, NodeId next_node_id) {
+  if (!HasNode(cursor)) {
+    return Status::NotFound("journaled cursor points at missing node " +
+                            std::to_string(cursor));
+  }
+  current_cursor_ = cursor;
+  next_node_id_ = std::max(next_node_id_, next_node_id);
+  ++seq_;
+  return Status::OK();
+}
+
+void DesignThread::CheckIn(const oct::ObjectId& id) {
+  if (checkins_.insert(id).second) {
+    ++seq_;
+    wal_new_checkins_.push_back(id);
+  }
+}
+
 HistoryNode* DesignThread::MutableNode(NodeId id) {
   auto it = nodes_.find(id);
   return it == nodes_.end() ? nullptr : &it->second;
@@ -97,6 +198,8 @@ Result<NodeId> DesignThread::Append(task::TaskHistoryRecord record,
           std::unique(b->parents.begin(), b->parents.end()),
           b->parents.end());
     }
+    TouchNode(splice_before);
+    if (prev != kInitialPoint) TouchNode(prev);
     // §5.3: inserting before cached descendants requires updating their
     // cached thread states with the new record's objects.
     std::deque<NodeId> queue = {splice_before};
@@ -116,6 +219,7 @@ Result<NodeId> DesignThread::Append(task::TaskHistoryRecord record,
       roots_.push_back(node.id);
     } else {
       MutableNode(prev)->children.push_back(node.id);
+      TouchNode(prev);
     }
     // The current cursor advances automatically when the record lands at
     // the point the cursor occupies (§3.3.3).
@@ -126,6 +230,8 @@ Result<NodeId> DesignThread::Append(task::TaskHistoryRecord record,
   hour_index_.try_emplace(hour, node.id);
   NodeId id = node.id;
   nodes_[id] = std::move(node);
+  TouchNode(id);
+  TouchMeta();  // next_node_id_, and possibly the cursor, advanced
   return id;
 }
 
@@ -133,9 +239,11 @@ Status DesignThread::MoveCursor(NodeId point) {
   if (!HasNode(point)) {
     return Status::NotFound("no design point " + std::to_string(point));
   }
+  if (current_cursor_ != point) TouchMeta();
   current_cursor_ = point;
   if (HistoryNode* n = MutableNode(point); n != nullptr) {
     n->last_access_micros = clock_->NowMicros();
+    TouchNode(point);
   }
   return Status::OK();
 }
@@ -157,6 +265,7 @@ Status DesignThread::MoveCursorAndErase(
     return Status::NotFound("no design point " + std::to_string(point));
   }
   NodeId old_cursor = current_cursor_;
+  if (current_cursor_ != point) TouchMeta();
   current_cursor_ = point;
   if (old_cursor == point || old_cursor == kInitialPoint) {
     return Status::OK();
@@ -194,10 +303,11 @@ Status DesignThread::EraseSubtree(NodeId root,
   } else {
     for (NodeId parent : root_node.parents) {
       HistoryNode* p = MutableNode(parent);
-      if (p != nullptr) {
+      if (p != nullptr && doomed.count(parent) == 0) {
         p->children.erase(
             std::remove(p->children.begin(), p->children.end(), root),
             p->children.end());
+        TouchNode(parent);
       }
     }
   }
@@ -206,10 +316,12 @@ Status DesignThread::EraseSubtree(NodeId root,
                                : root_node.parents.front();
   for (NodeId id : doomed) {
     nodes_.erase(id);
+    TouchDeleted(id);
   }
   // Multi-parent nodes inside the subtree may still be linked from
   // surviving parents: scrub dangling child links.
   for (auto& [id, node] : nodes_) {
+    size_t before = node.children.size() + node.parents.size();
     node.children.erase(
         std::remove_if(node.children.begin(), node.children.end(),
                        [&](NodeId c) { return doomed.count(c) > 0; }),
@@ -218,6 +330,10 @@ Status DesignThread::EraseSubtree(NodeId root,
         std::remove_if(node.parents.begin(), node.parents.end(),
                        [&](NodeId p) { return doomed.count(p) > 0; }),
         node.parents.end());
+    if (node.children.size() + node.parents.size() != before) {
+      TouchNode(id);
+      if (node.parents.empty()) MarkRoot(id);
+    }
   }
   for (auto it = hour_index_.begin(); it != hour_index_.end();) {
     if (doomed.count(it->second) > 0) {
@@ -226,7 +342,10 @@ Status DesignThread::EraseSubtree(NodeId root,
       ++it;
     }
   }
-  if (doomed.count(current_cursor_) > 0) current_cursor_ = cursor_fallback;
+  if (doomed.count(current_cursor_) > 0) {
+    current_cursor_ = cursor_fallback;
+    TouchMeta();
+  }
 
   if (unreferenced != nullptr) {
     std::set<oct::ObjectId> remaining = AllReferencedObjects();
@@ -270,10 +389,12 @@ Status DesignThread::PrunePrefix(NodeId new_root,
     roots_.erase(std::remove(roots_.begin(), roots_.end(), id),
                  roots_.end());
     nodes_.erase(id);
+    TouchDeleted(id);
   }
   HistoryNode* root = MutableNode(new_root);
   root->parents.clear();
   MarkRoot(new_root);
+  TouchNode(new_root);
   // Upstream history is gone: downstream cached states remain correct
   // (states only shrink in representation, not content), but the pruned
   // objects may still appear in them; invalidate to stay conservative.
@@ -285,7 +406,10 @@ Status DesignThread::PrunePrefix(NodeId new_root,
       ++it;
     }
   }
-  if (prefix.count(current_cursor_) > 0) current_cursor_ = new_root;
+  if (prefix.count(current_cursor_) > 0) {
+    current_cursor_ = new_root;
+    TouchMeta();
+  }
   if (unreferenced != nullptr) {
     std::set<oct::ObjectId> remaining = AllReferencedObjects();
     for (const oct::ObjectId& obj : doomed_objects) {
@@ -310,12 +434,14 @@ Status DesignThread::SpliceOutNode(NodeId node,
     p->children.erase(
         std::remove(p->children.begin(), p->children.end(), node),
         p->children.end());
+    TouchNode(parent);
   }
   for (NodeId child : doomed.children) {
     HistoryNode* c = MutableNode(child);
     c->parents.erase(
         std::remove(c->parents.begin(), c->parents.end(), node),
         c->parents.end());
+    TouchNode(child);
   }
   for (NodeId parent : doomed.parents) {
     for (NodeId child : doomed.children) LinkNodes(parent, child);
@@ -327,6 +453,7 @@ Status DesignThread::SpliceOutNode(NodeId node,
     }
   }
   nodes_.erase(node);
+  TouchDeleted(node);
   for (auto hit = hour_index_.begin(); hit != hour_index_.end();) {
     if (hit->second == node) {
       hit = hour_index_.erase(hit);
@@ -337,6 +464,7 @@ Status DesignThread::SpliceOutNode(NodeId node,
   if (current_cursor_ == node) {
     current_cursor_ =
         doomed.parents.empty() ? kInitialPoint : doomed.parents.front();
+    TouchMeta();
   }
   // Downstream cached states may contain the spliced-out objects.
   for (auto& [id, n] : nodes_) n.cache_valid = false;
@@ -368,6 +496,7 @@ Status DesignThread::StripStepDetails(
       if (task_level.count(id) == 0) dropped.insert(id);
     }
   }
+  if (!n->record.steps.empty()) TouchNode(node);
   n->record.steps.clear();
   n->record.steps.shrink_to_fit();
   if (intermediates != nullptr) {
@@ -402,6 +531,7 @@ Result<std::set<oct::ObjectId>> DesignThread::ThreadState(NodeId point) {
   std::set<oct::ObjectId> state;
   if (point == kInitialPoint) return state;
   MutableNode(point)->last_access_micros = clock_->NowMicros();
+  TouchNode(point);
   if (const HistoryNode& n = nodes_.at(point);
       n.cache_flag && n.cache_valid) {
     ++traversal_visits_;
@@ -484,6 +614,8 @@ NodeId DesignThread::AdoptNode(HistoryNode node) {
   hour_index_.try_emplace(hour, node.id);
   NodeId id = node.id;
   nodes_[id] = std::move(node);
+  TouchNode(id);
+  TouchMeta();  // next_node_id_ advanced
   return id;
 }
 
@@ -501,6 +633,7 @@ Status DesignThread::RestoreNode(HistoryNode node) {
   if (node.parents.empty()) MarkRoot(node.id);
   NodeId id = node.id;
   nodes_[id] = std::move(node);
+  ++seq_;  // gen-dirty, but never WAL dirt: restored state is durable
   return Status::OK();
 }
 
@@ -510,6 +643,7 @@ Status DesignThread::RestoreCursor(NodeId cursor) {
                             std::to_string(cursor));
   }
   current_cursor_ = cursor;
+  ++seq_;
   return Status::OK();
 }
 
@@ -520,10 +654,12 @@ void DesignThread::LinkNodes(NodeId parent, NodeId child) {
   if (std::find(p->children.begin(), p->children.end(), child) ==
       p->children.end()) {
     p->children.push_back(child);
+    TouchNode(parent);
   }
   if (std::find(c->parents.begin(), c->parents.end(), parent) ==
       c->parents.end()) {
     c->parents.push_back(parent);
+    TouchNode(child);
   }
 }
 
@@ -545,6 +681,7 @@ Status DesignThread::Annotate(NodeId node, const std::string& text) {
     return Status::NotFound("no design point " + std::to_string(node));
   }
   n->annotation = text;
+  TouchNode(node);
   return Status::OK();
 }
 

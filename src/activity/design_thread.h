@@ -154,7 +154,7 @@ class DesignThread {
   Result<std::set<oct::ObjectId>> Workspace();
 
   /// Registers an externally checked-in object (absolute-path naming).
-  void CheckIn(const oct::ObjectId& id) { checkins_.insert(id); }
+  void CheckIn(const oct::ObjectId& id);
   const std::set<oct::ObjectId>& checkins() const { return checkins_; }
 
   // --- random access (§5.2) ----------------------------------------------
@@ -170,7 +170,10 @@ class DesignThread {
 
   /// A node becomes a cache point every `interval` records of backward
   /// traversal; 0 disables caching (the ablation baseline).
-  void set_cache_interval(int interval) { cache_interval_ = interval; }
+  void set_cache_interval(int interval) {
+    if (interval != cache_interval_) TouchMeta();
+    cache_interval_ = interval;
+  }
   int cache_interval() const { return cache_interval_; }
   /// Number of node visits performed by ThreadState computations (for the
   /// §5.3 caching experiments).
@@ -197,6 +200,42 @@ class DesignThread {
   void MarkRoot(NodeId node);
   void UnmarkRoot(NodeId node);
 
+  // --- storage-engine hooks ----------------------------------------------
+  // Mutations are tracked at node granularity so the write-ahead log can
+  // journal exact record states (delta journaling) and the delta-snapshot
+  // writer can skip threads that did not change.
+
+  /// Everything dirtied since the last drain, in deterministic
+  /// (mutation-order) sequence.
+  struct WalDirt {
+    bool meta = false;                  // name/cursor/interval changed
+    std::vector<NodeId> deleted;        // erased nodes, deletion order
+    std::vector<NodeId> upserts;        // surviving dirty nodes
+    std::vector<oct::ObjectId> checkins;  // newly checked-in objects
+  };
+  bool HasWalDirt() const;
+  WalDirt DrainWalDirt();
+  void DiscardWalDirt();
+
+  /// Monotonic counter of persisted-state mutations (delta-snapshot
+  /// dirtiness at thread granularity).
+  uint64_t mutation_seq() const { return seq_; }
+
+  /// The node-id allocator, journaled in the WAL meta record so replayed
+  /// threads allocate exactly like the original (the snapshot formats
+  /// recompute it as max+1 instead).
+  NodeId next_node_id() const { return next_node_id_; }
+
+  /// WAL replay: applies one journaled node state — replaces the node
+  /// when it exists, inserts it otherwise. Thread-state cache fields are
+  /// runtime-only and reset. Keeps roots and the hour index consistent.
+  Status UpsertNode(HistoryNode node);
+  /// WAL replay of a deletion. Survivor links are not scrubbed here —
+  /// the journal carries the survivors' corrected states separately.
+  Status ForgetNode(NodeId id);
+  /// WAL replay of the meta record: cursor + node-id allocator, exact.
+  Status ReplayMeta(NodeId cursor, NodeId next_node_id);
+
  private:
   friend class ThreadCombinator;
 
@@ -207,6 +246,12 @@ class DesignThread {
   /// All object ids referenced anywhere in the stream or check-ins.
   std::set<oct::ObjectId> AllReferencedObjects() const;
   void CollectSubtree(NodeId root, std::set<NodeId>* out) const;
+
+  /// Dirty tracking: every persisted-state mutation funnels through one of
+  /// these so the WAL drain sees exactly what changed, in order.
+  void TouchNode(NodeId id);
+  void TouchMeta();
+  void TouchDeleted(NodeId id);
 
   int id_;
   std::string name_;
@@ -219,6 +264,14 @@ class DesignThread {
   std::map<int64_t, NodeId> hour_index_;  // hour -> first node that hour
   int cache_interval_ = 8;
   int64_t traversal_visits_ = 0;
+
+  // Storage-engine dirty state.
+  uint64_t seq_ = 0;
+  std::vector<NodeId> wal_dirty_nodes_;   // first-dirtied order
+  std::set<NodeId> wal_dirty_set_;
+  std::vector<NodeId> wal_deleted_nodes_;
+  std::vector<oct::ObjectId> wal_new_checkins_;
+  bool wal_meta_dirty_ = false;
 };
 
 }  // namespace papyrus::activity

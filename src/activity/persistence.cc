@@ -193,20 +193,168 @@ Result<int64_t> SnapshotVersion(const std::vector<std::string>& lines,
 Status ApplyDatabaseRecord(const std::vector<std::string>& f,
                            oct::OctDatabase* db) {
   base::AssertEngineThread("activity::ApplyDatabaseRecord");
-  if (f[0] != "object" || f.size() < 9) {
-    return Status::InvalidArgument("bad database line: " + Join(f, " "));
-  }
-  oct::ObjectRecord rec;
-  rec.id.name = DecField(f[1]);
-  rec.id.version = static_cast<int>(ParseI64(f[2]));
-  rec.creator_tool = DecField(f[3]);
-  rec.created_micros = ParseI64(f[4]);
-  rec.last_access_micros = ParseI64(f[5]);
-  rec.size_bytes = ParseI64(f[6]);
-  rec.visible = f[7] == "1";
-  rec.reclaimed = f[8] == "1";
-  PAPYRUS_ASSIGN_OR_RETURN(rec.payload, ParsePayload(f, 9));
+  PAPYRUS_ASSIGN_OR_RETURN(oct::ObjectRecord rec, ParseObjectRecord(f));
   return db->RestoreRecord(std::move(rec));
+}
+
+void AppendObjectLine(const oct::ObjectRecord& rec,
+                      std::ostringstream* out) {
+  *out << "object " << EncField(rec.id.name) << ' ' << rec.id.version
+       << ' ' << EncField(rec.creator_tool) << ' ' << rec.created_micros
+       << ' ' << rec.last_access_micros << ' ' << rec.size_bytes << ' '
+       << rec.visible << ' ' << rec.reclaimed << ' ';
+  AppendPayload(rec.payload, out);
+}
+
+/// Applies one node-scoped thread-snapshot line (tags `node`, `parents`,
+/// `children`, `record`, `rin`, `rout`, `step`, `sin`, `sout`) into an
+/// accumulating node map; `*cur` tracks the node the last `node` line
+/// opened. Shared by the thread reader and the WAL node-block codec.
+Status ApplyNodeTag(const std::vector<std::string>& f,
+                    std::map<NodeId, HistoryNode>* nodes,
+                    HistoryNode** cur_slot) {
+  auto object_of = [](const std::vector<std::string>& g) {
+    return oct::ObjectId{DecField(g[2]),
+                         static_cast<int>(ParseI64(g[3]))};
+  };
+  const std::string& tag = f[0];
+  if (tag == "node") {
+    if (f.size() < 6) return Status::InvalidArgument("bad node line");
+    HistoryNode node;
+    node.id = static_cast<NodeId>(ParseI64(f[1]));
+    node.is_junction = f[2] == "1";
+    node.appended_micros = ParseI64(f[3]);
+    node.last_access_micros = ParseI64(f[4]);
+    node.annotation = DecField(f[5]);
+    NodeId id = node.id;
+    (*nodes)[id] = std::move(node);
+    *cur_slot = &(*nodes)[id];
+    return Status::OK();
+  }
+  HistoryNode* cur = *cur_slot;
+  if (cur == nullptr) {
+    return Status::InvalidArgument("field before any node: " +
+                                   Join(f, " "));
+  }
+  if (tag == "parents") {
+    for (size_t k = 2; k < f.size(); ++k) {
+      cur->parents.push_back(static_cast<NodeId>(ParseI64(f[k])));
+    }
+  } else if (tag == "children") {
+    for (size_t k = 2; k < f.size(); ++k) {
+      cur->children.push_back(static_cast<NodeId>(ParseI64(f[k])));
+    }
+  } else if (tag == "record" && f.size() >= 5) {
+    cur->record.task_name = DecField(f[2]);
+    cur->record.invoke_micros = ParseI64(f[3]);
+    cur->record.commit_micros = ParseI64(f[4]);
+    if (f.size() >= 6) {
+      cur->record.restarts = static_cast<int>(ParseI64(f[5]));
+    }
+    if (f.size() >= 9) {
+      cur->record.steps_lost = ParseI64(f[6]);
+      cur->record.steps_retried = ParseI64(f[7]);
+      cur->record.backoff_micros_total = ParseI64(f[8]);
+    }
+    if (f.size() >= 10) {
+      cur->record.steps_elided = ParseI64(f[9]);
+    }
+  } else if (tag == "rin" && f.size() >= 4) {
+    cur->record.inputs.push_back(object_of(f));
+  } else if (tag == "rout" && f.size() >= 4) {
+    cur->record.outputs.push_back(object_of(f));
+  } else if (tag == "step" && f.size() >= 10) {
+    task::StepRecord step;
+    step.step_name = DecField(f[2]);
+    step.tool = DecField(f[3]);
+    step.invocation = DecField(f[4]);
+    step.dispatch_micros = ParseI64(f[5]);
+    step.completion_micros = ParseI64(f[6]);
+    step.host = static_cast<int>(ParseI64(f[7]));
+    step.exit_status = static_cast<int>(ParseI64(f[8]));
+    step.message = DecField(f[9]);
+    if (f.size() >= 11) {
+      step.internal_id = static_cast<int>(ParseI64(f[10]));
+    }
+    if (f.size() >= 12) {
+      step.cache_hit = f[11] == "1";
+    }
+    cur->record.steps.push_back(std::move(step));
+  } else if (tag == "sin" && f.size() >= 4) {
+    if (cur->record.steps.empty()) {
+      return Status::InvalidArgument("sin before step");
+    }
+    cur->record.steps.back().inputs.push_back(object_of(f));
+  } else if (tag == "sout" && f.size() >= 4) {
+    if (cur->record.steps.empty()) {
+      return Status::InvalidArgument("sout before step");
+    }
+    cur->record.steps.back().outputs.push_back(object_of(f));
+  } else {
+    return Status::InvalidArgument("bad thread line: " + Join(f, " "));
+  }
+  return Status::OK();
+}
+
+/// Emits one node's snapshot line block (shared by the full thread
+/// serializer and the WAL node-block codec, so both stay byte-identical).
+void AppendNodeLines(const HistoryNode& node, std::ostringstream* outp) {
+  std::ostringstream& out = *outp;
+  NodeId id = node.id;
+  out << "node " << id << ' ' << node.is_junction << ' '
+      << node.appended_micros << ' ' << node.last_access_micros << ' '
+      << EncField(node.annotation) << '\n';
+  if (!node.parents.empty()) {
+    out << "parents " << id;
+    for (NodeId p : node.parents) out << ' ' << p;
+    out << '\n';
+  }
+  if (!node.children.empty()) {
+    out << "children " << id;
+    for (NodeId c : node.children) out << ' ' << c;
+    out << '\n';
+  }
+  const task::TaskHistoryRecord& rec = node.record;
+  out << "record " << id << ' ' << EncField(rec.task_name) << ' '
+      << rec.invoke_micros << ' ' << rec.commit_micros << ' '
+      << rec.restarts << ' ' << rec.steps_lost << ' '
+      << rec.steps_retried << ' ' << rec.backoff_micros_total << ' '
+      << rec.steps_elided << '\n';
+  AppendObjectList("rin", id, rec.inputs, &out);
+  AppendObjectList("rout", id, rec.outputs, &out);
+  for (const task::StepRecord& step : rec.steps) {
+    out << "step " << id << ' ' << EncField(step.step_name) << ' '
+        << EncField(step.tool) << ' ' << EncField(step.invocation) << ' '
+        << step.dispatch_micros << ' ' << step.completion_micros << ' '
+        << step.host << ' ' << step.exit_status << ' '
+        << EncField(step.message) << ' ' << step.internal_id << ' '
+        << step.cache_hit << '\n';
+    AppendObjectList("sin", id, step.inputs, &out);
+    AppendObjectList("sout", id, step.outputs, &out);
+  }
+}
+
+/// Emits one cache entry's snapshot line block under `index` (shared by
+/// the full cache serializer and the WAL entry codec).
+void AppendCacheEntryLines(int64_t index, const cache::CacheEntry& entry,
+                           std::ostringstream* outp) {
+  std::ostringstream& out = *outp;
+  out << "entry " << index << ' ' << EncField(entry.tool) << ' '
+      << EncField(entry.tool_version) << ' '
+      << EncField(entry.canonical_options) << ' '
+      << FormatHex(entry.seed_salt) << ' ' << entry.cost_micros << ' '
+      << entry.recorded_micros << '\n';
+  AppendObjectList("ein", static_cast<int>(index), entry.inputs, &out);
+  for (const cache::CachedOutput& o : entry.outputs) {
+    out << "eout " << index << ' ' << EncField(o.id.name) << ' '
+        << o.id.version << '\n';
+  }
+  // v3: the shared-store content key rides along so a restored daemon
+  // session can republish its entries (shared hits restore with no
+  // key and are never republished).
+  if (!entry.content_key.empty()) {
+    out << "ckey " << index << ' ' << EncField(entry.content_key) << '\n';
+  }
 }
 
 /// Accumulates thread-snapshot record lines; shared by the v1 and v2
@@ -220,10 +368,6 @@ struct ThreadBuilder {
   HistoryNode* cur = nullptr;
 
   Status Apply(const std::vector<std::string>& f, Clock* clock) {
-    auto object_of = [](const std::vector<std::string>& g) {
-      return oct::ObjectId{DecField(g[2]),
-                           static_cast<int>(ParseI64(g[3]))};
-    };
     const std::string& tag = f[0];
     if (tag == "meta") {
       if (f.size() < 5) return Status::InvalidArgument("bad meta line");
@@ -241,81 +385,7 @@ struct ThreadBuilder {
                                     static_cast<int>(ParseI64(f[2]))});
       return Status::OK();
     }
-    if (tag == "node") {
-      if (f.size() < 6) return Status::InvalidArgument("bad node line");
-      HistoryNode node;
-      node.id = static_cast<NodeId>(ParseI64(f[1]));
-      node.is_junction = f[2] == "1";
-      node.appended_micros = ParseI64(f[3]);
-      node.last_access_micros = ParseI64(f[4]);
-      node.annotation = DecField(f[5]);
-      NodeId id = node.id;
-      nodes[id] = std::move(node);
-      cur = &nodes[id];
-      return Status::OK();
-    }
-    if (cur == nullptr) {
-      return Status::InvalidArgument("field before any node: " +
-                                     Join(f, " "));
-    }
-    if (tag == "parents") {
-      for (size_t k = 2; k < f.size(); ++k) {
-        cur->parents.push_back(static_cast<NodeId>(ParseI64(f[k])));
-      }
-    } else if (tag == "children") {
-      for (size_t k = 2; k < f.size(); ++k) {
-        cur->children.push_back(static_cast<NodeId>(ParseI64(f[k])));
-      }
-    } else if (tag == "record" && f.size() >= 5) {
-      cur->record.task_name = DecField(f[2]);
-      cur->record.invoke_micros = ParseI64(f[3]);
-      cur->record.commit_micros = ParseI64(f[4]);
-      if (f.size() >= 6) {
-        cur->record.restarts = static_cast<int>(ParseI64(f[5]));
-      }
-      if (f.size() >= 9) {
-        cur->record.steps_lost = ParseI64(f[6]);
-        cur->record.steps_retried = ParseI64(f[7]);
-        cur->record.backoff_micros_total = ParseI64(f[8]);
-      }
-      if (f.size() >= 10) {
-        cur->record.steps_elided = ParseI64(f[9]);
-      }
-    } else if (tag == "rin" && f.size() >= 4) {
-      cur->record.inputs.push_back(object_of(f));
-    } else if (tag == "rout" && f.size() >= 4) {
-      cur->record.outputs.push_back(object_of(f));
-    } else if (tag == "step" && f.size() >= 10) {
-      task::StepRecord step;
-      step.step_name = DecField(f[2]);
-      step.tool = DecField(f[3]);
-      step.invocation = DecField(f[4]);
-      step.dispatch_micros = ParseI64(f[5]);
-      step.completion_micros = ParseI64(f[6]);
-      step.host = static_cast<int>(ParseI64(f[7]));
-      step.exit_status = static_cast<int>(ParseI64(f[8]));
-      step.message = DecField(f[9]);
-      if (f.size() >= 11) {
-        step.internal_id = static_cast<int>(ParseI64(f[10]));
-      }
-      if (f.size() >= 12) {
-        step.cache_hit = f[11] == "1";
-      }
-      cur->record.steps.push_back(std::move(step));
-    } else if (tag == "sin" && f.size() >= 4) {
-      if (cur->record.steps.empty()) {
-        return Status::InvalidArgument("sin before step");
-      }
-      cur->record.steps.back().inputs.push_back(object_of(f));
-    } else if (tag == "sout" && f.size() >= 4) {
-      if (cur->record.steps.empty()) {
-        return Status::InvalidArgument("sout before step");
-      }
-      cur->record.steps.back().outputs.push_back(object_of(f));
-    } else {
-      return Status::InvalidArgument("bad thread line: " + Join(f, " "));
-    }
-    return Status::OK();
+    return ApplyNodeTag(f, &nodes, &cur);
   }
 
   /// Drops graph links to nodes that did not survive recovery and falls
@@ -358,19 +428,14 @@ std::string SerializeDatabase(const oct::OctDatabase& db) {
     ordered[rec.id] = &rec;
   });
   for (const auto& [id, rec] : ordered) {
-    out << "object " << EncField(id.name) << ' ' << id.version << ' '
-        << EncField(rec->creator_tool) << ' ' << rec->created_micros
-        << ' ' << rec->last_access_micros << ' ' << rec->size_bytes << ' '
-        << rec->visible << ' ' << rec->reclaimed << ' ';
-    AppendPayload(rec->payload, &out);
+    AppendObjectLine(*rec, &out);
     out << '\n';
   }
   return AssembleV2("papyrus-db 2", out.str());
 }
 
-Result<std::unique_ptr<oct::OctDatabase>> RestoreDatabase(
-    const std::string& text, Clock* clock, RestoreStats* stats) {
-  auto db = std::make_unique<oct::OctDatabase>(clock);
+Status RestoreDatabaseInto(const std::string& text, oct::OctDatabase* db,
+                           RestoreStats* stats) {
   std::vector<std::string> lines = SplitLines(text);
   PAPYRUS_ASSIGN_OR_RETURN(int64_t version,
                            SnapshotVersion(lines, "papyrus-db"));
@@ -379,23 +444,30 @@ Result<std::unique_ptr<oct::OctDatabase>> RestoreDatabase(
     for (size_t i = 1; i < lines.size(); ++i) {
       std::vector<std::string> f = SplitWhitespace(lines[i]);
       if (f.empty() || f[0] == "end") continue;
-      PAPYRUS_RETURN_IF_ERROR(ApplyDatabaseRecord(f, db.get()));
+      PAPYRUS_RETURN_IF_ERROR(ApplyDatabaseRecord(f, db));
       if (stats != nullptr) ++stats->records_restored;
     }
-    return db;
+    return Status::OK();
   }
   V2Scan scan = ScanV2(lines);
   for (const std::vector<std::string>& f : scan.records) {
     // The line passed its checksum, so a parse failure here is a format
     // error in intact data — fail loudly rather than "recover".
-    PAPYRUS_RETURN_IF_ERROR(ApplyDatabaseRecord(f, db.get()));
+    PAPYRUS_RETURN_IF_ERROR(ApplyDatabaseRecord(f, db));
   }
   if (stats != nullptr) {
-    stats->records_restored =
+    stats->records_restored +=
         static_cast<int64_t>(scan.records.size());
-    stats->records_dropped = scan.dropped;
-    stats->truncated = !scan.clean;
+    stats->records_dropped += scan.dropped;
+    stats->truncated |= !scan.clean;
   }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<oct::OctDatabase>> RestoreDatabase(
+    const std::string& text, Clock* clock, RestoreStats* stats) {
+  auto db = std::make_unique<oct::OctDatabase>(clock);
+  PAPYRUS_RETURN_IF_ERROR(RestoreDatabaseInto(text, db.get(), stats));
   return db;
 }
 
@@ -409,37 +481,7 @@ std::string SerializeThread(const DesignThread& thread) {
         << '\n';
   }
   for (const auto& [id, node] : thread.nodes()) {
-    out << "node " << id << ' ' << node.is_junction << ' '
-        << node.appended_micros << ' ' << node.last_access_micros << ' '
-        << EncField(node.annotation) << '\n';
-    if (!node.parents.empty()) {
-      out << "parents " << id;
-      for (NodeId p : node.parents) out << ' ' << p;
-      out << '\n';
-    }
-    if (!node.children.empty()) {
-      out << "children " << id;
-      for (NodeId c : node.children) out << ' ' << c;
-      out << '\n';
-    }
-    const task::TaskHistoryRecord& rec = node.record;
-    out << "record " << id << ' ' << EncField(rec.task_name) << ' '
-        << rec.invoke_micros << ' ' << rec.commit_micros << ' '
-        << rec.restarts << ' ' << rec.steps_lost << ' '
-        << rec.steps_retried << ' ' << rec.backoff_micros_total << ' '
-        << rec.steps_elided << '\n';
-    AppendObjectList("rin", id, rec.inputs, &out);
-    AppendObjectList("rout", id, rec.outputs, &out);
-    for (const task::StepRecord& step : rec.steps) {
-      out << "step " << id << ' ' << EncField(step.step_name) << ' '
-          << EncField(step.tool) << ' ' << EncField(step.invocation) << ' '
-          << step.dispatch_micros << ' ' << step.completion_micros << ' '
-          << step.host << ' ' << step.exit_status << ' '
-          << EncField(step.message) << ' ' << step.internal_id << ' '
-          << step.cache_hit << '\n';
-      AppendObjectList("sin", id, step.inputs, &out);
-      AppendObjectList("sout", id, step.outputs, &out);
-    }
+    AppendNodeLines(node, &out);
   }
   return AssembleV2("papyrus-thread 2", out.str());
 }
@@ -482,22 +524,7 @@ std::string SerializeDerivationCache(const cache::DerivationCache& cache) {
   cache.ForEach([&](const std::string& key,
                     const cache::CacheEntry& entry) {
     (void)key;  // recomputed from the entry's components on restore
-    out << "entry " << i << ' ' << EncField(entry.tool) << ' '
-        << EncField(entry.tool_version) << ' '
-        << EncField(entry.canonical_options) << ' '
-        << FormatHex(entry.seed_salt) << ' ' << entry.cost_micros << ' '
-        << entry.recorded_micros << '\n';
-    AppendObjectList("ein", static_cast<int>(i), entry.inputs, &out);
-    for (const cache::CachedOutput& o : entry.outputs) {
-      out << "eout " << i << ' ' << EncField(o.id.name) << ' '
-          << o.id.version << '\n';
-    }
-    // v3: the shared-store content key rides along so a restored daemon
-    // session can republish its entries (shared hits restore with no
-    // key and are never republished).
-    if (!entry.content_key.empty()) {
-      out << "ckey " << i << ' ' << EncField(entry.content_key) << '\n';
-    }
+    AppendCacheEntryLines(i, entry, &out);
     ++i;
   });
   return AssembleV2("papyrus-cache 3", out.str());
@@ -558,6 +585,117 @@ Status RestoreDerivationCache(const std::string& text,
     stats->truncated = !scan.clean;
   }
   return Status::OK();
+}
+
+// --- storage-engine record codecs ----------------------------------------
+
+std::string EncodeObjectRecord(const oct::ObjectRecord& rec) {
+  std::ostringstream out;
+  AppendObjectLine(rec, &out);
+  return out.str();
+}
+
+Result<oct::ObjectRecord> ParseObjectRecord(
+    const std::vector<std::string>& f) {
+  if (f.empty() || f[0] != "object" || f.size() < 9) {
+    return Status::InvalidArgument("bad database line: " + Join(f, " "));
+  }
+  oct::ObjectRecord rec;
+  rec.id.name = DecField(f[1]);
+  rec.id.version = static_cast<int>(ParseI64(f[2]));
+  rec.creator_tool = DecField(f[3]);
+  rec.created_micros = ParseI64(f[4]);
+  rec.last_access_micros = ParseI64(f[5]);
+  rec.size_bytes = ParseI64(f[6]);
+  rec.visible = f[7] == "1";
+  rec.reclaimed = f[8] == "1";
+  PAPYRUS_ASSIGN_OR_RETURN(rec.payload, ParsePayload(f, 9));
+  return rec;
+}
+
+std::string SerializeDatabaseShard(const oct::OctDatabase& db, int shard) {
+  std::ostringstream out;
+  // (name, version) order, like the whole-database serializer: restore
+  // sees each name's versions sequentially, and the section bytes are
+  // independent of hash-map iteration order.
+  std::map<oct::ObjectId, const oct::ObjectRecord*> ordered;
+  db.ForEachShard(shard, [&](const oct::ObjectRecord& rec) {
+    ordered[rec.id] = &rec;
+  });
+  for (const auto& [id, rec] : ordered) {
+    AppendObjectLine(*rec, &out);
+    out << '\n';
+  }
+  return AssembleV2("papyrus-db 2", out.str());
+}
+
+std::string EncodeNodeBlock(const HistoryNode& node) {
+  std::ostringstream out;
+  AppendNodeLines(node, &out);
+  return out.str();
+}
+
+Status ApplyNodeBlock(const std::string& block, DesignThread* thread) {
+  std::map<NodeId, HistoryNode> nodes;
+  HistoryNode* cur = nullptr;
+  for (const std::string& line : SplitLines(block)) {
+    std::vector<std::string> f = SplitWhitespace(line);
+    if (f.empty()) continue;
+    PAPYRUS_RETURN_IF_ERROR(ApplyNodeTag(f, &nodes, &cur));
+  }
+  if (nodes.size() != 1) {
+    return Status::InvalidArgument("node block must carry exactly one node");
+  }
+  return thread->UpsertNode(std::move(nodes.begin()->second));
+}
+
+std::string EncodeCacheEntry(const cache::CacheEntry& entry) {
+  std::ostringstream out;
+  AppendCacheEntryLines(0, entry, &out);
+  return out.str();
+}
+
+Result<cache::CacheEntry> DecodeCacheEntry(const std::string& block) {
+  std::optional<cache::CacheEntry> entry;
+  for (const std::string& line : SplitLines(block)) {
+    std::vector<std::string> f = SplitWhitespace(line);
+    if (f.empty()) continue;
+    if (f[0] == "entry" && f.size() >= 8) {
+      if (entry.has_value()) {
+        return Status::InvalidArgument(
+            "cache-entry block must carry exactly one entry");
+      }
+      cache::CacheEntry e;
+      e.tool = DecField(f[2]);
+      e.tool_version = DecField(f[3]);
+      e.canonical_options = DecField(f[4]);
+      uint64_t salt = 0;
+      if (!ParseHex(f[5], &salt)) {
+        return Status::InvalidArgument("bad cache salt: " + f[5]);
+      }
+      e.seed_salt = salt;
+      e.cost_micros = ParseI64(f[6]);
+      e.recorded_micros = ParseI64(f[7]);
+      entry = std::move(e);
+    } else if (f[0] == "ein" && f.size() >= 4 && entry.has_value()) {
+      entry->inputs.push_back(oct::ObjectId{
+          DecField(f[2]), static_cast<int>(ParseI64(f[3]))});
+    } else if (f[0] == "eout" && f.size() >= 4 && entry.has_value()) {
+      entry->outputs.push_back(cache::CachedOutput{
+          oct::ObjectId{DecField(f[2]),
+                        static_cast<int>(ParseI64(f[3]))},
+          true});
+    } else if (f[0] == "ckey" && f.size() >= 3 && entry.has_value()) {
+      entry->content_key = DecField(f[2]);
+    } else {
+      return Status::InvalidArgument("bad cache line: " + Join(f, " "));
+    }
+  }
+  if (!entry.has_value()) {
+    return Status::InvalidArgument(
+        "cache-entry block must carry exactly one entry");
+  }
+  return std::move(*entry);
 }
 
 }  // namespace papyrus::activity

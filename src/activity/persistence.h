@@ -76,6 +76,44 @@ Status RestoreDerivationCache(const std::string& text,
                               cache::DerivationCache* cache,
                               RestoreStats* stats = nullptr);
 
+// --- storage-engine record codecs ----------------------------------------
+// The write-ahead log journals self-describing *state* records — the same
+// byte formats the snapshot files use, one record at a time — so replay
+// applies exact serialized states instead of re-executing logic. That is
+// what keeps recovery byte-identical at any crash point.
+
+/// One database record as its snapshot `object ...` body line (no
+/// checksum, no trailing newline).
+std::string EncodeObjectRecord(const oct::ObjectRecord& rec);
+
+/// Parses a whitespace-split `object ...` body back into a record.
+Result<oct::ObjectRecord> ParseObjectRecord(
+    const std::vector<std::string>& fields);
+
+/// Serializes one database shard as a standalone `papyrus-db 2` snapshot
+/// (the delta-snapshot section format).
+std::string SerializeDatabaseShard(const oct::OctDatabase& db, int shard);
+
+/// Restores snapshot text into an existing database (shards restore one
+/// by one into the same instance). Records arrive through
+/// `OctDatabase::RestoreRecord`, so version order per name still holds.
+Status RestoreDatabaseInto(const std::string& text, oct::OctDatabase* db,
+                           RestoreStats* stats = nullptr);
+
+/// One history node as its snapshot line block (`node`/`parents`/
+/// `children`/`record`/`rin`/`rout`/`step`/`sin`/`sout` lines).
+std::string EncodeNodeBlock(const HistoryNode& node);
+
+/// Applies a journaled node block through `DesignThread::UpsertNode`.
+Status ApplyNodeBlock(const std::string& block, DesignThread* thread);
+
+/// One derivation-cache entry as its snapshot line block
+/// (`entry`/`ein`/`eout`/`ckey` lines, index 0).
+std::string EncodeCacheEntry(const cache::CacheEntry& entry);
+
+/// Parses a journaled cache-entry block back into an entry.
+Result<cache::CacheEntry> DecodeCacheEntry(const std::string& block);
+
 }  // namespace papyrus::activity
 
 #endif  // PAPYRUS_ACTIVITY_PERSISTENCE_H_

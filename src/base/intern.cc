@@ -1,0 +1,50 @@
+#include "base/intern.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace papyrus::base {
+
+char* Arena::Allocate(size_t n) {
+  if (chunks_.empty() || used_in_last_ + n > last_capacity_) {
+    size_t cap = std::max(chunk_bytes_, n);
+    chunks_.push_back(std::make_unique<char[]>(cap));
+    last_capacity_ = cap;
+    used_in_last_ = 0;
+  }
+  char* p = chunks_.back().get() + used_in_last_;
+  used_in_last_ += n;
+  bytes_allocated_ += n;
+  return p;
+}
+
+std::string_view Arena::CopyString(std::string_view s) {
+  if (s.empty()) return {};
+  char* p = Allocate(s.size());
+  std::memcpy(p, s.data(), s.size());
+  return std::string_view(p, s.size());
+}
+
+void Arena::Reset() {
+  chunks_.clear();
+  used_in_last_ = 0;
+  last_capacity_ = 0;
+  bytes_allocated_ = 0;
+}
+
+Symbol InternTable::Intern(std::string_view s) {
+  auto it = index_.find(s);
+  if (it != index_.end()) return it->second;
+  std::string_view stored = arena_.CopyString(s);
+  Symbol sym = static_cast<Symbol>(strings_.size());
+  strings_.push_back(stored);
+  index_.emplace(stored, sym);
+  return sym;
+}
+
+Symbol InternTable::Find(std::string_view s) const {
+  auto it = index_.find(s);
+  return it == index_.end() ? kNoSymbol : it->second;
+}
+
+}  // namespace papyrus::base

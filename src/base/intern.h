@@ -1,0 +1,102 @@
+#ifndef PAPYRUS_BASE_INTERN_H_
+#define PAPYRUS_BASE_INTERN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace papyrus::base {
+
+/// A chunked bump allocator. Papyrus uses it on the commit path: interned
+/// `cell:view:facet` name bytes and WAL encode scratch live here, so the
+/// per-commit cost is a pointer bump instead of a malloc per string.
+/// Memory is only released when the arena is destroyed or Reset.
+class Arena {
+ public:
+  explicit Arena(size_t chunk_bytes = 64 * 1024)
+      : chunk_bytes_(chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Allocates `n` bytes (unaligned — callers store character data).
+  char* Allocate(size_t n);
+
+  /// Copies `s` into the arena and returns a stable view of the copy.
+  std::string_view CopyString(std::string_view s);
+
+  /// Total bytes handed out (diagnostics).
+  size_t bytes_allocated() const { return bytes_allocated_; }
+
+  /// Drops every chunk. Invalidates all previously returned pointers.
+  void Reset();
+
+ private:
+  size_t chunk_bytes_;
+  std::vector<std::unique_ptr<char[]>> chunks_;
+  size_t used_in_last_ = 0;    // bytes used in chunks_.back()
+  size_t last_capacity_ = 0;   // capacity of chunks_.back()
+  size_t bytes_allocated_ = 0;
+};
+
+/// A dense id for an interned string.
+using Symbol = uint32_t;
+inline constexpr Symbol kNoSymbol = 0xffffffffu;
+
+/// Interns strings to dense 32-bit symbols with arena-backed storage.
+///
+/// The OCT database keys its shard maps by Symbol instead of std::string:
+/// one copy of every `cell:view:facet` name lives in the arena, lookups
+/// hash 4 bytes after the first intern, and records can reference names
+/// without owning them. Symbols are assigned in intern order and are
+/// stable for the table's lifetime; the table never forgets a string
+/// (design-object names are never deleted — reclamation keeps tombstones).
+///
+/// Thread contract: intern/lookup follow the owner's threading rules (the
+/// OctDatabase owns its table engine-side); there is no internal locking.
+class InternTable {
+ public:
+  InternTable() = default;
+
+  InternTable(const InternTable&) = delete;
+  InternTable& operator=(const InternTable&) = delete;
+
+  /// Returns the symbol for `s`, interning it on first sight.
+  Symbol Intern(std::string_view s);
+
+  /// Returns the symbol for `s` or kNoSymbol when it was never interned.
+  Symbol Find(std::string_view s) const;
+
+  /// The string of a symbol returned by Intern. The view is stable for
+  /// the table's lifetime.
+  std::string_view StringOf(Symbol sym) const { return strings_[sym]; }
+
+  size_t size() const { return strings_.size(); }
+  size_t arena_bytes() const { return arena_.bytes_allocated(); }
+
+ private:
+  struct ViewHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>()(s);
+    }
+  };
+  struct ViewEq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const {
+      return a == b;
+    }
+  };
+
+  Arena arena_;
+  std::vector<std::string_view> strings_;  // symbol -> bytes
+  std::unordered_map<std::string_view, Symbol, ViewHash, ViewEq> index_;
+};
+
+}  // namespace papyrus::base
+
+#endif  // PAPYRUS_BASE_INTERN_H_

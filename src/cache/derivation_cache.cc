@@ -235,6 +235,7 @@ bool DerivationCache::RecordLocked(const std::string& key,
     by_version_[in].insert(key);
   }
   auto [inserted, ok] = entries_.emplace(key, std::move(entry));
+  TouchPut(key);
   ++stats_.recorded;
   if (c_recorded_ != nullptr) c_recorded_->Increment();
   if (store_ != nullptr && !inserted->second.content_key.empty()) {
@@ -307,9 +308,55 @@ void DerivationCache::ForEach(
   for (const auto& [key, entry] : entries_) fn(key, entry);
 }
 
+void DerivationCache::TouchPut(const std::string& key) {
+  ++seq_;
+  if (wal_put_set_.insert(key).second) wal_put_keys_.push_back(key);
+}
+
+void DerivationCache::TouchRemoved(const std::string& key) {
+  ++seq_;
+  if (wal_removed_set_.insert(key).second) wal_removed_keys_.push_back(key);
+}
+
+bool DerivationCache::HasWalDirt() const {
+  base::MutexLock lock(mu_);
+  return !wal_put_keys_.empty() || !wal_removed_keys_.empty();
+}
+
+void DerivationCache::DrainWalDirt(
+    const std::function<void(const std::string&)>& removed_fn,
+    const std::function<void(const std::string&, const CacheEntry&)>&
+        upsert_fn) {
+  base::MutexLock lock(mu_);
+  for (const std::string& key : wal_removed_keys_) removed_fn(key);
+  for (const std::string& key : wal_put_keys_) {
+    auto it = entries_.find(key);
+    // Put-then-dropped keys are covered by their removal record alone.
+    if (it != entries_.end()) upsert_fn(key, it->second);
+  }
+  wal_put_keys_.clear();
+  wal_put_set_.clear();
+  wal_removed_keys_.clear();
+  wal_removed_set_.clear();
+}
+
+void DerivationCache::DiscardWalDirt() {
+  base::MutexLock lock(mu_);
+  wal_put_keys_.clear();
+  wal_put_set_.clear();
+  wal_removed_keys_.clear();
+  wal_removed_set_.clear();
+}
+
+void DerivationCache::ForgetEntry(const std::string& key) {
+  base::MutexLock lock(mu_);
+  DropEntry(key);
+}
+
 void DerivationCache::DropEntry(const std::string& key) {
   auto it = entries_.find(key);
   if (it == entries_.end()) return;
+  TouchRemoved(key);
   for (const CachedOutput& out : it->second.outputs) {
     db_->Unpin(out.id);
     auto vit = by_version_.find(out.id);

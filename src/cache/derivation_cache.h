@@ -282,6 +282,35 @@ class DerivationCache {
       const std::function<void(const std::string& key, const CacheEntry&)>&
           fn) const PAPYRUS_EXCLUDES(mu_);
 
+  // --- storage-engine hooks ----------------------------------------------
+
+  /// Monotonic counter of cache mutations (delta-snapshot dirtiness).
+  uint64_t mutation_seq() const PAPYRUS_EXCLUDES(mu_) {
+    base::MutexLock lock(mu_);
+    return seq_;
+  }
+
+  /// True when entries changed since the last drain/discard.
+  bool HasWalDirt() const PAPYRUS_EXCLUDES(mu_);
+
+  /// Visits the removals then the surviving dirtied entries accumulated
+  /// since the last drain (first-dirtied order), then clears both lists.
+  /// Replay applies removals before upserts, so a replace (drop + put of
+  /// one key) reconstructs correctly.
+  void DrainWalDirt(
+      const std::function<void(const std::string& key)>& removed_fn,
+      const std::function<void(const std::string& key,
+                               const CacheEntry& entry)>& upsert_fn)
+      PAPYRUS_EXCLUDES(mu_);
+
+  /// Clears the dirty lists without visiting (after restore/replay).
+  void DiscardWalDirt() PAPYRUS_EXCLUDES(mu_);
+
+  /// WAL replay of a journaled removal: drops the entry (releasing pins)
+  /// without counting an invalidation. Missing keys are a no-op.
+  void ForgetEntry(const std::string& key)
+      PAPYRUS_REQUIRES(base::engine_thread) PAPYRUS_EXCLUDES(mu_);
+
  private:
   // Internal bodies, caller holds `mu_` (and the engine role, for the
   // database pin/unpin side effects): they never take the lock
@@ -289,6 +318,8 @@ class DerivationCache {
   // invalidation -> drop) stay recursion-free.
   void DropEntry(const std::string& key)
       PAPYRUS_REQUIRES(mu_, base::engine_thread);
+  void TouchPut(const std::string& key) PAPYRUS_REQUIRES(mu_);
+  void TouchRemoved(const std::string& key) PAPYRUS_REQUIRES(mu_);
   bool RecordLocked(const std::string& key, CacheEntry entry)
       PAPYRUS_REQUIRES(mu_, base::engine_thread);
   /// Encodes the entry's output payloads (read from the database) and
@@ -323,6 +354,13 @@ class DerivationCache {
   /// Session keys recorded while auto_publish was off, awaiting
   /// FlushSharedPublications (the daemon's post-snapshot publish point).
   std::set<std::string> unpublished_ PAPYRUS_GUARDED_BY(mu_);
+
+  // Storage-engine dirty state (first-dirtied order, deduplicated).
+  uint64_t seq_ PAPYRUS_GUARDED_BY(mu_) = 0;
+  std::vector<std::string> wal_put_keys_ PAPYRUS_GUARDED_BY(mu_);
+  std::set<std::string> wal_put_set_ PAPYRUS_GUARDED_BY(mu_);
+  std::vector<std::string> wal_removed_keys_ PAPYRUS_GUARDED_BY(mu_);
+  std::set<std::string> wal_removed_set_ PAPYRUS_GUARDED_BY(mu_);
 };
 
 }  // namespace papyrus::cache

@@ -7,10 +7,45 @@
 
 #include "activity/persistence.h"
 #include "base/macros.h"
+#include "base/strings.h"
 #include "base/thread_annotations.h"
 #include "storage/atomic_file.h"
 
 namespace papyrus {
+
+namespace {
+
+// WAL record fields that may contain whitespace (names, whole serialized
+// node/entry blocks) ride as '~'-prefixed percent-encoded tokens, the
+// same convention the snapshot formats use.
+std::string WalField(const std::string& v) {
+  return "~" + PercentEncode(v);
+}
+
+std::string WalUnfield(const std::string& v) {
+  std::string_view sv = v;
+  if (!sv.empty() && sv.front() == '~') sv.remove_prefix(1);
+  return PercentDecode(sv);
+}
+
+std::string DbSectionName(int shard) {
+  return "db/" + std::to_string(shard);
+}
+
+std::string ThreadSectionName(int id) {
+  return "thread/" + std::to_string(id);
+}
+
+constexpr char kCacheSection[] = "cache";
+constexpr char kStateSection[] = "state";
+
+int ParseIntField(const std::string& s) {
+  int64_t v = 0;
+  (void)ParseInt64(s, &v);
+  return static_cast<int>(v);
+}
+
+}  // namespace
 
 Papyrus::Papyrus(const SessionOptions& options)
     : clock_(0), trace_(&clock_), options_(options) {
@@ -249,6 +284,381 @@ Status Papyrus::LoadSessionImpl(const std::string& directory) {
     accumulate(cache_stats);
   }
   return Status::OK();
+}
+
+Status Papyrus::OpenStorage(const std::string& directory) {
+  base::AssertEngineThread("Papyrus::OpenStorage");
+  trace_.Begin(obs::kSessionPid, 0, "storage_open", "snapshot",
+               {obs::TraceArg::Str("directory", directory)});
+  Status st = OpenStorageImpl(directory);
+  trace_.End(obs::kSessionPid, 0, {obs::TraceArg::Bool("ok", st.ok())});
+  return st;
+}
+
+Status Papyrus::OpenStorageImpl(const std::string& directory) {
+  if (store_) {
+    return Status::FailedPrecondition("storage engine already open");
+  }
+  if (db_->TotalVersionCount() != 0 || !activity_->ThreadIds().empty()) {
+    return Status::FailedPrecondition(
+        "OpenStorage requires a fresh session");
+  }
+  auto store = std::make_unique<storage::SessionStore>();
+  PAPYRUS_ASSIGN_OR_RETURN(storage::SessionStore::OpenResult opened,
+                           store->Open(directory));
+  store_ = std::move(store);
+  last_restore_stats_ = activity::RestoreStats();
+  using Layout = storage::SessionStore::Layout;
+  switch (opened.layout) {
+    case Layout::kEmpty:
+      break;
+    case Layout::kEngine:
+      PAPYRUS_RETURN_IF_ERROR(RestoreEngineSections(opened.sections));
+      break;
+    case Layout::kLegacySnapDir:
+    case Layout::kLegacyFlat:
+      // One-time migration: the whole-file snapshot loads through the
+      // legacy reader; the next SaveGeneration writes every section (none
+      // are in the — empty — engine manifest) and the directory is native
+      // from then on.
+      PAPYRUS_RETURN_IF_ERROR(LoadSessionImpl(opened.legacy_dir));
+      if (!state_hooks_.legacy_file.empty() && state_hooks_.restore) {
+        std::ifstream in(std::filesystem::path(opened.legacy_dir) /
+                         state_hooks_.legacy_file);
+        if (in) {
+          std::stringstream buffer;
+          buffer << in.rdbuf();
+          PAPYRUS_RETURN_IF_ERROR(state_hooks_.restore(buffer.str()));
+        }
+      }
+      break;
+  }
+  // Baselines are captured *before* the WAL tail replays so the sections
+  // it touches register as dirty and compact into the next generation —
+  // a stale section file is never carried past a WAL base that covers
+  // replayed records.
+  CaptureGenerationBaselines();
+  for (const storage::WalRecord& rec : opened.wal) {
+    PAPYRUS_RETURN_IF_ERROR(ApplyWalRecord(rec.body));
+  }
+  // Restore and replay applied already-durable state: nothing here needs
+  // re-journaling.
+  DiscardAllWalDirt();
+  known_threads_.clear();
+  for (int id : activity_->ThreadIds()) known_threads_.insert(id);
+  last_restore_stats_.records_restored +=
+      static_cast<int64_t>(opened.wal.size());
+  last_restore_stats_.truncated |= opened.wal_truncated;
+  if (!opened.wal.empty()) {
+    metrics_.FindOrCreateCounter(obs::kWalReplayedRecords)
+        ->Increment(static_cast<int64_t>(opened.wal.size()));
+  }
+  if (opened.wal_dropped_bytes > 0) {
+    metrics_.FindOrCreateCounter(obs::kWalTruncatedBytes)
+        ->Increment(opened.wal_dropped_bytes);
+  }
+  if (opened.layout != Layout::kEmpty) {
+    metrics_.FindOrCreateCounter(obs::kSnapshotLoads)->Increment();
+  }
+  SyncStorageMetrics();
+  return Status::OK();
+}
+
+Status Papyrus::RestoreEngineSections(
+    const std::map<std::string, std::string>& sections) {
+  auto accumulate = [this](const activity::RestoreStats& s) {
+    last_restore_stats_.records_restored += s.records_restored;
+    last_restore_stats_.records_dropped += s.records_dropped;
+    last_restore_stats_.truncated |= s.truncated;
+  };
+  // Database shards first; threads and the cache reference its versions.
+  for (const auto& [name, text] : sections) {
+    if (!StartsWith(name, "db/")) continue;
+    activity::RestoreStats stats;
+    PAPYRUS_RETURN_IF_ERROR(
+        activity::RestoreDatabaseInto(text, db_.get(), &stats));
+    accumulate(stats);
+  }
+  for (const auto& [name, text] : sections) {
+    if (!StartsWith(name, "thread/")) continue;
+    activity::RestoreStats stats;
+    PAPYRUS_ASSIGN_OR_RETURN(
+        auto thread, activity::RestoreThread(text, &clock_, &stats));
+    accumulate(stats);
+    PAPYRUS_RETURN_IF_ERROR(activity_->AdoptThread(std::move(thread)));
+  }
+  auto cache_it = sections.find(kCacheSection);
+  if (cache_it != sections.end()) {
+    activity::RestoreStats stats;
+    PAPYRUS_RETURN_IF_ERROR(activity::RestoreDerivationCache(
+        cache_it->second, step_cache_.get(), &stats));
+    accumulate(stats);
+  }
+  auto state_it = sections.find(kStateSection);
+  if (state_it != sections.end()) {
+    if (state_hooks_.restore) {
+      PAPYRUS_RETURN_IF_ERROR(state_hooks_.restore(state_it->second));
+    }
+    // Kept even without a restore hook so the section carries over to
+    // the next generation instead of silently vanishing.
+    last_state_text_ = state_it->second;
+  }
+  return Status::OK();
+}
+
+Status Papyrus::ApplyWalRecord(const std::string& body) {
+  std::vector<std::string> f = SplitWhitespace(body);
+  if (f.empty()) {
+    return Status::InvalidArgument("empty WAL record");
+  }
+  const std::string& tag = f[0];
+  if (tag == "object") {
+    PAPYRUS_ASSIGN_OR_RETURN(oct::ObjectRecord rec,
+                             activity::ParseObjectRecord(f));
+    return db_->UpsertRecord(std::move(rec));
+  }
+  if (tag == "state") {
+    if (!state_hooks_.replay) return Status::OK();
+    return state_hooks_.replay(body.size() > 6 ? body.substr(6) : "");
+  }
+  if (tag == "cput" && f.size() >= 2) {
+    PAPYRUS_ASSIGN_OR_RETURN(cache::CacheEntry entry,
+                             activity::DecodeCacheEntry(WalUnfield(f[1])));
+    // Like snapshot restore, entries whose output versions did not
+    // survive are skipped — they could only have missed.
+    (void)step_cache_->Restore(std::move(entry));
+    return Status::OK();
+  }
+  if (tag == "cdel" && f.size() >= 2) {
+    step_cache_->ForgetEntry(WalUnfield(f[1]));
+    return Status::OK();
+  }
+  if (tag == "thrnew" && f.size() >= 4) {
+    auto thread = std::make_unique<activity::DesignThread>(
+        ParseIntField(f[1]), WalUnfield(f[2]), &clock_);
+    thread->set_cache_interval(ParseIntField(f[3]));
+    return activity_->AdoptThread(std::move(thread));
+  }
+  if (tag == "thrrm" && f.size() >= 2) {
+    return activity_->RemoveThread(ParseIntField(f[1]));
+  }
+  if ((tag == "thr" || tag == "thrdel" || tag == "thrchk" ||
+       tag == "thrmeta") &&
+      f.size() >= 3) {
+    PAPYRUS_ASSIGN_OR_RETURN(activity::DesignThread * thread,
+                             activity_->GetThread(ParseIntField(f[1])));
+    if (tag == "thr") {
+      return activity::ApplyNodeBlock(WalUnfield(f[2]), thread);
+    }
+    if (tag == "thrdel") {
+      return thread->ForgetNode(ParseIntField(f[2]));
+    }
+    if (tag == "thrchk" && f.size() >= 4) {
+      thread->CheckIn(
+          oct::ObjectId{WalUnfield(f[2]), ParseIntField(f[3])});
+      return Status::OK();
+    }
+    if (tag == "thrmeta" && f.size() >= 5) {
+      thread->set_cache_interval(ParseIntField(f[3]));
+      return thread->ReplayMeta(ParseIntField(f[2]), ParseIntField(f[4]));
+    }
+  }
+  return Status::InvalidArgument("unrecognized WAL record: " + tag);
+}
+
+Status Papyrus::CommitWal() {
+  base::AssertEngineThread("Papyrus::CommitWal");
+  if (!store_) {
+    return Status::FailedPrecondition("storage engine not open");
+  }
+  // Drain order is fixed — database records, thread deltas, cache
+  // entries, embedder state — so replay sees objects before the history
+  // and cache records that reference them.
+  db_->DrainWalDirt([&](const oct::ObjectRecord& rec) {
+    store_->AppendWal(activity::EncodeObjectRecord(rec));
+  });
+  const std::vector<int> live = activity_->ThreadIds();
+  const std::set<int> live_set(live.begin(), live.end());
+  for (auto it = known_threads_.begin(); it != known_threads_.end();) {
+    if (live_set.count(*it) != 0) {
+      ++it;
+      continue;
+    }
+    store_->AppendWal("thrrm " + std::to_string(*it));
+    it = known_threads_.erase(it);
+  }
+  for (int id : live) {
+    auto thread_or = activity_->GetThread(id);
+    if (!thread_or.ok()) continue;
+    activity::DesignThread* t = *thread_or;
+    const std::string tid = std::to_string(id);
+    if (known_threads_.count(id) == 0) {
+      // First commit of a new thread: journal it whole.
+      store_->AppendWal("thrnew " + tid + " " + WalField(t->name()) + " " +
+                        std::to_string(t->cache_interval()));
+      for (const auto& [node_id, node] : t->nodes()) {
+        store_->AppendWal("thr " + tid + " " +
+                          WalField(activity::EncodeNodeBlock(node)));
+      }
+      for (const oct::ObjectId& obj : t->checkins()) {
+        store_->AppendWal("thrchk " + tid + " " + WalField(obj.name) + " " +
+                          std::to_string(obj.version));
+      }
+      store_->AppendWal("thrmeta " + tid + " " +
+                        std::to_string(t->current_cursor()) + " " +
+                        std::to_string(t->cache_interval()) + " " +
+                        std::to_string(t->next_node_id()));
+      t->DiscardWalDirt();
+      known_threads_.insert(id);
+      continue;
+    }
+    if (!t->HasWalDirt()) continue;
+    activity::DesignThread::WalDirt dirt = t->DrainWalDirt();
+    for (activity::NodeId node_id : dirt.deleted) {
+      store_->AppendWal("thrdel " + tid + " " + std::to_string(node_id));
+    }
+    for (activity::NodeId node_id : dirt.upserts) {
+      auto node = t->GetNode(node_id);
+      if (!node.ok()) continue;
+      store_->AppendWal("thr " + tid + " " +
+                        WalField(activity::EncodeNodeBlock(**node)));
+    }
+    for (const oct::ObjectId& obj : dirt.checkins) {
+      store_->AppendWal("thrchk " + tid + " " + WalField(obj.name) + " " +
+                        std::to_string(obj.version));
+    }
+    if (dirt.meta) {
+      // Last in the batch so the cursor's node exists when it replays.
+      store_->AppendWal("thrmeta " + tid + " " +
+                        std::to_string(t->current_cursor()) + " " +
+                        std::to_string(t->cache_interval()) + " " +
+                        std::to_string(t->next_node_id()));
+    }
+  }
+  step_cache_->DrainWalDirt(
+      [&](const std::string& key) {
+        store_->AppendWal("cdel " + WalField(key));
+      },
+      [&](const std::string& key, const cache::CacheEntry& entry) {
+        (void)key;  // replay recomputes it from the entry's components
+        store_->AppendWal("cput " +
+                          WalField(activity::EncodeCacheEntry(entry)));
+      });
+  if (state_hooks_.drain) {
+    for (const std::string& state_body : state_hooks_.drain()) {
+      store_->AppendWal("state " + state_body);
+    }
+  }
+  PAPYRUS_ASSIGN_OR_RETURN(int64_t bytes, store_->CommitWal());
+  (void)bytes;
+  SyncStorageMetrics();
+  return Status::OK();
+}
+
+Status Papyrus::SaveGeneration() {
+  base::AssertEngineThread("Papyrus::SaveGeneration");
+  if (!store_) {
+    return Status::FailedPrecondition("storage engine not open");
+  }
+  trace_.Begin(obs::kSessionPid, 0, "snapshot_generation", "snapshot",
+               {obs::TraceArg::Str("directory", store_->dir())});
+  Status st = SaveGenerationImpl();
+  trace_.End(obs::kSessionPid, 0, {obs::TraceArg::Bool("ok", st.ok())});
+  return st;
+}
+
+Status Papyrus::SaveGenerationImpl() {
+  // The WAL commit is the durability point: sections never contain state
+  // the journal does not cover, so a crash between any two steps below
+  // recovers byte-identically under either manifest.
+  PAPYRUS_RETURN_IF_ERROR(CommitWal());
+  const std::map<std::string, std::string> current =
+      store_->CurrentSectionFiles();
+  std::map<std::string, std::string> dirty;
+  std::vector<std::string> live;
+  // A section is dirty when its mutation sequence moved since the last
+  // generation, or when the current manifest does not carry it at all
+  // (first generation, legacy migration, WAL-replayed sections).
+  for (int i = 0; i < oct::OctDatabase::kShardCount; ++i) {
+    const std::string name = DbSectionName(i);
+    live.push_back(name);
+    if (db_->ShardSeq(i) != db_shard_base_[i] || current.count(name) == 0) {
+      dirty[name] = activity::SerializeDatabaseShard(*db_, i);
+    }
+  }
+  for (int id : activity_->ThreadIds()) {
+    auto thread_or = activity_->GetThread(id);
+    if (!thread_or.ok()) continue;
+    const std::string name = ThreadSectionName(id);
+    live.push_back(name);
+    auto base = thread_seq_base_.find(id);
+    if (base == thread_seq_base_.end() ||
+        base->second != (*thread_or)->mutation_seq() ||
+        current.count(name) == 0) {
+      dirty[name] = activity::SerializeThread(**thread_or);
+    }
+  }
+  live.push_back(kCacheSection);
+  if (step_cache_->mutation_seq() != cache_seq_base_ ||
+      current.count(kCacheSection) == 0) {
+    dirty[kCacheSection] = activity::SerializeDerivationCache(*step_cache_);
+  }
+  std::string state_text =
+      state_hooks_.section ? state_hooks_.section() : last_state_text_;
+  if (state_hooks_.section || !last_state_text_.empty()) {
+    live.push_back(kStateSection);
+    if (state_text != last_state_text_ ||
+        current.count(kStateSection) == 0) {
+      dirty[kStateSection] = state_text;
+    }
+  }
+  PAPYRUS_RETURN_IF_ERROR(store_->SaveGeneration(dirty, live));
+  CaptureGenerationBaselines();
+  last_state_text_ = std::move(state_text);
+  SyncStorageMetrics();
+  return Status::OK();
+}
+
+void Papyrus::CaptureGenerationBaselines() {
+  for (int i = 0; i < oct::OctDatabase::kShardCount; ++i) {
+    db_shard_base_[i] = db_->ShardSeq(i);
+  }
+  thread_seq_base_.clear();
+  for (int id : activity_->ThreadIds()) {
+    auto thread_or = activity_->GetThread(id);
+    if (thread_or.ok()) {
+      thread_seq_base_[id] = (*thread_or)->mutation_seq();
+    }
+  }
+  cache_seq_base_ = step_cache_->mutation_seq();
+}
+
+void Papyrus::DiscardAllWalDirt() {
+  db_->DiscardWalDirt();
+  for (int id : activity_->ThreadIds()) {
+    auto thread_or = activity_->GetThread(id);
+    if (thread_or.ok()) (*thread_or)->DiscardWalDirt();
+  }
+  step_cache_->DiscardWalDirt();
+}
+
+void Papyrus::SyncStorageMetrics() {
+  if (!store_) return;
+  auto sync = [&](const char* name, int64_t stat) {
+    obs::Counter* c = metrics_.FindOrCreateCounter(name);
+    c->Increment(stat - c->value());
+  };
+  const storage::WriteAheadLog::Stats& w = store_->wal_stats();
+  sync(obs::kWalRecords, w.records_appended);
+  sync(obs::kWalCommits, w.commits);
+  sync(obs::kWalSyncs, w.syncs);
+  sync(obs::kWalBytesWritten, w.bytes_written);
+  sync(obs::kWalResets, w.resets);
+  const storage::SessionStore::SaveStats& s = store_->save_stats();
+  sync(obs::kSnapshotGenerations, s.generations);
+  sync(obs::kSnapshotSectionsWritten, s.sections_written);
+  sync(obs::kSnapshotSectionsReused, s.sections_reused);
+  sync(obs::kSnapshotFilesPruned, s.files_pruned);
 }
 
 Result<oct::ObjectId> Papyrus::CheckInObject(const std::string& path,

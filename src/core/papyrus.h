@@ -1,7 +1,11 @@
 #ifndef PAPYRUS_CORE_PAPYRUS_H_
 #define PAPYRUS_CORE_PAPYRUS_H_
 
+#include <array>
+#include <functional>
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -17,6 +21,7 @@
 #include "oct/database.h"
 #include "sprite/network.h"
 #include "storage/cas.h"
+#include "storage/engine.h"
 #include "storage/reclamation.h"
 #include "sync/sds.h"
 #include "task/task_manager.h"
@@ -133,11 +138,70 @@ class Papyrus {
   /// valid prefix; `last_restore_stats()` reports what was dropped.
   Status LoadSession(const std::string& directory);
 
-  /// Aggregate recovery report of the most recent LoadSession, summed
-  /// across the database and every thread file.
+  /// Aggregate recovery report of the most recent LoadSession or
+  /// OpenStorage, summed across the database and every thread file.
   const activity::RestoreStats& last_restore_stats() const {
     return last_restore_stats_;
   }
+
+  // --- storage engine (WAL + compacted delta snapshots) -------------------
+  //
+  // The successor of SaveSession/LoadSession: instead of rewriting every
+  // file per snapshot, mutations journal into a write-ahead log
+  // (CommitWal, a group commit per task batch) and SaveGeneration
+  // periodically compacts only the dirtied sections behind a manifest
+  // swap. Recovery replays manifest sections + the WAL tail and is
+  // byte-identical to the pre-crash state at any crash point.
+
+  /// Extension point for an embedding layer (papyrusd's ManagedSession)
+  /// to ride the session's durability train: its state journals into the
+  /// same WAL commits and compacts into the same generations as the
+  /// design data, so "task applied" and "task recorded" are one atomic
+  /// unit.
+  struct StateHooks {
+    /// Journal bodies of state mutations since the last drain (each
+    /// becomes one `state <body>` WAL record; single-line).
+    std::function<std::vector<std::string>()> drain;
+    /// Full state text for the delta-snapshot `state` section.
+    std::function<std::string()> section;
+    /// Replays one journaled body on top of the restored section.
+    std::function<Status(const std::string&)> replay;
+    /// Restores the full section text.
+    std::function<Status(const std::string&)> restore;
+    /// File name of the embedder's state inside a *legacy* whole-file
+    /// snapshot directory (e.g. "state.pss"); when present there it is
+    /// fed to `restore` during the one-time migration.
+    std::string legacy_file;
+  };
+  void set_state_hooks(StateHooks hooks) {
+    state_hooks_ = std::move(hooks);
+  }
+
+  /// Opens (creating if needed) the storage engine on `directory` and
+  /// restores whatever it holds. Requires a fresh session. Legacy layouts
+  /// (PR 1 flat database.pdb, PR 6 snap.<N> whole-file snapshot dirs)
+  /// load transparently and migrate to the engine layout at the next
+  /// SaveGeneration. A torn WAL tail recovers its longest valid prefix
+  /// (reported through last_restore_stats()).
+  Status OpenStorage(const std::string& directory);
+
+  bool storage_open() const { return store_ != nullptr; }
+
+  /// The engine, for crash-hook injection and fingerprinting; nullptr
+  /// until OpenStorage.
+  storage::SessionStore* store() { return store_.get(); }
+
+  /// Journals every mutation since the last commit (database records,
+  /// thread deltas, cache entries, embedder state) and makes the batch
+  /// durable with one fsync. Journal-before-effect: call this before
+  /// acknowledging the mutations outside the session.
+  Status CommitWal();
+
+  /// Durability checkpoint: CommitWal, then writes generation N+1
+  /// containing only the sections dirtied since generation N (clean
+  /// sections carry over by reference), atomically swaps CURRENT, and
+  /// resets the WAL.
+  Status SaveGeneration();
 
   // --- subsystem access ------------------------------------------------------
 
@@ -185,6 +249,14 @@ class Papyrus {
  private:
   Status SaveSessionImpl(const std::string& directory);
   Status LoadSessionImpl(const std::string& directory);
+  Status OpenStorageImpl(const std::string& directory);
+  Status SaveGenerationImpl();
+  Status RestoreEngineSections(
+      const std::map<std::string, std::string>& sections);
+  Status ApplyWalRecord(const std::string& body);
+  void CaptureGenerationBaselines();
+  void DiscardAllWalDirt();
+  void SyncStorageMetrics();
 
   // Declared before every subsystem so trace + metrics are destroyed
   // last: subsystem destructors (e.g. the derivation cache's Clear) may
@@ -209,6 +281,20 @@ class Papyrus {
   std::unique_ptr<meta::MetadataEngine> metadata_;
   SessionOptions options_;
   activity::RestoreStats last_restore_stats_;
+
+  // --- storage engine state ---
+  std::unique_ptr<storage::SessionStore> store_;
+  StateHooks state_hooks_;
+  /// Per-section mutation sequences captured at the last generation; a
+  /// section whose live sequence differs (or that the current manifest
+  /// does not carry) is dirty and gets rewritten.
+  std::array<uint64_t, oct::OctDatabase::kShardCount> db_shard_base_{};
+  std::map<int, uint64_t> thread_seq_base_;
+  uint64_t cache_seq_base_ = 0;
+  std::string last_state_text_;
+  /// Threads the WAL already knows (journaled in full), for detecting
+  /// new and vanished threads at CommitWal.
+  std::set<int> known_threads_;
 };
 
 }  // namespace papyrus

@@ -85,6 +85,29 @@ const std::vector<MetricInfo>& MetricCatalogue() {
        "Tool runs turned into transient failures by the fault plan."},
       {kSnapshotSaves, kC, "Session snapshots written."},
       {kSnapshotLoads, kC, "Session snapshots restored."},
+      {kSnapshotGenerations, kC,
+       "Compacted delta-snapshot generations committed (manifest "
+       "swaps)."},
+      {kSnapshotSectionsWritten, kC,
+       "Section files rewritten because their shard was dirty."},
+      {kSnapshotSectionsReused, kC,
+       "Clean section files carried into a generation by reference."},
+      {kSnapshotFilesPruned, kC,
+       "Unreferenced section/manifest files removed after a manifest "
+       "swap."},
+      {kWalRecords, kC,
+       "Mutation records appended to the write-ahead log."},
+      {kWalCommits, kC,
+       "WAL group commits (one durability barrier per batch; empty "
+       "batches are free)."},
+      {kWalSyncs, kC, "fsync calls issued by WAL commits."},
+      {kWalBytesWritten, kC, "Bytes appended to the write-ahead log."},
+      {kWalResets, kC,
+       "WAL rotations after a snapshot generation absorbed its tail."},
+      {kWalReplayedRecords, kC,
+       "Journal records replayed on top of sections at recovery."},
+      {kWalTruncatedBytes, kC,
+       "Torn-tail bytes discarded by longest-valid-prefix recovery."},
       {kAttributesComputed, kC,
        "Attribute measurements computed by invoking a measurement "
        "tool."},
@@ -179,6 +202,9 @@ const std::vector<MetricInfo>& MetricCatalogue() {
        "time; the damaged entry is dropped and the step re-runs."},
       {kCasOrphansCollected, kC,
        "Crash-orphaned blob files garbage-collected at store open."},
+      {kCasNegHits, kC,
+       "Shared-store lookups short-circuited by the negative-entry "
+       "cache (known-absent keys skip the disk probe)."},
       {kCasEntries, kG, "Entries currently in the shared store."},
       {kCasBlobs, kG, "Unique blobs currently in the shared store."},
       {kCasStoreBytes, kG,

@@ -138,6 +138,23 @@ inline constexpr char kFaultTransientInjections[] =
     "papyrus.fault.transient_injections";
 inline constexpr char kSnapshotSaves[] = "papyrus.snapshot.saves";
 inline constexpr char kSnapshotLoads[] = "papyrus.snapshot.loads";
+inline constexpr char kSnapshotGenerations[] =
+    "papyrus.snapshot.generations";
+inline constexpr char kSnapshotSectionsWritten[] =
+    "papyrus.snapshot.sections_written";
+inline constexpr char kSnapshotSectionsReused[] =
+    "papyrus.snapshot.sections_reused";
+inline constexpr char kSnapshotFilesPruned[] =
+    "papyrus.snapshot.files_pruned";
+inline constexpr char kWalRecords[] = "papyrus.wal.records";
+inline constexpr char kWalCommits[] = "papyrus.wal.commits";
+inline constexpr char kWalSyncs[] = "papyrus.wal.syncs";
+inline constexpr char kWalBytesWritten[] = "papyrus.wal.bytes_written";
+inline constexpr char kWalResets[] = "papyrus.wal.resets";
+inline constexpr char kWalReplayedRecords[] =
+    "papyrus.wal.replayed_records";
+inline constexpr char kWalTruncatedBytes[] =
+    "papyrus.wal.truncated_bytes";
 inline constexpr char kAttributesComputed[] =
     "papyrus.attributes.computed";
 inline constexpr char kAttributesCached[] = "papyrus.attributes.cached";
@@ -193,6 +210,7 @@ inline constexpr char kCasVerifyFailures[] =
     "papyrus.cas.verify_failures";
 inline constexpr char kCasOrphansCollected[] =
     "papyrus.cas.orphans_collected";
+inline constexpr char kCasNegHits[] = "papyrus.cas.neg_hits";
 inline constexpr char kCasEntries[] = "papyrus.cas.entries";
 inline constexpr char kCasBlobs[] = "papyrus.cas.blobs";
 inline constexpr char kCasStoreBytes[] = "papyrus.cas.store_bytes";

@@ -1,8 +1,26 @@
 #include "oct/database.h"
 
+#include "base/strings.h"
 #include "base/thread_annotations.h"
 
 namespace papyrus::oct {
+
+namespace {
+
+uint64_t DirtyKey(base::Symbol sym, int version) {
+  return (static_cast<uint64_t>(sym) << 32) |
+         static_cast<uint32_t>(version);
+}
+
+}  // namespace
+
+int OctDatabase::ShardOf(std::string_view name) {
+  size_t cell_end = name.find_first_of(":.");
+  std::string_view cell =
+      cell_end == std::string_view::npos ? name : name.substr(0, cell_end);
+  return static_cast<int>(Fnv1a(cell) &
+                          static_cast<uint64_t>(kShardCount - 1));
+}
 
 OctDatabase::OctDatabase(Clock* clock) : clock_(clock) {}
 
@@ -27,6 +45,14 @@ void OctDatabase::set_observability(const obs::Observability& sinks) {
   }
 }
 
+void OctDatabase::MarkDirty(int shard, base::Symbol sym, int version) {
+  ++shards_[shard].seq;
+  uint64_t key = DirtyKey(sym, version);
+  if (wal_dirty_keys_.insert(key).second) {
+    wal_dirty_.emplace_back(sym, version);
+  }
+}
+
 Result<ObjectId> OctDatabase::CreateVersion(const std::string& name,
                                             DesignPayload payload,
                                             const std::string& creator_tool) {
@@ -34,7 +60,9 @@ Result<ObjectId> OctDatabase::CreateVersion(const std::string& name,
   if (name.empty()) {
     return Status::InvalidArgument("object name must not be empty");
   }
-  std::vector<ObjectRecord>& versions = objects_[name];
+  base::Symbol sym = names_.Intern(name);
+  int shard = ShardOf(name);
+  std::vector<ObjectRecord>& versions = shards_[shard].objects[sym];
   ObjectRecord rec;
   rec.id = ObjectId{name, static_cast<int>(versions.size()) + 1};
   rec.size_bytes = PayloadSizeBytes(payload);
@@ -44,6 +72,7 @@ Result<ObjectId> OctDatabase::CreateVersion(const std::string& name,
   rec.last_access_micros = rec.created_micros;
   versions.push_back(std::move(rec));
   ++total_versions_;
+  MarkDirty(shard, sym, versions.back().id.version);
   if (c_versions_created_ != nullptr) c_versions_created_->Increment();
   if (g_live_bytes_ != nullptr) {
     g_live_bytes_->Add(versions.back().size_bytes);
@@ -59,8 +88,11 @@ Result<ObjectId> OctDatabase::CreateVersion(const std::string& name,
 }
 
 ObjectRecord* OctDatabase::Find(const ObjectId& id) {
-  auto it = objects_.find(id.name);
-  if (it == objects_.end()) return nullptr;
+  base::Symbol sym = names_.Find(id.name);
+  if (sym == base::kNoSymbol) return nullptr;
+  Shard& shard = shards_[ShardOf(id.name)];
+  auto it = shard.objects.find(sym);
+  if (it == shard.objects.end()) return nullptr;
   if (id.version < 1 ||
       id.version > static_cast<int>(it->second.size())) {
     return nullptr;
@@ -83,7 +115,10 @@ Result<const ObjectRecord*> OctDatabase::Get(const ObjectId& id) {
   if (rec->reclaimed) {
     return Status::NotFound("object was reclaimed: " + id.ToString());
   }
+  // The access-time bump is persisted state (it drives §5.4 aging), so a
+  // read dirties the record for the journal.
   rec->last_access_micros = clock_->NowMicros();
+  MarkDirty(ShardOf(id.name), names_.Find(id.name), id.version);
   return static_cast<const ObjectRecord*>(rec);
 }
 
@@ -111,14 +146,18 @@ Result<std::string> OctDatabase::ContentHash(const ObjectId& id) {
                                       id.ToString());
   }
   if (rec->content_hash.empty()) {
+    // Memoized runtime state: no dirty mark, the hash is derivable.
     rec->content_hash = PayloadContentHash(rec->payload);
   }
   return rec->content_hash;
 }
 
 Result<ObjectId> OctDatabase::LatestVisible(const std::string& name) const {
-  auto it = objects_.find(name);
-  if (it == objects_.end()) {
+  base::Symbol sym = names_.Find(name);
+  const Shard& shard = shards_[ShardOf(name)];
+  auto it = sym == base::kNoSymbol ? shard.objects.end()
+                                   : shard.objects.find(sym);
+  if (it == shard.objects.end()) {
     return Status::NotFound("no such object: " + name);
   }
   for (auto rit = it->second.rbegin(); rit != it->second.rend(); ++rit) {
@@ -128,8 +167,12 @@ Result<ObjectId> OctDatabase::LatestVisible(const std::string& name) const {
 }
 
 int OctDatabase::VersionCount(const std::string& name) const {
-  auto it = objects_.find(name);
-  return it == objects_.end() ? 0 : static_cast<int>(it->second.size());
+  base::Symbol sym = names_.Find(name);
+  if (sym == base::kNoSymbol) return 0;
+  const Shard& shard = shards_[ShardOf(name)];
+  auto it = shard.objects.find(sym);
+  return it == shard.objects.end() ? 0
+                                   : static_cast<int>(it->second.size());
 }
 
 Status OctDatabase::MarkInvisible(const ObjectId& id) {
@@ -139,6 +182,7 @@ Status OctDatabase::MarkInvisible(const ObjectId& id) {
     return Status::NotFound("no such object: " + id.ToString());
   }
   rec->visible = false;
+  MarkDirty(ShardOf(id.name), names_.Find(id.name), id.version);
   return Status::OK();
 }
 
@@ -153,6 +197,7 @@ Status OctDatabase::MarkVisible(const ObjectId& id) {
                                       id.ToString());
   }
   rec->visible = true;
+  MarkDirty(ShardOf(id.name), names_.Find(id.name), id.version);
   return Status::OK();
 }
 
@@ -183,6 +228,7 @@ Status OctDatabase::Reclaim(const ObjectId& id) {
   rec->payload = std::monostate{};
   rec->reclaimed = true;
   rec->visible = false;
+  MarkDirty(ShardOf(id.name), names_.Find(id.name), id.version);
   return Status::OK();
 }
 
@@ -217,37 +263,62 @@ bool OctDatabase::Exists(const ObjectId& id) const {
 
 int64_t OctDatabase::TotalLiveBytes() const {
   int64_t sum = 0;
-  for (const auto& [name, versions] : objects_) {
-    for (const ObjectRecord& rec : versions) {
-      if (!rec.reclaimed) sum += rec.size_bytes;
-    }
-  }
+  ForEach([&](const ObjectRecord& rec) {
+    if (!rec.reclaimed) sum += rec.size_bytes;
+  });
   return sum;
 }
 
 int64_t OctDatabase::LiveVersionCount() const {
   int64_t n = 0;
-  for (const auto& [name, versions] : objects_) {
-    for (const ObjectRecord& rec : versions) {
-      if (!rec.reclaimed) ++n;
-    }
-  }
+  ForEach([&](const ObjectRecord& rec) {
+    if (!rec.reclaimed) ++n;
+  });
   return n;
 }
 
 void OctDatabase::ForEach(
     const std::function<void(const ObjectRecord&)>& fn) const {
-  for (const auto& [name, versions] : objects_) {
+  for (int shard = 0; shard < kShardCount; ++shard) {
+    ForEachShard(shard, fn);
+  }
+}
+
+void OctDatabase::ForEachShard(
+    int shard, const std::function<void(const ObjectRecord&)>& fn) const {
+  for (const auto& [sym, versions] : shards_[shard].objects) {
     for (const ObjectRecord& rec : versions) fn(rec);
   }
 }
 
-Status OctDatabase::RestoreRecord(ObjectRecord record) {
-  base::AssertEngineThread("OctDatabase::RestoreRecord");
+Status OctDatabase::InsertRecord(ObjectRecord record, bool mark_wal_dirty) {
   if (record.id.name.empty() || record.id.version < 1) {
     return Status::InvalidArgument("restored record has an invalid id");
   }
-  std::vector<ObjectRecord>& versions = objects_[record.id.name];
+  base::Symbol sym = names_.Intern(record.id.name);
+  int shard = ShardOf(record.id.name);
+  std::vector<ObjectRecord>& versions = shards_[shard].objects[sym];
+  if (record.id.version <= static_cast<int>(versions.size())) {
+    // Upsert of an existing slot: exact journaled state wins, runtime-only
+    // bookkeeping (pins, content-hash memo) survives.
+    ObjectRecord& slot = versions[record.id.version - 1];
+    record.pin_count = slot.pin_count;
+    if (record.content_hash.empty()) {
+      record.content_hash = std::move(slot.content_hash);
+    }
+    if (g_live_bytes_ != nullptr) {
+      int64_t before = slot.reclaimed ? 0 : slot.size_bytes;
+      int64_t after = record.reclaimed ? 0 : record.size_bytes;
+      g_live_bytes_->Add(after - before);
+    }
+    if (c_reclaimed_ != nullptr && record.reclaimed && !slot.reclaimed) {
+      c_reclaimed_->Increment();
+    }
+    slot = std::move(record);
+    ++shards_[shard].seq;
+    if (mark_wal_dirty) MarkDirty(shard, sym, slot.id.version);
+    return Status::OK();
+  }
   if (record.id.version != static_cast<int>(versions.size()) + 1) {
     return Status::FailedPrecondition(
         "records of " + record.id.name +
@@ -257,11 +328,63 @@ Status OctDatabase::RestoreRecord(ObjectRecord record) {
   }
   const ObjectRecord& restored = versions.emplace_back(std::move(record));
   ++total_versions_;
+  ++shards_[shard].seq;
+  if (mark_wal_dirty) MarkDirty(shard, sym, restored.id.version);
   if (c_versions_created_ != nullptr) c_versions_created_->Increment();
   if (g_live_bytes_ != nullptr && !restored.reclaimed) {
     g_live_bytes_->Add(restored.size_bytes);
   }
   return Status::OK();
+}
+
+Status OctDatabase::RestoreRecord(ObjectRecord record) {
+  base::AssertEngineThread("OctDatabase::RestoreRecord");
+  // Strict version order, exactly as the whole-file restore always
+  // demanded: an existing slot is a format error here.
+  base::Symbol sym = names_.Find(record.id.name);
+  if (sym != base::kNoSymbol) {
+    const Shard& shard = shards_[ShardOf(record.id.name)];
+    auto it = shard.objects.find(sym);
+    if (it != shard.objects.end() &&
+        record.id.version <= static_cast<int>(it->second.size())) {
+      return Status::FailedPrecondition(
+          "records of " + record.id.name +
+          " must be restored in version order (got version " +
+          std::to_string(record.id.version) + ", expected " +
+          std::to_string(it->second.size() + 1) + ")");
+    }
+  }
+  return InsertRecord(std::move(record), /*mark_wal_dirty=*/false);
+}
+
+Status OctDatabase::UpsertRecord(ObjectRecord record) {
+  base::AssertEngineThread("OctDatabase::UpsertRecord");
+  return InsertRecord(std::move(record), /*mark_wal_dirty=*/false);
+}
+
+bool OctDatabase::HasWalDirt() const { return !wal_dirty_.empty(); }
+
+void OctDatabase::DrainWalDirt(
+    const std::function<void(const ObjectRecord&)>& fn) {
+  base::AssertEngineThread("OctDatabase::DrainWalDirt");
+  for (const auto& [sym, version] : wal_dirty_) {
+    const Shard& shard =
+        shards_[ShardOf(names_.StringOf(sym))];
+    auto it = shard.objects.find(sym);
+    if (it == shard.objects.end() ||
+        version > static_cast<int>(it->second.size())) {
+      continue;  // unreachable today: versions are never deleted
+    }
+    fn(it->second[version - 1]);
+  }
+  wal_dirty_.clear();
+  wal_dirty_keys_.clear();
+}
+
+void OctDatabase::DiscardWalDirt() {
+  base::AssertEngineThread("OctDatabase::DiscardWalDirt");
+  wal_dirty_.clear();
+  wal_dirty_keys_.clear();
 }
 
 void Transaction::StageCreate(const std::string& name, DesignPayload payload,

@@ -1,13 +1,18 @@
 #ifndef PAPYRUS_OCT_DATABASE_H_
 #define PAPYRUS_OCT_DATABASE_H_
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "base/clock.h"
+#include "base/intern.h"
 #include "base/result.h"
 #include "base/status.h"
 #include "base/thread_annotations.h"
@@ -51,6 +56,16 @@ struct ObjectRecord {
 /// src/sync) are *views* over this store: they hold sets of ObjectIds and
 /// never duplicate payloads.
 ///
+/// Storage layout: records live in kShardCount shards keyed by the
+/// *cell* prefix of the object name, so the storage engine can persist
+/// only the shards a commit dirtied instead of rewriting one giant map,
+/// and independent cells stop contending on one hash table. Names are
+/// interned (base::InternTable): shard maps hash a 4-byte Symbol and one
+/// arena-backed copy of every `cell:view:facet` string exists per
+/// database. Each shard carries a mutation sequence number (delta-
+/// snapshot dirtiness) and the database keeps a drain list of records
+/// touched since the last write-ahead-log commit.
+///
 /// Thread contract: the store is engine-owned and unlocked. Every
 /// mutating call (version creation, visibility flips, reclamation,
 /// pinning, restore — and `Get`, which bumps the access time) carries
@@ -59,6 +74,14 @@ struct ObjectRecord {
 /// may read through dispatch-time snapshots.
 class OctDatabase {
  public:
+  /// Cell-shard fan-out. A power of two so ShardOf is a mask.
+  static constexpr int kShardCount = 16;
+
+  /// The shard holding every version of every object of `name`'s cell
+  /// (the prefix before the first ':' or '.'; the whole name when it has
+  /// neither).
+  static int ShardOf(std::string_view name);
+
   explicit OctDatabase(Clock* clock);
 
   OctDatabase(const OctDatabase&) = delete;
@@ -151,6 +174,46 @@ class OctDatabase {
   Status RestoreRecord(ObjectRecord record)
       PAPYRUS_REQUIRES(base::engine_thread);
 
+  /// Applies one journaled record state: replaces the slot when the
+  /// version exists, appends when it is the next version, fails when it
+  /// would leave a gap. WAL replay (src/core) funnels through this —
+  /// replay applies exact serialized states, never re-executes logic,
+  /// which is what keeps recovery byte-identical. Replaced slots keep
+  /// their runtime-only state (pin count, content-hash memo).
+  Status UpsertRecord(ObjectRecord record)
+      PAPYRUS_REQUIRES(base::engine_thread);
+
+  // --- storage-engine hooks ----------------------------------------------
+
+  /// Visits every record of one shard (including invisible and reclaimed
+  /// ones), in unspecified order.
+  void ForEachShard(
+      int shard, const std::function<void(const ObjectRecord&)>& fn) const;
+
+  /// Monotonic per-shard mutation counter covering every *persisted*
+  /// state change (creation, visibility, reclamation, access-time bumps,
+  /// restores). The delta-snapshot writer compares it against the value
+  /// captured at the last generation to find dirty shards.
+  uint64_t ShardSeq(int shard) const { return shards_[shard].seq; }
+
+  /// True when any record changed since the last drain/discard.
+  bool HasWalDirt() const PAPYRUS_REQUIRES(base::engine_thread);
+
+  /// Visits the records dirtied since the last drain in first-dirtied
+  /// order (deterministic: mutations happen only on the engine thread),
+  /// then clears the dirty set. Each record is visited once with its
+  /// *current* state.
+  void DrainWalDirt(const std::function<void(const ObjectRecord&)>& fn)
+      PAPYRUS_REQUIRES(base::engine_thread);
+
+  /// Clears the dirty set without visiting (after a restore or WAL
+  /// replay, whose records are already durable).
+  void DiscardWalDirt() PAPYRUS_REQUIRES(base::engine_thread);
+
+  /// Interning diagnostics.
+  size_t interned_names() const { return names_.size(); }
+  size_t intern_arena_bytes() const { return names_.arena_bytes(); }
+
   Clock* clock() const { return clock_; }
 
   /// Attaches trace + metrics sinks: version allocations and reclamations
@@ -160,15 +223,28 @@ class OctDatabase {
       PAPYRUS_REQUIRES(base::engine_thread);
 
  private:
+  struct Shard {
+    // interned name -> versions, index i holds version i+1.
+    std::unordered_map<base::Symbol, std::vector<ObjectRecord>> objects;
+    uint64_t seq = 0;  // bumped on every persisted-state mutation
+  };
+
   ObjectRecord* Find(const ObjectId& id);
   const ObjectRecord* Find(const ObjectId& id) const;
+  /// Records a persisted-state mutation of (sym, version) for the WAL
+  /// drain and the shard's delta-dirtiness counter.
+  void MarkDirty(int shard, base::Symbol sym, int version);
+  Status InsertRecord(ObjectRecord record, bool mark_wal_dirty);
 
   /// Trace thread id for OCT events under the session process group.
   static constexpr int64_t kOctTrackTid = 1;
 
   Clock* clock_;
-  // name -> versions, index i holds version i+1.
-  std::unordered_map<std::string, std::vector<ObjectRecord>> objects_;
+  base::InternTable names_;
+  std::array<Shard, kShardCount> shards_;
+  // WAL drain state: (symbol, version) pairs in first-dirtied order.
+  std::vector<std::pair<base::Symbol, int>> wal_dirty_;
+  std::unordered_set<uint64_t> wal_dirty_keys_;
   std::function<void(const ObjectId&)> pinned_reclaim_handler_;
   int64_t total_versions_ = 0;
   obs::Observability obs_;

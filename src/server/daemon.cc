@@ -264,9 +264,14 @@ void PapyrusDaemon::MaybeEvictSessions(const std::string& keep) {
       }
     }
     if (victim.empty()) return;
-    // Idle between tasks, and every commit already saved a snapshot:
-    // closing is just dropping the in-memory engine. The session lock
-    // goes too, handing hosting rights back to the worker pool.
+    // Idle between tasks, and every commit is WAL-durable; the parting
+    // generation checkpoint (best-effort) just makes the next open
+    // cheap. The session lock goes too, handing hosting rights back to
+    // the worker pool.
+    auto victim_it = sessions_.find(victim);
+    if (victim_it != sessions_.end()) {
+      (void)victim_it->second->Checkpoint();
+    }
     sessions_.erase(victim);
     session_locks_.erase(victim);
     session_last_used_.erase(victim);
@@ -462,8 +467,12 @@ Status PapyrusDaemon::Shutdown() {
   }
   if (shut_down_) return Status::OK();
   // Leases drain naturally (RunOne resolves its claim before returning);
-  // what graceful shutdown adds is the compacted queue checkpoint and a
-  // sealed trace.
+  // what graceful shutdown adds is a generation checkpoint per hosted
+  // session (bounding WAL replay at the next open), the compacted queue
+  // checkpoint, and a sealed trace.
+  for (auto& [name, session] : sessions_) {
+    PAPYRUS_RETURN_IF_ERROR(session->Checkpoint());
+  }
   PAPYRUS_RETURN_IF_ERROR(queue_->Checkpoint());
   TraceInstant("daemon_shutdown", {});
   if (owned_trace_ != nullptr) {

@@ -1,8 +1,6 @@
 #include "server/session_manager.h"
 
 #include <algorithm>
-#include <filesystem>
-#include <fstream>
 #include <sstream>
 #include <tuple>
 #include <vector>
@@ -10,24 +8,13 @@
 #include "base/macros.h"
 #include "base/thread_annotations.h"
 #include "base/strings.h"
-#include "storage/atomic_file.h"
 
 namespace papyrus::server {
 
 namespace {
 
-constexpr char kCurrentFile[] = "CURRENT";
-constexpr char kStateFile[] = "state.pss";
 constexpr char kStateHeader[] = "papyrus-session-state v1";
-constexpr char kSnapshotPrefix[] = "snap.";
-
-Result<std::string> ReadFileText(const std::filesystem::path& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::NotFound("cannot read " + path.string());
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-  return buffer.str();
-}
+constexpr char kLegacyStateFile[] = "state.pss";
 
 }  // namespace
 
@@ -39,14 +26,9 @@ Result<std::unique_ptr<ManagedSession>> ManagedSession::Open(
     const SessionConfig& config, const obs::Observability& obs,
     storage::ContentStore* shared_store) {
   base::AssertEngineThread("ManagedSession::Open");
-  std::error_code ec;
-  std::filesystem::create_directories(directory, ec);
-  if (ec) {
-    return Status::Internal("cannot create session directory " +
-                            directory + ": " + ec.message());
-  }
   std::unique_ptr<ManagedSession> managed(
       new ManagedSession(directory, name));
+  managed->snapshot_interval_ = config.snapshot_interval;
 
   SessionOptions options;
   options.num_workstations = config.num_workstations;
@@ -63,29 +45,40 @@ Result<std::unique_ptr<ManagedSession>> ManagedSession::Open(
   }
   if (shared_store != nullptr) {
     // Deferred publication: entries recorded during execution are held
-    // until Save() swaps CURRENT (FlushSharedPublications below), so the
-    // store only ever holds outputs of durably committed tasks.
+    // until Save() makes the commit durable (FlushSharedPublications),
+    // so the store only ever holds outputs of durably committed tasks.
     managed->session_->AttachSharedStore(shared_store,
                                          /*auto_publish=*/false);
   }
 
-  auto current = ReadFileText(
-      std::filesystem::path(directory) / kCurrentFile);
-  if (current.ok()) {
-    std::string snapshot(Trim(*current));
-    if (!StartsWith(snapshot, kSnapshotPrefix) ||
-        !ParseInt64(snapshot.substr(sizeof(kSnapshotPrefix) - 1),
-                    &managed->generation_)) {
-      return Status::Internal("bad CURRENT pointer \"" + snapshot +
-                              "\" in " + directory);
-    }
-    PAPYRUS_RETURN_IF_ERROR(managed->Restore(snapshot));
-    // Everything restored from CURRENT is durable by definition, so the
-    // deferred publications queued during restore flush now. This closes
-    // the crash window between a CURRENT swap and its flush: the restore
-    // republishes (idempotently) what that flush would have.
-    managed->session_->step_cache().FlushSharedPublications();
-  }
+  // The daemon state (clock, execution ids, applied ledger) rides the
+  // session's WAL commits and snapshot generations; hooks must be in
+  // place before OpenStorage so recovery can replay it.
+  ManagedSession* raw = managed.get();
+  Papyrus::StateHooks hooks;
+  hooks.drain = [raw] { return raw->DrainStateJournal(); };
+  hooks.section = [raw] { return raw->SerializeState(); };
+  hooks.replay = [raw](const std::string& body) {
+    return raw->ApplyStateLine(SplitWhitespace(body));
+  };
+  hooks.restore = [raw](const std::string& text) {
+    return raw->RestoreState(text);
+  };
+  hooks.legacy_file = kLegacyStateFile;
+  managed->session_->set_state_hooks(std::move(hooks));
+
+  PAPYRUS_RETURN_IF_ERROR(managed->session_->OpenStorage(directory));
+  managed->generation_ =
+      static_cast<int64_t>(managed->session_->store()->generation());
+  // The restored state is durable by definition: start journal tracking
+  // from it, and flush publications the crashed incarnation held back
+  // (idempotent — whatever its missing flush would have published).
+  managed->journaled_clock_ = managed->session_->clock().NowMicros();
+  managed->journaled_nextexec_ =
+      managed->session_->task_manager().next_execution_id();
+  managed->pending_applied_.clear();
+  managed->session_->step_cache().FlushSharedPublications();
+  PAPYRUS_RETURN_IF_ERROR(managed->ReplayMetadata());
 
   // Intra-session chaos lands after restore so crash times are relative
   // to the restored virtual clock.
@@ -104,14 +97,42 @@ Result<std::unique_ptr<ManagedSession>> ManagedSession::Open(
   return managed;
 }
 
-Status ManagedSession::Restore(const std::string& snapshot_dir) {
-  std::filesystem::path dir =
-      std::filesystem::path(directory_) / snapshot_dir;
-  PAPYRUS_RETURN_IF_ERROR(session_->LoadSession(dir.string()));
-  PAPYRUS_ASSIGN_OR_RETURN(std::string state_text,
-                           ReadFileText(dir / kStateFile));
-  PAPYRUS_RETURN_IF_ERROR(RestoreState(state_text));
-  return ReplayMetadata();
+Status ManagedSession::ApplyStateLine(
+    const std::vector<std::string>& f) {
+  if (f.empty()) return Status::OK();
+  if (f[0] == "clock" && f.size() == 2) {
+    int64_t micros = 0;
+    if (!ParseInt64(f[1], &micros)) {
+      return Status::Internal("bad clock line in session state");
+    }
+    // The restored history's timestamps end here; new work must
+    // continue from the same virtual instant for byte-identity.
+    session_->clock().SetMicros(micros);
+    return Status::OK();
+  }
+  if (f[0] == "nextexec" && f.size() == 2) {
+    int64_t next = 0;
+    if (!ParseInt64(f[1], &next)) {
+      return Status::Internal("bad nextexec line in session state");
+    }
+    session_->task_manager().set_next_execution_id(
+        static_cast<int>(next));
+    return Status::OK();
+  }
+  if (f[0] == "applied" && f.size() == 4) {
+    int64_t task_id = 0;
+    int64_t thread_id = 0;
+    int64_t node_id = 0;
+    if (!ParseInt64(f[1], &task_id) || !ParseInt64(f[2], &thread_id) ||
+        !ParseInt64(f[3], &node_id)) {
+      return Status::Internal("bad applied line in session state");
+    }
+    applied_[task_id] = {static_cast<int>(thread_id),
+                         static_cast<activity::NodeId>(node_id)};
+    return Status::OK();
+  }
+  // Unknown state lines are skipped for forward compatibility.
+  return Status::OK();
 }
 
 Status ManagedSession::RestoreState(const std::string& state_text) {
@@ -121,34 +142,7 @@ Status ManagedSession::RestoreState(const std::string& state_text) {
     return Status::Internal("bad session state header for " + name_);
   }
   while (std::getline(in, line)) {
-    std::vector<std::string> f = SplitWhitespace(line);
-    if (f.empty()) continue;
-    if (f[0] == "clock" && f.size() == 2) {
-      int64_t micros = 0;
-      if (!ParseInt64(f[1], &micros)) {
-        return Status::Internal("bad clock line in session state");
-      }
-      // The restored history's timestamps end here; new work must
-      // continue from the same virtual instant for byte-identity.
-      session_->clock().SetMicros(micros);
-    } else if (f[0] == "nextexec" && f.size() == 2) {
-      int64_t next = 0;
-      if (!ParseInt64(f[1], &next)) {
-        return Status::Internal("bad nextexec line in session state");
-      }
-      session_->task_manager().set_next_execution_id(
-          static_cast<int>(next));
-    } else if (f[0] == "applied" && f.size() == 4) {
-      int64_t task_id = 0;
-      int64_t thread_id = 0;
-      int64_t node_id = 0;
-      if (!ParseInt64(f[1], &task_id) || !ParseInt64(f[2], &thread_id) ||
-          !ParseInt64(f[3], &node_id)) {
-        return Status::Internal("bad applied line in session state");
-      }
-      applied_[task_id] = {static_cast<int>(thread_id),
-                           static_cast<activity::NodeId>(node_id)};
-    }
+    PAPYRUS_RETURN_IF_ERROR(ApplyStateLine(SplitWhitespace(line)));
   }
   return Status::OK();
 }
@@ -164,6 +158,29 @@ std::string ManagedSession::SerializeState() const {
         << where.second << '\n';
   }
   return out.str();
+}
+
+std::vector<std::string> ManagedSession::DrainStateJournal() {
+  std::vector<std::string> bodies;
+  const int64_t clock_now = session_->clock().NowMicros();
+  if (clock_now != journaled_clock_) {
+    bodies.push_back("clock " + std::to_string(clock_now));
+    journaled_clock_ = clock_now;
+  }
+  const int next_exec = session_->task_manager().next_execution_id();
+  if (next_exec != journaled_nextexec_) {
+    bodies.push_back("nextexec " + std::to_string(next_exec));
+    journaled_nextexec_ = next_exec;
+  }
+  for (int64_t task_id : pending_applied_) {
+    auto it = applied_.find(task_id);
+    if (it == applied_.end()) continue;
+    bodies.push_back("applied " + std::to_string(task_id) + " " +
+                     std::to_string(it->second.first) + " " +
+                     std::to_string(it->second.second));
+  }
+  pending_applied_.clear();
+  return bodies;
 }
 
 Status ManagedSession::ReplayMetadata() {
@@ -228,45 +245,34 @@ Result<activity::NodeId> ManagedSession::Execute(
       activity::NodeId node,
       session_->activity().InvokeTask(thread_id, inv));
   applied_[task_id] = {thread_id, node};
+  pending_applied_.push_back(task_id);
   return node;
 }
 
 Status ManagedSession::Save() {
-  int64_t next_gen = generation_ + 1;
-  std::string snapshot = kSnapshotPrefix + std::to_string(next_gen);
-  std::filesystem::path dir =
-      std::filesystem::path(directory_) / snapshot;
-  std::error_code ec;
-  std::filesystem::create_directories(dir, ec);
-  if (ec) {
-    return Status::Internal("cannot create " + dir.string() + ": " +
-                            ec.message());
+  ++saves_since_generation_;
+  if (snapshot_interval_ <= 1 ||
+      saves_since_generation_ >= snapshot_interval_) {
+    PAPYRUS_RETURN_IF_ERROR(session_->SaveGeneration());
+    saves_since_generation_ = 0;
+  } else {
+    // The cheap path that replaces one whole-snapshot rewrite per task:
+    // journal the commit's mutations and fsync once.
+    PAPYRUS_RETURN_IF_ERROR(session_->CommitWal());
   }
-  PAPYRUS_RETURN_IF_ERROR(session_->SaveSession(dir.string()));
-  PAPYRUS_RETURN_IF_ERROR(storage::AtomicWriteFile(
-      (dir / kStateFile).string(), SerializeState()));
-  // The generation exists in full; only now may CURRENT point at it. A
-  // crash before this line leaves the previous generation authoritative
-  // (the half-built one is pruned on the next Save); a crash after it
-  // leaves the new one. There is no in-between.
-  PAPYRUS_RETURN_IF_ERROR(storage::AtomicWriteFile(
-      (std::filesystem::path(directory_) / kCurrentFile).string(),
-      snapshot));
-  generation_ = next_gen;
-  // The generation is durable; derivations it carries may now be shared
-  // with other sessions through the content-addressed store.
+  generation_ = static_cast<int64_t>(session_->store()->generation());
+  // The commit is durable (journal-before-effect); derivations it
+  // carries may now be shared with other sessions through the
+  // content-addressed store.
   session_->step_cache().FlushSharedPublications();
-  // Older generations (and aborted half-writes) are garbage; reclaim
-  // best-effort.
-  for (const auto& entry :
-       std::filesystem::directory_iterator(directory_, ec)) {
-    if (!entry.is_directory()) continue;
-    std::string base = entry.path().filename().string();
-    if (StartsWith(base, kSnapshotPrefix) && base != snapshot) {
-      std::error_code remove_ec;
-      std::filesystem::remove_all(entry.path(), remove_ec);
-    }
-  }
+  return Status::OK();
+}
+
+Status ManagedSession::Checkpoint() {
+  PAPYRUS_RETURN_IF_ERROR(session_->SaveGeneration());
+  saves_since_generation_ = 0;
+  generation_ = static_cast<int64_t>(session_->store()->generation());
+  session_->step_cache().FlushSharedPublications();
   return Status::OK();
 }
 

@@ -5,6 +5,8 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "activity/design_thread.h"
 #include "base/thread_annotations.h"
@@ -27,28 +29,33 @@ struct SessionConfig {
   /// mid-flow see different chaos than crash-free runs — exactly-once
   /// commit still holds, byte-for-byte trace equality does not.
   fault::FaultPlanOptions fault = {.seed = 0};
+  /// Every Nth ManagedSession::Save compacts a delta-snapshot generation
+  /// (the others are WAL group commits). <= 1 compacts on every save.
+  int snapshot_interval = 8;
 };
 
-/// One design session hosted by papyrusd, durably backed by generation
-/// snapshots:
+/// One design session hosted by papyrusd, durably backed by the storage
+/// engine (storage::SessionStore): a per-commit write-ahead log plus
+/// periodic compacted delta-snapshot generations behind a manifest swap.
+/// The session's extra daemon state — the virtual clock, the task
+/// manager's execution-id counter (intermediate object names embed it),
+/// and the applied-task ledger mapping queue task ids to committed
+/// history nodes — rides the same WAL commits and generations as the
+/// design data through Papyrus::StateHooks, so "task applied" and "task
+/// recorded" are one atomic unit.
 ///
-///   <dir>/CURRENT            -> "snap.<gen>" (atomic pointer swap)
-///   <dir>/snap.<gen>/        database.pdb, thread_*.pth, cache.pdc,
-///                            state.pss
+/// Pre-engine layouts (CURRENT -> snap.<N>/ whole-file snapshot
+/// directories, including their state.pss) load transparently and
+/// migrate at the first save.
 ///
-/// `state.pss` carries what core session snapshots do not: the session's
-/// virtual clock, the task manager's execution-id counter (intermediate
-/// object names embed it), and the applied-task ledger mapping queue
-/// task ids to committed history nodes.
-///
-/// Recovery invariant: a generation becomes visible only after every one
-/// of its files landed (each written via write-rename-fsync) *and* the
-/// CURRENT pointer swapped to it. The ledger inside the generation
-/// therefore tells exactly which queue tasks' effects are durable: the
-/// daemon skips execution of any re-delivered task the ledger already
-/// contains — at-least-once delivery, exactly-once commit — and because
-/// clock + execution ids + histories restore bit-faithfully, a re-run of
-/// a task whose effects were lost reproduces them byte-identically.
+/// Recovery invariant: a task's effects are durable exactly when its WAL
+/// commit landed (journal-before-effect: Save runs before the queue
+/// acknowledgement). The restored ledger therefore tells exactly which
+/// queue tasks' effects are durable: the daemon skips execution of any
+/// re-delivered task the ledger already contains — at-least-once
+/// delivery, exactly-once commit — and because clock + execution ids +
+/// histories restore bit-faithfully, a re-run of a task whose effects
+/// were lost reproduces them byte-identically.
 class ManagedSession {
  public:
   /// Opens (restoring from CURRENT, or creating fresh) the session named
@@ -92,17 +99,25 @@ class ManagedSession {
                                    const TaskDescription& desc)
       PAPYRUS_REQUIRES(base::engine_thread);
 
-  /// Durably persists a new snapshot generation and swaps CURRENT to it.
+  /// Makes everything committed so far durable: a WAL group commit (one
+  /// fsync), with every SessionConfig::snapshot_interval-th call
+  /// compacting a delta-snapshot generation instead. The daemon calls
+  /// this before acknowledging a task to the queue.
   Status Save() PAPYRUS_REQUIRES(base::engine_thread);
+
+  /// Forces a generation compaction (shutdown, eviction): bounds WAL
+  /// replay cost for the next open.
+  Status Checkpoint() PAPYRUS_REQUIRES(base::engine_thread);
 
  private:
   ManagedSession(std::string directory, std::string name);
 
-  Status Restore(const std::string& snapshot_dir)
-      PAPYRUS_REQUIRES(base::engine_thread);
+  Status ApplyStateLine(const std::vector<std::string>& fields);
   Status RestoreState(const std::string& state_text)
       PAPYRUS_REQUIRES(base::engine_thread);
   std::string SerializeState() const;
+  std::vector<std::string> DrainStateJournal()
+      PAPYRUS_REQUIRES(base::engine_thread);
   /// Re-derives the ADG by re-observing every restored history record in
   /// commit order (metadata inference state is not persisted).
   Status ReplayMetadata() PAPYRUS_REQUIRES(base::engine_thread);
@@ -114,6 +129,13 @@ class ManagedSession {
   int64_t generation_ = 0;
   /// queue task id -> (thread id, committed node id)
   std::map<int64_t, std::pair<int, activity::NodeId>> applied_;
+
+  // State-journal drain tracking: what the WAL already carries.
+  int64_t journaled_clock_ = 0;
+  int journaled_nextexec_ = 0;
+  std::vector<int64_t> pending_applied_;  // task ids not yet journaled
+  int snapshot_interval_ = 8;
+  int saves_since_generation_ = 0;
 };
 
 }  // namespace papyrus::server

@@ -39,7 +39,12 @@ bool FsyncPath(const std::filesystem::path& path, bool directory) {
 
 }  // namespace
 
-Status AtomicWriteFile(const std::string& path, const std::string& content) {
+namespace {
+
+/// The temp-write + fsync + rename dance without the parent-directory
+/// fsync, so single-file and batched writers share one implementation.
+Status ReplaceFileDurably(const std::string& path,
+                          const std::string& content) {
   std::filesystem::path final_path(path);
   std::filesystem::path tmp_path = final_path;
   // Process-unique temp name: concurrent writers of the same target
@@ -78,10 +83,44 @@ Status AtomicWriteFile(const std::string& path, const std::string& content) {
     return Status::Internal("cannot replace " + path + ": " +
                             rename_ec.message());
   }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status AtomicWriteFile(const std::string& path,
+                       const std::string& content) {
+  Status st = ReplaceFileDurably(path, content);
+  if (!st.ok()) return st;
   // Make the rename durable. A missing parent fsync is not fatal for the
   // simulated workloads but is attempted for real-filesystem hygiene.
-  std::filesystem::path parent = final_path.parent_path();
+  std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
   if (!parent.empty()) (void)FsyncPath(parent, /*directory=*/true);
+  return Status::OK();
+}
+
+Status AtomicWriteFiles(const std::vector<PendingWrite>& files) {
+  std::vector<std::filesystem::path> parents;
+  for (const PendingWrite& file : files) {
+    Status st = ReplaceFileDurably(file.path, file.content);
+    if (!st.ok()) return st;
+    std::filesystem::path parent =
+        std::filesystem::path(file.path).parent_path();
+    if (parent.empty()) continue;
+    bool seen = false;
+    for (const std::filesystem::path& p : parents) {
+      if (p == parent) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) parents.push_back(std::move(parent));
+  }
+  // One directory sync per distinct parent, after every rename landed.
+  for (const std::filesystem::path& parent : parents) {
+    (void)FsyncPath(parent, /*directory=*/true);
+  }
   return Status::OK();
 }
 

@@ -2,6 +2,7 @@
 #define PAPYRUS_STORAGE_ATOMIC_FILE_H_
 
 #include <string>
+#include <vector>
 
 #include "base/status.h"
 
@@ -25,6 +26,24 @@ namespace papyrus::storage {
 /// On failure the temp file is removed (best effort) and the previous
 /// `path` contents are untouched.
 Status AtomicWriteFile(const std::string& path, const std::string& content);
+
+/// One file of a batched atomic write.
+struct PendingWrite {
+  std::string path;
+  std::string content;
+};
+
+/// Batched variant for writers that produce many files in one durable
+/// step (the delta-snapshot shard writer): every file gets the same
+/// temp-write + fsync + rename dance as AtomicWriteFile, but the
+/// containing-directory fsync happens once per distinct parent directory
+/// after all renames instead of once per file. For a generation of N
+/// shards in one directory that is N+1 fsyncs instead of 2N.
+///
+/// Not transactional across files: a crash mid-batch can leave some
+/// targets replaced and others not. Callers sequence a manifest swap
+/// after the batch so partially written generations are never referenced.
+Status AtomicWriteFiles(const std::vector<PendingWrite>& files);
 
 }  // namespace papyrus::storage
 

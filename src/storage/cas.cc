@@ -387,10 +387,30 @@ void ContentStore::EnforceBudget(const std::string& keep) {
   }
 }
 
+bool ContentStore::NegativeHit(const std::string& key) {
+  if (negative_.count(key) == 0) return false;
+  ++stats_.neg_hits;
+  if (c_neg_hits_ != nullptr) c_neg_hits_->Increment();
+  return true;
+}
+
+void ContentStore::RememberAbsent(const std::string& key) {
+  constexpr size_t kNegativeCap = 4096;
+  if (!negative_.insert(key).second) return;
+  negative_fifo_.push_back(key);
+  while (negative_.size() > kNegativeCap && !negative_fifo_.empty()) {
+    // Deque entries Publish already invalidated are strays; skip them.
+    negative_.erase(negative_fifo_.front());
+    negative_fifo_.pop_front();
+  }
+}
+
 Status ContentStore::Publish(const std::string& key,
                              const CasEntryMeta& meta,
                              const std::vector<CasPublishOutput>& outputs) {
   base::MutexLock lock(mu_);
+  // The key is about to exist: a stale negative entry must never mask it.
+  negative_.erase(key);
   Entry entry;
   entry.meta = meta;
   entry.lru_seq = next_lru_seq_++;
@@ -461,10 +481,16 @@ Status ContentStore::Publish(const std::string& key,
 
 Result<CasFetchResult> ContentStore::Fetch(const std::string& key) {
   base::MutexLock lock(mu_);
+  if (NegativeHit(key)) {
+    ++stats_.misses;
+    if (c_misses_ != nullptr) c_misses_->Increment();
+    return Status::NotFound("no CAS entry for key (negative-cached)");
+  }
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++stats_.misses;
     if (c_misses_ != nullptr) c_misses_->Increment();
+    RememberAbsent(key);
     return Status::NotFound("no CAS entry for key");
   }
   CasFetchResult result;
@@ -504,7 +530,10 @@ Result<CasFetchResult> ContentStore::Fetch(const std::string& key) {
 
 bool ContentStore::Contains(const std::string& key) {
   base::MutexLock lock(mu_);
-  return entries_.count(key) != 0;
+  if (NegativeHit(key)) return false;
+  if (entries_.count(key) != 0) return true;
+  RememberAbsent(key);
+  return false;
 }
 
 Status ContentStore::Checkpoint() {
@@ -527,6 +556,7 @@ CasStats ContentStore::stats() {
     }
   }
   snapshot.total_bytes = total_bytes_;
+  snapshot.neg_entries = static_cast<int64_t>(negative_.size());
   return snapshot;
 }
 
@@ -559,6 +589,7 @@ void ContentStore::set_observability(const obs::Observability& sinks) {
         obs_.metrics->FindOrCreateCounter(obs::kCasVerifyFailures);
     c_orphans_ =
         obs_.metrics->FindOrCreateCounter(obs::kCasOrphansCollected);
+    c_neg_hits_ = obs_.metrics->FindOrCreateCounter(obs::kCasNegHits);
     g_entries_ = obs_.metrics->FindOrCreateGauge(obs::kCasEntries);
     g_blobs_ = obs_.metrics->FindOrCreateGauge(obs::kCasBlobs);
     g_bytes_ = obs_.metrics->FindOrCreateGauge(obs::kCasStoreBytes);
@@ -569,7 +600,7 @@ void ContentStore::set_observability(const obs::Observability& sinks) {
   } else {
     c_hits_ = c_misses_ = c_published_ = c_dedup_bytes_ = nullptr;
     c_bytes_written_ = c_evicted_entries_ = c_evicted_bytes_ = nullptr;
-    c_verify_failures_ = c_orphans_ = nullptr;
+    c_verify_failures_ = c_orphans_ = c_neg_hits_ = nullptr;
     g_entries_ = g_blobs_ = nullptr;
     g_bytes_ = nullptr;
   }

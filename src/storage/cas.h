@@ -2,9 +2,11 @@
 #define PAPYRUS_STORAGE_CAS_H_
 
 #include <cstdint>
+#include <deque>
 #include <fstream>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -67,6 +69,9 @@ struct CasStats {
   int64_t verify_failures = 0; // blobs whose bytes no longer matched
                                // their hash at fetch time
   int64_t orphans_collected = 0;  // crash-orphaned blob files GC'd at Open
+  int64_t neg_hits = 0;        // lookups short-circuited by the
+                               // negative-entry cache (known-absent keys)
+  int64_t neg_entries = 0;     // keys currently negative-cached
   // Current store shape:
   int64_t entries = 0;
   int64_t blobs = 0;
@@ -127,9 +132,16 @@ class ContentStore {
   /// tool and republishes clean bytes) and Aborted is returned — corrupt
   /// bytes are never handed out. A hit refreshes the entry's LRU position
   /// durably (journaled `touch`).
+  ///
+  /// Misses feed a bounded negative-entry cache: a key known to be absent
+  /// short-circuits subsequent probes (sessions re-probe the same absent
+  /// derivation key on every task retry) without touching the index.
+  /// Publish invalidates the key, so a negative entry can never mask a
+  /// later publication.
   Result<CasFetchResult> Fetch(const std::string& key) PAPYRUS_EXCLUDES(mu_);
 
-  /// True iff an entry exists (no verification, no LRU refresh).
+  /// True iff an entry exists (no verification, no LRU refresh). Consults
+  /// and feeds the negative-entry cache like Fetch.
   bool Contains(const std::string& key) PAPYRUS_EXCLUDES(mu_);
 
   /// Compacts the journal into the checkpoint immediately.
@@ -175,6 +187,13 @@ class ContentStore {
   /// never evicted.
   void EnforceBudget(const std::string& keep) PAPYRUS_REQUIRES(mu_);
 
+  /// Negative-entry cache plumbing: returns true (and counts a neg hit)
+  /// when `key` is known absent; otherwise false.
+  bool NegativeHit(const std::string& key) PAPYRUS_REQUIRES(mu_);
+  /// Records `key` as known-absent, evicting the oldest negative entry
+  /// once the cache is full.
+  void RememberAbsent(const std::string& key) PAPYRUS_REQUIRES(mu_);
+
   std::string BlobPath(const std::string& hash) const;
   static std::string PutRecord(const std::string& key, const Entry& entry);
 
@@ -186,6 +205,11 @@ class ContentStore {
   base::Mutex mu_;
   std::map<std::string, Entry> entries_ PAPYRUS_GUARDED_BY(mu_);
   std::map<std::string, Blob> blobs_ PAPYRUS_GUARDED_BY(mu_);
+  /// Keys proven absent since the last Publish that named them. FIFO
+  /// bounded; the deque may carry stale keys Publish already invalidated
+  /// (membership lives in the set, eviction skips strays).
+  std::set<std::string> negative_ PAPYRUS_GUARDED_BY(mu_);
+  std::deque<std::string> negative_fifo_ PAPYRUS_GUARDED_BY(mu_);
   int64_t total_bytes_ PAPYRUS_GUARDED_BY(mu_) = 0;
   int64_t next_lru_seq_ PAPYRUS_GUARDED_BY(mu_) = 1;
   int64_t journal_appends_ PAPYRUS_GUARDED_BY(mu_) = 0;
@@ -202,6 +226,7 @@ class ContentStore {
   obs::Counter* c_evicted_bytes_ PAPYRUS_GUARDED_BY(mu_) = nullptr;
   obs::Counter* c_verify_failures_ PAPYRUS_GUARDED_BY(mu_) = nullptr;
   obs::Counter* c_orphans_ PAPYRUS_GUARDED_BY(mu_) = nullptr;
+  obs::Counter* c_neg_hits_ PAPYRUS_GUARDED_BY(mu_) = nullptr;
   obs::Gauge* g_entries_ PAPYRUS_GUARDED_BY(mu_) = nullptr;
   obs::Gauge* g_blobs_ PAPYRUS_GUARDED_BY(mu_) = nullptr;
   obs::Gauge* g_bytes_ PAPYRUS_GUARDED_BY(mu_) = nullptr;

@@ -2,9 +2,11 @@
 
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "base/clock.h"
 #include "base/hash.h"
+#include "base/intern.h"
 #include "base/macros.h"
 #include "base/mutex.h"
 #include "base/result.h"
@@ -228,6 +230,39 @@ TEST(Sha256Test, IncrementalUpdatesMatchOneShot) {
   hasher.Update(long_input.substr(0, 63));
   hasher.Update(long_input.substr(63));
   EXPECT_EQ(hasher.FinishHex(), Sha256Hex(long_input));
+}
+
+TEST(ArenaTest, CopiedStringsStayStableAcrossChunkGrowth) {
+  base::Arena arena(64);  // tiny chunks force frequent growth
+  std::vector<std::string_view> views;
+  for (int i = 0; i < 200; ++i) {
+    views.push_back(
+        arena.CopyString("cell" + std::to_string(i) + ":view:contents"));
+  }
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(views[i], "cell" + std::to_string(i) + ":view:contents");
+  }
+  // Oversized allocations (bigger than a chunk) still work.
+  std::string big(1000, 'q');
+  EXPECT_EQ(arena.CopyString(big), big);
+  EXPECT_GT(arena.bytes_allocated(), big.size());
+}
+
+TEST(InternTableTest, SymbolsAreDenseStableAndDeduplicated) {
+  base::InternTable table;
+  base::Symbol a = table.Intern("adder:logic:contents");
+  base::Symbol b = table.Intern("shifter:logic:contents");
+  EXPECT_NE(a, b);
+  // Interning again returns the same symbol; no new storage.
+  size_t bytes = table.arena_bytes();
+  EXPECT_EQ(table.Intern("adder:logic:contents"), a);
+  EXPECT_EQ(table.arena_bytes(), bytes);
+  EXPECT_EQ(table.size(), 2u);
+
+  EXPECT_EQ(table.StringOf(a), "adder:logic:contents");
+  EXPECT_EQ(table.StringOf(b), "shifter:logic:contents");
+  EXPECT_EQ(table.Find("adder:logic:contents"), a);
+  EXPECT_EQ(table.Find("never interned"), base::kNoSymbol);
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 
 #include "base/hash.h"
 #include "cache/derivation_cache.h"
+#include "obs/metrics.h"
 #include "core/papyrus.h"
 #include "oct/design_data.h"
 #include "server/daemon.h"
@@ -105,6 +106,43 @@ TEST(ContentStoreTest, PublishFetchRoundTripsMetaAndBytes) {
   EXPECT_EQ(s.blobs, 1);
   EXPECT_EQ(s.total_bytes,
             static_cast<int64_t>(std::string("layout bytes").size()));
+}
+
+TEST(ContentStoreTest, NegativeEntryCacheShortCircuitsKnownAbsentKeys) {
+  std::string root = FreshDir("negcache");
+  auto store = ContentStore::Open(root);
+  ASSERT_TRUE(store.ok());
+  obs::MetricsRegistry metrics;
+  obs::Observability obs;
+  obs.metrics = &metrics;
+  (*store)->set_observability(obs);
+
+  // The first probe is a genuine miss that seeds the negative cache...
+  EXPECT_TRUE((*store)->Fetch("absent").status().IsNotFound());
+  CasStats s = (*store)->stats();
+  EXPECT_EQ(s.misses, 1);
+  EXPECT_EQ(s.neg_hits, 0);
+  EXPECT_EQ(s.neg_entries, 1);
+
+  // ...and every repeat short-circuits on it, Fetch and Contains alike.
+  EXPECT_TRUE((*store)->Fetch("absent").status().IsNotFound());
+  EXPECT_FALSE((*store)->Contains("absent"));
+  s = (*store)->stats();
+  EXPECT_EQ(s.misses, 2);  // Contains never counted misses
+  EXPECT_EQ(s.neg_hits, 2);
+  EXPECT_EQ(metrics.FindOrCreateCounter(obs::kCasNegHits)->value(), 2);
+
+  // Publish invalidates the key: a stale negative entry can never mask a
+  // later publication.
+  ASSERT_TRUE(
+      (*store)->Publish("absent", Meta("misII"), OneOutput("now")).ok());
+  EXPECT_TRUE((*store)->Contains("absent"));
+  auto hit = (*store)->Fetch("absent");
+  ASSERT_TRUE(hit.ok()) << hit.status().message();
+  s = (*store)->stats();
+  EXPECT_EQ(s.neg_hits, 2);     // no stale short-circuit after Publish
+  EXPECT_EQ(s.neg_entries, 0);
+  EXPECT_EQ(s.hits, 1);
 }
 
 TEST(ContentStoreTest, IdenticalBytesAcrossEntriesShareOneBlob) {

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -16,6 +19,13 @@ using oct::Layout;
 using oct::LogicNetwork;
 using oct::ObjectId;
 using oct::TextData;
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
 
 TEST(PercentEncodingTest, RoundTripsArbitraryStrings) {
   for (const std::string& s :
@@ -389,6 +399,122 @@ TEST(AtomicSaveTest, SaveLeavesNoTempFilesAndRoundTrips) {
   EXPECT_EQ(fresh.database().TotalVersionCount(),
             session.database().TotalVersionCount());
   fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Legacy-layout migration through the storage engine
+
+/// The deterministic workload used to compare a migrated legacy snapshot
+/// against a session that lived on the engine from the start.
+void RunMigrationWorkload(Papyrus& session) {
+  int tid = session.CreateThread("mig");
+  ASSERT_TRUE(
+      session.Invoke(tid, "Create_Logic_Description", {}, {"m.logic"})
+          .ok());
+  ASSERT_TRUE(session
+                  .Invoke(tid, "Standard_Cell_Place_and_Route",
+                          {"m.logic"}, {"m.layout"})
+                  .ok());
+  ASSERT_TRUE(
+      session.CheckInObject("/u/alice/notes", TextData{"run 100"}).ok());
+}
+
+/// Compacts and returns every live section's bytes, keyed by name.
+std::map<std::string, std::string> SectionFingerprint(Papyrus& session) {
+  std::map<std::string, std::string> fp;
+  EXPECT_TRUE(session.SaveGeneration().ok());
+  for (const auto& [name, file] :
+       session.store()->CurrentSectionFiles()) {
+    auto text = session.store()->ReadSection(name);
+    EXPECT_TRUE(text.ok()) << name << ": " << text.status().message();
+    fp[name] = text.ok() ? *text : "<unreadable>";
+  }
+  return fp;
+}
+
+std::string MigrationDir(const std::string& name) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::temp_directory_path() / ("papyrus_mig_" + name);
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  fs::create_directories(dir, ec);
+  return dir.string();
+}
+
+TEST(LegacyMigrationTest, FlatLayoutRestoresByteIdenticallyAndMigrates) {
+  namespace fs = std::filesystem;
+  // Reference: the same work done on the engine from the start.
+  std::map<std::string, std::string> reference;
+  {
+    Papyrus session;
+    ASSERT_TRUE(session.OpenStorage(MigrationDir("flat_ref")).ok());
+    RunMigrationWorkload(session);
+    reference = SectionFingerprint(session);
+  }
+  ASSERT_GT(reference.size(), 0u);
+
+  // A pre-engine session saved with the PR 1 whole-file flat layout.
+  std::string dir = MigrationDir("flat_legacy");
+  {
+    Papyrus session;
+    RunMigrationWorkload(session);
+    ASSERT_TRUE(session.SaveSession(dir).ok());
+  }
+  ASSERT_TRUE(fs::exists(fs::path(dir) / "database.pdb"));
+
+  // Opening through the engine migrates: the restored state serializes
+  // byte-identically to the never-legacy reference, and the next open
+  // finds an engine layout.
+  {
+    Papyrus session;
+    ASSERT_TRUE(session.OpenStorage(dir).ok());
+    EXPECT_EQ(session.last_restore_stats().records_dropped, 0);
+    std::map<std::string, std::string> migrated =
+        SectionFingerprint(session);
+    EXPECT_EQ(migrated, reference);
+  }
+  EXPECT_NE(ReadAll((fs::path(dir) / "CURRENT").string())
+                .find("manifest."),
+            std::string::npos);
+  {
+    Papyrus session;
+    ASSERT_TRUE(session.OpenStorage(dir).ok());
+    EXPECT_TRUE(
+        session.database().LatestVisible("m.layout").ok());
+  }
+}
+
+TEST(LegacyMigrationTest, SnapDirLayoutMigratesAndContinuesNumbering) {
+  namespace fs = std::filesystem;
+  std::map<std::string, std::string> reference;
+  {
+    Papyrus session;
+    ASSERT_TRUE(session.OpenStorage(MigrationDir("snap_ref")).ok());
+    RunMigrationWorkload(session);
+    reference = SectionFingerprint(session);
+  }
+
+  // A pre-engine daemon session: CURRENT -> snap.<N>/ of whole files.
+  std::string dir = MigrationDir("snap_legacy");
+  {
+    Papyrus session;
+    RunMigrationWorkload(session);
+    ASSERT_TRUE(
+        session.SaveSession((fs::path(dir) / "snap.7").string()).ok());
+    std::ofstream current(fs::path(dir) / "CURRENT",
+                          std::ios::binary | std::ios::trunc);
+    current << "snap.7\n";
+  }
+
+  Papyrus session;
+  ASSERT_TRUE(session.OpenStorage(dir).ok());
+  std::map<std::string, std::string> migrated =
+      SectionFingerprint(session);
+  EXPECT_EQ(migrated, reference);
+  // Engine generations continue after the legacy number, and the
+  // migrated snapshot directory is pruned once a manifest owns the data.
+  EXPECT_EQ(session.store()->generation(), 8u);
+  EXPECT_FALSE(fs::exists(fs::path(dir) / "snap.7"));
 }
 
 TEST(ThreadPersistenceErrorTest, RejectsGarbage) {

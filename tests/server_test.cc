@@ -351,11 +351,14 @@ int SubmitWorkload(DaemonHarness& h) {
 }
 
 /// Everything a daemon crash could conceivably perturb, rendered
-/// comparable: the raw bytes of every session's CURRENT snapshot
-/// generation (database, thread histories, derivation cache, daemon
-/// state) and the rebuilt augmented derivation graph.
+/// comparable: the byte content of every live storage-engine section
+/// (sharded database, thread histories, derivation cache, daemon state)
+/// and the rebuilt augmented derivation graph. Generation numbers and
+/// section file names are deliberately excluded — crashy runs compact at
+/// different points than crash-free runs, so the bookkeeping legitimately
+/// differs while the section *contents* must stay byte-identical.
 struct DaemonFingerprint {
-  std::map<std::string, std::string> files;  // rel path -> bytes
+  std::map<std::string, std::string> files;  // session/section -> bytes
   std::string adg;
 };
 
@@ -376,28 +379,25 @@ DaemonFingerprint Fingerprint(DaemonHarness& h,
                               const std::vector<std::string>& sessions) {
   DaemonFingerprint fp;
   for (const std::string& name : sessions) {
-    fs::path dir = fs::path(h.root) / "sessions" / name;
-    std::string current = ReadAll(dir / "CURRENT");
-    EXPECT_FALSE(current.empty()) << "no CURRENT for " << name;
-    fp.files[name + "/CURRENT"] = current;
-    std::string generation = current;
-    while (!generation.empty() &&
-           (generation.back() == '\n' || generation.back() == ' ')) {
-      generation.pop_back();
-    }
-    std::error_code ec;
-    for (const auto& entry :
-         fs::directory_iterator(dir / generation, ec)) {
-      if (!entry.is_regular_file()) continue;
-      fp.files[name + "/" + entry.path().filename().string()] =
-          ReadAll(entry.path());
-    }
     auto session = h.daemon->OpenSession(name);
-    EXPECT_TRUE(session.ok());
-    if (session.ok()) {
-      fp.adg += "== " + name + "\n" +
-                RenderAdg((*session)->session().metadata().adg());
+    EXPECT_TRUE(session.ok()) << session.status().message();
+    if (!session.ok()) continue;
+    // Force a compaction so the manifest carries the complete durable
+    // state; the section bytes are then a pure function of the session's
+    // logical state, independent of where WAL commits and generation
+    // swaps happened to land relative to crashes.
+    Status checkpointed = (*session)->Checkpoint();
+    EXPECT_TRUE(checkpointed.ok()) << checkpointed.message();
+    storage::SessionStore* store = (*session)->session().store();
+    for (const auto& [section, file] : store->CurrentSectionFiles()) {
+      auto text = store->ReadSection(section);
+      EXPECT_TRUE(text.ok()) << name << "/" << section << ": "
+                             << text.status().message();
+      fp.files[name + "/" + section] =
+          text.ok() ? *text : "<unreadable>";
     }
+    fp.adg += "== " + name + "\n" +
+              RenderAdg((*session)->session().metadata().adg());
   }
   return fp;
 }
